@@ -1,0 +1,12 @@
+"""Extension bench: hijack-detection monitoring vs the blocklist."""
+
+from repro.analysis import evaluate_alarms
+
+
+def bench_ext_alarm_evaluation(benchmark, world, entries):
+    result = benchmark(evaluate_alarms, world, entries)
+    # Shape: monitoring detects everything it can baseline, months ahead
+    # of the blocklist — but can baseline almost nothing (abandonment).
+    assert result.enrollable_share < 0.1
+    assert result.detected == len(result.monitored) > 0
+    assert result.median_lead_days and result.median_lead_days > 100

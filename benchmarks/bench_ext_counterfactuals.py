@@ -1,0 +1,60 @@
+"""Extension benches: the §6–§7 policy counterfactuals and maxLength audit."""
+
+from repro.analysis import (
+    as0_counterfactual,
+    audit_maxlength,
+    rov_counterfactual,
+)
+from repro.rpki.validation import RouteValidity
+
+
+def bench_ext_rov_counterfactual(benchmark, world, entries):
+    result = benchmark(rov_counterfactual, world, entries)
+    # Shape: ROV as deployed stops essentially nothing (unsigned
+    # targets); universal signing stops almost everything except the
+    # forged-origin residue.
+    assert result.stopped_as_deployed < 0.02
+    assert result.stopped_if_all_signed > 0.9
+    assert result.forged_origin_escapes >= 1
+    assert result.as_deployed[RouteValidity.NOT_FOUND] > (
+        result.as_deployed[RouteValidity.VALID]
+    )
+
+
+def bench_ext_as0_counterfactual(benchmark, world, entries):
+    result = benchmark(as0_counterfactual, world, entries)
+    # Shape: published AS0 coverage is partial; universal RIR AS0 covers
+    # every unallocated hijack; three operators fix ~70% of the
+    # unrouted-signed surface.
+    assert result.tals_trusted_share < result.universal_share == 1.0
+    assert 0.6 < result.operator_ladder[2] < 0.8
+
+
+def bench_ext_maxlength_audit(benchmark, world, entries):
+    result = benchmark(audit_maxlength, world)
+    # Shape: a minority of ROAs use maxLength; the overwhelming majority
+    # of those are forged-origin sub-prefix hijackable (Gilad et al. 84%).
+    assert 0 < result.usage_rate < 0.3
+    assert result.vulnerable_rate > 0.7
+
+
+def bench_ext_serial_hijackers(benchmark, world, entries):
+    from repro.analysis import profile_origins
+
+    result = benchmark(profile_origins, world, entries)
+    # Shape: a small candidate set with near-total blocklist overlap,
+    # disjoint from the high-volume legitimate origins.
+    assert 0 < len(result.candidates) < 0.05 * len(result.profiles)
+    assert all(c.drop_share > 0.4 for c in result.candidates)
+
+
+def bench_ext_survival(benchmark, world, entries):
+    from repro.analysis import analyze_survival
+    from repro.drop.categories import Category
+
+    result = benchmark(analyze_survival, world, entries)
+    # Shape: hijacked routes die fastest; hosting routes barely die.
+    hijacked = result.curve(Category.HIJACKED)
+    hosting = result.curve(Category.MALICIOUS_HOSTING)
+    assert hijacked.at(30) < 0.5 < hosting.at(30)
+    assert 0.1 < 1 - result.overall.at(30) < 0.3

@@ -1,0 +1,28 @@
+"""Figure 1: classification of DROP entries by prefixes and address space."""
+
+from repro.analysis import classify_drop
+from repro.drop.categories import Category
+
+
+def bench_fig1_classification(benchmark, world, entries):
+    result = benchmark(classify_drop, world, entries)
+    # Shape: snowshoe dominates by prefix count but not by space; the
+    # incidents dominate the space; NR is the second-largest prefix bar.
+    assert result.total_prefixes == 712
+    assert result.bar(Category.SNOWSHOE).total_prefixes == max(
+        b.total_prefixes for b in result.bars
+    )
+    assert result.space_share(Category.SNOWSHOE) < 0.15
+    assert 0.4 < result.incident_space_share < 0.6
+    assert result.bar(Category.HIJACKED).addresses > (
+        result.bar(Category.SNOWSHOE).addresses
+    )
+
+
+def bench_table2_keyword_stats(benchmark, world, entries):
+    result = benchmark(classify_drop, world, entries)
+    # Appendix A: most records classify from a single keyword.
+    stats = result.keyword_stats
+    assert stats["one"] > 0.8
+    assert stats["two_or_more"] < 0.1
+    assert stats["none"] < 0.15

@@ -1,0 +1,28 @@
+"""Figure 2: routing visibility around listing + the filtering peers."""
+
+from repro.analysis import analyze_visibility, detect_drop_filtering
+from repro.drop.categories import Category
+
+
+def bench_fig2_visibility_cdf(benchmark, world, entries):
+    result = benchmark(analyze_visibility, world, entries)
+    # Shape: ~1/5 of prefixes withdrawn at +30d; hijacked and unallocated
+    # categories withdraw at several times the background rate.
+    assert 0.1 < result.withdrawal_rate < 0.3
+    hijacked = result.category_rate(Category.HIJACKED)
+    unallocated = result.category_rate(Category.UNALLOCATED)
+    hosting = result.category_rate(Category.MALICIOUS_HOSTING)
+    assert hijacked > unallocated > hosting
+    assert hijacked > 3 * result.withdrawal_rate
+
+
+def bench_fig2_peer_filtering(benchmark, world, entries):
+    result = benchmark(detect_drop_filtering, world, entries)
+    # Shape: exactly three full-table peers filter the DROP list; every
+    # other peer observes nearly everything.
+    assert len(result.suspects) == 3
+    normal = [
+        r for r in result.rates if r.peer_id not in result.suspect_peer_ids
+    ]
+    assert min(r.rate for r in normal) > 0.9
+    assert max(s.rate for s in result.suspects) < 0.5

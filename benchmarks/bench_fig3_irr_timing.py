@@ -1,0 +1,30 @@
+"""Figure 3 + §5: IRR route-object timing and hijacker fingerprints."""
+
+from repro.analysis import analyze_irr
+
+
+def bench_fig3_irr_timing(benchmark, world, entries):
+    result = benchmark(analyze_irr, world, entries)
+    # Shape: almost every forged record is followed by a BGP announcement
+    # within a week; a couple postdate the announcement by over a year.
+    quick = [
+        t
+        for t in result.timings
+        if t.days_to_bgp is not None and 0 <= t.days_to_bgp <= 7
+    ]
+    assert len(quick) >= len(result.timings) - 2
+    assert result.late_records == 2
+    # DROP listings follow the record within weeks, not years.
+    to_drop = [t.days_to_drop for t in result.timings if t.days_to_drop >= 0]
+    assert to_drop and max(to_drop) < 120
+
+
+def bench_sec5_irr_effectiveness(benchmark, world, entries):
+    result = benchmark(analyze_irr, world, entries)
+    # Shape: a third of prefixes carry objects covering two-thirds of the
+    # space; 3 ORG-IDs dominate the hijacker registrations.
+    assert 0.25 < result.object_rate < 0.4
+    assert result.space_share > 1.5 * result.object_rate
+    assert result.hijacker_asn_matches < result.asn_labeled_hijacks
+    assert result.top_org_cluster_size > 0.8 * result.hijacker_asn_matches
+    assert len(result.unallocated_in_irr) == 1

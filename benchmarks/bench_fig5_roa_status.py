@@ -1,0 +1,30 @@
+"""Figure 5 / §6.2.1: routing status of ROA-covered space over time."""
+
+from repro.analysis import analyze_roa_status
+
+
+def bench_fig5_roa_status(benchmark, world, entries):
+    result = benchmark(analyze_roa_status, world)
+    first, final = result.first, result.final
+    # Shape: signed space grows ~1.4x across the window while the routed
+    # share of it declines; unrouted-signed space roughly quadruples;
+    # unsigned-unrouted space stays flat around 30 /8s.
+    assert 1.3 < final.signed / first.signed < 1.6
+    assert final.percent_routed < first.percent_routed
+    assert final.signed_unrouted > 3 * first.signed_unrouted
+    assert abs(final.allocated_unrouted_unsigned
+               - first.allocated_unrouted_unsigned) < 3.0
+    # Monotone-ish growth of signed space (no sample dips below start).
+    assert all(p.signed >= first.signed - 1.0 for p in result.points)
+
+
+def bench_fig5_holder_concentration(benchmark, world, entries):
+    result = benchmark(analyze_roa_status, world)
+    # §6.2.1: three organizations hold ~70% of unrouted signed space, and
+    # ARIN manages ~60% of the unsigned unrouted space.
+    assert 0.6 < result.top_holder_share(3) < 0.8
+    assert 0.5 < result.rir_unsigned_share("ARIN") < 0.7
+    top = sorted(
+        result.unrouted_signed_by_holder.items(), key=lambda kv: -kv[1]
+    )
+    assert top[0][0] == "amazon"

@@ -1,0 +1,23 @@
+"""Figure 6: unallocated space on DROP vs RIR AS0 policy timeline."""
+
+from repro.analysis import analyze_unallocated
+from repro.rpki.as0 import rir_as0_policy_start
+
+
+def bench_fig6_unallocated_timeline(benchmark, world, entries):
+    result = benchmark(analyze_unallocated, world, entries)
+    # Shape: 40 unallocated prefixes clustered on LACNIC and AFRINIC;
+    # listings continue after the AS0 policies went live.
+    assert result.total == 40
+    assert result.count_for("LACNIC") == max(
+        result.count_for(r) for r in ("AFRINIC", "APNIC", "ARIN",
+                                      "LACNIC", "RIPE")
+    )
+    assert result.count_for("AFRINIC") >= 10
+    assert result.after_policy_count > 0
+    lacnic_start = rir_as0_policy_start("LACNIC")
+    after_lacnic = [
+        l for l in result.listings
+        if l.region == "LACNIC" and l.listed >= lacnic_start
+    ]
+    assert all(l.after_region_as0 for l in after_lacnic)

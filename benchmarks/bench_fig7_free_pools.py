@@ -1,0 +1,19 @@
+"""Figure 7: free-pool sizes per RIR over time."""
+
+from repro.analysis import analyze_unallocated
+
+
+def bench_fig7_free_pools(benchmark, world, entries):
+    result = benchmark(analyze_unallocated, world, entries)
+    # Shape: every pool shrinks or holds; AFRINIC and ARIN hold the most
+    # unallocated space; the listing clusters (LACNIC-heavy) are NOT on
+    # the biggest pools — the paper's "size is not correlated" point.
+    finals = {r: s[-1][1] for r, s in result.free_pools.items()}
+    for rir, series in result.free_pools.items():
+        assert series[-1][1] <= series[0][1], rir
+    ranked = sorted(finals, key=finals.get, reverse=True)
+    assert set(ranked[:2]) == {"AFRINIC", "ARIN"}
+    # LACNIC has the most unallocated listings but one of the smallest
+    # pools.
+    assert result.count_for("LACNIC") == 19
+    assert finals["LACNIC"] < finals["AFRINIC"]

@@ -1,0 +1,19 @@
+"""§4.1: RIR deallocations after DROP listing."""
+
+from repro.analysis import analyze_deallocation
+from repro.drop.categories import Category
+
+
+def bench_sec41_deallocation(benchmark, world, entries):
+    result = benchmark(analyze_deallocation, world, entries)
+    # Shape: malicious hosting leads the deallocation table; a small
+    # share of removed prefixes are deallocated, and about half of those
+    # were delisted within a week of the deallocation.
+    mh = result.category_rate(Category.MALICIOUS_HOSTING)
+    assert mh == max(
+        result.category_rate(c)
+        for c in (Category.HIJACKED, Category.SNOWSHOE,
+                  Category.KNOWN_SPAM, Category.MALICIOUS_HOSTING)
+    )
+    assert 0.05 < result.removed_deallocation_rate < 0.15
+    assert 0.25 < result.within_week_share < 0.75

@@ -1,0 +1,13 @@
+"""§6.2.2: is anyone filtering with the RIR AS0 trust anchors?"""
+
+from repro.analysis import detect_as0_filtering
+
+
+def bench_sec62_as0_filtering(benchmark, world, entries):
+    result = benchmark(detect_as0_filtering, world)
+    # Shape: ~30 routed prefixes would be rejected under the AS0 TALs,
+    # and every full-table peer carries essentially all of them — nobody
+    # filters with those TALs.
+    assert 20 < len(result.filterable_prefixes) < 45
+    assert result.peers_filtering == frozenset()
+    assert result.mean_carried > 0.9 * len(result.filterable_prefixes)

@@ -1,0 +1,23 @@
+"""Table 1: RPKI signing rates, never / removed / present on DROP."""
+
+from repro.analysis import analyze_rpki_uptake
+
+
+def bench_table1_rpki_uptake(benchmark, world, entries):
+    table = benchmark(analyze_rpki_uptake, world, entries)
+    # Shape: removal from DROP correlates with signing at roughly twice
+    # the background rate; staying listed correlates with under-signing.
+    assert (
+        table.overall.removed_rate
+        > 1.5 * table.overall.never_rate
+        > table.overall.present_rate
+    )
+    # Per-region ordering holds for the big regions.
+    for region in ("ARIN", "RIPE", "APNIC"):
+        row = table.row(region)
+        assert row.removed_rate > row.never_rate > row.present_rate
+    # RIPE signs at roughly four times ARIN's base rate (0.33 vs 0.085).
+    assert table.row("RIPE").never_rate > 2 * table.row("ARIN").never_rate
+    # §4.2: removed-and-signed prefixes overwhelmingly sign with an ASN
+    # other than the one originating them when listed.
+    assert table.different_asn_rate > 10 * table.same_asn_rate

@@ -1,0 +1,24 @@
+"""World generation and archive round-trip costs."""
+
+from repro.synth import ScenarioConfig, build_world, load_world, save_world
+
+
+def bench_build_tiny_world(benchmark):
+    world = benchmark(build_world, ScenarioConfig.tiny())
+    assert len(world.drop.unique_prefixes()) == 712
+
+
+def bench_archive_round_trip(benchmark, world, entries, tmp_path_factory):
+    target = tmp_path_factory.mktemp("archives")
+
+    def run():
+        # Weekly snapshots: the shortest DROP stay is ~30 days, so no
+        # episode can fall between snapshots and vanish.
+        directory = target / "world"
+        save_world(world, directory, drop_step_days=7)
+        return load_world(directory)
+
+    loaded = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(loaded.drop.unique_prefixes()) == len(
+        world.drop.unique_prefixes()
+    )

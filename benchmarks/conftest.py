@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks run against a session-scoped synthetic world.  The scale is
+selected with ``REPRO_BENCH_SCALE`` (``tiny`` default, ``small``, or
+``paper`` for the full 195.6K-prefix population used in EXPERIMENTS.md).
+Every benchmark asserts the *shape* of the paper's result alongside the
+timing, so a `--benchmark-only` run doubles as a reproduction check.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import load_entries
+from repro.synth import ScenarioConfig, build_world
+
+_SCALES = {
+    "tiny": ScenarioConfig.tiny,
+    "small": ScenarioConfig.small,
+    "paper": ScenarioConfig.paper,
+}
+
+
+@pytest.fixture(scope="session")
+def world():
+    scale = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+    return build_world(_SCALES[scale]())
+
+
+@pytest.fixture(scope="session")
+def entries(world):
+    return load_entries(world)

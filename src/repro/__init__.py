@@ -1,0 +1,27 @@
+"""repro — reproduction of "Stop, DROP, and ROA" (IMC 2022).
+
+A complete measurement stack for studying the Spamhaus DROP blocklist
+against BGP, IRR, RPKI, and RIR-allocation data:
+
+* :mod:`repro.net` — IPv4 prefixes, interval sets, radix trie, timelines;
+* :mod:`repro.bgp` — collectors/peers, interval RIB, streams, visibility;
+* :mod:`repro.drop` — DROP episodes/snapshots, SBL records, categorizer;
+* :mod:`repro.irr` — RPSL and the journaled RADb database;
+* :mod:`repro.rpki` — ROAs, TALs, RFC 6811 validation, AS0 policy;
+* :mod:`repro.rirstats` — delegated files and the allocation registry;
+* :mod:`repro.synth` — the deterministic synthetic world generator;
+* :mod:`repro.analysis` — the paper's analyses, one module per experiment;
+* :mod:`repro.reporting` — text tables/figures and the experiment registry.
+
+Quickstart::
+
+    from repro.synth import ScenarioConfig, build_world
+    from repro.reporting import run_experiment, render_text
+
+    world = build_world(ScenarioConfig.tiny())
+    print(render_text(run_experiment(world, "tab1")))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

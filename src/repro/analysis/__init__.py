@@ -1,0 +1,91 @@
+"""The paper's analyses, one module per experiment (see DESIGN.md §4)."""
+
+from .alarm_eval import AlarmEvaluation, MonitoredHijack, evaluate_alarms
+from .classification import CategoryBar, ClassificationResult, classify_drop
+from .common import DropEntryView, detect_incidents, load_entries
+from .counterfactuals import (
+    As0Counterfactual,
+    RovCounterfactual,
+    as0_counterfactual,
+    rov_counterfactual,
+)
+from .deallocation import DeallocationResult, analyze_deallocation
+from .irr_effectiveness import IrrEffectiveness, IrrTiming, analyze_irr
+from .maxlength import MaxLengthAudit, VulnerableRoa, audit_maxlength
+from .peer_filtering import (
+    As0FilteringResult,
+    DropFilteringResult,
+    detect_as0_filtering,
+    detect_drop_filtering,
+)
+from .roa_status import RoaStatusPoint, RoaStatusResult, analyze_roa_status
+from .serial_hijackers import (
+    OriginProfile,
+    SerialHijackerReport,
+    profile_origins,
+)
+from .rpki_effectiveness import (
+    PresignedHijack,
+    RpkiEffectiveness,
+    RpkiValidHijack,
+    analyze_rpki_effectiveness,
+    find_sibling_prefixes,
+)
+from .rpki_uptake import RegionUptake, Table1, analyze_rpki_uptake
+from .survival import SurvivalCurve, SurvivalResult, analyze_survival
+from .unallocated import (
+    UnallocatedListing,
+    UnallocatedResult,
+    analyze_unallocated,
+)
+from .visibility import VisibilityResult, analyze_visibility
+
+__all__ = [
+    "AlarmEvaluation",
+    "As0Counterfactual",
+    "As0FilteringResult",
+    "CategoryBar",
+    "ClassificationResult",
+    "DeallocationResult",
+    "DropEntryView",
+    "DropFilteringResult",
+    "IrrEffectiveness",
+    "MaxLengthAudit",
+    "IrrTiming",
+    "PresignedHijack",
+    "RegionUptake",
+    "RovCounterfactual",
+    "RoaStatusPoint",
+    "RoaStatusResult",
+    "RpkiEffectiveness",
+    "RpkiValidHijack",
+    "SurvivalCurve",
+    "SurvivalResult",
+    "Table1",
+    "UnallocatedListing",
+    "UnallocatedResult",
+    "VisibilityResult",
+    "VulnerableRoa",
+    "analyze_deallocation",
+    "as0_counterfactual",
+    "audit_maxlength",
+    "analyze_irr",
+    "analyze_roa_status",
+    "analyze_rpki_effectiveness",
+    "analyze_rpki_uptake",
+    "analyze_survival",
+    "analyze_unallocated",
+    "analyze_visibility",
+    "classify_drop",
+    "detect_as0_filtering",
+    "detect_drop_filtering",
+    "detect_incidents",
+    "find_sibling_prefixes",
+    "MonitoredHijack",
+    "OriginProfile",
+    "SerialHijackerReport",
+    "profile_origins",
+    "evaluate_alarms",
+    "load_entries",
+    "rov_counterfactual",
+]

@@ -1,0 +1,138 @@
+"""Extension: would hijack-detection monitoring have beaten the DROP list?
+
+Defense class 2 in the paper's taxonomy is route-hijack detection
+(PHAS [26], ARTEMIS [47]).  This evaluation enrolls every hijack-labeled
+DROP prefix that *could* be enrolled — one with enough legitimate BGP
+history to baseline — into :class:`~repro.bgp.alarms.HijackMonitor` and
+measures how many days before the Spamhaus listing an alarm would have
+fired.
+
+The punchline mirrors §6.2.1's abandonment observation: most DROP
+hijacks target prefixes with *no* legitimate history at all (abandoned or
+never-routed space), which a monitor cannot baseline — detection has the
+same blind spot AS0 is designed to close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+from ..bgp.alarms import Alarm, HijackMonitor, ProtectedPrefix
+from ..drop.categories import Category
+from ..net.prefix import IPv4Prefix
+from ..synth.world import World
+from .common import DropEntryView, load_entries
+
+__all__ = ["AlarmEvaluation", "MonitoredHijack", "evaluate_alarms"]
+
+
+@dataclass(frozen=True, slots=True)
+class MonitoredHijack:
+    """One enrollable hijacked prefix and its detection outcome."""
+
+    prefix: IPv4Prefix
+    listed: date
+    first_alarm: date | None
+    alarm_kinds: tuple[str, ...]
+
+    @property
+    def detected(self) -> bool:
+        """True if any alarm fired at all."""
+        return self.first_alarm is not None
+
+    @property
+    def lead_days(self) -> int | None:
+        """Days between first alarm and DROP listing (positive = earlier)."""
+        if self.first_alarm is None:
+            return None
+        return (self.listed - self.first_alarm).days
+
+
+@dataclass(frozen=True, slots=True)
+class AlarmEvaluation:
+    """Aggregate monitoring-vs-blocklisting comparison."""
+
+    hijacked_total: int
+    enrollable: int
+    monitored: tuple[MonitoredHijack, ...]
+
+    @property
+    def enrollable_share(self) -> float:
+        """Hijacked prefixes with baselinable history (the minority)."""
+        return (
+            self.enrollable / self.hijacked_total
+            if self.hijacked_total
+            else 0.0
+        )
+
+    @property
+    def detected(self) -> int:
+        """Enrolled prefixes for which an alarm fired."""
+        return sum(1 for m in self.monitored if m.detected)
+
+    @property
+    def median_lead_days(self) -> float | None:
+        """Median detection lead over the DROP listing."""
+        leads = sorted(
+            m.lead_days for m in self.monitored if m.lead_days is not None
+        )
+        if not leads:
+            return None
+        mid = len(leads) // 2
+        if len(leads) % 2:
+            return float(leads[mid])
+        return (leads[mid - 1] + leads[mid]) / 2.0
+
+
+def evaluate_alarms(
+    world: World,
+    entries: list[DropEntryView] | None = None,
+    *,
+    baseline_days: int = 730,
+) -> AlarmEvaluation:
+    """Enroll baselinable hijacked prefixes and replay the route stream.
+
+    A prefix is *enrollable* if, at least ``baseline_days`` before its
+    listing, some origin was announcing it — that origin (and its
+    then-upstreams) become the monitor's legitimate configuration, with
+    the remaining pre-listing year used for upstream learning.
+    """
+    if entries is None:
+        entries = load_entries(world)
+    hijacked = [
+        e
+        for e in entries
+        if Category.HIJACKED in e.categories and not e.incident
+    ]
+    monitored: list[MonitoredHijack] = []
+    enrollable = 0
+    for entry in hijacked:
+        horizon = entry.listed - timedelta(days=baseline_days)
+        legit_origins = world.bgp.historic_origins(entry.prefix, horizon)
+        if not legit_origins:
+            continue
+        enrollable += 1
+        monitor = HijackMonitor(
+            [ProtectedPrefix(entry.prefix, frozenset(legit_origins))],
+            baseline_until=horizon,
+        )
+        alarms: list[Alarm] = [
+            a for a in monitor.scan(world.bgp) if a.day <= entry.listed
+        ]
+        first = min((a.day for a in alarms), default=None)
+        monitored.append(
+            MonitoredHijack(
+                prefix=entry.prefix,
+                listed=entry.listed,
+                first_alarm=first,
+                alarm_kinds=tuple(
+                    sorted({str(a.kind) for a in alarms})
+                ),
+            )
+        )
+    return AlarmEvaluation(
+        hijacked_total=len(hijacked),
+        enrollable=enrollable,
+        monitored=tuple(monitored),
+    )

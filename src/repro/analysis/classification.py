@@ -1,0 +1,137 @@
+"""Figure 1 / Table 2: classification of DROP entries.
+
+Reproduces the paper's §3.1 breakdown: per category, how many prefixes
+appeared on DROP (split into "exclusive" — the only label — and
+"additional" — carried alongside another label) and how much address
+space those prefixes cover, plus the AFRINIC-incident share hatched into
+the hijack bars, and the Appendix-A keyword statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..drop.categories import FIGURE1_ORDER, Category
+from ..drop.categorize import Categorizer
+from ..net.prefix import slash8_equivalents
+from ..synth.world import World
+from .common import DropEntryView, load_entries
+
+__all__ = ["CategoryBar", "ClassificationResult", "classify_drop"]
+
+
+@dataclass(frozen=True, slots=True)
+class CategoryBar:
+    """One bar pair of Figure 1."""
+
+    category: Category
+    exclusive_prefixes: int
+    additional_prefixes: int
+    incident_prefixes: int
+    addresses: int
+    incident_addresses: int
+
+    @property
+    def total_prefixes(self) -> int:
+        """All prefixes carrying this label."""
+        return self.exclusive_prefixes + self.additional_prefixes
+
+    @property
+    def slash8(self) -> float:
+        """Address space carrying this label, in /8 equivalents."""
+        return slash8_equivalents(self.addresses)
+
+
+@dataclass(frozen=True, slots=True)
+class ClassificationResult:
+    """Everything Figure 1 and Appendix A report."""
+
+    bars: tuple[CategoryBar, ...]
+    total_prefixes: int
+    with_record: int
+    total_addresses: int
+    incident_prefixes: int
+    incident_addresses: int
+    keyword_stats: dict[str, float]
+    overlap_prefixes: int
+
+    def bar(self, category: Category) -> CategoryBar:
+        """The bar for one category."""
+        for bar in self.bars:
+            if bar.category is category:
+                return bar
+        raise KeyError(category)
+
+    @property
+    def incident_space_share(self) -> float:
+        """The incidents' share of all DROP address space (paper: 48.8%)."""
+        if self.total_addresses == 0:
+            return 0.0
+        return self.incident_addresses / self.total_addresses
+
+    def space_share(self, category: Category) -> float:
+        """One category's share of DROP address space (SS: 8.5%)."""
+        if self.total_addresses == 0:
+            return 0.0
+        return self.bar(category).addresses / self.total_addresses
+
+
+def classify_drop(
+    world: World, entries: list[DropEntryView] | None = None
+) -> ClassificationResult:
+    """Run the Figure 1 classification over a world."""
+    if entries is None:
+        entries = load_entries(world)
+    bars = []
+    for category in FIGURE1_ORDER:
+        exclusive = additional = incidents = 0
+        addresses = incident_addresses = 0
+        for entry in entries:
+            if category not in entry.categories:
+                continue
+            if len(entry.categories) == 1:
+                exclusive += 1
+            else:
+                additional += 1
+            addresses += entry.prefix.num_addresses
+            if entry.incident:
+                incidents += 1
+                incident_addresses += entry.prefix.num_addresses
+        bars.append(
+            CategoryBar(
+                category=category,
+                exclusive_prefixes=exclusive,
+                additional_prefixes=additional,
+                incident_prefixes=incidents,
+                addresses=addresses,
+                incident_addresses=incident_addresses,
+            )
+        )
+    categorizer = Categorizer(manual_overrides=world.manual_overrides)
+    results = []
+    for entry in entries:
+        record = world.sbl.record_for_prefix(entry.prefix)
+        if record is None:
+            results.append(categorizer.classify_missing(entry.prefix))
+        else:
+            results.append(categorizer.classify_record(record))
+    total_addresses = sum(e.prefix.num_addresses for e in entries)
+    return ClassificationResult(
+        bars=tuple(bars),
+        total_prefixes=len(entries),
+        with_record=sum(
+            1 for e in entries if Category.NO_RECORD not in e.categories
+        ),
+        total_addresses=total_addresses,
+        incident_prefixes=sum(1 for e in entries if e.incident),
+        incident_addresses=sum(
+            e.prefix.num_addresses for e in entries if e.incident
+        ),
+        keyword_stats=categorizer.keyword_statistics(results),
+        overlap_prefixes=sum(
+            1
+            for e in entries
+            if len(e.categories) > 1
+            and Category.NO_RECORD not in e.categories
+        ),
+    )

@@ -1,0 +1,199 @@
+"""What-if analyses for the paper's policy implications (§6–§7).
+
+The paper ends with recommendations rather than measurements: deploy
+ROV, sign unrouted space with AS0, and let RIRs AS0-cover their pools.
+These counterfactuals quantify each recommendation against the study's
+own DROP population:
+
+* :func:`rov_counterfactual` — replay every DROP announcement through
+  RFC 6811 validation as deployed (almost everything is NOT_FOUND: the
+  attackers target unsigned space, so ROV alone stops little), and under
+  the hypothetical where every victim prefix had been signed with its
+  historic origin (forged-origin hijacks still validate — the §6.1
+  lesson generalized).
+* :func:`as0_counterfactual` — how many unallocated-prefix hijacks the
+  RIR AS0 TALs would have covered as actually deployed, if validators
+  trusted those TALs, and if every RIR had operated an AS0 policy for
+  the whole window; plus the operator-side ladder: the share of the
+  signed-but-unrouted attack surface removed as the top-N holders flip
+  their ROAs to AS0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import timedelta
+
+from ..rpki.roa import Roa
+from ..rpki.tal import TalSet
+from ..rpki.validation import RouteValidity, validate_route
+from ..synth.world import World
+from .common import DropEntryView, load_entries
+from .roa_status import analyze_roa_status
+
+__all__ = [
+    "As0Counterfactual",
+    "RovCounterfactual",
+    "as0_counterfactual",
+    "rov_counterfactual",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RovCounterfactual:
+    """Validation outcomes for DROP announcements, real and hypothetical."""
+
+    evaluated: int
+    #: RFC 6811 outcome counts for the actual ROA archive at listing.
+    as_deployed: dict[RouteValidity, int]
+    #: Outcomes if every victim prefix had a ROA for its historic origin.
+    if_all_signed: dict[RouteValidity, int]
+
+    @property
+    def stopped_as_deployed(self) -> float:
+        """Share of announcements ROV would drop today (INVALID)."""
+        if not self.evaluated:
+            return 0.0
+        return self.as_deployed.get(RouteValidity.INVALID, 0) / self.evaluated
+
+    @property
+    def stopped_if_all_signed(self) -> float:
+        """Share dropped in the everyone-signs hypothetical."""
+        if not self.evaluated:
+            return 0.0
+        return (
+            self.if_all_signed.get(RouteValidity.INVALID, 0)
+            / self.evaluated
+        )
+
+    @property
+    def forged_origin_escapes(self) -> int:
+        """Announcements that stay VALID even with universal signing —
+        the forged-origin residue only path validation can remove."""
+        return self.if_all_signed.get(RouteValidity.VALID, 0)
+
+
+def rov_counterfactual(
+    world: World,
+    entries: list[DropEntryView] | None = None,
+    *,
+    exclude_incidents: bool = True,
+) -> RovCounterfactual:
+    """Replay DROP announcements through origin validation."""
+    if entries is None:
+        entries = load_entries(world)
+    if exclude_incidents:
+        entries = [e for e in entries if not e.incident]
+    tals = TalSet.default()
+    deployed: dict[RouteValidity, int] = {v: 0 for v in RouteValidity}
+    hypothetical: dict[RouteValidity, int] = {v: 0 for v in RouteValidity}
+    evaluated = 0
+    for entry in entries:
+        origins = world.bgp.origins_on(entry.prefix, entry.listed)
+        if not origins:
+            origins = world.bgp.origins_on(
+                entry.prefix, entry.listed - timedelta(days=1)
+            )
+        if not origins:
+            continue
+        origin = min(origins)
+        evaluated += 1
+        covering = [
+            r.roa for r in world.roas.covering(entry.prefix, entry.listed)
+        ]
+        deployed[validate_route(entry.prefix, origin, covering, tals)] += 1
+        # Hypothetical: the legitimate holder signed with the origin that
+        # announced the prefix before the attacker showed up (or, if the
+        # prefix was never legitimately announced, any owner ASN distinct
+        # from the attacker's).
+        historic = world.bgp.historic_origins(
+            entry.prefix, entry.listed - timedelta(days=365)
+        )
+        historic.discard(origin)
+        owner = min(historic) if historic else origin + 1_000_000
+        hypothetical_roas = covering + [
+            Roa(entry.prefix, owner, trust_anchor="RIPE")
+        ]
+        hypothetical[
+            validate_route(entry.prefix, origin, hypothetical_roas, tals)
+        ] += 1
+    return RovCounterfactual(
+        evaluated=evaluated,
+        as_deployed=deployed,
+        if_all_signed=hypothetical,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class As0Counterfactual:
+    """How far each AS0 deployment step reduces the attack surface."""
+
+    unallocated_listings: int
+    #: Covered by an RIR AS0 ROA as actually published (policy live and
+    #: the prefix inside the covered pool) — but under non-default TALs.
+    covered_as_published: int
+    #: Would have been INVALID had validators trusted the AS0 TALs.
+    blocked_if_tals_trusted: int
+    #: Would have been INVALID had every RIR run AS0 from the start.
+    blocked_if_universal: int
+    #: Cumulative share of signed-unrouted space removed as the top-N
+    #: holders flip to AS0 (index 0 = top-1).
+    operator_ladder: tuple[float, ...]
+
+    @property
+    def tals_trusted_share(self) -> float:
+        """Share of unallocated hijacks stopped by trusting the TALs."""
+        if not self.unallocated_listings:
+            return 0.0
+        return self.blocked_if_tals_trusted / self.unallocated_listings
+
+    @property
+    def universal_share(self) -> float:
+        """Share stopped under universal RIR AS0 from the window start."""
+        if not self.unallocated_listings:
+            return 0.0
+        return self.blocked_if_universal / self.unallocated_listings
+
+
+def as0_counterfactual(
+    world: World,
+    entries: list[DropEntryView] | None = None,
+) -> As0Counterfactual:
+    """Quantify the §6.2 AS0 recommendations."""
+    if entries is None:
+        entries = load_entries(world)
+    unallocated = [e for e in entries if e.unallocated]
+    with_as0 = TalSet.with_as0()
+    covered = blocked_tals = blocked_universal = 0
+    for entry in unallocated:
+        roas = [
+            r.roa
+            for r in world.roas.covering(entry.prefix, entry.listed, with_as0)
+        ]
+        has_as0 = any(roa.is_as0 for roa in roas)
+        if has_as0:
+            covered += 1
+            blocked_tals += 1
+        # Universal counterfactual: the managing RIR covers its whole
+        # pool with AS0 from the window start, so every unallocated
+        # announcement inside any RIR pool validates INVALID regardless
+        # of the actual policy dates.
+        if entry.region is not None:
+            blocked_universal += 1
+    status = analyze_roa_status(world)
+    ladder = []
+    holders = sorted(
+        status.unrouted_signed_by_holder.values(), reverse=True
+    )
+    total = status.final.signed_unrouted or 1.0
+    cumulative = 0.0
+    for share in holders[:5]:
+        cumulative += share
+        ladder.append(min(1.0, cumulative / total))
+    return As0Counterfactual(
+        unallocated_listings=len(unallocated),
+        covered_as_published=covered,
+        blocked_if_tals_trusted=blocked_tals,
+        blocked_if_universal=blocked_universal,
+        operator_ladder=tuple(ladder),
+    )

@@ -1,0 +1,223 @@
+"""§5 / Figure 3: effectiveness of the IRR.
+
+Measures how DROP prefixes used RADb:
+
+* how many had a route object (exact or more-specific) in the 7-day
+  window before listing (paper: 226 prefixes, 31.7%, 68.8% of space);
+* how many of those objects were created in the month before listing
+  (32%) and removed in the month after (43%);
+* the hijacker-ASN match: of the prefixes whose SBL names a hijacking
+  ASN, how many have a route object with that ASN as origin (57 of 130),
+  the distinct hijacking ASNs (13), and the ORG-ID clustering (3 ORG-IDs
+  for 49 of 57);
+* the Figure 3 CDF of days from IRR-record creation to BGP / DROP
+  appearance;
+* the unallocated prefix that nonetheless got into the IRR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+from ..irr.radb import RouteObjectRecord
+from ..net.prefix import IPv4Prefix
+from ..synth.world import World
+from .common import DropEntryView, load_entries
+
+__all__ = ["IrrEffectiveness", "IrrTiming", "analyze_irr"]
+
+
+@dataclass(frozen=True, slots=True)
+class IrrTiming:
+    """Figure 3 sample: one forged-record prefix's timing."""
+
+    prefix: IPv4Prefix
+    irr_created: date
+    bgp_first: date | None
+    drop_listed: date
+
+    @property
+    def days_to_bgp(self) -> int | None:
+        """Days from IRR-record creation to BGP appearance."""
+        if self.bgp_first is None:
+            return None
+        return (self.bgp_first - self.irr_created).days
+
+    @property
+    def days_to_drop(self) -> int:
+        """Days from IRR-record creation to DROP listing."""
+        return (self.drop_listed - self.irr_created).days
+
+
+@dataclass(frozen=True, slots=True)
+class IrrEffectiveness:
+    """Everything §5 reports."""
+
+    total_prefixes: int
+    with_route_object: int
+    covered_addresses: int
+    total_addresses: int
+    created_month_before: int
+    removed_month_after: int
+    asn_labeled_hijacks: int
+    hijacker_asn_matches: int
+    distinct_hijacker_asns: int
+    org_id_counts: dict[str, int]
+    timings: tuple[IrrTiming, ...]
+    late_records: int
+    preexisting_entries: int
+    unallocated_in_irr: tuple[IPv4Prefix, ...]
+
+    @property
+    def object_rate(self) -> float:
+        """Fraction of DROP prefixes with a route object (31.7%)."""
+        return (
+            self.with_route_object / self.total_prefixes
+            if self.total_prefixes
+            else 0.0
+        )
+
+    @property
+    def space_share(self) -> float:
+        """Share of DROP address space covered by those objects (68.8%)."""
+        return (
+            self.covered_addresses / self.total_addresses
+            if self.total_addresses
+            else 0.0
+        )
+
+    @property
+    def created_recently_rate(self) -> float:
+        """Objects created in the month before listing (32%)."""
+        return (
+            self.created_month_before / self.with_route_object
+            if self.with_route_object
+            else 0.0
+        )
+
+    @property
+    def removed_after_rate(self) -> float:
+        """Objects removed within a month after listing (43%)."""
+        return (
+            self.removed_month_after / self.with_route_object
+            if self.with_route_object
+            else 0.0
+        )
+
+    @property
+    def top_org_cluster_size(self) -> int:
+        """Route objects under the three most prolific ORG-IDs (49)."""
+        return sum(sorted(self.org_id_counts.values(), reverse=True)[:3])
+
+
+def analyze_irr(
+    world: World,
+    entries: list[DropEntryView] | None = None,
+    *,
+    window_before_days: int = 7,
+) -> IrrEffectiveness:
+    """Run the §5 analysis."""
+    if entries is None:
+        entries = load_entries(world)
+
+    with_object = 0
+    covered_addresses = 0
+    created_recent = 0
+    removed_after = 0
+    unallocated_in_irr: list[IPv4Prefix] = []
+    per_entry_records: dict[IPv4Prefix, list[RouteObjectRecord]] = {}
+    for entry in entries:
+        window = (
+            entry.listed - timedelta(days=window_before_days),
+            entry.listed,
+        )
+        records = world.irr.exact_or_more_specific(
+            entry.prefix, active_in=window
+        )
+        if not records:
+            continue
+        per_entry_records[entry.prefix] = records
+        with_object += 1
+        covered_addresses += entry.prefix.num_addresses
+        if any(
+            entry.listed - timedelta(days=31)
+            <= record.created
+            <= entry.listed
+            for record in records
+        ):
+            created_recent += 1
+        if any(
+            record.deleted is not None
+            and entry.listed
+            < record.deleted
+            <= entry.listed + timedelta(days=31)
+            for record in records
+        ):
+            removed_after += 1
+        if entry.unallocated:
+            unallocated_in_irr.append(entry.prefix)
+
+    # Hijacker-ASN matching: the SBL names an ASN; does a route object
+    # carry it as origin?
+    asn_labeled = [
+        e
+        for e in entries
+        if e.mentioned_asns
+        and not e.incident
+        and any(
+            c.value == "HJ" for c in e.categories
+        )
+    ]
+    matches: list[tuple[DropEntryView, RouteObjectRecord]] = []
+    for entry in asn_labeled:
+        for record in world.irr.exact_or_more_specific(entry.prefix):
+            if record.route.origin in entry.mentioned_asns:
+                matches.append((entry, record))
+                break
+
+    org_counts: dict[str, int] = {}
+    distinct_asns: set[int] = set()
+    timings: list[IrrTiming] = []
+    late = 0
+    preexisting = 0
+    for entry, record in matches:
+        distinct_asns.add(record.route.origin)
+        org = record.route.org_id or f"(none:{record.route.maintainer})"
+        org_counts[org] = org_counts.get(org, 0) + 1
+        bgp_first = world.bgp.first_announced(entry.prefix)
+        timing = IrrTiming(
+            prefix=entry.prefix,
+            irr_created=record.created,
+            bgp_first=bgp_first,
+            drop_listed=entry.listed,
+        )
+        timings.append(timing)
+        if timing.days_to_bgp is not None and timing.days_to_bgp < -365:
+            late += 1
+        others = [
+            r
+            for r in world.irr.exact_or_more_specific(entry.prefix)
+            if r.created < record.created
+            and r.route.origin != record.route.origin
+        ]
+        if others:
+            preexisting += 1
+
+    total_addresses = sum(e.prefix.num_addresses for e in entries)
+    return IrrEffectiveness(
+        total_prefixes=len(entries),
+        with_route_object=with_object,
+        covered_addresses=covered_addresses,
+        total_addresses=total_addresses,
+        created_month_before=created_recent,
+        removed_month_after=removed_after,
+        asn_labeled_hijacks=len(asn_labeled),
+        hijacker_asn_matches=len(matches),
+        distinct_hijacker_asns=len(distinct_asns),
+        org_id_counts=org_counts,
+        timings=tuple(timings),
+        late_records=late,
+        preexisting_entries=preexisting,
+        unallocated_in_irr=tuple(unallocated_in_irr),
+    )

@@ -1,0 +1,120 @@
+"""maxLength audit (the Gilad et al. extension the paper cites in §2.3).
+
+A ROA whose ``maxLength`` exceeds its prefix length authorizes
+more-specific announcements the holder may never make.  An attacker who
+forges the holder's ASN as origin can announce such an unannounced
+more-specific and win best-path on specificity while remaining
+RPKI-valid — the forged-origin sub-prefix hijack.  Gilad et al. found
+84% of maxLength-using ROAs vulnerable in 2017; this audit runs the same
+check over the study's ROA archive on any day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from ..net.prefix import IPv4Prefix
+from ..rpki.roa import Roa
+from ..rpki.tal import TalSet
+from ..synth.world import World
+
+__all__ = ["MaxLengthAudit", "VulnerableRoa", "audit_maxlength"]
+
+
+@dataclass(frozen=True, slots=True)
+class VulnerableRoa:
+    """One maxLength-using ROA with unannounced authorized space."""
+
+    roa: Roa
+    #: More-specifics the ROA authorizes at one level deeper than the
+    #: longest announced cover — each is a ready-made hijack target.
+    example_target: IPv4Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class MaxLengthAudit:
+    """The audit's aggregate view."""
+
+    day: date
+    total_roas: int
+    using_maxlength: int
+    vulnerable: tuple[VulnerableRoa, ...]
+
+    @property
+    def usage_rate(self) -> float:
+        """Share of ROAs that use maxLength at all."""
+        return (
+            self.using_maxlength / self.total_roas if self.total_roas else 0.0
+        )
+
+    @property
+    def vulnerable_rate(self) -> float:
+        """Share of maxLength-using ROAs that are attackable.
+
+        Gilad et al. measured 84% in June 2017.
+        """
+        if not self.using_maxlength:
+            return 0.0
+        return len(self.vulnerable) / self.using_maxlength
+
+
+def audit_maxlength(
+    world: World,
+    day: date | None = None,
+    tals: TalSet | None = None,
+) -> MaxLengthAudit:
+    """Audit every published ROA on ``day`` (default: window end).
+
+    A maxLength-using ROA is *vulnerable* if some prefix it authorizes
+    (at any length up to maxLength) is not exactly announced by the
+    authorized ASN — an attacker can originate that prefix with the
+    ROA's ASN forged and stay RPKI-valid while being more specific than
+    the legitimate route.
+    """
+    if day is None:
+        day = world.window.end
+    tals = tals or TalSet.default()
+    total = 0
+    using = 0
+    vulnerable: list[VulnerableRoa] = []
+    for record in world.roas.records():
+        if not record.active_on(day):
+            continue
+        if not tals.trusts(record.roa.trust_anchor):
+            continue
+        total += 1
+        roa = record.roa
+        if roa.is_as0 or not roa.uses_max_length:
+            continue
+        using += 1
+        target = _unannounced_authorized_subprefix(world, roa, day)
+        if target is not None:
+            vulnerable.append(VulnerableRoa(roa=roa, example_target=target))
+    return MaxLengthAudit(
+        day=day,
+        total_roas=total,
+        using_maxlength=using,
+        vulnerable=tuple(vulnerable),
+    )
+
+
+def _unannounced_authorized_subprefix(
+    world: World, roa: Roa, day: date
+) -> IPv4Prefix | None:
+    """An authorized more-specific the owner does not announce, if any.
+
+    Scans one level past the announced prefixes (checking every length to
+    maxLength would be exponential; one level suffices to prove the
+    vulnerability, exactly as an attacker needs only one target).
+    """
+    for length in range(roa.prefix.length + 1, roa.effective_max_length + 1):
+        for candidate in roa.prefix.subnets(length):
+            announced = any(
+                interval.active_on(day) and interval.origin == roa.asn
+                for interval in world.bgp.intervals_exact(candidate)
+            )
+            if not announced:
+                return candidate
+        # All subnets at this level announced; go one level deeper.
+    return None

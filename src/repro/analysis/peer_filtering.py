@@ -1,0 +1,148 @@
+"""Figure 2 (right) and §6.2.2: peers filtering routes.
+
+Two filtering questions appear in the paper:
+
+* **DROP filtering** — three RouteViews full-table peers whose tables are
+  missing DROP-listed prefixes that everyone else carries.  We recover
+  them by computing per-peer observation rates over (listed prefix, day)
+  samples and flagging the outliers.
+* **AS0-TAL filtering** — §6.2.2 checks whether any full-table peer
+  filters with the APNIC/LACNIC AS0 trust anchors; the test is that each
+  peer's table still contains the ≈30 routed prefixes those TALs would
+  reject.  Finding every peer carrying them is evidence nobody filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+from ..bgp.visibility import (
+    PeerObservationRate,
+    peer_observation_rates,
+    suspect_filtering_peers,
+)
+from ..net.prefix import IPv4Prefix
+from ..rpki.tal import APNIC_AS0_TAL, LACNIC_AS0_TAL, TalSet
+from ..rpki.validation import RouteValidity, validate_route
+from ..synth.world import World
+from .common import DropEntryView, load_entries
+
+__all__ = [
+    "As0FilteringResult",
+    "DropFilteringResult",
+    "detect_as0_filtering",
+    "detect_drop_filtering",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class DropFilteringResult:
+    """Per-peer observation rates over DROP prefixes and the outliers."""
+
+    rates: tuple[PeerObservationRate, ...]
+    suspects: tuple[PeerObservationRate, ...]
+
+    @property
+    def suspect_peer_ids(self) -> frozenset[int]:
+        """Peer ids inferred to filter the DROP list."""
+        return frozenset(s.peer_id for s in self.suspects)
+
+
+def detect_drop_filtering(
+    world: World,
+    entries: list[DropEntryView] | None = None,
+    *,
+    sample_offsets: tuple[int, ...] = (3, 10, 20),
+) -> DropFilteringResult:
+    """Find peers whose tables are missing listed-but-routed prefixes.
+
+    Samples each prefix a few days after listing (while most of the
+    global table still carries it) and compares per-peer observation
+    rates.
+    """
+    if entries is None:
+        entries = load_entries(world)
+    samples = [
+        (entry.prefix, entry.listed + timedelta(days=offset))
+        for entry in entries
+        for offset in sample_offsets
+    ]
+    rates = peer_observation_rates(world.bgp, world.peers, samples)
+    suspects = suspect_filtering_peers(rates)
+    return DropFilteringResult(
+        rates=tuple(rates), suspects=tuple(suspects)
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class As0FilteringResult:
+    """§6.2.2's AS0-TAL check on one day's tables."""
+
+    day: date
+    filterable_prefixes: tuple[IPv4Prefix, ...]
+    #: peer id → how many of the filterable prefixes its table contains.
+    per_peer_carried: dict[int, int]
+
+    @property
+    def peers_filtering(self) -> frozenset[int]:
+        """Full-table peers carrying (almost) none of the prefixes."""
+        threshold = max(1, len(self.filterable_prefixes) // 10)
+        return frozenset(
+            pid
+            for pid, carried in self.per_peer_carried.items()
+            if carried < threshold
+        )
+
+    @property
+    def mean_carried(self) -> float:
+        """Average filterable prefixes per full-table peer (paper: ≈30)."""
+        if not self.per_peer_carried:
+            return 0.0
+        return sum(self.per_peer_carried.values()) / len(
+            self.per_peer_carried
+        )
+
+
+def detect_as0_filtering(world: World, day: date | None = None) -> As0FilteringResult:
+    """Check whether any peer filters with the RIR AS0 trust anchors.
+
+    Finds every prefix announced on ``day`` that would be RPKI-invalid
+    under a TAL set including the APNIC/LACNIC AS0 anchors but is
+    NOT invalid under the default TALs, then counts how many of those
+    routes each full-table peer carries.
+    """
+    if day is None:
+        day = world.window.end
+    as0_tals = TalSet.of([APNIC_AS0_TAL, LACNIC_AS0_TAL])
+    default_tals = TalSet.default()
+    filterable: list[IPv4Prefix] = []
+    for prefix in world.bgp.announced_prefixes_on(day):
+        origins = world.bgp.origins_on(prefix, day)
+        if not origins:
+            continue
+        covering = [r.roa for r in world.roas.covering(prefix, day)]
+        for origin in origins:
+            under_as0 = validate_route(prefix, origin, covering, as0_tals)
+            under_default = validate_route(
+                prefix, origin, covering, default_tals
+            )
+            if (
+                under_as0 is RouteValidity.INVALID
+                and under_default is not RouteValidity.INVALID
+            ):
+                filterable.append(prefix)
+                break
+    per_peer: dict[int, int] = {}
+    for peer_id in sorted(world.peers.full_table_peer_ids()):
+        carried = sum(
+            1
+            for prefix in filterable
+            if peer_id in world.bgp.peers_observing(prefix, day)
+        )
+        per_peer[peer_id] = carried
+    return As0FilteringResult(
+        day=day,
+        filterable_prefixes=tuple(filterable),
+        per_peer_carried=per_peer,
+    )

@@ -1,0 +1,154 @@
+"""Figure 5 / §6.2.1: routing status of ROA-covered space.
+
+Samples, over time: address space covered by (non-AS0-TAL) ROAs, the
+routed and unrouted shares of it, and allocated-but-unrouted space with no
+ROA at all — all in /8 equivalents, as the paper plots them.  Also
+reports the §6.2.1 holder concentration: the three organizations holding
+70.1% of the signed-but-unrouted space, and §6.1's ARIN share of the
+unsigned-unrouted space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from ..net.prefix import slash8_equivalents
+from ..net.prefixset import PrefixSet
+from ..net.timeline import month_starts
+from ..rirstats.rirs import ALL_RIRS
+from ..rpki.tal import TalSet
+from ..synth.world import World
+
+__all__ = ["RoaStatusPoint", "RoaStatusResult", "analyze_roa_status"]
+
+
+@dataclass(frozen=True, slots=True)
+class RoaStatusPoint:
+    """One sample day of Figure 5 (all space in /8 equivalents)."""
+
+    day: date
+    signed: float
+    signed_routed: float
+    signed_unrouted: float
+    allocated_unrouted_unsigned: float
+
+    @property
+    def percent_routed(self) -> float:
+        """Share of signed space that is routed (97.1% → 90.5%)."""
+        return 100.0 * self.signed_routed / self.signed if self.signed else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class RoaStatusResult:
+    """The Figure 5 series plus the §6.2.1 / §6.1 end-state breakdowns."""
+
+    points: tuple[RoaStatusPoint, ...]
+    #: holder → unrouted signed space (/8 equivalents) at window end.
+    unrouted_signed_by_holder: dict[str, float]
+    #: RIR → allocated-unrouted-unsigned space (/8 equivalents) at end.
+    unrouted_unsigned_by_rir: dict[str, float]
+
+    @property
+    def final(self) -> RoaStatusPoint:
+        """The last sample (the paper's March 2022 numbers)."""
+        return self.points[-1]
+
+    @property
+    def first(self) -> RoaStatusPoint:
+        """The first sample (the paper's mid-2019 numbers)."""
+        return self.points[0]
+
+    def top_holder_share(self, n: int = 3) -> float:
+        """Share of unrouted-signed space held by the top ``n`` holders
+        (paper: 70.1% for Amazon + Prudential + Alibaba)."""
+        total = self.final.signed_unrouted
+        if not total:
+            return 0.0
+        top = sorted(
+            self.unrouted_signed_by_holder.values(), reverse=True
+        )[:n]
+        return sum(top) / total
+
+    def rir_unsigned_share(self, rir: str) -> float:
+        """One RIR's share of unsigned-unrouted space (ARIN: 60.8%)."""
+        total = self.final.allocated_unrouted_unsigned
+        if not total:
+            return 0.0
+        return self.unrouted_unsigned_by_rir.get(rir, 0.0) / total
+
+
+def analyze_roa_status(
+    world: World,
+    sample_days: list[date] | None = None,
+) -> RoaStatusResult:
+    """Compute the Figure 5 series (default: monthly samples)."""
+    if sample_days is None:
+        sample_days = list(
+            month_starts(world.window.start, world.window.end)
+        )
+        sample_days.append(world.window.end)
+    tals = TalSet.default()
+    points = []
+    for day in sample_days:
+        signed_all, signed_non_as0 = _signed_space(world, day, tals)
+        allocated = world.resources.allocated_space(day)
+        routed = world.bgp.routed_space(day)
+        signed = signed_all & allocated
+        signed_routed = signed & routed
+        signed_unrouted = (signed_non_as0 & allocated) - routed
+        unsigned_unrouted = (allocated - routed) - signed_all
+        points.append(
+            RoaStatusPoint(
+                day=day,
+                signed=signed.slash8_equivalents,
+                signed_routed=signed_routed.slash8_equivalents,
+                signed_unrouted=signed_unrouted.slash8_equivalents,
+                allocated_unrouted_unsigned=(
+                    unsigned_unrouted.slash8_equivalents
+                ),
+            )
+        )
+
+    end = sample_days[-1]
+    signed_all, signed_non_as0 = _signed_space(world, end, tals)
+    allocated = world.resources.allocated_space(end)
+    routed = world.bgp.routed_space(end)
+    final_unrouted_signed = (signed_non_as0 & allocated) - routed
+    by_holder: dict[str, float] = {}
+    for holder, space in world.resources.holders_of_space(end).items():
+        overlap = space & final_unrouted_signed
+        if overlap:
+            by_holder[holder] = overlap.slash8_equivalents
+    unsigned_unrouted = (allocated - routed) - signed_all
+    by_rir: dict[str, float] = {}
+    for rir in ALL_RIRS:
+        overlap = world.resources.allocated_space(end, rir) & unsigned_unrouted
+        if overlap:
+            by_rir[rir] = overlap.slash8_equivalents
+    return RoaStatusResult(
+        points=tuple(points),
+        unrouted_signed_by_holder=by_holder,
+        unrouted_unsigned_by_rir=by_rir,
+    )
+
+
+def _signed_space(
+    world: World, day: date, tals: TalSet
+) -> tuple[PrefixSet, PrefixSet]:
+    """(all ROA-covered space, non-AS0 ROA-covered space) on ``day``."""
+    all_intervals = []
+    non_as0 = []
+    for record in world.roas.records():
+        if not record.active_on(day):
+            continue
+        if not tals.trusts(record.roa.trust_anchor):
+            continue
+        span = (record.roa.prefix.first, record.roa.prefix.last + 1)
+        all_intervals.append(span)
+        if not record.roa.is_as0:
+            non_as0.append(span)
+    return (
+        PrefixSet.from_intervals(all_intervals),
+        PrefixSet.from_intervals(non_as0),
+    )

@@ -1,0 +1,208 @@
+"""Table 1 / §4.2: RPKI uptake, through the lens of DROP.
+
+Compares the RPKI signing rate of three populations of prefixes that had
+no ROA at the relevant reference date:
+
+* prefixes never on DROP (per-region base rates: overall 22.3%);
+* DROP prefixes Spamhaus removed during the window (42.5%);
+* DROP prefixes still listed at the end of the window (13.8%);
+
+plus the §4.2 finding that 82.3% of removed-and-signed prefixes were
+signed with an ASN different from the one originating them when listed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import timedelta
+
+from ..net.prefix import IPv4Prefix
+from ..rirstats.rirs import ALL_RIRS
+from ..synth.world import World
+from .common import DropEntryView, load_entries
+
+__all__ = ["RegionUptake", "Table1", "analyze_rpki_uptake"]
+
+
+@dataclass(frozen=True, slots=True)
+class RegionUptake:
+    """One row of Table 1."""
+
+    region: str
+    never_signed: int
+    never_total: int
+    removed_signed: int
+    removed_total: int
+    present_signed: int
+    present_total: int
+
+    @property
+    def never_rate(self) -> float:
+        """Signing rate of prefixes never on DROP."""
+        return self.never_signed / self.never_total if self.never_total else 0.0
+
+    @property
+    def removed_rate(self) -> float:
+        """Signing rate of prefixes removed from DROP."""
+        return (
+            self.removed_signed / self.removed_total
+            if self.removed_total
+            else 0.0
+        )
+
+    @property
+    def present_rate(self) -> float:
+        """Signing rate of prefixes still on DROP."""
+        return (
+            self.present_signed / self.present_total
+            if self.present_total
+            else 0.0
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Table1:
+    """All rows plus the overall row and the §4.2 ASN-relation split."""
+
+    rows: tuple[RegionUptake, ...]
+    overall: RegionUptake
+    #: Removed-and-signed prefixes by their signing-ASN relation to the
+    #: origin at listing time.
+    signed_different_asn: int
+    signed_same_asn: int
+    signed_no_origin: int
+
+    def row(self, region: str) -> RegionUptake:
+        """One region's row."""
+        for row in self.rows:
+            if row.region == region:
+                return row
+        raise KeyError(region)
+
+    @property
+    def different_asn_rate(self) -> float:
+        """Share of removed-and-signed prefixes signed with another ASN."""
+        total = (
+            self.signed_different_asn
+            + self.signed_same_asn
+            + self.signed_no_origin
+        )
+        return self.signed_different_asn / total if total else 0.0
+
+    @property
+    def same_asn_rate(self) -> float:
+        """Share signed with the ASN that originated them at listing."""
+        total = (
+            self.signed_different_asn
+            + self.signed_same_asn
+            + self.signed_no_origin
+        )
+        return self.signed_same_asn / total if total else 0.0
+
+
+def analyze_rpki_uptake(
+    world: World, entries: list[DropEntryView] | None = None
+) -> Table1:
+    """Compute Table 1 from the archives.
+
+    The "never on DROP" population is every prefix announced during the
+    window that never appeared on DROP, was allocated, and had no
+    covering ROA at the window start.  DROP populations are the listed
+    prefixes without a ROA at listing, excluding the AFRINIC incidents
+    and prefixes unallocated at listing (no registry to sign with).
+    """
+    if entries is None:
+        entries = load_entries(world)
+    window = world.window
+    drop_prefixes = {e.prefix for e in entries}
+
+    never: dict[str, list[int]] = {r: [0, 0] for r in ALL_RIRS}
+    status_index = world.resources.status_index(window.start)
+    for prefix in world.bgp.prefixes():
+        if prefix in drop_prefixes:
+            continue
+        if not world.bgp.is_announced(
+            prefix, window.start, include_covering=False
+        ) and not any(
+            interval.start in window
+            for interval in world.bgp.intervals_exact(prefix)
+        ):
+            continue
+        if world.roas.has_roa(prefix, window.start):
+            continue
+        status = status_index.status_of(prefix)
+        if not status.is_allocated or status.rir is None:
+            continue
+        never[status.rir][1] += 1
+        first_signed = world.roas.first_signed(prefix)
+        if first_signed is not None and first_signed in window:
+            never[status.rir][0] += 1
+
+    removed: dict[str, list[int]] = {r: [0, 0] for r in ALL_RIRS}
+    present: dict[str, list[int]] = {r: [0, 0] for r in ALL_RIRS}
+    different = same = no_origin = 0
+    for entry in entries:
+        if entry.incident or entry.unallocated or entry.region is None:
+            continue
+        if world.roas.has_roa(entry.prefix, entry.listed):
+            continue
+        bucket = removed if entry.removed else present
+        bucket[entry.region][1] += 1
+        first_signed = world.roas.first_signed(entry.prefix)
+        signed = (
+            first_signed is not None
+            and entry.listed < first_signed <= window.end
+        )
+        if not signed:
+            continue
+        bucket[entry.region][0] += 1
+        if entry.removed:
+            origin_at_listing = _origin_at(world, entry)
+            signer_asns = world.roas.signing_asns(
+                entry.prefix, window.end
+            ) | world.roas.signing_asns(entry.prefix, first_signed)
+            signer_asns.discard(0)
+            if origin_at_listing is None:
+                no_origin += 1
+            elif origin_at_listing in signer_asns:
+                same += 1
+            else:
+                different += 1
+
+    rows = tuple(
+        RegionUptake(
+            region=region,
+            never_signed=never[region][0],
+            never_total=never[region][1],
+            removed_signed=removed[region][0],
+            removed_total=removed[region][1],
+            present_signed=present[region][0],
+            present_total=present[region][1],
+        )
+        for region in ALL_RIRS
+    )
+    overall = RegionUptake(
+        region="Overall",
+        never_signed=sum(r.never_signed for r in rows),
+        never_total=sum(r.never_total for r in rows),
+        removed_signed=sum(r.removed_signed for r in rows),
+        removed_total=sum(r.removed_total for r in rows),
+        present_signed=sum(r.present_signed for r in rows),
+        present_total=sum(r.present_total for r in rows),
+    )
+    return Table1(
+        rows=rows,
+        overall=overall,
+        signed_different_asn=different,
+        signed_same_asn=same,
+        signed_no_origin=no_origin,
+    )
+
+
+def _origin_at(world: World, entry: DropEntryView) -> int | None:
+    origins = world.bgp.origins_on(entry.prefix, entry.listed)
+    if not origins:
+        origins = world.bgp.origins_on(
+            entry.prefix, entry.listed - timedelta(days=1)
+        )
+    return min(origins) if origins else None

@@ -1,0 +1,147 @@
+"""Extension: survival analysis of routes after DROP listing.
+
+Figure 2 reports a single point of a richer object: the paper's "19%
+withdrawn within 30 days" is one evaluation of the survival function of
+announcement lifetime after listing.  This module estimates the whole
+curve with the Kaplan-Meier product-limit estimator — the standard tool
+for right-censored durations, which these are: a route still announced
+at the end of the data window has an unknown (censored) lifetime, not an
+infinite one.
+
+Per-category curves make the paper's contrast quantitative at every
+horizon: hijacked and unallocated routes die fast; bulletproof-hosting
+routes barely die at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import timedelta
+
+from ..drop.categories import Category
+from ..synth.world import World
+from .common import DropEntryView, load_entries
+
+__all__ = ["SurvivalCurve", "SurvivalResult", "analyze_survival"]
+
+
+@dataclass(frozen=True, slots=True)
+class SurvivalCurve:
+    """A Kaplan-Meier estimate: S(t) at each observed event time."""
+
+    label: str
+    #: (days since listing, survival probability) step points, plus the
+    #: implicit (0, 1.0) start.
+    steps: tuple[tuple[int, float], ...]
+    subjects: int
+    events: int  # observed withdrawals (the rest are censored)
+
+    def at(self, days: int) -> float:
+        """S(days): probability the route outlives ``days``."""
+        survival = 1.0
+        for time, value in self.steps:
+            if time > days:
+                break
+            survival = value
+        return survival
+
+    @property
+    def censored(self) -> int:
+        """Routes still announced at the window end."""
+        return self.subjects - self.events
+
+    def median_lifetime(self) -> int | None:
+        """The first day S(t) drops to 0.5 or below, if it ever does."""
+        for time, value in self.steps:
+            if value <= 0.5:
+                return time
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class SurvivalResult:
+    """Overall and per-category survival curves."""
+
+    overall: SurvivalCurve
+    by_category: dict[Category, SurvivalCurve]
+
+    def curve(self, category: Category) -> SurvivalCurve:
+        """One category's curve (KeyError if it had no subjects)."""
+        return self.by_category[category]
+
+
+def kaplan_meier(
+    durations: list[tuple[int, bool]], label: str
+) -> SurvivalCurve:
+    """The product-limit estimator over (duration, observed) pairs.
+
+    ``observed=False`` marks right-censoring (the route outlived the
+    window).  Durations are in days.
+    """
+    events_at: dict[int, int] = {}
+    censored_at: dict[int, int] = {}
+    for duration, observed in durations:
+        bucket = events_at if observed else censored_at
+        bucket[duration] = bucket.get(duration, 0) + 1
+    at_risk = len(durations)
+    survival = 1.0
+    steps: list[tuple[int, float]] = []
+    for time in sorted(set(events_at) | set(censored_at)):
+        deaths = events_at.get(time, 0)
+        if deaths and at_risk:
+            survival *= 1.0 - deaths / at_risk
+            steps.append((time, survival))
+        at_risk -= deaths + censored_at.get(time, 0)
+    return SurvivalCurve(
+        label=label,
+        steps=tuple(steps),
+        subjects=len(durations),
+        events=sum(events_at.values()),
+    )
+
+
+def analyze_survival(
+    world: World,
+    entries: list[DropEntryView] | None = None,
+    *,
+    exclude_incidents: bool = True,
+) -> SurvivalResult:
+    """Estimate post-listing route survival, overall and per category.
+
+    A prefix enters the study if it was announced at (or the day before)
+    its listing; its duration is days from listing to the end of its last
+    exact-prefix announcement, right-censored at the window end.
+    """
+    if entries is None:
+        entries = load_entries(world)
+    if exclude_incidents:
+        entries = [e for e in entries if not e.incident]
+    window_end = world.window.end
+
+    durations: list[tuple[int, bool]] = []
+    per_category: dict[Category, list[tuple[int, bool]]] = {}
+    for entry in entries:
+        announced = world.bgp.is_announced(
+            entry.prefix, entry.listed, include_covering=False
+        ) or world.bgp.is_announced(
+            entry.prefix,
+            entry.listed - timedelta(days=1),
+            include_covering=False,
+        )
+        if not announced:
+            continue
+        last = world.bgp.last_announced(entry.prefix)
+        if last is None or last >= window_end:
+            sample = ((window_end - entry.listed).days, False)
+        else:
+            sample = (max(0, (last - entry.listed).days), True)
+        durations.append(sample)
+        for category in entry.categories:
+            per_category.setdefault(category, []).append(sample)
+    return SurvivalResult(
+        overall=kaplan_meier(durations, "all DROP prefixes"),
+        by_category={
+            category: kaplan_meier(samples, category.value)
+            for category, samples in per_category.items()
+        },
+    )

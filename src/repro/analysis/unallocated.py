@@ -1,0 +1,114 @@
+"""Figures 6 and 7: unallocated address space and RIR AS0 policy.
+
+Figure 6 is the timeline of unallocated prefixes appearing on DROP,
+annotated with each RIR's AS0 policy milestones — the point being that
+listings continued after APNIC's and LACNIC's policies went live, because
+the AS0 TALs are not used for filtering.  Figure 7 is the free-pool size
+per RIR over time, showing the listing clusters are uncorrelated with
+pool size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from ..net.prefix import IPv4Prefix
+from ..net.timeline import month_starts
+from ..rirstats.rirs import ALL_RIRS
+from ..rpki.as0 import AS0_POLICY_EVENTS, As0PolicyEvent
+from ..synth.world import World
+from .common import DropEntryView, load_entries
+
+__all__ = [
+    "UnallocatedListing",
+    "UnallocatedResult",
+    "analyze_unallocated",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class UnallocatedListing:
+    """One unallocated prefix's appearance on DROP (a Figure 6 marker)."""
+
+    prefix: IPv4Prefix
+    listed: date
+    region: str | None
+    after_region_as0: bool
+
+
+@dataclass(frozen=True, slots=True)
+class UnallocatedResult:
+    """Figure 6 markers + policy events, and the Figure 7 pool series."""
+
+    listings: tuple[UnallocatedListing, ...]
+    policy_events: tuple[As0PolicyEvent, ...]
+    #: RIR → [(sample day, free-pool addresses)].
+    free_pools: dict[str, list[tuple[date, int]]]
+
+    @property
+    def total(self) -> int:
+        """Unallocated prefixes that appeared on DROP (paper: 40)."""
+        return len(self.listings)
+
+    def count_for(self, region: str) -> int:
+        """Listings whose space belongs to one RIR (LACNIC: 19, ...)."""
+        return sum(1 for l in self.listings if l.region == region)
+
+    @property
+    def after_policy_count(self) -> int:
+        """Listings after the managing RIR's AS0 policy went live."""
+        return sum(1 for l in self.listings if l.after_region_as0)
+
+    def pool_at(self, region: str, day: date) -> int:
+        """Free-pool size (addresses) at the sample nearest ``day``."""
+        series = self.free_pools[region]
+        return min(series, key=lambda s: abs((s[0] - day).days))[1]
+
+
+def analyze_unallocated(
+    world: World,
+    entries: list[DropEntryView] | None = None,
+    sample_days: list[date] | None = None,
+) -> UnallocatedResult:
+    """Run the Figures 6–7 analysis."""
+    if entries is None:
+        entries = load_entries(world)
+    if sample_days is None:
+        sample_days = list(
+            month_starts(world.window.start, world.window.end)
+        )
+        sample_days.append(world.window.end)
+    policy_start = {
+        event.rir: event.implemented for event in AS0_POLICY_EVENTS
+    }
+    listings = []
+    for entry in entries:
+        if not entry.unallocated:
+            continue
+        implemented = (
+            policy_start.get(entry.region) if entry.region else None
+        )
+        listings.append(
+            UnallocatedListing(
+                prefix=entry.prefix,
+                listed=entry.listed,
+                region=entry.region,
+                after_region_as0=(
+                    implemented is not None and entry.listed >= implemented
+                ),
+            )
+        )
+    listings.sort(key=lambda l: l.listed)
+    free_pools = {
+        rir: [
+            (day, world.resources.free_pool(rir, day).num_addresses)
+            for day in sample_days
+        ]
+        for rir in ALL_RIRS
+    }
+    return UnallocatedResult(
+        listings=tuple(listings),
+        policy_events=AS0_POLICY_EVENTS,
+        free_pools=free_pools,
+    )

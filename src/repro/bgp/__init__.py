@@ -1,0 +1,51 @@
+"""BGP substrate: collectors, peers, route intervals, streams, visibility."""
+
+from .alarms import Alarm, AlarmKind, HijackMonitor, ProtectedPrefix
+from .collector import (
+    ROUTEVIEWS_COLLECTOR_NAMES,
+    Collector,
+    Peer,
+    PeerRegistry,
+)
+from .messages import ASPath, BgpElement, ElementType
+from .mrt import read_archive, write_archive
+from .ribs import PartialObservation, RouteInterval, RouteIntervalStore
+from .stream import BGPStream
+from .visibility import (
+    DEFAULT_OFFSETS,
+    PeerObservationRate,
+    VisibilityProfile,
+    fraction_observing,
+    peer_observation_rates,
+    suspect_filtering_peers,
+    visibility_profile,
+    withdrawn_within,
+)
+
+__all__ = [
+    "ASPath",
+    "Alarm",
+    "AlarmKind",
+    "HijackMonitor",
+    "ProtectedPrefix",
+    "BGPStream",
+    "BgpElement",
+    "Collector",
+    "DEFAULT_OFFSETS",
+    "ElementType",
+    "PartialObservation",
+    "Peer",
+    "PeerObservationRate",
+    "PeerRegistry",
+    "ROUTEVIEWS_COLLECTOR_NAMES",
+    "RouteInterval",
+    "RouteIntervalStore",
+    "VisibilityProfile",
+    "fraction_observing",
+    "peer_observation_rates",
+    "read_archive",
+    "suspect_filtering_peers",
+    "visibility_profile",
+    "withdrawn_within",
+    "write_archive",
+]

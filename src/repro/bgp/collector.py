@@ -1,0 +1,131 @@
+"""RouteViews-like collectors and peers.
+
+The paper uses "BGP announcement data recorded by all 36 RouteViews
+collectors".  We model that observation platform as a set of named
+collectors, each with BGP peers.  A peer is *full-table* if it sends the
+collector its complete routing table; visibility fractions in Figure 2 are
+computed over full-table peers.  A peer may also apply a route filter (the
+paper found three peers filtering DROP-listed prefixes); filtering is a
+property of the generated data, not of these descriptors — the synth world
+consults :attr:`Peer.filters_drop` when deciding which observations each
+peer records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Collector", "Peer", "PeerRegistry", "ROUTEVIEWS_COLLECTOR_NAMES"]
+
+#: The RouteViews collector fleet as of the study period (36 collectors).
+ROUTEVIEWS_COLLECTOR_NAMES: tuple[str, ...] = (
+    "route-views2", "route-views3", "route-views4", "route-views5",
+    "route-views6", "route-views.amsix", "route-views.chicago",
+    "route-views.chile", "route-views.eqix", "route-views.flix",
+    "route-views.fortaleza", "route-views.gixa", "route-views.gorex",
+    "route-views.isc", "route-views.kixp", "route-views.jinx",
+    "route-views.linx", "route-views.napafrica", "route-views.nwax",
+    "route-views.phoix", "route-views.telxatl", "route-views.wide",
+    "route-views.sydney", "route-views.saopaulo", "route-views2.saopaulo",
+    "route-views.sg", "route-views.perth", "route-views.peru",
+    "route-views.sfmix", "route-views.siex", "route-views.soxrs",
+    "route-views.mwix", "route-views.rio", "route-views.bdix",
+    "route-views.bknix", "route-views.uaeix",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Peer:
+    """One BGP peer of a collector."""
+
+    peer_id: int
+    asn: int
+    collector: str
+    full_table: bool = True
+    filters_drop: bool = False
+
+
+@dataclass(slots=True)
+class Collector:
+    """A route collector with an ordered list of peers."""
+
+    name: str
+    peers: list[Peer] = field(default_factory=list)
+
+    def add_peer(self, peer: Peer) -> None:
+        if peer.collector != self.name:
+            raise ValueError(
+                f"peer {peer.peer_id} belongs to {peer.collector}, "
+                f"not {self.name}"
+            )
+        self.peers.append(peer)
+
+
+class PeerRegistry:
+    """The full observation platform: collectors and their peers.
+
+    Peer ids are globally unique integers so that observation sets in the
+    RIB store can be stored as compact frozensets of ints.
+    """
+
+    def __init__(self) -> None:
+        self._collectors: dict[str, Collector] = {}
+        self._peers: dict[int, Peer] = {}
+
+    def add_collector(self, name: str) -> Collector:
+        """Create (or return) the collector with the given name."""
+        if name not in self._collectors:
+            self._collectors[name] = Collector(name)
+        return self._collectors[name]
+
+    def add_peer(
+        self,
+        asn: int,
+        collector: str,
+        *,
+        full_table: bool = True,
+        filters_drop: bool = False,
+    ) -> Peer:
+        """Register a new peer on ``collector`` and return it."""
+        peer = Peer(
+            peer_id=len(self._peers),
+            asn=asn,
+            collector=collector,
+            full_table=full_table,
+            filters_drop=filters_drop,
+        )
+        self._peers[peer.peer_id] = peer
+        self.add_collector(collector).add_peer(peer)
+        return peer
+
+    # -- queries ----------------------------------------------------------
+
+    def collectors(self) -> Iterator[Collector]:
+        """All collectors, in insertion order."""
+        yield from self._collectors.values()
+
+    def collector(self, name: str) -> Collector:
+        """The collector with the given name (KeyError if unknown)."""
+        return self._collectors[name]
+
+    def peers(self) -> Iterator[Peer]:
+        """All peers across all collectors."""
+        yield from self._peers.values()
+
+    def peer(self, peer_id: int) -> Peer:
+        """The peer with the given id (KeyError if unknown)."""
+        return self._peers[peer_id]
+
+    def full_table_peer_ids(self) -> frozenset[int]:
+        """Ids of all full-table peers (the Figure 2 denominator)."""
+        return frozenset(
+            p.peer_id for p in self._peers.values() if p.full_table
+        )
+
+    def peer_ids(self) -> frozenset[int]:
+        """Ids of all peers."""
+        return frozenset(self._peers)
+
+    def __len__(self) -> int:
+        return len(self._peers)

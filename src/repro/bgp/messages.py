@@ -1,0 +1,151 @@
+"""BGP message-level value types: AS paths and route elements.
+
+The reproduction's BGP data model mirrors what the paper extracts from
+RouteViews MRT archives: for each (prefix, peer, time) we need the AS path
+(notably its origin and any transit AS of interest), and announce/withdraw
+transitions.  ``ASPath`` is a thin immutable wrapper over a tuple of ASNs;
+``BgpElement`` is the pybgpstream-style "elem" record produced by
+:mod:`repro.bgp.stream`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from typing import Iterable, Iterator
+
+from ..net.asn import parse_asn
+from ..net.prefix import IPv4Prefix
+
+__all__ = ["ASPath", "BgpElement", "ElementType"]
+
+
+@dataclass(frozen=True, slots=True)
+class ASPath:
+    """An ordered AS path, nearest AS first, origin last.
+
+    Prepending is represented naturally by repeated ASNs.  AS_SETs are not
+    modeled: the paper's analyses only use the origin and path membership,
+    and modern RouteViews data contains almost no AS_SETs.
+    """
+
+    asns: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.asns:
+            raise ValueError("AS path must contain at least one ASN")
+
+    @classmethod
+    def of(cls, *asns: int) -> "ASPath":
+        """Build from ASNs listed nearest-first."""
+        return cls(tuple(asns))
+
+    @classmethod
+    def parse(cls, text: str) -> "ASPath":
+        """Parse a space-separated path string, e.g. ``"50509 34665 263692"``."""
+        parts = text.split()
+        if not parts:
+            raise ValueError("empty AS path")
+        return cls(tuple(parse_asn(p) for p in parts))
+
+    @property
+    def origin(self) -> int:
+        """The origin AS (last ASN on the path)."""
+        return self.asns[-1]
+
+    @property
+    def first_hop(self) -> int:
+        """The AS nearest the collector peer (first ASN on the path)."""
+        return self.asns[0]
+
+    @property
+    def length(self) -> int:
+        """Unique-AS path length (prepending collapsed), the BGP tiebreak."""
+        deduped = 1
+        for prev, cur in zip(self.asns, self.asns[1:]):
+            if cur != prev:
+                deduped += 1
+        return deduped
+
+    def contains(self, asn: int) -> bool:
+        """True if ``asn`` appears anywhere on the path."""
+        return asn in self.asns
+
+    def transits(self, asn: int) -> bool:
+        """True if ``asn`` appears on the path but is not the origin."""
+        return asn in self.asns[:-1]
+
+    def neighbour_of_origin(self) -> int | None:
+        """The AS adjacent to the origin, or ``None`` for origin-only paths."""
+        for asn in reversed(self.asns[:-1]):
+            if asn != self.origin:
+                return asn
+        return None
+
+    def prepended(self, asn: int, times: int = 1) -> "ASPath":
+        """A new path with ``asn`` prepended ``times`` times at the front."""
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        return ASPath((asn,) * times + self.asns)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.asns)
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+    def __str__(self) -> str:
+        return " ".join(str(a) for a in self.asns)
+
+
+class ElementType:
+    """pybgpstream-compatible element type strings."""
+
+    ANNOUNCEMENT = "A"
+    WITHDRAWAL = "W"
+    RIB = "R"
+
+
+@dataclass(frozen=True, slots=True)
+class BgpElement:
+    """One BGP observation element, as yielded by the stream API.
+
+    Mirrors the fields of a pybgpstream elem: type (A/W/R), day, collector,
+    peer ASN, prefix, and (for A/R) the AS path.
+    """
+
+    elem_type: str
+    day: date
+    collector: str
+    peer_id: int
+    peer_asn: int
+    prefix: IPv4Prefix
+    path: ASPath | None = None
+
+    def __post_init__(self) -> None:
+        if self.elem_type not in (
+            ElementType.ANNOUNCEMENT,
+            ElementType.WITHDRAWAL,
+            ElementType.RIB,
+        ):
+            raise ValueError(f"bad element type {self.elem_type!r}")
+        if self.elem_type != ElementType.WITHDRAWAL and self.path is None:
+            raise ValueError("announcement/rib elements need an AS path")
+
+    @property
+    def origin(self) -> int | None:
+        """The origin ASN, or ``None`` for withdrawals."""
+        return None if self.path is None else self.path.origin
+
+
+def paths_equal_ignoring_prepend(a: ASPath, b: ASPath) -> bool:
+    """True if two paths traverse the same AS sequence modulo prepending."""
+    return _collapse(a.asns) == _collapse(b.asns)
+
+
+def _collapse(asns: Iterable[int]) -> tuple[int, ...]:
+    out: list[int] = []
+    for asn in asns:
+        if not out or out[-1] != asn:
+            out.append(asn)
+    return tuple(out)

@@ -1,0 +1,200 @@
+"""MRT-like archive serialization for the BGP substrate.
+
+Real RouteViews archives are binary MRT; the analyses only consume the
+decoded fields, so this module defines an equivalent line-oriented JSONL
+archive format that round-trips the peer registry and the route interval
+store losslessly:
+
+* ``peers.jsonl`` — one object per peer;
+* ``intervals.jsonl`` — one object per route interval, with observer peer
+  ids and partial-observation carve-outs.
+
+It also exports a textual ``TABLE_DUMP2``-flavoured RIB snapshot for a
+single day, which is handy for eyeballing the simulated world and is used
+by the round-trip integration tests.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import date
+from pathlib import Path
+from typing import Iterator, TextIO
+
+from ..net.prefix import IPv4Prefix
+from .collector import PeerRegistry
+from .messages import ASPath
+from .ribs import PartialObservation, RouteInterval, RouteIntervalStore
+
+__all__ = [
+    "dump_peers",
+    "dump_store",
+    "load_peers",
+    "load_store",
+    "write_archive",
+    "read_archive",
+    "rib_snapshot_lines",
+]
+
+
+def _date_out(day: date | None) -> str | None:
+    return None if day is None else day.isoformat()
+
+
+def _date_in(text: str | None) -> date | None:
+    return None if text is None else date.fromisoformat(text)
+
+
+# -- peers -------------------------------------------------------------------
+
+def dump_peers(registry: PeerRegistry, out: TextIO) -> int:
+    """Write one JSON line per peer; returns the number written."""
+    count = 0
+    for peer in registry.peers():
+        json.dump(
+            {
+                "peer_id": peer.peer_id,
+                "asn": peer.asn,
+                "collector": peer.collector,
+                "full_table": peer.full_table,
+                "filters_drop": peer.filters_drop,
+            },
+            out,
+            separators=(",", ":"),
+        )
+        out.write("\n")
+        count += 1
+    return count
+
+
+def load_peers(source: TextIO) -> PeerRegistry:
+    """Rebuild a peer registry from :func:`dump_peers` output.
+
+    Peer ids are reassigned in file order; files written by
+    :func:`dump_peers` are already in id order, so ids round-trip.
+    """
+    registry = PeerRegistry()
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        peer = registry.add_peer(
+            record["asn"],
+            record["collector"],
+            full_table=record["full_table"],
+            filters_drop=record["filters_drop"],
+        )
+        if peer.peer_id != record["peer_id"]:
+            raise ValueError(
+                f"peer id mismatch: file says {record['peer_id']}, "
+                f"registry assigned {peer.peer_id}"
+            )
+    return registry
+
+
+# -- intervals ---------------------------------------------------------------
+
+def dump_store(store: RouteIntervalStore, out: TextIO) -> int:
+    """Write one JSON line per route interval; returns the count."""
+    count = 0
+    for interval in store.all_intervals():
+        json.dump(
+            {
+                "prefix": str(interval.prefix),
+                "path": str(interval.path),
+                "start": _date_out(interval.start),
+                "end": _date_out(interval.end),
+                "observers": sorted(interval.observers),
+                "partial": [
+                    {
+                        "peer_id": p.peer_id,
+                        "start": _date_out(p.start),
+                        "end": _date_out(p.end),
+                    }
+                    for p in interval.partial_observers
+                ],
+            },
+            out,
+            separators=(",", ":"),
+        )
+        out.write("\n")
+        count += 1
+    return count
+
+
+def load_store(
+    source: TextIO, data_end: date | None = None
+) -> RouteIntervalStore:
+    """Rebuild a route interval store from :func:`dump_store` output."""
+    store = RouteIntervalStore(data_end=data_end)
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        start = _date_in(record["start"])
+        assert start is not None
+        store.add(
+            RouteInterval(
+                prefix=IPv4Prefix.parse(record["prefix"]),
+                path=ASPath.parse(record["path"]),
+                start=start,
+                end=_date_in(record["end"]),
+                observers=frozenset(record["observers"]),
+                partial_observers=tuple(
+                    PartialObservation(
+                        peer_id=p["peer_id"],
+                        start=_date_in(p["start"]),  # type: ignore[arg-type]
+                        end=_date_in(p["end"]),
+                    )
+                    for p in record["partial"]
+                ),
+            )
+        )
+    return store
+
+
+# -- directory-level archive ------------------------------------------------
+
+def write_archive(
+    directory: Path, registry: PeerRegistry, store: RouteIntervalStore
+) -> None:
+    """Write ``peers.jsonl`` and ``intervals.jsonl`` under ``directory``."""
+    directory.mkdir(parents=True, exist_ok=True)
+    with open(directory / "peers.jsonl", "w") as out:
+        dump_peers(registry, out)
+    with open(directory / "intervals.jsonl", "w") as out:
+        dump_store(store, out)
+
+
+def read_archive(
+    directory: Path, data_end: date | None = None
+) -> tuple[PeerRegistry, RouteIntervalStore]:
+    """Read an archive written by :func:`write_archive`."""
+    with open(directory / "peers.jsonl") as source:
+        registry = load_peers(source)
+    with open(directory / "intervals.jsonl") as source:
+        store = load_store(source, data_end=data_end)
+    return registry, store
+
+
+# -- human-readable snapshot --------------------------------------------------
+
+def rib_snapshot_lines(
+    store: RouteIntervalStore, registry: PeerRegistry, day: date
+) -> Iterator[str]:
+    """TABLE_DUMP2-flavoured text lines for one day's global table.
+
+    Format: ``TABLE_DUMP2|<day>|B|<peer_asn>|<prefix>|<as_path>``, one line
+    per (route, observing peer), sorted by prefix then peer.
+    """
+    for interval in store.all_intervals():
+        if not interval.active_on(day):
+            continue
+        for peer_id in sorted(interval.observers_on(day)):
+            peer = registry.peer(peer_id)
+            yield (
+                f"TABLE_DUMP2|{day.isoformat()}|B|{peer.asn}|"
+                f"{interval.prefix}|{interval.path}"
+            )

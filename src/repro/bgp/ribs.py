@@ -1,0 +1,252 @@
+"""The interval-based global routing information store.
+
+Rather than materializing a daily routing table per peer (the naive image of
+"daily RIB dumps"), BGP state is stored as *route intervals*: a prefix was
+announced on an AS path over an inclusive window of days, observed by a set
+of peers.  Daily views (is this prefix routed on day X? which peers see it?)
+are derived on demand.  This is both the natural shape of the paper's
+questions ("was the prefix withdrawn within 30 days of listing?", "what
+origin did it have in 2018?") and far smaller than per-day tables; the
+ablation benchmark ``bench_ablation_rib.py`` quantifies the difference.
+
+Peers that filter routes (the three DROP-filtering RouteViews peers of §4.1)
+observe an interval over a *sub-window*; those carve-outs are recorded as
+:class:`PartialObservation` exceptions so that the common case stays a
+compact frozenset of peer ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, timedelta
+from typing import Callable, Iterable, Iterator
+
+from ..net.prefix import IPv4Prefix
+from ..net.prefixset import PrefixSet
+from ..net.radix import RadixTree
+from .messages import ASPath
+
+__all__ = ["PartialObservation", "RouteInterval", "RouteIntervalStore"]
+
+
+@dataclass(frozen=True, slots=True)
+class PartialObservation:
+    """A peer that observed an interval only over a sub-window."""
+
+    peer_id: int
+    start: date
+    end: date | None  # inclusive; None = until the interval ends
+
+
+@dataclass(frozen=True, slots=True)
+class RouteInterval:
+    """One announcement episode of a prefix on a path.
+
+    ``end`` is the last day the route was observed (inclusive); ``None``
+    means the route was still announced at the end of the data window.
+    ``observers`` see the full window; ``partial_observers`` see only their
+    recorded sub-window (and override membership in ``observers``).
+    """
+
+    prefix: IPv4Prefix
+    path: ASPath
+    start: date
+    end: date | None
+    observers: frozenset[int]
+    partial_observers: tuple[PartialObservation, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.end is not None and self.end < self.start:
+            raise ValueError(
+                f"interval for {self.prefix} ends {self.end} "
+                f"before start {self.start}"
+            )
+
+    @property
+    def origin(self) -> int:
+        """The origin AS of the announcement."""
+        return self.path.origin
+
+    def active_on(self, day: date) -> bool:
+        """True if the route was announced (by anyone) on ``day``."""
+        return self.start <= day and (self.end is None or day <= self.end)
+
+    def observed_by(self, peer_id: int, day: date) -> bool:
+        """True if the given peer had this route in its table on ``day``."""
+        if not self.active_on(day):
+            return False
+        for partial in self.partial_observers:
+            if partial.peer_id == peer_id:
+                return partial.start <= day and (
+                    partial.end is None or day <= partial.end
+                )
+        return peer_id in self.observers
+
+    def observers_on(self, day: date) -> frozenset[int]:
+        """The set of peer ids observing the route on ``day``."""
+        if not self.active_on(day):
+            return frozenset()
+        if not self.partial_observers:
+            return self.observers
+        seen = set(self.observers)
+        for partial in self.partial_observers:
+            seen.discard(partial.peer_id)
+            if partial.start <= day and (
+                partial.end is None or day <= partial.end
+            ):
+                seen.add(partial.peer_id)
+        return frozenset(seen)
+
+
+class RouteIntervalStore:
+    """All route intervals, indexed by prefix in a radix trie."""
+
+    def __init__(self, data_end: date | None = None) -> None:
+        self._tree: RadixTree[list[RouteInterval]] = RadixTree()
+        self._count = 0
+        #: Last day of the data window; open intervals are treated as
+        #: announced through this day for "still announced" queries.
+        self.data_end = data_end
+
+    def add(self, interval: RouteInterval) -> None:
+        """Record one route interval."""
+        existing = self._tree.get(interval.prefix)
+        if existing is None:
+            self._tree.insert(interval.prefix, [interval])
+        else:
+            existing.append(interval)
+        self._count += 1
+
+    def extend(self, intervals: Iterable[RouteInterval]) -> None:
+        """Record many route intervals."""
+        for interval in intervals:
+            self.add(interval)
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- interval retrieval -------------------------------------------------
+
+    def intervals_exact(self, prefix: IPv4Prefix) -> list[RouteInterval]:
+        """Intervals announced for exactly this prefix, start-ordered."""
+        found = self._tree.get(prefix)
+        return sorted(found, key=lambda i: i.start) if found else []
+
+    def intervals_covering(self, prefix: IPv4Prefix) -> list[RouteInterval]:
+        """Intervals for this prefix or any less-specific covering it."""
+        found: list[RouteInterval] = []
+        for _, bucket in self._tree.lookup_covering(prefix):
+            found.extend(bucket)
+        return sorted(found, key=lambda i: (i.start, i.prefix))
+
+    def intervals_covered(self, prefix: IPv4Prefix) -> list[RouteInterval]:
+        """Intervals for this prefix or any more-specific inside it."""
+        found: list[RouteInterval] = []
+        for _, bucket in self._tree.lookup_covered(prefix):
+            found.extend(bucket)
+        return sorted(found, key=lambda i: (i.start, i.prefix))
+
+    def all_intervals(self) -> Iterator[RouteInterval]:
+        """Every interval, grouped by prefix in address order."""
+        for _, bucket in self._tree.items():
+            yield from bucket
+
+    def prefixes(self) -> Iterator[IPv4Prefix]:
+        """Every prefix that ever appeared in BGP, in address order."""
+        yield from self._tree
+
+    # -- day-level queries --------------------------------------------------
+
+    def is_announced(
+        self, prefix: IPv4Prefix, day: date, *, include_covering: bool = True
+    ) -> bool:
+        """True if the prefix (or a covering route) was announced on ``day``."""
+        intervals = (
+            self.intervals_covering(prefix)
+            if include_covering
+            else self.intervals_exact(prefix)
+        )
+        return any(i.active_on(day) for i in intervals)
+
+    def origins_on(self, prefix: IPv4Prefix, day: date) -> set[int]:
+        """Origin ASNs announcing exactly this prefix on ``day``."""
+        return {
+            i.origin for i in self.intervals_exact(prefix) if i.active_on(day)
+        }
+
+    def peers_observing(self, prefix: IPv4Prefix, day: date) -> frozenset[int]:
+        """Peers with an exact-prefix route for ``prefix`` on ``day``."""
+        seen: set[int] = set()
+        for interval in self.intervals_exact(prefix):
+            seen.update(interval.observers_on(day))
+        return frozenset(seen)
+
+    def first_announced(self, prefix: IPv4Prefix) -> date | None:
+        """The first day the exact prefix was seen in BGP, if ever."""
+        intervals = self.intervals_exact(prefix)
+        return intervals[0].start if intervals else None
+
+    def last_announced(self, prefix: IPv4Prefix) -> date | None:
+        """The last day the exact prefix was seen; ``data_end`` if open."""
+        latest: date | None = None
+        for interval in self.intervals_exact(prefix):
+            end = interval.end if interval.end is not None else self.data_end
+            if end is None:
+                return None  # open interval with no data window bound
+            if latest is None or end > latest:
+                latest = end
+        return latest
+
+    def routed_space(self, day: date) -> PrefixSet:
+        """The union of all address space announced on ``day``.
+
+        This is the "routed" side of Figure 5's accounting.
+        """
+        return PrefixSet.from_intervals(
+            (interval.prefix.first, interval.prefix.last + 1)
+            for interval in self.all_intervals()
+            if interval.active_on(day)
+        )
+
+    def announced_prefixes_on(self, day: date) -> list[IPv4Prefix]:
+        """All distinct prefixes with an active exact route on ``day``."""
+        return [
+            prefix
+            for prefix in self._tree
+            if any(i.active_on(day) for i in self._tree[prefix])
+        ]
+
+    # -- history queries -----------------------------------------------------
+
+    def origin_history(self, prefix: IPv4Prefix) -> list[tuple[date, date | None, int]]:
+        """``(start, end, origin)`` episodes for the exact prefix, in order."""
+        return [
+            (i.start, i.end, i.origin) for i in self.intervals_exact(prefix)
+        ]
+
+    def historic_origins(self, prefix: IPv4Prefix, before: date) -> set[int]:
+        """Origins that announced the exact prefix strictly before ``before``."""
+        return {
+            i.origin
+            for i in self.intervals_exact(prefix)
+            if i.start < before
+        }
+
+    def was_unrouted_for(
+        self, prefix: IPv4Prefix, day: date, days: int
+    ) -> bool:
+        """True if no exact route was active in the ``days`` before ``day``."""
+        probe = day - timedelta(days=1)
+        horizon = day - timedelta(days=days)
+        intervals = self.intervals_exact(prefix)
+        while probe >= horizon:
+            if any(i.active_on(probe) for i in intervals):
+                return False
+            probe -= timedelta(days=1)
+        return True
+
+    def find_intervals(
+        self, predicate: Callable[[RouteInterval], bool]
+    ) -> list[RouteInterval]:
+        """All intervals matching an arbitrary predicate (linear scan)."""
+        return [i for i in self.all_intervals() if predicate(i)]

@@ -1,0 +1,178 @@
+"""A pybgpstream-like query interface over the route interval store.
+
+The real study drives pybgpstream over RouteViews MRT archives.  This module
+reproduces that access pattern: construct a :class:`BGPStream` with time and
+prefix filters, then iterate :class:`~repro.bgp.messages.BgpElement` records
+(type ``A`` at announcement onset, ``W`` the day after the route's last day,
+per observing peer), ordered by day.
+
+Analyses in :mod:`repro.analysis` mostly use the interval store directly for
+efficiency; the stream API exists so downstream users can port pybgpstream
+code onto the simulator, and the integration tests assert both views agree.
+"""
+
+from __future__ import annotations
+
+from datetime import date, timedelta
+from typing import Iterator, Literal
+
+from ..net.prefix import IPv4Prefix
+from .collector import PeerRegistry
+from .messages import BgpElement, ElementType
+from .ribs import RouteInterval, RouteIntervalStore
+
+__all__ = ["BGPStream"]
+
+MatchMode = Literal["exact", "more", "less", "any"]
+
+
+class BGPStream:
+    """Iterate BGP elements matching time / prefix / collector filters.
+
+    Parameters mirror pybgpstream's common filters:
+
+    ``from_day`` / ``until_day``
+        Inclusive day window; elements outside it are suppressed.
+    ``prefix`` / ``match``
+        Optional prefix filter: ``exact`` (that prefix only), ``more``
+        (that prefix and more-specifics), ``less`` (that prefix and
+        less-specifics), or ``any`` (more and less specifics).
+    ``collectors``
+        Optional collector-name allowlist.
+    """
+
+    def __init__(
+        self,
+        store: RouteIntervalStore,
+        registry: PeerRegistry,
+        *,
+        from_day: date,
+        until_day: date,
+        prefix: IPv4Prefix | None = None,
+        match: MatchMode = "exact",
+        collectors: set[str] | None = None,
+    ) -> None:
+        if until_day < from_day:
+            raise ValueError("until_day before from_day")
+        self._store = store
+        self._registry = registry
+        self._from = from_day
+        self._until = until_day
+        self._prefix = prefix
+        self._match: MatchMode = match
+        self._collectors = collectors
+
+    # -- candidate selection ------------------------------------------------
+
+    def _candidate_intervals(self) -> list[RouteInterval]:
+        if self._prefix is None:
+            candidates = list(self._store.all_intervals())
+        elif self._match == "exact":
+            candidates = self._store.intervals_exact(self._prefix)
+        elif self._match == "more":
+            candidates = self._store.intervals_covered(self._prefix)
+        elif self._match == "less":
+            candidates = self._store.intervals_covering(self._prefix)
+        elif self._match == "any":
+            covered = self._store.intervals_covered(self._prefix)
+            covering = self._store.intervals_covering(self._prefix)
+            seen: set[int] = set()
+            candidates = []
+            for interval in covered + covering:
+                if id(interval) not in seen:
+                    seen.add(id(interval))
+                    candidates.append(interval)
+        else:  # pragma: no cover - Literal narrows this away
+            raise ValueError(f"bad match mode {self._match!r}")
+        return [
+            i
+            for i in candidates
+            if i.start <= self._until
+            and (i.end is None or i.end >= self._from)
+        ]
+
+    def _peer_allowed(self, peer_id: int) -> bool:
+        if self._collectors is None:
+            return True
+        return self._registry.peer(peer_id).collector in self._collectors
+
+    # -- iteration -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[BgpElement]:
+        return self.elements()
+
+    def elements(self) -> Iterator[BgpElement]:
+        """Yield elements in day order (A before W on the same day)."""
+        events: list[tuple[date, int, RouteInterval, int]] = []
+        for interval in self._candidate_intervals():
+            peer_ids = set(interval.observers)
+            for partial in interval.partial_observers:
+                peer_ids.add(partial.peer_id)
+            for peer_id in peer_ids:
+                if not self._peer_allowed(peer_id):
+                    continue
+                window = self._observation_window(interval, peer_id)
+                if window is None:
+                    continue
+                obs_start, obs_end = window
+                if self._from <= obs_start <= self._until:
+                    events.append((obs_start, 0, interval, peer_id))
+                if obs_end is not None:
+                    withdrawal_day = obs_end + timedelta(days=1)
+                    if self._from <= withdrawal_day <= self._until:
+                        events.append((withdrawal_day, 1, interval, peer_id))
+        events.sort(key=lambda e: (e[0], e[1], str(e[2].prefix), e[3]))
+        for day, kind, interval, peer_id in events:
+            peer = self._registry.peer(peer_id)
+            if kind == 0:
+                yield BgpElement(
+                    elem_type=ElementType.ANNOUNCEMENT,
+                    day=day,
+                    collector=peer.collector,
+                    peer_id=peer_id,
+                    peer_asn=peer.asn,
+                    prefix=interval.prefix,
+                    path=interval.path,
+                )
+            else:
+                yield BgpElement(
+                    elem_type=ElementType.WITHDRAWAL,
+                    day=day,
+                    collector=peer.collector,
+                    peer_id=peer_id,
+                    peer_asn=peer.asn,
+                    prefix=interval.prefix,
+                )
+
+    def rib_elements(self, day: date) -> Iterator[BgpElement]:
+        """Yield RIB-dump (type ``R``) elements for one day's table."""
+        if not self._from <= day <= self._until:
+            raise ValueError(f"{day} outside stream window")
+        for interval in self._candidate_intervals():
+            for peer_id in sorted(interval.observers_on(day)):
+                if not self._peer_allowed(peer_id):
+                    continue
+                peer = self._registry.peer(peer_id)
+                yield BgpElement(
+                    elem_type=ElementType.RIB,
+                    day=day,
+                    collector=peer.collector,
+                    peer_id=peer_id,
+                    peer_asn=peer.asn,
+                    prefix=interval.prefix,
+                    path=interval.path,
+                )
+
+    @staticmethod
+    def _observation_window(
+        interval: RouteInterval, peer_id: int
+    ) -> tuple[date, date | None] | None:
+        for partial in interval.partial_observers:
+            if partial.peer_id == peer_id:
+                end = partial.end
+                if end is None:
+                    end = interval.end
+                return (partial.start, end)
+        if peer_id in interval.observers:
+            return (interval.start, interval.end)
+        return None

@@ -1,0 +1,174 @@
+"""Routing-visibility computations (Figure 2 and §4.1).
+
+Figure 2's left panel is a CDF, over DROP prefixes, of the fraction of
+full-table RouteViews peers observing the prefix at fixed offsets from the
+listing day (-1, +2, +7, +30 days); the headline number is that 19% of
+prefixes were withdrawn within 30 days of listing.  The right panel detects
+peers whose observation rate across DROP prefixes is anomalously low —
+the three peers that filter DROP-listed routes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+from typing import Iterable, Sequence
+
+from ..net.prefix import IPv4Prefix
+from .collector import PeerRegistry
+from .ribs import RouteIntervalStore
+
+__all__ = [
+    "DEFAULT_OFFSETS",
+    "PeerObservationRate",
+    "VisibilityProfile",
+    "fraction_observing",
+    "peer_observation_rates",
+    "suspect_filtering_peers",
+    "visibility_profile",
+    "withdrawn_within",
+]
+
+#: Day offsets from the listing date used in Figure 2's left panel.
+DEFAULT_OFFSETS: tuple[int, ...] = (-1, 2, 7, 30)
+
+
+def fraction_observing(
+    store: RouteIntervalStore,
+    registry: PeerRegistry,
+    prefix: IPv4Prefix,
+    day: date,
+) -> float:
+    """Fraction of full-table peers with an exact route for ``prefix``."""
+    full_table = registry.full_table_peer_ids()
+    if not full_table:
+        return 0.0
+    observing = store.peers_observing(prefix, day) & full_table
+    return len(observing) / len(full_table)
+
+
+@dataclass(frozen=True, slots=True)
+class VisibilityProfile:
+    """Per-prefix visibility fractions at fixed offsets from listing."""
+
+    prefix: IPv4Prefix
+    listed: date
+    fractions: dict[int, float]
+
+    def withdrawn_by(self, offset: int) -> bool:
+        """True if no peer observed the prefix at the given offset."""
+        return self.fractions.get(offset, 0.0) == 0.0
+
+
+def visibility_profile(
+    store: RouteIntervalStore,
+    registry: PeerRegistry,
+    prefix: IPv4Prefix,
+    listed: date,
+    offsets: Sequence[int] = DEFAULT_OFFSETS,
+) -> VisibilityProfile:
+    """Visibility fractions for one prefix around its listing date."""
+    fractions = {
+        offset: fraction_observing(
+            store, registry, prefix, listed + timedelta(days=offset)
+        )
+        for offset in offsets
+    }
+    return VisibilityProfile(prefix=prefix, listed=listed, fractions=fractions)
+
+
+def withdrawn_within(
+    store: RouteIntervalStore,
+    prefix: IPv4Prefix,
+    listed: date,
+    days: int = 30,
+) -> bool:
+    """True if the prefix was routed at listing but not ``days`` later.
+
+    Matches the paper's §4.1 definition: a prefix counts as withdrawn if it
+    was BGP-observed around its listing day and no exact-prefix route
+    remained active ``days`` days after listing.
+    """
+    announced_at_listing = store.is_announced(
+        prefix, listed, include_covering=False
+    ) or store.is_announced(
+        prefix, listed - timedelta(days=1), include_covering=False
+    )
+    if not announced_at_listing:
+        return False
+    return not store.is_announced(
+        prefix, listed + timedelta(days=days), include_covering=False
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class PeerObservationRate:
+    """How often one peer observed a collection of target routes."""
+
+    peer_id: int
+    peer_asn: int
+    collector: str
+    observed: int
+    observable: int
+
+    @property
+    def rate(self) -> float:
+        """Fraction of observable (prefix, day) samples this peer saw."""
+        return self.observed / self.observable if self.observable else 0.0
+
+
+def peer_observation_rates(
+    store: RouteIntervalStore,
+    registry: PeerRegistry,
+    samples: Iterable[tuple[IPv4Prefix, date]],
+) -> list[PeerObservationRate]:
+    """Per-peer observation rates over (prefix, day) samples.
+
+    A sample is *observable* by a peer if at least half of the full-table
+    peers saw the route that day — i.e. the route was genuinely in the
+    global table, so a full-table peer missing it is notable.
+    """
+    full_table = registry.full_table_peer_ids()
+    threshold = max(1, len(full_table) // 2)
+    observed: dict[int, int] = {pid: 0 for pid in full_table}
+    observable: dict[int, int] = {pid: 0 for pid in full_table}
+    for prefix, day in samples:
+        observers = store.peers_observing(prefix, day)
+        if len(observers & full_table) < threshold:
+            continue
+        for pid in full_table:
+            observable[pid] += 1
+            if pid in observers:
+                observed[pid] += 1
+    rates = []
+    for pid in sorted(full_table):
+        peer = registry.peer(pid)
+        rates.append(
+            PeerObservationRate(
+                peer_id=pid,
+                peer_asn=peer.asn,
+                collector=peer.collector,
+                observed=observed[pid],
+                observable=observable[pid],
+            )
+        )
+    return rates
+
+
+def suspect_filtering_peers(
+    rates: Sequence[PeerObservationRate],
+    *,
+    max_rate: float = 0.5,
+    min_samples: int = 10,
+) -> list[PeerObservationRate]:
+    """Peers whose observation rate over target routes is anomalously low.
+
+    With DROP prefixes as the targets, peers filtering the DROP list show
+    near-zero rates while normal full-table peers sit near 1.0; the paper
+    found three such peers.
+    """
+    return [
+        r
+        for r in rates
+        if r.observable >= min_samples and r.rate <= max_rate
+    ]

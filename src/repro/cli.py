@@ -1,0 +1,165 @@
+"""Command-line interface: build worlds, run experiments, export reports.
+
+Installed as ``repro-drop``::
+
+    repro-drop build --scale tiny --out ./archives
+    repro-drop report --exp tab1 --exp fig5
+    repro-drop report --all
+    repro-drop markdown > EXPERIMENTS-run.md
+
+``report``/``markdown`` accept either ``--scale`` (build a fresh world)
+or ``--archives DIR`` (load one previously written by ``build``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis import load_entries
+from .reporting import (
+    EXPERIMENTS,
+    render_markdown,
+    render_text,
+    run_experiment,
+)
+from .synth import ScenarioConfig, World, build_world, load_world, save_world
+
+__all__ = ["main"]
+
+_SCALES = {
+    "tiny": ScenarioConfig.tiny,
+    "small": ScenarioConfig.small,
+    "paper": ScenarioConfig.paper,
+}
+
+
+def _add_world_source(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="tiny",
+        help="synthetic world scale (default: tiny)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2022, help="generator seed"
+    )
+    parser.add_argument(
+        "--archives",
+        type=Path,
+        default=None,
+        help="load a world from a directory written by 'build' "
+        "instead of generating one",
+    )
+
+
+def _resolve_world(args: argparse.Namespace) -> World:
+    if args.archives is not None:
+        return load_world(args.archives)
+    return build_world(_SCALES[args.scale](seed=args.seed))
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    world = build_world(_SCALES[args.scale](seed=args.seed))
+    save_world(world, args.out, drop_step_days=args.drop_step_days)
+    print(
+        f"wrote {args.out}: {len(world.drop.unique_prefixes())} DROP "
+        f"prefixes, {len(world.bgp)} route intervals, "
+        f"{len(world.roas)} ROAs, {len(world.irr)} IRR objects"
+    )
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for exp_id in EXPERIMENTS:
+        print(exp_id)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    wanted = list(EXPERIMENTS) if args.all else args.exp
+    if not wanted:
+        print("nothing to run: pass --exp ID (repeatable) or --all",
+              file=sys.stderr)
+        return 2
+    unknown = [e for e in wanted if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    world = _resolve_world(args)
+    entries = load_entries(world)
+    for exp_id in wanted:
+        print(render_text(run_experiment(world, exp_id, entries)))
+        print()
+    return 0
+
+
+def _cmd_markdown(args: argparse.Namespace) -> int:
+    world = _resolve_world(args)
+    entries = load_entries(world)
+    reports = [
+        run_experiment(world, exp_id, entries) for exp_id in EXPERIMENTS
+    ]
+    print(render_markdown(reports))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-drop",
+        description="Reproduce 'Stop, DROP, and ROA' (IMC 2022).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build_cmd = commands.add_parser(
+        "build", help="generate a world and write its archives to disk"
+    )
+    build_cmd.add_argument("--scale", choices=sorted(_SCALES),
+                           default="tiny")
+    build_cmd.add_argument("--seed", type=int, default=2022)
+    build_cmd.add_argument("--out", type=Path, required=True)
+    build_cmd.add_argument(
+        "--drop-step-days", type=int, default=7,
+        help="DROP snapshot interval in days (default: weekly)",
+    )
+    build_cmd.set_defaults(func=_cmd_build)
+
+    list_cmd = commands.add_parser(
+        "list", help="list registered experiment ids"
+    )
+    list_cmd.set_defaults(func=_cmd_list)
+
+    report_cmd = commands.add_parser(
+        "report", help="run experiments and print paper-vs-measured"
+    )
+    _add_world_source(report_cmd)
+    report_cmd.add_argument(
+        "--exp", action="append", default=[],
+        help="experiment id (repeatable; see 'list')",
+    )
+    report_cmd.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    report_cmd.set_defaults(func=_cmd_report)
+
+    markdown_cmd = commands.add_parser(
+        "markdown", help="print all experiments as a Markdown report"
+    )
+    _add_world_source(markdown_cmd)
+    markdown_cmd.set_defaults(func=_cmd_markdown)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

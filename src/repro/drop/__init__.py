@@ -1,0 +1,26 @@
+"""DROP blocklist substrate: episodes, snapshots, SBL records, categorizer."""
+
+from .categories import FIGURE1_ORDER, Category
+from .categorize import KEYWORD_RULES, Categorizer, ClassificationResult
+from .droplist import (
+    DropArchive,
+    DropEpisode,
+    parse_snapshot_text,
+    snapshot_text,
+)
+from .sbl import SblDatabase, SblRecord, extract_asns
+
+__all__ = [
+    "Category",
+    "Categorizer",
+    "ClassificationResult",
+    "DropArchive",
+    "DropEpisode",
+    "FIGURE1_ORDER",
+    "KEYWORD_RULES",
+    "SblDatabase",
+    "SblRecord",
+    "extract_asns",
+    "parse_snapshot_text",
+    "snapshot_text",
+]

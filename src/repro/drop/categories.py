@@ -1,0 +1,57 @@
+"""The DROP prefix taxonomy from §3.1 of the paper.
+
+Each prefix added to DROP is placed in one or more categories based on its
+SBL record text (Appendix A), or ``NO_RECORD`` when Spamhaus had already
+removed the SBL record.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Category"]
+
+
+class Category(Enum):
+    """Why a prefix appeared on the DROP list."""
+
+    #: Prefixes obtained through fraud from an RIR, or announced without
+    #: authorization (§3.1 category 1).
+    HIJACKED = "HJ"
+    #: Prefixes used to send spam from many addresses to evade detection.
+    SNOWSHOE = "SS"
+    #: Prefixes under the control of, or connected with, a spam operation.
+    KNOWN_SPAM = "KS"
+    #: Prefixes used by bulletproof hosting services.
+    MALICIOUS_HOSTING = "MH"
+    #: Prefixes no RIR has allocated, but attackers are using.
+    UNALLOCATED = "UA"
+    #: Prefixes whose SBL record was already removed (post-remediation).
+    NO_RECORD = "NR"
+
+    @property
+    def label(self) -> str:
+        """The two-letter label used in the paper's figures."""
+        return self.value
+
+    @classmethod
+    def from_label(cls, label: str) -> "Category":
+        """Look up a category by its two-letter label."""
+        for category in cls:
+            if category.value == label.upper():
+                return category
+        raise ValueError(f"unknown DROP category label {label!r}")
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Figure 1 bar order.
+FIGURE1_ORDER: tuple[Category, ...] = (
+    Category.HIJACKED,
+    Category.SNOWSHOE,
+    Category.KNOWN_SPAM,
+    Category.MALICIOUS_HOSTING,
+    Category.UNALLOCATED,
+    Category.NO_RECORD,
+)

@@ -1,0 +1,253 @@
+"""The DROP list: listing episodes, daily snapshots, and the Firehol archive.
+
+The paper uses daily snapshots of Spamhaus DROP compiled by Firehol.  Two
+equivalent views are provided:
+
+``DropEpisode`` / ``DropArchive``
+    The event view: each prefix has one or more listing episodes
+    (added day, optional removed day, SBL id).  All analyses operate on
+    this view.
+
+Snapshot text files
+    The raw view: one Firehol-style text file per day.  ``snapshot_text``
+    emits the format and ``DropArchive.from_snapshots`` reconstructs
+    episodes by diffing consecutive snapshots, exactly as the study did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..net.prefix import IPv4Prefix
+from ..net.prefixset import PrefixSet
+from ..net.timeline import DateWindow
+
+__all__ = [
+    "DropArchive",
+    "DropEpisode",
+    "parse_snapshot_text",
+    "snapshot_text",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class DropEpisode:
+    """One stay of a prefix on the DROP list."""
+
+    prefix: IPv4Prefix
+    added: date
+    removed: date | None = None  # first day no longer listed
+    sbl_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.removed is not None and self.removed <= self.added:
+            raise ValueError(
+                f"{self.prefix}: removal {self.removed} not after "
+                f"addition {self.added}"
+            )
+
+    def listed_on(self, day: date) -> bool:
+        """True if the prefix was on DROP on ``day``."""
+        return self.added <= day and (
+            self.removed is None or day < self.removed
+        )
+
+    @property
+    def was_removed(self) -> bool:
+        """True if Spamhaus removed the prefix during the data window."""
+        return self.removed is not None
+
+
+class DropArchive:
+    """All DROP listing episodes over the study window."""
+
+    def __init__(self, window: DateWindow) -> None:
+        self.window = window
+        self._episodes: list[DropEpisode] = []
+        self._by_prefix: dict[IPv4Prefix, list[DropEpisode]] = {}
+
+    def add(self, episode: DropEpisode) -> None:
+        """Record one listing episode."""
+        self._episodes.append(episode)
+        self._by_prefix.setdefault(episode.prefix, []).append(episode)
+
+    def extend(self, episodes: Iterable[DropEpisode]) -> None:
+        """Record many listing episodes."""
+        for episode in episodes:
+            self.add(episode)
+
+    # -- event queries -----------------------------------------------------
+
+    def episodes(self) -> Iterator[DropEpisode]:
+        """All episodes, in insertion order."""
+        yield from self._episodes
+
+    def episodes_for(self, prefix: IPv4Prefix) -> list[DropEpisode]:
+        """Episodes for one prefix, ordered by addition date."""
+        return sorted(self._by_prefix.get(prefix, []), key=lambda e: e.added)
+
+    def unique_prefixes(self) -> list[IPv4Prefix]:
+        """Distinct prefixes that ever appeared, in address order."""
+        return sorted(self._by_prefix)
+
+    def first_episode(self, prefix: IPv4Prefix) -> DropEpisode | None:
+        """The first listing episode for a prefix, if any."""
+        episodes = self.episodes_for(prefix)
+        return episodes[0] if episodes else None
+
+    def additions_in(self, window: DateWindow) -> list[DropEpisode]:
+        """Episodes whose addition date falls inside ``window``."""
+        return sorted(
+            (e for e in self._episodes if e.added in window),
+            key=lambda e: (e.added, e.prefix),
+        )
+
+    def removals_in(self, window: DateWindow) -> list[DropEpisode]:
+        """Episodes whose removal date falls inside ``window``."""
+        return sorted(
+            (
+                e
+                for e in self._episodes
+                if e.removed is not None and e.removed in window
+            ),
+            key=lambda e: (e.removed, e.prefix),
+        )
+
+    def address_space(self) -> PrefixSet:
+        """The union of all address space that ever appeared on DROP."""
+        covered = PrefixSet()
+        for prefix in self._by_prefix:
+            covered.add(prefix)
+        return covered
+
+    # -- snapshot queries --------------------------------------------------
+
+    def listed_on(self, day: date) -> list[IPv4Prefix]:
+        """The DROP list contents on one day, in address order."""
+        return sorted(
+            {
+                e.prefix
+                for e in self._episodes
+                if e.listed_on(day)
+            }
+        )
+
+    def is_listed(self, prefix: IPv4Prefix, day: date) -> bool:
+        """True if ``prefix`` (exactly) was listed on ``day``."""
+        return any(e.listed_on(day) for e in self._by_prefix.get(prefix, []))
+
+    # -- snapshot (de)serialization -----------------------------------------
+
+    def write_snapshots(
+        self, directory: Path, *, step_days: int = 1
+    ) -> int:
+        """Write one Firehol-style snapshot file per ``step_days`` days.
+
+        Returns the number of files written.  Filenames are
+        ``drop_YYYY-MM-DD.netset``.
+        """
+        directory.mkdir(parents=True, exist_ok=True)
+        count = 0
+        day = self.window.start
+        while day <= self.window.end:
+            path = directory / f"drop_{day.isoformat()}.netset"
+            sbl_ids = self._sbl_ids_on(day)
+            path.write_text(snapshot_text(day, self.listed_on(day), sbl_ids))
+            count += 1
+            day += timedelta(days=step_days)
+        return count
+
+    def _sbl_ids_on(self, day: date) -> dict[IPv4Prefix, str | None]:
+        ids: dict[IPv4Prefix, str | None] = {}
+        for episode in self._episodes:
+            if episode.listed_on(day):
+                ids[episode.prefix] = episode.sbl_id
+        return ids
+
+    @classmethod
+    def from_snapshots(
+        cls, snapshots: Iterable[tuple[date, dict[IPv4Prefix, str | None]]],
+        window: DateWindow,
+    ) -> "DropArchive":
+        """Reconstruct episodes by diffing day-ordered snapshots.
+
+        A prefix present in snapshot N but not N-1 was added on N's date; a
+        prefix present in N-1 but not N was removed on N's date.  Prefixes
+        present in the first snapshot are treated as added on that day
+        (the left-censoring the paper's window imposes).
+        """
+        archive = cls(window)
+        open_since: dict[IPv4Prefix, tuple[date, str | None]] = {}
+        for day, contents in sorted(snapshots, key=lambda s: s[0]):
+            for prefix, sbl_id in contents.items():
+                if prefix not in open_since:
+                    open_since[prefix] = (day, sbl_id)
+            for prefix in list(open_since):
+                if prefix not in contents:
+                    added, sbl_id = open_since.pop(prefix)
+                    archive.add(
+                        DropEpisode(
+                            prefix=prefix,
+                            added=added,
+                            removed=day,
+                            sbl_id=sbl_id,
+                        )
+                    )
+        for prefix, (added, sbl_id) in sorted(
+            open_since.items(), key=lambda item: (item[1][0], item[0])
+        ):
+            archive.add(
+                DropEpisode(prefix=prefix, added=added, removed=None,
+                            sbl_id=sbl_id)
+            )
+        return archive
+
+    @classmethod
+    def read_snapshots(
+        cls, directory: Path, window: DateWindow
+    ) -> "DropArchive":
+        """Read a directory written by :meth:`write_snapshots`."""
+        snapshots = []
+        for path in sorted(directory.glob("drop_*.netset")):
+            day_text = path.stem.removeprefix("drop_")
+            snapshots.append(
+                (date.fromisoformat(day_text),
+                 parse_snapshot_text(path.read_text()))
+            )
+        return cls.from_snapshots(snapshots, window)
+
+    def __len__(self) -> int:
+        return len(self._episodes)
+
+
+def snapshot_text(
+    day: date,
+    prefixes: Iterable[IPv4Prefix],
+    sbl_ids: dict[IPv4Prefix, str | None] | None = None,
+) -> str:
+    """One day's DROP list in the Firehol/Spamhaus text format."""
+    lines = [
+        "; Spamhaus DROP List (simulated archive)",
+        f"; Last-Modified: {day.isoformat()}",
+    ]
+    sbl_ids = sbl_ids or {}
+    for prefix in sorted(set(prefixes)):
+        sbl = sbl_ids.get(prefix)
+        lines.append(f"{prefix} ; {sbl}" if sbl else str(prefix))
+    return "\n".join(lines) + "\n"
+
+
+def parse_snapshot_text(text: str) -> dict[IPv4Prefix, str | None]:
+    """Parse :func:`snapshot_text` output into prefix → SBL id."""
+    contents: dict[IPv4Prefix, str | None] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith(";"):
+            continue
+        prefix_text, _, sbl = line.partition(";")
+        prefix = IPv4Prefix.parse(prefix_text.strip())
+        contents[prefix] = sbl.strip() or None
+    return contents

@@ -1,0 +1,157 @@
+"""The Spamhaus Block List (SBL) record store.
+
+Every DROP entry references an SBL record ("SBL-something") whose freeform
+text documents why Spamhaus listed the prefix.  The paper processes that
+text with the Appendix-A categorizer and extracts any "malicious ASN"
+mentioned.  Records are removed when the prefix holder remediates, which is
+why 186 of the paper's 712 prefixes have no SBL record (category NR).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from datetime import date
+from pathlib import Path
+from typing import Iterator
+
+from ..net.asn import parse_asn
+from ..net.prefix import IPv4Prefix
+
+__all__ = ["SblDatabase", "SblRecord", "extract_asns"]
+
+_ASN_PATTERN = re.compile(r"\bAS(\d{1,10})\b")
+
+
+def extract_asns(text: str) -> tuple[int, ...]:
+    """All ASNs mentioned in freeform SBL text, in order of appearance.
+
+    >>> extract_asns("Snowshoe IP block on Stolen AS62927")
+    (62927,)
+    """
+    seen: list[int] = []
+    for match in _ASN_PATTERN.finditer(text):
+        asn = parse_asn(match.group(1))
+        if asn not in seen:
+            seen.append(asn)
+    return tuple(seen)
+
+
+@dataclass(frozen=True, slots=True)
+class SblRecord:
+    """One SBL database entry."""
+
+    sbl_id: str
+    prefix: IPv4Prefix
+    text: str
+    created: date
+    removed: date | None = None
+
+    def __post_init__(self) -> None:
+        if not self.sbl_id.upper().startswith("SBL"):
+            raise ValueError(f"SBL id must start with 'SBL': {self.sbl_id!r}")
+
+    @property
+    def mentioned_asns(self) -> tuple[int, ...]:
+        """ASNs named in the record text (the "malicious ASN" annotation)."""
+        return extract_asns(self.text)
+
+    def available_on(self, day: date) -> bool:
+        """True if the record still existed in the SBL on ``day``."""
+        return self.created <= day and (
+            self.removed is None or day < self.removed
+        )
+
+
+class SblDatabase:
+    """All SBL records, indexed by id and by prefix."""
+
+    def __init__(self) -> None:
+        self._by_id: dict[str, SblRecord] = {}
+        self._by_prefix: dict[IPv4Prefix, list[SblRecord]] = {}
+
+    def add(self, record: SblRecord) -> None:
+        """Insert a record; ids must be unique."""
+        if record.sbl_id in self._by_id:
+            raise ValueError(f"duplicate SBL id {record.sbl_id}")
+        self._by_id[record.sbl_id] = record
+        self._by_prefix.setdefault(record.prefix, []).append(record)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, sbl_id: str) -> bool:
+        return sbl_id in self._by_id
+
+    def get(self, sbl_id: str) -> SblRecord | None:
+        """The record with the given id, if any."""
+        return self._by_id.get(sbl_id)
+
+    def records(self) -> Iterator[SblRecord]:
+        """All records, in insertion order."""
+        yield from self._by_id.values()
+
+    def record_for_prefix(
+        self, prefix: IPv4Prefix, on: date | None = None
+    ) -> SblRecord | None:
+        """The record documenting ``prefix``.
+
+        With ``on`` given, only a record still present in the SBL on that
+        day is returned — mirroring the paper's inability to retrieve
+        records Spamhaus had already removed.
+        """
+        candidates = self._by_prefix.get(prefix, [])
+        for record in candidates:
+            if on is None or record.available_on(on):
+                return record
+        return None
+
+    # -- persistence -----------------------------------------------------
+
+    def dump(self, path: Path) -> int:
+        """Write the database as JSONL; returns the record count."""
+        with open(path, "w") as out:
+            for record in self.records():
+                json.dump(
+                    {
+                        "sbl_id": record.sbl_id,
+                        "prefix": str(record.prefix),
+                        "text": record.text,
+                        "created": record.created.isoformat(),
+                        "removed": (
+                            None
+                            if record.removed is None
+                            else record.removed.isoformat()
+                        ),
+                    },
+                    out,
+                    separators=(",", ":"),
+                )
+                out.write("\n")
+        return len(self)
+
+    @classmethod
+    def load(cls, path: Path) -> "SblDatabase":
+        """Read a database written by :meth:`dump`."""
+        db = cls()
+        with open(path) as source:
+            for line in source:
+                line = line.strip()
+                if not line:
+                    continue
+                raw = json.loads(line)
+                db.add(
+                    SblRecord(
+                        sbl_id=raw["sbl_id"],
+                        prefix=IPv4Prefix.parse(raw["prefix"]),
+                        text=raw["text"],
+                        created=date.fromisoformat(raw["created"]),
+                        removed=(
+                            None
+                            if raw["removed"] is None
+                            else date.fromisoformat(raw["removed"])
+                        ),
+                    )
+                )
+        return db

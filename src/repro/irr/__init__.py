@@ -1,0 +1,24 @@
+"""IRR substrate: RPSL objects and the journaled RADb-like database."""
+
+from .radb import IrrDatabase, RouteObjectRecord
+from .rpsl import (
+    Maintainer,
+    Organisation,
+    RouteObject,
+    RpslError,
+    RpslObject,
+    emit_objects,
+    parse_objects,
+)
+
+__all__ = [
+    "IrrDatabase",
+    "Maintainer",
+    "Organisation",
+    "RouteObject",
+    "RouteObjectRecord",
+    "RpslError",
+    "RpslObject",
+    "emit_objects",
+    "parse_objects",
+]

@@ -1,0 +1,233 @@
+"""A journaled RADb-like IRR database.
+
+Merit publishes daily flat-file snapshots of RADb; the study reconstructs
+when route objects were created and removed by diffing the archive.  We
+store the journal directly — each route object carries its creation day and
+optional deletion day — and derive any day's snapshot from it.  Both
+directions round-trip: :meth:`IrrDatabase.snapshot_text` emits a day's flat
+file and :meth:`IrrDatabase.from_snapshots` rebuilds the journal by diffing,
+exactly as the measurement pipeline would.
+
+RADb performs *no authorization check* that the registrant controls the
+origin ASN or the prefix (§2.2) — the database therefore accepts any
+record, which is precisely the weakness the paper's attackers exploit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from datetime import date, timedelta
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..net.prefix import IPv4Prefix
+from ..net.radix import RadixTree
+from .rpsl import RouteObject, emit_objects, parse_objects
+
+__all__ = ["IrrDatabase", "RouteObjectRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class RouteObjectRecord:
+    """A route object plus its registration lifetime."""
+
+    route: RouteObject
+    created: date
+    deleted: date | None = None  # first day the object was gone
+
+    def __post_init__(self) -> None:
+        if self.deleted is not None and self.deleted <= self.created:
+            raise ValueError(
+                f"route object for {self.route.prefix} deleted "
+                f"{self.deleted} not after created {self.created}"
+            )
+
+    def active_on(self, day: date) -> bool:
+        """True if the object existed in the IRR on ``day``."""
+        return self.created <= day and (
+            self.deleted is None or day < self.deleted
+        )
+
+
+class IrrDatabase:
+    """All route-object records, indexed by prefix in a radix trie."""
+
+    def __init__(self) -> None:
+        self._tree: RadixTree[list[RouteObjectRecord]] = RadixTree()
+        self._count = 0
+
+    def add(self, record: RouteObjectRecord) -> None:
+        """Register one route-object record (no authorization checks)."""
+        bucket = self._tree.get(record.route.prefix)
+        if bucket is None:
+            self._tree.insert(record.route.prefix, [record])
+        else:
+            bucket.append(record)
+        self._count += 1
+
+    def extend(self, records: Iterable[RouteObjectRecord]) -> None:
+        """Register many records."""
+        for record in records:
+            self.add(record)
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- retrieval -----------------------------------------------------------
+
+    def records(self) -> Iterator[RouteObjectRecord]:
+        """Every record, grouped by prefix in address order."""
+        for _, bucket in self._tree.items():
+            yield from bucket
+
+    def exact(self, prefix: IPv4Prefix) -> list[RouteObjectRecord]:
+        """Records registered for exactly this prefix."""
+        bucket = self._tree.get(prefix)
+        return sorted(bucket, key=lambda r: r.created) if bucket else []
+
+    def covering(self, prefix: IPv4Prefix) -> list[RouteObjectRecord]:
+        """Records for this prefix or any less-specific covering it."""
+        found: list[RouteObjectRecord] = []
+        for _, bucket in self._tree.lookup_covering(prefix):
+            found.extend(bucket)
+        return sorted(found, key=lambda r: (r.created, r.route.prefix))
+
+    def covered(self, prefix: IPv4Prefix) -> list[RouteObjectRecord]:
+        """Records for this prefix or any more-specific inside it."""
+        found: list[RouteObjectRecord] = []
+        for _, bucket in self._tree.lookup_covered(prefix):
+            found.extend(bucket)
+        return sorted(found, key=lambda r: (r.created, r.route.prefix))
+
+    def exact_or_more_specific(
+        self, prefix: IPv4Prefix, *, active_in: tuple[date, date] | None = None
+    ) -> list[RouteObjectRecord]:
+        """§5's query: route objects matching the prefix exactly or as a
+        more-specific, optionally restricted to objects active at some
+        point in the inclusive ``active_in`` window."""
+        found = self.covered(prefix)
+        if active_in is None:
+            return found
+        start, end = active_in
+        return [
+            r
+            for r in found
+            if any(
+                r.active_on(start + timedelta(days=offset))
+                for offset in range((end - start).days + 1)
+            )
+        ]
+
+    def active_on(self, day: date) -> list[RouteObjectRecord]:
+        """All records present in the database on ``day``."""
+        return [r for r in self.records() if r.active_on(day)]
+
+    def org_ids(self) -> dict[str, int]:
+        """ORG-ID → number of route objects registered under it."""
+        counts: dict[str, int] = {}
+        for record in self.records():
+            if record.route.org_id is not None:
+                counts[record.route.org_id] = (
+                    counts.get(record.route.org_id, 0) + 1
+                )
+        return counts
+
+    # -- journal persistence ---------------------------------------------------
+
+    def write_journal(self, path: Path) -> int:
+        """Write the journal as JSONL; returns the record count."""
+        with open(path, "w") as out:
+            for record in self.records():
+                json.dump(
+                    {
+                        "prefix": str(record.route.prefix),
+                        "origin": record.route.origin,
+                        "maintainer": record.route.maintainer,
+                        "org_id": record.route.org_id,
+                        "descr": record.route.descr,
+                        "source": record.route.source,
+                        "created": record.created.isoformat(),
+                        "deleted": (
+                            None
+                            if record.deleted is None
+                            else record.deleted.isoformat()
+                        ),
+                    },
+                    out,
+                    separators=(",", ":"),
+                )
+                out.write("\n")
+        return len(self)
+
+    @classmethod
+    def read_journal(cls, path: Path) -> "IrrDatabase":
+        """Read a journal written by :meth:`write_journal`."""
+        db = cls()
+        with open(path) as source:
+            for line in source:
+                line = line.strip()
+                if not line:
+                    continue
+                raw = json.loads(line)
+                db.add(
+                    RouteObjectRecord(
+                        route=RouteObject(
+                            prefix=IPv4Prefix.parse(raw["prefix"]),
+                            origin=raw["origin"],
+                            maintainer=raw["maintainer"],
+                            org_id=raw["org_id"],
+                            descr=raw["descr"],
+                            source=raw["source"],
+                        ),
+                        created=date.fromisoformat(raw["created"]),
+                        deleted=(
+                            None
+                            if raw["deleted"] is None
+                            else date.fromisoformat(raw["deleted"])
+                        ),
+                    )
+                )
+        return db
+
+    # -- snapshot (de)serialization ---------------------------------------------
+
+    def snapshot_text(self, day: date) -> str:
+        """One day's database contents as a flat RPSL file."""
+        objects = [r.route.to_rpsl() for r in self.active_on(day)]
+        if not objects:
+            return "% empty snapshot\n"
+        return emit_objects(objects)
+
+    @classmethod
+    def from_snapshots(
+        cls, snapshots: Iterable[tuple[date, str]]
+    ) -> "IrrDatabase":
+        """Rebuild the journal by diffing day-ordered RPSL snapshots.
+
+        Identity is (prefix, origin, maintainer): the paper treats a route
+        object re-registered with a different origin as a new object.
+        """
+        db = cls()
+        open_since: dict[tuple, tuple[date, RouteObject]] = {}
+        for day, text in sorted(snapshots, key=lambda s: s[0]):
+            present: set[tuple] = set()
+            for obj in parse_objects(text):
+                if obj.object_class != "route":
+                    continue
+                route = RouteObject.from_rpsl(obj)
+                key = (route.prefix, route.origin, route.maintainer)
+                present.add(key)
+                if key not in open_since:
+                    open_since[key] = (day, route)
+            for key in list(open_since):
+                if key not in present:
+                    created, route = open_since.pop(key)
+                    db.add(
+                        RouteObjectRecord(
+                            route=route, created=created, deleted=day
+                        )
+                    )
+        for created, route in open_since.values():
+            db.add(RouteObjectRecord(route=route, created=created))
+        return db

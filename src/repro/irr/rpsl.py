@@ -1,0 +1,211 @@
+"""RPSL (Routing Policy Specification Language) object model and parser.
+
+IRR databases such as Merit's RADb are flat files of RPSL objects:
+attribute/value pairs, one object per paragraph, the first attribute naming
+the class.  The paper's §5 analysis needs ``route`` objects (prefix +
+``origin:`` ASN + the registering ``mnt-by:``/org) and their registration
+timestamps; we also model ``mntner`` and ``organisation`` objects since the
+ORG-ID clustering finding ("49 of 57 route objects shared three ORG-IDs")
+depends on them.
+
+The parser accepts the standard flat-file conventions: ``%`` and ``#``
+comment lines, continuation lines starting with whitespace or ``+``, and
+blank-line object separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+from typing import Iterator
+
+from ..net.asn import parse_asn
+from ..net.prefix import IPv4Prefix
+
+__all__ = [
+    "Maintainer",
+    "Organisation",
+    "RouteObject",
+    "RpslError",
+    "RpslObject",
+    "emit_objects",
+    "parse_objects",
+]
+
+
+class RpslError(ValueError):
+    """Raised for malformed RPSL text or objects."""
+
+
+@dataclass(frozen=True, slots=True)
+class RpslObject:
+    """A generic RPSL object: ordered (attribute, value) pairs."""
+
+    attributes: tuple[tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise RpslError("RPSL object must have at least one attribute")
+
+    @property
+    def object_class(self) -> str:
+        """The class name (the first attribute's name)."""
+        return self.attributes[0][0]
+
+    @property
+    def key(self) -> str:
+        """The primary key (the first attribute's value)."""
+        return self.attributes[0][1]
+
+    def first(self, name: str) -> str | None:
+        """The first value of attribute ``name``, or ``None``."""
+        for attr, value in self.attributes:
+            if attr == name:
+                return value
+        return None
+
+    def all(self, name: str) -> list[str]:
+        """All values of attribute ``name``, in order."""
+        return [value for attr, value in self.attributes if attr == name]
+
+    def __str__(self) -> str:
+        width = max(len(attr) for attr, _ in self.attributes) + 1
+        return "\n".join(
+            f"{attr + ':':<{width}} {value}".rstrip()
+            for attr, value in self.attributes
+        )
+
+
+def parse_objects(text: str) -> Iterator[RpslObject]:
+    """Parse a flat RPSL file into objects."""
+    pending: list[tuple[str, str]] = []
+    for raw_line in text.splitlines():
+        line = raw_line.rstrip()
+        if line.startswith(("%", "#")):
+            continue
+        if not line.strip():
+            if pending:
+                yield RpslObject(tuple(pending))
+                pending = []
+            continue
+        if line[0] in (" ", "\t", "+"):
+            if not pending:
+                raise RpslError(f"continuation before any attribute: {line!r}")
+            attr, value = pending[-1]
+            continuation = line.lstrip(" \t+").strip()
+            pending[-1] = (attr, f"{value} {continuation}".strip())
+            continue
+        attr, sep, value = line.partition(":")
+        if not sep:
+            raise RpslError(f"not an attribute line: {line!r}")
+        pending.append((attr.strip().lower(), value.strip()))
+    if pending:
+        yield RpslObject(tuple(pending))
+
+
+def emit_objects(objects: Iterator[RpslObject] | list[RpslObject]) -> str:
+    """Serialize objects to flat-file RPSL, blank-line separated."""
+    return "\n\n".join(str(obj) for obj in objects) + "\n"
+
+
+# -- typed views ---------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class RouteObject:
+    """A ``route`` object: the IRR's assertion that ``origin`` may announce
+    ``prefix``.
+
+    ``org_id`` carries the registering organisation (RADb exposes this via
+    the maintainer's org); ``created`` is the registration timestamp the
+    §5 timing analysis relies on.
+    """
+
+    prefix: IPv4Prefix
+    origin: int
+    maintainer: str
+    org_id: str | None = None
+    descr: str | None = None
+    source: str = "RADB"
+
+    @classmethod
+    def from_rpsl(cls, obj: RpslObject) -> "RouteObject":
+        """Build from a parsed ``route`` RPSL object."""
+        if obj.object_class != "route":
+            raise RpslError(f"not a route object: {obj.object_class}")
+        origin_text = obj.first("origin")
+        if origin_text is None:
+            raise RpslError(f"route {obj.key} missing origin")
+        return cls(
+            prefix=IPv4Prefix.parse(obj.key, strict=False),
+            origin=parse_asn(origin_text),
+            maintainer=obj.first("mnt-by") or "",
+            org_id=obj.first("org"),
+            descr=obj.first("descr"),
+            source=obj.first("source") or "RADB",
+        )
+
+    def to_rpsl(self) -> RpslObject:
+        """The RPSL representation of this route object."""
+        attributes: list[tuple[str, str]] = [
+            ("route", str(self.prefix)),
+            ("origin", f"AS{self.origin}"),
+        ]
+        if self.descr:
+            attributes.append(("descr", self.descr))
+        if self.org_id:
+            attributes.append(("org", self.org_id))
+        attributes.append(("mnt-by", self.maintainer))
+        attributes.append(("source", self.source))
+        return RpslObject(tuple(attributes))
+
+
+@dataclass(frozen=True, slots=True)
+class Maintainer:
+    """A ``mntner`` object (authentication handle for registrations)."""
+
+    name: str
+    org_id: str | None = None
+    email: str | None = None
+
+    @classmethod
+    def from_rpsl(cls, obj: RpslObject) -> "Maintainer":
+        if obj.object_class != "mntner":
+            raise RpslError(f"not a mntner object: {obj.object_class}")
+        return cls(
+            name=obj.key,
+            org_id=obj.first("org"),
+            email=obj.first("upd-to"),
+        )
+
+    def to_rpsl(self) -> RpslObject:
+        attributes: list[tuple[str, str]] = [("mntner", self.name)]
+        if self.org_id:
+            attributes.append(("org", self.org_id))
+        if self.email:
+            attributes.append(("upd-to", self.email))
+        attributes.append(("source", "RADB"))
+        return RpslObject(tuple(attributes))
+
+
+@dataclass(frozen=True, slots=True)
+class Organisation:
+    """An ``organisation`` object (the ORG-ID the paper clusters on)."""
+
+    org_id: str
+    name: str
+
+    @classmethod
+    def from_rpsl(cls, obj: RpslObject) -> "Organisation":
+        if obj.object_class != "organisation":
+            raise RpslError(f"not an organisation object: {obj.object_class}")
+        return cls(org_id=obj.key, name=obj.first("org-name") or "")
+
+    def to_rpsl(self) -> RpslObject:
+        return RpslObject(
+            (
+                ("organisation", self.org_id),
+                ("org-name", self.name),
+                ("source", "RADB"),
+            )
+        )

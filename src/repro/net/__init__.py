@@ -1,0 +1,61 @@
+"""Core IPv4/ASN/time value types shared by every subsystem."""
+
+from .asn import (
+    AS0,
+    AsnBlock,
+    AsnError,
+    is_documentation_asn,
+    is_private_asn,
+    is_public_asn,
+    is_reserved_asn,
+    parse_asn,
+)
+from .prefix import (
+    AddressRange,
+    IPv4Prefix,
+    PrefixError,
+    format_ip,
+    parse_ip,
+    slash8_equivalents,
+)
+from .prefixset import PrefixSet
+from .radix import RadixTree
+from .timeline import (
+    STUDY_END,
+    STUDY_START,
+    STUDY_WINDOW,
+    DailySeries,
+    DateWindow,
+    StepFunction,
+    date_range,
+    month_starts,
+    parse_date,
+)
+
+__all__ = [
+    "AS0",
+    "AddressRange",
+    "AsnBlock",
+    "AsnError",
+    "DailySeries",
+    "DateWindow",
+    "IPv4Prefix",
+    "PrefixError",
+    "PrefixSet",
+    "RadixTree",
+    "STUDY_END",
+    "STUDY_START",
+    "STUDY_WINDOW",
+    "StepFunction",
+    "date_range",
+    "format_ip",
+    "is_documentation_asn",
+    "is_private_asn",
+    "is_public_asn",
+    "is_reserved_asn",
+    "month_starts",
+    "parse_asn",
+    "parse_date",
+    "parse_ip",
+    "slash8_equivalents",
+]

@@ -1,0 +1,103 @@
+"""Autonomous System Number utilities.
+
+ASNs are plain ``int`` throughout the library; this module centralizes the
+special values and classification rules the paper relies on:
+
+* ``AS0`` — the RPKI convention meaning "this prefix must not be routed"
+  (RFC 6483 §4; the paper's §2.3.1 and §6.2 revolve around AS0 ROAs);
+* reserved / private / documentation ranges, used both to validate
+  synthetic world generation and to flag bogus origins in BGP data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "AS0",
+    "AS_TRANS",
+    "MAX_ASN",
+    "AsnError",
+    "is_documentation_asn",
+    "is_private_asn",
+    "is_public_asn",
+    "is_reserved_asn",
+    "parse_asn",
+]
+
+AS0 = 0
+AS_TRANS = 23456
+MAX_ASN = 2**32 - 1
+
+# (start, end) inclusive reserved ranges, per IANA special-purpose registry.
+_PRIVATE_RANGES = ((64512, 65534), (4200000000, 4294967294))
+_DOCUMENTATION_RANGES = ((64496, 64511), (65536, 65551))
+_RESERVED_SINGLETONS = (0, 23456, 65535, 4294967295)
+
+
+class AsnError(ValueError):
+    """Raised for malformed or out-of-range AS numbers."""
+
+
+def parse_asn(text: str | int) -> int:
+    """Parse an ASN from ``"AS64500"``, ``"64500"``, or an int.
+
+    Also accepts the RPSL-style lowercase ``"as64500"``.
+    """
+    if isinstance(text, int):
+        value = text
+    else:
+        cleaned = text.strip()
+        if cleaned.upper().startswith("AS"):
+            cleaned = cleaned[2:]
+        try:
+            value = int(cleaned)
+        except ValueError:
+            raise AsnError(f"not an AS number: {text!r}") from None
+    if not 0 <= value <= MAX_ASN:
+        raise AsnError(f"AS number out of range: {value}")
+    return value
+
+
+def is_private_asn(asn: int) -> bool:
+    """True for ASNs reserved for private use (RFC 6996)."""
+    return any(lo <= asn <= hi for lo, hi in _PRIVATE_RANGES)
+
+
+def is_documentation_asn(asn: int) -> bool:
+    """True for ASNs reserved for documentation (RFC 5398)."""
+    return any(lo <= asn <= hi for lo, hi in _DOCUMENTATION_RANGES)
+
+
+def is_reserved_asn(asn: int) -> bool:
+    """True for any ASN that must not appear as a real origin."""
+    return (
+        asn in _RESERVED_SINGLETONS
+        or is_private_asn(asn)
+        or is_documentation_asn(asn)
+    )
+
+
+def is_public_asn(asn: int) -> bool:
+    """True for ASNs assignable to real networks."""
+    return 0 < asn <= MAX_ASN and not is_reserved_asn(asn)
+
+
+@dataclass(frozen=True, slots=True)
+class AsnBlock:
+    """A contiguous block of ASNs, as delegated in RIR stats files."""
+
+    start: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0 or not 0 <= self.start <= MAX_ASN:
+            raise AsnError(f"bad ASN block ({self.start}, {self.count})")
+
+    @property
+    def end(self) -> int:
+        """One past the last ASN in the block."""
+        return self.start + self.count
+
+    def __contains__(self, asn: int) -> bool:
+        return self.start <= asn < self.end

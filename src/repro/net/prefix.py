@@ -1,0 +1,318 @@
+"""IPv4 prefix and address value types.
+
+The whole library speaks IPv4 in terms of two small immutable value types:
+
+``IPv4Prefix``
+    A CIDR block such as ``192.0.2.0/24``, stored as an integer network
+    address plus a prefix length.  Host bits must be zero; use
+    :meth:`IPv4Prefix.parse` with ``strict=False`` to mask them off.
+
+``AddressRange``
+    A half-open integer interval ``[start, end)`` of IPv4 addresses.  Ranges
+    are the working representation for set algebra (see
+    :mod:`repro.net.prefixset`) and convert losslessly to and from minimal
+    lists of CIDR prefixes.
+
+The paper accounts for address space in "/8 equivalents" (one /8 is
+2**24 addresses); :func:`slash8_equivalents` implements that unit.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Iterator
+
+__all__ = [
+    "IPV4_BITS",
+    "IPV4_MAX",
+    "AddressRange",
+    "IPv4Prefix",
+    "PrefixError",
+    "format_ip",
+    "parse_ip",
+    "slash8_equivalents",
+]
+
+IPV4_BITS = 32
+IPV4_MAX = 2**IPV4_BITS  # one past the last address
+
+_DOTTED_QUAD = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+
+
+class PrefixError(ValueError):
+    """Raised for malformed addresses, prefixes, or ranges."""
+
+
+def parse_ip(text: str) -> int:
+    """Parse a dotted-quad IPv4 address into an integer.
+
+    >>> parse_ip("192.0.2.1")
+    3221225985
+    """
+    match = _DOTTED_QUAD.match(text.strip())
+    if match is None:
+        raise PrefixError(f"not a dotted-quad IPv4 address: {text!r}")
+    value = 0
+    for octet_text in match.groups():
+        octet = int(octet_text)
+        if octet > 255:
+            raise PrefixError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ip(value: int) -> str:
+    """Format an integer as a dotted-quad IPv4 address.
+
+    >>> format_ip(3221225985)
+    '192.0.2.1'
+    """
+    if not 0 <= value < IPV4_MAX:
+        raise PrefixError(f"address out of IPv4 range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def slash8_equivalents(num_addresses: int) -> float:
+    """Express an address count in /8 equivalents (the paper's unit).
+
+    >>> slash8_equivalents(2 ** 24)
+    1.0
+    """
+    return num_addresses / float(2**24)
+
+
+@total_ordering
+@dataclass(frozen=True, slots=True)
+class IPv4Prefix:
+    """An IPv4 CIDR prefix: an integer network address and a length.
+
+    Instances are immutable, hashable, and totally ordered by
+    ``(network, length)``, which sorts prefixes in address order with
+    covering prefixes before their subnets.
+    """
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= IPV4_BITS:
+            raise PrefixError(f"prefix length out of range: /{self.length}")
+        if not 0 <= self.network < IPV4_MAX:
+            raise PrefixError(f"network address out of range: {self.network}")
+        if self.network & (self.hostmask):
+            raise PrefixError(
+                f"host bits set in {format_ip(self.network)}/{self.length}"
+            )
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str, *, strict: bool = True) -> "IPv4Prefix":
+        """Parse ``"a.b.c.d/len"`` (or a bare address, meaning a /32).
+
+        With ``strict=False``, host bits below the prefix length are masked
+        off instead of raising.
+        """
+        text = text.strip()
+        if "/" in text:
+            addr_text, _, len_text = text.partition("/")
+            try:
+                length = int(len_text)
+            except ValueError:
+                raise PrefixError(f"bad prefix length in {text!r}") from None
+        else:
+            addr_text, length = text, IPV4_BITS
+        address = parse_ip(addr_text)
+        if not 0 <= length <= IPV4_BITS:
+            raise PrefixError(f"prefix length out of range in {text!r}")
+        mask = _netmask(length)
+        if strict and address & ~mask & 0xFFFFFFFF:
+            raise PrefixError(f"host bits set in {text!r}")
+        return cls(address & mask, length)
+
+    @classmethod
+    def from_first_address(cls, address: int, length: int) -> "IPv4Prefix":
+        """Build a prefix from any address inside it, masking host bits."""
+        return cls(address & _netmask(length), length)
+
+    # -- basic properties -----------------------------------------------
+
+    @property
+    def netmask(self) -> int:
+        """The integer netmask (e.g. ``0xFFFFFF00`` for a /24)."""
+        return _netmask(self.length)
+
+    @property
+    def hostmask(self) -> int:
+        """The integer host mask (complement of the netmask)."""
+        return ~_netmask(self.length) & 0xFFFFFFFF
+
+    @property
+    def num_addresses(self) -> int:
+        """The number of addresses covered (``2 ** (32 - length)``)."""
+        return 1 << (IPV4_BITS - self.length)
+
+    @property
+    def first(self) -> int:
+        """The first (network) address as an integer."""
+        return self.network
+
+    @property
+    def last(self) -> int:
+        """The last (broadcast) address as an integer."""
+        return self.network + self.num_addresses - 1
+
+    @property
+    def slash8_equivalents(self) -> float:
+        """Address space covered, in /8 equivalents."""
+        return slash8_equivalents(self.num_addresses)
+
+    # -- containment ----------------------------------------------------
+
+    def contains_address(self, address: int) -> bool:
+        """True if the integer address falls inside this prefix."""
+        return self.network <= address <= self.last
+
+    def contains(self, other: "IPv4Prefix") -> bool:
+        """True if ``other`` is equal to or a subnet of this prefix."""
+        return (
+            self.length <= other.length
+            and (other.network & self.netmask) == self.network
+        )
+
+    def overlaps(self, other: "IPv4Prefix") -> bool:
+        """True if the two prefixes share any address."""
+        return self.contains(other) or other.contains(self)
+
+    def is_subnet_of(self, other: "IPv4Prefix") -> bool:
+        """True if this prefix is equal to or inside ``other``."""
+        return other.contains(self)
+
+    # -- derivation -----------------------------------------------------
+
+    def supernet(self, new_length: int | None = None) -> "IPv4Prefix":
+        """The covering prefix at ``new_length`` (default: one bit shorter)."""
+        if new_length is None:
+            new_length = self.length - 1
+        if not 0 <= new_length <= self.length:
+            raise PrefixError(
+                f"cannot widen /{self.length} to /{new_length}"
+            )
+        return IPv4Prefix(self.network & _netmask(new_length), new_length)
+
+    def subnets(self, new_length: int | None = None) -> Iterator["IPv4Prefix"]:
+        """Iterate the subnets of this prefix at ``new_length``.
+
+        Default is one bit longer (i.e. the two halves).
+        """
+        if new_length is None:
+            new_length = self.length + 1
+        if not self.length <= new_length <= IPV4_BITS:
+            raise PrefixError(
+                f"cannot split /{self.length} into /{new_length}"
+            )
+        step = 1 << (IPV4_BITS - new_length)
+        for network in range(self.network, self.network + self.num_addresses, step):
+            yield IPv4Prefix(network, new_length)
+
+    def to_range(self) -> "AddressRange":
+        """The half-open address range covered by this prefix."""
+        return AddressRange(self.network, self.network + self.num_addresses)
+
+    # -- ordering / display ----------------------------------------------
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, IPv4Prefix):
+            return NotImplemented
+        return (self.network, self.length) < (other.network, other.length)
+
+    def __str__(self) -> str:
+        return f"{format_ip(self.network)}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Prefix({str(self)!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class AddressRange:
+    """A half-open interval ``[start, end)`` of IPv4 addresses."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.end <= IPV4_MAX:
+            raise PrefixError(f"bad address range [{self.start}, {self.end})")
+
+    @classmethod
+    def from_prefix(cls, prefix: IPv4Prefix) -> "AddressRange":
+        """The range covered by a CIDR prefix."""
+        return prefix.to_range()
+
+    @classmethod
+    def from_count(cls, start: int, count: int) -> "AddressRange":
+        """A range of ``count`` addresses beginning at ``start``.
+
+        This matches the RIR delegated-stats convention of recording IPv4
+        resources as (first address, address count).
+        """
+        return cls(start, start + count)
+
+    @property
+    def num_addresses(self) -> int:
+        """The number of addresses in the range."""
+        return self.end - self.start
+
+    @property
+    def slash8_equivalents(self) -> float:
+        """Address space covered, in /8 equivalents."""
+        return slash8_equivalents(self.num_addresses)
+
+    def contains_address(self, address: int) -> bool:
+        """True if the integer address falls inside this range."""
+        return self.start <= address < self.end
+
+    def contains(self, other: "AddressRange") -> bool:
+        """True if ``other`` lies entirely within this range."""
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        """True if the two ranges share any address."""
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other: "AddressRange") -> "AddressRange | None":
+        """The overlapping sub-range, or ``None`` if disjoint."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start >= end:
+            return None
+        return AddressRange(start, end)
+
+    def to_prefixes(self) -> list[IPv4Prefix]:
+        """Decompose the range into a minimal ordered list of CIDR prefixes.
+
+        This is the standard greedy CIDR decomposition: at each step emit the
+        largest aligned block that fits in the remainder.
+        """
+        prefixes: list[IPv4Prefix] = []
+        cursor = self.start
+        while cursor < self.end:
+            # Largest block aligned at `cursor`:
+            align = (cursor & -cursor).bit_length() - 1 if cursor else IPV4_BITS
+            # Largest block fitting before `end`:
+            fit = (self.end - cursor).bit_length() - 1
+            size_bits = min(align, fit)
+            prefixes.append(IPv4Prefix(cursor, IPV4_BITS - size_bits))
+            cursor += 1 << size_bits
+        return prefixes
+
+    def __str__(self) -> str:
+        return f"{format_ip(self.start)}-{format_ip(self.end - 1)}"
+
+
+def _netmask(length: int) -> int:
+    if length == 0:
+        return 0
+    return (0xFFFFFFFF << (IPV4_BITS - length)) & 0xFFFFFFFF

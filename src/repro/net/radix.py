@@ -1,0 +1,273 @@
+"""A binary (path-compressed) radix trie keyed by IPv4 prefixes.
+
+Every cross-dataset join in the reproduction — "which ROA covers this DROP
+prefix", "is this announced prefix inside allocated space", "find the route
+objects that are more-specifics of this prefix" — is a covered/covering
+query over a large prefix-keyed table.  ``RadixTree`` provides:
+
+* exact lookup (:meth:`get`, :meth:`__contains__`);
+* longest-prefix match (:meth:`lookup_best`) and all covering entries in
+  root-to-leaf order (:meth:`lookup_covering`);
+* subtree enumeration of all covered entries (:meth:`lookup_covered`);
+* deletion and iteration in address order.
+
+The implementation is a classic path-compressed binary trie: each node tests
+one bit position; leaf/internal nodes that carry a value store the
+``(prefix, value)`` pair.  An ablation benchmark
+(``benchmarks/bench_ablation_radix.py``) compares these queries against the
+linear scans they replace.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+from .prefix import IPV4_BITS, IPv4Prefix
+
+__all__ = ["RadixTree"]
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("network", "length", "prefix", "value", "left", "right")
+
+    def __init__(self, network: int, length: int) -> None:
+        self.network = network
+        self.length = length
+        self.prefix: IPv4Prefix | None = None  # set when this node holds an entry
+        self.value: V | None = None
+        self.left: "_Node[V] | None" = None
+        self.right: "_Node[V] | None" = None
+
+    def covers(self, network: int, length: int) -> bool:
+        if self.length > length:
+            return False
+        return _prefix_bits(network, self.length) == self.network
+
+
+def _prefix_bits(network: int, length: int) -> int:
+    """The top ``length`` bits of ``network``, as a network address."""
+    if length == 0:
+        return 0
+    mask = (0xFFFFFFFF << (IPV4_BITS - length)) & 0xFFFFFFFF
+    return network & mask
+
+
+def _bit(network: int, position: int) -> int:
+    """Bit ``position`` of the address (0 = most significant)."""
+    return (network >> (IPV4_BITS - 1 - position)) & 1
+
+
+def _common_prefix_length(a: int, b: int, limit: int) -> int:
+    """Length of the longest common prefix of two addresses, capped."""
+    diff = a ^ b
+    if diff == 0:
+        return limit
+    leading = IPV4_BITS - diff.bit_length()
+    return min(leading, limit)
+
+
+class RadixTree(Generic[V]):
+    """A map from :class:`IPv4Prefix` to values with trie queries."""
+
+    __slots__ = ("_root", "_size")
+
+    def __init__(self) -> None:
+        self._root: _Node[V] | None = None
+        self._size = 0
+
+    # -- size / iteration --------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iter__(self) -> Iterator[IPv4Prefix]:
+        for prefix, _ in self.items():
+            yield prefix
+
+    def items(self) -> Iterator[tuple[IPv4Prefix, V]]:
+        """All entries in address order (pre-order walk)."""
+        yield from self._walk(self._root)
+
+    def _walk(self, node: _Node[V] | None) -> Iterator[tuple[IPv4Prefix, V]]:
+        if node is None:
+            return
+        if node.prefix is not None:
+            yield node.prefix, node.value  # type: ignore[misc]
+        yield from self._walk(node.left)
+        yield from self._walk(node.right)
+
+    # -- insertion -----------------------------------------------------------
+
+    def insert(self, prefix: IPv4Prefix, value: V) -> None:
+        """Insert or replace the entry for ``prefix``."""
+        network, length = prefix.network, prefix.length
+        if self._root is None:
+            self._root = self._make_entry(network, length, prefix, value)
+            return
+        node = self._root
+        parent: _Node[V] | None = None
+        went_right = False
+        while True:
+            common = _common_prefix_length(
+                node.network, network, min(node.length, length)
+            )
+            if common < node.length:
+                # Split the edge above `node` at depth `common`.
+                self._split(parent, went_right, node, network, length, prefix,
+                            value, common)
+                return
+            if node.length == length:
+                if node.prefix is None:
+                    self._size += 1
+                node.prefix = prefix
+                node.value = value
+                return
+            # node.length < length: descend by the next bit of the key.
+            branch_right = bool(_bit(network, node.length))
+            child = node.right if branch_right else node.left
+            if child is None:
+                entry = self._make_entry(network, length, prefix, value)
+                if branch_right:
+                    node.right = entry
+                else:
+                    node.left = entry
+                return
+            parent, went_right, node = node, branch_right, child
+
+    def _make_entry(
+        self, network: int, length: int, prefix: IPv4Prefix, value: V
+    ) -> _Node[V]:
+        node: _Node[V] = _Node(network, length)
+        node.prefix = prefix
+        node.value = value
+        self._size += 1
+        return node
+
+    def _split(
+        self,
+        parent: _Node[V] | None,
+        went_right: bool,
+        node: _Node[V],
+        network: int,
+        length: int,
+        prefix: IPv4Prefix,
+        value: V,
+        common: int,
+    ) -> None:
+        joint: _Node[V] = _Node(_prefix_bits(network, common), common)
+        if common == length:
+            # The new prefix sits exactly at the joint.
+            joint.prefix = prefix
+            joint.value = value
+            self._size += 1
+            if _bit(node.network, common):
+                joint.right = node
+            else:
+                joint.left = node
+        else:
+            entry = self._make_entry(network, length, prefix, value)
+            if _bit(network, common):
+                joint.right, joint.left = entry, node
+            else:
+                joint.left, joint.right = entry, node
+        if parent is None:
+            self._root = joint
+        elif went_right:
+            parent.right = joint
+        else:
+            parent.left = joint
+
+    # -- exact lookup -----------------------------------------------------
+
+    def _find_node(self, prefix: IPv4Prefix) -> _Node[V] | None:
+        node = self._root
+        while node is not None and node.length <= prefix.length:
+            if not node.covers(prefix.network, prefix.length):
+                return None
+            if node.length == prefix.length:
+                return node if node.prefix is not None else None
+            node = node.right if _bit(prefix.network, node.length) else node.left
+        return None
+
+    def get(self, prefix: IPv4Prefix, default: V | None = None) -> V | None:
+        """The value stored at exactly ``prefix``, or ``default``."""
+        node = self._find_node(prefix)
+        return default if node is None else node.value
+
+    def __contains__(self, prefix: IPv4Prefix) -> bool:
+        return self._find_node(prefix) is not None
+
+    def __getitem__(self, prefix: IPv4Prefix) -> V:
+        node = self._find_node(prefix)
+        if node is None:
+            raise KeyError(prefix)
+        return node.value  # type: ignore[return-value]
+
+    def __setitem__(self, prefix: IPv4Prefix, value: V) -> None:
+        self.insert(prefix, value)
+
+    # -- covering / covered queries ------------------------------------------
+
+    def lookup_covering(self, prefix: IPv4Prefix) -> list[tuple[IPv4Prefix, V]]:
+        """All entries that cover ``prefix`` (equal or less specific).
+
+        Returned least-specific first, so the last element is the
+        longest-prefix match.
+        """
+        found: list[tuple[IPv4Prefix, V]] = []
+        node = self._root
+        while node is not None and node.length <= prefix.length:
+            if not node.covers(prefix.network, prefix.length):
+                break
+            if node.prefix is not None:
+                found.append((node.prefix, node.value))  # type: ignore[arg-type]
+            if node.length == prefix.length:
+                break
+            node = node.right if _bit(prefix.network, node.length) else node.left
+        return found
+
+    def lookup_best(self, prefix: IPv4Prefix) -> tuple[IPv4Prefix, V] | None:
+        """The longest-prefix match for ``prefix``, or ``None``."""
+        covering = self.lookup_covering(prefix)
+        return covering[-1] if covering else None
+
+    def lookup_covered(self, prefix: IPv4Prefix) -> list[tuple[IPv4Prefix, V]]:
+        """All entries equal to or more specific than ``prefix``."""
+        # Descend to the node region for `prefix`, then walk its subtree.
+        node = self._root
+        while node is not None and node.length < prefix.length:
+            if not node.covers(prefix.network, prefix.length):
+                return []
+            node = node.right if _bit(prefix.network, node.length) else node.left
+        if node is None or not prefix.contains(
+            IPv4Prefix(node.network, node.length)
+        ):
+            return []
+        return list(self._walk(node))
+
+    def covers_address(self, address: int) -> bool:
+        """True if any entry covers the given integer address."""
+        return self.lookup_best(IPv4Prefix(address, IPV4_BITS)) is not None
+
+    # -- deletion -----------------------------------------------------------
+
+    def delete(self, prefix: IPv4Prefix) -> V:
+        """Remove and return the entry at exactly ``prefix``.
+
+        Raises ``KeyError`` if absent.  Structural nodes left without an
+        entry or children are pruned lazily on later operations; this keeps
+        deletion simple at a negligible memory cost for our workloads.
+        """
+        node = self._find_node(prefix)
+        if node is None:
+            raise KeyError(prefix)
+        value = node.value
+        node.prefix = None
+        node.value = None
+        self._size -= 1
+        return value  # type: ignore[return-value]

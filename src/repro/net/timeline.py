@@ -1,0 +1,212 @@
+"""Day-resolution time utilities.
+
+Every archive in the study (DROP snapshots, ROA archive, RADb journal, RIR
+delegated stats, RIB snapshots) is daily, so the whole reproduction works at
+day resolution using ``datetime.date``.  This module provides:
+
+* :data:`STUDY_START` / :data:`STUDY_END` — the paper's measurement window
+  (June 5 2019 – March 30 2022);
+* :class:`DateWindow` — an inclusive window of days with containment,
+  clamping, and iteration;
+* :class:`StepFunction` — a value that changes at dated breakpoints
+  (allocation status, ROA presence, ...);
+* :class:`DailySeries` — a dense per-day numeric series for figures.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from datetime import date, timedelta
+from typing import Generic, Iterator, TypeVar
+
+__all__ = [
+    "DAY",
+    "STUDY_END",
+    "STUDY_START",
+    "STUDY_WINDOW",
+    "DailySeries",
+    "DateWindow",
+    "StepFunction",
+    "date_range",
+    "month_starts",
+    "parse_date",
+]
+
+DAY = timedelta(days=1)
+
+#: First day of the paper's measurement window.
+STUDY_START = date(2019, 6, 5)
+#: Last day of the paper's measurement window.
+STUDY_END = date(2022, 3, 30)
+
+T = TypeVar("T")
+
+
+def parse_date(text: str) -> date:
+    """Parse ``YYYY-MM-DD`` or the RIR-stats ``YYYYMMDD`` form."""
+    cleaned = text.strip()
+    if "-" in cleaned:
+        year, month, day = cleaned.split("-")
+    else:
+        year, month, day = cleaned[0:4], cleaned[4:6], cleaned[6:8]
+    return date(int(year), int(month), int(day))
+
+
+def date_range(start: date, end: date, step_days: int = 1) -> Iterator[date]:
+    """Iterate days from ``start`` to ``end`` inclusive."""
+    step = timedelta(days=step_days)
+    current = start
+    while current <= end:
+        yield current
+        current += step
+
+
+def month_starts(start: date, end: date) -> Iterator[date]:
+    """Iterate the first-of-month dates within [start, end]."""
+    current = date(start.year, start.month, 1)
+    if current < start:
+        current = _next_month(current)
+    while current <= end:
+        yield current
+        current = _next_month(current)
+
+
+def _next_month(day: date) -> date:
+    if day.month == 12:
+        return date(day.year + 1, 1, 1)
+    return date(day.year, day.month + 1, 1)
+
+
+@dataclass(frozen=True, slots=True)
+class DateWindow:
+    """An inclusive window of days ``[start, end]``."""
+
+    start: date
+    end: date
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise ValueError(f"window start {self.start} after end {self.end}")
+
+    @property
+    def days(self) -> int:
+        """Number of days in the window, inclusive of both endpoints."""
+        return (self.end - self.start).days + 1
+
+    def __contains__(self, day: date) -> bool:
+        return self.start <= day <= self.end
+
+    def __iter__(self) -> Iterator[date]:
+        return date_range(self.start, self.end)
+
+    def clamp(self, day: date) -> date:
+        """The nearest day inside the window."""
+        return min(max(day, self.start), self.end)
+
+    def overlaps(self, other: "DateWindow") -> bool:
+        """True if the two windows share at least one day."""
+        return self.start <= other.end and other.start <= self.end
+
+    def shifted(self, days: int) -> "DateWindow":
+        """The window moved by a signed number of days."""
+        delta = timedelta(days=days)
+        return DateWindow(self.start + delta, self.end + delta)
+
+
+#: The paper's measurement window as a :class:`DateWindow`.
+STUDY_WINDOW = DateWindow(STUDY_START, STUDY_END)
+
+
+class StepFunction(Generic[T]):
+    """A piecewise-constant value over time.
+
+    The function holds ``default`` before the first breakpoint and the most
+    recent breakpoint's value afterwards.  Breakpoints may be inserted out
+    of order; setting the same day twice keeps the later value.
+    """
+
+    __slots__ = ("_days", "_values", "_default")
+
+    def __init__(self, default: T) -> None:
+        self._days: list[date] = []
+        self._values: list[T] = []
+        self._default = default
+
+    def set(self, day: date, value: T) -> None:
+        """From ``day`` onward (until the next breakpoint), be ``value``."""
+        idx = bisect_right(self._days, day)
+        if idx > 0 and self._days[idx - 1] == day:
+            self._values[idx - 1] = value
+        else:
+            self._days.insert(idx, day)
+            self._values.insert(idx, value)
+
+    def value_at(self, day: date) -> T:
+        """The value in effect on ``day``."""
+        idx = bisect_right(self._days, day)
+        return self._default if idx == 0 else self._values[idx - 1]
+
+    def breakpoints(self) -> Iterator[tuple[date, T]]:
+        """Iterate ``(day, value)`` breakpoints in date order."""
+        yield from zip(self._days, self._values)
+
+    def first_day_with(self, predicate) -> date | None:
+        """The earliest breakpoint day whose value satisfies ``predicate``."""
+        for day, value in zip(self._days, self._values):
+            if predicate(value):
+                return day
+        return None
+
+    def __len__(self) -> int:
+        return len(self._days)
+
+
+class DailySeries:
+    """A dense per-day float series over a window (for figures).
+
+    Values default to 0.0; arithmetic is pointwise over the same window.
+    """
+
+    __slots__ = ("window", "_values")
+
+    def __init__(self, window: DateWindow, fill: float = 0.0) -> None:
+        self.window = window
+        self._values = [fill] * window.days
+
+    def _index(self, day: date) -> int:
+        if day not in self.window:
+            raise KeyError(f"{day} outside {self.window.start}..{self.window.end}")
+        return (day - self.window.start).days
+
+    def __getitem__(self, day: date) -> float:
+        return self._values[self._index(day)]
+
+    def __setitem__(self, day: date, value: float) -> None:
+        self._values[self._index(day)] = value
+
+    def increment(self, day: date, amount: float = 1.0) -> None:
+        """Add ``amount`` to the value on ``day``."""
+        self._values[self._index(day)] += amount
+
+    def add_interval(self, start: date, end: date, amount: float = 1.0) -> None:
+        """Add ``amount`` to every day in [start, end] ∩ window."""
+        if end < self.window.start or start > self.window.end:
+            return
+        lo = self._index(self.window.clamp(start))
+        hi = self._index(self.window.clamp(end))
+        for idx in range(lo, hi + 1):
+            self._values[idx] += amount
+
+    def items(self) -> Iterator[tuple[date, float]]:
+        """Iterate ``(day, value)`` pairs in date order."""
+        for offset, value in enumerate(self._values):
+            yield self.window.start + timedelta(days=offset), value
+
+    def values(self) -> list[float]:
+        """The raw value list, in date order."""
+        return list(self._values)
+
+    def sample(self, days: Iterator[date] | list[date]) -> list[tuple[date, float]]:
+        """The series restricted to the given days."""
+        return [(day, self[day]) for day in days]

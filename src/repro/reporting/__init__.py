@@ -1,0 +1,28 @@
+"""Reporting: text tables, ASCII figures, and the experiment registry."""
+
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentReport,
+    Metric,
+    render_markdown,
+    render_text,
+    run_all,
+    run_experiment,
+)
+from .figures import ascii_cdf, ascii_series, ascii_timeline, cdf_points
+from .tables import TextTable
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "Metric",
+    "TextTable",
+    "ascii_cdf",
+    "ascii_series",
+    "ascii_timeline",
+    "cdf_points",
+    "render_markdown",
+    "render_text",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,686 @@
+"""The experiment registry: every table and figure, paper vs. measured.
+
+Each experiment function takes a :class:`~repro.synth.world.World` (plus
+the shared entry view) and returns an :class:`ExperimentReport` holding
+(metric, paper value, measured value) rows and a rendered text body.  The
+registry powers the benchmark harness, the full-reproduction example, and
+EXPERIMENTS.md generation — one source of truth for "did we reproduce it".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..analysis import (
+    analyze_deallocation,
+    analyze_irr,
+    analyze_roa_status,
+    analyze_rpki_effectiveness,
+    analyze_rpki_uptake,
+    analyze_unallocated,
+    analyze_visibility,
+    classify_drop,
+    detect_as0_filtering,
+    detect_drop_filtering,
+    load_entries,
+)
+from ..analysis.common import DropEntryView
+from ..drop.categories import Category
+from ..rirstats.rirs import ALL_RIRS, display_name
+from ..synth.world import World
+from .figures import ascii_cdf, ascii_series, ascii_timeline
+from .tables import TextTable
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "Metric",
+    "render_markdown",
+    "render_text",
+    "run_all",
+    "run_experiment",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Metric:
+    """One paper-vs-measured comparison row."""
+
+    name: str
+    paper: float | int | str
+    measured: float | int | str
+    unit: str = ""
+
+    def matches(self, rel_tol: float = 0.25) -> bool:
+        """Loose agreement check for numeric metrics."""
+        if not isinstance(self.paper, (int, float)) or not isinstance(
+            self.measured, (int, float)
+        ):
+            return self.paper == self.measured
+        if self.paper == 0:
+            return abs(float(self.measured)) < 1e-9 or self.measured == 0
+        return (
+            abs(float(self.measured) - float(self.paper))
+            / abs(float(self.paper))
+            <= rel_tol
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentReport:
+    """One reproduced table or figure."""
+
+    exp_id: str
+    title: str
+    metrics: tuple[Metric, ...]
+    body: str = ""
+
+
+_Runner = Callable[[World, list[DropEntryView]], ExperimentReport]
+EXPERIMENTS: dict[str, _Runner] = {}
+
+
+def _experiment(exp_id: str) -> Callable[[_Runner], _Runner]:
+    def register(fn: _Runner) -> _Runner:
+        EXPERIMENTS[exp_id] = fn
+        return fn
+
+    return register
+
+
+def run_experiment(
+    world: World,
+    exp_id: str,
+    entries: list[DropEntryView] | None = None,
+) -> ExperimentReport:
+    """Run one registered experiment by id."""
+    if entries is None:
+        entries = load_entries(world)
+    return EXPERIMENTS[exp_id](world, entries)
+
+
+def run_all(world: World) -> list[ExperimentReport]:
+    """Run every registered experiment, in registry order."""
+    entries = load_entries(world)
+    return [fn(world, entries) for fn in EXPERIMENTS.values()]
+
+
+def render_text(report: ExperimentReport) -> str:
+    """A terminal rendering of one report."""
+    table = TextTable(["metric", "paper", "measured"])
+    for metric in report.metrics:
+        paper = metric.paper
+        measured = metric.measured
+        if metric.unit:
+            paper = f"{paper}{metric.unit}"
+            measured = (
+                f"{measured:.3f}{metric.unit}"
+                if isinstance(measured, float)
+                else f"{measured}{metric.unit}"
+            )
+        table.add_row(metric.name, paper, measured)
+    parts = [f"== {report.exp_id}: {report.title} ==", table.render()]
+    if report.body:
+        parts.append(report.body)
+    return "\n\n".join(parts)
+
+
+def render_markdown(reports: list[ExperimentReport]) -> str:
+    """A Markdown rendering of all reports (EXPERIMENTS.md body)."""
+    lines: list[str] = []
+    for report in reports:
+        lines.append(f"### {report.exp_id} — {report.title}")
+        lines.append("")
+        lines.append("| metric | paper | measured |")
+        lines.append("|---|---|---|")
+        for metric in report.metrics:
+            measured = (
+                f"{metric.measured:.3f}"
+                if isinstance(metric.measured, float)
+                else str(metric.measured)
+            )
+            lines.append(
+                f"| {metric.name} | {metric.paper}{metric.unit} "
+                f"| {measured}{metric.unit} |"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# experiments
+# ---------------------------------------------------------------------------
+
+
+@_experiment("fig1")
+def _fig1(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+    result = classify_drop(world, entries)
+    table = TextTable(
+        ["category", "exclusive", "additional", "addresses", "/8 equiv"]
+    )
+    for bar in result.bars:
+        table.add_row(
+            bar.category.value,
+            bar.exclusive_prefixes,
+            bar.additional_prefixes,
+            bar.addresses,
+            bar.slash8,
+        )
+    metrics = (
+        Metric("unique prefixes", 712, result.total_prefixes),
+        Metric("prefixes with SBL record", 526, result.with_record),
+        Metric("hijacked prefixes", 179,
+               result.bar(Category.HIJACKED).total_prefixes),
+        Metric("snowshoe prefixes", 230,
+               result.bar(Category.SNOWSHOE).total_prefixes),
+        Metric("unallocated prefixes", 40,
+               result.bar(Category.UNALLOCATED).total_prefixes),
+        Metric("no-record prefixes", 186,
+               result.bar(Category.NO_RECORD).total_prefixes),
+        Metric("incident prefixes", 45, result.incident_prefixes),
+        Metric("incident space share", 0.488,
+               round(result.incident_space_share, 3)),
+        Metric("snowshoe space share", 0.085,
+               round(result.space_share(Category.SNOWSHOE), 3)),
+    )
+    return ExperimentReport(
+        "fig1", "Classification of DROP entries", metrics, table.render()
+    )
+
+
+@_experiment("fig2")
+def _fig2(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+    result = analyze_visibility(world, entries)
+    body = ascii_cdf(
+        result.cdf(30),
+        label="Fraction of peers observing prefix, 30 days after listing",
+    )
+    metrics = (
+        Metric("withdrawn within 30 days", 0.19,
+               round(result.withdrawal_rate, 3)),
+        Metric("hijacked withdrawn", 0.707,
+               round(result.category_rate(Category.HIJACKED), 3)),
+        Metric("unallocated withdrawn", 0.548,
+               round(result.category_rate(Category.UNALLOCATED), 3)),
+    )
+    return ExperimentReport(
+        "fig2", "Routing visibility after listing", metrics, body
+    )
+
+
+@_experiment("fig2-peers")
+def _fig2_peers(
+    world: World, entries: list[DropEntryView]
+) -> ExperimentReport:
+    result = detect_drop_filtering(world, entries)
+    table = TextTable(["peer", "collector", "rate"])
+    for suspect in result.suspects:
+        table.add_row(
+            f"AS{suspect.peer_asn}", suspect.collector, suspect.rate
+        )
+    metrics = (
+        Metric("peers filtering DROP", 3, len(result.suspects)),
+    )
+    return ExperimentReport(
+        "fig2-peers", "RouteViews peers filtering the DROP list",
+        metrics, table.render(),
+    )
+
+
+@_experiment("tab1")
+def _tab1(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+    result = analyze_rpki_uptake(world, entries)
+    table = TextTable(
+        ["region", "never", "of", "removed", "of", "present", "of"]
+    )
+    for row in list(result.rows) + [result.overall]:
+        table.add_row(
+            display_name(row.region) if row.region != "Overall" else "Overall",
+            row.never_rate,
+            row.never_total,
+            row.removed_rate,
+            row.removed_total,
+            row.present_rate,
+            row.present_total,
+        )
+    metrics = (
+        Metric("overall never-on-DROP rate", 0.223,
+               round(result.overall.never_rate, 3)),
+        Metric("overall removed rate", 0.425,
+               round(result.overall.removed_rate, 3)),
+        Metric("overall present rate (rows aggregate ~0.108)", 0.138,
+               round(result.overall.present_rate, 3)),
+        Metric("removed signed w/ different ASN", 0.823,
+               round(result.different_asn_rate, 3)),
+        Metric("removed signed w/ same ASN", 0.063,
+               round(result.same_asn_rate, 3)),
+    )
+    return ExperimentReport(
+        "tab1", "RPKI signing rates (Table 1)", metrics, table.render()
+    )
+
+
+@_experiment("fig3")
+def _fig3(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+    result = analyze_irr(world, entries)
+    to_bgp = [
+        t.days_to_bgp
+        for t in result.timings
+        if t.days_to_bgp is not None and t.days_to_bgp >= 0
+    ]
+    to_drop = [t.days_to_drop for t in result.timings if t.days_to_drop >= 0]
+    body = "\n\n".join(
+        [
+            ascii_cdf(
+                [float(d) for d in to_bgp],
+                label="Days from IRR record creation to BGP appearance",
+            ),
+            ascii_cdf(
+                [float(d) for d in to_drop],
+                label="Days from IRR record creation to DROP listing",
+            ),
+        ]
+    )
+    within_week = sum(1 for d in to_bgp if d <= 7)
+    metrics = (
+        Metric("forged records", 57, len(result.timings)),
+        Metric("announced within 7 days of record", 55, within_week),
+        Metric("records created >1yr after BGP", 2, result.late_records),
+    )
+    return ExperimentReport(
+        "fig3", "IRR record creation vs BGP/DROP appearance", metrics, body
+    )
+
+
+@_experiment("fig4")
+def _fig4(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+    result = analyze_rpki_effectiveness(world, entries)
+    lines = []
+    for hijack in result.rpki_valid_hijacks:
+        lines.append(
+            f"RPKI-valid hijack of {hijack.prefix}: owner AS{hijack.owner_asn},"
+            f" unrouted from {hijack.unrouted_from},"
+            f" hijacked {hijack.hijack_start} via AS{hijack.hijack_transit}"
+        )
+        for sibling in hijack.siblings:
+            on_drop = (
+                " [on DROP]" if sibling in hijack.siblings_on_drop else ""
+            )
+            lines.append(f"  sibling {sibling}{on_drop}")
+    valid = result.rpki_valid_hijacks
+    metrics = (
+        Metric("hijacked prefixes signed before listing", 3,
+               result.presigned_count),
+        Metric("attacker-controlled ROAs (follows origin)", 2,
+               result.roa_follows_origin_count),
+        Metric("RPKI-valid hijacks", 1, len(valid)),
+        Metric("sibling prefixes", 6,
+               len(valid[0].siblings) if valid else 0),
+        Metric("siblings added to DROP", 3,
+               len(valid[0].siblings_on_drop) if valid else 0),
+    )
+    return ExperimentReport(
+        "fig4", "The RPKI-valid hijack case study", metrics,
+        "\n".join(lines),
+    )
+
+
+@_experiment("fig5")
+def _fig5(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+    result = analyze_roa_status(world)
+    body = ascii_series(
+        [(p.day, p.signed) for p in result.points],
+        label="ROA-covered allocated space (/8 equivalents)",
+    )
+    metrics = (
+        Metric("signed space at start", 49.1,
+               round(result.first.signed, 1), " /8s"),
+        Metric("signed space at end", 70.4,
+               round(result.final.signed, 1), " /8s"),
+        Metric("unrouted signed at start", 1.6,
+               round(result.first.signed_unrouted, 1), " /8s"),
+        Metric("unrouted signed at end", 6.7,
+               round(result.final.signed_unrouted, 1), " /8s"),
+        Metric("unrouted unsigned at start", 29.2,
+               round(result.first.allocated_unrouted_unsigned, 1), " /8s"),
+        Metric("unrouted unsigned at end", 30.0,
+               round(result.final.allocated_unrouted_unsigned, 1), " /8s"),
+        Metric("percent of ROAs routed, start", 97.1,
+               round(result.first.percent_routed, 1), "%"),
+        Metric("percent of ROAs routed, end", 90.5,
+               round(result.final.percent_routed, 1), "%"),
+        Metric("top-3 holders of unrouted signed", 0.701,
+               round(result.top_holder_share(3), 3)),
+        Metric("ARIN share of unrouted unsigned", 0.608,
+               round(result.rir_unsigned_share("ARIN"), 3)),
+    )
+    return ExperimentReport(
+        "fig5", "Routing status of ROAs", metrics, body
+    )
+
+
+@_experiment("fig6")
+def _fig6(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+    result = analyze_unallocated(world, entries)
+    events = [
+        (l.listed, f"{l.prefix} ({l.region})") for l in result.listings
+    ]
+    markers = [
+        (e.implemented, f"{e.rir} AS0 policy implemented")
+        for e in result.policy_events
+        if e.implemented is not None
+    ]
+    metrics = (
+        Metric("unallocated prefixes on DROP", 40, result.total),
+        Metric("LACNIC cluster", 19, result.count_for("LACNIC")),
+        Metric("AFRINIC cluster", 12, result.count_for("AFRINIC")),
+        Metric("listings after a live AS0 policy", ">0",
+               result.after_policy_count),
+    )
+    return ExperimentReport(
+        "fig6", "Unallocated space appearing on DROP vs AS0 policy",
+        metrics, ascii_timeline(events, markers=markers),
+    )
+
+
+@_experiment("fig7")
+def _fig7(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+    result = analyze_unallocated(world, entries)
+    bodies = []
+    metrics = []
+    for rir in ALL_RIRS:
+        series = result.free_pools[rir]
+        profile = world.config.regions[rir]
+        bodies.append(
+            ascii_series(
+                [(d, v / 1e6) for d, v in series],
+                label=f"{display_name(rir)} free pool (millions of addrs)",
+                height=6,
+            )
+        )
+        metrics.append(
+            Metric(
+                f"{rir} pool at end",
+                round(profile.free_pool_end / 1e6, 1),
+                round(series[-1][1] / 1e6, 1),
+                "M",
+            )
+        )
+    return ExperimentReport(
+        "fig7", "Unallocated address space per RIR over time",
+        tuple(metrics), "\n\n".join(bodies),
+    )
+
+
+@_experiment("tab2")
+def _tab2(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+    result = classify_drop(world, entries)
+    metrics = (
+        Metric("records with one keyword", 0.90,
+               round(result.keyword_stats["one"], 3)),
+        Metric("records with two keywords", 0.027,
+               round(result.keyword_stats["two_or_more"], 3)),
+        Metric("records with no keyword", 0.073,
+               round(result.keyword_stats["none"], 3)),
+    )
+    return ExperimentReport(
+        "tab2", "Appendix A keyword classification", metrics
+    )
+
+
+@_experiment("sec4.1-dealloc")
+def _dealloc(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+    result = analyze_deallocation(world, entries)
+    metrics = (
+        Metric("MH prefixes deallocated", 0.174,
+               round(result.category_rate(Category.MALICIOUS_HOSTING), 3)),
+        Metric("removed prefixes deallocated", 0.088,
+               round(result.removed_deallocation_rate, 3)),
+        Metric("of those, removed within a week", 0.5,
+               round(result.within_week_share, 3)),
+    )
+    return ExperimentReport(
+        "sec4.1-dealloc", "RIR deallocation after listing", metrics
+    )
+
+
+@_experiment("sec5")
+def _sec5(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+    result = analyze_irr(world, entries)
+    org_table = TextTable(["ORG-ID", "route objects"])
+    for org, count in sorted(
+        result.org_id_counts.items(), key=lambda kv: -kv[1]
+    )[:6]:
+        org_table.add_row(org, count)
+    metrics = (
+        Metric("prefixes with route object", 226, result.with_route_object),
+        Metric("object rate", 0.317, round(result.object_rate, 3)),
+        Metric("space covered", 0.688, round(result.space_share, 3)),
+        Metric("created month before listing", 0.32,
+               round(result.created_recently_rate, 3)),
+        Metric("removed month after listing", 0.43,
+               round(result.removed_after_rate, 3)),
+        Metric("labeled hijacks", 130, result.asn_labeled_hijacks),
+        Metric("hijacker-ASN route objects", 57,
+               result.hijacker_asn_matches),
+        Metric("distinct hijacking ASNs", 13,
+               result.distinct_hijacker_asns),
+        Metric("objects under top-3 ORG-IDs", 49,
+               result.top_org_cluster_size),
+        Metric("prefixes with pre-existing entries", 5,
+               result.preexisting_entries),
+        Metric("unallocated prefixes in IRR", 1,
+               len(result.unallocated_in_irr)),
+    )
+    return ExperimentReport(
+        "sec5", "Effectiveness of the IRR", metrics, org_table.render()
+    )
+
+
+@_experiment("sec6.2-as0")
+def _sec62(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+    result = detect_as0_filtering(world)
+    metrics = (
+        Metric("prefixes the AS0 TALs would filter", 30,
+               len(result.filterable_prefixes)),
+        Metric("mean carried per full-table peer", 30,
+               round(result.mean_carried, 1)),
+        Metric("peers filtering with AS0 TALs", 0,
+               len(result.peers_filtering)),
+    )
+    return ExperimentReport(
+        "sec6.2-as0", "AS0 trust anchors: unused for filtering", metrics
+    )
+
+
+# ---------------------------------------------------------------------------
+# extension experiments (the paper's §6–§7 implications, quantified)
+# ---------------------------------------------------------------------------
+
+
+@_experiment("ext-rov")
+def _ext_rov(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+    from ..analysis.counterfactuals import rov_counterfactual
+    from ..rpki.validation import RouteValidity
+
+    result = rov_counterfactual(world, entries)
+    table = TextTable(["outcome", "as deployed", "if all signed"])
+    for validity in RouteValidity:
+        table.add_row(
+            str(validity),
+            result.as_deployed.get(validity, 0),
+            result.if_all_signed.get(validity, 0),
+        )
+    metrics = (
+        Metric("DROP announcements ROV drops today", "~0",
+               round(result.stopped_as_deployed, 3)),
+        Metric("dropped under universal signing", ">0.9",
+               round(result.stopped_if_all_signed, 3)),
+        Metric("forged-origin escapes (need path validation)", ">0",
+               result.forged_origin_escapes),
+    )
+    return ExperimentReport(
+        "ext-rov", "Counterfactual: would ROV have stopped the DROP "
+        "announcements?", metrics, table.render(),
+    )
+
+
+@_experiment("ext-as0")
+def _ext_as0(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+    from ..analysis.counterfactuals import as0_counterfactual
+
+    result = as0_counterfactual(world, entries)
+    ladder = ", ".join(f"top-{i+1}: {x:.0%}"
+                       for i, x in enumerate(result.operator_ladder[:3]))
+    metrics = (
+        Metric("unallocated listings", 40, result.unallocated_listings),
+        Metric("covered by published RIR AS0 ROAs", "some",
+               result.covered_as_published),
+        Metric("blocked if AS0 TALs trusted", "<1.0",
+               round(result.tals_trusted_share, 3)),
+        Metric("blocked under universal RIR AS0", 1.0,
+               round(result.universal_share, 3)),
+        Metric("top-3 operator AS0 covers (of unrouted signed)", 0.701,
+               round(result.operator_ladder[2], 3)
+               if len(result.operator_ladder) >= 3 else 0.0),
+    )
+    return ExperimentReport(
+        "ext-as0", "Counterfactual: the AS0 deployment ladder", metrics,
+        f"operator ladder: {ladder}",
+    )
+
+
+@_experiment("ext-maxlen")
+def _ext_maxlen(
+    world: World, entries: list[DropEntryView]
+) -> ExperimentReport:
+    from ..analysis.maxlength import audit_maxlength
+
+    result = audit_maxlength(world)
+    examples = "\n".join(
+        f"  {v.roa} -> hijackable more-specific {v.example_target}"
+        for v in result.vulnerable[:5]
+    )
+    metrics = (
+        Metric("ROAs using maxLength", "some", result.using_maxlength),
+        Metric("of those, forged-origin vulnerable (Gilad et al.: 0.84)",
+               0.84, round(result.vulnerable_rate, 2)),
+    )
+    return ExperimentReport(
+        "ext-maxlen", "maxLength audit (forged-origin sub-prefix hijacks)",
+        metrics, examples,
+    )
+
+
+@_experiment("ext-alarms")
+def _ext_alarms(
+    world: World, entries: list[DropEntryView]
+) -> ExperimentReport:
+    from ..analysis.alarm_eval import evaluate_alarms
+
+    result = evaluate_alarms(world, entries)
+    table = TextTable(["prefix", "listed", "first alarm", "lead (days)"])
+    for item in result.monitored:
+        table.add_row(
+            str(item.prefix),
+            item.listed.isoformat(),
+            item.first_alarm.isoformat() if item.first_alarm else "-",
+            item.lead_days if item.lead_days is not None else "-",
+        )
+    metrics = (
+        Metric("hijacked prefixes with baselinable history", "few",
+               result.enrollable),
+        Metric("enrollable share", "<0.1",
+               round(result.enrollable_share, 3)),
+        Metric("of those, detected before listing", "all",
+               result.detected),
+        Metric("median detection lead over DROP (days)", ">100",
+               result.median_lead_days or 0),
+    )
+    return ExperimentReport(
+        "ext-alarms",
+        "Counterfactual: PHAS/ARTEMIS-style monitoring vs the blocklist",
+        metrics, table.render(),
+    )
+
+
+@_experiment("ext-serial")
+def _ext_serial(
+    world: World, entries: list[DropEntryView]
+) -> ExperimentReport:
+    from ..analysis.serial_hijackers import profile_origins
+
+    result = profile_origins(world, entries)
+    table = TextTable(
+        ["origin", "prefixes", "on DROP", "short-lived", "score"]
+    )
+    for candidate in result.candidates[:10]:
+        table.add_row(
+            f"AS{candidate.asn}",
+            candidate.prefixes,
+            candidate.listed_on_drop,
+            candidate.short_lived,
+            candidate.score,
+        )
+    flagged_prefixes = sum(c.listed_on_drop for c in result.candidates)
+    metrics = (
+        Metric("origin ASes profiled", ">1000", len(result.profiles)),
+        Metric("serial-hijacker candidates", "~tens",
+               len(result.candidates)),
+        Metric("DROP prefixes attributed to candidates", ">50",
+               flagged_prefixes),
+    )
+    return ExperimentReport(
+        "ext-serial",
+        "Profiling serial hijackers (after Testart et al.)",
+        metrics, table.render(),
+    )
+
+
+@_experiment("ext-survival")
+def _ext_survival(
+    world: World, entries: list[DropEntryView]
+) -> ExperimentReport:
+    from ..analysis.survival import analyze_survival
+
+    result = analyze_survival(world, entries)
+    table = TextTable(["cohort", "subjects", "S(7d)", "S(30d)", "median"])
+    cohorts = [("overall", result.overall)]
+    cohorts += [
+        (category.value, curve)
+        for category, curve in sorted(
+            result.by_category.items(), key=lambda kv: kv[0].value
+        )
+    ]
+    for label, curve in cohorts:
+        median = curve.median_lifetime()
+        table.add_row(
+            label,
+            curve.subjects,
+            curve.at(7),
+            curve.at(30),
+            median if median is not None else "-",
+        )
+    hijacked = result.by_category.get(Category.HIJACKED)
+    hosting = result.by_category.get(Category.MALICIOUS_HOSTING)
+    metrics = (
+        Metric("overall death by 30d (Fig 2: 19%)", 0.19,
+               round(1 - result.overall.at(30), 3)),
+        Metric("hijacked death by 30d (Fig 2: 70.7%)", 0.707,
+               round(1 - hijacked.at(30), 3) if hijacked else 0.0),
+        Metric(
+            "hosting median lifetime",
+            "none (censored)",
+            (
+                "none (censored)"
+                if hosting and hosting.median_lifetime() is None
+                else str(hosting.median_lifetime() if hosting else "-")
+            ),
+        ),
+    )
+    return ExperimentReport(
+        "ext-survival",
+        "Kaplan-Meier survival of routes after listing",
+        metrics, table.render(),
+    )

@@ -1,0 +1,98 @@
+"""Text renderings of the paper's figure data: CDFs, series, timelines.
+
+Benchmarks and examples print these so a reproduction run shows the same
+*shapes* the paper plots, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import Sequence
+
+__all__ = ["ascii_cdf", "ascii_series", "ascii_timeline", "cdf_points"]
+
+
+def cdf_points(values: Sequence[float]) -> list[tuple[float, float]]:
+    """(value, cumulative fraction) pairs of an empirical CDF."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def ascii_cdf(
+    values: Sequence[float],
+    *,
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Render an empirical CDF as an ASCII plot.
+
+    The x axis spans [min, max] of the data; y spans [0, 1].
+    """
+    if not values:
+        return f"{label}: (no data)"
+    points = cdf_points(values)
+    lo, hi = points[0][0], points[-1][0]
+    span = hi - lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for value, fraction in points:
+        x = min(width - 1, int((value - lo) / span * (width - 1)))
+        y = min(height - 1, int(fraction * (height - 1)))
+        grid[height - 1 - y][x] = "*"
+    lines = [f"{label}" if label else "CDF"]
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        lines.append(f"{fraction:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {lo:<.3g}{' ' * max(1, width - 12)}{hi:>.3g}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: Sequence[tuple[date, float]],
+    *,
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Render a (day, value) series as an ASCII line plot."""
+    if not series:
+        return f"{label}: (no data)"
+    days = [d for d, _ in series]
+    values = [v for _, v in series]
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    t0, t1 = days[0], days[-1]
+    tspan = (t1 - t0).days or 1
+    grid = [[" "] * width for _ in range(height)]
+    for day, value in series:
+        x = min(width - 1, int((day - t0).days / tspan * (width - 1)))
+        y = min(height - 1, int((value - lo) / span * (height - 1)))
+        grid[height - 1 - y][x] = "*"
+    lines = [label or "series"]
+    for row_index, row in enumerate(grid):
+        value = hi - (hi - lo) * row_index / (height - 1)
+        lines.append(f"{value:8.1f} |" + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(
+        f"          {t0.isoformat()}"
+        + " " * max(1, width - 22)
+        + t1.isoformat()
+    )
+    return "\n".join(lines)
+
+
+def ascii_timeline(
+    events: Sequence[tuple[date, str]],
+    *,
+    markers: Sequence[tuple[date, str]] = (),
+) -> str:
+    """Render dated events (and vertical markers) as a text timeline."""
+    lines = []
+    merged = [(day, text, False) for day, text in events]
+    merged += [(day, text, True) for day, text in markers]
+    for day, text, is_marker in sorted(merged, key=lambda e: e[0]):
+        prefix = "==" if is_marker else "  "
+        lines.append(f"{prefix} {day.isoformat()}  {text}")
+    return "\n".join(lines)

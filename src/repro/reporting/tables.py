@@ -1,0 +1,74 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["TextTable"]
+
+
+class TextTable:
+    """A simple monospace table: headers, rows, column alignment.
+
+    Numeric cells are right-aligned, text is left-aligned; floats are
+    rendered with a fixed precision chosen per table.
+    """
+
+    def __init__(
+        self, headers: Sequence[str], *, float_precision: int = 3
+    ) -> None:
+        self._headers = [str(h) for h in headers]
+        self._rows: list[list[str]] = []
+        self._numeric = [True] * len(self._headers)
+        self._precision = float_precision
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; must match the header width."""
+        if len(cells) != len(self._headers):
+            raise ValueError(
+                f"expected {len(self._headers)} cells, got {len(cells)}"
+            )
+        rendered = []
+        for index, cell in enumerate(cells):
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.{self._precision}f}")
+            elif isinstance(cell, int):
+                rendered.append(str(cell))
+            else:
+                rendered.append(str(cell))
+                self._numeric[index] = False
+            if cell is None:
+                rendered[-1] = "-"
+        self._rows.append(rendered)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        """The table as text with a header separator line."""
+        widths = [
+            max(
+                len(self._headers[i]),
+                *(len(row[i]) for row in self._rows),
+            )
+            if self._rows
+            else len(self._headers[i])
+            for i in range(len(self._headers))
+        ]
+
+        def fmt(cells: Sequence[str]) -> str:
+            parts = []
+            for index, cell in enumerate(cells):
+                if self._numeric[index]:
+                    parts.append(cell.rjust(widths[index]))
+                else:
+                    parts.append(cell.ljust(widths[index]))
+            return "  ".join(parts).rstrip()
+
+        lines = [fmt(self._headers)]
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in self._rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

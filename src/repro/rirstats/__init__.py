@@ -1,0 +1,24 @@
+"""RIR stats substrate: delegated files, allocation registry, free pools."""
+
+from .delegated import (
+    DelegatedRecord,
+    VALID_STATUSES,
+    emit_delegated,
+    parse_delegated,
+)
+from .registry import Allocation, AllocationStatus, ResourceRegistry
+from .rirs import ALL_RIRS, DISPLAY_NAMES, display_name, normalize_rir
+
+__all__ = [
+    "ALL_RIRS",
+    "Allocation",
+    "AllocationStatus",
+    "DISPLAY_NAMES",
+    "DelegatedRecord",
+    "ResourceRegistry",
+    "VALID_STATUSES",
+    "display_name",
+    "emit_delegated",
+    "normalize_rir",
+    "parse_delegated",
+]

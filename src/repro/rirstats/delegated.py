@@ -1,0 +1,151 @@
+"""The RIR statistics exchange ("delegated") file format.
+
+Every RIR publishes a daily snapshot of its number resources in a shared
+pipe-separated format [APNIC 2022]:
+
+::
+
+    2|apnic|20220330|3|19830101|20220330|+10
+    apnic|*|ipv4|*|2|summary
+    apnic|AU|ipv4|1.0.0.0|256|20110811|allocated|opaque-id
+    apnic||ipv4|1.4.128.0|128||available
+
+We parse and emit the IPv4 and ASN record types.  The ``value`` field for
+IPv4 is an address *count* (not a prefix length) and need not be a CIDR
+block — :class:`~repro.net.prefix.AddressRange` handles that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from typing import Iterable, Iterator
+
+from ..net.prefix import AddressRange, format_ip, parse_ip
+from ..net.timeline import parse_date
+from .rirs import normalize_rir
+
+__all__ = [
+    "DelegatedRecord",
+    "VALID_STATUSES",
+    "emit_delegated",
+    "parse_delegated",
+]
+
+VALID_STATUSES = frozenset(
+    {"allocated", "assigned", "available", "reserved"}
+)
+
+
+@dataclass(frozen=True, slots=True)
+class DelegatedRecord:
+    """One resource line of a delegated stats file."""
+
+    registry: str
+    country: str | None
+    rtype: str  # "ipv4" or "asn"
+    start: int  # first address (ipv4) or first ASN (asn)
+    count: int
+    allocated_on: date | None
+    status: str
+    opaque_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in VALID_STATUSES:
+            raise ValueError(f"bad delegated status {self.status!r}")
+        if self.rtype not in ("ipv4", "asn"):
+            raise ValueError(f"unsupported record type {self.rtype!r}")
+        if self.count <= 0:
+            raise ValueError(f"non-positive count {self.count}")
+
+    @property
+    def address_range(self) -> AddressRange:
+        """The IPv4 range this record covers (ipv4 records only)."""
+        if self.rtype != "ipv4":
+            raise ValueError("not an ipv4 record")
+        return AddressRange.from_count(self.start, self.count)
+
+    def to_line(self) -> str:
+        """The pipe-separated file line for this record."""
+        start_text = (
+            format_ip(self.start) if self.rtype == "ipv4" else str(self.start)
+        )
+        fields = [
+            self.registry.lower() if self.registry != "RIPE" else "ripencc",
+            self.country or "",
+            self.rtype,
+            start_text,
+            str(self.count),
+            (
+                self.allocated_on.strftime("%Y%m%d")
+                if self.allocated_on
+                else ""
+            ),
+            self.status,
+        ]
+        if self.opaque_id:
+            fields.append(self.opaque_id)
+        return "|".join(fields)
+
+
+def parse_delegated(text: str) -> Iterator[DelegatedRecord]:
+    """Parse a delegated stats file, yielding resource records.
+
+    The version header and summary lines are validated for shape and
+    skipped; comment lines start with ``#``.
+    """
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("|")
+        if fields[0].isdigit() or fields[0] == "2.3":
+            # Version header: version|registry|serial|records|start|end|UTC.
+            if len(fields) < 7:
+                raise ValueError(
+                    f"line {line_number}: short version header {line!r}"
+                )
+            continue
+        if len(fields) >= 6 and fields[5] == "summary":
+            continue
+        if len(fields) < 7:
+            raise ValueError(f"line {line_number}: short record {line!r}")
+        registry, country, rtype, start_text, count_text = fields[:5]
+        date_text, status = fields[5], fields[6]
+        if rtype not in ("ipv4", "asn"):
+            continue  # ipv6 and anything newer: out of scope
+        start = (
+            parse_ip(start_text) if rtype == "ipv4" else int(start_text)
+        )
+        yield DelegatedRecord(
+            registry=normalize_rir(registry),
+            country=country or None,
+            rtype=rtype,
+            start=start,
+            count=int(count_text),
+            allocated_on=parse_date(date_text) if date_text else None,
+            status=status,
+            opaque_id=fields[7] if len(fields) > 7 else None,
+        )
+
+
+def emit_delegated(
+    registry: str,
+    snapshot_day: date,
+    records: Iterable[DelegatedRecord],
+    *,
+    serial: int = 1,
+) -> str:
+    """Emit a delegated stats file for one registry and day."""
+    records = list(records)
+    ipv4_count = sum(1 for r in records if r.rtype == "ipv4")
+    asn_count = sum(1 for r in records if r.rtype == "asn")
+    registry_field = "ripencc" if registry == "RIPE" else registry.lower()
+    day_text = snapshot_day.strftime("%Y%m%d")
+    lines = [
+        f"2|{registry_field}|{day_text}|{serial}|19830101|{day_text}|+00",
+        f"{registry_field}|*|ipv4|*|{ipv4_count}|summary",
+        f"{registry_field}|*|asn|*|{asn_count}|summary",
+    ]
+    lines.extend(record.to_line() for record in records)
+    return "\n".join(lines) + "\n"

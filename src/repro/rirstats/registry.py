@@ -1,0 +1,477 @@
+"""The allocation registry: who holds which address space, when.
+
+This is the substrate behind three analyses:
+
+* §4.1's deallocation finding (prefixes deallocated after appearing on
+  DROP) — :meth:`ResourceRegistry.deallocations_in`;
+* Figure 5's "allocated but unrouted" accounting —
+  :meth:`ResourceRegistry.allocated_space`;
+* Figures 6–7's unallocated story — :meth:`ResourceRegistry.is_unallocated`
+  and :meth:`ResourceRegistry.free_pool`.
+
+The registry stores *allocations with lifetimes* (start day, optional end
+day).  Daily delegated-stats snapshots are derived views, and
+:meth:`from_delegated_snapshots` rebuilds lifetimes by diffing them — the
+same reconstruction the paper performs over the RIRs' archived files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from typing import Iterable, Iterator
+
+from ..net.prefix import AddressRange, IPv4Prefix
+from ..net.prefixset import PrefixSet
+from ..net.timeline import DateWindow
+from .delegated import DelegatedRecord, emit_delegated, parse_delegated
+from .rirs import ALL_RIRS, normalize_rir
+
+__all__ = [
+    "Allocation",
+    "AllocationStatus",
+    "ResourceRegistry",
+    "StatusIndex",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Allocation:
+    """One allocation (or assignment/reservation) of address space."""
+
+    addresses: AddressRange
+    rir: str
+    holder: str | None
+    start: date
+    end: date | None = None  # first day no longer allocated
+    status: str = "allocated"
+    legacy: bool = False
+    country: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.end is not None and self.end <= self.start:
+            raise ValueError(
+                f"allocation of {self.addresses} ends {self.end} "
+                f"not after start {self.start}"
+            )
+
+    def active_on(self, day: date) -> bool:
+        """True if the allocation was in force on ``day``."""
+        return self.start <= day and (self.end is None or day < self.end)
+
+
+@dataclass(frozen=True, slots=True)
+class AllocationStatus:
+    """The registry's answer for one prefix on one day."""
+
+    status: str  # allocated / assigned / reserved / available / unknown
+    rir: str | None
+    holder: str | None = None
+    since: date | None = None
+    legacy: bool = False
+
+    @property
+    def is_allocated(self) -> bool:
+        """True for space delegated to some holder."""
+        return self.status in ("allocated", "assigned")
+
+    @property
+    def is_unallocated(self) -> bool:
+        """True for space in a free pool (or not delegated to any RIR)."""
+        return self.status in ("available", "unknown")
+
+
+class ResourceRegistry:
+    """Allocations over time, plus the IANA→RIR delegation map."""
+
+    def __init__(self) -> None:
+        self._managed: dict[str, PrefixSet] = {
+            rir: PrefixSet() for rir in ALL_RIRS
+        }
+        self._allocations: list[Allocation] = []
+
+    # -- construction -----------------------------------------------------------
+
+    def delegate_to_rir(
+        self, rir: str, space: IPv4Prefix | AddressRange | str
+    ) -> None:
+        """Record IANA-level delegation of ``space`` to an RIR's pool."""
+        self._managed[normalize_rir(rir)].add(space)
+
+    def add(self, allocation: Allocation) -> None:
+        """Record one allocation lifetime."""
+        self._allocations.append(allocation)
+
+    def allocate(
+        self,
+        space: IPv4Prefix | AddressRange | str,
+        rir: str,
+        day: date,
+        holder: str | None = None,
+        *,
+        status: str = "allocated",
+        legacy: bool = False,
+        country: str | None = None,
+    ) -> Allocation:
+        """Open a new allocation starting on ``day`` and return it."""
+        allocation = Allocation(
+            addresses=_coerce_range(space),
+            rir=normalize_rir(rir),
+            holder=holder,
+            start=day,
+            status=status,
+            legacy=legacy,
+            country=country,
+        )
+        self.add(allocation)
+        return allocation
+
+    def deallocate(
+        self, space: IPv4Prefix | AddressRange | str, day: date
+    ) -> list[Allocation]:
+        """Close all active allocations overlapping ``space`` on ``day``.
+
+        Returns the closed allocations (with their new end dates); raises
+        if nothing was active there.
+        """
+        target = _coerce_range(space)
+        closed: list[Allocation] = []
+        for index, allocation in enumerate(self._allocations):
+            if not allocation.active_on(day):
+                continue
+            if not allocation.addresses.overlaps(target):
+                continue
+            ended = Allocation(
+                addresses=allocation.addresses,
+                rir=allocation.rir,
+                holder=allocation.holder,
+                start=allocation.start,
+                end=day,
+                status=allocation.status,
+                legacy=allocation.legacy,
+                country=allocation.country,
+            )
+            self._allocations[index] = ended
+            closed.append(ended)
+        if not closed:
+            raise ValueError(f"nothing allocated at {target} on {day}")
+        return closed
+
+    # -- queries -----------------------------------------------------------------
+
+    def allocations(self) -> Iterator[Allocation]:
+        """All allocation lifetimes, in insertion order."""
+        yield from self._allocations
+
+    def managed_space(self, rir: str) -> PrefixSet:
+        """The address space IANA delegated to an RIR."""
+        return self._managed[normalize_rir(rir)].copy()
+
+    def managing_rir(self, prefix: IPv4Prefix) -> str | None:
+        """The RIR whose pool contains ``prefix``, if any."""
+        for rir, space in self._managed.items():
+            if space.contains(prefix):
+                return rir
+        return None
+
+    def status_of(self, prefix: IPv4Prefix, day: date) -> AllocationStatus:
+        """Allocation status of a prefix on a day.
+
+        A prefix counts as allocated if an active allocation covers it
+        entirely; partially-covered prefixes report the covering
+        allocation too (DROP prefixes never straddle allocations in
+        practice, and the synthetic world preserves that).
+        """
+        target = prefix.to_range()
+        best: Allocation | None = None
+        for allocation in self._allocations:
+            if not allocation.active_on(day):
+                continue
+            if allocation.addresses.overlaps(target) and (
+                best is None or allocation.start > best.start
+            ):
+                best = allocation
+        if best is not None:
+            return AllocationStatus(
+                status=best.status,
+                rir=best.rir,
+                holder=best.holder,
+                since=best.start,
+                legacy=best.legacy,
+            )
+        rir = self.managing_rir(prefix)
+        return AllocationStatus(
+            status="available" if rir else "unknown",
+            rir=rir,
+        )
+
+    def status_index(self, day: date) -> "StatusIndex":
+        """A fast repeated-lookup view of :meth:`status_of` for one day.
+
+        Bulk analyses (Table 1 scans ~200K prefixes at the window start)
+        would otherwise pay a full allocation scan per prefix.
+        """
+        return StatusIndex(self, day)
+
+    def is_unallocated(self, prefix: IPv4Prefix, day: date) -> bool:
+        """True if no RIR had allocated the prefix to anyone on ``day``."""
+        return self.status_of(prefix, day).is_unallocated
+
+    def allocated_space(self, day: date, rir: str | None = None) -> PrefixSet:
+        """All space under an active allocation/assignment on ``day``."""
+        rir = normalize_rir(rir) if rir else None
+        return PrefixSet.from_intervals(
+            (a.addresses.start, a.addresses.end)
+            for a in self._allocations
+            if a.status in ("allocated", "assigned")
+            and a.active_on(day)
+            and (rir is None or a.rir == rir)
+        )
+
+    def free_pool(self, rir: str, day: date) -> PrefixSet:
+        """Unallocated, unreserved space in one RIR's pool on ``day``."""
+        rir = normalize_rir(rir)
+        pool = self.managed_space(rir)
+        held = PrefixSet.from_intervals(
+            (a.addresses.start, a.addresses.end)
+            for a in self._allocations
+            if a.rir == rir and a.active_on(day)
+        )
+        return pool - held
+
+    def holders_of_space(
+        self, day: date
+    ) -> dict[str, PrefixSet]:
+        """holder → address space actively allocated to them on ``day``."""
+        holders: dict[str, PrefixSet] = {}
+        for allocation in self._allocations:
+            if allocation.holder is None or not allocation.active_on(day):
+                continue
+            if allocation.status not in ("allocated", "assigned"):
+                continue
+            holders.setdefault(allocation.holder, PrefixSet()).add(
+                allocation.addresses
+            )
+        return holders
+
+    def deallocations_in(self, window: DateWindow) -> list[Allocation]:
+        """Allocations whose end date falls inside ``window``."""
+        return sorted(
+            (
+                a
+                for a in self._allocations
+                if a.end is not None and a.end in window
+            ),
+            key=lambda a: (a.end, a.addresses.start),
+        )
+
+    def deallocated_by(
+        self, prefix: IPv4Prefix, by: date, *, after: date | None = None
+    ) -> Allocation | None:
+        """The allocation covering ``prefix`` that ended by ``by``.
+
+        With ``after`` given, the end must be strictly after it (used for
+        "allocated when listed, deallocated by the end of the window").
+        """
+        target = prefix.to_range()
+        for allocation in self._allocations:
+            if allocation.end is None or allocation.end > by:
+                continue
+            if after is not None and allocation.end <= after:
+                continue
+            if allocation.addresses.overlaps(target):
+                return allocation
+        return None
+
+    # -- delegated stats views -----------------------------------------------------
+
+    def snapshot_records(self, day: date, rir: str) -> list[DelegatedRecord]:
+        """One RIR's delegated records for ``day`` (allocations + pool)."""
+        rir = normalize_rir(rir)
+        records: list[DelegatedRecord] = []
+        for allocation in self._allocations:
+            if allocation.rir != rir or not allocation.active_on(day):
+                continue
+            records.append(
+                DelegatedRecord(
+                    registry=rir,
+                    country=allocation.country,
+                    rtype="ipv4",
+                    start=allocation.addresses.start,
+                    count=allocation.addresses.num_addresses,
+                    allocated_on=allocation.start,
+                    status=allocation.status,
+                    opaque_id=allocation.holder,
+                )
+            )
+        for interval in self.free_pool(rir, day).intervals():
+            records.append(
+                DelegatedRecord(
+                    registry=rir,
+                    country=None,
+                    rtype="ipv4",
+                    start=interval.start,
+                    count=interval.num_addresses,
+                    allocated_on=None,
+                    status="available",
+                )
+            )
+        records.sort(key=lambda r: r.start)
+        return records
+
+    def snapshot_delegated(self, day: date, rir: str) -> str:
+        """One RIR's delegated stats file text for ``day``."""
+        return emit_delegated(
+            normalize_rir(rir), day, self.snapshot_records(day, rir)
+        )
+
+    @classmethod
+    def from_delegated_snapshots(
+        cls, snapshots: Iterable[tuple[date, str]]
+    ) -> "ResourceRegistry":
+        """Rebuild allocation lifetimes by diffing daily delegated files.
+
+        Identity is (range, registry, status, opaque id).  The recorded
+        allocation date inside the file is used as the lifetime start
+        (it predates the first snapshot for old allocations); the end is
+        the first snapshot day the record disappears.  Available records
+        rebuild the IANA delegation map.
+        """
+        registry = cls()
+        open_since: dict[tuple, tuple[date, DelegatedRecord]] = {}
+        by_day: dict[date, list[str]] = {}
+        for day, text in snapshots:
+            by_day.setdefault(day, []).append(text)
+        for day in sorted(by_day):
+            present: set[tuple] = set()
+            day_records = [
+                record
+                for text in by_day[day]
+                for record in parse_delegated(text)
+            ]
+            for record in day_records:
+                if record.rtype != "ipv4":
+                    continue
+                if record.status == "available":
+                    registry._managed[record.registry].add(
+                        record.address_range
+                    )
+                    continue
+                key = (
+                    record.start,
+                    record.count,
+                    record.registry,
+                    record.status,
+                    record.opaque_id,
+                )
+                present.add(key)
+                if key not in open_since:
+                    open_since[key] = (record.allocated_on or day, record)
+                registry._managed[record.registry].add(record.address_range)
+            for key in list(open_since):
+                if key not in present:
+                    started, record = open_since.pop(key)
+                    registry.add(
+                        _allocation_from_record(record, started, ended=day)
+                    )
+        for started, record in open_since.values():
+            registry.add(_allocation_from_record(record, started, ended=None))
+        return registry
+
+
+def _allocation_from_record(
+    record: DelegatedRecord, started: date, ended: date | None
+) -> Allocation:
+    return Allocation(
+        addresses=record.address_range,
+        rir=record.registry,
+        holder=record.opaque_id,
+        start=started,
+        end=ended,
+        status=record.status,
+        country=record.country,
+    )
+
+
+def _coerce_range(
+    space: IPv4Prefix | AddressRange | str,
+) -> AddressRange:
+    if isinstance(space, AddressRange):
+        return space
+    if isinstance(space, IPv4Prefix):
+        return space.to_range()
+    return IPv4Prefix.parse(space).to_range()
+
+
+class StatusIndex:
+    """Per-day allocation lookup in ~O(log n) per query.
+
+    Interval stabbing over the allocations active on one day: entries are
+    sorted by address, a running prefix-maximum of interval ends bounds
+    the leftward walk, and ties are broken exactly as
+    :meth:`ResourceRegistry.status_of` breaks them (latest start date,
+    then earliest insertion).
+    """
+
+    __slots__ = ("_registry", "day", "_starts", "_allocations",
+                 "_prefix_max_end")
+
+    def __init__(self, registry: ResourceRegistry, day: date) -> None:
+        self._registry = registry
+        self.day = day
+        active = [
+            (a.addresses.start, order, a)
+            for order, a in enumerate(registry.allocations())
+            if a.active_on(day)
+        ]
+        active.sort(key=lambda item: (item[0], item[1]))
+        self._starts = [start for start, _, _ in active]
+        self._allocations = [(order, a) for _, order, a in active]
+        self._prefix_max_end: list[int] = []
+        running = 0
+        for _, _, allocation in active:
+            running = max(running, allocation.addresses.end)
+            self._prefix_max_end.append(running)
+
+    def status_of(self, prefix: IPv4Prefix) -> AllocationStatus:
+        """Allocation status of ``prefix`` on the index's day."""
+        from bisect import bisect_right
+
+        target = prefix.to_range()
+        best: Allocation | None = None
+        best_key: tuple | None = None
+
+        def consider(order: int, allocation: Allocation) -> None:
+            nonlocal best, best_key
+            if not allocation.addresses.overlaps(target):
+                return
+            # Reference tie-break: latest start date wins; the reference
+            # keeps the first-inserted on equal dates.
+            key = (allocation.start, -order)
+            if best_key is None or key > best_key:
+                best, best_key = allocation, key
+
+        idx = bisect_right(self._starts, target.start) - 1
+        # Leftward: only while some interval in the prefix could still
+        # reach past the probe's start.
+        i = idx
+        while i >= 0 and self._prefix_max_end[i] > target.start:
+            consider(*self._allocations[i])
+            i -= 1
+        # Rightward: allocations starting inside the probe.
+        j = idx + 1
+        while j < len(self._starts) and self._starts[j] < target.end:
+            consider(*self._allocations[j])
+            j += 1
+        if best is not None:
+            return AllocationStatus(
+                status=best.status,
+                rir=best.rir,
+                holder=best.holder,
+                since=best.start,
+                legacy=best.legacy,
+            )
+        rir = self._registry.managing_rir(prefix)
+        return AllocationStatus(
+            status="available" if rir else "unknown", rir=rir
+        )

@@ -1,0 +1,50 @@
+"""The five Regional Internet Registries.
+
+The paper's Table 1 and Figures 5–7 slice everything by RIR.  The constant
+set here is the registry-name vocabulary used across the library (RIR stats
+files use lowercase names; TALs and tables use the display names).
+"""
+
+from __future__ import annotations
+
+__all__ = ["ALL_RIRS", "DISPLAY_NAMES", "display_name", "normalize_rir"]
+
+#: Canonical RIR identifiers, as used throughout the library.
+ALL_RIRS: tuple[str, ...] = ("AFRINIC", "APNIC", "ARIN", "LACNIC", "RIPE")
+
+#: The names the paper prints in Table 1.
+DISPLAY_NAMES: dict[str, str] = {
+    "AFRINIC": "AFRINIC",
+    "APNIC": "APNIC",
+    "ARIN": "ARIN",
+    "LACNIC": "LACNIC",
+    "RIPE": "RIPE NCC",
+}
+
+_ALIASES: dict[str, str] = {
+    "afrinic": "AFRINIC",
+    "apnic": "APNIC",
+    "arin": "ARIN",
+    "lacnic": "LACNIC",
+    "ripe": "RIPE",
+    "ripencc": "RIPE",
+    "ripe ncc": "RIPE",
+    "ripe-ncc": "RIPE",
+}
+
+
+def normalize_rir(name: str) -> str:
+    """Map any RIR spelling to the canonical identifier.
+
+    >>> normalize_rir("ripencc")
+    'RIPE'
+    """
+    canonical = _ALIASES.get(name.strip().lower())
+    if canonical is None:
+        raise ValueError(f"unknown RIR name {name!r}")
+    return canonical
+
+
+def display_name(rir: str) -> str:
+    """The paper's display name for a canonical RIR identifier."""
+    return DISPLAY_NAMES[normalize_rir(rir)]

@@ -1,0 +1,37 @@
+"""RPKI substrate: ROAs, TALs, RFC 6811 validation, AS0 policy, archive."""
+
+from .archive import RoaArchive
+from .as0 import (
+    AS0_POLICY_EVENTS,
+    As0PolicyEvent,
+    as0_covered,
+    rir_as0_policy_start,
+    rir_as0_tal,
+)
+from .roa import Roa, RoaRecord
+from .tal import (
+    APNIC_AS0_TAL,
+    DEFAULT_TALS,
+    LACNIC_AS0_TAL,
+    RIR_TALS,
+    TalSet,
+)
+from .validation import RouteValidity, validate_route
+
+__all__ = [
+    "APNIC_AS0_TAL",
+    "AS0_POLICY_EVENTS",
+    "As0PolicyEvent",
+    "DEFAULT_TALS",
+    "LACNIC_AS0_TAL",
+    "RIR_TALS",
+    "Roa",
+    "RoaArchive",
+    "RoaRecord",
+    "RouteValidity",
+    "TalSet",
+    "as0_covered",
+    "rir_as0_policy_start",
+    "rir_as0_tal",
+    "validate_route",
+]

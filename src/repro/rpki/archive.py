@@ -1,0 +1,264 @@
+"""The daily ROA archive (RIPE-style).
+
+RIPE publishes a daily CSV of all validated ROA payloads; the study joins
+that archive against DROP dates to ask "did this prefix have a ROA when it
+was listed?", "when was it first signed?", and "with what ASN?".  As with
+the other substrates we store the journal (ROA + lifetime) and derive daily
+views, and we round-trip through the CSV snapshot format for fidelity.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from datetime import date
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..net.prefix import IPv4Prefix
+from ..net.radix import RadixTree
+from .roa import Roa, RoaRecord
+from .tal import TalSet
+
+__all__ = ["RoaArchive"]
+
+_CSV_HEADER = ["URI", "ASN", "IP Prefix", "Max Length", "Trust Anchor"]
+
+
+class RoaArchive:
+    """All ROA records over the data window, indexed by prefix."""
+
+    def __init__(self) -> None:
+        self._tree: RadixTree[list[RoaRecord]] = RadixTree()
+        self._count = 0
+
+    def add(self, record: RoaRecord) -> None:
+        """Record one ROA lifetime."""
+        bucket = self._tree.get(record.roa.prefix)
+        if bucket is None:
+            self._tree.insert(record.roa.prefix, [record])
+        else:
+            bucket.append(record)
+        self._count += 1
+
+    def extend(self, records: Iterable[RoaRecord]) -> None:
+        """Record many ROA lifetimes."""
+        for record in records:
+            self.add(record)
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- retrieval ------------------------------------------------------------
+
+    def records(self) -> Iterator[RoaRecord]:
+        """Every record, grouped by prefix in address order."""
+        for _, bucket in self._tree.items():
+            yield from bucket
+
+    def covering(
+        self,
+        prefix: IPv4Prefix,
+        day: date | None = None,
+        tals: TalSet | None = None,
+    ) -> list[RoaRecord]:
+        """ROAs whose prefix covers ``prefix``.
+
+        Optionally restricted to ROAs published on ``day`` and to trust
+        anchors in ``tals``.
+        """
+        found: list[RoaRecord] = []
+        for _, bucket in self._tree.lookup_covering(prefix):
+            for record in bucket:
+                if day is not None and not record.active_on(day):
+                    continue
+                if tals is not None and not tals.trusts(
+                    record.roa.trust_anchor
+                ):
+                    continue
+                found.append(record)
+        return sorted(found, key=lambda r: (r.roa.prefix, r.created))
+
+    def covered(
+        self,
+        prefix: IPv4Prefix,
+        day: date | None = None,
+        tals: TalSet | None = None,
+    ) -> list[RoaRecord]:
+        """ROAs whose prefix is inside ``prefix`` (or equal)."""
+        found: list[RoaRecord] = []
+        for _, bucket in self._tree.lookup_covered(prefix):
+            for record in bucket:
+                if day is not None and not record.active_on(day):
+                    continue
+                if tals is not None and not tals.trusts(
+                    record.roa.trust_anchor
+                ):
+                    continue
+                found.append(record)
+        return sorted(found, key=lambda r: (r.roa.prefix, r.created))
+
+    def has_roa(
+        self,
+        prefix: IPv4Prefix,
+        day: date,
+        tals: TalSet | None = None,
+    ) -> bool:
+        """True if any trusted ROA covering ``prefix`` exists on ``day``.
+
+        This is Table 1's notion of a prefix "having a ROA".
+        """
+        return bool(self.covering(prefix, day, tals or TalSet.default()))
+
+    def roas_on(self, day: date, tals: TalSet | None = None) -> list[Roa]:
+        """All ROAs published on ``day`` under trusted TALs."""
+        tals = tals or TalSet.default()
+        return [
+            record.roa
+            for record in self.records()
+            if record.active_on(day) and tals.trusts(record.roa.trust_anchor)
+        ]
+
+    def first_signed(
+        self,
+        prefix: IPv4Prefix,
+        tals: TalSet | None = None,
+    ) -> date | None:
+        """The first day a trusted ROA covering ``prefix`` was published."""
+        tals = tals or TalSet.default()
+        candidates = [
+            record.created
+            for record in self.covering(prefix, None, tals)
+        ]
+        return min(candidates) if candidates else None
+
+    def signing_asns(
+        self, prefix: IPv4Prefix, day: date, tals: TalSet | None = None
+    ) -> set[int]:
+        """ASNs in trusted ROAs covering ``prefix`` on ``day``."""
+        return {
+            record.roa.asn
+            for record in self.covering(prefix, day, tals or TalSet.default())
+        }
+
+    # -- journal persistence -----------------------------------------------------
+
+    def write_journal(self, path: Path) -> int:
+        """Write the journal as JSONL; returns the record count."""
+        with open(path, "w") as out:
+            for record in self.records():
+                json.dump(
+                    {
+                        "prefix": str(record.roa.prefix),
+                        "asn": record.roa.asn,
+                        "max_length": record.roa.max_length,
+                        "trust_anchor": record.roa.trust_anchor,
+                        "created": record.created.isoformat(),
+                        "removed": (
+                            None
+                            if record.removed is None
+                            else record.removed.isoformat()
+                        ),
+                    },
+                    out,
+                    separators=(",", ":"),
+                )
+                out.write("\n")
+        return len(self)
+
+    @classmethod
+    def read_journal(cls, path: Path) -> "RoaArchive":
+        """Read a journal written by :meth:`write_journal`."""
+        archive = cls()
+        with open(path) as source:
+            for line in source:
+                line = line.strip()
+                if not line:
+                    continue
+                raw = json.loads(line)
+                archive.add(
+                    RoaRecord(
+                        roa=Roa(
+                            prefix=IPv4Prefix.parse(raw["prefix"]),
+                            asn=raw["asn"],
+                            max_length=raw["max_length"],
+                            trust_anchor=raw["trust_anchor"],
+                        ),
+                        created=date.fromisoformat(raw["created"]),
+                        removed=(
+                            None
+                            if raw["removed"] is None
+                            else date.fromisoformat(raw["removed"])
+                        ),
+                    )
+                )
+        return archive
+
+    # -- daily CSV snapshots (RIPE archive format) --------------------------------
+
+    def snapshot_csv(self, day: date) -> str:
+        """One day's ROAs in the RIPE ``roas.csv`` format."""
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(_CSV_HEADER)
+        for record in self.records():
+            if not record.active_on(day):
+                continue
+            roa = record.roa
+            writer.writerow(
+                [
+                    f"rsync://rpki.example.net/{roa.trust_anchor.lower()}"
+                    f"/{roa.prefix.network:08x}-{roa.prefix.length}.roa",
+                    f"AS{roa.asn}",
+                    str(roa.prefix),
+                    roa.effective_max_length,
+                    roa.trust_anchor,
+                ]
+            )
+        return out.getvalue()
+
+    @classmethod
+    def from_snapshots(
+        cls, snapshots: Iterable[tuple[date, str]]
+    ) -> "RoaArchive":
+        """Rebuild the journal by diffing day-ordered CSV snapshots.
+
+        ROA identity is (prefix, ASN, maxLength, trust anchor), the
+        fields the RIPE archive exposes.
+        """
+        archive = cls()
+        open_since: dict[tuple, tuple[date, Roa]] = {}
+        for day, text in sorted(snapshots, key=lambda s: s[0]):
+            present: set[tuple] = set()
+            for roa in _parse_csv(text):
+                key = (roa.prefix, roa.asn, roa.max_length, roa.trust_anchor)
+                present.add(key)
+                if key not in open_since:
+                    open_since[key] = (day, roa)
+            for key in list(open_since):
+                if key not in present:
+                    created, roa = open_since.pop(key)
+                    archive.add(
+                        RoaRecord(roa=roa, created=created, removed=day)
+                    )
+        for created, roa in open_since.values():
+            archive.add(RoaRecord(roa=roa, created=created))
+        return archive
+
+
+def _parse_csv(text: str) -> Iterator[Roa]:
+    reader = csv.reader(io.StringIO(text))
+    header = next(reader, None)
+    if header != _CSV_HEADER:
+        raise ValueError(f"unexpected ROA CSV header: {header}")
+    for row in reader:
+        if not row:
+            continue
+        _, asn_text, prefix_text, max_length_text, trust_anchor = row
+        yield Roa(
+            prefix=IPv4Prefix.parse(prefix_text),
+            asn=int(asn_text.removeprefix("AS")),
+            max_length=int(max_length_text),
+            trust_anchor=trust_anchor,
+        )

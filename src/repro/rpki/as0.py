@@ -1,0 +1,119 @@
+"""AS0 policy modeling (§2.3.1 / §6.2).
+
+Two distinct AS0 mechanisms exist:
+
+* **Operator AS0** — a resource holder signs its own unrouted prefix with
+  an AS0 ROA under its RIR's production TAL.  Validators drop any
+  announcement of it by default.
+* **RIR AS0** — APNIC (2020-09-02) and LACNIC (2021-06-23) publish AS0
+  ROAs for *unallocated* space under separate, non-default TALs, which both
+  RIRs recommend using for alerting only.
+
+This module carries the policy timeline constants and the coverage
+queries used by Figures 5–7 and §6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from ..net.prefix import IPv4Prefix
+from .archive import RoaArchive
+from .tal import APNIC_AS0_TAL, LACNIC_AS0_TAL, TalSet
+
+__all__ = [
+    "AS0_POLICY_EVENTS",
+    "As0PolicyEvent",
+    "as0_covered",
+    "rir_as0_tal",
+    "rir_as0_policy_start",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class As0PolicyEvent:
+    """One RIR's AS0 policy milestone (Figure 6's vertical markers)."""
+
+    rir: str
+    proposed: date | None
+    implemented: date | None
+    tal: str | None
+
+    @property
+    def outcome(self) -> str:
+        """A label for reporting: implemented / proposed / none."""
+        if self.implemented is not None:
+            return "implemented"
+        if self.proposed is not None:
+            return "proposed"
+        return "none"
+
+
+#: The AS0 policy timeline from §2.3.1.
+AS0_POLICY_EVENTS: tuple[As0PolicyEvent, ...] = (
+    As0PolicyEvent(
+        rir="APNIC",
+        proposed=date(2019, 9, 1),  # prop-132 discussion, 2019
+        implemented=date(2020, 9, 2),
+        tal=APNIC_AS0_TAL,
+    ),
+    As0PolicyEvent(
+        rir="LACNIC",
+        proposed=date(2019, 12, 1),  # LAC-2019-12
+        implemented=date(2021, 6, 23),
+        tal=LACNIC_AS0_TAL,
+    ),
+    As0PolicyEvent(
+        rir="RIPE",
+        proposed=date(2019, 10, 22),  # 2019-08, later withdrawn
+        implemented=None,
+        tal=None,
+    ),
+    As0PolicyEvent(
+        rir="AFRINIC",
+        proposed=date(2019, 11, 1),  # 2019-gen-006, not implemented
+        implemented=None,
+        tal=None,
+    ),
+    As0PolicyEvent(
+        rir="ARIN",
+        proposed=None,
+        implemented=None,
+        tal=None,
+    ),
+)
+
+
+def rir_as0_policy_start(rir: str) -> date | None:
+    """The day an RIR's AS0 policy went live, if it ever did."""
+    for event in AS0_POLICY_EVENTS:
+        if event.rir == rir:
+            return event.implemented
+    raise ValueError(f"unknown RIR {rir!r}")
+
+
+def rir_as0_tal(rir: str) -> str | None:
+    """The AS0 trust anchor an RIR publishes under, if any."""
+    for event in AS0_POLICY_EVENTS:
+        if event.rir == rir:
+            return event.tal
+    raise ValueError(f"unknown RIR {rir!r}")
+
+
+def as0_covered(
+    archive: RoaArchive,
+    prefix: IPv4Prefix,
+    day: date,
+    tals: TalSet | None = None,
+) -> bool:
+    """True if an AS0 ROA under a trusted TAL covers ``prefix`` on ``day``.
+
+    With the default TAL set this captures *operator* AS0 only; pass
+    :meth:`TalSet.with_as0` to include the RIR AS0 TALs.
+    """
+    tals = tals or TalSet.default()
+    return any(
+        record.roa.is_as0
+        for record in archive.covering(prefix, day, tals)
+    )

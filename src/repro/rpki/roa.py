@@ -1,0 +1,113 @@
+"""Route Origin Authorizations (ROAs).
+
+A ROA asserts that an ASN may originate a prefix (and, via ``maxLength``,
+more-specifics up to that length).  ``asn`` may be :data:`~repro.net.asn.AS0`
+— the "do not route" assertion central to the paper's §6.  Our ROA carries a
+``trust_anchor`` naming the TAL that published it, because the RIR AS0 TALs
+are deliberately *not* configured in validators by default (§2.3.1) and the
+analyses must distinguish them.
+
+We model validated ROA payloads, not the X.509/CMS encoding: the paper's
+pipeline consumes RIPE's archive of already-validated ROAs, so cryptography
+is below the reproduction's waterline (see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from ..net.asn import AS0
+from ..net.prefix import IPV4_BITS, IPv4Prefix
+
+__all__ = ["Roa", "RoaRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class Roa:
+    """One validated ROA payload."""
+
+    prefix: IPv4Prefix
+    asn: int
+    max_length: int | None = None
+    trust_anchor: str = "RIPE"
+
+    def __post_init__(self) -> None:
+        if self.max_length is not None and not (
+            self.prefix.length <= self.max_length <= IPV4_BITS
+        ):
+            raise ValueError(
+                f"maxLength {self.max_length} invalid for {self.prefix}"
+            )
+        if self.asn < 0:
+            raise ValueError(f"negative ASN {self.asn}")
+
+    @property
+    def effective_max_length(self) -> int:
+        """maxLength, defaulting to the prefix length when absent."""
+        return (
+            self.prefix.length if self.max_length is None else self.max_length
+        )
+
+    @property
+    def is_as0(self) -> bool:
+        """True for a "do not route" assertion."""
+        return self.asn == AS0
+
+    @property
+    def uses_max_length(self) -> bool:
+        """True if the ROA authorizes more-specifics beyond its prefix."""
+        return self.effective_max_length > self.prefix.length
+
+    def covers(self, prefix: IPv4Prefix) -> bool:
+        """True if this ROA's prefix contains ``prefix``."""
+        return self.prefix.contains(prefix)
+
+    def authorizes(self, prefix: IPv4Prefix, origin: int) -> bool:
+        """RFC 6811 match: covering prefix, length ≤ maxLength, same ASN.
+
+        An AS0 ROA never authorizes anything (AS0 cannot appear as a real
+        origin), which is exactly what makes it a "do not route" lock.
+        """
+        if self.is_as0:
+            return False
+        return (
+            self.covers(prefix)
+            and prefix.length <= self.effective_max_length
+            and origin == self.asn
+        )
+
+    def forged_subprefix_vulnerable(self) -> bool:
+        """True if the maxLength attribute exposes the Gilad et al. [15]
+        forged-origin sub-prefix hijack: the ROA authorizes more-specifics
+        the owner may not announce, which an attacker can announce with
+        the owner's ASN forged as origin."""
+        return not self.is_as0 and self.uses_max_length
+
+    def __str__(self) -> str:
+        return (
+            f"ROA({self.prefix}, AS{self.asn}, "
+            f"maxLen={self.effective_max_length}, {self.trust_anchor})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RoaRecord:
+    """A ROA plus its lifetime in the daily archive."""
+
+    roa: Roa
+    created: date
+    removed: date | None = None  # first day absent from the archive
+
+    def __post_init__(self) -> None:
+        if self.removed is not None and self.removed <= self.created:
+            raise ValueError(
+                f"ROA for {self.roa.prefix} removed {self.removed} "
+                f"not after created {self.created}"
+            )
+
+    def active_on(self, day: date) -> bool:
+        """True if the ROA was published on ``day``."""
+        return self.created <= day and (
+            self.removed is None or day < self.removed
+        )

@@ -1,0 +1,65 @@
+"""Trust Anchor Locators (TALs).
+
+Each RIR operates a trust anchor whose TAL ships with RPKI validation
+software.  APNIC and LACNIC additionally publish *separate* AS0 trust
+anchors for their unallocated-space ROAs; those TALs are **not** configured
+by default and both RIRs recommend using them only for alerting (§2.3.1) —
+the paper's §6.2.2 confirms no RouteViews full-table peer filtered with
+them.  Validator behaviour therefore depends on which TAL set is
+configured, which :class:`TalSet` captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = [
+    "APNIC_AS0_TAL",
+    "DEFAULT_TALS",
+    "LACNIC_AS0_TAL",
+    "RIR_TALS",
+    "TalSet",
+]
+
+#: The five RIR production trust anchors, as configured by default in
+#: validation software (routinator, rpki-client, FORT, ...).
+RIR_TALS: tuple[str, ...] = ("AFRINIC", "APNIC", "ARIN", "LACNIC", "RIPE")
+
+#: APNIC's AS0-only trust anchor (prop-132, implemented 2020-09-02).
+APNIC_AS0_TAL = "APNIC-AS0"
+
+#: LACNIC's AS0-only trust anchor (LAC-2019-12, implemented 2021-06-23).
+LACNIC_AS0_TAL = "LACNIC-AS0"
+
+#: What a validator trusts out of the box: RIR TALs only, no AS0 TALs.
+DEFAULT_TALS: frozenset[str] = frozenset(RIR_TALS)
+
+
+@dataclass(frozen=True, slots=True)
+class TalSet:
+    """The set of trust anchors a validator is configured with."""
+
+    names: frozenset[str]
+
+    @classmethod
+    def default(cls) -> "TalSet":
+        """The default validator configuration (five RIR TALs)."""
+        return cls(DEFAULT_TALS)
+
+    @classmethod
+    def with_as0(cls) -> "TalSet":
+        """Default TALs plus both RIR AS0 TALs (opt-in configuration)."""
+        return cls(DEFAULT_TALS | {APNIC_AS0_TAL, LACNIC_AS0_TAL})
+
+    @classmethod
+    def of(cls, names: Iterable[str]) -> "TalSet":
+        """An arbitrary TAL configuration."""
+        return cls(frozenset(names))
+
+    def trusts(self, trust_anchor: str) -> bool:
+        """True if ROAs under ``trust_anchor`` are considered."""
+        return trust_anchor in self.names
+
+    def __contains__(self, trust_anchor: str) -> bool:
+        return self.trusts(trust_anchor)

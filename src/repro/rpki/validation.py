@@ -1,0 +1,63 @@
+"""RFC 6811 route origin validation.
+
+A route (prefix, origin) is:
+
+* ``VALID`` if any trusted ROA authorizes it (covering prefix, length
+  within maxLength, matching ASN);
+* ``INVALID`` if at least one trusted ROA covers the prefix but none
+  authorizes the route (this includes everything under an AS0 ROA);
+* ``NOT_FOUND`` if no trusted ROA covers the prefix.
+
+Validation is always relative to a :class:`~repro.rpki.tal.TalSet`: the
+same announcement can be NOT_FOUND under the default TALs and INVALID
+under a configuration that adds the RIR AS0 TALs — the distinction at the
+heart of §6.2.2.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+from ..net.prefix import IPv4Prefix
+from .roa import Roa
+from .tal import TalSet
+
+__all__ = ["RouteValidity", "validate_route"]
+
+
+class RouteValidity(Enum):
+    """RFC 6811 route origin validation states."""
+
+    VALID = "valid"
+    INVALID = "invalid"
+    NOT_FOUND = "not-found"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def validate_route(
+    prefix: IPv4Prefix,
+    origin: int,
+    roas: Iterable[Roa],
+    tals: TalSet | None = None,
+) -> RouteValidity:
+    """Validate one announcement against a set of ROAs.
+
+    ``roas`` may be any iterable of candidate ROAs (callers typically pass
+    the covering set from an archive query, but passing extra non-covering
+    ROAs is harmless).  ``tals`` defaults to the out-of-the-box validator
+    configuration.
+    """
+    tals = tals or TalSet.default()
+    covered = False
+    for roa in roas:
+        if not tals.trusts(roa.trust_anchor):
+            continue
+        if not roa.covers(prefix):
+            continue
+        covered = True
+        if roa.authorizes(prefix, origin):
+            return RouteValidity.VALID
+    return RouteValidity.INVALID if covered else RouteValidity.NOT_FOUND

@@ -1,0 +1,22 @@
+"""Synthetic world generation (the paper's archives, simulated)."""
+
+from .archive import load_world, save_world
+from .builder import SpaceCarver, WorldBuilder, build_world
+from .config import RegionProfile, ScenarioConfig
+from .topology import AsTopology
+from .world import CaseStudyTruth, DropTruth, GroundTruth, World
+
+__all__ = [
+    "AsTopology",
+    "CaseStudyTruth",
+    "DropTruth",
+    "GroundTruth",
+    "RegionProfile",
+    "ScenarioConfig",
+    "SpaceCarver",
+    "World",
+    "WorldBuilder",
+    "build_world",
+    "load_world",
+    "save_world",
+]

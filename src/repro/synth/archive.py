@@ -1,0 +1,194 @@
+"""Persist a whole world to disk and load it back.
+
+The world serializes into the same shapes the real study downloads:
+
+* ``bgp/``          — peers + route-interval JSONL (MRT-equivalent);
+* ``drop/``         — daily Firehol-style DROP snapshots;
+* ``sbl.jsonl``     — the SBL record store;
+* ``irr.jsonl``     — the RADb journal (flat-file snapshots derivable);
+* ``roas.jsonl``    — the ROA archive journal (CSV snapshots derivable);
+* ``delegated/``    — per-RIR delegated stats files for the window end;
+* ``overrides.json``— the manual Appendix-A judgements;
+* ``config.json``   — seed + window, for provenance.
+
+:func:`load_world` reconstructs a :class:`~repro.synth.world.World` whose
+analyses produce identical results to the in-memory original (asserted by
+the round-trip integration tests).  Ground truth is intentionally *not*
+serialized: a loaded world is measurement-only, like the real archives.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..bgp.mrt import read_archive as read_bgp
+from ..bgp.mrt import write_archive as write_bgp
+from ..drop.categories import Category
+from ..drop.droplist import DropArchive
+from ..drop.sbl import SblDatabase
+from ..irr.radb import IrrDatabase
+from ..net.timeline import DateWindow, parse_date
+from ..rirstats.registry import ResourceRegistry
+from ..rirstats.rirs import ALL_RIRS
+from ..rpki.archive import RoaArchive
+from .config import ScenarioConfig
+from .world import GroundTruth, World
+
+__all__ = ["load_world", "save_world"]
+
+
+def save_world(world: World, directory: Path, *, drop_step_days: int = 7) -> None:
+    """Write every archive under ``directory``.
+
+    ``drop_step_days`` controls DROP snapshot density (daily files for a
+    three-year window are ~1000 small files; weekly is the default for
+    tests, and episode dates coarsen accordingly on reload).
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    write_bgp(directory / "bgp", world.peers, world.bgp)
+    world.drop.write_snapshots(
+        directory / "drop", step_days=drop_step_days
+    )
+    world.sbl.dump(directory / "sbl.jsonl")
+    world.irr.write_journal(directory / "irr.jsonl")
+    world.roas.write_journal(directory / "roas.jsonl")
+    delegated = directory / "delegated"
+    delegated.mkdir(exist_ok=True)
+    for rir in ALL_RIRS:
+        path = delegated / f"delegated-{rir.lower()}-latest"
+        path.write_text(
+            world.resources.snapshot_delegated(world.window.end, rir)
+        )
+    # The derived snapshot only captures end-state; keep the full registry
+    # journal too so lifetimes reload exactly.
+    _write_registry_journal(world.resources, directory / "registry.jsonl")
+    (directory / "overrides.json").write_text(
+        json.dumps(
+            {
+                sbl_id: sorted(c.value for c in categories)
+                for sbl_id, categories in world.manual_overrides.items()
+            },
+            indent=0,
+        )
+    )
+    (directory / "config.json").write_text(
+        json.dumps(
+            {
+                "seed": world.config.seed,
+                "window_start": world.window.start.isoformat(),
+                "window_end": world.window.end.isoformat(),
+            }
+        )
+    )
+
+
+def load_world(directory: Path) -> World:
+    """Reload a world saved by :func:`save_world` (without ground truth)."""
+    meta = json.loads((directory / "config.json").read_text())
+    window = DateWindow(
+        parse_date(meta["window_start"]), parse_date(meta["window_end"])
+    )
+    peers, bgp = read_bgp(directory / "bgp", data_end=window.end)
+    drop = DropArchive.read_snapshots(directory / "drop", window)
+    sbl = SblDatabase.load(directory / "sbl.jsonl")
+    irr = IrrDatabase.read_journal(directory / "irr.jsonl")
+    roas = RoaArchive.read_journal(directory / "roas.jsonl")
+    resources = _read_registry_journal(directory / "registry.jsonl")
+    overrides = {
+        sbl_id: frozenset(Category.from_label(l) for l in labels)
+        for sbl_id, labels in json.loads(
+            (directory / "overrides.json").read_text()
+        ).items()
+    }
+    return World(
+        config=ScenarioConfig(seed=meta["seed"], window=window),
+        window=window,
+        peers=peers,
+        bgp=bgp,
+        resources=resources,
+        irr=irr,
+        roas=roas,
+        drop=drop,
+        sbl=sbl,
+        manual_overrides=overrides,
+        truth=GroundTruth(),
+    )
+
+
+def _write_registry_journal(
+    resources: ResourceRegistry, path: Path
+) -> None:
+    with open(path, "w") as out:
+        for rir in ALL_RIRS:
+            for interval in resources.managed_space(rir).intervals():
+                json.dump(
+                    {
+                        "kind": "delegation",
+                        "rir": rir,
+                        "start": interval.start,
+                        "end": interval.end,
+                    },
+                    out,
+                    separators=(",", ":"),
+                )
+                out.write("\n")
+        for allocation in resources.allocations():
+            json.dump(
+                {
+                    "kind": "allocation",
+                    "rir": allocation.rir,
+                    "start": allocation.addresses.start,
+                    "end": allocation.addresses.end,
+                    "holder": allocation.holder,
+                    "from": allocation.start.isoformat(),
+                    "until": (
+                        None
+                        if allocation.end is None
+                        else allocation.end.isoformat()
+                    ),
+                    "status": allocation.status,
+                    "legacy": allocation.legacy,
+                    "country": allocation.country,
+                },
+                out,
+                separators=(",", ":"),
+            )
+            out.write("\n")
+
+
+def _read_registry_journal(path: Path) -> ResourceRegistry:
+    from datetime import date
+
+    from ..net.prefix import AddressRange
+    from ..rirstats.registry import Allocation
+
+    resources = ResourceRegistry()
+    with open(path) as source:
+        for line in source:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            if raw["kind"] == "delegation":
+                resources.delegate_to_rir(
+                    raw["rir"], AddressRange(raw["start"], raw["end"])
+                )
+            else:
+                resources.add(
+                    Allocation(
+                        addresses=AddressRange(raw["start"], raw["end"]),
+                        rir=raw["rir"],
+                        holder=raw["holder"],
+                        start=date.fromisoformat(raw["from"]),
+                        end=(
+                            None
+                            if raw["until"] is None
+                            else date.fromisoformat(raw["until"])
+                        ),
+                        status=raw["status"],
+                        legacy=raw["legacy"],
+                        country=raw["country"],
+                    )
+                )
+    return resources

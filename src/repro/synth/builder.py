@@ -1,0 +1,704 @@
+"""World builder: platform, address-space geography, and bulk populations.
+
+The builder lays the world down in stages (each stage a method, each with
+its own child RNG so stages stay reproducible independently):
+
+1. the RouteViews-like observation platform (§3), including the three
+   DROP-filtering peers of §4.1;
+2. RIR pools and their draining free pools (Figure 7);
+3. the RPKI-signed space populations of Figure 5, including the Amazon /
+   Prudential / Alibaba unrouted-signed holders of §6.2.1;
+4. the allocated-but-unrouted-unsigned space (Figure 5, ARIN-heavy);
+5. the "never on DROP" background populations per region (Table 1);
+6. the DROP population itself and the Figure 4 case study (in
+   :mod:`repro.synth.scenarios`);
+7. the RIR AS0 trust anchors' ROAs over unallocated space (§6.2.2).
+
+Address space is carved from one global cursor so nothing ever overlaps;
+see :class:`SpaceCarver`.
+"""
+
+from __future__ import annotations
+
+import math
+from datetime import date, timedelta
+
+import numpy as np
+
+from ..bgp.collector import ROUTEVIEWS_COLLECTOR_NAMES, PeerRegistry
+from ..bgp.messages import ASPath
+from ..bgp.ribs import PartialObservation, RouteInterval, RouteIntervalStore
+from ..drop.droplist import DropArchive
+from ..drop.sbl import SblDatabase
+from ..irr.radb import IrrDatabase
+from ..net.prefix import AddressRange, IPv4Prefix
+from ..net.timeline import month_starts
+from ..rirstats.registry import ResourceRegistry
+from ..rpki.archive import RoaArchive
+from ..rpki.as0 import rir_as0_policy_start, rir_as0_tal
+from ..rpki.roa import Roa, RoaRecord
+from .config import ScenarioConfig
+from .scenarios import build_case_study, build_drop_population
+from .topology import AsTopology
+from .world import GroundTruth, World
+
+__all__ = ["SpaceCarver", "WorldBuilder", "build_world"]
+
+#: /8s the carver never hands out: special-purpose space plus the blocks
+#: used verbatim by the Figure 4 case study and the §6.2.1 operator-AS0
+#: story (132/8, 187/8, 191/8, 200/8, 45/8 — all LACNIC in the paper).
+_RESERVED_SLASH8 = {0, 10, 45, 127, 132, 187, 191, 200}
+_LAST_UNICAST_SLASH8 = 223
+
+
+class SpaceCarver:
+    """Hands out non-overlapping aligned prefixes from the unicast space.
+
+    A single forward-moving cursor guarantees that no two carve calls ever
+    overlap, regardless of which stage asks; reserved /8s (0, 10, 127) and
+    multicast space are skipped.
+    """
+
+    def __init__(self) -> None:
+        self._cursor = 1 << 24  # 1.0.0.0
+
+    def carve(self, length: int) -> IPv4Prefix:
+        """The next free prefix of the given length."""
+        size = 1 << (32 - length)
+        cursor = (self._cursor + size - 1) & ~(size - 1)  # align up
+        while True:
+            first_slash8 = cursor >> 24
+            last_slash8 = (cursor + size - 1) >> 24
+            if last_slash8 > _LAST_UNICAST_SLASH8:
+                raise RuntimeError("carver exhausted unicast IPv4 space")
+            blocked = next(
+                (
+                    s8
+                    for s8 in range(first_slash8, last_slash8 + 1)
+                    if s8 in _RESERVED_SLASH8
+                ),
+                None,
+            )
+            if blocked is None:
+                break
+            cursor = (blocked + 1) << 24
+            cursor = (cursor + size - 1) & ~(size - 1)
+        self._cursor = cursor + size
+        return IPv4Prefix(cursor, length)
+
+    def carve_range(self, num_addresses: int, *, align_length: int = 16) -> AddressRange:
+        """A contiguous range of addresses, aligned to a /``align_length``.
+
+        The range need not be a CIDR block (RIR pools are not).
+        """
+        size = 1 << (32 - align_length)
+        count = math.ceil(num_addresses / size) * size
+        first = self.carve(align_length)
+        start = first.network
+        remaining = count - size
+        while remaining > 0:
+            nxt = self.carve(align_length)
+            if nxt.network != start + (count - remaining):
+                # A reserved /8 interrupted contiguity: restart there.
+                start = nxt.network
+                remaining = count - size
+            else:
+                remaining -= size
+        return AddressRange(start, start + count)
+
+    def carve_slash8_equiv(
+        self, slash8: float, chunk_length: int
+    ) -> list[IPv4Prefix]:
+        """Prefixes totalling ~``slash8`` /8 equivalents, in equal chunks."""
+        chunk_addresses = 1 << (32 - chunk_length)
+        chunks = max(1, round(slash8 * (1 << 24) / chunk_addresses))
+        return [self.carve(chunk_length) for _ in range(chunks)]
+
+
+class WorldBuilder:
+    """Builds a :class:`~repro.synth.world.World` from a config."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.cfg = config
+        seeds = np.random.SeedSequence(config.seed).spawn(9)
+        self.rng_platform = np.random.default_rng(seeds[0])
+        self.rng_space = np.random.default_rng(seeds[1])
+        self.rng_background = np.random.default_rng(seeds[2])
+        self.rng_drop = np.random.default_rng(seeds[3])
+        self.rng_irr = np.random.default_rng(seeds[4])
+        self.rng_rpki = np.random.default_rng(seeds[5])
+        self.rng_sbl = np.random.default_rng(seeds[6])
+        self.rng_as0 = np.random.default_rng(seeds[7])
+        self.rng_topology = np.random.default_rng(seeds[8])
+
+        self.carver = SpaceCarver()
+        self.topology = AsTopology.generate(
+            np.random.default_rng(seeds[8])
+        )
+        self.peers = PeerRegistry()
+        self.bgp = RouteIntervalStore(data_end=config.window.end)
+        self.resources = ResourceRegistry()
+        self.irr = IrrDatabase()
+        self.roas = RoaArchive()
+        self.drop = DropArchive(config.window)
+        self.sbl = SblDatabase()
+        self.manual_overrides: dict = {}
+        self.truth = GroundTruth()
+
+        self._asn_cursor = 10_000
+        self._sbl_cursor = 300_000
+        self._all_observers: frozenset[int] = frozenset()
+        self._full_table_ids: frozenset[int] = frozenset()
+        self._filtering_ids: frozenset[int] = frozenset()
+        #: Free-pool layout per RIR: (block, drain cursor) — drains grow
+        #: from the bottom; unallocated DROP prefixes are carved from the
+        #: top so they stay in the pool for the whole window.
+        self._pool_blocks: dict[str, AddressRange] = {}
+        self._pool_top_cursor: dict[str, int] = {}
+
+    # -- shared helpers ------------------------------------------------------
+
+    def next_asn(self) -> int:
+        """A fresh, globally unique public ASN."""
+        self._asn_cursor += 1
+        return self._asn_cursor
+
+    def next_sbl_id(self) -> str:
+        """A fresh SBL record id."""
+        self._sbl_cursor += 1
+        return f"SBL{self._sbl_cursor}"
+
+    def uniform_day(
+        self, rng: np.random.Generator, start: date, end: date
+    ) -> date:
+        """A uniform random day in [start, end]."""
+        span = (end - start).days
+        return start + timedelta(days=int(rng.integers(0, span + 1)))
+
+    def announce(
+        self,
+        prefix: IPv4Prefix,
+        path: ASPath,
+        start: date,
+        end: date | None,
+        *,
+        listed: date | None = None,
+        delisted: date | None = None,
+    ) -> RouteInterval:
+        """Record a route interval observed by the whole platform.
+
+        With ``listed`` given, the DROP-filtering peers stop observing the
+        route at the listing date (or never see it, if the announcement
+        begins while the prefix is listed).
+        """
+        observers = self._all_observers
+        partials: tuple[PartialObservation, ...] = ()
+        if listed is not None:
+            filter_start = listed
+            if start >= filter_start and (delisted is None or start < delisted):
+                # Announced while already listed: filtering peers never see it.
+                observers = observers - self._filtering_ids
+            elif start < filter_start:
+                partials = tuple(
+                    PartialObservation(
+                        peer_id=pid,
+                        start=start,
+                        end=filter_start - timedelta(days=1),
+                    )
+                    for pid in sorted(self._filtering_ids)
+                )
+        interval = RouteInterval(
+            prefix=prefix,
+            path=path,
+            start=start,
+            end=end,
+            observers=observers,
+            partial_observers=partials,
+        )
+        self.bgp.add(interval)
+        return interval
+
+    def sign(
+        self,
+        prefix: IPv4Prefix,
+        asn: int,
+        created: date,
+        *,
+        trust_anchor: str,
+        max_length: int | None = None,
+        removed: date | None = None,
+    ) -> RoaRecord:
+        """Publish a ROA record into the archive."""
+        record = RoaRecord(
+            roa=Roa(
+                prefix=prefix,
+                asn=asn,
+                max_length=max_length,
+                trust_anchor=trust_anchor,
+            ),
+            created=created,
+            removed=removed,
+        )
+        self.roas.add(record)
+        return record
+
+    # -- stage 1: observation platform ---------------------------------------
+
+    def build_platform(self) -> None:
+        """36 collectors, full-table and partial peers, 3 DROP filterers."""
+        cfg = self.cfg
+        names = list(ROUTEVIEWS_COLLECTOR_NAMES[: cfg.collectors])
+        full_ids: list[int] = []
+        for index in range(cfg.full_table_peers):
+            peer = self.peers.add_peer(
+                asn=3000 + index,
+                collector=names[index % len(names)],
+                full_table=True,
+            )
+            full_ids.append(peer.peer_id)
+        for index in range(cfg.partial_peers):
+            self.peers.add_peer(
+                asn=5000 + index,
+                collector=names[index % len(names)],
+                full_table=False,
+            )
+        chosen = self.rng_platform.choice(
+            np.array(full_ids), size=cfg.drop_filtering_peers, replace=False
+        )
+        self._filtering_ids = frozenset(int(x) for x in chosen)
+        # Rebuild the registry so the filtering peers carry the flag (the
+        # flag is descriptive truth; analyses must *infer* it from data).
+        rebuilt = PeerRegistry()
+        for peer in self.peers.peers():
+            rebuilt.add_peer(
+                peer.asn,
+                peer.collector,
+                full_table=peer.full_table,
+                filters_drop=peer.peer_id in self._filtering_ids,
+            )
+        self.peers = rebuilt
+        self._full_table_ids = self.peers.full_table_peer_ids()
+        self._all_observers = self.peers.peer_ids()
+        self.truth.filtering_peer_ids = self._filtering_ids
+
+    # -- stage 2: RIR pools (Figure 7) -----------------------------------------
+
+    def build_rir_pools(self) -> None:
+        """Per-RIR free pools, draining linearly over the window."""
+        cfg = self.cfg
+        for rir, profile in cfg.regions.items():
+            block = self.carver.carve_range(
+                profile.free_pool_start, align_length=16
+            )
+            self._pool_blocks[rir] = block
+            self._pool_top_cursor[rir] = block.end
+            self.resources.delegate_to_rir(rir, block)
+            drain_total = profile.free_pool_start - profile.free_pool_end
+            months = list(
+                month_starts(cfg.window.start, cfg.window.end)
+            )
+            if drain_total <= 0 or not months:
+                continue
+            slice_size = drain_total // len(months)
+            slice_size = max(1 << 8, (slice_size >> 8) << 8)  # /24 align
+            cursor = block.start
+            for index, month in enumerate(months):
+                if cursor + slice_size > block.end:
+                    break
+                holder = f"{rir.lower()}-member-{index}"
+                self.resources.allocate(
+                    AddressRange(cursor, cursor + slice_size),
+                    rir,
+                    month,
+                    holder=holder,
+                )
+                cursor += slice_size
+
+    def carve_unallocated(self, rir: str, length: int) -> IPv4Prefix:
+        """A prefix from the *top* of an RIR's pool (never allocated)."""
+        size = 1 << (32 - length)
+        top = self._pool_top_cursor[rir]
+        network = (top - size) & ~(size - 1)
+        block = self._pool_blocks[rir]
+        if network < block.start:
+            raise RuntimeError(f"{rir} pool exhausted for /{length}")
+        self._pool_top_cursor[rir] = network
+        return IPv4Prefix(network, length)
+
+    # -- stage 3: signed space (Figure 5) ----------------------------------------
+
+    def build_signed_space(self) -> None:
+        """The ROA-covered space series, including the big three holders."""
+        cfg = self.cfg
+        window = cfg.window
+        history = cfg.bgp_history_start
+        rirs = list(cfg.regions)
+
+        def signed_holder(
+            prefix: IPv4Prefix,
+            rir: str,
+            holder: str,
+            *,
+            signed_on: date,
+            routed_until: date | None,
+            routed: bool = True,
+        ) -> None:
+            asn = self.next_asn()
+            self.topology.attach_edge_network(asn)
+            self.resources.delegate_to_rir(rir, prefix)
+            self.resources.allocate(
+                prefix, rir, date(2005, 1, 1), holder=holder
+            )
+            self.sign(prefix, asn, signed_on, trust_anchor=rir)
+            if routed:
+                self.announce(
+                    prefix,
+                    self.topology.path_from_core(asn),
+                    history,
+                    routed_until,
+                )
+
+        # Routed + signed from the start: the bulk of the 49.1 /8s.
+        start_routed = cfg.signed_space_start - cfg.unrouted_signed_start
+        becoming_unrouted = (
+            cfg.unrouted_signed_end
+            - cfg.unrouted_signed_start
+            - cfg.amazon_unrouted_slash8
+            - cfg.alibaba_unrouted_slash8
+        )
+        chunks = self.carver.carve_slash8_equiv(start_routed, 10)
+        drift_chunks = max(0, round(becoming_unrouted / 0.25))
+        for index, prefix in enumerate(chunks):
+            rir = rirs[index % len(rirs)]
+            if index < drift_chunks:
+                # These lose their announcements mid-window: the routed
+                # share of signed space declines (97.1% -> 90.5%).
+                routed_until = self.uniform_day(
+                    self.rng_space,
+                    window.start + timedelta(days=120),
+                    window.end - timedelta(days=60),
+                )
+            else:
+                routed_until = None
+            signed_holder(
+                prefix,
+                rir,
+                f"signed-net-{index}",
+                signed_on=self.uniform_day(
+                    self.rng_space, date(2018, 6, 1), window.start
+                ),
+                routed_until=routed_until,
+            )
+
+        # Signed but never routed from the start (1.6 /8s): Prudential's
+        # legacy /8 plus smaller stragglers.
+        prudential = self.carver.carve_slash8_equiv(
+            cfg.prudential_unrouted_slash8, 8
+        )
+        for prefix in prudential:
+            asn = self.next_asn()
+            self.resources.delegate_to_rir("ARIN", prefix)
+            self.resources.allocate(
+                prefix, "ARIN", date(1991, 1, 1), holder="prudential",
+                legacy=True,
+            )
+            self.sign(prefix, asn, date(2019, 2, 1), trust_anchor="ARIN")
+        rest_start_unrouted = (
+            cfg.unrouted_signed_start - cfg.prudential_unrouted_slash8
+        )
+        for index, prefix in enumerate(
+            self.carver.carve_slash8_equiv(rest_start_unrouted, 12)
+        ):
+            signed_holder(
+                prefix,
+                rirs[index % len(rirs)],
+                f"idle-signed-{index}",
+                signed_on=date(2019, 1, 15),
+                routed_until=None,
+                routed=False,
+            )
+
+        # Growth: space that signs during the window (routed throughout).
+        growth = (
+            cfg.signed_space_end
+            - cfg.signed_space_start
+            - cfg.amazon_unrouted_slash8
+            - 0.9  # Amazon's routed share, handled below
+            - cfg.alibaba_unrouted_slash8
+        )
+        for index, prefix in enumerate(
+            self.carver.carve_slash8_equiv(growth, 10)
+        ):
+            signed_holder(
+                prefix,
+                rirs[index % len(rirs)],
+                f"adopter-net-{index}",
+                signed_on=self.uniform_day(
+                    self.rng_space, window.start, window.end
+                ),
+                routed_until=None,
+            )
+
+        # Amazon: one signing event covering routed and unrouted space.
+        amazon_asn = self.next_asn()
+        for prefix in self.carver.carve_slash8_equiv(0.9, 10):
+            self.resources.delegate_to_rir("ARIN", prefix)
+            self.resources.allocate(
+                prefix, "ARIN", date(2010, 1, 1), holder="amazon"
+            )
+            self.sign(
+                prefix, amazon_asn, cfg.amazon_roa_event, trust_anchor="ARIN"
+            )
+            self.announce(
+                prefix,
+                self.topology.path_from_core(amazon_asn),
+                history,
+                None,
+            )
+        for prefix in self.carver.carve_slash8_equiv(
+            cfg.amazon_unrouted_slash8, 10
+        ):
+            self.resources.delegate_to_rir("ARIN", prefix)
+            self.resources.allocate(
+                prefix, "ARIN", date(2010, 1, 1), holder="amazon"
+            )
+            self.sign(
+                prefix, amazon_asn, cfg.amazon_roa_event, trust_anchor="ARIN"
+            )
+
+        # Alibaba: unrouted signed, mid-window, APNIC.
+        alibaba_asn = self.next_asn()
+        for prefix in self.carver.carve_slash8_equiv(
+            cfg.alibaba_unrouted_slash8, 12
+        ):
+            self.resources.delegate_to_rir("APNIC", prefix)
+            self.resources.allocate(
+                prefix, "APNIC", date(2012, 1, 1), holder="alibaba"
+            )
+            self.sign(
+                prefix, alibaba_asn, date(2021, 4, 1), trust_anchor="APNIC"
+            )
+
+        self.truth.unrouted_signed_holders = {
+            "amazon": cfg.amazon_unrouted_slash8,
+            "prudential": cfg.prudential_unrouted_slash8,
+            "alibaba": cfg.alibaba_unrouted_slash8,
+        }
+
+    # -- stage 4: allocated, unrouted, unsigned (Figure 5) -------------------------
+
+    def build_unrouted_unsigned(self) -> None:
+        """The 29.2 → 30.0 /8s of allocated-unrouted-no-ROA space.
+
+        Amazon's and Alibaba's unrouted blocks sit in this series until
+        their signing events move them to the signed-unrouted series, so
+        the static base here is the paper's start value minus their
+        space; window growth makes up the difference at the end.
+        """
+        cfg = self.cfg
+        static_total = (
+            cfg.unrouted_unsigned_start
+            - cfg.amazon_unrouted_slash8
+            - cfg.alibaba_unrouted_slash8
+        )
+        arin_start = static_total * cfg.arin_unrouted_share
+        other_start = static_total - arin_start
+        for index, prefix in enumerate(
+            self.carver.carve_slash8_equiv(arin_start, 8)
+        ):
+            self.resources.delegate_to_rir("ARIN", prefix)
+            self.resources.allocate(
+                prefix,
+                "ARIN",
+                date(1992, 1, 1),
+                holder=f"legacy-idle-{index}",
+                legacy=True,
+            )
+        other_rirs = [r for r in cfg.regions if r != "ARIN"]
+        for index, prefix in enumerate(
+            self.carver.carve_slash8_equiv(other_start, 10)
+        ):
+            rir = other_rirs[index % len(other_rirs)]
+            self.resources.delegate_to_rir(rir, prefix)
+            self.resources.allocate(
+                prefix, rir, date(2003, 1, 1), holder=f"idle-{rir}-{index}"
+            )
+        # Growth beyond the pool drains: new unrouted allocations during
+        # the window (ARIN-weighted, matching the end-of-window share).
+        growth = cfg.unrouted_unsigned_end - static_total - 0.26
+        if growth > 0:
+            for index, prefix in enumerate(
+                self.carver.carve_slash8_equiv(growth, 12)
+            ):
+                rir = "ARIN" if index % 3 else "RIPE"
+                self.resources.delegate_to_rir(rir, prefix)
+                alloc_day = self.uniform_day(
+                    self.rng_space, cfg.window.start, cfg.window.end
+                )
+                # Reserved until handed out, so this space never shows up
+                # as free pool (Figure 7) before its allocation date.
+                self.resources.allocate(
+                    prefix, rir, date(1995, 1, 1),
+                    holder=None, status="reserved",
+                )
+                self.resources.deallocate(prefix, alloc_day)
+                self.resources.allocate(
+                    prefix, rir, alloc_day, holder=f"idle-new-{index}"
+                )
+
+    # -- stage 5: background populations (Table 1) -----------------------------------
+
+    def build_background(self) -> None:
+        """Routed, unsigned-at-start prefixes per region; some sign."""
+        cfg = self.cfg
+        window = cfg.window
+        history = cfg.bgp_history_start
+        signed_counts: dict[str, int] = {}
+        for rir, profile in cfg.regions.items():
+            count = profile.background_prefixes
+            signers = int(round(count * profile.base_signing_rate))
+            signer_flags = np.zeros(count, dtype=bool)
+            signer_flags[:signers] = True
+            self.rng_background.shuffle(signer_flags)
+            network_asn = self.next_asn()
+            self.topology.attach_edge_network(network_asn)
+            network_path = self.topology.path_from_core(network_asn)
+            alloc_start: int | None = None
+            alloc_end = 0
+            for index in range(count):
+                if index % 4 == 0:
+                    network_asn = self.next_asn()
+                    self.topology.attach_edge_network(network_asn)
+                    network_path = self.topology.path_from_core(network_asn)
+                length = int(self.rng_background.integers(22, 25))
+                prefix = self.carver.carve(length)
+                if alloc_start is None:
+                    alloc_start = prefix.network
+                alloc_end = prefix.last + 1
+                self.announce(prefix, network_path, history, None)
+                if signer_flags[index]:
+                    signed_on = self.uniform_day(
+                        self.rng_background, window.start, window.end
+                    )
+                    max_length = None
+                    if (
+                        self.rng_background.random()
+                        < cfg.maxlength_usage_rate
+                    ):
+                        if self.rng_background.random() < 0.16:
+                            # The defended minority (Gilad et al. found
+                            # 84% vulnerable): maxLength one longer, and
+                            # both halves actually announced.
+                            max_length = min(32, length + 1)
+                            if max_length > length:
+                                for half in prefix.subnets(max_length):
+                                    self.announce(
+                                        half, network_path, history, None
+                                    )
+                        else:
+                            max_length = min(
+                                32,
+                                length
+                                + int(self.rng_background.integers(1, 9)),
+                            )
+                    self.sign(
+                        prefix,
+                        network_asn,
+                        signed_on,
+                        trust_anchor=rir,
+                        max_length=max_length,
+                    )
+                # One allocation per 64 prefixes keeps the registry small
+                # without changing any per-prefix answer (contiguous carve).
+                if index % 64 == 63 or index == count - 1:
+                    block = AddressRange(alloc_start, alloc_end)
+                    self.resources.delegate_to_rir(rir, block)
+                    self.resources.allocate(
+                        block,
+                        rir,
+                        date(2012, 1, 1),
+                        holder=f"{rir.lower()}-isp-{index // 64}",
+                    )
+                    alloc_start = None
+            signed_counts[rir] = signers
+        self.truth.background_signed = signed_counts
+
+    # -- stage 7: RIR AS0 trust anchors (§6.2.2) ----------------------------------------
+
+    def build_rir_as0(self) -> None:
+        """AS0 ROAs over unallocated pools, plus routed bogons under them."""
+        cfg = self.cfg
+        for rir in ("APNIC", "LACNIC"):
+            policy_start = rir_as0_policy_start(rir)
+            tal = rir_as0_tal(rir)
+            assert policy_start is not None and tal is not None
+            # Cover the pool's never-allocated top region with AS0 ROAs.
+            block = self._pool_blocks[rir]
+            drained = self.resources.allocated_space(cfg.window.end, rir)
+            pool_space = (
+                self.resources.managed_space(rir).difference(drained)
+            )
+            for prefix in pool_space.iter_prefixes():
+                if not block.contains(prefix.to_range()):
+                    continue
+                self.sign(
+                    prefix,
+                    0,
+                    policy_start,
+                    trust_anchor=tal,
+                    max_length=32,
+                )
+        # Routed bogons inside AS0-covered pool space that are NOT on DROP:
+        # these are what a peer filtering on the AS0 TALs would drop.
+        already = sum(
+            1
+            for prefix, truth in self.truth.drop.items()
+            if truth.unallocated
+            and truth.region in ("APNIC", "LACNIC")
+            and self.bgp.is_announced(
+                prefix, cfg.window.end, include_covering=False
+            )
+        )
+        needed = max(0, cfg.as0_filterable_prefixes - already)
+        for index in range(needed):
+            rir = "APNIC" if index % 2 else "LACNIC"
+            prefix = self.carve_unallocated(rir, 24)
+            asn = self.next_asn()
+            self.announce(
+                prefix,
+                self.topology.path_from_core(asn),
+                cfg.window.end - timedelta(days=200),
+                None,
+            )
+            self.truth.as0_filterable.append(prefix)
+
+    # -- orchestration -----------------------------------------------------------------------
+
+    def build(self) -> World:
+        """Run every stage and return the finished world."""
+        self.build_platform()
+        self.build_rir_pools()
+        self.build_signed_space()
+        self.build_unrouted_unsigned()
+        self.build_background()
+        build_drop_population(self)
+        build_case_study(self)
+        self.build_rir_as0()
+        return World(
+            config=self.cfg,
+            window=self.cfg.window,
+            peers=self.peers,
+            bgp=self.bgp,
+            resources=self.resources,
+            irr=self.irr,
+            roas=self.roas,
+            drop=self.drop,
+            sbl=self.sbl,
+            manual_overrides=self.manual_overrides,
+            truth=self.truth,
+        )
+
+
+def build_world(config: ScenarioConfig | None = None) -> World:
+    """Build a world from ``config`` (default: paper scale)."""
+    return WorldBuilder(config or ScenarioConfig.paper()).build()

@@ -1,0 +1,285 @@
+"""Scenario configuration for the synthetic world.
+
+Every quantity the paper reports is a parameter here, calibrated to the
+published numbers (see the field comments for the paper anchor).  The
+default :meth:`ScenarioConfig.paper` scale reproduces the study's counts;
+:meth:`ScenarioConfig.small` and :meth:`ScenarioConfig.tiny` shrink the
+populations proportionally for fast tests while keeping every *rate*
+identical, so shape results still hold.
+
+All randomness in world generation flows from a single seed through
+per-subsystem ``numpy`` generators, making any config bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from datetime import date
+
+from ..net.timeline import STUDY_END, STUDY_START, DateWindow
+
+__all__ = ["RegionProfile", "ScenarioConfig"]
+
+
+@dataclass(frozen=True)
+class RegionProfile:
+    """Per-RIR populations and rates (Table 1 and Figures 6–7)."""
+
+    #: Routed prefixes with no ROA at study start, never on DROP (Table 1
+    #: "Never on DROP" denominators: 3901 / 42.2K / 65.2K / 15.1K / 68.2K).
+    background_prefixes: int
+    #: Fraction of those signed during the study (Table 1 column 1).
+    base_signing_rate: float
+    #: Signing rate for DROP prefixes Spamhaus removed (Table 1 column 2).
+    removed_signing_rate: float
+    #: Signing rate for DROP prefixes never removed (Table 1 column 3).
+    present_signing_rate: float
+    #: DROP prefixes (no ROA at listing) removed from DROP in this region.
+    drop_removed: int
+    #: DROP prefixes (no ROA at listing) still listed at window end.
+    drop_present: int
+    #: Unallocated prefixes appearing on DROP in this region (Figure 6:
+    #: LACNIC 19, AFRINIC 12, 9 elsewhere).
+    unallocated_drop_prefixes: int
+    #: Free pool at study start, in addresses (Figure 7: AFRINIC and ARIN
+    #: largest).
+    free_pool_start: int
+    #: Free pool at study end, in addresses.
+    free_pool_end: int
+
+
+def _paper_regions() -> dict[str, RegionProfile]:
+    return {
+        "AFRINIC": RegionProfile(
+            background_prefixes=3901,
+            base_signing_rate=0.118,
+            removed_signing_rate=0.143,
+            present_signing_rate=0.0,
+            drop_removed=7,
+            drop_present=12,
+            unallocated_drop_prefixes=12,
+            free_pool_start=6_800_000,
+            free_pool_end=4_100_000,
+        ),
+        "APNIC": RegionProfile(
+            background_prefixes=42_200,
+            base_signing_rate=0.263,
+            removed_signing_rate=0.444,
+            present_signing_rate=0.216,
+            drop_removed=18,
+            drop_present=39,
+            unallocated_drop_prefixes=4,
+            free_pool_start=1_300_000,
+            free_pool_end=900_000,
+        ),
+        "ARIN": RegionProfile(
+            background_prefixes=65_200,
+            base_signing_rate=0.085,
+            removed_signing_rate=0.25,
+            present_signing_rate=0.006,
+            drop_removed=40,
+            drop_present=178,
+            unallocated_drop_prefixes=3,
+            free_pool_start=3_800_000,
+            free_pool_end=3_400_000,
+        ),
+        "LACNIC": RegionProfile(
+            background_prefixes=15_100,
+            base_signing_rate=0.255,
+            removed_signing_rate=0.351,
+            present_signing_rate=0.0,
+            drop_removed=37,
+            drop_present=10,
+            unallocated_drop_prefixes=19,
+            free_pool_start=1_100_000,
+            free_pool_end=700_000,
+        ),
+        "RIPE": RegionProfile(
+            background_prefixes=68_200,
+            base_signing_rate=0.33,
+            removed_signing_rate=0.542,
+            present_signing_rate=0.198,
+            drop_removed=84,
+            drop_present=181,
+            unallocated_drop_prefixes=2,
+            free_pool_start=1_500_000,
+            free_pool_end=1_000_000,
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything the world builder needs, in one reproducible record."""
+
+    seed: int = 2022
+    window: DateWindow = field(
+        default_factory=lambda: DateWindow(STUDY_START, STUDY_END)
+    )
+    #: BGP history reaches back before the DROP window (Fig 4 needs
+    #: origins from 2018 and "no origination for 15 yrs").
+    bgp_history_start: date = date(2017, 1, 1)
+
+    # -- observation platform (§3, §4.1) ---------------------------------
+    #: RouteViews-scale fleet: 36 collectors.
+    collectors: int = 36
+    #: Full-table peers across the fleet.
+    full_table_peers: int = 90
+    #: Partial-feed peers (not used in Fig 2 denominators).
+    partial_peers: int = 30
+    #: Peers that filter DROP-listed prefixes (the paper found three).
+    drop_filtering_peers: int = 3
+
+    # -- DROP population (§3.1, Fig 1) -------------------------------------
+    #: 712 unique prefixes appeared on DROP; 186 had no SBL record.
+    no_record_prefixes: int = 186
+    #: Category counts among the 526 with records (Fig 1; §6.1 gives 179
+    #: hijacked; §6.2.2 gives 40 unallocated = sum of region values).
+    hijacked_prefixes: int = 179
+    snowshoe_prefixes: int = 230
+    known_spam_prefixes: int = 40
+    malicious_hosting_prefixes: int = 52
+    #: Snowshoe prefixes carrying a second label (§3.1: 15).
+    snowshoe_overlap: int = 15
+    #: Hijacked prefixes whose SBL record names the hijacking ASN (130).
+    hijacks_with_asn: int = 130
+    #: AFRINIC-incident prefixes (45, excluded from analyses; 48.8% of
+    #: DROP address space).
+    afrinic_incident_prefixes: int = 45
+
+    # -- §4.1 behaviour rates ----------------------------------------------
+    #: Withdrawal within 30 days of listing, by category.
+    withdrawal_rate_hijacked: float = 0.707
+    withdrawal_rate_unallocated: float = 0.548
+    withdrawal_rate_other: float = 0.05
+    #: Malicious-hosting prefixes allocated at listing and deallocated by
+    #: window end (17.4%).
+    mh_deallocation_rate: float = 0.174
+    #: Removed prefixes deallocated (8.8%); half removed within a week of
+    #: the deallocation.
+    removed_deallocation_rate: float = 0.088
+
+    # -- §5 IRR behaviour -----------------------------------------------------
+    #: DROP prefixes with a route object (exact or more-specific) in the
+    #: 7 days before listing: 226 of 712 (31.7%), 68.8% of space.
+    irr_object_prefixes: int = 226
+    #: Of those, created within the month before listing (32%).
+    irr_created_before_listing_rate: float = 0.32
+    #: Of those, removed within a month after listing (43%).
+    irr_removed_after_listing_rate: float = 0.43
+    #: Hijacked-with-ASN prefixes whose route object names the hijacker
+    #: ASN (57 of 130); 49 of the 57 share three ORG-IDs; 13 distinct
+    #: hijacking ASNs appear.
+    irr_hijacker_objects: int = 57
+    irr_hijacker_org_cluster: int = 49
+    irr_hijacker_org_count: int = 3
+    irr_hijacker_asn_count: int = 13
+    #: Route objects created by the most prolific ORG-ID (15), announced
+    #: via AS50509 with defunct origin ASes.
+    irr_prolific_org_objects: int = 15
+    #: Hijacker route objects whose prefix was announced in BGP more than
+    #: a year before the IRR record (2 of 57); the rest announce within a
+    #: week after registration (Fig 3).
+    irr_late_records: int = 2
+    #: Prefixes with a pre-existing legitimate IRR entry among the 57 (5).
+    irr_preexisting_entries: int = 5
+
+    # -- §6 RPKI behaviour ------------------------------------------------------
+    #: Hijacked prefixes RPKI-signed before listing (3 of 179), including
+    #: the 132.255.0.0/22 case study.
+    presigned_hijacks: int = 3
+    #: Non-hijack DROP prefixes that already had a (non-AS0) ROA when
+    #: listed; with the 3 presigned hijacks and 45 incidents they account
+    #: for the gap between 712 listed and the 650 ROA-free of Table 1.
+    presigned_other: int = 18
+    #: Removed-and-signed prefixes signed with a different ASN than the
+    #: listing-time origin (82.3%); same ASN 6.3%.
+    signed_different_asn_rate: float = 0.823
+    signed_same_asn_rate: float = 0.063
+
+    # -- Figure 5 space series (in /8 equivalents) --------------------------------
+    signed_space_start: float = 49.1
+    signed_space_end: float = 70.4
+    unrouted_signed_start: float = 1.6
+    unrouted_signed_end: float = 6.7
+    unrouted_unsigned_start: float = 29.2
+    unrouted_unsigned_end: float = 30.0
+    #: ARIN's share of allocated-unrouted-unsigned space at window end
+    #: (60.8% = 18.25 of 30.0 /8s).
+    arin_unrouted_share: float = 0.608
+    #: The three large unrouted-signed holders (70.1% of the 6.7 /8s).
+    amazon_unrouted_slash8: float = 3.1
+    prudential_unrouted_slash8: float = 1.0
+    alibaba_unrouted_slash8: float = 0.64
+    #: Amazon's ROA-creation event day (the labeled jump in Figure 5).
+    amazon_roa_event: date = date(2020, 12, 1)
+
+    #: Fraction of newly-created ROAs using a maxLength longer than the
+    #: prefix (the practice Gilad et al. [15] flag; an Internet Draft now
+    #: recommends against it — §2.3).
+    maxlength_usage_rate: float = 0.12
+
+    # -- §6.2 AS0 ------------------------------------------------------------------
+    #: Routed prefixes each full-table peer would have filtered with the
+    #: RIR AS0 TALs on 2022-03-30 (≈30).
+    as0_filterable_prefixes: int = 30
+
+    # -- per-region profiles ---------------------------------------------------------
+    regions: dict[str, RegionProfile] = field(default_factory=_paper_regions)
+
+    # -- derived ------------------------------------------------------------------------
+
+    @property
+    def total_drop_prefixes(self) -> int:
+        """Unique DROP prefixes implied by the category counts."""
+        labeled = (
+            self.hijacked_prefixes
+            + self.snowshoe_prefixes
+            + self.known_spam_prefixes
+            + self.malicious_hosting_prefixes
+            + self.total_unallocated
+            - self.snowshoe_overlap
+        )
+        return labeled + self.no_record_prefixes
+
+    @property
+    def total_unallocated(self) -> int:
+        """Unallocated DROP prefixes summed over regions (paper: 40)."""
+        return sum(
+            profile.unallocated_drop_prefixes
+            for profile in self.regions.values()
+        )
+
+    @property
+    def total_background(self) -> int:
+        """Never-on-DROP population (paper: 195.6K)."""
+        return sum(p.background_prefixes for p in self.regions.values())
+
+    # -- presets -----------------------------------------------------------------------
+
+    @classmethod
+    def paper(cls, seed: int = 2022) -> "ScenarioConfig":
+        """Full paper-scale world (~196K background prefixes)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def small(cls, seed: int = 2022) -> "ScenarioConfig":
+        """~10x smaller background population; all rates identical."""
+        return cls(seed=seed)._scaled(0.1)
+
+    @classmethod
+    def tiny(cls, seed: int = 2022) -> "ScenarioConfig":
+        """~100x smaller background population, for unit tests."""
+        return cls(seed=seed)._scaled(0.01)
+
+    def _scaled(self, factor: float) -> "ScenarioConfig":
+        regions = {
+            name: replace(
+                profile,
+                background_prefixes=max(
+                    20, int(profile.background_prefixes * factor)
+                ),
+            )
+            for name, profile in self.regions.items()
+        }
+        return replace(self, regions=regions)

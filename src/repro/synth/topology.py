@@ -1,0 +1,163 @@
+"""AS-level topology for realistic announcement paths.
+
+The analyses the paper runs over AS paths only need origins and the
+occasional transit fingerprint, but a reproduction that emits flat
+two-hop paths everywhere looks nothing like a RouteViews table.  This
+module grows a small provider hierarchy — a clique of tier-1 transit
+networks, a layer of regional providers multihomed to the tier-1s, and
+edge networks attached to the regionals — and derives *valley-free*
+paths from any edge network up through its providers to the core, which
+is where the collectors' full-table peers sit.
+
+The graph lives in ``networkx`` (with customer→provider edges) so that
+downstream users can run their own graph analytics over the same world.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+from ..bgp.messages import ASPath
+
+__all__ = ["AsTopology"]
+
+#: Relationship labels on edges (drawn customer → provider).
+CUSTOMER_PROVIDER = "c2p"
+PEER_PEER = "p2p"
+
+
+class AsTopology:
+    """A provider hierarchy with valley-free path derivation."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self.graph = nx.DiGraph()
+        self.tier1: list[int] = []
+        self.regional: list[int] = []
+
+    @classmethod
+    def generate(
+        cls,
+        rng: np.random.Generator,
+        *,
+        tier1_count: int = 10,
+        regional_count: int = 60,
+    ) -> "AsTopology":
+        """Grow the transit core: a tier-1 clique plus regionals."""
+        topology = cls(rng)
+        topology.tier1 = [100 + i for i in range(tier1_count)]
+        for asn in topology.tier1:
+            topology.graph.add_node(asn, tier=1)
+        for a in topology.tier1:
+            for b in topology.tier1:
+                if a < b:
+                    topology.graph.add_edge(a, b, rel=PEER_PEER)
+        topology.regional = [1000 + i for i in range(regional_count)]
+        for asn in topology.regional:
+            topology.graph.add_node(asn, tier=2)
+            providers = rng.choice(
+                np.array(topology.tier1),
+                size=min(len(topology.tier1), 2 + int(rng.integers(0, 2))),
+                replace=False,
+            )
+            for provider in providers:
+                topology.graph.add_edge(asn, int(provider), rel=CUSTOMER_PROVIDER)
+        return topology
+
+    # -- growth -----------------------------------------------------------
+
+    def attach_edge_network(self, asn: int) -> tuple[int, ...]:
+        """Attach an edge network under 1–2 regional providers."""
+        if self.graph.has_node(asn):
+            raise ValueError(f"AS{asn} already in the topology")
+        count = 1 + int(self._rng.integers(0, 2))
+        providers = self._rng.choice(
+            np.array(self.regional), size=count, replace=False
+        )
+        self.graph.add_node(asn, tier=3)
+        for provider in providers:
+            self.graph.add_edge(asn, int(provider), rel=CUSTOMER_PROVIDER)
+        return tuple(int(p) for p in providers)
+
+    def __contains__(self, asn: int) -> bool:
+        return self.graph.has_node(asn)
+
+    def providers_of(self, asn: int) -> list[int]:
+        """The providers an AS buys transit from."""
+        return [
+            provider
+            for _, provider, data in self.graph.out_edges(asn, data=True)
+            if data["rel"] == CUSTOMER_PROVIDER
+        ]
+
+    # -- paths ---------------------------------------------------------------
+
+    def path_from_core(self, origin: int) -> ASPath:
+        """A valley-free path from a tier-1 vantage down to ``origin``.
+
+        The path climbs the origin's provider chain to a tier-1 and
+        prepends one random tier-1 peer when the collector-side vantage
+        differs — exactly the shape of a full-table RouteViews path.
+        Unknown origins get a synthetic (tier1, regional, origin) path so
+        callers never need to special-case.
+        """
+        if origin not in self:
+            regional = int(
+                self.regional[int(self._rng.integers(len(self.regional)))]
+            )
+            tier1 = self.providers_of(regional)[0]
+            return ASPath.of(tier1, regional, origin)
+        chain: list[int] = [origin]
+        current = origin
+        while self.graph.nodes[current]["tier"] > 1:
+            providers = self.providers_of(current)
+            current = providers[int(self._rng.integers(len(providers)))]
+            chain.append(current)
+        # Vantage: either the reached tier-1 itself or one of its peers.
+        if self._rng.random() < 0.5:
+            peers = [t for t in self.tier1 if t != current]
+            vantage = peers[int(self._rng.integers(len(peers)))]
+            chain.append(vantage)
+        return ASPath(tuple(reversed(chain)))
+
+    def is_valley_free(self, path: ASPath) -> bool:
+        """Check the Gao-Rexford valley-free property of a path.
+
+        Walking collector-side → origin, a path may descend
+        provider→customer at any point, but once it has descended it may
+        never climb customer→provider again, and at most one peer link is
+        allowed at the top.
+        """
+        descending = False
+        peered = False
+        hops = list(path)
+        for left, right in zip(hops, hops[1:]):
+            if left == right:
+                continue  # prepending
+            if not self.graph.has_node(left) or not self.graph.has_node(
+                right
+            ):
+                return False
+            if self.graph.has_edge(right, left) and (
+                self.graph[right][left]["rel"] == CUSTOMER_PROVIDER
+            ):
+                descending = True  # provider -> customer step
+            elif self.graph.has_edge(left, right) and (
+                self.graph[left][right]["rel"] == CUSTOMER_PROVIDER
+            ):
+                if descending:
+                    return False  # climbed after descending: a valley
+            elif (
+                self.graph.has_edge(left, right)
+                and self.graph[left][right]["rel"] == PEER_PEER
+            ) or (
+                self.graph.has_edge(right, left)
+                and self.graph[right][left]["rel"] == PEER_PEER
+            ):
+                if descending or peered:
+                    return False
+                peered = True
+            else:
+                return False  # no relationship at all
+        return True

@@ -1,0 +1,117 @@
+"""The synthetic world: every archive the study consumes, plus ground truth.
+
+A :class:`World` bundles the five data sources of §3 (DROP episodes, SBL
+records, BGP observations, the IRR, the ROA archive, RIR allocation state)
+built from one :class:`~repro.synth.config.ScenarioConfig`.  The analyses in
+:mod:`repro.analysis` take a ``World`` and *measure* it the way the paper
+measures the real archives — they never peek at :attr:`World.truth`, which
+exists so tests can check the measurement pipeline against the generator's
+intent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+
+from ..bgp.collector import PeerRegistry
+from ..bgp.ribs import RouteIntervalStore
+from ..drop.categories import Category
+from ..drop.droplist import DropArchive
+from ..drop.sbl import SblDatabase
+from ..irr.radb import IrrDatabase
+from ..net.prefix import IPv4Prefix
+from ..net.timeline import DateWindow
+from ..rirstats.registry import ResourceRegistry
+from ..rpki.archive import RoaArchive
+from .config import ScenarioConfig
+
+__all__ = ["CaseStudyTruth", "DropTruth", "GroundTruth", "World"]
+
+
+@dataclass(frozen=True, slots=True)
+class DropTruth:
+    """What the generator intended for one DROP prefix."""
+
+    prefix: IPv4Prefix
+    categories: frozenset[Category]
+    listed: date
+    removed_on: date | None
+    region: str | None
+    unallocated: bool = False
+    incident: bool = False
+    hijacker_asn: int | None = None
+    origin_at_listing: int | None = None
+    has_irr_object: bool = False
+    irr_hijacker_match: bool = False
+    irr_created_recently: bool = False
+    irr_removed_after: bool = False
+    presigned: bool = False
+    signs_after: bool = False
+    sign_asn_relation: str | None = None  # different / same / none
+    withdrawn_30d: bool = False
+    deallocated: bool = False
+    manual_sbl: bool = False
+
+    @property
+    def removed(self) -> bool:
+        """True if Spamhaus removed the prefix during the window."""
+        return self.removed_on is not None
+
+
+@dataclass(frozen=True, slots=True)
+class CaseStudyTruth:
+    """The Figure 4 cast: the RPKI-valid hijack and its siblings."""
+
+    signed_prefix: IPv4Prefix
+    owner_asn: int
+    owner_transit_asn: int
+    hijacker_transit_asn: int
+    hijacker_second_hop: int
+    sibling_prefixes: tuple[IPv4Prefix, ...]
+    siblings_on_drop: tuple[IPv4Prefix, ...]
+    unrouted_since: date
+    hijack_start: date
+
+
+@dataclass
+class GroundTruth:
+    """Generator intent, keyed by prefix, for validation in tests."""
+
+    drop: dict[IPv4Prefix, DropTruth] = field(default_factory=dict)
+    filtering_peer_ids: frozenset[int] = frozenset()
+    case_study: CaseStudyTruth | None = None
+    #: ORG-ID → hijacker route-object prefixes registered under it.
+    hijacker_orgs: dict[str, list[IPv4Prefix]] = field(default_factory=dict)
+    #: holder name → unrouted signed space in /8 equivalents (§6.2.1).
+    unrouted_signed_holders: dict[str, float] = field(default_factory=dict)
+    #: The operator-AS0 story prefix (45.65.112.0/22 in the paper).
+    operator_as0_prefix: IPv4Prefix | None = None
+    #: Background (never-on-DROP) prefixes per region that signed.
+    background_signed: dict[str, int] = field(default_factory=dict)
+    #: Routed prefixes covered by RIR AS0 TAL ROAs at window end (§6.2.2).
+    as0_filterable: list[IPv4Prefix] = field(default_factory=list)
+
+
+@dataclass
+class World:
+    """All archives for one synthetic study run."""
+
+    config: ScenarioConfig
+    window: DateWindow
+    peers: PeerRegistry
+    bgp: RouteIntervalStore
+    resources: ResourceRegistry
+    irr: IrrDatabase
+    roas: RoaArchive
+    drop: DropArchive
+    sbl: SblDatabase
+    #: Manual category judgements for keyword-free SBL records, as fed to
+    #: the Appendix-A categorizer (sbl_id → categories).
+    manual_overrides: dict[str, frozenset[Category]]
+    truth: GroundTruth
+
+    @property
+    def study_window(self) -> DateWindow:
+        """The DROP measurement window (alias of :attr:`window`)."""
+        return self.window

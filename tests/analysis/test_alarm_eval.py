@@ -1,0 +1,55 @@
+"""Tests for the alarm-vs-blocklist evaluation extension."""
+
+import pytest
+
+from repro.analysis import evaluate_alarms, load_entries
+from repro.synth import ScenarioConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(ScenarioConfig.tiny())
+
+
+@pytest.fixture(scope="module")
+def evaluation(world):
+    return evaluate_alarms(world, load_entries(world))
+
+
+class TestAlarmEvaluation:
+    def test_most_hijacks_not_enrollable(self, evaluation):
+        # The paper's abandonment story: almost all hijacked prefixes
+        # were unrouted for years — nothing to baseline.
+        assert evaluation.enrollable_share < 0.1
+        assert evaluation.enrollable >= 1
+
+    def test_all_enrollable_detected(self, evaluation):
+        assert evaluation.detected == len(evaluation.monitored)
+
+    def test_detection_leads_listing_by_months(self, evaluation):
+        assert evaluation.median_lead_days is not None
+        assert evaluation.median_lead_days > 100
+
+    def test_case_study_detected_at_hijack_start(self, world, evaluation):
+        case = world.truth.case_study
+        monitored = {m.prefix: m for m in evaluation.monitored}
+        assert case.signed_prefix in monitored
+        record = monitored[case.signed_prefix]
+        assert record.first_alarm == case.hijack_start
+        assert "path" in record.alarm_kinds
+
+    def test_every_lead_nonnegative(self, evaluation):
+        for item in evaluation.monitored:
+            if item.lead_days is not None:
+                assert item.lead_days >= 0
+
+    def test_empty_world_safe(self):
+        from repro.synth.world import GroundTruth, World
+        # Degenerate call: no hijacks at all.
+        tiny = build_world(ScenarioConfig.tiny(seed=3))
+        entries = [
+            e for e in load_entries(tiny) if not e.categories
+        ]
+        result = evaluate_alarms(tiny, entries)
+        assert result.hijacked_total == 0
+        assert result.median_lead_days is None

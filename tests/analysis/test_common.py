@@ -1,0 +1,97 @@
+"""Unit tests for the shared analysis plumbing (entry views, incidents)."""
+
+from datetime import date
+
+import pytest
+
+from repro.analysis.common import DropEntryView, detect_incidents
+from repro.drop.categories import Category
+from repro.net.prefix import IPv4Prefix
+
+
+def entry(cidr, listed=date(2020, 1, 1), region="AFRINIC",
+          categories=(Category.HIJACKED,)):
+    return DropEntryView(
+        prefix=IPv4Prefix.parse(cidr),
+        listed=listed,
+        removed_on=None,
+        sbl_id=None,
+        categories=frozenset(categories),
+        manual_classification=False,
+        mentioned_asns=(),
+        region=region,
+        allocated_at_listing=True,
+    )
+
+
+class TestDetectIncidents:
+    def test_cluster_of_large_same_day_prefixes(self):
+        cluster = [entry(f"102.{i}.0.0/16") for i in range(12)]
+        found = detect_incidents(cluster)
+        assert found == {e.prefix for e in cluster}
+
+    def test_small_cluster_not_flagged(self):
+        cluster = [entry(f"102.{i}.0.0/16") for i in range(5)]
+        assert detect_incidents(cluster) == set()
+
+    def test_many_tiny_prefixes_not_flagged(self):
+        # 12 prefixes but trivial space: below the /14 threshold.
+        cluster = [entry(f"102.0.{i}.0/24") for i in range(12)]
+        assert detect_incidents(cluster) == set()
+
+    def test_different_days_not_clustered(self):
+        spread = [
+            entry(f"102.{i}.0.0/16", listed=date(2020, 1, 1 + i))
+            for i in range(12)
+        ]
+        assert detect_incidents(spread) == set()
+
+    def test_different_regions_not_clustered(self):
+        mixed = [
+            entry(f"102.{i}.0.0/16",
+                  region="AFRINIC" if i % 2 else "ARIN")
+            for i in range(12)
+        ]
+        assert detect_incidents(mixed) == set()
+
+    def test_two_separate_clusters_both_found(self):
+        a = [entry(f"102.{i}.0.0/16", listed=date(2019, 7, 15))
+             for i in range(11)]
+        b = [entry(f"105.{i}.0.0/16", listed=date(2021, 3, 10))
+             for i in range(11)]
+        found = detect_incidents(a + b)
+        assert len(found) == 22
+
+
+class TestDropEntryView:
+    def test_removed_property(self):
+        listed = entry("102.0.0.0/16")
+        assert not listed.removed
+        gone = DropEntryView(
+            prefix=IPv4Prefix.parse("102.0.0.0/16"),
+            listed=date(2020, 1, 1),
+            removed_on=date(2020, 6, 1),
+            sbl_id="SBL1",
+            categories=frozenset({Category.SNOWSHOE}),
+            manual_classification=False,
+            mentioned_asns=(),
+            region="APNIC",
+            allocated_at_listing=True,
+        )
+        assert gone.removed
+
+    def test_unallocated_property(self):
+        ua = DropEntryView(
+            prefix=IPv4Prefix.parse("102.0.0.0/16"),
+            listed=date(2020, 1, 1),
+            removed_on=None,
+            sbl_id=None,
+            categories=frozenset({Category.UNALLOCATED}),
+            manual_classification=False,
+            mentioned_asns=(),
+            region="AFRINIC",
+            allocated_at_listing=False,
+        )
+        assert ua.unallocated
+        assert ua.has_category(Category.UNALLOCATED)
+        assert not ua.has_category(Category.HIJACKED)

@@ -1,0 +1,124 @@
+"""Tests for the extension analyses: counterfactuals and maxLength audit."""
+
+import pytest
+
+from repro.analysis import (
+    as0_counterfactual,
+    audit_maxlength,
+    load_entries,
+    rov_counterfactual,
+)
+from repro.rpki.validation import RouteValidity
+from repro.synth import ScenarioConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(ScenarioConfig.tiny())
+
+
+@pytest.fixture(scope="module")
+def entries(world):
+    return load_entries(world)
+
+
+class TestRovCounterfactual:
+    def test_rov_stops_nothing_as_deployed(self, world, entries):
+        result = rov_counterfactual(world, entries)
+        # Attackers target unsigned space: nothing is INVALID today.
+        assert result.stopped_as_deployed < 0.02
+
+    def test_most_announcements_not_found(self, world, entries):
+        result = rov_counterfactual(world, entries)
+        not_found = result.as_deployed[RouteValidity.NOT_FOUND]
+        assert not_found > 0.9 * result.evaluated
+
+    def test_presigned_hijacks_validate(self, world, entries):
+        result = rov_counterfactual(world, entries)
+        # The RPKI-valid hijack (and attacker-controlled ROAs) are VALID.
+        assert result.as_deployed[RouteValidity.VALID] >= 1
+
+    def test_universal_signing_stops_most(self, world, entries):
+        result = rov_counterfactual(world, entries)
+        assert result.stopped_if_all_signed > 0.9
+
+    def test_forged_origin_residue(self, world, entries):
+        result = rov_counterfactual(world, entries)
+        # Forged-origin announcements stay VALID even if everyone signs —
+        # the residue only path validation (BGPsec/ASPA) removes.
+        assert result.forged_origin_escapes >= 1
+        assert (
+            result.forged_origin_escapes
+            == result.if_all_signed[RouteValidity.VALID]
+        )
+
+    def test_outcome_counts_sum(self, world, entries):
+        result = rov_counterfactual(world, entries)
+        assert sum(result.as_deployed.values()) == result.evaluated
+        assert sum(result.if_all_signed.values()) == result.evaluated
+
+
+class TestAs0Counterfactual:
+    def test_universal_as0_blocks_everything(self, world, entries):
+        result = as0_counterfactual(world, entries)
+        assert result.unallocated_listings == 40
+        assert result.universal_share == 1.0
+
+    def test_published_coverage_partial(self, world, entries):
+        result = as0_counterfactual(world, entries)
+        # Only APNIC/LACNIC listings after their policy dates are covered
+        # by published AS0 ROAs: more than none, far less than all.
+        assert 0 < result.covered_as_published < 40
+        assert result.tals_trusted_share < 0.5
+
+    def test_operator_ladder_monotone(self, world, entries):
+        result = as0_counterfactual(world, entries)
+        ladder = result.operator_ladder
+        assert len(ladder) >= 3
+        assert all(a <= b for a, b in zip(ladder, ladder[1:]))
+        # Paper: the top three holders cover ~70%.
+        assert ladder[2] == pytest.approx(0.701, abs=0.06)
+
+
+class TestMaxLengthAudit:
+    def test_usage_and_vulnerability(self, world):
+        audit = audit_maxlength(world)
+        assert audit.using_maxlength > 0
+        assert audit.usage_rate < 0.25
+        # Gilad et al.: 84% of maxLength-using ROAs vulnerable.
+        assert audit.vulnerable_rate == pytest.approx(0.84, abs=0.1)
+
+    def test_examples_are_authorized_but_unannounced(self, world):
+        audit = audit_maxlength(world)
+        for item in audit.vulnerable[:10]:
+            roa = item.roa
+            target = item.example_target
+            assert roa.covers(target)
+            assert target.length <= roa.effective_max_length
+            assert roa.authorizes(target, roa.asn)
+            origins = world.bgp.origins_on(target, audit.day)
+            assert roa.asn not in origins
+
+    def test_as0_roas_never_vulnerable(self, world):
+        audit = audit_maxlength(world)
+        assert all(not v.roa.is_as0 for v in audit.vulnerable)
+
+    def test_defended_roas_not_flagged(self, world):
+        # ROAs whose owners announce at maxLength must not be flagged.
+        audit = audit_maxlength(world)
+        flagged = {v.roa for v in audit.vulnerable}
+        for record in world.roas.records():
+            roa = record.roa
+            if (
+                not record.active_on(audit.day)
+                or roa.is_as0
+                or not roa.uses_max_length
+                or roa in flagged
+            ):
+                continue
+            # Not flagged: every authorized sub-level must be announced.
+            for sub in roa.prefix.subnets(roa.prefix.length + 1):
+                assert any(
+                    i.active_on(audit.day) and i.origin == roa.asn
+                    for i in world.bgp.intervals_exact(sub)
+                ), (roa, sub)

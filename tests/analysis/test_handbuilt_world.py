@@ -1,0 +1,231 @@
+"""Analysis tests over a small hand-built world with exact expectations.
+
+Unlike the synthetic-generator tests, every archive entry here is written
+out longhand, so each analysis result can be asserted exactly.
+"""
+
+from datetime import date
+
+import pytest
+
+from repro.analysis import (
+    analyze_deallocation,
+    analyze_irr,
+    analyze_rpki_effectiveness,
+    analyze_rpki_uptake,
+    analyze_unallocated,
+    analyze_visibility,
+    classify_drop,
+    detect_incidents,
+    load_entries,
+)
+from repro.bgp.collector import PeerRegistry
+from repro.bgp.messages import ASPath
+from repro.bgp.ribs import RouteInterval, RouteIntervalStore
+from repro.drop.categories import Category
+from repro.drop.droplist import DropArchive, DropEpisode
+from repro.drop.sbl import SblDatabase, SblRecord
+from repro.irr.radb import IrrDatabase, RouteObjectRecord
+from repro.irr.rpsl import RouteObject
+from repro.net.prefix import IPv4Prefix
+from repro.net.timeline import DateWindow
+from repro.rirstats.registry import ResourceRegistry
+from repro.rpki.archive import RoaArchive
+from repro.rpki.roa import Roa, RoaRecord
+from repro.synth.config import ScenarioConfig
+from repro.synth.world import GroundTruth, World
+
+WINDOW = DateWindow(date(2020, 1, 1), date(2021, 12, 31))
+
+HIJACKED = IPv4Prefix.parse("203.0.0.0/20")      # hijacked, withdrawn
+HOSTING = IPv4Prefix.parse("203.1.0.0/20")       # MH, stays up, dealloc'd
+SNOWSHOE = IPv4Prefix.parse("203.2.0.0/24")      # SS, removed, signs after
+UNALLOC = IPv4Prefix.parse("203.3.0.0/20")       # UA, withdrawn
+BACKGROUND = IPv4Prefix.parse("198.51.100.0/24")  # never on DROP, signs
+
+
+def build_world() -> World:
+    peers = PeerRegistry()
+    for asn in range(64500, 64510):
+        peers.add_peer(asn, "route-views2")
+    all_peers = frozenset(range(10))
+
+    bgp = RouteIntervalStore(data_end=WINDOW.end)
+
+    def announce(prefix, origin, start, end, transit=64999):
+        bgp.add(RouteInterval(
+            prefix=prefix, path=ASPath.of(transit, origin),
+            start=start, end=end, observers=all_peers,
+        ))
+
+    # Hijack: announced a month before listing, withdrawn 10 days after.
+    announce(HIJACKED, 65001, date(2020, 5, 18), date(2020, 6, 11))
+    # Hosting: announced always.
+    announce(HOSTING, 65002, date(2019, 1, 1), None)
+    # Snowshoe: announced always by its holder.
+    announce(SNOWSHOE, 65003, date(2019, 1, 1), None)
+    # Unallocated: brief announcement, withdrawn fast.
+    announce(UNALLOC, 65004, date(2020, 7, 20), date(2020, 8, 10))
+    # Background: announced always, signs mid-window.
+    announce(BACKGROUND, 65005, date(2019, 1, 1), None)
+
+    resources = ResourceRegistry()
+    resources.delegate_to_rir("APNIC", "203.0.0.0/8")
+    resources.delegate_to_rir("RIPE", "198.51.100.0/24")
+    resources.allocate(HIJACKED, "APNIC", date(2010, 1, 1), holder="victim")
+    resources.allocate(HOSTING, "APNIC", date(2012, 1, 1), holder="bp-host")
+    resources.allocate(SNOWSHOE, "APNIC", date(2012, 1, 1), holder="mailer")
+    resources.allocate(BACKGROUND, "RIPE", date(2012, 1, 1), holder="isp")
+    # UNALLOC stays in the pool.
+    # Hosting prefix is deallocated five days before its DROP removal.
+    resources.deallocate(HOSTING, date(2021, 5, 27))
+
+    irr = IrrDatabase()
+    # Hijacker registers a route object 3 days before announcing.
+    irr.add(RouteObjectRecord(
+        route=RouteObject(prefix=HIJACKED, origin=65001,
+                          maintainer="MAINT-EVIL", org_id="ORG-EVIL"),
+        created=date(2020, 5, 15),
+        deleted=date(2020, 6, 20),
+    ))
+
+    roas = RoaArchive()
+    # Snowshoe prefix signed by a different ASN after removal.
+    roas.add(RoaRecord(Roa(SNOWSHOE, 65100, trust_anchor="APNIC"),
+                       created=date(2021, 3, 1)))
+    # Background prefix signed by its own origin during the window.
+    roas.add(RoaRecord(Roa(BACKGROUND, 65005, trust_anchor="RIPE"),
+                       created=date(2020, 6, 1)))
+
+    drop = DropArchive(WINDOW)
+    sbl = SblDatabase()
+
+    def list_prefix(prefix, added, removed, sbl_id, text):
+        drop.add(DropEpisode(prefix=prefix, added=added, removed=removed,
+                             sbl_id=sbl_id))
+        if text is not None:
+            sbl.add(SblRecord(sbl_id=sbl_id, prefix=prefix, text=text,
+                              created=added))
+
+    list_prefix(HIJACKED, date(2020, 6, 1), None, "SBL1",
+                "hijacked range on AS65001")
+    list_prefix(HOSTING, date(2020, 3, 1), date(2021, 6, 1), "SBL2",
+                "spammer hosting operation")
+    list_prefix(SNOWSHOE, date(2020, 4, 1), date(2021, 1, 1), "SBL3",
+                "snowshoe range")
+    list_prefix(UNALLOC, date(2020, 8, 1), None, "SBL4",
+                "unallocated bogon announced")
+
+    return World(
+        config=ScenarioConfig(seed=0, window=WINDOW),
+        window=WINDOW,
+        peers=peers,
+        bgp=bgp,
+        resources=resources,
+        irr=irr,
+        roas=roas,
+        drop=drop,
+        sbl=sbl,
+        manual_overrides={},
+        truth=GroundTruth(),
+    )
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world()
+
+
+@pytest.fixture(scope="module")
+def entries(world):
+    return load_entries(world)
+
+
+class TestEntryViews:
+    def test_four_entries(self, entries):
+        assert len(entries) == 4
+
+    def test_categories(self, entries):
+        by_prefix = {e.prefix: e for e in entries}
+        assert by_prefix[HIJACKED].categories == {Category.HIJACKED}
+        assert by_prefix[HOSTING].categories == {
+            Category.MALICIOUS_HOSTING
+        }
+        assert by_prefix[SNOWSHOE].categories == {Category.SNOWSHOE}
+        assert by_prefix[UNALLOC].categories == {Category.UNALLOCATED}
+
+    def test_regions_and_allocation(self, entries):
+        by_prefix = {e.prefix: e for e in entries}
+        assert by_prefix[HIJACKED].region == "APNIC"
+        assert by_prefix[UNALLOC].unallocated
+        assert not by_prefix[HOSTING].unallocated
+
+    def test_no_incidents_detected(self, entries):
+        assert detect_incidents(entries) == set()
+
+
+class TestExactAnalyses:
+    def test_classification(self, world, entries):
+        result = classify_drop(world, entries)
+        assert result.total_prefixes == 4
+        assert result.with_record == 4
+        assert result.bar(Category.HIJACKED).exclusive_prefixes == 1
+        assert result.incident_prefixes == 0
+
+    def test_visibility(self, world, entries):
+        result = analyze_visibility(world, entries)
+        # Hijacked and unallocated withdrawn; others not.
+        assert result.withdrawn_total == 2
+        assert result.eligible_total == 4
+        assert result.category_rate(Category.HIJACKED) == 1.0
+        assert result.category_rate(Category.UNALLOCATED) == 1.0
+        assert result.category_rate(Category.SNOWSHOE) == 0.0
+
+    def test_deallocation(self, world, entries):
+        result = analyze_deallocation(world, entries)
+        assert result.by_category[Category.MALICIOUS_HOSTING] == (1, 1)
+        assert result.removed_total == 2
+        assert result.removed_deallocated == 1
+        # Deallocated 2021-05-27, removed 2021-06-01: within a week.
+        assert result.removed_within_week_of_dealloc == 1
+
+    def test_rpki_uptake(self, world, entries):
+        table = analyze_rpki_uptake(world, entries)
+        apnic = table.row("APNIC")
+        # Snowshoe (removed) signed; hijacked (present) did not.
+        assert apnic.removed_total == 2
+        assert apnic.removed_signed == 1
+        assert apnic.present_total == 1
+        assert apnic.present_signed == 0
+        # Background prefix is the never-on-DROP population.
+        ripe = table.row("RIPE")
+        assert (ripe.never_signed, ripe.never_total) == (1, 1)
+        # The signer ASN differed from the origin at listing.
+        assert table.signed_different_asn == 1
+        assert table.signed_same_asn == 0
+
+    def test_irr(self, world, entries):
+        result = analyze_irr(world, entries)
+        assert result.with_route_object == 1
+        assert result.created_month_before == 1
+        assert result.removed_month_after == 1
+        assert result.asn_labeled_hijacks == 1
+        assert result.hijacker_asn_matches == 1
+        assert result.org_id_counts == {"ORG-EVIL": 1}
+        timing = result.timings[0]
+        assert timing.days_to_bgp == 3
+        assert timing.days_to_drop == 17
+
+    def test_rpki_effectiveness(self, world, entries):
+        result = analyze_rpki_effectiveness(world, entries)
+        # No hijacked prefix was signed before listing.
+        assert result.presigned_count == 0
+        assert result.rpki_valid_hijacks == ()
+
+    def test_unallocated(self, world, entries):
+        result = analyze_unallocated(world, entries)
+        assert result.total == 1
+        assert result.listings[0].prefix == UNALLOC
+        assert result.count_for("APNIC") == 1
+        # Listed 2020-08-01, APNIC AS0 policy live 2020-09-02: before.
+        assert not result.listings[0].after_region_as0

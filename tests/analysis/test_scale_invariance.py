@@ -1,0 +1,76 @@
+"""Scale invariance: rates survive shrinking the background population.
+
+The tiny/small/paper presets differ only in the never-on-DROP population
+size; every behavioural *rate* is a config constant.  These tests pin
+that property — it is what justifies running the fast scales in CI while
+EXPERIMENTS.md reports paper scale.
+"""
+
+import pytest
+
+from repro.analysis import (
+    analyze_irr,
+    analyze_rpki_uptake,
+    analyze_visibility,
+    classify_drop,
+    load_entries,
+)
+from repro.synth import ScenarioConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    world = build_world(ScenarioConfig.tiny())
+    return world, load_entries(world)
+
+
+@pytest.fixture(scope="module")
+def small():
+    world = build_world(ScenarioConfig.small())
+    return world, load_entries(world)
+
+
+class TestScaleInvariance:
+    def test_drop_population_identical(self, tiny, small):
+        (tw, te), (sw, se) = tiny, small
+        assert len(te) == len(se) == 712
+
+    def test_classification_identical(self, tiny, small):
+        (tw, te), (sw, se) = tiny, small
+        a = classify_drop(tw, te)
+        b = classify_drop(sw, se)
+        for bar_a, bar_b in zip(a.bars, b.bars):
+            assert bar_a.total_prefixes == bar_b.total_prefixes
+
+    def test_withdrawal_rates_close(self, tiny, small):
+        (tw, te), (sw, se) = tiny, small
+        a = analyze_visibility(tw, te)
+        b = analyze_visibility(sw, se)
+        assert a.withdrawal_rate == pytest.approx(
+            b.withdrawal_rate, abs=0.02
+        )
+
+    def test_table1_drop_columns_identical(self, tiny, small):
+        (tw, te), (sw, se) = tiny, small
+        a = analyze_rpki_uptake(tw, te)
+        b = analyze_rpki_uptake(sw, se)
+        # The DROP columns are background-independent.
+        assert a.overall.removed_total == b.overall.removed_total
+        assert a.overall.removed_signed == b.overall.removed_signed
+        assert a.overall.present_signed == b.overall.present_signed
+
+    def test_table1_never_rate_converges(self, tiny, small):
+        (tw, te), (sw, se) = tiny, small
+        a = analyze_rpki_uptake(tw, te)
+        b = analyze_rpki_uptake(sw, se)
+        # The 10x larger background sits closer to the configured 22.3%.
+        assert b.overall.never_total > 5 * a.overall.never_total
+        assert b.overall.never_rate == pytest.approx(0.223, abs=0.02)
+
+    def test_irr_statistics_identical(self, tiny, small):
+        (tw, te), (sw, se) = tiny, small
+        a = analyze_irr(tw, te)
+        b = analyze_irr(sw, se)
+        assert a.with_route_object == b.with_route_object
+        assert a.hijacker_asn_matches == b.hijacker_asn_matches
+        assert a.distinct_hijacker_asns == b.distinct_hijacker_asns

@@ -1,0 +1,64 @@
+"""Tests for the serial-hijacker profiling extension."""
+
+import pytest
+
+from repro.analysis import load_entries, profile_origins
+from repro.synth import ScenarioConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(ScenarioConfig.tiny())
+
+
+@pytest.fixture(scope="module")
+def report(world):
+    return profile_origins(world, load_entries(world))
+
+
+class TestProfiling:
+    def test_defunct_hijacker_asns_all_flagged(self, world, report):
+        # The 13 defunct ASNs behind the §5 forged route objects.
+        hijacker_asns = {
+            truth.hijacker_asn
+            for truth in world.truth.drop.values()
+            if truth.irr_hijacker_match and truth.hijacker_asn is not None
+        }
+        flagged = {c.asn for c in report.candidates}
+        multi_prefix = {
+            asn
+            for asn in hijacker_asns
+            if (p := report.profile(asn)) is not None and p.prefixes >= 2
+        }
+        assert multi_prefix <= flagged
+
+    def test_legitimate_isps_not_flagged(self, world, report):
+        # Background networks announce many long-lived prefixes, none of
+        # which are blocklisted.
+        flagged = {c.asn for c in report.candidates}
+        for profile in report.profiles:
+            if profile.prefixes >= 3 and profile.listed_on_drop == 0:
+                assert profile.asn not in flagged
+
+    def test_candidates_sorted_by_score(self, report):
+        scores = [c.score for c in report.candidates]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_scores_bounded(self, report):
+        for profile in report.profiles:
+            assert 0.0 <= profile.score <= 1.0
+
+    def test_profile_lookup(self, report):
+        top = report.candidates[0]
+        assert report.profile(top.asn) == top
+        assert report.profile(999_999_999) is None
+
+    def test_min_prefixes_gate(self, world):
+        strict = profile_origins(
+            world, load_entries(world), min_prefixes=100
+        )
+        assert strict.candidates == ()
+
+    def test_candidate_shares_high(self, report):
+        for candidate in report.candidates:
+            assert candidate.drop_share > 0.4

@@ -1,0 +1,83 @@
+"""Tests for the Kaplan-Meier survival extension."""
+
+import pytest
+
+from repro.analysis import analyze_survival, load_entries
+from repro.analysis.survival import kaplan_meier
+from repro.drop.categories import Category
+from repro.synth import ScenarioConfig, build_world
+
+
+class TestKaplanMeierEstimator:
+    def test_no_censoring_matches_empirical(self):
+        # All observed: S(t) is just the empirical survivor function.
+        curve = kaplan_meier([(10, True), (20, True), (30, True)], "x")
+        assert curve.at(5) == 1.0
+        assert curve.at(10) == pytest.approx(2 / 3)
+        assert curve.at(20) == pytest.approx(1 / 3)
+        assert curve.at(30) == pytest.approx(0.0)
+
+    def test_censoring_reduces_at_risk(self):
+        # Censored at 15: the death at 20 applies to 1 remaining subject.
+        curve = kaplan_meier([(10, True), (15, False), (20, True)], "x")
+        assert curve.at(10) == pytest.approx(2 / 3)
+        assert curve.at(20) == pytest.approx(0.0)
+        assert curve.events == 2
+        assert curve.censored == 1
+
+    def test_all_censored_flat_curve(self):
+        curve = kaplan_meier([(100, False), (200, False)], "x")
+        assert curve.steps == ()
+        assert curve.at(1000) == 1.0
+        assert curve.median_lifetime() is None
+
+    def test_ties_handled(self):
+        curve = kaplan_meier(
+            [(10, True), (10, True), (10, False), (20, True)], "x"
+        )
+        assert curve.at(10) == pytest.approx(0.5)
+        assert curve.at(20) == pytest.approx(0.0)
+
+    def test_survival_monotone_nonincreasing(self):
+        curve = kaplan_meier(
+            [(i, i % 3 != 0) for i in range(1, 40)], "x"
+        )
+        values = [v for _, v in curve.steps]
+        assert values == sorted(values, reverse=True)
+
+    def test_median(self):
+        curve = kaplan_meier([(5, True), (10, True), (20, True),
+                              (30, True)], "x")
+        assert curve.median_lifetime() == 10
+
+
+class TestWorldSurvival:
+    @pytest.fixture(scope="class")
+    def result(self):
+        world = build_world(ScenarioConfig.tiny())
+        return analyze_survival(world, load_entries(world))
+
+    def test_overall_matches_fig2_point(self, result):
+        # 1 - S(30) reproduces the paper's 19% within tolerance.
+        assert 1 - result.overall.at(30) == pytest.approx(0.19, abs=0.04)
+
+    def test_hijacked_die_fastest(self, result):
+        hijacked = result.curve(Category.HIJACKED)
+        for category in (Category.SNOWSHOE, Category.KNOWN_SPAM,
+                         Category.MALICIOUS_HOSTING, Category.NO_RECORD):
+            assert hijacked.at(30) < result.curve(category).at(30)
+
+    def test_hijacked_median_within_a_month(self, result):
+        median = result.curve(Category.HIJACKED).median_lifetime()
+        assert median is not None and median <= 31
+
+    def test_hosting_mostly_censored(self, result):
+        hosting = result.curve(Category.MALICIOUS_HOSTING)
+        assert hosting.censored > 0.8 * hosting.subjects
+        assert hosting.median_lifetime() is None
+
+    def test_unallocated_between_hijacked_and_hosting(self, result):
+        hijacked = result.curve(Category.HIJACKED).at(30)
+        unallocated = result.curve(Category.UNALLOCATED).at(30)
+        hosting = result.curve(Category.MALICIOUS_HOSTING).at(30)
+        assert hijacked < unallocated < hosting

@@ -1,0 +1,76 @@
+"""Unit tests for repro.bgp.collector."""
+
+import pytest
+
+from repro.bgp.collector import (
+    ROUTEVIEWS_COLLECTOR_NAMES,
+    Collector,
+    Peer,
+    PeerRegistry,
+)
+
+
+class TestRouteViewsFleet:
+    def test_36_collectors(self):
+        assert len(ROUTEVIEWS_COLLECTOR_NAMES) == 36
+
+    def test_unique_names(self):
+        assert len(set(ROUTEVIEWS_COLLECTOR_NAMES)) == 36
+
+
+class TestPeerRegistry:
+    def test_peer_ids_sequential(self):
+        reg = PeerRegistry()
+        a = reg.add_peer(174, "route-views2")
+        b = reg.add_peer(3356, "route-views3")
+        assert (a.peer_id, b.peer_id) == (0, 1)
+
+    def test_add_collector_idempotent(self):
+        reg = PeerRegistry()
+        c1 = reg.add_collector("route-views2")
+        c2 = reg.add_collector("route-views2")
+        assert c1 is c2
+
+    def test_peers_grouped_by_collector(self):
+        reg = PeerRegistry()
+        reg.add_peer(174, "route-views2")
+        reg.add_peer(3356, "route-views2")
+        reg.add_peer(2914, "route-views3")
+        assert len(reg.collector("route-views2").peers) == 2
+        assert len(reg.collector("route-views3").peers) == 1
+
+    def test_full_table_peer_ids(self):
+        reg = PeerRegistry()
+        reg.add_peer(174, "c", full_table=True)
+        reg.add_peer(3356, "c", full_table=False)
+        reg.add_peer(2914, "c", full_table=True)
+        assert reg.full_table_peer_ids() == frozenset({0, 2})
+
+    def test_filters_drop_flag(self):
+        reg = PeerRegistry()
+        peer = reg.add_peer(64500, "c", filters_drop=True)
+        assert reg.peer(peer.peer_id).filters_drop
+
+    def test_len_and_peer_ids(self):
+        reg = PeerRegistry()
+        for asn in (1, 2, 3):
+            reg.add_peer(asn, "c")
+        assert len(reg) == 3
+        assert reg.peer_ids() == frozenset({0, 1, 2})
+
+    def test_unknown_collector_raises(self):
+        reg = PeerRegistry()
+        with pytest.raises(KeyError):
+            reg.collector("nope")
+
+    def test_unknown_peer_raises(self):
+        reg = PeerRegistry()
+        with pytest.raises(KeyError):
+            reg.peer(99)
+
+
+class TestCollector:
+    def test_add_peer_wrong_collector_rejected(self):
+        collector = Collector("a")
+        with pytest.raises(ValueError):
+            collector.add_peer(Peer(peer_id=0, asn=1, collector="b"))

@@ -1,0 +1,125 @@
+"""Unit tests for repro.bgp.messages."""
+
+from datetime import date
+
+import pytest
+
+from repro.bgp.messages import (
+    ASPath,
+    BgpElement,
+    ElementType,
+    paths_equal_ignoring_prepend,
+)
+from repro.net.prefix import IPv4Prefix
+
+
+class TestASPath:
+    def test_of_and_origin(self):
+        path = ASPath.of(50509, 34665, 263692)
+        assert path.origin == 263692
+        assert path.first_hop == 50509
+
+    def test_parse_round_trip(self):
+        path = ASPath.parse("50509 34665 263692")
+        assert str(path) == "50509 34665 263692"
+
+    def test_parse_empty_raises(self):
+        with pytest.raises(ValueError):
+            ASPath.parse("")
+
+    def test_empty_tuple_raises(self):
+        with pytest.raises(ValueError):
+            ASPath(())
+
+    def test_length_collapses_prepending(self):
+        path = ASPath.of(100, 200, 200, 200, 300)
+        assert path.length == 3
+        assert len(path) == 5
+
+    def test_contains_and_transits(self):
+        path = ASPath.of(50509, 34665, 263692)
+        assert path.contains(34665)
+        assert path.transits(50509)
+        assert not path.transits(263692)
+
+    def test_neighbour_of_origin(self):
+        assert ASPath.of(1, 2, 3).neighbour_of_origin() == 2
+
+    def test_neighbour_of_origin_skips_prepending(self):
+        assert ASPath.of(1, 2, 3, 3, 3).neighbour_of_origin() == 2
+
+    def test_neighbour_of_origin_none_for_origin_only(self):
+        assert ASPath.of(3).neighbour_of_origin() is None
+
+    def test_prepended(self):
+        assert ASPath.of(2, 3).prepended(1, times=2).asns == (1, 1, 2, 3)
+
+    def test_prepended_invalid_times(self):
+        with pytest.raises(ValueError):
+            ASPath.of(1).prepended(2, times=0)
+
+    def test_iter(self):
+        assert list(ASPath.of(1, 2, 3)) == [1, 2, 3]
+
+
+class TestPathsEqualIgnoringPrepend:
+    def test_equal_with_prepending(self):
+        a = ASPath.of(1, 2, 2, 3)
+        b = ASPath.of(1, 2, 3, 3, 3)
+        assert paths_equal_ignoring_prepend(a, b)
+
+    def test_different_paths(self):
+        assert not paths_equal_ignoring_prepend(
+            ASPath.of(1, 2, 3), ASPath.of(1, 3)
+        )
+
+
+class TestBgpElement:
+    def prefix(self):
+        return IPv4Prefix.parse("192.0.2.0/24")
+
+    def test_announcement_needs_path(self):
+        with pytest.raises(ValueError):
+            BgpElement(
+                elem_type=ElementType.ANNOUNCEMENT,
+                day=date(2020, 1, 1),
+                collector="route-views2",
+                peer_id=0,
+                peer_asn=174,
+                prefix=self.prefix(),
+            )
+
+    def test_withdrawal_without_path(self):
+        elem = BgpElement(
+            elem_type=ElementType.WITHDRAWAL,
+            day=date(2020, 1, 1),
+            collector="route-views2",
+            peer_id=0,
+            peer_asn=174,
+            prefix=self.prefix(),
+        )
+        assert elem.origin is None
+
+    def test_origin(self):
+        elem = BgpElement(
+            elem_type=ElementType.RIB,
+            day=date(2020, 1, 1),
+            collector="route-views2",
+            peer_id=0,
+            peer_asn=174,
+            prefix=self.prefix(),
+            path=ASPath.of(174, 3356, 64500),
+        )
+        assert elem.origin == 64500
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ValueError):
+            BgpElement(
+                elem_type="X",
+                day=date(2020, 1, 1),
+                collector="c",
+                peer_id=0,
+                peer_asn=1,
+                prefix=self.prefix(),
+                path=ASPath.of(1),
+            )

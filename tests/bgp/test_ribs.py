@@ -1,0 +1,172 @@
+"""Unit tests for repro.bgp.ribs."""
+
+from datetime import date
+
+import pytest
+
+from repro.bgp.messages import ASPath
+from repro.bgp.ribs import PartialObservation, RouteInterval, RouteIntervalStore
+from repro.net.prefix import IPv4Prefix
+
+P24 = IPv4Prefix.parse("192.0.2.0/24")
+P22 = IPv4Prefix.parse("192.0.0.0/22")
+P25 = IPv4Prefix.parse("192.0.2.0/25")
+OTHER = IPv4Prefix.parse("198.51.100.0/24")
+
+
+def interval(prefix=P24, path=(174, 64500), start=date(2020, 1, 1),
+             end=date(2020, 6, 1), observers=(0, 1, 2), partial=()):
+    return RouteInterval(
+        prefix=prefix,
+        path=ASPath.of(*path),
+        start=start,
+        end=end,
+        observers=frozenset(observers),
+        partial_observers=tuple(partial),
+    )
+
+
+class TestRouteInterval:
+    def test_active_on_bounds(self):
+        i = interval()
+        assert i.active_on(date(2020, 1, 1))
+        assert i.active_on(date(2020, 6, 1))
+        assert not i.active_on(date(2019, 12, 31))
+        assert not i.active_on(date(2020, 6, 2))
+
+    def test_open_interval_always_active_after_start(self):
+        i = interval(end=None)
+        assert i.active_on(date(2030, 1, 1))
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            interval(start=date(2020, 2, 1), end=date(2020, 1, 1))
+
+    def test_origin(self):
+        assert interval().origin == 64500
+
+    def test_observed_by_full_observer(self):
+        i = interval()
+        assert i.observed_by(1, date(2020, 3, 1))
+        assert not i.observed_by(9, date(2020, 3, 1))
+
+    def test_partial_observer_window(self):
+        i = interval(
+            observers=(0, 1),
+            partial=[PartialObservation(2, date(2020, 2, 1), date(2020, 3, 1))],
+        )
+        assert not i.observed_by(2, date(2020, 1, 15))
+        assert i.observed_by(2, date(2020, 2, 15))
+        assert not i.observed_by(2, date(2020, 3, 2))
+
+    def test_partial_overrides_full_membership(self):
+        # Peer 1 is listed as full observer but has a carve-out: the
+        # carve-out wins.
+        i = interval(
+            observers=(0, 1),
+            partial=[PartialObservation(1, date(2020, 2, 1), None)],
+        )
+        assert not i.observed_by(1, date(2020, 1, 15))
+        assert i.observed_by(1, date(2020, 4, 1))
+
+    def test_observers_on(self):
+        i = interval(
+            observers=(0, 1),
+            partial=[PartialObservation(2, date(2020, 2, 1), date(2020, 3, 1))],
+        )
+        assert i.observers_on(date(2020, 1, 15)) == frozenset({0, 1})
+        assert i.observers_on(date(2020, 2, 15)) == frozenset({0, 1, 2})
+        assert i.observers_on(date(2021, 1, 1)) == frozenset()
+
+
+class TestStoreRetrieval:
+    @pytest.fixture
+    def store(self):
+        s = RouteIntervalStore(data_end=date(2022, 3, 30))
+        s.add(interval())  # P24 Jan-Jun
+        s.add(interval(start=date(2021, 1, 1), end=None, path=(3356, 64501)))
+        s.add(interval(prefix=P22, path=(174, 64500), end=date(2020, 3, 1)))
+        s.add(interval(prefix=P25, path=(50509, 64502)))
+        s.add(interval(prefix=OTHER))
+        return s
+
+    def test_len(self, store):
+        assert len(store) == 5
+
+    def test_intervals_exact_sorted(self, store):
+        exact = store.intervals_exact(P24)
+        assert [i.start for i in exact] == [date(2020, 1, 1), date(2021, 1, 1)]
+
+    def test_intervals_covering(self, store):
+        covering = store.intervals_covering(P25)
+        assert {str(i.prefix) for i in covering} == {
+            "192.0.0.0/22", "192.0.2.0/24", "192.0.2.0/25"
+        }
+
+    def test_intervals_covered(self, store):
+        covered = store.intervals_covered(P24)
+        assert {str(i.prefix) for i in covered} == {
+            "192.0.2.0/24", "192.0.2.0/25"
+        }
+
+    def test_is_announced_exact_vs_covering(self, store):
+        gap_day = date(2020, 8, 1)  # P24 gap between its two intervals
+        assert not store.is_announced(P24, gap_day, include_covering=False)
+        assert not store.is_announced(P24, gap_day)  # P22/P25 also inactive
+        # A /26 inside P25 has no exact route but is covered while P25 is up.
+        sub = IPv4Prefix.parse("192.0.2.0/26")
+        assert not store.is_announced(sub, date(2020, 4, 1),
+                                      include_covering=False)
+        assert store.is_announced(sub, date(2020, 4, 1))
+
+    def test_origins_on(self, store):
+        assert store.origins_on(P24, date(2020, 2, 1)) == {64500}
+        assert store.origins_on(P24, date(2021, 6, 1)) == {64501}
+        assert store.origins_on(P24, date(2020, 8, 1)) == set()
+
+    def test_first_last_announced(self, store):
+        assert store.first_announced(P24) == date(2020, 1, 1)
+        # open interval -> clamped to data_end
+        assert store.last_announced(P24) == date(2022, 3, 30)
+        assert store.first_announced(IPv4Prefix.parse("10.0.0.0/8")) is None
+
+    def test_peers_observing_unions_intervals(self, store):
+        assert store.peers_observing(P24, date(2020, 2, 1)) == frozenset({0, 1, 2})
+
+    def test_routed_space(self, store):
+        routed = store.routed_space(date(2020, 2, 1))
+        assert routed.contains(P22)  # covering announcement active
+        assert routed.contains(OTHER)
+        later = store.routed_space(date(2022, 1, 1))
+        assert later.contains(P24)
+        assert not later.contains(OTHER)
+
+    def test_announced_prefixes_on(self, store):
+        active = {str(p) for p in store.announced_prefixes_on(date(2020, 2, 1))}
+        assert active == {"192.0.0.0/22", "192.0.2.0/24", "192.0.2.0/25",
+                          "198.51.100.0/24"}
+
+    def test_origin_history(self, store):
+        history = store.origin_history(P24)
+        assert history == [
+            (date(2020, 1, 1), date(2020, 6, 1), 64500),
+            (date(2021, 1, 1), None, 64501),
+        ]
+
+    def test_historic_origins(self, store):
+        assert store.historic_origins(P24, date(2020, 12, 31)) == {64500}
+        assert store.historic_origins(P24, date(2021, 6, 1)) == {64500, 64501}
+
+    def test_was_unrouted_for(self, store):
+        # P24 inactive from 2020-06-02 to 2020-12-31.
+        assert store.was_unrouted_for(P24, date(2020, 12, 1), 30)
+        assert not store.was_unrouted_for(P24, date(2020, 6, 15), 30)
+
+    def test_find_intervals(self, store):
+        hijacker = store.find_intervals(lambda i: i.path.contains(50509))
+        assert len(hijacker) == 1
+        assert hijacker[0].prefix == P25
+
+    def test_prefixes_sorted(self, store):
+        prefixes = list(store.prefixes())
+        assert prefixes == sorted(prefixes)

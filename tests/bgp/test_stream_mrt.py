@@ -1,0 +1,230 @@
+"""Unit tests for repro.bgp.stream and repro.bgp.mrt."""
+
+import io
+from datetime import date
+
+import pytest
+
+from repro.bgp.collector import PeerRegistry
+from repro.bgp.messages import ASPath, ElementType
+from repro.bgp.mrt import (
+    dump_peers,
+    dump_store,
+    load_peers,
+    load_store,
+    read_archive,
+    rib_snapshot_lines,
+    write_archive,
+)
+from repro.bgp.ribs import PartialObservation, RouteInterval, RouteIntervalStore
+from repro.bgp.stream import BGPStream
+from repro.net.prefix import IPv4Prefix
+
+P24 = IPv4Prefix.parse("192.0.2.0/24")
+P25 = IPv4Prefix.parse("192.0.2.0/25")
+OTHER = IPv4Prefix.parse("198.51.100.0/24")
+
+
+@pytest.fixture
+def world():
+    registry = PeerRegistry()
+    registry.add_peer(174, "route-views2")
+    registry.add_peer(3356, "route-views2")
+    registry.add_peer(2914, "route-views3", filters_drop=True)
+    store = RouteIntervalStore(data_end=date(2022, 3, 30))
+    store.add(
+        RouteInterval(
+            prefix=P24,
+            path=ASPath.of(174, 64500),
+            start=date(2020, 1, 10),
+            end=date(2020, 2, 10),
+            observers=frozenset({0, 1}),
+            partial_observers=(
+                PartialObservation(2, date(2020, 1, 10), date(2020, 1, 20)),
+            ),
+        )
+    )
+    store.add(
+        RouteInterval(
+            prefix=P25,
+            path=ASPath.of(3356, 64501),
+            start=date(2020, 3, 1),
+            end=None,
+            observers=frozenset({0, 1, 2}),
+        )
+    )
+    store.add(
+        RouteInterval(
+            prefix=OTHER,
+            path=ASPath.of(2914, 64502),
+            start=date(2019, 1, 1),
+            end=date(2019, 6, 1),
+            observers=frozenset({0}),
+        )
+    )
+    return registry, store
+
+
+class TestBGPStream:
+    def test_window_filtering(self, world):
+        registry, store = world
+        stream = BGPStream(
+            store, registry,
+            from_day=date(2020, 1, 1), until_day=date(2020, 12, 31),
+        )
+        elems = list(stream)
+        # OTHER (2019) excluded entirely.
+        assert all(e.prefix != OTHER for e in elems)
+
+    def test_announce_withdraw_pairing(self, world):
+        registry, store = world
+        stream = BGPStream(
+            store, registry,
+            from_day=date(2020, 1, 1), until_day=date(2020, 12, 31),
+            prefix=P24, match="exact",
+        )
+        elems = list(stream)
+        announcements = [e for e in elems if e.elem_type == ElementType.ANNOUNCEMENT]
+        withdrawals = [e for e in elems if e.elem_type == ElementType.WITHDRAWAL]
+        # Peers 0,1 + partial peer 2 announce; all three eventually withdraw.
+        assert len(announcements) == 3
+        assert len(withdrawals) == 3
+        # Partial observer's withdrawal is the day after its carve-out end.
+        partial_w = [w for w in withdrawals if w.peer_id == 2]
+        assert partial_w[0].day == date(2020, 1, 21)
+
+    def test_elements_ordered_by_day(self, world):
+        registry, store = world
+        stream = BGPStream(
+            store, registry,
+            from_day=date(2019, 1, 1), until_day=date(2022, 3, 30),
+        )
+        days = [e.day for e in stream]
+        assert days == sorted(days)
+
+    def test_match_more(self, world):
+        registry, store = world
+        stream = BGPStream(
+            store, registry,
+            from_day=date(2019, 1, 1), until_day=date(2022, 3, 30),
+            prefix=P24, match="more",
+        )
+        prefixes = {e.prefix for e in stream}
+        assert prefixes == {P24, P25}
+
+    def test_match_less(self, world):
+        registry, store = world
+        stream = BGPStream(
+            store, registry,
+            from_day=date(2019, 1, 1), until_day=date(2022, 3, 30),
+            prefix=P25, match="less",
+        )
+        prefixes = {e.prefix for e in stream}
+        assert prefixes == {P24, P25}
+
+    def test_match_any_no_duplicates(self, world):
+        registry, store = world
+        stream = BGPStream(
+            store, registry,
+            from_day=date(2019, 1, 1), until_day=date(2022, 3, 30),
+            prefix=P24, match="any",
+        )
+        elems = list(stream)
+        keys = [(e.elem_type, e.day, str(e.prefix), e.peer_id) for e in elems]
+        assert len(keys) == len(set(keys))
+
+    def test_collector_filter(self, world):
+        registry, store = world
+        stream = BGPStream(
+            store, registry,
+            from_day=date(2019, 1, 1), until_day=date(2022, 3, 30),
+            collectors={"route-views3"},
+        )
+        assert {e.collector for e in stream} == {"route-views3"}
+
+    def test_open_interval_no_withdrawal(self, world):
+        registry, store = world
+        stream = BGPStream(
+            store, registry,
+            from_day=date(2020, 3, 1), until_day=date(2022, 3, 30),
+            prefix=P25, match="exact",
+        )
+        types = {e.elem_type for e in stream}
+        assert types == {ElementType.ANNOUNCEMENT}
+
+    def test_rib_elements(self, world):
+        registry, store = world
+        stream = BGPStream(
+            store, registry,
+            from_day=date(2020, 1, 1), until_day=date(2020, 12, 31),
+        )
+        rib = list(stream.rib_elements(date(2020, 1, 15)))
+        # P24 seen by peers 0,1 and partial peer 2 on that day.
+        assert len(rib) == 3
+        assert all(e.elem_type == ElementType.RIB for e in rib)
+
+    def test_rib_elements_outside_window(self, world):
+        registry, store = world
+        stream = BGPStream(
+            store, registry,
+            from_day=date(2020, 1, 1), until_day=date(2020, 12, 31),
+        )
+        with pytest.raises(ValueError):
+            list(stream.rib_elements(date(2021, 6, 1)))
+
+    def test_bad_window(self, world):
+        registry, store = world
+        with pytest.raises(ValueError):
+            BGPStream(
+                store, registry,
+                from_day=date(2021, 1, 1), until_day=date(2020, 1, 1),
+            )
+
+
+class TestMrtRoundTrip:
+    def test_peers_round_trip(self, world):
+        registry, _ = world
+        buffer = io.StringIO()
+        count = dump_peers(registry, buffer)
+        assert count == 3
+        buffer.seek(0)
+        loaded = load_peers(buffer)
+        assert len(loaded) == 3
+        assert loaded.peer(2).filters_drop
+        assert loaded.peer(0).asn == 174
+
+    def test_store_round_trip(self, world):
+        _, store = world
+        buffer = io.StringIO()
+        count = dump_store(store, buffer)
+        assert count == 3
+        buffer.seek(0)
+        loaded = load_store(buffer, data_end=date(2022, 3, 30))
+        assert len(loaded) == 3
+        original = sorted(
+            (str(i.prefix), i.start, i.end, str(i.path),
+             tuple(sorted(i.observers)), i.partial_observers)
+            for i in store.all_intervals()
+        )
+        round_tripped = sorted(
+            (str(i.prefix), i.start, i.end, str(i.path),
+             tuple(sorted(i.observers)), i.partial_observers)
+            for i in loaded.all_intervals()
+        )
+        assert original == round_tripped
+
+    def test_archive_round_trip(self, world, tmp_path):
+        registry, store = world
+        write_archive(tmp_path / "bgp", registry, store)
+        loaded_registry, loaded_store = read_archive(
+            tmp_path / "bgp", data_end=date(2022, 3, 30)
+        )
+        assert len(loaded_registry) == len(registry)
+        assert len(loaded_store) == len(store)
+
+    def test_rib_snapshot_lines(self, world):
+        registry, store = world
+        lines = list(rib_snapshot_lines(store, registry, date(2020, 1, 15)))
+        assert len(lines) == 3
+        assert all(line.startswith("TABLE_DUMP2|2020-01-15|B|") for line in lines)
+        assert any("192.0.2.0/24|174 64500" in line for line in lines)

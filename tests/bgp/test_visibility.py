@@ -1,0 +1,159 @@
+"""Unit tests for repro.bgp.visibility."""
+
+from datetime import date
+
+import pytest
+
+from repro.bgp.collector import PeerRegistry
+from repro.bgp.messages import ASPath
+from repro.bgp.ribs import PartialObservation, RouteInterval, RouteIntervalStore
+from repro.bgp.visibility import (
+    fraction_observing,
+    peer_observation_rates,
+    suspect_filtering_peers,
+    visibility_profile,
+    withdrawn_within,
+)
+from repro.net.prefix import IPv4Prefix
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+LISTED = date(2020, 6, 1)
+
+
+@pytest.fixture
+def registry():
+    reg = PeerRegistry()
+    for asn in range(64500, 64510):  # 10 full-table peers
+        reg.add_peer(asn, "route-views2")
+    reg.add_peer(64999, "route-views3", full_table=False)
+    return reg
+
+
+def make_store(registry, *, end, partial=()):
+    store = RouteIntervalStore(data_end=date(2022, 3, 30))
+    store.add(
+        RouteInterval(
+            prefix=PREFIX,
+            path=ASPath.of(174, 64500),
+            start=date(2020, 1, 1),
+            end=end,
+            observers=frozenset(range(10)),
+            partial_observers=tuple(partial),
+        )
+    )
+    return store
+
+
+class TestFractionObserving:
+    def test_all_peers_observe(self, registry):
+        store = make_store(registry, end=None)
+        assert fraction_observing(store, registry, PREFIX, LISTED) == 1.0
+
+    def test_after_withdrawal_zero(self, registry):
+        store = make_store(registry, end=date(2020, 6, 10))
+        assert fraction_observing(
+            store, registry, PREFIX, date(2020, 7, 1)
+        ) == 0.0
+
+    def test_partial_table_peer_not_counted(self, registry):
+        # Peer 10 (partial) observing would not change the denominator.
+        store = make_store(registry, end=None)
+        assert fraction_observing(store, registry, PREFIX, LISTED) == 1.0
+
+    def test_empty_registry(self):
+        reg = PeerRegistry()
+        store = RouteIntervalStore()
+        assert fraction_observing(store, reg, PREFIX, LISTED) == 0.0
+
+    def test_filtering_peer_lowers_fraction(self, registry):
+        # Peer 0 stops observing at listing (DROP filter).
+        partial = [PartialObservation(0, date(2020, 1, 1), LISTED)]
+        store = make_store(registry, end=None, partial=partial)
+        after = fraction_observing(
+            store, registry, PREFIX, date(2020, 7, 1)
+        )
+        assert after == pytest.approx(0.9)
+
+
+class TestVisibilityProfile:
+    def test_profile_offsets(self, registry):
+        store = make_store(registry, end=date(2020, 6, 10))
+        profile = visibility_profile(store, registry, PREFIX, LISTED)
+        assert profile.fractions[-1] == 1.0
+        assert profile.fractions[2] == 1.0
+        assert profile.fractions[30] == 0.0
+        assert profile.withdrawn_by(30)
+        assert not profile.withdrawn_by(2)
+
+
+class TestWithdrawnWithin:
+    def test_withdrawn(self, registry):
+        store = make_store(registry, end=date(2020, 6, 10))
+        assert withdrawn_within(store, PREFIX, LISTED, days=30)
+
+    def test_not_withdrawn(self, registry):
+        store = make_store(registry, end=None)
+        assert not withdrawn_within(store, PREFIX, LISTED, days=30)
+
+    def test_never_announced_not_withdrawn(self, registry):
+        store = RouteIntervalStore()
+        assert not withdrawn_within(store, PREFIX, LISTED, days=30)
+
+    def test_announced_only_day_before_counts(self, registry):
+        store = RouteIntervalStore()
+        store.add(
+            RouteInterval(
+                prefix=PREFIX,
+                path=ASPath.of(174, 64500),
+                start=date(2020, 1, 1),
+                end=LISTED - date.resolution,
+                observers=frozenset({0}),
+            )
+        )
+        assert withdrawn_within(store, PREFIX, LISTED, days=30)
+
+
+class TestPeerObservationRates:
+    def test_filtering_peer_detected(self, registry):
+        # Peer 3 never sees the prefix while 9 others do.
+        store = RouteIntervalStore(data_end=date(2022, 3, 30))
+        store.add(
+            RouteInterval(
+                prefix=PREFIX,
+                path=ASPath.of(174, 64500),
+                start=date(2020, 1, 1),
+                end=None,
+                observers=frozenset(set(range(10)) - {3}),
+            )
+        )
+        samples = [(PREFIX, date(2020, 6, d)) for d in range(1, 21)]
+        rates = peer_observation_rates(store, registry, samples)
+        by_peer = {r.peer_id: r for r in rates}
+        assert by_peer[3].rate == 0.0
+        assert by_peer[0].rate == 1.0
+        suspects = suspect_filtering_peers(rates)
+        assert [s.peer_id for s in suspects] == [3]
+
+    def test_unobservable_samples_skipped(self, registry):
+        # Route seen by only 2 of 10 full-table peers: below the majority
+        # threshold, so nobody is penalized.
+        store = RouteIntervalStore()
+        store.add(
+            RouteInterval(
+                prefix=PREFIX,
+                path=ASPath.of(174, 64500),
+                start=date(2020, 1, 1),
+                end=None,
+                observers=frozenset({0, 1}),
+            )
+        )
+        rates = peer_observation_rates(
+            store, registry, [(PREFIX, date(2020, 6, 1))]
+        )
+        assert all(r.observable == 0 for r in rates)
+        assert suspect_filtering_peers(rates) == []
+
+    def test_rate_zero_when_no_samples(self, registry):
+        store = RouteIntervalStore()
+        rates = peer_observation_rates(store, registry, [])
+        assert all(r.rate == 0.0 for r in rates)

@@ -1,0 +1,158 @@
+"""Unit tests for the Appendix-A categorizer (Table 2 cases included)."""
+
+import pytest
+
+from repro.drop.categories import Category
+from repro.drop.categorize import Categorizer, ClassificationResult
+from repro.net.prefix import IPv4Prefix
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+
+
+@pytest.fixture
+def categorizer():
+    return Categorizer()
+
+
+def cats(result):
+    return result.categories
+
+
+class TestTable2Examples:
+    """The exact example records from the paper's Table 2."""
+
+    def test_sbl310721_spammer_hosting(self, categorizer):
+        result = categorizer.classify_text(
+            PREFIX, "AS204139 spammer hosting"
+        )
+        assert cats(result) == {Category.MALICIOUS_HOSTING}
+
+    def test_sbl240976_hijack_with_hosting_email(self, categorizer):
+        result = categorizer.classify_text(
+            PREFIX, "hijacked IP range ... billing@ahostinginc.com"
+        )
+        assert cats(result) == {Category.HIJACKED}
+
+    def test_sbl502548_snowshoe_stolen(self, categorizer):
+        result = categorizer.classify_text(
+            PREFIX,
+            "Snowshoe IP block on Stolen AS62927 ... "
+            "james.johnson@networxhosting.com",
+        )
+        assert cats(result) == {Category.SNOWSHOE, Category.HIJACKED}
+
+    def test_sbl322513_rokso_snowshoe(self, categorizer):
+        result = categorizer.classify_text(
+            PREFIX,
+            "Register Of Known Spam Operations ... snowshoe range",
+        )
+        assert cats(result) == {Category.KNOWN_SPAM, Category.SNOWSHOE}
+
+    def test_sbl294939_rokso_hijack(self, categorizer):
+        result = categorizer.classify_text(
+            PREFIX,
+            "Register Of Known Spam Operations ... "
+            "illegal netblock hijacking operation",
+        )
+        assert cats(result) == {Category.KNOWN_SPAM, Category.HIJACKED}
+
+    def test_sbl325529_manual_snowshoe(self):
+        # No keyword matches; the manual override supplies the judgement.
+        categorizer = Categorizer(
+            manual_overrides={"SBL325529": [Category.SNOWSHOE]}
+        )
+        result = categorizer.classify_text(
+            PREFIX,
+            "Department of Defense ... Spamhaus believes that this IP "
+            "address range is being used or is about to be used for the "
+            "purpose of high volume spam emission.",
+            sbl_id="SBL325529",
+        )
+        assert cats(result) == {Category.SNOWSHOE}
+        assert result.manual
+
+
+class TestKeywordRules:
+    def test_unallocated(self, categorizer):
+        result = categorizer.classify_text(PREFIX, "unallocated netblock")
+        assert cats(result) == {Category.UNALLOCATED}
+
+    def test_bogon(self, categorizer):
+        result = categorizer.classify_text(PREFIX, "announced bogons")
+        assert cats(result) == {Category.UNALLOCATED}
+
+    def test_case_insensitive(self, categorizer):
+        result = categorizer.classify_text(PREFIX, "HIJACKED range")
+        assert cats(result) == {Category.HIJACKED}
+
+    def test_hosting_without_malicious_context_ignored(self, categorizer):
+        result = categorizer.classify_text(
+            PREFIX, "web hosting company, friendly neighborhood ISP"
+        )
+        assert result.unlabeled
+
+    def test_bulletproof_hosting(self, categorizer):
+        result = categorizer.classify_text(
+            PREFIX, "bulletproof hosting operation ignoring complaints"
+        )
+        assert Category.MALICIOUS_HOSTING in cats(result)
+
+    def test_no_keywords_no_override_unlabeled(self, categorizer):
+        result = categorizer.classify_text(
+            PREFIX, "nothing of note here", sbl_id="SBL1"
+        )
+        assert result.unlabeled
+        assert not result.manual
+
+    def test_override_only_when_no_keywords(self):
+        categorizer = Categorizer(
+            manual_overrides={"SBL9": [Category.SNOWSHOE]}
+        )
+        result = categorizer.classify_text(
+            PREFIX, "hijacked space", sbl_id="SBL9"
+        )
+        assert cats(result) == {Category.HIJACKED}
+        assert not result.manual
+
+    def test_classify_missing_is_nr(self, categorizer):
+        result = categorizer.classify_missing(PREFIX)
+        assert cats(result) == {Category.NO_RECORD}
+
+
+class TestKeywordStatistics:
+    def test_statistics_fractions(self, categorizer):
+        results = [
+            categorizer.classify_text(PREFIX, "hijacked"),
+            categorizer.classify_text(PREFIX, "snowshoe"),
+            categorizer.classify_text(PREFIX, "snowshoe on stolen AS1"),
+            categorizer.classify_text(PREFIX, "no match at all"),
+        ]
+        stats = categorizer.keyword_statistics(results)
+        assert stats["one"] == pytest.approx(0.5)
+        assert stats["two_or_more"] == pytest.approx(0.25)
+        assert stats["none"] == pytest.approx(0.25)
+
+    def test_statistics_exclude_nr(self, categorizer):
+        results = [
+            categorizer.classify_text(PREFIX, "hijacked"),
+            categorizer.classify_missing(PREFIX),
+        ]
+        stats = categorizer.keyword_statistics(results)
+        assert stats["one"] == 1.0
+
+    def test_statistics_empty(self, categorizer):
+        stats = categorizer.keyword_statistics([])
+        assert stats == {"one": 0.0, "two_or_more": 0.0, "none": 0.0}
+
+
+class TestCategoryEnum:
+    def test_from_label(self):
+        assert Category.from_label("hj") is Category.HIJACKED
+
+    def test_from_label_unknown(self):
+        with pytest.raises(ValueError):
+            Category.from_label("XX")
+
+    def test_label_round_trip(self):
+        for category in Category:
+            assert Category.from_label(category.label) is category

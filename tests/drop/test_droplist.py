@@ -1,0 +1,174 @@
+"""Unit tests for repro.drop.droplist and repro.drop.sbl."""
+
+from datetime import date
+
+import pytest
+
+from repro.drop.droplist import (
+    DropArchive,
+    DropEpisode,
+    parse_snapshot_text,
+    snapshot_text,
+)
+from repro.drop.sbl import SblDatabase, SblRecord, extract_asns
+from repro.net.prefix import IPv4Prefix
+from repro.net.timeline import DateWindow
+
+P1 = IPv4Prefix.parse("192.0.2.0/24")
+P2 = IPv4Prefix.parse("198.51.100.0/24")
+P3 = IPv4Prefix.parse("203.0.113.0/24")
+WINDOW = DateWindow(date(2020, 1, 1), date(2020, 12, 31))
+
+
+def archive():
+    a = DropArchive(WINDOW)
+    a.add(DropEpisode(P1, date(2020, 2, 1), date(2020, 5, 1), "SBL100"))
+    a.add(DropEpisode(P1, date(2020, 9, 1), None, "SBL101"))
+    a.add(DropEpisode(P2, date(2020, 3, 15), None, "SBL102"))
+    a.add(DropEpisode(P3, date(2020, 6, 1), date(2020, 7, 1), None))
+    return a
+
+
+class TestDropEpisode:
+    def test_listed_on_bounds(self):
+        e = DropEpisode(P1, date(2020, 2, 1), date(2020, 5, 1))
+        assert e.listed_on(date(2020, 2, 1))
+        assert e.listed_on(date(2020, 4, 30))
+        assert not e.listed_on(date(2020, 5, 1))  # removal day = off list
+        assert not e.listed_on(date(2020, 1, 31))
+
+    def test_open_episode(self):
+        e = DropEpisode(P1, date(2020, 2, 1))
+        assert e.listed_on(date(2025, 1, 1))
+        assert not e.was_removed
+
+    def test_removal_must_follow_addition(self):
+        with pytest.raises(ValueError):
+            DropEpisode(P1, date(2020, 2, 1), date(2020, 2, 1))
+
+
+class TestDropArchive:
+    def test_unique_prefixes(self):
+        assert archive().unique_prefixes() == sorted([P1, P2, P3])
+
+    def test_episodes_for_sorted(self):
+        episodes = archive().episodes_for(P1)
+        assert [e.added for e in episodes] == [date(2020, 2, 1),
+                                               date(2020, 9, 1)]
+
+    def test_first_episode(self):
+        assert archive().first_episode(P1).sbl_id == "SBL100"
+        assert archive().first_episode(IPv4Prefix.parse("10.0.0.0/8")) is None
+
+    def test_additions_in(self):
+        added = archive().additions_in(
+            DateWindow(date(2020, 3, 1), date(2020, 6, 30))
+        )
+        assert [e.prefix for e in added] == [P2, P3]
+
+    def test_removals_in(self):
+        removed = archive().removals_in(WINDOW)
+        assert {e.prefix for e in removed} == {P1, P3}
+
+    def test_listed_on(self):
+        assert archive().listed_on(date(2020, 4, 1)) == sorted([P1, P2])
+
+    def test_is_listed(self):
+        a = archive()
+        assert a.is_listed(P1, date(2020, 3, 1))
+        assert not a.is_listed(P1, date(2020, 6, 1))  # between episodes
+        assert a.is_listed(P1, date(2020, 10, 1))
+
+    def test_address_space(self):
+        assert archive().address_space().num_addresses == 3 * 256
+
+    def test_len(self):
+        assert len(archive()) == 4
+
+
+class TestSnapshotFormat:
+    def test_text_round_trip(self):
+        text = snapshot_text(
+            date(2020, 4, 1), [P1, P2], {P1: "SBL100", P2: None}
+        )
+        parsed = parse_snapshot_text(text)
+        assert parsed == {P1: "SBL100", P2: None}
+
+    def test_comments_ignored(self):
+        parsed = parse_snapshot_text("; header\n; more\n192.0.2.0/24\n")
+        assert parsed == {P1: None}
+
+    def test_write_read_round_trip(self, tmp_path):
+        original = archive()
+        original.write_snapshots(tmp_path / "drop")
+        loaded = DropArchive.read_snapshots(tmp_path / "drop", WINDOW)
+        # Same episode structure (dates and SBL ids).
+        def key(a):
+            return sorted(
+                (str(e.prefix), e.added, e.removed, e.sbl_id)
+                for e in a.episodes()
+            )
+        assert key(loaded) == key(original)
+
+    def test_weekly_snapshots_coarsen_dates(self, tmp_path):
+        original = archive()
+        original.write_snapshots(tmp_path / "drop", step_days=7)
+        loaded = DropArchive.read_snapshots(tmp_path / "drop", WINDOW)
+        # Episodes survive, but addition dates may shift to snapshot days.
+        assert set(p for p in loaded.unique_prefixes()) == {P1, P2, P3}
+
+
+class TestSblDatabase:
+    def record(self, sbl_id="SBL100", removed=None):
+        return SblRecord(
+            sbl_id=sbl_id,
+            prefix=P1,
+            text="hijacked range on AS50509 and AS34665",
+            created=date(2020, 1, 1),
+            removed=removed,
+        )
+
+    def test_extract_asns(self):
+        assert extract_asns("AS50509 via AS34665 then AS50509 again") == (
+            50509, 34665,
+        )
+
+    def test_extract_asns_none(self):
+        assert extract_asns("no asns here") == ()
+
+    def test_mentioned_asns(self):
+        assert self.record().mentioned_asns == (50509, 34665)
+
+    def test_bad_id_rejected(self):
+        with pytest.raises(ValueError):
+            SblRecord(sbl_id="XXX1", prefix=P1, text="",
+                      created=date(2020, 1, 1))
+
+    def test_duplicate_id_rejected(self):
+        db = SblDatabase()
+        db.add(self.record())
+        with pytest.raises(ValueError):
+            db.add(self.record())
+
+    def test_record_for_prefix(self):
+        db = SblDatabase()
+        db.add(self.record())
+        assert db.record_for_prefix(P1).sbl_id == "SBL100"
+        assert db.record_for_prefix(P2) is None
+
+    def test_record_availability_window(self):
+        db = SblDatabase()
+        db.add(self.record(removed=date(2020, 6, 1)))
+        assert db.record_for_prefix(P1, on=date(2020, 3, 1)) is not None
+        assert db.record_for_prefix(P1, on=date(2020, 6, 1)) is None
+
+    def test_dump_load_round_trip(self, tmp_path):
+        db = SblDatabase()
+        db.add(self.record())
+        db.add(self.record(sbl_id="SBL200", removed=date(2020, 6, 1)))
+        path = tmp_path / "sbl.jsonl"
+        assert db.dump(path) == 2
+        loaded = SblDatabase.load(path)
+        assert len(loaded) == 2
+        assert loaded.get("SBL200").removed == date(2020, 6, 1)
+        assert "SBL100" in loaded

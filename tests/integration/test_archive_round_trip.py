@@ -1,0 +1,148 @@
+"""Round-trip integration: analyses agree on in-memory vs on-disk worlds.
+
+The world serializes to the real archive formats (Firehol DROP snapshots,
+RPSL/ROA/registry journals, MRT-like BGP JSONL) and reloads without
+ground truth.  Every analysis must produce the same result either way —
+this is what guarantees the analyses consume only archive-shaped data.
+"""
+
+import pytest
+
+from repro.analysis import (
+    analyze_deallocation,
+    analyze_irr,
+    analyze_rpki_effectiveness,
+    analyze_rpki_uptake,
+    analyze_unallocated,
+    analyze_visibility,
+    classify_drop,
+    detect_drop_filtering,
+    load_entries,
+)
+from repro.drop.categories import Category
+from repro.synth import ScenarioConfig, build_world, load_world, save_world
+
+
+@pytest.fixture(scope="module")
+def worlds(tmp_path_factory):
+    original = build_world(ScenarioConfig.tiny())
+    directory = tmp_path_factory.mktemp("archives") / "world"
+    save_world(original, directory, drop_step_days=1)
+    reloaded = load_world(directory)
+    return original, reloaded
+
+
+class TestStructurePreserved:
+    def test_drop_episodes_identical(self, worlds):
+        original, reloaded = worlds
+        def key(world):
+            return sorted(
+                (str(e.prefix), e.added, e.removed, e.sbl_id)
+                for e in world.drop.episodes()
+            )
+        assert key(reloaded) == key(original)
+
+    def test_bgp_intervals_identical(self, worlds):
+        original, reloaded = worlds
+        def key(world):
+            return sorted(
+                (str(i.prefix), str(i.path), i.start, i.end,
+                 tuple(sorted(i.observers)))
+                for i in world.bgp.all_intervals()
+            )
+        assert key(reloaded) == key(original)
+
+    def test_roas_identical(self, worlds):
+        original, reloaded = worlds
+        def key(world):
+            return sorted(
+                (str(r.roa.prefix), r.roa.asn, r.roa.max_length,
+                 r.roa.trust_anchor, r.created, r.removed)
+                for r in world.roas.records()
+            )
+        assert key(reloaded) == key(original)
+
+    def test_reloaded_has_no_ground_truth(self, worlds):
+        _, reloaded = worlds
+        assert not reloaded.truth.drop
+        assert reloaded.truth.case_study is None
+
+
+class TestAnalysesAgree:
+    def test_classification(self, worlds):
+        original, reloaded = worlds
+        a = classify_drop(original)
+        b = classify_drop(reloaded)
+        for category in Category:
+            assert a.bar(category).total_prefixes == (
+                b.bar(category).total_prefixes
+            )
+        assert a.incident_prefixes == b.incident_prefixes
+
+    def test_visibility(self, worlds):
+        original, reloaded = worlds
+        a = analyze_visibility(original)
+        b = analyze_visibility(reloaded)
+        assert a.withdrawal_rate == b.withdrawal_rate
+        assert a.category_withdrawal == b.category_withdrawal
+
+    def test_filtering_peers(self, worlds):
+        original, reloaded = worlds
+        a = detect_drop_filtering(original)
+        b = detect_drop_filtering(reloaded)
+        assert a.suspect_peer_ids == b.suspect_peer_ids
+
+    def test_table1(self, worlds):
+        original, reloaded = worlds
+        a = analyze_rpki_uptake(original)
+        b = analyze_rpki_uptake(reloaded)
+        assert a.rows == b.rows
+        assert a.signed_different_asn == b.signed_different_asn
+
+    def test_irr(self, worlds):
+        original, reloaded = worlds
+        a = analyze_irr(original)
+        b = analyze_irr(reloaded)
+        assert a.with_route_object == b.with_route_object
+        assert a.hijacker_asn_matches == b.hijacker_asn_matches
+        assert a.org_id_counts == b.org_id_counts
+
+    def test_deallocation(self, worlds):
+        original, reloaded = worlds
+        a = analyze_deallocation(original)
+        b = analyze_deallocation(reloaded)
+        assert a.removed_deallocated == b.removed_deallocated
+        assert a.by_category == b.by_category
+
+    def test_rpki_effectiveness(self, worlds):
+        original, reloaded = worlds
+        a = analyze_rpki_effectiveness(original)
+        b = analyze_rpki_effectiveness(reloaded)
+        assert a.presigned_count == b.presigned_count
+        assert len(a.rpki_valid_hijacks) == len(b.rpki_valid_hijacks)
+        if a.rpki_valid_hijacks:
+            assert (
+                a.rpki_valid_hijacks[0].siblings
+                == b.rpki_valid_hijacks[0].siblings
+            )
+
+    def test_unallocated(self, worlds):
+        original, reloaded = worlds
+        a = analyze_unallocated(original)
+        b = analyze_unallocated(reloaded)
+        assert a.total == b.total
+        assert [l.prefix for l in a.listings] == [
+            l.prefix for l in b.listings
+        ]
+
+    def test_entry_views_agree(self, worlds):
+        original, reloaded = worlds
+        a = {e.prefix: e for e in load_entries(original)}
+        b = {e.prefix: e for e in load_entries(reloaded)}
+        assert set(a) == set(b)
+        for prefix, entry in a.items():
+            other = b[prefix]
+            assert entry.categories == other.categories, prefix
+            assert entry.listed == other.listed
+            assert entry.region == other.region
+            assert entry.incident == other.incident

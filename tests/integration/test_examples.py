@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Withdrawal within 30 days" in result.stdout
+        assert "RPKI signing rates" in result.stdout
+
+    def test_hijack_forensics(self):
+        result = run_example("hijack_forensics.py")
+        assert result.returncode == 0, result.stderr
+        assert "origin history of 132.255.0.0/22" in result.stdout
+        assert "valid" in result.stdout
+        assert "6 sibling prefixes (paper: 6)" in result.stdout
+
+    def test_blocklist_monitor(self):
+        result = run_example("blocklist_monitor.py")
+        assert result.returncode == 0, result.stderr
+        assert "new DROP listings" in result.stdout
+        assert "AS0 audit" in result.stdout
+
+    def test_policy_whatif(self):
+        result = run_example("policy_whatif.py")
+        assert result.returncode == 0, result.stderr
+        assert "AS0 deployment ladder" in result.stdout
+        assert "maxLength audit" in result.stdout
+
+    def test_serial_hijacker_hunt(self):
+        result = run_example("serial_hijacker_hunt.py")
+        assert result.returncode == 0, result.stderr
+        assert "score origins against the DROP list" in result.stdout
+        assert "alarms" in result.stdout
+
+    def test_full_paper_reproduction(self):
+        result = run_example("full_paper_reproduction.py")
+        assert result.returncode == 0, result.stderr
+        assert "scoreboard" in result.stdout
+        # Every numeric metric should be in tolerance at tiny scale.
+        scoreboard = [
+            line for line in result.stdout.splitlines()
+            if line.startswith("scoreboard")
+        ][0]
+        matched, total = scoreboard.split(":")[1].split()[0].split("/")
+        assert matched == total

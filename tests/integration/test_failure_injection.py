@@ -1,0 +1,138 @@
+"""Failure injection: malformed archives fail loudly, not silently.
+
+A measurement pipeline that silently skips malformed input produces
+wrong numbers; these tests pin down the error behaviour of every parser
+and the robustness of snapshot-diff reconstruction to imperfect input.
+"""
+
+from datetime import date
+
+import pytest
+
+from repro.drop.droplist import DropArchive, parse_snapshot_text
+from repro.irr.radb import IrrDatabase
+from repro.irr.rpsl import RpslError, parse_objects
+from repro.net.prefix import IPv4Prefix, PrefixError
+from repro.net.timeline import DateWindow
+from repro.rirstats.delegated import parse_delegated
+from repro.rpki.archive import RoaArchive
+from repro.synth import ScenarioConfig, build_world, load_world, save_world
+
+
+class TestMalformedInputs:
+    def test_drop_snapshot_bad_prefix(self):
+        with pytest.raises(PrefixError):
+            parse_snapshot_text("not-a-prefix/24\n")
+
+    def test_drop_snapshot_bad_length(self):
+        with pytest.raises(PrefixError):
+            parse_snapshot_text("10.0.0.0/99\n")
+
+    def test_rpsl_dangling_continuation(self):
+        with pytest.raises(RpslError):
+            list(parse_objects("    orphan continuation\n"))
+
+    def test_rpsl_missing_colon(self):
+        with pytest.raises(RpslError):
+            list(parse_objects("route 10.0.0.0/24\n"))
+
+    def test_delegated_truncated_record(self):
+        text = "2|apnic|20220330|1|19830101|20220330|+10\napnic|AU|ipv4\n"
+        with pytest.raises(ValueError):
+            list(parse_delegated(text))
+
+    def test_delegated_bad_status(self):
+        text = (
+            "2|apnic|20220330|1|19830101|20220330|+10\n"
+            "apnic|AU|ipv4|1.0.0.0|256|20110811|hoarded\n"
+        )
+        with pytest.raises(ValueError):
+            list(parse_delegated(text))
+
+    def test_delegated_unknown_registry(self):
+        text = (
+            "2|apnic|20220330|1|19830101|20220330|+10\n"
+            "example|AU|ipv4|1.0.0.0|256|20110811|allocated\n"
+        )
+        with pytest.raises(ValueError):
+            list(parse_delegated(text))
+
+    def test_roa_csv_wrong_header(self):
+        with pytest.raises(ValueError):
+            RoaArchive.from_snapshots(
+                [(date(2020, 1, 1), "ASN,Prefix\nAS1,10.0.0.0/8\n")]
+            )
+
+    def test_corrupted_archive_file(self, tmp_path):
+        world = build_world(ScenarioConfig.tiny(seed=99))
+        directory = tmp_path / "world"
+        save_world(world, directory, drop_step_days=30)
+        (directory / "roas.jsonl").write_text("this is not json\n")
+        with pytest.raises(ValueError):
+            load_world(directory)
+
+    def test_missing_archive_file(self, tmp_path):
+        world = build_world(ScenarioConfig.tiny(seed=99))
+        directory = tmp_path / "world"
+        save_world(world, directory, drop_step_days=30)
+        (directory / "sbl.jsonl").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_world(directory)
+
+
+class TestImperfectSnapshots:
+    """Snapshot-diff reconstruction under gaps and unordered input."""
+
+    def test_drop_snapshots_out_of_order(self):
+        window = DateWindow(date(2020, 1, 1), date(2020, 3, 1))
+        p = IPv4Prefix.parse("192.0.2.0/24")
+        snapshots = [
+            (date(2020, 2, 1), {p: "SBL1"}),
+            (date(2020, 1, 1), {}),
+            (date(2020, 3, 1), {}),
+        ]
+        archive = DropArchive.from_snapshots(snapshots, window)
+        episodes = list(archive.episodes())
+        assert len(episodes) == 1
+        assert episodes[0].added == date(2020, 2, 1)
+        assert episodes[0].removed == date(2020, 3, 1)
+
+    def test_drop_snapshot_gap_coarsens_but_keeps_episode(self):
+        window = DateWindow(date(2020, 1, 1), date(2020, 12, 31))
+        p = IPv4Prefix.parse("192.0.2.0/24")
+        # Listed Feb..Aug, but we only have Jan / Jun / Dec snapshots.
+        snapshots = [
+            (date(2020, 1, 1), {}),
+            (date(2020, 6, 1), {p: None}),
+            (date(2020, 12, 1), {}),
+        ]
+        archive = DropArchive.from_snapshots(snapshots, window)
+        episode = archive.first_episode(p)
+        assert episode is not None
+        assert episode.added == date(2020, 6, 1)
+        assert episode.removed == date(2020, 12, 1)
+
+    def test_irr_flapping_object(self):
+        # An object present, absent, then present again yields two
+        # journal records, not a parse failure.
+        route_text = (
+            "route: 192.0.2.0/24\norigin: AS64500\n"
+            "mnt-by: MAINT-X\nsource: RADB\n"
+        )
+        empty = "% empty\n"
+        snapshots = [
+            (date(2020, 1, 1), route_text),
+            (date(2020, 2, 1), empty),
+            (date(2020, 3, 1), route_text),
+        ]
+        db = IrrDatabase.from_snapshots(snapshots)
+        records = db.exact(IPv4Prefix.parse("192.0.2.0/24"))
+        assert len(records) == 2
+        assert records[0].deleted == date(2020, 2, 1)
+        assert records[1].created == date(2020, 3, 1)
+        assert records[1].deleted is None
+
+    def test_empty_snapshot_set(self):
+        window = DateWindow(date(2020, 1, 1), date(2020, 3, 1))
+        archive = DropArchive.from_snapshots([], window)
+        assert len(archive) == 0

@@ -1,0 +1,164 @@
+"""Property-based tests across the substrates (hypothesis).
+
+These pin the invariants the analyses lean on: archive round-trips are
+lossless, snapshot-diff reconstruction recovers lifetimes, the fast
+status index agrees with the reference implementation, and RFC 6811
+validation behaves monotonically under ROA addition.
+"""
+
+from datetime import date, timedelta
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.messages import ASPath, paths_equal_ignoring_prepend
+from repro.drop.droplist import DropArchive, DropEpisode
+from repro.irr.rpsl import RouteObject, emit_objects, parse_objects
+from repro.net.prefix import IPv4Prefix
+from repro.net.timeline import DateWindow
+from repro.rirstats.registry import ResourceRegistry
+from repro.rpki.roa import Roa
+from repro.rpki.validation import RouteValidity, validate_route
+
+lengths = st.integers(min_value=8, max_value=28)
+addresses = st.integers(min_value=1 << 24, max_value=(223 << 24) - 1)
+
+
+@st.composite
+def prefixes(draw):
+    return IPv4Prefix.from_first_address(draw(addresses), draw(lengths))
+
+
+@st.composite
+def days(draw, start=date(2019, 6, 5), span=1000):
+    return start + timedelta(days=draw(st.integers(0, span)))
+
+
+asns = st.integers(min_value=1, max_value=400_000)
+
+
+class TestRpslRoundTrip:
+    @given(
+        prefixes(),
+        asns,
+        st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz-0123456789",
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    def test_route_object_survives_rpsl(self, prefix, origin, maintainer):
+        route = RouteObject(
+            prefix=prefix,
+            origin=origin,
+            maintainer=maintainer.upper(),
+            org_id="ORG-X",
+            descr="generated",
+        )
+        text = emit_objects([route.to_rpsl()])
+        (parsed,) = list(parse_objects(text))
+        assert RouteObject.from_rpsl(parsed) == route
+
+
+class TestDropSnapshotReconstruction:
+    @given(
+        st.lists(
+            st.tuples(prefixes(), days(), st.integers(31, 300)),
+            min_size=1,
+            max_size=15,
+            unique_by=lambda t: t[0],
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_daily_snapshots_recover_episodes(self, specs):
+        window = DateWindow(date(2019, 6, 5), date(2022, 12, 31))
+        archive = DropArchive(window)
+        for prefix, added, duration in specs:
+            removed = added + timedelta(days=duration)
+            if removed > window.end:
+                removed = None
+            archive.add(
+                DropEpisode(prefix=prefix, added=added, removed=removed)
+            )
+        snapshots = [
+            (day, {p: None for p in archive.listed_on(day)})
+            for day in window
+        ]
+        rebuilt = DropArchive.from_snapshots(snapshots, window)
+
+        def key(a):
+            return sorted(
+                (str(e.prefix), e.added, e.removed) for e in a.episodes()
+            )
+
+        assert key(rebuilt) == key(archive)
+
+
+class TestStatusIndexEquivalence:
+    @given(
+        st.lists(
+            st.tuples(prefixes(), days(), st.booleans()),
+            min_size=1,
+            max_size=20,
+        ),
+        prefixes(),
+        days(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_index_matches_reference(self, allocs, probe, query_day):
+        registry = ResourceRegistry()
+        registry.delegate_to_rir("ARIN", "0.0.0.0/1")
+        registry.delegate_to_rir("RIPE", "128.0.0.0/1")
+        for prefix, start, ends in allocs:
+            alloc = registry.allocate(
+                prefix, "ARIN", start, holder=f"h{prefix.network}"
+            )
+            if ends:
+                registry.add(alloc)  # duplicate lifetimes allowed
+        reference = registry.status_of(probe, query_day)
+        indexed = registry.status_index(query_day).status_of(probe)
+        assert indexed.status == reference.status
+        assert indexed.is_allocated == reference.is_allocated
+        if reference.is_allocated:
+            assert indexed.since == reference.since
+
+
+class TestValidationProperties:
+    @given(prefixes(), asns, st.lists(st.tuples(prefixes(), asns),
+                                      max_size=8))
+    def test_adding_matching_roa_never_downgrades(self, prefix, origin,
+                                                  other_roas):
+        roas = [Roa(p, a) for p, a in other_roas]
+        before = validate_route(prefix, origin, roas)
+        roas.append(Roa(prefix, origin))
+        after = validate_route(prefix, origin, roas)
+        assert after is RouteValidity.VALID
+        if before is RouteValidity.VALID:
+            assert after is RouteValidity.VALID
+
+    @given(prefixes(), asns, asns)
+    def test_covering_roa_never_leaves_not_found(self, prefix, origin,
+                                                 roa_asn):
+        roas = [Roa(prefix, roa_asn)]
+        verdict = validate_route(prefix, origin, roas)
+        assert verdict is not RouteValidity.NOT_FOUND
+
+    @given(prefixes(), asns)
+    def test_as0_always_invalid(self, prefix, origin):
+        roas = [Roa(prefix, 0, max_length=32)]
+        assert validate_route(prefix, origin, roas) is (
+            RouteValidity.INVALID
+        )
+
+
+class TestAsPathProperties:
+    @given(st.lists(asns, min_size=1, max_size=8), asns,
+           st.integers(1, 4))
+    def test_prepending_preserves_origin_and_equivalence(self, path_asns,
+                                                         prepend_asn,
+                                                         times):
+        path = ASPath(tuple(path_asns))
+        prepended = path.prepended(path.first_hop, times=times)
+        assert prepended.origin == path.origin
+        assert paths_equal_ignoring_prepend(path, prepended)
+        assert prepended.length == path.length

@@ -1,0 +1,143 @@
+"""Unit tests for repro.irr.radb."""
+
+from datetime import date
+
+import pytest
+
+from repro.irr.radb import IrrDatabase, RouteObjectRecord
+from repro.irr.rpsl import RouteObject
+from repro.net.prefix import IPv4Prefix
+
+P24 = IPv4Prefix.parse("192.0.2.0/24")
+P25 = IPv4Prefix.parse("192.0.2.0/25")
+P22 = IPv4Prefix.parse("192.0.0.0/22")
+OTHER = IPv4Prefix.parse("198.51.100.0/24")
+
+
+def record(prefix=P24, origin=64500, maintainer="MAINT-A", org="ORG-A",
+           created=date(2020, 1, 1), deleted=None):
+    return RouteObjectRecord(
+        route=RouteObject(
+            prefix=prefix, origin=origin, maintainer=maintainer, org_id=org
+        ),
+        created=created,
+        deleted=deleted,
+    )
+
+
+@pytest.fixture
+def db():
+    database = IrrDatabase()
+    database.add(record())
+    database.add(record(prefix=P25, origin=64501, org="ORG-B",
+                        created=date(2020, 6, 1)))
+    database.add(record(prefix=P22, origin=64502, org="ORG-A",
+                        created=date(2019, 1, 1), deleted=date(2020, 3, 1)))
+    database.add(record(prefix=OTHER, origin=64503, org=None))
+    return database
+
+
+class TestRecordLifetime:
+    def test_active_on(self):
+        r = record(created=date(2020, 1, 1), deleted=date(2020, 3, 1))
+        assert r.active_on(date(2020, 1, 1))
+        assert r.active_on(date(2020, 2, 29))
+        assert not r.active_on(date(2020, 3, 1))
+        assert not r.active_on(date(2019, 12, 31))
+
+    def test_deleted_before_created_rejected(self):
+        with pytest.raises(ValueError):
+            record(created=date(2020, 3, 1), deleted=date(2020, 1, 1))
+
+
+class TestQueries:
+    def test_exact(self, db):
+        assert [r.route.origin for r in db.exact(P24)] == [64500]
+
+    def test_covering(self, db):
+        origins = [r.route.origin for r in db.covering(P25)]
+        assert set(origins) == {64500, 64501, 64502}
+
+    def test_covered(self, db):
+        origins = [r.route.origin for r in db.covered(P24)]
+        assert set(origins) == {64500, 64501}
+
+    def test_exact_or_more_specific_window(self, db):
+        # Only the P25 object (created 2020-06-01) is active in June.
+        active = db.exact_or_more_specific(
+            P24, active_in=(date(2020, 6, 1), date(2020, 6, 7))
+        )
+        assert {r.route.origin for r in active} == {64500, 64501}
+        # Before June, only the P24 object.
+        active = db.exact_or_more_specific(
+            P24, active_in=(date(2020, 2, 1), date(2020, 2, 7))
+        )
+        assert {r.route.origin for r in active} == {64500}
+
+    def test_active_on(self, db):
+        active = db.active_on(date(2020, 2, 1))
+        assert {str(r.route.prefix) for r in active} == {
+            "192.0.2.0/24", "192.0.0.0/22", "198.51.100.0/24"
+        }
+
+    def test_org_ids(self, db):
+        assert db.org_ids() == {"ORG-A": 2, "ORG-B": 1}
+
+    def test_len(self, db):
+        assert len(db) == 4
+
+
+class TestJournalPersistence:
+    def test_round_trip(self, db, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        assert db.write_journal(path) == 4
+        loaded = IrrDatabase.read_journal(path)
+        assert len(loaded) == 4
+        original = sorted(
+            (str(r.route.prefix), r.route.origin, r.created, r.deleted)
+            for r in db.records()
+        )
+        round_tripped = sorted(
+            (str(r.route.prefix), r.route.origin, r.created, r.deleted)
+            for r in loaded.records()
+        )
+        assert original == round_tripped
+
+
+class TestSnapshotReconstruction:
+    def test_snapshot_text_contains_active_only(self, db):
+        text = db.snapshot_text(date(2020, 2, 1))
+        assert "192.0.0.0/22" in text
+        assert "192.0.2.0/25" not in text  # not yet created
+
+    def test_empty_snapshot(self):
+        db = IrrDatabase()
+        assert db.snapshot_text(date(2020, 1, 1)).startswith("%")
+
+    def test_from_snapshots_rebuilds_journal(self, db):
+        days = [date(2019, 1, 1), date(2020, 1, 1), date(2020, 3, 1),
+                date(2020, 6, 1), date(2021, 1, 1)]
+        snapshots = [(day, db.snapshot_text(day)) for day in days]
+        rebuilt = IrrDatabase.from_snapshots(snapshots)
+        assert len(rebuilt) == len(db)
+        original = sorted(
+            (str(r.route.prefix), r.route.origin, r.created, r.deleted)
+            for r in db.records()
+        )
+        round_tripped = sorted(
+            (str(r.route.prefix), r.route.origin, r.created, r.deleted)
+            for r in rebuilt.records()
+        )
+        assert original == round_tripped
+
+    def test_sparse_snapshots_coarsen_dates(self, db):
+        # Monthly snapshots: the /22's deletion on Mar 1 is still seen at
+        # exactly Mar 1 (a snapshot day); creation dates snap to the first
+        # snapshot that includes the object.
+        days = [date(2020, 2, 1), date(2020, 3, 1)]
+        snapshots = [(day, db.snapshot_text(day)) for day in days]
+        rebuilt = IrrDatabase.from_snapshots(snapshots)
+        deleted = [r for r in rebuilt.records() if r.deleted is not None]
+        assert len(deleted) == 1
+        assert deleted[0].route.prefix == P22
+        assert deleted[0].deleted == date(2020, 3, 1)

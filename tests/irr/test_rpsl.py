@@ -1,0 +1,136 @@
+"""Unit tests for repro.irr.rpsl."""
+
+import pytest
+
+from repro.irr.rpsl import (
+    Maintainer,
+    Organisation,
+    RouteObject,
+    RpslError,
+    RpslObject,
+    emit_objects,
+    parse_objects,
+)
+from repro.net.prefix import IPv4Prefix
+
+SAMPLE = """\
+% RADb flat file excerpt
+
+route:      192.0.2.0/24
+descr:      Example network
+origin:     AS64500
+org:        ORG-EX1
+mnt-by:     MAINT-EX
+source:     RADB
+
+# a comment line
+mntner:     MAINT-EX
+org:        ORG-EX1
+upd-to:     noc@example.net
+source:     RADB
+
+organisation: ORG-EX1
+org-name:     Example Org
+source:       RADB
+"""
+
+
+class TestParser:
+    def test_parses_three_objects(self):
+        objects = list(parse_objects(SAMPLE))
+        assert [o.object_class for o in objects] == [
+            "route", "mntner", "organisation"
+        ]
+
+    def test_attribute_access(self):
+        route = next(parse_objects(SAMPLE))
+        assert route.key == "192.0.2.0/24"
+        assert route.first("origin") == "AS64500"
+        assert route.first("missing") is None
+
+    def test_continuation_lines(self):
+        text = "route: 192.0.2.0/24\ndescr: line one\n+ line two\norigin: AS1\n"
+        obj = next(parse_objects(text))
+        assert obj.first("descr") == "line one line two"
+
+    def test_whitespace_continuation(self):
+        text = "route: 192.0.2.0/24\ndescr: line one\n    more text\norigin: AS1\n"
+        obj = next(parse_objects(text))
+        assert obj.first("descr") == "line one more text"
+
+    def test_continuation_without_attribute_raises(self):
+        with pytest.raises(RpslError):
+            list(parse_objects("   dangling\n"))
+
+    def test_non_attribute_line_raises(self):
+        with pytest.raises(RpslError):
+            list(parse_objects("route 192.0.2.0/24\n"))
+
+    def test_all_multiple_values(self):
+        text = "route: 1.0.0.0/24\norigin: AS1\nmember-of: RS-A\nmember-of: RS-B\n"
+        obj = next(parse_objects(text))
+        assert obj.all("member-of") == ["RS-A", "RS-B"]
+
+    def test_empty_object_rejected(self):
+        with pytest.raises(RpslError):
+            RpslObject(())
+
+    def test_emit_parse_round_trip(self):
+        objects = list(parse_objects(SAMPLE))
+        text = emit_objects(objects)
+        reparsed = list(parse_objects(text))
+        assert [o.attributes for o in reparsed] == [
+            o.attributes for o in objects
+        ]
+
+
+class TestRouteObject:
+    def test_from_rpsl(self):
+        route = RouteObject.from_rpsl(next(parse_objects(SAMPLE)))
+        assert route.prefix == IPv4Prefix.parse("192.0.2.0/24")
+        assert route.origin == 64500
+        assert route.maintainer == "MAINT-EX"
+        assert route.org_id == "ORG-EX1"
+
+    def test_to_rpsl_round_trip(self):
+        route = RouteObject(
+            prefix=IPv4Prefix.parse("192.0.2.0/24"),
+            origin=64500,
+            maintainer="MAINT-EX",
+            org_id="ORG-EX1",
+            descr="test",
+        )
+        assert RouteObject.from_rpsl(route.to_rpsl()) == route
+
+    def test_wrong_class_rejected(self):
+        obj = RpslObject((("mntner", "X"),))
+        with pytest.raises(RpslError):
+            RouteObject.from_rpsl(obj)
+
+    def test_missing_origin_rejected(self):
+        obj = RpslObject((("route", "192.0.2.0/24"),))
+        with pytest.raises(RpslError):
+            RouteObject.from_rpsl(obj)
+
+
+class TestMaintainerOrganisation:
+    def test_maintainer_round_trip(self):
+        objects = list(parse_objects(SAMPLE))
+        maintainer = Maintainer.from_rpsl(objects[1])
+        assert maintainer.name == "MAINT-EX"
+        assert maintainer.email == "noc@example.net"
+        assert Maintainer.from_rpsl(maintainer.to_rpsl()) == maintainer
+
+    def test_organisation_round_trip(self):
+        objects = list(parse_objects(SAMPLE))
+        org = Organisation.from_rpsl(objects[2])
+        assert org.org_id == "ORG-EX1"
+        assert org.name == "Example Org"
+        assert Organisation.from_rpsl(org.to_rpsl()) == org
+
+    def test_wrong_class_rejected(self):
+        obj = RpslObject((("route", "192.0.2.0/24"),))
+        with pytest.raises(RpslError):
+            Maintainer.from_rpsl(obj)
+        with pytest.raises(RpslError):
+            Organisation.from_rpsl(obj)

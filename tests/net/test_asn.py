@@ -1,0 +1,88 @@
+"""Unit tests for repro.net.asn."""
+
+import pytest
+
+from repro.net.asn import (
+    AS0,
+    AsnBlock,
+    AsnError,
+    is_documentation_asn,
+    is_private_asn,
+    is_public_asn,
+    is_reserved_asn,
+    parse_asn,
+)
+
+
+class TestParseAsn:
+    def test_plain_int(self):
+        assert parse_asn(64500) == 64500
+
+    def test_as_prefix(self):
+        assert parse_asn("AS64500") == 64500
+
+    def test_lowercase(self):
+        assert parse_asn("as64500") == 64500
+
+    def test_bare_digits(self):
+        assert parse_asn("64500") == 64500
+
+    def test_whitespace(self):
+        assert parse_asn("  AS174 ") == 174
+
+    def test_garbage(self):
+        with pytest.raises(AsnError):
+            parse_asn("ASfoo")
+
+    def test_negative(self):
+        with pytest.raises(AsnError):
+            parse_asn(-1)
+
+    def test_too_large(self):
+        with pytest.raises(AsnError):
+            parse_asn(2**32)
+
+
+class TestClassification:
+    def test_as0_reserved_not_public(self):
+        assert is_reserved_asn(AS0)
+        assert not is_public_asn(AS0)
+
+    def test_as_trans_reserved(self):
+        assert is_reserved_asn(23456)
+
+    def test_private_16bit(self):
+        assert is_private_asn(64512)
+        assert is_private_asn(65534)
+        assert not is_private_asn(65535)
+
+    def test_private_32bit(self):
+        assert is_private_asn(4200000000)
+
+    def test_documentation(self):
+        assert is_documentation_asn(64496)
+        assert is_documentation_asn(65536)
+        assert not is_documentation_asn(64512)
+
+    def test_ordinary_asn_public(self):
+        for asn in (174, 3356, 50509, 263692):
+            assert is_public_asn(asn)
+            assert not is_reserved_asn(asn)
+
+    def test_last_asn_reserved(self):
+        assert is_reserved_asn(2**32 - 1)
+
+
+class TestAsnBlock:
+    def test_contains(self):
+        block = AsnBlock(start=64500, count=10)
+        assert 64500 in block
+        assert 64509 in block
+        assert 64510 not in block
+
+    def test_end(self):
+        assert AsnBlock(100, 5).end == 105
+
+    def test_invalid_count(self):
+        with pytest.raises(AsnError):
+            AsnBlock(100, 0)

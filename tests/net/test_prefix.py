@@ -1,0 +1,226 @@
+"""Unit tests for repro.net.prefix."""
+
+import pytest
+
+from repro.net.prefix import (
+    IPV4_MAX,
+    AddressRange,
+    IPv4Prefix,
+    PrefixError,
+    format_ip,
+    parse_ip,
+    slash8_equivalents,
+)
+
+
+class TestParseFormatIp:
+    def test_round_trip(self):
+        assert format_ip(parse_ip("192.0.2.1")) == "192.0.2.1"
+
+    def test_zero(self):
+        assert parse_ip("0.0.0.0") == 0
+
+    def test_max(self):
+        assert parse_ip("255.255.255.255") == IPV4_MAX - 1
+
+    def test_octet_out_of_range(self):
+        with pytest.raises(PrefixError):
+            parse_ip("256.0.0.1")
+
+    def test_not_dotted_quad(self):
+        with pytest.raises(PrefixError):
+            parse_ip("1.2.3")
+
+    def test_garbage(self):
+        with pytest.raises(PrefixError):
+            parse_ip("hello")
+
+    def test_format_out_of_range(self):
+        with pytest.raises(PrefixError):
+            format_ip(IPV4_MAX)
+
+    def test_format_negative(self):
+        with pytest.raises(PrefixError):
+            format_ip(-1)
+
+
+class TestSlash8Equivalents:
+    def test_one_slash8(self):
+        assert slash8_equivalents(2**24) == 1.0
+
+    def test_half(self):
+        assert slash8_equivalents(2**23) == 0.5
+
+    def test_zero(self):
+        assert slash8_equivalents(0) == 0.0
+
+
+class TestIPv4PrefixParse:
+    def test_parse_basic(self):
+        prefix = IPv4Prefix.parse("192.0.2.0/24")
+        assert prefix.length == 24
+        assert str(prefix) == "192.0.2.0/24"
+
+    def test_parse_bare_address_is_slash32(self):
+        assert IPv4Prefix.parse("10.0.0.1").length == 32
+
+    def test_parse_strict_rejects_host_bits(self):
+        with pytest.raises(PrefixError):
+            IPv4Prefix.parse("192.0.2.1/24")
+
+    def test_parse_nonstrict_masks_host_bits(self):
+        prefix = IPv4Prefix.parse("192.0.2.1/24", strict=False)
+        assert str(prefix) == "192.0.2.0/24"
+
+    def test_parse_bad_length(self):
+        with pytest.raises(PrefixError):
+            IPv4Prefix.parse("10.0.0.0/33")
+
+    def test_parse_non_numeric_length(self):
+        with pytest.raises(PrefixError):
+            IPv4Prefix.parse("10.0.0.0/abc")
+
+    def test_zero_length(self):
+        prefix = IPv4Prefix.parse("0.0.0.0/0")
+        assert prefix.num_addresses == IPV4_MAX
+
+    def test_constructor_rejects_host_bits(self):
+        with pytest.raises(PrefixError):
+            IPv4Prefix(parse_ip("10.0.0.1"), 24)
+
+    def test_from_first_address_masks(self):
+        prefix = IPv4Prefix.from_first_address(parse_ip("10.0.0.255"), 24)
+        assert str(prefix) == "10.0.0.0/24"
+
+    def test_repr_parseable(self):
+        prefix = IPv4Prefix.parse("198.51.100.0/24")
+        assert "198.51.100.0/24" in repr(prefix)
+
+
+class TestIPv4PrefixProperties:
+    def test_num_addresses(self):
+        assert IPv4Prefix.parse("10.0.0.0/22").num_addresses == 1024
+
+    def test_first_last(self):
+        prefix = IPv4Prefix.parse("10.0.0.0/24")
+        assert format_ip(prefix.first) == "10.0.0.0"
+        assert format_ip(prefix.last) == "10.0.0.255"
+
+    def test_netmask_hostmask(self):
+        prefix = IPv4Prefix.parse("10.0.0.0/24")
+        assert prefix.netmask == 0xFFFFFF00
+        assert prefix.hostmask == 0x000000FF
+
+    def test_slash8_equivalents(self):
+        assert IPv4Prefix.parse("10.0.0.0/8").slash8_equivalents == 1.0
+        assert IPv4Prefix.parse("10.0.0.0/9").slash8_equivalents == 0.5
+
+
+class TestContainment:
+    def test_contains_subnet(self):
+        outer = IPv4Prefix.parse("10.0.0.0/8")
+        inner = IPv4Prefix.parse("10.1.0.0/16")
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert inner.is_subnet_of(outer)
+
+    def test_contains_self(self):
+        prefix = IPv4Prefix.parse("10.0.0.0/8")
+        assert prefix.contains(prefix)
+
+    def test_disjoint(self):
+        a = IPv4Prefix.parse("10.0.0.0/8")
+        b = IPv4Prefix.parse("11.0.0.0/8")
+        assert not a.contains(b)
+        assert not a.overlaps(b)
+
+    def test_overlaps_is_symmetric_for_nested(self):
+        outer = IPv4Prefix.parse("10.0.0.0/8")
+        inner = IPv4Prefix.parse("10.1.0.0/16")
+        assert outer.overlaps(inner)
+        assert inner.overlaps(outer)
+
+    def test_contains_address(self):
+        prefix = IPv4Prefix.parse("192.0.2.0/24")
+        assert prefix.contains_address(parse_ip("192.0.2.200"))
+        assert not prefix.contains_address(parse_ip("192.0.3.0"))
+
+
+class TestDerivation:
+    def test_supernet_default(self):
+        assert str(IPv4Prefix.parse("10.1.0.0/16").supernet()) == "10.0.0.0/15"
+
+    def test_supernet_explicit(self):
+        assert str(IPv4Prefix.parse("10.1.0.0/16").supernet(8)) == "10.0.0.0/8"
+
+    def test_supernet_invalid(self):
+        with pytest.raises(PrefixError):
+            IPv4Prefix.parse("10.0.0.0/8").supernet(16)
+
+    def test_subnets_default_halves(self):
+        halves = list(IPv4Prefix.parse("10.0.0.0/8").subnets())
+        assert [str(p) for p in halves] == ["10.0.0.0/9", "10.128.0.0/9"]
+
+    def test_subnets_explicit(self):
+        subs = list(IPv4Prefix.parse("10.0.0.0/22").subnets(24))
+        assert len(subs) == 4
+        assert str(subs[-1]) == "10.0.3.0/24"
+
+    def test_subnets_invalid(self):
+        with pytest.raises(PrefixError):
+            list(IPv4Prefix.parse("10.0.0.0/24").subnets(8))
+
+    def test_ordering(self):
+        a = IPv4Prefix.parse("10.0.0.0/8")
+        b = IPv4Prefix.parse("10.0.0.0/16")
+        c = IPv4Prefix.parse("11.0.0.0/8")
+        assert sorted([c, b, a]) == [a, b, c]
+
+
+class TestAddressRange:
+    def test_from_prefix_round_trip(self):
+        prefix = IPv4Prefix.parse("192.0.2.0/24")
+        assert AddressRange.from_prefix(prefix).to_prefixes() == [prefix]
+
+    def test_from_count(self):
+        r = AddressRange.from_count(parse_ip("10.0.0.0"), 512)
+        assert r.num_addresses == 512
+
+    def test_invalid_empty(self):
+        with pytest.raises(PrefixError):
+            AddressRange(10, 10)
+
+    def test_invalid_reversed(self):
+        with pytest.raises(PrefixError):
+            AddressRange(20, 10)
+
+    def test_contains(self):
+        outer = AddressRange(0, 100)
+        assert outer.contains(AddressRange(10, 20))
+        assert not outer.contains(AddressRange(90, 120))
+
+    def test_overlaps_and_intersection(self):
+        a = AddressRange(0, 100)
+        b = AddressRange(50, 150)
+        assert a.overlaps(b)
+        assert a.intersection(b) == AddressRange(50, 100)
+
+    def test_disjoint_intersection_none(self):
+        assert AddressRange(0, 10).intersection(AddressRange(10, 20)) is None
+
+    def test_to_prefixes_unaligned(self):
+        # 3 addresses starting at .1 -> /32 + /31
+        r = AddressRange(parse_ip("10.0.0.1"), parse_ip("10.0.0.4"))
+        assert [str(p) for p in r.to_prefixes()] == [
+            "10.0.0.1/32",
+            "10.0.0.2/31",
+        ]
+
+    def test_to_prefixes_covers_exactly(self):
+        r = AddressRange(parse_ip("10.0.0.0"), parse_ip("10.0.1.128"))
+        total = sum(p.num_addresses for p in r.to_prefixes())
+        assert total == r.num_addresses
+
+    def test_str(self):
+        r = AddressRange(parse_ip("10.0.0.0"), parse_ip("10.0.1.0"))
+        assert str(r) == "10.0.0.0-10.0.0.255"

@@ -1,0 +1,139 @@
+"""Unit tests for repro.net.prefixset."""
+
+import pytest
+
+from repro.net.prefix import AddressRange, IPv4Prefix, parse_ip
+from repro.net.prefixset import PrefixSet
+
+
+def pset(*cidrs):
+    return PrefixSet(cidrs)
+
+
+class TestConstruction:
+    def test_empty_is_falsy(self):
+        assert not PrefixSet()
+
+    def test_from_strings(self):
+        s = pset("10.0.0.0/8", "192.0.2.0/24")
+        assert s.contains("10.1.0.0/16")
+        assert s.contains("192.0.2.0/24")
+
+    def test_from_intervals(self):
+        s = PrefixSet.from_intervals([(0, 10), (20, 30)])
+        assert s.num_addresses == 20
+
+    def test_copy_is_independent(self):
+        s = pset("10.0.0.0/8")
+        c = s.copy()
+        c.add("11.0.0.0/8")
+        assert not s.contains("11.0.0.0/8")
+
+
+class TestAddCoalescing:
+    def test_adjacent_merge(self):
+        s = pset("10.0.0.0/9", "10.128.0.0/9")
+        assert list(s.intervals()) == [
+            AddressRange(parse_ip("10.0.0.0"), parse_ip("11.0.0.0"))
+        ]
+
+    def test_overlapping_merge(self):
+        s = pset("10.0.0.0/8")
+        s.add("10.128.0.0/9")
+        assert s.num_addresses == 2**24
+
+    def test_disjoint_stay_separate(self):
+        s = pset("10.0.0.0/8", "12.0.0.0/8")
+        assert len(list(s.intervals())) == 2
+
+    def test_bridging_add_merges_three(self):
+        s = pset("10.0.0.0/8", "12.0.0.0/8")
+        s.add("11.0.0.0/8")
+        assert len(list(s.intervals())) == 1
+        assert s.num_addresses == 3 * 2**24
+
+    def test_idempotent_add(self):
+        s = pset("10.0.0.0/8")
+        s.add("10.0.0.0/8")
+        assert s.num_addresses == 2**24
+
+
+class TestDiscard:
+    def test_discard_middle_splits(self):
+        s = pset("10.0.0.0/8")
+        s.discard("10.128.0.0/16")
+        assert len(list(s.intervals())) == 2
+        assert s.num_addresses == 2**24 - 2**16
+
+    def test_discard_whole(self):
+        s = pset("10.0.0.0/8")
+        s.discard("10.0.0.0/8")
+        assert not s
+
+    def test_discard_absent_noop(self):
+        s = pset("10.0.0.0/8")
+        s.discard("20.0.0.0/8")
+        assert s.num_addresses == 2**24
+
+    def test_discard_edge(self):
+        s = pset("10.0.0.0/8")
+        s.discard("10.0.0.0/9")
+        assert list(s.iter_prefixes()) == [IPv4Prefix.parse("10.128.0.0/9")]
+
+
+class TestQueries:
+    def test_contains_address(self):
+        s = pset("192.0.2.0/24")
+        assert s.contains_address(parse_ip("192.0.2.5"))
+        assert not s.contains_address(parse_ip("192.0.3.5"))
+
+    def test_contains_partial_false(self):
+        s = pset("10.0.0.0/9")
+        assert not s.contains("10.0.0.0/8")
+
+    def test_overlaps(self):
+        s = pset("10.0.0.0/9")
+        assert s.overlaps("10.0.0.0/8")
+        assert not s.overlaps("11.0.0.0/8")
+
+    def test_slash8_equivalents(self):
+        s = pset("10.0.0.0/8", "11.0.0.0/9")
+        assert s.slash8_equivalents == pytest.approx(1.5)
+
+    def test_iter_prefixes_minimal(self):
+        s = pset("10.0.0.0/9", "10.128.0.0/9")
+        assert [str(p) for p in s.iter_prefixes()] == ["10.0.0.0/8"]
+
+    def test_repr_truncates(self):
+        s = pset("10.0.0.0/8", "12.0.0.0/8", "14.0.0.0/8", "16.0.0.0/8",
+                 "18.0.0.0/8")
+        assert "5 ranges" in repr(s)
+
+
+class TestAlgebra:
+    def test_union(self):
+        u = pset("10.0.0.0/8") | pset("11.0.0.0/8")
+        assert u.num_addresses == 2 * 2**24
+
+    def test_intersection(self):
+        i = pset("10.0.0.0/8") & pset("10.128.0.0/9", "11.0.0.0/8")
+        assert list(i.iter_prefixes()) == [IPv4Prefix.parse("10.128.0.0/9")]
+
+    def test_intersection_empty(self):
+        assert not (pset("10.0.0.0/8") & pset("11.0.0.0/8"))
+
+    def test_difference(self):
+        d = pset("10.0.0.0/8") - pset("10.0.0.0/9")
+        assert list(d.iter_prefixes()) == [IPv4Prefix.parse("10.128.0.0/9")]
+
+    def test_difference_leaves_original(self):
+        a = pset("10.0.0.0/8")
+        _ = a - pset("10.0.0.0/9")
+        assert a.num_addresses == 2**24
+
+    def test_equality(self):
+        assert pset("10.0.0.0/9", "10.128.0.0/9") == pset("10.0.0.0/8")
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(pset("10.0.0.0/8"))

@@ -1,0 +1,155 @@
+"""Property-based tests for the net substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.prefix import (
+    IPV4_MAX,
+    AddressRange,
+    IPv4Prefix,
+    format_ip,
+    parse_ip,
+)
+from repro.net.prefixset import PrefixSet
+from repro.net.radix import RadixTree
+
+addresses = st.integers(min_value=0, max_value=IPV4_MAX - 1)
+lengths = st.integers(min_value=0, max_value=32)
+
+
+@st.composite
+def prefixes(draw):
+    return IPv4Prefix.from_first_address(draw(addresses), draw(lengths))
+
+
+@st.composite
+def ranges(draw):
+    start = draw(st.integers(min_value=0, max_value=IPV4_MAX - 2))
+    end = draw(st.integers(min_value=start + 1, max_value=IPV4_MAX))
+    return AddressRange(start, end)
+
+
+class TestPrefixProperties:
+    @given(addresses)
+    def test_ip_round_trip(self, addr):
+        assert parse_ip(format_ip(addr)) == addr
+
+    @given(prefixes())
+    def test_prefix_string_round_trip(self, prefix):
+        assert IPv4Prefix.parse(str(prefix)) == prefix
+
+    @given(prefixes())
+    def test_range_round_trip(self, prefix):
+        assert prefix.to_range().to_prefixes() == [prefix]
+
+    @given(prefixes(), addresses)
+    def test_contains_address_consistent_with_range(self, prefix, addr):
+        assert prefix.contains_address(addr) == (
+            prefix.first <= addr <= prefix.last
+        )
+
+    @given(prefixes(), prefixes())
+    def test_overlap_symmetry(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(prefixes(), prefixes())
+    def test_containment_implies_overlap(self, a, b):
+        if a.contains(b):
+            assert a.overlaps(b)
+            assert a.num_addresses >= b.num_addresses
+
+
+class TestRangeDecomposition:
+    @given(ranges())
+    @settings(max_examples=200)
+    def test_decomposition_is_exact_and_ordered(self, r):
+        parts = r.to_prefixes()
+        assert sum(p.num_addresses for p in parts) == r.num_addresses
+        cursor = r.start
+        for p in parts:
+            assert p.first == cursor
+            cursor = p.last + 1
+        assert cursor == r.end
+
+
+class TestPrefixSetProperties:
+    @given(st.lists(ranges(), max_size=20))
+    def test_union_count_never_exceeds_sum(self, rs):
+        s = PrefixSet()
+        total = 0
+        for r in rs:
+            s.add(r)
+            total += r.num_addresses
+        assert s.num_addresses <= total
+        # Intervals are disjoint, sorted, and non-adjacent.
+        intervals = list(s.intervals())
+        for a, b in zip(intervals, intervals[1:]):
+            assert a.end < b.start
+
+    @given(st.lists(ranges(), max_size=12), st.lists(ranges(), max_size=12))
+    def test_algebra_identities(self, xs, ys):
+        a, b = PrefixSet(xs), PrefixSet(ys)
+        union, inter, diff = a | b, a & b, a - b
+        # |A∪B| = |A| + |B| - |A∩B|
+        assert union.num_addresses == (
+            a.num_addresses + b.num_addresses - inter.num_addresses
+        )
+        # A = (A - B) ∪ (A ∩ B)
+        assert (diff | inter) == a
+        # (A - B) ∩ B = ∅
+        assert not (diff & b)
+
+    @given(st.lists(ranges(), max_size=12), addresses)
+    def test_membership_matches_naive(self, rs, addr):
+        s = PrefixSet(rs)
+        naive = any(r.contains_address(addr) for r in rs)
+        assert s.contains_address(addr) == naive
+
+    @given(st.lists(ranges(), max_size=10), ranges())
+    def test_discard_removes_everything(self, rs, victim):
+        s = PrefixSet(rs)
+        s.discard(victim)
+        assert not s.overlaps(victim)
+
+
+class TestRadixProperties:
+    @given(st.lists(prefixes(), min_size=1, max_size=40), prefixes())
+    @settings(max_examples=200)
+    def test_lookup_matches_linear_scan(self, entries, probe):
+        tree = RadixTree()
+        table = {}
+        for p in entries:
+            tree.insert(p, str(p))
+            table[p] = str(p)
+        assert len(tree) == len(table)
+        # covering = all table entries containing probe
+        expect_covering = sorted(
+            (p for p in table if p.contains(probe)),
+            key=lambda p: p.length,
+        )
+        got_covering = [p for p, _ in tree.lookup_covering(probe)]
+        assert got_covering == expect_covering
+        # covered = all table entries inside probe
+        expect_covered = {p for p in table if probe.contains(p)}
+        got_covered = {p for p, _ in tree.lookup_covered(probe)}
+        assert got_covered == expect_covered
+
+    @given(st.lists(prefixes(), min_size=1, max_size=30))
+    def test_items_sorted_and_complete(self, entries):
+        tree = RadixTree()
+        for p in entries:
+            tree.insert(p, None)
+        listed = [p for p, _ in tree.items()]
+        assert listed == sorted(set(entries))
+
+    @given(st.lists(prefixes(), min_size=2, max_size=30, unique=True))
+    def test_delete_then_absent(self, entries):
+        tree = RadixTree()
+        for p in entries:
+            tree.insert(p, str(p))
+        victim = entries[0]
+        tree.delete(victim)
+        assert victim not in tree
+        assert len(tree) == len(set(entries)) - 1
+        for p in entries[1:]:
+            assert tree.get(p) == str(p)

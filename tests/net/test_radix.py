@@ -1,0 +1,133 @@
+"""Unit tests for repro.net.radix."""
+
+import pytest
+
+from repro.net.prefix import IPv4Prefix, parse_ip
+from repro.net.radix import RadixTree
+
+
+def P(text):
+    return IPv4Prefix.parse(text)
+
+
+@pytest.fixture
+def tree():
+    t = RadixTree()
+    for cidr in ["10.0.0.0/8", "10.0.0.0/16", "10.0.1.0/24", "10.1.0.0/16",
+                 "192.0.2.0/24", "0.0.0.0/0"]:
+        t.insert(P(cidr), cidr)
+    return t
+
+
+class TestInsertLookup:
+    def test_len(self, tree):
+        assert len(tree) == 6
+
+    def test_exact_get(self, tree):
+        assert tree.get(P("10.0.1.0/24")) == "10.0.1.0/24"
+
+    def test_get_missing_default(self, tree):
+        assert tree.get(P("10.0.2.0/24"), "absent") == "absent"
+
+    def test_contains(self, tree):
+        assert P("10.0.0.0/8") in tree
+        assert P("10.0.0.0/9") not in tree
+
+    def test_getitem_raises(self, tree):
+        with pytest.raises(KeyError):
+            tree[P("172.16.0.0/12")]
+
+    def test_setitem_replaces(self, tree):
+        tree[P("10.0.0.0/8")] = "replaced"
+        assert tree[P("10.0.0.0/8")] == "replaced"
+        assert len(tree) == 6
+
+    def test_empty_tree(self):
+        t = RadixTree()
+        assert len(t) == 0
+        assert not t
+        assert t.get(P("10.0.0.0/8")) is None
+        assert t.lookup_best(P("10.0.0.0/8")) is None
+        assert t.lookup_covered(P("0.0.0.0/0")) == []
+
+    def test_insert_default_route_last(self):
+        t = RadixTree()
+        t.insert(P("10.0.0.0/8"), 1)
+        t.insert(P("0.0.0.0/0"), 2)
+        assert t[P("0.0.0.0/0")] == 2
+        assert t[P("10.0.0.0/8")] == 1
+
+
+class TestCoveringQueries:
+    def test_lookup_covering_order(self, tree):
+        found = [str(p) for p, _ in tree.lookup_covering(P("10.0.1.128/25"))]
+        assert found == ["0.0.0.0/0", "10.0.0.0/8", "10.0.0.0/16",
+                         "10.0.1.0/24"]
+
+    def test_lookup_best_is_longest(self, tree):
+        best = tree.lookup_best(P("10.0.1.128/25"))
+        assert best is not None
+        assert str(best[0]) == "10.0.1.0/24"
+
+    def test_lookup_covering_includes_exact(self, tree):
+        found = [str(p) for p, _ in tree.lookup_covering(P("10.1.0.0/16"))]
+        assert "10.1.0.0/16" in found
+
+    def test_covers_address(self, tree):
+        assert tree.covers_address(parse_ip("192.0.2.9"))
+
+    def test_no_default_route_no_match(self):
+        t = RadixTree()
+        t.insert(P("10.0.0.0/8"), 1)
+        assert t.lookup_best(P("11.0.0.0/24")) is None
+
+
+class TestCoveredQueries:
+    def test_lookup_covered_subtree(self, tree):
+        found = {str(p) for p, _ in tree.lookup_covered(P("10.0.0.0/8"))}
+        assert found == {"10.0.0.0/8", "10.0.0.0/16", "10.0.1.0/24",
+                         "10.1.0.0/16"}
+
+    def test_lookup_covered_no_match(self, tree):
+        assert tree.lookup_covered(P("172.16.0.0/12")) == []
+
+    def test_lookup_covered_whole_tree(self, tree):
+        assert len(tree.lookup_covered(P("0.0.0.0/0"))) == 6
+
+    def test_lookup_covered_longer_than_entries(self, tree):
+        assert tree.lookup_covered(P("10.0.1.128/25")) == []
+
+
+class TestDeletion:
+    def test_delete_returns_value(self, tree):
+        assert tree.delete(P("10.0.1.0/24")) == "10.0.1.0/24"
+        assert len(tree) == 5
+        assert P("10.0.1.0/24") not in tree
+
+    def test_delete_missing_raises(self, tree):
+        with pytest.raises(KeyError):
+            tree.delete(P("172.16.0.0/12"))
+
+    def test_delete_keeps_others(self, tree):
+        tree.delete(P("10.0.0.0/16"))
+        assert str(tree.lookup_best(P("10.0.1.0/24"))[0]) == "10.0.1.0/24"
+        found = [str(p) for p, _ in tree.lookup_covering(P("10.0.1.128/25"))]
+        assert "10.0.0.0/16" not in found
+
+    def test_reinsert_after_delete(self, tree):
+        tree.delete(P("10.0.0.0/8"))
+        tree.insert(P("10.0.0.0/8"), "again")
+        assert tree[P("10.0.0.0/8")] == "again"
+        assert len(tree) == 6
+
+
+class TestIteration:
+    def test_items_in_address_order(self, tree):
+        prefixes = [p for p, _ in tree.items()]
+        assert prefixes == sorted(prefixes)
+
+    def test_iter_yields_prefixes(self, tree):
+        assert set(iter(tree)) == {
+            P("10.0.0.0/8"), P("10.0.0.0/16"), P("10.0.1.0/24"),
+            P("10.1.0.0/16"), P("192.0.2.0/24"), P("0.0.0.0/0"),
+        }

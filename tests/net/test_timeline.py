@@ -1,0 +1,169 @@
+"""Unit tests for repro.net.timeline."""
+
+from datetime import date
+
+import pytest
+
+from repro.net.timeline import (
+    STUDY_END,
+    STUDY_START,
+    STUDY_WINDOW,
+    DailySeries,
+    DateWindow,
+    StepFunction,
+    date_range,
+    month_starts,
+    parse_date,
+)
+
+
+class TestParseDate:
+    def test_iso(self):
+        assert parse_date("2020-02-29") == date(2020, 2, 29)
+
+    def test_compact_rir_stats_form(self):
+        assert parse_date("20200229") == date(2020, 2, 29)
+
+    def test_whitespace(self):
+        assert parse_date(" 2019-06-05\n") == STUDY_START
+
+
+class TestDateRange:
+    def test_inclusive(self):
+        days = list(date_range(date(2020, 1, 1), date(2020, 1, 3)))
+        assert days == [date(2020, 1, 1), date(2020, 1, 2), date(2020, 1, 3)]
+
+    def test_step(self):
+        days = list(date_range(date(2020, 1, 1), date(2020, 1, 10), 7))
+        assert days == [date(2020, 1, 1), date(2020, 1, 8)]
+
+    def test_month_starts(self):
+        months = list(month_starts(date(2019, 11, 15), date(2020, 2, 1)))
+        assert months == [date(2019, 12, 1), date(2020, 1, 1),
+                          date(2020, 2, 1)]
+
+    def test_month_starts_from_first(self):
+        months = list(month_starts(date(2020, 1, 1), date(2020, 2, 1)))
+        assert months[0] == date(2020, 1, 1)
+
+
+class TestDateWindow:
+    def test_study_window_days(self):
+        # June 5 2019 .. March 30 2022 inclusive.
+        assert STUDY_WINDOW.days == (STUDY_END - STUDY_START).days + 1
+
+    def test_contains(self):
+        assert date(2020, 6, 1) in STUDY_WINDOW
+        assert date(2019, 6, 4) not in STUDY_WINDOW
+
+    def test_clamp(self):
+        assert STUDY_WINDOW.clamp(date(2010, 1, 1)) == STUDY_START
+        assert STUDY_WINDOW.clamp(date(2030, 1, 1)) == STUDY_END
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            DateWindow(date(2020, 1, 2), date(2020, 1, 1))
+
+    def test_overlaps(self):
+        a = DateWindow(date(2020, 1, 1), date(2020, 1, 10))
+        b = DateWindow(date(2020, 1, 10), date(2020, 1, 20))
+        c = DateWindow(date(2020, 2, 1), date(2020, 2, 2))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_shifted(self):
+        w = DateWindow(date(2020, 1, 1), date(2020, 1, 10)).shifted(-1)
+        assert w.start == date(2019, 12, 31)
+
+    def test_iter(self):
+        w = DateWindow(date(2020, 1, 1), date(2020, 1, 3))
+        assert len(list(w)) == 3
+
+
+class TestStepFunction:
+    def test_default_before_first_breakpoint(self):
+        f = StepFunction("unallocated")
+        f.set(date(2020, 1, 1), "allocated")
+        assert f.value_at(date(2019, 1, 1)) == "unallocated"
+
+    def test_value_at_and_after_breakpoint(self):
+        f = StepFunction(0)
+        f.set(date(2020, 1, 1), 1)
+        f.set(date(2020, 6, 1), 2)
+        assert f.value_at(date(2020, 1, 1)) == 1
+        assert f.value_at(date(2020, 5, 31)) == 1
+        assert f.value_at(date(2020, 6, 1)) == 2
+        assert f.value_at(date(2021, 1, 1)) == 2
+
+    def test_out_of_order_insertion(self):
+        f = StepFunction(0)
+        f.set(date(2020, 6, 1), 2)
+        f.set(date(2020, 1, 1), 1)
+        assert f.value_at(date(2020, 3, 1)) == 1
+
+    def test_same_day_overwrite(self):
+        f = StepFunction(0)
+        f.set(date(2020, 1, 1), 1)
+        f.set(date(2020, 1, 1), 5)
+        assert f.value_at(date(2020, 1, 1)) == 5
+        assert len(f) == 1
+
+    def test_first_day_with(self):
+        f = StepFunction("none")
+        f.set(date(2020, 1, 1), "roa")
+        f.set(date(2021, 1, 1), "as0")
+        assert f.first_day_with(lambda v: v == "as0") == date(2021, 1, 1)
+        assert f.first_day_with(lambda v: v == "zzz") is None
+
+    def test_breakpoints_sorted(self):
+        f = StepFunction(0)
+        f.set(date(2021, 1, 1), 2)
+        f.set(date(2020, 1, 1), 1)
+        assert [d for d, _ in f.breakpoints()] == [date(2020, 1, 1),
+                                                   date(2021, 1, 1)]
+
+
+class TestDailySeries:
+    def window(self):
+        return DateWindow(date(2020, 1, 1), date(2020, 1, 10))
+
+    def test_get_set(self):
+        s = DailySeries(self.window())
+        s[date(2020, 1, 5)] = 3.5
+        assert s[date(2020, 1, 5)] == 3.5
+        assert s[date(2020, 1, 4)] == 0.0
+
+    def test_out_of_window(self):
+        s = DailySeries(self.window())
+        with pytest.raises(KeyError):
+            s[date(2021, 1, 1)]
+
+    def test_increment(self):
+        s = DailySeries(self.window())
+        s.increment(date(2020, 1, 2))
+        s.increment(date(2020, 1, 2), 2.0)
+        assert s[date(2020, 1, 2)] == 3.0
+
+    def test_add_interval_clamps(self):
+        s = DailySeries(self.window())
+        s.add_interval(date(2019, 12, 1), date(2020, 1, 2))
+        assert s[date(2020, 1, 1)] == 1.0
+        assert s[date(2020, 1, 2)] == 1.0
+        assert s[date(2020, 1, 3)] == 0.0
+
+    def test_add_interval_fully_outside(self):
+        s = DailySeries(self.window())
+        s.add_interval(date(2019, 1, 1), date(2019, 2, 1))
+        assert all(v == 0.0 for v in s.values())
+
+    def test_items_aligned(self):
+        s = DailySeries(self.window())
+        days = [d for d, _ in s.items()]
+        assert days[0] == date(2020, 1, 1)
+        assert days[-1] == date(2020, 1, 10)
+        assert len(days) == 10
+
+    def test_sample(self):
+        s = DailySeries(self.window())
+        s[date(2020, 1, 3)] = 7.0
+        assert s.sample([date(2020, 1, 3)]) == [(date(2020, 1, 3), 7.0)]

@@ -1,0 +1,79 @@
+"""Unit tests for the experiment registry."""
+
+import pytest
+
+from repro.reporting.experiments import (
+    EXPERIMENTS,
+    Metric,
+    render_markdown,
+    render_text,
+    run_all,
+    run_experiment,
+)
+from repro.synth import ScenarioConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(ScenarioConfig.tiny())
+
+
+class TestMetric:
+    def test_matches_within_tolerance(self):
+        assert Metric("x", 100, 110).matches()
+        assert not Metric("x", 100, 200).matches()
+
+    def test_matches_zero_paper_value(self):
+        assert Metric("x", 0, 0).matches()
+        assert not Metric("x", 0, 5).matches()
+
+    def test_string_metric_exact(self):
+        assert Metric("x", "yes", "yes").matches()
+        assert not Metric("x", "yes", "no").matches()
+
+
+class TestRegistry:
+    def test_all_design_md_experiments_registered(self):
+        expected = {
+            "fig1", "fig2", "fig2-peers", "tab1", "fig3", "fig4", "fig5",
+            "fig6", "fig7", "tab2", "sec4.1-dealloc", "sec5", "sec6.2-as0",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_run_experiment_by_id(self, world):
+        report = run_experiment(world, "tab2")
+        assert report.exp_id == "tab2"
+        assert report.metrics
+
+    def test_unknown_experiment(self, world):
+        with pytest.raises(KeyError):
+            run_experiment(world, "fig99")
+
+    def test_run_all_covers_registry(self, world):
+        reports = run_all(world)
+        assert {r.exp_id for r in reports} == set(EXPERIMENTS)
+
+    def test_every_numeric_metric_within_tolerance(self, world):
+        for report in run_all(world):
+            for metric in report.metrics:
+                if isinstance(metric.paper, (int, float)):
+                    assert metric.matches(), (
+                        report.exp_id, metric.name, metric.paper,
+                        metric.measured,
+                    )
+
+
+class TestRendering:
+    def test_render_text_contains_metrics(self, world):
+        report = run_experiment(world, "fig2")
+        text = render_text(report)
+        assert "fig2" in text
+        assert "withdrawn within 30 days" in text
+        assert "paper" in text
+
+    def test_render_markdown_table_syntax(self, world):
+        reports = [run_experiment(world, "tab2")]
+        markdown = render_markdown(reports)
+        assert "### tab2" in markdown
+        assert "| metric | paper | measured |" in markdown
+        assert "|---|---|---|" in markdown

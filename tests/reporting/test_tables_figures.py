@@ -1,0 +1,100 @@
+"""Unit tests for repro.reporting.tables and figures."""
+
+from datetime import date
+
+import pytest
+
+from repro.reporting.figures import (
+    ascii_cdf,
+    ascii_series,
+    ascii_timeline,
+    cdf_points,
+)
+from repro.reporting.tables import TextTable
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(["name", "count"])
+        table.add_row("alpha", 1)
+        table.add_row("bb", 22)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[1].startswith("-")
+        # Numeric column right-aligned: the widths line up.
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("22")
+
+    def test_float_precision(self):
+        table = TextTable(["x"], float_precision=2)
+        table.add_row(0.12345)
+        assert "0.12" in table.render()
+
+    def test_none_rendered_as_dash(self):
+        table = TextTable(["a", "b"])
+        table.add_row("x", None)
+        assert table.render().splitlines()[-1].rstrip().endswith("-")
+
+    def test_wrong_arity_rejected(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only one")
+
+    def test_len(self):
+        table = TextTable(["a"])
+        assert len(table) == 0
+        table.add_row(1)
+        assert len(table) == 1
+
+    def test_empty_table_renders_headers(self):
+        table = TextTable(["alpha", "beta"])
+        text = table.render()
+        assert "alpha" in text and "beta" in text
+
+
+class TestCdfPoints:
+    def test_points_sorted_and_normalized(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        assert [v for v, _ in points] == [1.0, 2.0, 3.0]
+        assert points[-1][1] == 1.0
+        assert points[0][1] == pytest.approx(1 / 3)
+
+
+class TestAsciiRenderers:
+    def test_cdf_shape(self):
+        text = ascii_cdf([0.0, 0.5, 1.0], label="test cdf")
+        assert text.startswith("test cdf")
+        assert "*" in text
+        assert "1.00 |" in text
+
+    def test_cdf_empty(self):
+        assert "(no data)" in ascii_cdf([], label="empty")
+
+    def test_cdf_constant_values(self):
+        text = ascii_cdf([5.0, 5.0, 5.0])
+        assert "*" in text
+
+    def test_series_shape(self):
+        series = [
+            (date(2020, 1, 1), 1.0),
+            (date(2020, 6, 1), 2.0),
+            (date(2021, 1, 1), 3.0),
+        ]
+        text = ascii_series(series, label="growth")
+        assert text.startswith("growth")
+        assert "2020-01-01" in text
+        assert "2021-01-01" in text
+
+    def test_series_empty(self):
+        assert "(no data)" in ascii_series([], label="empty")
+
+    def test_timeline_markers_sorted(self):
+        text = ascii_timeline(
+            [(date(2021, 1, 1), "event B"), (date(2020, 1, 1), "event A")],
+            markers=[(date(2020, 6, 1), "policy")],
+        )
+        lines = text.splitlines()
+        assert "event A" in lines[0]
+        assert lines[1].startswith("==")
+        assert "event B" in lines[2]

@@ -1,0 +1,129 @@
+"""Unit tests for repro.rirstats.delegated and rirs."""
+
+from datetime import date
+
+import pytest
+
+from repro.net.prefix import parse_ip
+from repro.rirstats.delegated import (
+    DelegatedRecord,
+    emit_delegated,
+    parse_delegated,
+)
+from repro.rirstats.rirs import ALL_RIRS, display_name, normalize_rir
+
+SAMPLE = """\
+2|apnic|20220330|4|19830101|20220330|+10
+apnic|*|ipv4|*|3|summary
+apnic|*|asn|*|1|summary
+apnic|AU|ipv4|1.0.0.0|256|20110811|allocated|A9173591
+apnic|CN|ipv4|1.0.1.0|256|20110414|assigned
+apnic||ipv4|1.4.128.0|128||available
+apnic|JP|asn|173|1|20020801|allocated
+"""
+
+
+class TestRirNames:
+    def test_all_rirs(self):
+        assert len(ALL_RIRS) == 5
+
+    def test_normalize_aliases(self):
+        assert normalize_rir("ripencc") == "RIPE"
+        assert normalize_rir("RIPE NCC") == "RIPE"
+        assert normalize_rir("arin") == "ARIN"
+
+    def test_normalize_unknown(self):
+        with pytest.raises(ValueError):
+            normalize_rir("iana")
+
+    def test_display_name(self):
+        assert display_name("RIPE") == "RIPE NCC"
+        assert display_name("apnic") == "APNIC"
+
+
+class TestParseDelegated:
+    def test_parses_records(self):
+        records = list(parse_delegated(SAMPLE))
+        assert len(records) == 4
+
+    def test_ipv4_allocated_record(self):
+        record = next(parse_delegated(SAMPLE))
+        assert record.registry == "APNIC"
+        assert record.country == "AU"
+        assert record.start == parse_ip("1.0.0.0")
+        assert record.count == 256
+        assert record.allocated_on == date(2011, 8, 11)
+        assert record.status == "allocated"
+        assert record.opaque_id == "A9173591"
+
+    def test_available_record_has_no_date(self):
+        records = list(parse_delegated(SAMPLE))
+        available = [r for r in records if r.status == "available"]
+        assert len(available) == 1
+        assert available[0].allocated_on is None
+        assert available[0].country is None
+
+    def test_asn_record(self):
+        records = list(parse_delegated(SAMPLE))
+        asn = [r for r in records if r.rtype == "asn"]
+        assert len(asn) == 1
+        assert asn[0].start == 173
+
+    def test_address_range(self):
+        record = next(parse_delegated(SAMPLE))
+        assert record.address_range.num_addresses == 256
+
+    def test_address_range_rejected_for_asn(self):
+        record = DelegatedRecord("APNIC", None, "asn", 173, 1,
+                                 None, "allocated")
+        with pytest.raises(ValueError):
+            record.address_range
+
+    def test_ipv6_skipped(self):
+        text = "2|apnic|20220330|1|19830101|20220330|+10\n" \
+               "apnic|AU|ipv6|2001:200::|35|19990813|allocated\n"
+        assert list(parse_delegated(text)) == []
+
+    def test_bad_status_rejected(self):
+        with pytest.raises(ValueError):
+            DelegatedRecord("APNIC", None, "ipv4", 0, 256, None, "bogus")
+
+    def test_short_record_raises(self):
+        with pytest.raises(ValueError):
+            list(parse_delegated("apnic|AU|ipv4|1.0.0.0|256\n"))
+
+    def test_short_header_raises(self):
+        with pytest.raises(ValueError):
+            list(parse_delegated("2|apnic|20220330\n"))
+
+    def test_ripencc_normalized(self):
+        text = ("2|ripencc|20220330|1|19830101|20220330|+00\n"
+                "ripencc|NL|ipv4|2.0.0.0|1024|20100101|allocated\n")
+        record = next(parse_delegated(text))
+        assert record.registry == "RIPE"
+
+
+class TestEmitDelegated:
+    def records(self):
+        return [
+            DelegatedRecord("APNIC", "AU", "ipv4", parse_ip("1.0.0.0"), 256,
+                            date(2011, 8, 11), "allocated", "A917"),
+            DelegatedRecord("APNIC", None, "ipv4", parse_ip("1.4.128.0"), 128,
+                            None, "available"),
+        ]
+
+    def test_round_trip(self):
+        text = emit_delegated("APNIC", date(2022, 3, 30), self.records())
+        parsed = list(parse_delegated(text))
+        assert parsed == self.records()
+
+    def test_summary_counts(self):
+        text = emit_delegated("APNIC", date(2022, 3, 30), self.records())
+        assert "apnic|*|ipv4|*|2|summary" in text
+
+    def test_ripe_registry_field(self):
+        record = DelegatedRecord("RIPE", "NL", "ipv4", parse_ip("2.0.0.0"),
+                                 1024, date(2010, 1, 1), "allocated")
+        text = emit_delegated("RIPE", date(2022, 3, 30), [record])
+        assert "ripencc|NL|ipv4|2.0.0.0|1024" in text
+        assert next(parse_delegated(text)).registry == "RIPE"

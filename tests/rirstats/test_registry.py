@@ -1,0 +1,163 @@
+"""Unit tests for repro.rirstats.registry."""
+
+from datetime import date
+
+import pytest
+
+from repro.net.prefix import IPv4Prefix
+from repro.net.timeline import DateWindow
+from repro.rirstats.registry import Allocation, ResourceRegistry
+
+P16 = IPv4Prefix.parse("103.10.0.0/16")
+P20 = IPv4Prefix.parse("103.10.0.0/20")
+OUTSIDE = IPv4Prefix.parse("8.8.8.0/24")
+
+
+@pytest.fixture
+def registry():
+    reg = ResourceRegistry()
+    reg.delegate_to_rir("APNIC", "103.0.0.0/8")
+    reg.delegate_to_rir("ARIN", "8.0.0.0/8")
+    reg.allocate(P16, "APNIC", date(2015, 1, 1), holder="examplenet",
+                 country="AU")
+    reg.allocate("103.20.0.0/16", "APNIC", date(2019, 1, 1),
+                 holder="spamco")
+    reg.allocate("8.8.0.0/16", "ARIN", date(2000, 1, 1), holder="bigco",
+                 legacy=True)
+    return reg
+
+
+class TestAllocationLifetime:
+    def test_active_on(self):
+        a = Allocation(P16.to_range(), "APNIC", "x", date(2020, 1, 1),
+                       date(2021, 1, 1))
+        assert a.active_on(date(2020, 6, 1))
+        assert not a.active_on(date(2021, 1, 1))
+        assert not a.active_on(date(2019, 12, 31))
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            Allocation(P16.to_range(), "APNIC", "x", date(2020, 1, 1),
+                       date(2019, 1, 1))
+
+
+class TestStatusQueries:
+    def test_allocated_prefix(self, registry):
+        status = registry.status_of(P20, date(2020, 1, 1))
+        assert status.is_allocated
+        assert status.rir == "APNIC"
+        assert status.holder == "examplenet"
+        assert status.since == date(2015, 1, 1)
+
+    def test_before_allocation_available(self, registry):
+        status = registry.status_of(P20, date(2010, 1, 1))
+        assert status.status == "available"
+        assert status.rir == "APNIC"
+        assert status.is_unallocated
+
+    def test_unknown_outside_all_pools(self, registry):
+        status = registry.status_of(
+            IPv4Prefix.parse("203.0.113.0/24"), date(2020, 1, 1)
+        )
+        assert status.status == "unknown"
+        assert status.is_unallocated
+
+    def test_legacy_flag(self, registry):
+        assert registry.status_of(OUTSIDE, date(2020, 1, 1)).legacy
+
+    def test_is_unallocated(self, registry):
+        assert registry.is_unallocated(
+            IPv4Prefix.parse("103.99.0.0/16"), date(2020, 1, 1)
+        )
+        assert not registry.is_unallocated(P20, date(2020, 1, 1))
+
+    def test_managing_rir(self, registry):
+        assert registry.managing_rir(P16) == "APNIC"
+        assert registry.managing_rir(OUTSIDE) == "ARIN"
+        assert registry.managing_rir(
+            IPv4Prefix.parse("203.0.113.0/24")
+        ) is None
+
+
+class TestSpaceAccounting:
+    def test_allocated_space(self, registry):
+        space = registry.allocated_space(date(2020, 1, 1))
+        assert space.contains(P16)
+        assert space.contains("8.8.0.0/16")
+
+    def test_allocated_space_by_rir(self, registry):
+        apnic = registry.allocated_space(date(2020, 1, 1), "APNIC")
+        assert apnic.contains(P16)
+        assert not apnic.contains("8.8.0.0/16")
+
+    def test_free_pool_shrinks_with_allocation(self, registry):
+        before = registry.free_pool("APNIC", date(2014, 1, 1))
+        after = registry.free_pool("APNIC", date(2020, 1, 1))
+        assert before.num_addresses - after.num_addresses == 2 * 2**16
+
+    def test_holders_of_space(self, registry):
+        holders = registry.holders_of_space(date(2020, 1, 1))
+        assert holders["examplenet"].contains(P16)
+        assert "spamco" in holders
+
+
+class TestDeallocation:
+    def test_deallocate_closes_allocation(self, registry):
+        closed = registry.deallocate(P16, date(2021, 6, 1))
+        assert len(closed) == 1
+        assert closed[0].end == date(2021, 6, 1)
+        assert registry.is_unallocated(P20, date(2021, 7, 1))
+        assert not registry.is_unallocated(P20, date(2021, 5, 1))
+
+    def test_deallocate_nothing_active_raises(self, registry):
+        with pytest.raises(ValueError):
+            registry.deallocate("103.99.0.0/16", date(2020, 1, 1))
+
+    def test_deallocations_in_window(self, registry):
+        registry.deallocate(P16, date(2021, 6, 1))
+        window = DateWindow(date(2021, 1, 1), date(2021, 12, 31))
+        ended = registry.deallocations_in(window)
+        assert len(ended) == 1
+        assert ended[0].holder == "examplenet"
+
+    def test_deallocated_by(self, registry):
+        registry.deallocate(P16, date(2021, 6, 1))
+        found = registry.deallocated_by(P20, date(2022, 1, 1))
+        assert found is not None
+        assert registry.deallocated_by(P20, date(2021, 1, 1)) is None
+        # `after` bound: deallocation must be after the given day.
+        assert registry.deallocated_by(
+            P20, date(2022, 1, 1), after=date(2021, 7, 1)
+        ) is None
+
+    def test_reallocation_after_deallocation(self, registry):
+        registry.deallocate(P16, date(2021, 6, 1))
+        registry.allocate(P16, "APNIC", date(2022, 1, 1), holder="newco")
+        status = registry.status_of(P20, date(2022, 2, 1))
+        assert status.holder == "newco"
+
+
+class TestDelegatedSnapshots:
+    def test_snapshot_contains_free_pool(self, registry):
+        text = registry.snapshot_delegated(date(2020, 1, 1), "APNIC")
+        assert "available" in text
+        assert "103.10.0.0" in text
+
+    def test_round_trip_through_snapshots(self, registry):
+        registry.deallocate(P16, date(2021, 6, 1))
+        days = [date(2020, 1, 1), date(2021, 6, 1), date(2022, 1, 1)]
+        snapshots = []
+        for day in days:
+            for rir in ("APNIC", "ARIN"):
+                snapshots.append((day, registry.snapshot_delegated(day, rir)))
+        rebuilt = ResourceRegistry.from_delegated_snapshots(snapshots)
+        # examplenet's allocation is closed on the snapshot day it vanished.
+        ended = [a for a in rebuilt.allocations() if a.end is not None]
+        assert len(ended) == 1
+        assert ended[0].holder == "examplenet"
+        assert ended[0].end == date(2021, 6, 1)
+        # Original allocation dates survive via the in-file date field.
+        assert ended[0].start == date(2015, 1, 1)
+        # Still-active allocations survive too.
+        holders = {a.holder for a in rebuilt.allocations()}
+        assert holders == {"examplenet", "spamco", "bigco"}

@@ -1,0 +1,166 @@
+"""Unit tests for repro.rpki.archive and repro.rpki.as0."""
+
+from datetime import date
+
+import pytest
+
+from repro.net.prefix import IPv4Prefix
+from repro.rpki.archive import RoaArchive
+from repro.rpki.as0 import (
+    AS0_POLICY_EVENTS,
+    as0_covered,
+    rir_as0_policy_start,
+    rir_as0_tal,
+)
+from repro.rpki.roa import Roa, RoaRecord
+from repro.rpki.tal import APNIC_AS0_TAL, TalSet
+
+P22 = IPv4Prefix.parse("132.255.0.0/22")
+P24 = IPv4Prefix.parse("132.255.0.0/24")
+UNALLOC = IPv4Prefix.parse("103.0.0.0/16")
+OTHER = IPv4Prefix.parse("10.0.0.0/24")
+
+
+@pytest.fixture
+def archive():
+    a = RoaArchive()
+    a.add(RoaRecord(Roa(P22, 263692, trust_anchor="LACNIC"),
+                    created=date(2019, 1, 1)))
+    a.add(RoaRecord(Roa(P24, 64500, max_length=25, trust_anchor="LACNIC"),
+                    created=date(2020, 1, 1), removed=date(2021, 1, 1)))
+    a.add(RoaRecord(Roa(UNALLOC, 0, max_length=32,
+                        trust_anchor=APNIC_AS0_TAL),
+                    created=date(2020, 9, 2)))
+    return a
+
+
+class TestRoaArchiveQueries:
+    def test_covering_includes_less_specifics(self, archive):
+        found = archive.covering(P24, date(2020, 6, 1))
+        assert {str(r.roa.prefix) for r in found} == {
+            "132.255.0.0/22", "132.255.0.0/24"
+        }
+
+    def test_covering_respects_lifetime(self, archive):
+        found = archive.covering(P24, date(2021, 6, 1))
+        assert {str(r.roa.prefix) for r in found} == {"132.255.0.0/22"}
+
+    def test_covered(self, archive):
+        found = archive.covered(P22, date(2020, 6, 1))
+        assert {str(r.roa.prefix) for r in found} == {
+            "132.255.0.0/22", "132.255.0.0/24"
+        }
+
+    def test_has_roa_default_tals_ignore_as0_tal(self, archive):
+        assert not archive.has_roa(UNALLOC, date(2021, 1, 1))
+        assert archive.has_roa(
+            UNALLOC, date(2021, 1, 1), TalSet.with_as0()
+        )
+
+    def test_has_roa_unsigned_prefix(self, archive):
+        assert not archive.has_roa(OTHER, date(2021, 1, 1))
+
+    def test_roas_on(self, archive):
+        roas = archive.roas_on(date(2020, 6, 1))
+        assert len(roas) == 2  # AS0-TAL ROA not trusted by default
+
+    def test_first_signed(self, archive):
+        assert archive.first_signed(P24) == date(2019, 1, 1)  # /22 covers
+        assert archive.first_signed(OTHER) is None
+        assert archive.first_signed(
+            UNALLOC, TalSet.with_as0()
+        ) == date(2020, 9, 2)
+
+    def test_signing_asns(self, archive):
+        assert archive.signing_asns(P24, date(2020, 6, 1)) == {263692, 64500}
+
+    def test_len(self, archive):
+        assert len(archive) == 3
+
+
+class TestPersistence:
+    def test_journal_round_trip(self, archive, tmp_path):
+        path = tmp_path / "roas.jsonl"
+        assert archive.write_journal(path) == 3
+        loaded = RoaArchive.read_journal(path)
+        original = sorted(
+            (str(r.roa.prefix), r.roa.asn, r.roa.max_length,
+             r.roa.trust_anchor, r.created, r.removed)
+            for r in archive.records()
+        )
+        round_tripped = sorted(
+            (str(r.roa.prefix), r.roa.asn, r.roa.max_length,
+             r.roa.trust_anchor, r.created, r.removed)
+            for r in loaded.records()
+        )
+        assert original == round_tripped
+
+    def test_csv_snapshot_round_trip(self, archive):
+        days = [date(2019, 1, 1), date(2020, 1, 1), date(2020, 9, 2),
+                date(2021, 1, 1), date(2022, 1, 1)]
+        snapshots = [(day, archive.snapshot_csv(day)) for day in days]
+        rebuilt = RoaArchive.from_snapshots(snapshots)
+        assert len(rebuilt) == len(archive)
+        # Lifetimes are recovered exactly because snapshots hit the
+        # creation/removal days.
+        original = sorted(
+            (str(r.roa.prefix), r.roa.asn, r.created, r.removed)
+            for r in archive.records()
+        )
+        round_tripped = sorted(
+            (str(r.roa.prefix), r.roa.asn, r.created, r.removed)
+            for r in rebuilt.records()
+        )
+        assert original == round_tripped
+
+    def test_csv_header_check(self):
+        with pytest.raises(ValueError):
+            RoaArchive.from_snapshots([(date(2020, 1, 1), "bad,header\n")])
+
+    def test_csv_contains_max_length(self, archive):
+        text = archive.snapshot_csv(date(2020, 6, 1))
+        assert "132.255.0.0/24,25,LACNIC" in text.replace("\r", "")
+
+
+class TestAs0Policy:
+    def test_policy_events_cover_all_rirs(self):
+        assert {e.rir for e in AS0_POLICY_EVENTS} == {
+            "APNIC", "LACNIC", "RIPE", "AFRINIC", "ARIN"
+        }
+
+    def test_apnic_implementation_date(self):
+        assert rir_as0_policy_start("APNIC") == date(2020, 9, 2)
+
+    def test_lacnic_implementation_date(self):
+        assert rir_as0_policy_start("LACNIC") == date(2021, 6, 23)
+
+    def test_unimplemented_rirs(self):
+        for rir in ("RIPE", "AFRINIC", "ARIN"):
+            assert rir_as0_policy_start(rir) is None
+            assert rir_as0_tal(rir) is None
+
+    def test_unknown_rir(self):
+        with pytest.raises(ValueError):
+            rir_as0_policy_start("NOPE")
+
+    def test_outcome_labels(self):
+        outcomes = {e.rir: e.outcome for e in AS0_POLICY_EVENTS}
+        assert outcomes["APNIC"] == "implemented"
+        assert outcomes["RIPE"] == "proposed"
+        assert outcomes["ARIN"] == "none"
+
+    def test_as0_covered_depends_on_tals(self, archive):
+        day = date(2021, 1, 1)
+        assert not as0_covered(archive, UNALLOC, day)
+        assert as0_covered(archive, UNALLOC, day, TalSet.with_as0())
+
+    def test_operator_as0_covered_by_default(self):
+        archive = RoaArchive()
+        archive.add(
+            RoaRecord(
+                Roa(P22, 0, max_length=32, trust_anchor="LACNIC"),
+                created=date(2021, 5, 5),
+            )
+        )
+        assert as0_covered(archive, P22, date(2021, 6, 1))
+        assert not as0_covered(archive, P22, date(2021, 5, 1))

@@ -1,0 +1,143 @@
+"""Unit tests for repro.rpki.roa, tal, and validation."""
+
+from datetime import date
+
+import pytest
+
+from repro.net.prefix import IPv4Prefix
+from repro.rpki.roa import Roa, RoaRecord
+from repro.rpki.tal import APNIC_AS0_TAL, LACNIC_AS0_TAL, TalSet
+from repro.rpki.validation import RouteValidity, validate_route
+
+P22 = IPv4Prefix.parse("132.255.0.0/22")
+P24 = IPv4Prefix.parse("132.255.0.0/24")
+OTHER = IPv4Prefix.parse("10.0.0.0/24")
+
+
+class TestRoa:
+    def test_effective_max_length_defaults_to_prefix(self):
+        assert Roa(P22, 263692).effective_max_length == 22
+
+    def test_max_length_validation(self):
+        with pytest.raises(ValueError):
+            Roa(P22, 263692, max_length=20)
+        with pytest.raises(ValueError):
+            Roa(P22, 263692, max_length=33)
+
+    def test_negative_asn_rejected(self):
+        with pytest.raises(ValueError):
+            Roa(P22, -1)
+
+    def test_is_as0(self):
+        assert Roa(P22, 0).is_as0
+        assert not Roa(P22, 263692).is_as0
+
+    def test_authorizes_exact(self):
+        roa = Roa(P22, 263692)
+        assert roa.authorizes(P22, 263692)
+        assert not roa.authorizes(P22, 50509)
+
+    def test_authorizes_subprefix_only_with_max_length(self):
+        tight = Roa(P22, 263692)
+        loose = Roa(P22, 263692, max_length=24)
+        assert not tight.authorizes(P24, 263692)
+        assert loose.authorizes(P24, 263692)
+
+    def test_as0_authorizes_nothing(self):
+        roa = Roa(P22, 0, max_length=32)
+        assert not roa.authorizes(P22, 0)
+        assert not roa.authorizes(P24, 263692)
+
+    def test_covers(self):
+        assert Roa(P22, 263692).covers(P24)
+        assert not Roa(P22, 263692).covers(OTHER)
+
+    def test_forged_subprefix_vulnerable(self):
+        assert Roa(P22, 263692, max_length=24).forged_subprefix_vulnerable()
+        assert not Roa(P22, 263692).forged_subprefix_vulnerable()
+        # AS0 with maxLength is not a forged-origin target.
+        assert not Roa(P22, 0, max_length=24).forged_subprefix_vulnerable()
+
+    def test_str(self):
+        assert "AS263692" in str(Roa(P22, 263692))
+
+
+class TestRoaRecord:
+    def test_active_on(self):
+        record = RoaRecord(
+            Roa(P22, 263692), date(2020, 1, 1), date(2020, 6, 1)
+        )
+        assert record.active_on(date(2020, 1, 1))
+        assert record.active_on(date(2020, 5, 31))
+        assert not record.active_on(date(2020, 6, 1))
+
+    def test_removed_before_created_rejected(self):
+        with pytest.raises(ValueError):
+            RoaRecord(Roa(P22, 263692), date(2020, 6, 1), date(2020, 1, 1))
+
+
+class TestTalSet:
+    def test_default_excludes_as0_tals(self):
+        tals = TalSet.default()
+        assert tals.trusts("RIPE")
+        assert tals.trusts("ARIN")
+        assert not tals.trusts(APNIC_AS0_TAL)
+        assert not tals.trusts(LACNIC_AS0_TAL)
+
+    def test_with_as0(self):
+        tals = TalSet.with_as0()
+        assert APNIC_AS0_TAL in tals
+        assert "RIPE" in tals
+
+    def test_of(self):
+        tals = TalSet.of(["RIPE"])
+        assert tals.trusts("RIPE")
+        assert not tals.trusts("ARIN")
+
+
+class TestValidateRoute:
+    def test_not_found_without_covering_roa(self):
+        assert validate_route(OTHER, 64500, [Roa(P22, 263692)]) is (
+            RouteValidity.NOT_FOUND
+        )
+
+    def test_valid_with_matching_roa(self):
+        assert validate_route(P22, 263692, [Roa(P22, 263692)]) is (
+            RouteValidity.VALID
+        )
+
+    def test_invalid_wrong_origin(self):
+        assert validate_route(P22, 50509, [Roa(P22, 263692)]) is (
+            RouteValidity.INVALID
+        )
+
+    def test_invalid_too_specific(self):
+        assert validate_route(P24, 263692, [Roa(P22, 263692)]) is (
+            RouteValidity.INVALID
+        )
+
+    def test_valid_wins_over_invalid(self):
+        roas = [Roa(P22, 99999), Roa(P22, 263692)]
+        assert validate_route(P22, 263692, roas) is RouteValidity.VALID
+
+    def test_as0_roa_makes_invalid(self):
+        assert validate_route(P22, 263692, [Roa(P22, 0, max_length=32)]) is (
+            RouteValidity.INVALID
+        )
+
+    def test_untrusted_tal_ignored(self):
+        roa = Roa(P22, 0, max_length=32, trust_anchor=APNIC_AS0_TAL)
+        # Default validator does not see the AS0 TAL: NOT_FOUND.
+        assert validate_route(P22, 64500, [roa]) is RouteValidity.NOT_FOUND
+        # Opt-in configuration does: INVALID.
+        assert validate_route(
+            P22, 64500, [roa], TalSet.with_as0()
+        ) is RouteValidity.INVALID
+
+    def test_rpki_valid_hijack_scenario(self):
+        """The 132.255.0.0/22 case: hijacker forges the ROA ASN as origin
+        and the announcement validates — RPKI cannot help (§6.1)."""
+        roa = Roa(P22, 263692, trust_anchor="LACNIC")
+        # Hijacker announces with origin 263692 behind AS50509 transit:
+        # origin validation sees only the origin, so the route is VALID.
+        assert validate_route(P22, 263692, [roa]) is RouteValidity.VALID

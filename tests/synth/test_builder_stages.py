@@ -1,0 +1,132 @@
+"""Unit tests for individual world-builder stages."""
+
+from datetime import date, timedelta
+
+import pytest
+
+from repro.net.prefix import IPv4Prefix
+from repro.rpki.tal import TalSet
+from repro.synth.builder import WorldBuilder
+from repro.synth.config import ScenarioConfig
+
+
+@pytest.fixture
+def builder():
+    b = WorldBuilder(ScenarioConfig.tiny())
+    b.build_platform()
+    return b
+
+
+class TestPlatformStage:
+    def test_peer_counts(self, builder):
+        cfg = builder.cfg
+        assert len(builder.peers) == (
+            cfg.full_table_peers + cfg.partial_peers
+        )
+        assert len(builder.peers.full_table_peer_ids()) == (
+            cfg.full_table_peers
+        )
+
+    def test_collectors_covered(self, builder):
+        names = {c.name for c in builder.peers.collectors()}
+        assert len(names) == builder.cfg.collectors
+
+    def test_filtering_peers_flagged(self, builder):
+        flagged = {
+            p.peer_id for p in builder.peers.peers() if p.filters_drop
+        }
+        assert flagged == builder.truth.filtering_peer_ids
+        assert len(flagged) == builder.cfg.drop_filtering_peers
+
+
+class TestAnnounceHelper:
+    def test_filtering_carveouts_before_listing(self, builder):
+        prefix = builder.carver.carve(24)
+        listed = date(2020, 6, 1)
+        interval = builder.announce(
+            prefix,
+            builder.topology.path_from_core(builder.next_asn()),
+            date(2020, 1, 1),
+            None,
+            listed=listed,
+        )
+        for peer_id in builder.truth.filtering_peer_ids:
+            assert interval.observed_by(peer_id, date(2020, 3, 1))
+            assert not interval.observed_by(peer_id, date(2020, 7, 1))
+
+    def test_filtering_peers_never_see_post_listing_announcements(
+        self, builder
+    ):
+        prefix = builder.carver.carve(24)
+        listed = date(2020, 6, 1)
+        interval = builder.announce(
+            prefix,
+            builder.topology.path_from_core(builder.next_asn()),
+            listed + timedelta(days=10),
+            None,
+            listed=listed,
+        )
+        for peer_id in builder.truth.filtering_peer_ids:
+            assert not interval.observed_by(peer_id, date(2021, 1, 1))
+        ordinary = (
+            builder.peers.full_table_peer_ids()
+            - builder.truth.filtering_peer_ids
+        )
+        assert interval.observed_by(next(iter(ordinary)), date(2021, 1, 1))
+
+
+class TestPoolStage:
+    def test_pools_match_config_at_start(self, builder):
+        builder.build_rir_pools()
+        for rir, profile in builder.cfg.regions.items():
+            pool = builder.resources.free_pool(
+                rir, builder.cfg.window.start
+            )
+            assert pool.num_addresses == pytest.approx(
+                profile.free_pool_start, rel=0.05
+            )
+
+    def test_unallocated_carving_stays_in_pool(self, builder):
+        builder.build_rir_pools()
+        prefix = builder.carve_unallocated("LACNIC", 20)
+        assert builder.resources.is_unallocated(
+            prefix, builder.cfg.window.end
+        )
+        assert builder.resources.managing_rir(prefix) == "LACNIC"
+
+
+class TestSignedSpaceStage:
+    def test_unrouted_signed_holders_recorded(self, builder):
+        builder.build_rir_pools()
+        builder.build_signed_space()
+        assert set(builder.truth.unrouted_signed_holders) == {
+            "amazon", "prudential", "alibaba"
+        }
+
+    def test_amazon_roa_event_date(self, builder):
+        builder.build_rir_pools()
+        builder.build_signed_space()
+        amazon_roas = [
+            r
+            for r in builder.roas.records()
+            if builder.resources.status_of(
+                r.roa.prefix, builder.cfg.window.end
+            ).holder == "amazon"
+        ]
+        assert amazon_roas
+        assert all(
+            r.created == builder.cfg.amazon_roa_event for r in amazon_roas
+        )
+
+    def test_prudential_space_unrouted_signed(self, builder):
+        builder.build_rir_pools()
+        builder.build_signed_space()
+        end = builder.cfg.window.end
+        holders = builder.resources.holders_of_space(end)
+        prudential = holders["prudential"]
+        assert prudential.slash8_equivalents == pytest.approx(
+            builder.cfg.prudential_unrouted_slash8, rel=0.05
+        )
+        for prefix in prudential.iter_prefixes():
+            assert not builder.bgp.is_announced(prefix, end)
+            assert builder.roas.covering(prefix, end, TalSet.default())

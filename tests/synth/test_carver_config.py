@@ -1,0 +1,89 @@
+"""Unit tests for the space carver and scenario config."""
+
+import pytest
+
+from repro.net.prefix import IPv4Prefix
+from repro.synth.builder import _RESERVED_SLASH8, SpaceCarver
+from repro.synth.config import ScenarioConfig
+
+
+class TestSpaceCarver:
+    def test_no_overlap(self):
+        carver = SpaceCarver()
+        seen = []
+        for length in (24, 16, 20, 8, 24, 12):
+            prefix = carver.carve(length)
+            for other in seen:
+                assert not prefix.overlaps(other), (prefix, other)
+            seen.append(prefix)
+
+    def test_alignment(self):
+        carver = SpaceCarver()
+        carver.carve(24)
+        p16 = carver.carve(16)
+        assert p16.network % p16.num_addresses == 0
+
+    def test_skips_reserved_slash8s(self):
+        carver = SpaceCarver()
+        for _ in range(250):
+            prefix = carver.carve(9)
+            first = prefix.network >> 24
+            last = prefix.last >> 24
+            for s8 in range(first, last + 1):
+                assert s8 not in _RESERVED_SLASH8
+
+    def test_exhaustion_raises(self):
+        carver = SpaceCarver()
+        with pytest.raises(RuntimeError):
+            for _ in range(300):
+                carver.carve(8)
+
+    def test_carve_range_contiguous(self):
+        carver = SpaceCarver()
+        r = carver.carve_range(3_000_000, align_length=12)
+        assert r.num_addresses >= 3_000_000
+        assert r.num_addresses % (1 << 20) == 0
+
+    def test_carve_slash8_equiv(self):
+        carver = SpaceCarver()
+        chunks = carver.carve_slash8_equiv(1.0, 10)
+        assert len(chunks) == 4
+        assert all(c.length == 10 for c in chunks)
+
+    def test_case_study_blocks_reserved(self):
+        # The Figure 4 prefixes must never collide with carved space.
+        for s8 in (45, 132, 187, 191, 200):
+            assert s8 in _RESERVED_SLASH8
+
+
+class TestScenarioConfig:
+    def test_paper_totals(self):
+        cfg = ScenarioConfig.paper()
+        assert cfg.total_drop_prefixes == 712
+        assert cfg.total_unallocated == 40
+        assert cfg.total_background == 194_601
+
+    def test_tiny_preserves_rates(self):
+        paper = ScenarioConfig.paper()
+        tiny = ScenarioConfig.tiny()
+        for rir in paper.regions:
+            assert (
+                tiny.regions[rir].base_signing_rate
+                == paper.regions[rir].base_signing_rate
+            )
+            assert tiny.regions[rir].background_prefixes < (
+                paper.regions[rir].background_prefixes
+            )
+        assert tiny.total_drop_prefixes == 712
+
+    def test_frozen(self):
+        cfg = ScenarioConfig.paper()
+        with pytest.raises(AttributeError):
+            cfg.seed = 1
+
+    def test_region_quotas_sum_to_table1_populations(self):
+        cfg = ScenarioConfig.paper()
+        removed = sum(p.drop_removed for p in cfg.regions.values())
+        present = sum(p.drop_present for p in cfg.regions.values())
+        assert removed == 186
+        assert present == 420

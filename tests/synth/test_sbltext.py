@@ -1,0 +1,71 @@
+"""Tests for SBL text generation: the categorizer must recover intent."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.drop.categories import Category
+from repro.drop.categorize import Categorizer
+from repro.drop.sbl import extract_asns
+from repro.net.prefix import IPv4Prefix
+from repro.synth.sbltext import sbl_text
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+
+_SINGLE = [
+    Category.HIJACKED,
+    Category.SNOWSHOE,
+    Category.KNOWN_SPAM,
+    Category.MALICIOUS_HOSTING,
+    Category.UNALLOCATED,
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("category", _SINGLE)
+    def test_single_category_recovered(self, category):
+        categorizer = Categorizer()
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            text = sbl_text(frozenset({category}), rng)
+            result = categorizer.classify_text(PREFIX, text)
+            assert result.categories == {category}, text
+
+    def test_overlap_categories_recovered(self):
+        categorizer = Categorizer()
+        rng = np.random.default_rng(2)
+        pair = frozenset({Category.SNOWSHOE, Category.HIJACKED})
+        for _ in range(20):
+            text = sbl_text(pair, rng)
+            result = categorizer.classify_text(PREFIX, text)
+            assert result.categories == pair, text
+
+    def test_keywordless_has_no_keywords(self):
+        categorizer = Categorizer()
+        rng = np.random.default_rng(3)
+        for category in _SINGLE:
+            text = sbl_text(frozenset({category}), rng, keywordless=True)
+            result = categorizer.classify_text(PREFIX, text)
+            assert result.unlabeled, text
+
+    def test_asn_mention_extractable(self):
+        rng = np.random.default_rng(4)
+        for category in _SINGLE:
+            text = sbl_text(frozenset({category}), rng, asn=50509)
+            assert 50509 in extract_asns(text), text
+
+    def test_no_asn_means_no_extraction(self):
+        rng = np.random.default_rng(5)
+        for category in _SINGLE:
+            text = sbl_text(frozenset({category}), rng)
+            assert extract_asns(text) == (), text
+
+    @given(st.integers(0, 2**31 - 1), st.sampled_from(_SINGLE))
+    @settings(max_examples=60, deadline=None)
+    def test_any_seed_any_category_classifies(self, seed, category):
+        categorizer = Categorizer()
+        rng = np.random.default_rng(seed)
+        text = sbl_text(frozenset({category}), rng)
+        result = categorizer.classify_text(PREFIX, text)
+        assert category in result.categories

@@ -1,0 +1,99 @@
+"""Tests for the AS-level topology substrate."""
+
+import numpy as np
+import pytest
+
+from repro.synth.topology import AsTopology
+
+
+@pytest.fixture
+def topology():
+    top = AsTopology.generate(np.random.default_rng(42))
+    for asn in range(70_000, 70_040):
+        top.attach_edge_network(asn)
+    return top
+
+
+class TestStructure:
+    def test_tier1_clique_peers(self, topology):
+        for a in topology.tier1:
+            for b in topology.tier1:
+                if a < b:
+                    assert topology.graph[a][b]["rel"] == "p2p"
+
+    def test_regionals_multihomed_to_tier1(self, topology):
+        for asn in topology.regional:
+            providers = topology.providers_of(asn)
+            assert 2 <= len(providers) <= 3
+            assert all(p in topology.tier1 for p in providers)
+
+    def test_edge_networks_under_regionals(self, topology):
+        providers = topology.providers_of(70_000)
+        assert 1 <= len(providers) <= 2
+        assert all(p in topology.regional for p in providers)
+
+    def test_double_attach_rejected(self, topology):
+        with pytest.raises(ValueError):
+            topology.attach_edge_network(70_000)
+
+    def test_contains(self, topology):
+        assert 70_000 in topology
+        assert 99_999 not in topology
+
+
+class TestPaths:
+    def test_path_ends_at_origin(self, topology):
+        for asn in range(70_000, 70_020):
+            path = topology.path_from_core(asn)
+            assert path.origin == asn
+
+    def test_path_starts_in_core(self, topology):
+        for asn in range(70_000, 70_020):
+            path = topology.path_from_core(asn)
+            assert path.first_hop in topology.tier1
+
+    def test_paths_are_valley_free(self, topology):
+        for asn in range(70_000, 70_040):
+            path = topology.path_from_core(asn)
+            assert topology.is_valley_free(path), str(path)
+
+    def test_unknown_origin_gets_synthetic_path(self, topology):
+        path = topology.path_from_core(88_888)
+        assert path.origin == 88_888
+        assert len(path) == 3
+        assert path.first_hop in topology.tier1
+
+    def test_path_lengths_realistic(self, topology):
+        lengths = {
+            len(topology.path_from_core(asn))
+            for asn in range(70_000, 70_040)
+        }
+        # Edge networks sit 3-4 hops from the core vantage.
+        assert lengths <= {3, 4}
+
+
+class TestValleyFreeChecker:
+    def test_valley_rejected(self, topology):
+        # Build a path that descends into an edge network then climbs
+        # back out: customer as transit = a valley.
+        edge = 70_000
+        regionals = topology.providers_of(edge)
+        if len(regionals) < 2:
+            topology2 = AsTopology.generate(np.random.default_rng(1))
+            regionals = []
+            edge = 70_001
+        from repro.bgp.messages import ASPath
+
+        if len(regionals) >= 2:
+            valley = ASPath.of(regionals[0], edge, regionals[1])
+            assert not topology.is_valley_free(valley)
+
+    def test_unknown_asn_rejected(self, topology):
+        from repro.bgp.messages import ASPath
+
+        assert not topology.is_valley_free(ASPath.of(1, 2, 3))
+
+    def test_determinism(self):
+        a = AsTopology.generate(np.random.default_rng(7))
+        b = AsTopology.generate(np.random.default_rng(7))
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())

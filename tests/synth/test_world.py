@@ -1,0 +1,162 @@
+"""World-level invariants of the synthetic generator (tiny scale)."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.drop.categories import Category
+from repro.net.prefix import IPv4Prefix
+from repro.rpki.tal import TalSet
+from repro.synth import ScenarioConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(ScenarioConfig.tiny())
+
+
+class TestPopulationCounts:
+    def test_712_unique_prefixes(self, world):
+        assert len(world.drop.unique_prefixes()) == 712
+
+    def test_526_sbl_records(self, world):
+        listed = {
+            e.prefix for e in world.drop.episodes()
+        }
+        with_record = sum(
+            1
+            for prefix in listed
+            if world.sbl.record_for_prefix(prefix) is not None
+        )
+        assert with_record == 526
+
+    def test_truth_covers_all_prefixes(self, world):
+        assert set(world.truth.drop) == set(world.drop.unique_prefixes())
+
+    def test_category_totals_match_config(self, world):
+        counts = {c: 0 for c in Category}
+        for truth in world.truth.drop.values():
+            for category in truth.categories:
+                counts[category] += 1
+        cfg = world.config
+        assert counts[Category.HIJACKED] == cfg.hijacked_prefixes
+        assert counts[Category.SNOWSHOE] == cfg.snowshoe_prefixes
+        assert counts[Category.KNOWN_SPAM] == cfg.known_spam_prefixes
+        assert counts[Category.MALICIOUS_HOSTING] == (
+            cfg.malicious_hosting_prefixes
+        )
+        assert counts[Category.UNALLOCATED] == cfg.total_unallocated
+        assert counts[Category.NO_RECORD] == cfg.no_record_prefixes
+
+
+class TestStructuralInvariants:
+    def test_listing_dates_inside_window(self, world):
+        for episode in world.drop.episodes():
+            assert episode.added in world.window
+            if episode.removed is not None:
+                assert episode.removed in world.window
+
+    def test_no_overlapping_drop_prefixes(self, world):
+        prefixes = world.drop.unique_prefixes()
+        for a, b in zip(prefixes, prefixes[1:]):
+            # Sorted by address: only nested overlap possible; the
+            # generator never lists nested prefixes separately, except
+            # the case-study /22 vs its /24s (not separately listed).
+            assert not a.overlaps(b), (a, b)
+
+    def test_unallocated_prefixes_truly_unallocated(self, world):
+        for prefix, truth in world.truth.drop.items():
+            if truth.unallocated:
+                assert world.resources.is_unallocated(prefix, truth.listed)
+            elif not truth.incident:
+                status = world.resources.status_of(prefix, truth.listed)
+                assert status.is_allocated, prefix
+
+    def test_filtering_peers_are_full_table(self, world):
+        full = world.peers.full_table_peer_ids()
+        assert world.truth.filtering_peer_ids <= full
+        assert len(world.truth.filtering_peer_ids) == 3
+
+    def test_withdrawn_truth_reflected_in_bgp(self, world):
+        for prefix, truth in world.truth.drop.items():
+            if truth.withdrawn_30d and not truth.incident:
+                assert not world.bgp.is_announced(
+                    prefix,
+                    truth.listed + timedelta(days=30),
+                    include_covering=False,
+                ), prefix
+
+    def test_hijacker_irr_objects_precede_bgp(self, world):
+        for prefix, truth in world.truth.drop.items():
+            if not truth.irr_hijacker_match:
+                continue
+            records = world.irr.exact(prefix)
+            assert records
+            first_bgp = world.bgp.first_announced(prefix)
+            assert first_bgp is not None
+
+
+class TestCaseStudyWorld:
+    def test_case_prefix_listed(self, world):
+        case = world.truth.case_study
+        assert case is not None
+        assert world.drop.is_listed(
+            case.signed_prefix, world.window.end
+        )
+
+    def test_case_roa_authorizes_hijack(self, world):
+        case = world.truth.case_study
+        covering = world.roas.covering(
+            case.signed_prefix, case.hijack_start
+        )
+        assert any(
+            r.roa.asn == case.owner_asn for r in covering
+        )
+
+    def test_hijack_announced_with_owner_origin(self, world):
+        case = world.truth.case_study
+        origins = world.bgp.origins_on(
+            case.signed_prefix, world.window.end
+        )
+        assert case.owner_asn in origins
+
+    def test_six_siblings_three_on_drop(self, world):
+        case = world.truth.case_study
+        assert len(case.sibling_prefixes) == 6
+        assert len(case.siblings_on_drop) == 3
+
+    def test_operator_as0_prefix(self, world):
+        prefix = world.truth.operator_as0_prefix
+        assert prefix == IPv4Prefix.parse("45.65.112.0/22")
+        covering = world.roas.covering(prefix, world.window.end)
+        assert any(r.roa.is_as0 for r in covering)
+
+
+class TestRirAs0World:
+    def test_as0_roas_only_under_as0_tals(self, world):
+        default = TalSet.default()
+        for record in world.roas.records():
+            if record.roa.trust_anchor.endswith("-AS0"):
+                assert record.roa.is_as0
+                assert not default.trusts(record.roa.trust_anchor)
+
+    def test_filterable_bogons_exist(self, world):
+        assert len(world.truth.as0_filterable) > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = build_world(ScenarioConfig.tiny(seed=7))
+        b = build_world(ScenarioConfig.tiny(seed=7))
+        assert sorted(map(str, a.drop.unique_prefixes())) == sorted(
+            map(str, b.drop.unique_prefixes())
+        )
+        assert len(a.bgp) == len(b.bgp)
+        assert len(a.roas) == len(b.roas)
+
+    def test_different_seed_different_world(self):
+        a = build_world(ScenarioConfig.tiny(seed=7))
+        b = build_world(ScenarioConfig.tiny(seed=8))
+        assert sorted(map(str, a.drop.unique_prefixes())) != sorted(
+            map(str, b.drop.unique_prefixes())
+        )

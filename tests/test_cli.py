@@ -1,0 +1,62 @@
+"""Tests for the repro-drop command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.reporting import EXPERIMENTS
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build"])
+
+    def test_report_defaults(self):
+        args = build_parser().parse_args(["report", "--exp", "tab1"])
+        assert args.scale == "tiny"
+        assert args.exp == ["tab1"]
+        assert not args.all
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert set(out) == set(EXPERIMENTS)
+
+    def test_report_single_experiment(self, capsys):
+        assert main(["report", "--exp", "tab2"]) == 0
+        out = capsys.readouterr().out
+        assert "Appendix A" in out
+        assert "measured" in out
+
+    def test_report_unknown_experiment(self, capsys):
+        assert main(["report", "--exp", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_report_nothing_selected(self, capsys):
+        assert main(["report"]) == 2
+        assert "nothing to run" in capsys.readouterr().err
+
+    def test_build_then_report_from_archives(self, tmp_path, capsys):
+        out_dir = tmp_path / "archives"
+        assert main(["build", "--out", str(out_dir), "--seed", "5"]) == 0
+        built = capsys.readouterr().out
+        assert "712 DROP prefixes" in built
+        assert (out_dir / "sbl.jsonl").exists()
+        assert main(
+            ["report", "--archives", str(out_dir), "--exp", "fig2-peers"]
+        ) == 0
+        report = capsys.readouterr().out
+        assert "peers filtering DROP" in report
+
+    def test_markdown(self, capsys):
+        assert main(["markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "### fig1" in out
+        assert "### ext-rov" in out
+        assert "| metric | paper | measured |" in out

@@ -1,0 +1,24 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.drop.sbl
+import repro.net.prefix
+import repro.rirstats.rirs
+
+_MODULES = [
+    repro.net.prefix,
+    repro.drop.sbl,
+    repro.rirstats.rirs,
+]
+
+
+@pytest.mark.parametrize(
+    "module", _MODULES, ids=[m.__name__ for m in _MODULES]
+)
+def test_module_doctests(module):
+    failures, tried = doctest.testmod(module)
+    assert tried > 0, f"{module.__name__} has no doctests"
+    assert failures == 0
