@@ -1,0 +1,57 @@
+"""Runtime subsystem costs: world cache and parallel experiment fan-out.
+
+The cache benches measure the cold (build + store) and warm (load) paths
+so the bench trajectory records when caching starts paying for a scale;
+the runner benches pin the parallel dispatch overhead against the serial
+registry sweep on the same world.
+"""
+
+from repro.reporting import EXPERIMENTS
+from repro.runtime import WorldCache, run_experiments, world_cache_key
+from repro.synth import ScenarioConfig
+
+
+def bench_world_cache_cold(benchmark, tmp_path_factory):
+    root = tmp_path_factory.mktemp("cache-cold")
+
+    def cold():
+        cache = WorldCache(root / world_cache_key(ScenarioConfig.tiny()))
+        return cache.fetch(ScenarioConfig.tiny(), refresh=True)
+
+    outcome = benchmark.pedantic(cold, rounds=1, iterations=1)
+    assert outcome.status == "refresh"
+
+
+def bench_world_cache_warm(benchmark, tmp_path_factory):
+    cache = WorldCache(tmp_path_factory.mktemp("cache-warm"))
+    assert cache.fetch(ScenarioConfig.tiny()).status == "miss"
+
+    outcome = benchmark.pedantic(
+        lambda: cache.fetch(ScenarioConfig.tiny()), rounds=1, iterations=1
+    )
+    assert outcome.status == "hit"
+    assert len(outcome.world.drop.unique_prefixes()) == 712
+
+
+def bench_experiments_serial(benchmark, world, entries):
+    outcome = benchmark.pedantic(
+        lambda: run_experiments(
+            world, list(EXPERIMENTS), jobs=1, entries=entries
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.ok
+    assert len(outcome.reports) == len(EXPERIMENTS)
+
+
+def bench_experiments_parallel_jobs4(benchmark, world, entries):
+    outcome = benchmark.pedantic(
+        lambda: run_experiments(
+            world, list(EXPERIMENTS), jobs=4, entries=entries
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.ok
+    assert len(outcome.reports) == len(EXPERIMENTS)

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from datetime import date
 
-from ..net.prefix import slash8_equivalents
 from ..net.prefixset import PrefixSet
 from ..net.timeline import month_starts
 from ..rirstats.rirs import ALL_RIRS

@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from datetime import timedelta
 
-from ..net.prefix import IPv4Prefix
 from ..rirstats.rirs import ALL_RIRS
 from ..synth.world import World
 from .common import DropEntryView, load_entries

@@ -16,7 +16,6 @@ not, even though they announce far more prefixes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from datetime import timedelta
 
 from ..synth.world import World
 from .common import DropEntryView, load_entries

@@ -17,7 +17,7 @@ compact frozenset of peer ids.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from datetime import date, timedelta
 from typing import Callable, Iterable, Iterator
 

@@ -4,11 +4,16 @@ Installed as ``repro-drop``::
 
     repro-drop build --scale tiny --out ./archives
     repro-drop report --exp tab1 --exp fig5
-    repro-drop report --all
+    repro-drop report --all --jobs 4 --timings
     repro-drop markdown > EXPERIMENTS-run.md
 
 ``report``/``markdown`` accept either ``--scale`` (build a fresh world)
 or ``--archives DIR`` (load one previously written by ``build``).
+Generated worlds are cached content-addressed under
+``~/.cache/repro-drop`` (``$REPRO_CACHE_DIR``), so repeat runs skip the
+build; ``--no-cache`` bypasses and ``--refresh-cache`` rebuilds the
+entry.  ``--jobs N`` (or ``$REPRO_JOBS``) fans the experiments out over
+worker processes; output is byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -16,13 +21,20 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+from time import perf_counter
 
-from .analysis import load_entries
 from .reporting import (
     EXPERIMENTS,
     render_markdown,
     render_text,
-    run_experiment,
+)
+from .runtime import (
+    Instrumentation,
+    RunOutcome,
+    WorldCache,
+    default_jobs,
+    run_experiments,
+    world_sizes,
 )
 from .synth import ScenarioConfig, World, build_world, load_world, save_world
 
@@ -52,12 +64,109 @@ def _add_world_source(parser: argparse.ArgumentParser) -> None:
         help="load a world from a directory written by 'build' "
         "instead of generating one",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="experiment worker processes (default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always rebuild the world; skip the on-disk cache entirely",
+    )
+    parser.add_argument(
+        "--refresh-cache",
+        action="store_true",
+        help="rebuild the world and overwrite its cache entry",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="world cache root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-drop)",
+    )
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="emit stage/experiment timings JSON (report: stdout after "
+        "the reports; markdown: stderr)",
+    )
+    parser.add_argument(
+        "--timings-out",
+        type=Path,
+        default=None,
+        help="also write the timings JSON to FILE",
+    )
 
 
-def _resolve_world(args: argparse.Namespace) -> World:
+def _resolve_world(
+    args: argparse.Namespace, instr: Instrumentation
+) -> tuple[World, Path | None]:
+    """The world to measure, plus a directory workers can reload it from."""
     if args.archives is not None:
-        return load_world(args.archives)
-    return build_world(_SCALES[args.scale](seed=args.seed))
+        with instr.stage("archive-load", group="cache"):
+            world = load_world(args.archives)
+        instr.annotate("world_cache", {"status": "archives"})
+        instr.annotate("world_sizes", world_sizes(world))
+        return world, args.archives
+    config = _SCALES[args.scale](seed=args.seed)
+    if args.no_cache:
+        world = build_world(config, instrumentation=instr)
+        instr.annotate("world_cache", {"status": "bypass"})
+        instr.annotate("world_sizes", world_sizes(world))
+        return world, None
+    cache = WorldCache(args.cache_dir)
+    outcome = cache.fetch(
+        config, instrumentation=instr, refresh=args.refresh_cache
+    )
+    instr.annotate(
+        "world_cache",
+        {
+            "status": outcome.status,
+            "key": outcome.key,
+            "directory": str(outcome.directory),
+        },
+    )
+    return outcome.world, outcome.directory
+
+
+def _run_selected(
+    args: argparse.Namespace, wanted: list[str]
+) -> tuple[RunOutcome, Instrumentation]:
+    instr = Instrumentation()
+    started = perf_counter()
+    world, directory = _resolve_world(args, instr)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    instr.annotate("jobs", jobs)
+    instr.annotate("experiment_ids", wanted)
+    outcome = run_experiments(
+        world, wanted, jobs=jobs, directory=directory, instrumentation=instr
+    )
+    instr.annotate("wall_seconds", round(perf_counter() - started, 6))
+    return outcome, instr
+
+
+def _emit_timings(
+    args: argparse.Namespace, instr: Instrumentation, stream
+) -> None:
+    if not (args.timings or args.timings_out):
+        return
+    payload = instr.to_json()
+    if args.timings_out is not None:
+        args.timings_out.write_text(payload + "\n")
+    if args.timings:
+        print(payload, file=stream)
+
+
+def _report_failures(outcome: RunOutcome) -> int:
+    for failure in outcome.failures:
+        print(
+            f"experiment {failure.exp_id} failed:\n{failure.error}",
+            file=sys.stderr,
+        )
+    return 0 if outcome.ok else 1
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -88,22 +197,21 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}",
               file=sys.stderr)
         return 2
-    world = _resolve_world(args)
-    entries = load_entries(world)
-    for exp_id in wanted:
-        print(render_text(run_experiment(world, exp_id, entries)))
+    outcome, instr = _run_selected(args, wanted)
+    for report in outcome.reports:
+        print(render_text(report))
         print()
-    return 0
+    status = _report_failures(outcome)
+    _emit_timings(args, instr, sys.stdout)
+    return status
 
 
 def _cmd_markdown(args: argparse.Namespace) -> int:
-    world = _resolve_world(args)
-    entries = load_entries(world)
-    reports = [
-        run_experiment(world, exp_id, entries) for exp_id in EXPERIMENTS
-    ]
-    print(render_markdown(reports))
-    return 0
+    outcome, instr = _run_selected(args, list(EXPERIMENTS))
+    print(render_markdown(list(outcome.reports)))
+    status = _report_failures(outcome)
+    _emit_timings(args, instr, sys.stderr)
+    return status
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -19,7 +19,7 @@ records); two prefixes could not be labeled at all.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from ..net.prefix import IPv4Prefix

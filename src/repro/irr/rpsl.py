@@ -15,8 +15,7 @@ blank-line object separation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from datetime import date
+from dataclasses import dataclass
 from typing import Iterator
 
 from ..net.asn import parse_asn

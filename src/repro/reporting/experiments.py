@@ -9,7 +9,7 @@ EXPERIMENTS.md generation — one source of truth for "did we reproduce it".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..analysis import (
@@ -100,10 +100,20 @@ def run_experiment(
     return EXPERIMENTS[exp_id](world, entries)
 
 
-def run_all(world: World) -> list[ExperimentReport]:
-    """Run every registered experiment, in registry order."""
-    entries = load_entries(world)
-    return [fn(world, entries) for fn in EXPERIMENTS.values()]
+def run_all(
+    world: World,
+    exp_ids: list[str] | None = None,
+    entries: list[DropEntryView] | None = None,
+) -> list[ExperimentReport]:
+    """Run experiments serially — all of them, or just ``exp_ids``.
+
+    ``entries`` lets callers (the parallel runner, benchmarks) reuse an
+    already-computed entry view instead of re-joining the archives.
+    """
+    if entries is None:
+        entries = load_entries(world)
+    ids = list(EXPERIMENTS) if exp_ids is None else list(exp_ids)
+    return [EXPERIMENTS[exp_id](world, entries) for exp_id in ids]
 
 
 def render_text(report: ExperimentReport) -> str:

@@ -1,0 +1,44 @@
+"""Runtime: world cache, parallel experiment dispatch, instrumentation.
+
+The subsystem that makes reproduction runs fast without changing a
+single measured byte:
+
+* :mod:`repro.runtime.cache` — a content-addressed on-disk world cache
+  keyed by config hash + generator version;
+* :mod:`repro.runtime.runner` — the parallel experiment runner with
+  deterministic ordering and per-experiment error isolation;
+* :mod:`repro.runtime.instrument` — stage timers / counters behind
+  ``repro-drop report --timings``.
+"""
+
+from .cache import (
+    CACHE_DIR_ENV,
+    CacheOutcome,
+    WorldCache,
+    default_cache_root,
+    world_cache_key,
+)
+from .instrument import Instrumentation, StageRecord, world_sizes
+from .runner import (
+    JOBS_ENV,
+    ExperimentFailure,
+    RunOutcome,
+    default_jobs,
+    run_experiments,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CacheOutcome",
+    "ExperimentFailure",
+    "Instrumentation",
+    "JOBS_ENV",
+    "RunOutcome",
+    "StageRecord",
+    "WorldCache",
+    "default_cache_root",
+    "default_jobs",
+    "run_experiments",
+    "world_cache_key",
+    "world_sizes",
+]

@@ -1,0 +1,172 @@
+"""Content-addressed world cache.
+
+Building a synthetic world is deterministic in its
+:class:`~repro.synth.config.ScenarioConfig`, so worlds are cached on
+disk keyed by a stable hash of the config plus the generator version.
+Entries persist through the ordinary :func:`~repro.synth.archive.save_world`
+/ :func:`~repro.synth.archive.load_world` round-trip (daily DROP
+snapshots, so episode dates reload exactly and analyses stay
+byte-identical with a fresh build).
+
+Layout: ``<root>/worlds/<key>/`` where ``root`` defaults to
+``~/.cache/repro-drop`` (``$REPRO_CACHE_DIR`` overrides; honors
+``$XDG_CACHE_HOME``).  Writes are atomic — the world is saved into a
+temporary sibling directory and renamed into place — and loads are
+corruption-tolerant: any failure to reload an entry evicts it and falls
+back to a rebuild.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..synth import ScenarioConfig, World, build_world, load_world, save_world
+from ..synth.builder import GENERATOR_VERSION
+from .instrument import Instrumentation, world_sizes
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CacheOutcome",
+    "WorldCache",
+    "default_cache_root",
+    "world_cache_key",
+]
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Version of the on-disk cache layout itself (key derivation, snapshot
+#: density).  Bump to orphan every existing entry.
+_CACHE_FORMAT = 1
+
+
+def default_cache_root() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-drop``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-drop"
+
+
+def world_cache_key(config: ScenarioConfig) -> str:
+    """The content address of the world ``config`` would build.
+
+    Any config field, the generator version, or the cache format
+    changing yields a fresh key, so stale entries are never reused.
+    """
+    payload = json.dumps(
+        {
+            "cache_format": _CACHE_FORMAT,
+            "generator": GENERATOR_VERSION,
+            "config": config.canonical_dict(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True, slots=True)
+class CacheOutcome:
+    """A fetched world plus how the cache resolved it."""
+
+    world: World
+    #: ``"hit"`` (loaded from disk), ``"miss"`` (built and stored), or
+    #: ``"refresh"`` (rebuild forced by the caller).
+    status: str
+    key: str
+    directory: Path
+
+
+class WorldCache:
+    """Fetches worlds by config, building and storing on miss."""
+
+    def __init__(self, root: Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    def directory_for(self, config: ScenarioConfig) -> Path:
+        """Where the entry for ``config`` lives (existing or not)."""
+        return self.root / "worlds" / world_cache_key(config)
+
+    def fetch(
+        self,
+        config: ScenarioConfig,
+        *,
+        instrumentation: Instrumentation | None = None,
+        refresh: bool = False,
+    ) -> CacheOutcome:
+        """The world for ``config``: cached if possible, else built.
+
+        A loaded world carries the caller's full ``config`` (the archive
+        round-trip keeps only seed + window), so analyses that read
+        generator parameters behave identically on either path.  Ground
+        truth is not cached — cache hits are measurement-only worlds,
+        exactly like loading real archives.
+        """
+        instr = instrumentation or Instrumentation()
+        key = world_cache_key(config)
+        directory = self.root / "worlds" / key
+        if not refresh and directory.exists():
+            try:
+                with instr.stage("cache-load", group="cache"):
+                    world = load_world(directory)
+            except Exception:
+                # Truncated or corrupt entry (interrupted writer, disk
+                # fault): evict and rebuild below.
+                shutil.rmtree(directory, ignore_errors=True)
+                instr.incr("world_cache_evictions")
+            else:
+                world.config = config
+                instr.incr("world_cache_hits")
+                instr.annotate("world_sizes", world_sizes(world))
+                return CacheOutcome(world, "hit", key, directory)
+        instr.incr("world_cache_misses")
+        world = build_world(config, instrumentation=instr)
+        instr.annotate("world_sizes", world_sizes(world))
+        self._store(world, directory, instr)
+        return CacheOutcome(
+            world, "refresh" if refresh else "miss", key, directory
+        )
+
+    def _store(
+        self, world: World, directory: Path, instr: Instrumentation
+    ) -> None:
+        """Atomically persist ``world`` as the entry at ``directory``."""
+        directory.parent.mkdir(parents=True, exist_ok=True)
+        staging = Path(
+            tempfile.mkdtemp(
+                dir=directory.parent, prefix=f".{directory.name}-"
+            )
+        )
+        try:
+            with instr.stage("cache-store", group="cache"):
+                # Daily snapshots so DROP episode dates reload exactly.
+                save_world(world, staging, drop_step_days=1)
+                (staging / "cache-key.json").write_text(
+                    json.dumps(
+                        {
+                            "key": directory.name,
+                            "generator": GENERATOR_VERSION,
+                            "config": world.config.canonical_dict(),
+                        },
+                        indent=2,
+                        sort_keys=True,
+                    )
+                )
+            if directory.exists():
+                # refresh, or a concurrent writer won: replace our target.
+                shutil.rmtree(directory, ignore_errors=True)
+            os.rename(staging, directory)
+        except OSError:
+            # Lost a rename race; the winner's entry is equivalent.
+            shutil.rmtree(staging, ignore_errors=True)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise

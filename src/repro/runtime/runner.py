@@ -1,0 +1,179 @@
+"""Parallel experiment runner.
+
+Fans the :data:`~repro.reporting.experiments.EXPERIMENTS` registry out
+over a :class:`~concurrent.futures.ProcessPoolExecutor`.  The expensive
+shared state (the world and its entry view) is established once: on
+POSIX the workers fork it from the parent; under spawn/forkserver the
+initializer reloads the world from the cache entry (or rebuilds it from
+the config), so results are identical either way.
+
+Guarantees:
+
+* **deterministic ordering** — reports come back in the order the
+  experiment ids were requested, regardless of completion order;
+* **error isolation** — one failing experiment becomes an
+  :class:`ExperimentFailure` in the outcome instead of killing the run;
+* **byte-identical output** — a parallel run renders exactly what the
+  serial run renders (asserted by the golden regression tests).
+
+``--jobs N`` on the CLI and the ``REPRO_JOBS`` environment variable
+select the worker count; ``jobs <= 1`` runs serially in-process.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+
+from ..analysis import load_entries
+from ..analysis.common import DropEntryView
+from ..reporting import EXPERIMENTS, ExperimentReport, run_experiment
+from ..synth import ScenarioConfig, World, build_world, load_world
+from .instrument import Instrumentation
+
+__all__ = [
+    "JOBS_ENV",
+    "ExperimentFailure",
+    "RunOutcome",
+    "default_jobs",
+    "run_experiments",
+]
+
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """The worker count from ``$REPRO_JOBS`` (default 1 = serial)."""
+    raw = os.environ.get(JOBS_ENV, "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentFailure:
+    """One experiment that raised instead of reporting."""
+
+    exp_id: str
+    error: str
+
+
+@dataclass(frozen=True, slots=True)
+class RunOutcome:
+    """Every requested experiment, resolved to a report or a failure."""
+
+    reports: tuple[ExperimentReport, ...]
+    failures: tuple[ExperimentFailure, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when every experiment produced a report."""
+        return not self.failures
+
+
+#: Worker-process state: ``(world, entries)``.  Set in the parent before
+#: the pool is created so forked workers inherit it without reloading.
+_WORKER_STATE: tuple[World, list[DropEntryView]] | None = None
+
+
+def _init_worker(
+    directory: str | None, config: ScenarioConfig | None
+) -> None:
+    global _WORKER_STATE
+    if _WORKER_STATE is not None:  # forked: inherited from the parent
+        return
+    if directory is not None:
+        world = load_world(Path(directory))
+        if config is not None:
+            world.config = config
+    elif config is not None:
+        world = build_world(config)
+    else:  # pragma: no cover - guarded by run_experiments
+        raise RuntimeError("worker has neither a world directory nor a config")
+    _WORKER_STATE = (world, load_entries(world))
+
+
+def _run_one(exp_id: str):
+    assert _WORKER_STATE is not None
+    world, entries = _WORKER_STATE
+    started = perf_counter()
+    try:
+        report = run_experiment(world, exp_id, entries)
+        return exp_id, report, perf_counter() - started, None
+    except Exception:
+        return exp_id, None, perf_counter() - started, traceback.format_exc()
+
+
+def run_experiments(
+    world: World,
+    exp_ids: list[str],
+    *,
+    jobs: int = 1,
+    directory: Path | None = None,
+    entries: list[DropEntryView] | None = None,
+    instrumentation: Instrumentation | None = None,
+) -> RunOutcome:
+    """Run ``exp_ids`` against ``world``, serially or in parallel.
+
+    ``directory`` (a cache entry or an archives directory holding this
+    world) lets spawned workers load the world when fork inheritance is
+    unavailable.  Per-experiment wall times land in ``instrumentation``
+    under the ``"experiment"`` group.
+    """
+    global _WORKER_STATE
+    instr = instrumentation or Instrumentation()
+    exp_ids = list(exp_ids)
+    unknown = [e for e in exp_ids if e not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment(s): {', '.join(unknown)}")
+    if entries is None:
+        with instr.stage("load-entries", group="run"):
+            entries = load_entries(world)
+
+    results: dict[str, tuple]
+    if jobs <= 1 or len(exp_ids) <= 1:
+        _WORKER_STATE = (world, entries)
+        try:
+            results = {e: _run_one(e) for e in exp_ids}
+        finally:
+            _WORKER_STATE = None
+    else:
+        _WORKER_STATE = (world, entries)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(exp_ids)),
+                initializer=_init_worker,
+                initargs=(
+                    str(directory) if directory is not None else None,
+                    world.config,
+                ),
+            ) as pool:
+                futures = {e: pool.submit(_run_one, e) for e in exp_ids}
+                results = {}
+                for exp_id in exp_ids:
+                    try:
+                        results[exp_id] = futures[exp_id].result()
+                    except Exception as error:
+                        # The worker died outright (e.g. a broken pool);
+                        # isolate it like an in-experiment failure.
+                        results[exp_id] = (
+                            exp_id, None, 0.0, f"{type(error).__name__}: {error}"
+                        )
+        finally:
+            _WORKER_STATE = None
+
+    reports: list[ExperimentReport] = []
+    failures: list[ExperimentFailure] = []
+    for exp_id in exp_ids:
+        _, report, seconds, error = results[exp_id]
+        instr.record(exp_id, seconds, group="experiment")
+        if error is not None:
+            failures.append(ExperimentFailure(exp_id, error))
+        else:
+            reports.append(report)
+    return RunOutcome(tuple(reports), tuple(failures))

@@ -42,7 +42,17 @@ from .scenarios import build_case_study, build_drop_population
 from .topology import AsTopology
 from .world import GroundTruth, World
 
-__all__ = ["SpaceCarver", "WorldBuilder", "build_world"]
+__all__ = [
+    "GENERATOR_VERSION",
+    "SpaceCarver",
+    "WorldBuilder",
+    "build_world",
+]
+
+#: Version of the generation algorithm.  Bump whenever a builder change
+#: alters the produced world for an unchanged config — the world cache
+#: keys on it, so stale cached worlds invalidate automatically.
+GENERATOR_VERSION = 1
 
 #: /8s the carver never hands out: special-purpose space plus the blocks
 #: used verbatim by the Figure 4 case study and the §6.2.1 operator-AS0
@@ -118,8 +128,15 @@ class SpaceCarver:
 class WorldBuilder:
     """Builds a :class:`~repro.synth.world.World` from a config."""
 
-    def __init__(self, config: ScenarioConfig) -> None:
+    def __init__(
+        self, config: ScenarioConfig, *, instrumentation=None
+    ) -> None:
         self.cfg = config
+        if instrumentation is None:
+            from ..runtime.instrument import Instrumentation
+
+            instrumentation = Instrumentation()
+        self.instrumentation = instrumentation
         seeds = np.random.SeedSequence(config.seed).spawn(9)
         self.rng_platform = np.random.default_rng(seeds[0])
         self.rng_space = np.random.default_rng(seeds[1])
@@ -675,15 +692,20 @@ class WorldBuilder:
     # -- orchestration -----------------------------------------------------------------------
 
     def build(self) -> World:
-        """Run every stage and return the finished world."""
-        self.build_platform()
-        self.build_rir_pools()
-        self.build_signed_space()
-        self.build_unrouted_unsigned()
-        self.build_background()
-        build_drop_population(self)
-        build_case_study(self)
-        self.build_rir_as0()
+        """Run every stage (timed) and return the finished world."""
+        stages = (
+            ("platform", self.build_platform),
+            ("rir-pools", self.build_rir_pools),
+            ("signed-space", self.build_signed_space),
+            ("unrouted-unsigned", self.build_unrouted_unsigned),
+            ("background", self.build_background),
+            ("drop-population", lambda: build_drop_population(self)),
+            ("case-study", lambda: build_case_study(self)),
+            ("rir-as0", self.build_rir_as0),
+        )
+        for name, run_stage in stages:
+            with self.instrumentation.stage(name, group="build"):
+                run_stage()
         return World(
             config=self.cfg,
             window=self.cfg.window,
@@ -699,6 +721,15 @@ class WorldBuilder:
         )
 
 
-def build_world(config: ScenarioConfig | None = None) -> World:
-    """Build a world from ``config`` (default: paper scale)."""
-    return WorldBuilder(config or ScenarioConfig.paper()).build()
+def build_world(
+    config: ScenarioConfig | None = None, *, instrumentation=None
+) -> World:
+    """Build a world from ``config`` (default: paper scale).
+
+    With ``instrumentation`` given, per-stage wall times are recorded
+    into it (group ``"build"``).
+    """
+    builder = WorldBuilder(
+        config or ScenarioConfig.paper(), instrumentation=instrumentation
+    )
+    return builder.build()

@@ -13,7 +13,9 @@ per-subsystem ``numpy`` generators, making any config bit-reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 from datetime import date
 
 from ..net.timeline import STUDY_END, STUDY_START, DateWindow
@@ -254,6 +256,34 @@ class ScenarioConfig:
     def total_background(self) -> int:
         """Never-on-DROP population (paper: 195.6K)."""
         return sum(p.background_prefixes for p in self.regions.values())
+
+    # -- content addressing ------------------------------------------------------------
+
+    def canonical_dict(self) -> dict:
+        """A stable, JSON-able view of every generator input.
+
+        Dates flatten to ISO strings and mappings keep deterministic key
+        order, so two configs with equal parameters always canonicalize
+        to the same document — the basis of the world-cache key.
+        """
+
+        def flatten(value):
+            if isinstance(value, date):
+                return value.isoformat()
+            if isinstance(value, dict):
+                return {k: flatten(value[k]) for k in sorted(value)}
+            if isinstance(value, (list, tuple)):
+                return [flatten(v) for v in value]
+            return value
+
+        return flatten(asdict(self))
+
+    def content_hash(self) -> str:
+        """SHA-256 of the canonical config document (hex digest)."""
+        payload = json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     # -- presets -----------------------------------------------------------------------
 

@@ -20,7 +20,7 @@ would populate from the archives, so analyses cannot tell the difference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from datetime import date, timedelta
 from typing import TYPE_CHECKING
 

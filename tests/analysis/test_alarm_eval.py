@@ -44,7 +44,6 @@ class TestAlarmEvaluation:
                 assert item.lead_days >= 0
 
     def test_empty_world_safe(self):
-        from repro.synth.world import GroundTruth, World
         # Degenerate call: no hijacks at all.
         tiny = build_world(ScenarioConfig.tiny(seed=3))
         entries = [

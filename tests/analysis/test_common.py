@@ -2,7 +2,6 @@
 
 from datetime import date
 
-import pytest
 
 from repro.analysis.common import DropEntryView, detect_incidents
 from repro.drop.categories import Category

@@ -1,0 +1,15 @@
+"""Suite-wide fixtures.
+
+Every test runs against an isolated world cache under pytest's base
+temporary directory — never the operator's ``~/.cache/repro-drop`` — so
+the suite is hermetic while CLI tests within one session still share
+cache hits with each other.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_world_cache(tmp_path_factory, monkeypatch):
+    root = tmp_path_factory.getbasetemp() / "world-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(root))

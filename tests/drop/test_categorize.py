@@ -3,7 +3,7 @@
 import pytest
 
 from repro.drop.categories import Category
-from repro.drop.categorize import Categorizer, ClassificationResult
+from repro.drop.categorize import Categorizer
 from repro.net.prefix import IPv4Prefix
 
 PREFIX = IPv4Prefix.parse("192.0.2.0/24")

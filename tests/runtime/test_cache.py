@@ -1,0 +1,112 @@
+"""Unit tests for the content-addressed world cache."""
+
+import pytest
+
+from repro.runtime import (
+    Instrumentation,
+    WorldCache,
+    default_cache_root,
+    world_cache_key,
+)
+from repro.synth import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def cache_and_first(tmp_path_factory):
+    """A cache with one tiny entry already fetched (the expensive part)."""
+    root = tmp_path_factory.mktemp("world-cache")
+    cache = WorldCache(root)
+    instr = Instrumentation()
+    outcome = cache.fetch(ScenarioConfig.tiny(), instrumentation=instr)
+    return cache, outcome, instr
+
+
+class TestCacheKey:
+    def test_stable_across_equal_configs(self):
+        assert world_cache_key(ScenarioConfig.tiny()) == world_cache_key(
+            ScenarioConfig.tiny()
+        )
+
+    def test_differs_by_seed_and_scale(self):
+        keys = {
+            world_cache_key(ScenarioConfig.tiny()),
+            world_cache_key(ScenarioConfig.tiny(seed=5)),
+            world_cache_key(ScenarioConfig.small()),
+            world_cache_key(ScenarioConfig.paper()),
+        }
+        assert len(keys) == 4
+
+    def test_content_hash_covers_region_profiles(self):
+        base = ScenarioConfig.tiny()
+        assert base.content_hash() == ScenarioConfig.tiny().content_hash()
+        assert (
+            ScenarioConfig.tiny().canonical_dict()["regions"].keys()
+            == base.regions.keys()
+        )
+
+    def test_default_root_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_root() == tmp_path / "custom"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_root() == tmp_path / "xdg" / "repro-drop"
+
+
+class TestFetch:
+    def test_miss_builds_and_stores(self, cache_and_first):
+        cache, outcome, instr = cache_and_first
+        assert outcome.status == "miss"
+        assert outcome.directory.is_dir()
+        assert (outcome.directory / "config.json").exists()
+        assert (outcome.directory / "cache-key.json").exists()
+        assert instr.counters.get("world_cache_misses") == 1
+        # No stray staging directories survive the atomic rename.
+        leftovers = [
+            p
+            for p in outcome.directory.parent.iterdir()
+            if p.name.startswith(".")
+        ]
+        assert leftovers == []
+
+    def test_hit_loads_and_restores_config(self, cache_and_first):
+        cache, first, _ = cache_and_first
+        instr = Instrumentation()
+        config = ScenarioConfig.tiny()
+        outcome = cache.fetch(config, instrumentation=instr)
+        assert outcome.status == "hit"
+        assert outcome.key == first.key
+        assert instr.counters.get("world_cache_hits") == 1
+        # The archive round-trip keeps only seed+window; the cache must
+        # hand back the caller's full config (regions, rates, ...).
+        assert outcome.world.config == config
+        assert len(outcome.world.drop.unique_prefixes()) == 712
+        # Cache hits are measurement-only worlds: no ground truth.
+        assert not outcome.world.truth.drop
+
+    def test_corrupt_entry_falls_back_to_rebuild(self, cache_and_first):
+        cache, first, _ = cache_and_first
+        (first.directory / "config.json").write_text("{ truncated")
+        instr = Instrumentation()
+        outcome = cache.fetch(ScenarioConfig.tiny(), instrumentation=instr)
+        assert outcome.status == "miss"
+        assert instr.counters.get("world_cache_evictions") == 1
+        assert instr.counters.get("world_cache_misses") == 1
+        # The rebuilt entry is whole again and hits on the next fetch.
+        again = cache.fetch(ScenarioConfig.tiny())
+        assert again.status == "hit"
+
+    def test_refresh_overwrites_entry(self, cache_and_first):
+        cache, first, _ = cache_and_first
+        marker = first.directory / "stale-marker"
+        marker.write_text("old entry")
+        outcome = cache.fetch(ScenarioConfig.tiny(), refresh=True)
+        assert outcome.status == "refresh"
+        assert not marker.exists()
+
+    def test_distinct_configs_get_distinct_directories(
+        self, cache_and_first
+    ):
+        cache, first, _ = cache_and_first
+        other = cache.directory_for(ScenarioConfig.tiny(seed=5))
+        assert other != first.directory
+        assert other.parent == first.directory.parent

@@ -1,0 +1,78 @@
+"""Unit tests for the stage-instrumentation collector."""
+
+import json
+
+from repro.runtime import Instrumentation, world_sizes
+from repro.synth import ScenarioConfig, build_world
+
+
+class TestInstrumentation:
+    def test_stage_records_wall_time(self):
+        instr = Instrumentation()
+        with instr.stage("alpha"):
+            pass
+        with instr.stage("beta", group="experiment"):
+            pass
+        assert [s.name for s in instr.stages] == ["alpha", "beta"]
+        assert all(s.seconds >= 0 for s in instr.stages)
+        assert [s.name for s in instr.group("experiment")] == ["beta"]
+
+    def test_stage_records_even_on_error(self):
+        instr = Instrumentation()
+        try:
+            with instr.stage("boom"):
+                raise RuntimeError("stage body failed")
+        except RuntimeError:
+            pass
+        assert [s.name for s in instr.stages] == ["boom"]
+
+    def test_counters_and_annotations(self):
+        instr = Instrumentation()
+        instr.incr("hits")
+        instr.incr("hits", 2)
+        instr.annotate("jobs", 4)
+        assert instr.counters == {"hits": 3}
+        assert instr.info == {"jobs": 4}
+
+    def test_to_dict_groups_stages(self):
+        instr = Instrumentation()
+        with instr.stage("build-a"):
+            pass
+        with instr.stage("fig1", group="experiment"):
+            pass
+        payload = instr.to_dict()
+        assert payload["schema"] == 1
+        assert [s["name"] for s in payload["stages"]["build"]] == ["build-a"]
+        assert [s["name"] for s in payload["stages"]["experiment"]] == [
+            "fig1"
+        ]
+        assert payload["total_seconds"] >= 0
+
+    def test_json_round_trips(self):
+        instr = Instrumentation()
+        with instr.stage("only"):
+            pass
+        assert json.loads(instr.to_json()) == json.loads(
+            json.dumps(instr.to_dict(), sort_keys=True)
+        )
+
+
+class TestBuilderHooks:
+    def test_build_world_records_every_stage(self):
+        instr = Instrumentation()
+        world = build_world(ScenarioConfig.tiny(), instrumentation=instr)
+        names = [s.name for s in instr.group("build")]
+        assert names == [
+            "platform",
+            "rir-pools",
+            "signed-space",
+            "unrouted-unsigned",
+            "background",
+            "drop-population",
+            "case-study",
+            "rir-as0",
+        ]
+        sizes = world_sizes(world)
+        assert sizes["drop_prefixes"] == 712
+        assert sizes["bgp_intervals"] == len(world.bgp)
+        assert all(count > 0 for count in sizes.values())

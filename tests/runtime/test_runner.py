@@ -1,0 +1,107 @@
+"""Unit tests for the parallel experiment runner."""
+
+import pytest
+
+from repro.analysis import load_entries
+from repro.reporting import EXPERIMENTS
+from repro.runtime import (
+    Instrumentation,
+    WorldCache,
+    default_jobs,
+    run_experiments,
+)
+from repro.synth import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def cached_world(tmp_path_factory):
+    """A tiny world with an on-disk cache entry for spawn-path workers."""
+    cache = WorldCache(tmp_path_factory.mktemp("runner-cache"))
+    outcome = cache.fetch(ScenarioConfig.tiny())
+    return outcome.world, outcome.directory
+
+
+@pytest.fixture(scope="module")
+def entries(cached_world):
+    world, _ = cached_world
+    return load_entries(world)
+
+
+SUBSET = ["fig1", "tab1", "fig5", "ext-survival"]
+
+
+class TestDefaultJobs:
+    def test_env_controls_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert default_jobs() == 6
+        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "-3")
+        assert default_jobs() == 1
+
+
+class TestRunExperiments:
+    def test_serial_matches_registry_order(self, cached_world, entries):
+        world, directory = cached_world
+        outcome = run_experiments(world, SUBSET, jobs=1, entries=entries)
+        assert outcome.ok
+        assert [r.exp_id for r in outcome.reports] == SUBSET
+
+    def test_parallel_equals_serial(self, cached_world, entries):
+        world, directory = cached_world
+        serial = run_experiments(world, SUBSET, jobs=1, entries=entries)
+        parallel = run_experiments(
+            world, SUBSET, jobs=4, directory=directory, entries=entries
+        )
+        assert parallel.ok
+        assert parallel.reports == serial.reports
+
+    def test_unknown_experiment_rejected(self, cached_world):
+        world, _ = cached_world
+        with pytest.raises(KeyError):
+            run_experiments(world, ["nope"], jobs=1)
+
+    def test_per_experiment_timings_recorded(self, cached_world, entries):
+        world, _ = cached_world
+        instr = Instrumentation()
+        run_experiments(
+            world, SUBSET, jobs=1, entries=entries, instrumentation=instr
+        )
+        assert [s.name for s in instr.group("experiment")] == SUBSET
+
+    def test_failure_is_isolated_serial(
+        self, cached_world, entries, monkeypatch
+    ):
+        world, _ = cached_world
+
+        def explode(world, entries):
+            raise RuntimeError("injected experiment failure")
+
+        monkeypatch.setitem(EXPERIMENTS, "boom", explode)
+        outcome = run_experiments(
+            world, ["fig1", "boom", "tab1"], jobs=1, entries=entries
+        )
+        assert [r.exp_id for r in outcome.reports] == ["fig1", "tab1"]
+        assert [f.exp_id for f in outcome.failures] == ["boom"]
+        assert "injected experiment failure" in outcome.failures[0].error
+
+    def test_failure_is_isolated_parallel(
+        self, cached_world, entries, monkeypatch
+    ):
+        world, directory = cached_world
+
+        def explode(world, entries):
+            raise RuntimeError("injected experiment failure")
+
+        monkeypatch.setitem(EXPERIMENTS, "boom", explode)
+        outcome = run_experiments(
+            world,
+            ["fig1", "boom", "tab1"],
+            jobs=2,
+            directory=directory,
+            entries=entries,
+        )
+        assert [r.exp_id for r in outcome.reports] == ["fig1", "tab1"]
+        assert [f.exp_id for f in outcome.failures] == ["boom"]

@@ -4,7 +4,6 @@ from datetime import date, timedelta
 
 import pytest
 
-from repro.net.prefix import IPv4Prefix
 from repro.rpki.tal import TalSet
 from repro.synth.builder import WorldBuilder
 from repro.synth.config import ScenarioConfig

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.net.prefix import IPv4Prefix
 from repro.synth.builder import _RESERVED_SLASH8, SpaceCarver
 from repro.synth.config import ScenarioConfig
 

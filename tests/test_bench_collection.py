@@ -1,0 +1,52 @@
+"""Benchmark-harness collection smoke tests.
+
+``bench_archive_round_trip`` once referenced fixtures that only exist in
+``benchmarks/conftest.py`` — a conftest regression (or a renamed
+fixture) would make the whole bench suite silently uncollectable or
+error at setup rather than failing loudly.  These tests run pytest
+against ``benchmarks/`` in collect-only and setup-plan modes, so broken
+bench signatures fail CI instead of silently skipping.  ``--setup-plan``
+is the part that actually resolves fixture closures (collect-only alone
+passes even with an unknown fixture name); neither executes a benchmark.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _pytest(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "pytest", *args, "benchmarks"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_benchmarks_collect_cleanly():
+    proc = _pytest("--collect-only")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    out = proc.stdout
+    # The round-trip bench (and its fixture-using peers) must be present.
+    assert "bench_archive_round_trip" in out
+    assert "bench_build_tiny_world" in out
+    assert "bench_world_build" in out
+
+
+def test_benchmark_fixture_signatures_resolve():
+    """Every bench fixture closure resolves (world, entries, benchmark)."""
+    proc = _pytest("--setup-plan", "-q")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "SETUP    S world" in proc.stdout
+    assert "SETUP    S entries" in proc.stdout
+    assert "ERROR" not in proc.stdout

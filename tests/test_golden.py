@@ -1,0 +1,74 @@
+"""Golden regression tests: the tiny-scale markdown report, byte for byte.
+
+``tests/golden/markdown_tiny.md`` is the checked-in output of
+``repro-drop markdown --scale tiny``.  Serial, parallel (``--jobs 4``),
+and cache-hit runs must all reproduce it exactly — the safety net that
+makes the runtime subsystem safe to ship.  Regenerate deliberately with::
+
+    PYTHONPATH=src python -m repro.cli markdown --scale tiny \
+        > tests/golden/markdown_tiny.md
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN = Path(__file__).parent / "golden" / "markdown_tiny.md"
+
+
+@pytest.fixture()
+def golden_text():
+    return GOLDEN.read_text()
+
+
+def _markdown(capsys, *extra_args):
+    assert main(["markdown", "--scale", "tiny", *extra_args]) == 0
+    return capsys.readouterr().out
+
+
+class TestGoldenMarkdown:
+    def test_serial_matches_golden(self, capsys, golden_text):
+        assert _markdown(capsys, "--no-cache") == golden_text
+
+    def test_parallel_matches_golden(self, capsys, golden_text, tmp_path):
+        out = _markdown(
+            capsys, "--jobs", "4", "--cache-dir", str(tmp_path)
+        )
+        assert out == golden_text
+
+    def test_cache_hit_matches_golden(self, capsys, golden_text, tmp_path):
+        timings = tmp_path / "timings.json"
+        args = ("--cache-dir", str(tmp_path), "--timings-out", str(timings))
+
+        first = _markdown(capsys, *args)
+        cold = json.loads(timings.read_text())
+        assert cold["info"]["world_cache"]["status"] == "miss"
+        assert cold["counters"].get("world_cache_misses") == 1
+
+        second = _markdown(capsys, *args)
+        warm = json.loads(timings.read_text())
+        assert warm["info"]["world_cache"]["status"] == "hit"
+        assert warm["counters"].get("world_cache_hits") == 1
+
+        assert first == golden_text
+        assert second == golden_text
+
+    def test_report_all_parallel_runs_every_experiment(
+        self, capsys, tmp_path
+    ):
+        timings = tmp_path / "timings.json"
+        assert main([
+            "report", "--all", "--scale", "tiny", "--jobs", "4",
+            "--cache-dir", str(tmp_path), "--timings-out", str(timings),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== fig1:" in out and "== ext-survival:" in out
+        payload = json.loads(timings.read_text())
+        experiment_stages = payload["stages"]["experiment"]
+        assert [s["name"] for s in experiment_stages] == payload["info"][
+            "experiment_ids"
+        ]
+        assert all(s["seconds"] >= 0 for s in experiment_stages)
