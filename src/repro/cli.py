@@ -13,7 +13,13 @@ Generated worlds are cached content-addressed under
 ``~/.cache/repro-drop`` (``$REPRO_CACHE_DIR``), so repeat runs skip the
 build; ``--no-cache`` bypasses and ``--refresh-cache`` rebuilds the
 entry.  ``--jobs N`` (or ``$REPRO_JOBS``) fans the experiments out over
-worker processes; output is byte-identical to a serial run.
+worker processes (``0`` = one per CPU); output is byte-identical to a
+serial run.
+
+Exit status: 0 clean, 1 when an experiment produced no report, 2 usage,
+3 (``EXIT_DEGRADED``) when every report was produced but only by
+recovering from an infrastructure fault — dead worker, corrupt or
+unwritable cache entry — detailed on stderr.
 """
 
 from __future__ import annotations
@@ -33,18 +39,48 @@ from .runtime import (
     RunOutcome,
     WorldCache,
     default_jobs,
+    resolve_jobs,
     run_experiments,
     world_sizes,
 )
 from .synth import ScenarioConfig, World, build_world, load_world, save_world
 
-__all__ = ["main"]
+__all__ = ["EXIT_DEGRADED", "main"]
+
+#: Exit status of a run whose every experiment succeeded, but only by
+#: recovering from an infrastructure fault (dead worker, corrupt or
+#: unwritable cache entry).  Results are complete and correct; the
+#: machine they ran on deserves a look.
+EXIT_DEGRADED = 3
+
+#: Nonzero values of any of these mark a run as degraded.
+_DEGRADED_COUNTERS = (
+    "worker_lost_experiments",
+    "world_cache_store_errors",
+    "world_cache_evictions",
+    "world_cache_lock_takeovers",
+)
 
 _SCALES = {
     "tiny": ScenarioConfig.tiny,
     "small": ScenarioConfig.small,
     "paper": ScenarioConfig.paper,
 }
+
+
+def _jobs_arg(value: str) -> int:
+    """``--jobs``: a non-negative int, where 0 means one worker per CPU."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {value!r}"
+        ) from None
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = one worker per CPU), got {jobs}"
+        )
+    return jobs
 
 
 def _add_world_source(parser: argparse.ArgumentParser) -> None:
@@ -66,9 +102,10 @@ def _add_world_source(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_arg,
         default=None,
-        help="experiment worker processes (default: $REPRO_JOBS or 1)",
+        help="experiment worker processes; 0 = one per CPU "
+        "(default: $REPRO_JOBS or 1)",
     )
     parser.add_argument(
         "--no-cache",
@@ -137,8 +174,15 @@ def _run_selected(
 ) -> tuple[RunOutcome, Instrumentation]:
     instr = Instrumentation()
     started = perf_counter()
+    if args.jobs is not None:
+        jobs = resolve_jobs(args.jobs)  # argparse already rejected < 0
+    else:
+        try:
+            jobs = default_jobs()
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            raise SystemExit(2) from None
     world, directory = _resolve_world(args, instr)
-    jobs = args.jobs if args.jobs is not None else default_jobs()
     instr.annotate("jobs", jobs)
     instr.annotate("experiment_ids", wanted)
     outcome = run_experiments(
@@ -160,13 +204,34 @@ def _emit_timings(
         print(payload, file=stream)
 
 
-def _report_failures(outcome: RunOutcome) -> int:
+def _finish(outcome: RunOutcome, instr: Instrumentation) -> int:
+    """Report failures and degradation; the command's exit status.
+
+    0 = clean, 1 = at least one experiment has no report,
+    :data:`EXIT_DEGRADED` = every report present but the run recovered
+    from an infrastructure fault along the way.
+    """
     for failure in outcome.failures:
+        label = (
+            "worker lost" if failure.kind == "worker-lost" else "failed"
+        )
         print(
-            f"experiment {failure.exp_id} failed:\n{failure.error}",
+            f"experiment {failure.exp_id} {label}:\n{failure.error}",
             file=sys.stderr,
         )
-    return 0 if outcome.ok else 1
+    degraded = {
+        name: instr.counters[name]
+        for name in _DEGRADED_COUNTERS
+        if instr.counters.get(name)
+    }
+    if degraded:
+        details = ", ".join(f"{k}={v}" for k, v in degraded.items())
+        print(f"degraded run: {details}", file=sys.stderr)
+        for message in instr.warnings:
+            print(f"  - {message}", file=sys.stderr)
+    if not outcome.ok:
+        return 1
+    return EXIT_DEGRADED if degraded else 0
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -201,7 +266,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     for report in outcome.reports:
         print(render_text(report))
         print()
-    status = _report_failures(outcome)
+    status = _finish(outcome, instr)
     _emit_timings(args, instr, sys.stdout)
     return status
 
@@ -209,7 +274,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_markdown(args: argparse.Namespace) -> int:
     outcome, instr = _run_selected(args, list(EXPERIMENTS))
     print(render_markdown(list(outcome.reports)))
-    status = _report_failures(outcome)
+    status = _finish(outcome, instr)
     _emit_timings(args, instr, sys.stderr)
     return status
 

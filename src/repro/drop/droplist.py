@@ -209,13 +209,26 @@ class DropArchive:
     def read_snapshots(
         cls, directory: Path, window: DateWindow
     ) -> "DropArchive":
-        """Read a directory written by :meth:`write_snapshots`."""
+        """Read a directory written by :meth:`write_snapshots`.
+
+        A missing directory or one holding no snapshots raises instead
+        of yielding a silently empty archive — a torn cache entry or a
+        bad path must surface as a load failure, not as zero listings.
+        """
+        if not directory.is_dir():
+            raise FileNotFoundError(
+                f"DROP snapshot directory not found: {directory}"
+            )
         snapshots = []
         for path in sorted(directory.glob("drop_*.netset")):
             day_text = path.stem.removeprefix("drop_")
             snapshots.append(
                 (date.fromisoformat(day_text),
                  parse_snapshot_text(path.read_text()))
+            )
+        if not snapshots:
+            raise FileNotFoundError(
+                f"no DROP snapshots (drop_*.netset) in {directory}"
             )
         return cls.from_snapshots(snapshots, window)
 

@@ -95,6 +95,12 @@ def run_experiment(
     entries: list[DropEntryView] | None = None,
 ) -> ExperimentReport:
     """Run one registered experiment by id."""
+    # Imported lazily: reporting loads before the runtime package, and
+    # the injection point must also cover direct library calls (run_all,
+    # the examples), not just the pooled runner.
+    from ..runtime.faults import fault_point
+
+    fault_point(f"experiment.run:{exp_id}")
     if entries is None:
         entries = load_entries(world)
     return EXPERIMENTS[exp_id](world, entries)

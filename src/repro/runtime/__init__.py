@@ -8,22 +8,37 @@ single measured byte:
 * :mod:`repro.runtime.runner` — the parallel experiment runner with
   deterministic ordering and per-experiment error isolation;
 * :mod:`repro.runtime.instrument` — stage timers / counters behind
-  ``repro-drop report --timings``.
+  ``repro-drop report --timings``;
+* :mod:`repro.runtime.faults` — the deterministic fault-injection
+  harness (``$REPRO_FAULTS``) that drives every recovery path above
+  under test.
 """
 
 from .cache import (
     CACHE_DIR_ENV,
+    LOCK_TIMEOUT_ENV,
     CacheOutcome,
     WorldCache,
     default_cache_root,
     world_cache_key,
 )
+from .faults import (
+    FAULT_SEED_ENV,
+    FAULTS_ENV,
+    FaultInjector,
+    FaultSpec,
+    FaultSpecError,
+    InjectedIOError,
+    injected,
+)
 from .instrument import Instrumentation, StageRecord, world_sizes
 from .runner import (
     JOBS_ENV,
+    START_METHOD_ENV,
     ExperimentFailure,
     RunOutcome,
     default_jobs,
+    resolve_jobs,
     run_experiments,
 )
 
@@ -31,13 +46,23 @@ __all__ = [
     "CACHE_DIR_ENV",
     "CacheOutcome",
     "ExperimentFailure",
+    "FAULTS_ENV",
+    "FAULT_SEED_ENV",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultSpecError",
+    "InjectedIOError",
     "Instrumentation",
     "JOBS_ENV",
+    "LOCK_TIMEOUT_ENV",
     "RunOutcome",
+    "START_METHOD_ENV",
     "StageRecord",
     "WorldCache",
     "default_cache_root",
     "default_jobs",
+    "injected",
+    "resolve_jobs",
     "run_experiments",
     "world_cache_key",
     "world_sizes",

@@ -10,10 +10,13 @@ byte-identical with a fresh build).
 
 Layout: ``<root>/worlds/<key>/`` where ``root`` defaults to
 ``~/.cache/repro-drop`` (``$REPRO_CACHE_DIR`` overrides; honors
-``$XDG_CACHE_HOME``).  Writes are atomic — the world is saved into a
-temporary sibling directory and renamed into place — and loads are
-corruption-tolerant: any failure to reload an entry evicts it and falls
-back to a rebuild.
+``$XDG_CACHE_HOME``).  Writes are crash-safe: a per-entry lock file
+(``<key>.lock``, single writer, stale locks taken over after
+``$REPRO_CACHE_LOCK_TIMEOUT`` seconds) guards an atomic
+stage-then-rename, and loads are corruption-tolerant: any failure to
+reload an entry evicts it and falls back to a rebuild.  A cache that
+cannot be written (disk full, permissions) degrades to uncached runs
+with a warning and a counter — never an error, never a silent skip.
 """
 
 from __future__ import annotations
@@ -23,15 +26,19 @@ import json
 import os
 import shutil
 import tempfile
+import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
 from ..synth import ScenarioConfig, World, build_world, load_world, save_world
 from ..synth.builder import GENERATOR_VERSION
+from .faults import corrupt_file, fault_point
 from .instrument import Instrumentation, world_sizes
 
 __all__ = [
     "CACHE_DIR_ENV",
+    "LOCK_TIMEOUT_ENV",
     "CacheOutcome",
     "WorldCache",
     "default_cache_root",
@@ -39,10 +46,15 @@ __all__ = [
 ]
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+LOCK_TIMEOUT_ENV = "REPRO_CACHE_LOCK_TIMEOUT"
 
 #: Version of the on-disk cache layout itself (key derivation, snapshot
 #: density).  Bump to orphan every existing entry.
 _CACHE_FORMAT = 1
+
+#: A lock older than this is presumed abandoned (writer died between
+#: acquiring and releasing) and is taken over.
+_DEFAULT_LOCK_TIMEOUT = 300.0
 
 
 def default_cache_root() -> Path:
@@ -53,6 +65,14 @@ def default_cache_root() -> Path:
     xdg = os.environ.get("XDG_CACHE_HOME")
     base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
     return base / "repro-drop"
+
+
+def _lock_timeout() -> float:
+    raw = os.environ.get(LOCK_TIMEOUT_ENV, "")
+    try:
+        return float(raw) if raw else _DEFAULT_LOCK_TIMEOUT
+    except ValueError:
+        return _DEFAULT_LOCK_TIMEOUT
 
 
 def world_cache_key(config: ScenarioConfig) -> str:
@@ -116,6 +136,7 @@ class WorldCache:
         if not refresh and directory.exists():
             try:
                 with instr.stage("cache-load", group="cache"):
+                    fault_point("cache.load", instrumentation=instr)
                     world = load_world(directory)
             except Exception:
                 # Truncated or corrupt entry (interrupted writer, disk
@@ -135,38 +156,116 @@ class WorldCache:
             world, "refresh" if refresh else "miss", key, directory
         )
 
+    # -- storing -----------------------------------------------------------
+
     def _store(
         self, world: World, directory: Path, instr: Instrumentation
     ) -> None:
-        """Atomically persist ``world`` as the entry at ``directory``."""
+        """Persist ``world`` as the entry at ``directory`` (crash-safe).
+
+        Single writer per entry: the ``<key>.lock`` sibling must be
+        acquired first; a concurrent fresh lock means another process is
+        already storing the identical entry, so this store is skipped.
+        Save failures (disk full, permissions) degrade to an uncached
+        run with a counter and a warning; only the final ``os.rename``
+        losing its race against a takeover winner is silently benign.
+        """
         directory.parent.mkdir(parents=True, exist_ok=True)
-        staging = Path(
-            tempfile.mkdtemp(
-                dir=directory.parent, prefix=f".{directory.name}-"
-            )
-        )
+        lock = directory.parent / f"{directory.name}.lock"
+        if not self._acquire_lock(lock, instr):
+            instr.incr("world_cache_store_skipped")
+            return
+        staging: Path | None = None
         try:
-            with instr.stage("cache-store", group="cache"):
-                # Daily snapshots so DROP episode dates reload exactly.
-                save_world(world, staging, drop_step_days=1)
-                (staging / "cache-key.json").write_text(
-                    json.dumps(
-                        {
-                            "key": directory.name,
-                            "generator": GENERATOR_VERSION,
-                            "config": world.config.canonical_dict(),
-                        },
-                        indent=2,
-                        sort_keys=True,
+            try:
+                staging = Path(
+                    tempfile.mkdtemp(
+                        dir=directory.parent, prefix=f".{directory.name}-"
                     )
                 )
+                with instr.stage("cache-store", group="cache"):
+                    fault_point("cache.save", instrumentation=instr)
+                    # Daily snapshots so DROP episode dates reload exactly.
+                    save_world(world, staging, drop_step_days=1)
+                    (staging / "cache-key.json").write_text(
+                        json.dumps(
+                            {
+                                "key": directory.name,
+                                "generator": GENERATOR_VERSION,
+                                "config": world.config.canonical_dict(),
+                            },
+                            indent=2,
+                            sort_keys=True,
+                        )
+                    )
+                    # A truncate fault corrupts the staged entry *after*
+                    # a successful save: the published entry is torn,
+                    # exactly like a crash between write and fsync.
+                    corrupt_file(
+                        "cache.store",
+                        staging / "roas.jsonl",
+                        instrumentation=instr,
+                    )
+            except OSError as error:
+                # save_world failed mid-write: disk full, permissions,
+                # injected IO error.  The run proceeds uncached — but
+                # loudly, unlike the silent skip this replaces.
+                instr.incr("world_cache_store_errors")
+                message = (
+                    f"world cache store failed ({error}); continuing uncached"
+                )
+                instr.warn(message)
+                warnings.warn(message, RuntimeWarning, stacklevel=2)
+                return
             if directory.exists():
                 # refresh, or a concurrent writer won: replace our target.
                 shutil.rmtree(directory, ignore_errors=True)
-            os.rename(staging, directory)
-        except OSError:
-            # Lost a rename race; the winner's entry is equivalent.
-            shutil.rmtree(staging, ignore_errors=True)
-        except BaseException:
-            shutil.rmtree(staging, ignore_errors=True)
-            raise
+            try:
+                fault_point("cache.rename", instrumentation=instr)
+                os.rename(staging, directory)
+            except OSError:
+                # Lost the rename race; the winner's entry is equivalent.
+                instr.incr("world_cache_rename_races")
+        finally:
+            if staging is not None and staging.exists():
+                shutil.rmtree(staging, ignore_errors=True)
+            self._release_lock(lock)
+
+    def _acquire_lock(self, lock: Path, instr: Instrumentation) -> bool:
+        """Try to become the single writer for one entry.
+
+        Returns False when another writer holds a *fresh* lock (their
+        store of the identical entry supersedes ours).  A lock older
+        than the stale timeout is taken over: its writer died between
+        acquire and release.
+        """
+        for attempt in range(2):
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue  # holder released between open and stat: retry
+                if age <= _lock_timeout():
+                    instr.incr("world_cache_lock_contention")
+                    return False
+                # Stale: the writer died. Take the lock over and retry
+                # the exclusive create once.
+                instr.incr("world_cache_lock_takeovers")
+                instr.warn(
+                    f"took over stale cache lock {lock.name} "
+                    f"(age {age:.0f}s)"
+                )
+                lock.unlink(missing_ok=True)
+            else:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(
+                        {"pid": os.getpid(), "acquired": time.time()}, handle
+                    )
+                return True
+        return False
+
+    @staticmethod
+    def _release_lock(lock: Path) -> None:
+        lock.unlink(missing_ok=True)

@@ -1,0 +1,283 @@
+"""Deterministic fault injection for the runtime layer.
+
+Every error path in the runtime subsystem (cache IO, atomic renames,
+worker processes, slow stages) has a named *injection point*.  A
+:class:`FaultInjector` armed with :class:`FaultSpec` entries decides —
+deterministically, or pseudo-randomly from a fixed seed — which points
+fire, how many times, and with what effect.  Production runs carry no
+injector and every point is a no-op costing one module-global read.
+
+Specs are compact strings, comma-separated::
+
+    io-error@cache.save          raise InjectedIOError at the site
+    truncate@cache.store         chop the staged file in half
+    crash@worker.run:fig1        os._exit the worker process
+    rename-race@cache.rename     make the final rename lose its race
+    slow@experiment.run:*+0.05   sleep 50ms at every matching site
+
+Each spec takes optional suffixes: ``*N`` fires N times before
+disarming (default 1), ``~P`` fires with probability P per match
+(seeded, so reproducible), ``+S`` sleeps S seconds (``slow`` only).
+Sites are matched with :mod:`fnmatch` globs.
+
+Activation is either programmatic (the :func:`injected` context
+manager — inherited by forked workers) or ambient via
+``$REPRO_FAULTS`` + ``$REPRO_FAULT_SEED`` (read lazily and re-read on
+change, so spawned workers and monkeypatched tests both see it).
+
+``crash`` faults only ever fire inside worker processes (marked by
+:func:`mark_worker_process` from the pool initializer); in the parent
+they are skipped *without* being consumed, so the runner's in-parent
+serial fallback is guaranteed to make progress past a crash-poisoned
+experiment.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "FAULTS_ENV",
+    "FAULT_SEED_ENV",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultSpecError",
+    "InjectedIOError",
+    "corrupt_file",
+    "fault_point",
+    "in_worker_process",
+    "injected",
+    "mark_worker_process",
+]
+
+FAULTS_ENV = "REPRO_FAULTS"
+FAULT_SEED_ENV = "REPRO_FAULT_SEED"
+
+#: Exit status of a crash-injected worker; distinctive enough to spot
+#: in a BrokenProcessPool message or a CI log.
+CRASH_EXIT_CODE = 66
+
+KINDS = frozenset({"io-error", "truncate", "crash", "rename-race", "slow"})
+
+
+class FaultSpecError(ValueError):
+    """A ``$REPRO_FAULTS`` spec string that does not parse."""
+
+
+class InjectedIOError(OSError):
+    """The OSError raised by ``io-error`` and ``rename-race`` faults."""
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault: what fires, where, how often."""
+
+    kind: str
+    site: str
+    times: int = 1
+    probability: float = 1.0
+    delay: float = 0.05
+    remaining: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r} "
+                f"(expected one of: {', '.join(sorted(KINDS))})"
+            )
+        if self.times < 1:
+            raise FaultSpecError(f"fault repeat count must be >= 1: {self.times}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultSpecError(
+                f"fault probability must be in [0, 1]: {self.probability}"
+            )
+        self.remaining = self.times
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse one ``kind@site[*N][~P][+S]`` spec."""
+        head, sep, site = text.partition("@")
+        if not sep or not head or not site:
+            raise FaultSpecError(
+                f"bad fault spec {text!r} (expected kind@site[*N][~P][+S])"
+            )
+        times, probability, delay = 1, 1.0, 0.05
+        try:
+            while site[-1:].isdigit() or site[-1:] == ".":
+                # Peel numeric suffixes right-to-left so site globs keep
+                # their literal dots.
+                cut = max(site.rfind(ch) for ch in "*~+")
+                if cut < 0:
+                    break
+                marker, value = site[cut], site[cut + 1 :]
+                site = site[:cut]
+                if marker == "*":
+                    times = int(value)
+                elif marker == "~":
+                    probability = float(value)
+                else:
+                    delay = float(value)
+        except ValueError as error:
+            raise FaultSpecError(f"bad fault spec {text!r}: {error}") from None
+        if not site:
+            raise FaultSpecError(f"bad fault spec {text!r}: empty site")
+        return cls(head, site, times=times, probability=probability, delay=delay)
+
+
+class FaultInjector:
+    """An armed set of fault specs plus the seeded RNG that gates them."""
+
+    def __init__(self, specs: list[FaultSpec], *, seed: int = 0) -> None:
+        self.specs = list(specs)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        #: Every fault actually fired, as ``(kind, site)`` — for tests
+        #: and post-mortem assertions.
+        self.fired: list[tuple[str, str]] = []
+
+    @classmethod
+    def parse(cls, text: str, *, seed: int = 0) -> "FaultInjector":
+        """An injector from a comma-separated spec string."""
+        specs = [
+            FaultSpec.parse(part.strip())
+            for part in text.split(",")
+            if part.strip()
+        ]
+        return cls(specs, seed=seed)
+
+    @classmethod
+    def from_env(cls, environ=os.environ) -> "FaultInjector | None":
+        """The injector ``$REPRO_FAULTS`` describes, or None."""
+        text = environ.get(FAULTS_ENV, "").strip()
+        if not text:
+            return None
+        try:
+            seed = int(environ.get(FAULT_SEED_ENV, "0"))
+        except ValueError:
+            seed = 0
+        return cls.parse(text, seed=seed)
+
+    def trigger(self, site: str, *, allow_crash: bool) -> FaultSpec | None:
+        """The first armed spec matching ``site``, consumed — or None.
+
+        ``crash`` specs are skipped (not consumed) unless
+        ``allow_crash``, so a crash armed for a worker site stays armed
+        for workers while the parent passes through unharmed.
+        """
+        for spec in self.specs:
+            if spec.remaining <= 0:
+                continue
+            if not fnmatch.fnmatchcase(site, spec.site):
+                continue
+            if spec.kind == "crash" and not allow_crash:
+                continue
+            if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                continue
+            spec.remaining -= 1
+            self.fired.append((spec.kind, site))
+            return spec
+        return None
+
+
+# ---------------------------------------------------------------------------
+# process-wide activation
+# ---------------------------------------------------------------------------
+
+_ACTIVE: FaultInjector | None = None
+#: What _ACTIVE was built from: an env spec string, or "<programmatic>".
+_ACTIVE_SOURCE: str | None = None
+_IN_WORKER = False
+
+
+def mark_worker_process() -> None:
+    """Called from pool initializers: crash faults may fire here."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def in_worker_process() -> bool:
+    """True inside an experiment worker process."""
+    return _IN_WORKER
+
+
+def active() -> FaultInjector | None:
+    """The process-wide injector, tracking ``$REPRO_FAULTS`` lazily."""
+    global _ACTIVE, _ACTIVE_SOURCE
+    if _ACTIVE_SOURCE == "<programmatic>":
+        return _ACTIVE
+    env = os.environ.get(FAULTS_ENV, "").strip() or None
+    if env != _ACTIVE_SOURCE:
+        _ACTIVE = FaultInjector.from_env()
+        _ACTIVE_SOURCE = env
+    return _ACTIVE
+
+
+@contextmanager
+def injected(spec: str, *, seed: int = 0) -> Iterator[FaultInjector]:
+    """Arm ``spec`` for the duration of a with-block (tests)."""
+    global _ACTIVE, _ACTIVE_SOURCE
+    previous = (_ACTIVE, _ACTIVE_SOURCE)
+    injector = FaultInjector.parse(spec, seed=seed)
+    _ACTIVE, _ACTIVE_SOURCE = injector, "<programmatic>"
+    try:
+        yield injector
+    finally:
+        _ACTIVE, _ACTIVE_SOURCE = previous
+
+
+# ---------------------------------------------------------------------------
+# injection points
+# ---------------------------------------------------------------------------
+
+
+def fault_point(site: str, *, instrumentation=None) -> None:
+    """The generic injection point: a no-op unless a fault is armed.
+
+    Fires at most one armed spec: ``slow`` sleeps, ``crash`` kills the
+    worker process with :data:`CRASH_EXIT_CODE`, ``io-error`` and
+    ``rename-race`` raise :class:`InjectedIOError`.  (``truncate``
+    faults need a file and fire via :func:`corrupt_file` instead.)
+    """
+    injector = active()
+    if injector is None:
+        return
+    spec = injector.trigger(site, allow_crash=_IN_WORKER)
+    if spec is None or spec.kind == "truncate":
+        return
+    if instrumentation is not None:
+        instrumentation.incr("faults_injected")
+        instrumentation.incr(f"fault_{spec.kind}")
+    if spec.kind == "slow":
+        time.sleep(spec.delay)
+        return
+    if spec.kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    raise InjectedIOError(f"injected {spec.kind} at {site}")
+
+
+def corrupt_file(site: str, path: Path, *, instrumentation=None) -> bool:
+    """The ``truncate`` injection point: chop ``path`` to half its size.
+
+    Models a writer that died mid-write (or a disk that lied about
+    durability) *after* the entry became visible.  Returns True when a
+    fault fired.
+    """
+    injector = active()
+    if injector is None:
+        return False
+    spec = injector.trigger(site, allow_crash=False)
+    if spec is None or spec.kind != "truncate":
+        return False
+    if instrumentation is not None:
+        instrumentation.incr("faults_injected")
+        instrumentation.incr("fault_truncate")
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    return True

@@ -35,6 +35,7 @@ class Instrumentation:
         self.stages: list[StageRecord] = []
         self.counters: dict[str, int] = {}
         self.info: dict[str, object] = {}
+        self.warnings: list[str] = []
 
     @contextmanager
     def stage(self, name: str, *, group: str = "build") -> Iterator[None]:
@@ -57,6 +58,10 @@ class Instrumentation:
         """Attach a JSON-able fact about the run (jobs, cache status)."""
         self.info[key] = value
 
+    def warn(self, message: str) -> None:
+        """Record a degraded-but-recovered condition for the run record."""
+        self.warnings.append(message)
+
     def group(self, group: str) -> list[StageRecord]:
         """The recorded stages of one group, in recording order."""
         return [s for s in self.stages if s.group == group]
@@ -72,6 +77,7 @@ class Instrumentation:
             "schema": 1,
             "counters": dict(self.counters),
             "info": dict(self.info),
+            "warnings": list(self.warnings),
             "stages": grouped,
             "total_seconds": round(
                 sum(record.seconds for record in self.stages), 6

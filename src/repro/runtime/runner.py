@@ -13,15 +13,23 @@ Guarantees:
   experiment ids were requested, regardless of completion order;
 * **error isolation** — one failing experiment becomes an
   :class:`ExperimentFailure` in the outcome instead of killing the run;
+* **worker-loss recovery** — a dying worker process (OOM kill, segfault,
+  injected crash) poisons the pool, not the run: the experiments it took
+  down are retried in a fresh pool, then serially in-parent, so one bad
+  worker costs wall time instead of results;
 * **byte-identical output** — a parallel run renders exactly what the
   serial run renders (asserted by the golden regression tests).
 
 ``--jobs N`` on the CLI and the ``REPRO_JOBS`` environment variable
-select the worker count; ``jobs <= 1`` runs serially in-process.
+select the worker count (``0`` means one per CPU); ``jobs == 1`` runs
+serially in-process.  ``REPRO_START_METHOD`` forces a multiprocessing
+start method (``fork``/``spawn``/``forkserver``) so the spawn
+initializer path is testable on fork-default platforms.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -33,34 +41,70 @@ from ..analysis import load_entries
 from ..analysis.common import DropEntryView
 from ..reporting import EXPERIMENTS, ExperimentReport, run_experiment
 from ..synth import ScenarioConfig, World, build_world, load_world
+from . import faults
 from .instrument import Instrumentation
 
 __all__ = [
     "JOBS_ENV",
+    "START_METHOD_ENV",
     "ExperimentFailure",
     "RunOutcome",
     "default_jobs",
+    "resolve_jobs",
     "run_experiments",
 ]
 
 JOBS_ENV = "REPRO_JOBS"
+START_METHOD_ENV = "REPRO_START_METHOD"
+
+#: Fresh-pool retry rounds for experiments whose worker died, before
+#: falling back to running them serially in the parent.
+_MAX_POOL_RETRIES = 1
+
+
+def resolve_jobs(value: int) -> int:
+    """A validated worker count: ``0`` means one per CPU.
+
+    Raises :class:`ValueError` for negative counts — silently clamping
+    them to serial hid typos like ``--jobs -4``.
+    """
+    if value < 0:
+        raise ValueError(
+            f"jobs must be >= 0 (0 = one worker per CPU), got {value}"
+        )
+    if value == 0:
+        return os.cpu_count() or 1
+    return value
 
 
 def default_jobs() -> int:
     """The worker count from ``$REPRO_JOBS`` (default 1 = serial)."""
     raw = os.environ.get(JOBS_ENV, "")
-    try:
-        return max(1, int(raw))
-    except ValueError:
+    if not raw:
         return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"${JOBS_ENV} must be an integer (0 = one worker per CPU), "
+            f"got {raw!r}"
+        ) from None
+    return resolve_jobs(value)
 
 
 @dataclass(frozen=True, slots=True)
 class ExperimentFailure:
-    """One experiment that raised instead of reporting."""
+    """One experiment that did not produce a report.
+
+    ``kind`` distinguishes ``"raised"`` (the experiment itself raised;
+    ``error`` carries its traceback) from ``"worker-lost"`` (the worker
+    process running it died and every recovery attempt was exhausted or
+    disabled).
+    """
 
     exp_id: str
     error: str
+    kind: str = "raised"
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,6 +129,7 @@ def _init_worker(
     directory: str | None, config: ScenarioConfig | None
 ) -> None:
     global _WORKER_STATE
+    faults.mark_worker_process()
     if _WORKER_STATE is not None:  # forked: inherited from the parent
         return
     if directory is not None:
@@ -101,12 +146,60 @@ def _init_worker(
 def _run_one(exp_id: str):
     assert _WORKER_STATE is not None
     world, entries = _WORKER_STATE
+    # Faults fired while running (in this process — possibly a worker)
+    # ride back on the result tuple so they land in the parent's
+    # instrumentation counters.
+    injector = faults.active()
+    already_fired = len(injector.fired) if injector is not None else 0
     started = perf_counter()
     try:
+        faults.fault_point(f"worker.run:{exp_id}")
         report = run_experiment(world, exp_id, entries)
-        return exp_id, report, perf_counter() - started, None
+        error = None
     except Exception:
-        return exp_id, None, perf_counter() - started, traceback.format_exc()
+        report, error = None, traceback.format_exc()
+    seconds = perf_counter() - started
+    fired = tuple(injector.fired[already_fired:]) if injector is not None else ()
+    return exp_id, report, seconds, error, fired
+
+
+def _mp_context():
+    """The pool context ``$REPRO_START_METHOD`` selects, or None."""
+    method = os.environ.get(START_METHOD_ENV, "").strip()
+    return multiprocessing.get_context(method) if method else None
+
+
+def _collect_parallel(
+    exp_ids: list[str],
+    jobs: int,
+    directory: Path | None,
+    config,
+    results: dict[str, tuple],
+) -> list[str]:
+    """One pool round over ``exp_ids``; returns the worker-lost ids.
+
+    A worker death breaks the whole pool, so every still-pending future
+    raises the same pool-level error; those experiments are *lost*, not
+    failed — the caller retries them rather than reporting N copies of
+    one opaque ``BrokenProcessPool``.
+    """
+    lost: list[str] = []
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(exp_ids)),
+        mp_context=_mp_context(),
+        initializer=_init_worker,
+        initargs=(
+            str(directory) if directory is not None else None,
+            config,
+        ),
+    ) as pool:
+        futures = {e: pool.submit(_run_one, e) for e in exp_ids}
+        for exp_id in exp_ids:
+            try:
+                results[exp_id] = futures[exp_id].result()
+            except Exception:
+                lost.append(exp_id)
+    return lost
 
 
 def run_experiments(
@@ -117,6 +210,7 @@ def run_experiments(
     directory: Path | None = None,
     entries: list[DropEntryView] | None = None,
     instrumentation: Instrumentation | None = None,
+    serial_fallback: bool = True,
 ) -> RunOutcome:
     """Run ``exp_ids`` against ``world``, serially or in parallel.
 
@@ -124,6 +218,14 @@ def run_experiments(
     world) lets spawned workers load the world when fork inheritance is
     unavailable.  Per-experiment wall times land in ``instrumentation``
     under the ``"experiment"`` group.
+
+    Experiments whose worker process died are retried in a fresh pool
+    (at most :data:`_MAX_POOL_RETRIES` rounds), then — unless
+    ``serial_fallback`` is disabled — run serially in the parent, where
+    a process crash cannot recur.  Recovery is counted
+    (``worker_lost_experiments``, ``worker_pool_retries``,
+    ``serial_fallback_runs``) and annotated so ``--timings`` shows what
+    happened.
     """
     global _WORKER_STATE
     instr = instrumentation or Instrumentation()
@@ -135,7 +237,8 @@ def run_experiments(
         with instr.stage("load-entries", group="run"):
             entries = load_entries(world)
 
-    results: dict[str, tuple]
+    results: dict[str, tuple] = {}
+    unrecovered: list[str] = []
     if jobs <= 1 or len(exp_ids) <= 1:
         _WORKER_STATE = (world, entries)
         try:
@@ -145,35 +248,57 @@ def run_experiments(
     else:
         _WORKER_STATE = (world, entries)
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(exp_ids)),
-                initializer=_init_worker,
-                initargs=(
-                    str(directory) if directory is not None else None,
-                    world.config,
-                ),
-            ) as pool:
-                futures = {e: pool.submit(_run_one, e) for e in exp_ids}
-                results = {}
-                for exp_id in exp_ids:
-                    try:
-                        results[exp_id] = futures[exp_id].result()
-                    except Exception as error:
-                        # The worker died outright (e.g. a broken pool);
-                        # isolate it like an in-experiment failure.
-                        results[exp_id] = (
-                            exp_id, None, 0.0, f"{type(error).__name__}: {error}"
-                        )
+            lost = _collect_parallel(
+                exp_ids, jobs, directory, world.config, results
+            )
+            if lost:
+                instr.incr("worker_lost_experiments", len(lost))
+                instr.annotate("worker_lost", list(lost))
+                instr.warn(
+                    "worker process died; lost experiment(s): "
+                    + ", ".join(lost)
+                )
+            retries = 0
+            while lost and retries < _MAX_POOL_RETRIES and len(lost) > 1:
+                # More than one experiment went down with the pool:
+                # most are collateral, so one fresh pool round recovers
+                # them in parallel before anything drops to serial.
+                retries += 1
+                instr.incr("worker_pool_retries")
+                lost = _collect_parallel(
+                    lost, jobs, directory, world.config, results
+                )
+            if lost and serial_fallback:
+                for exp_id in lost:
+                    instr.incr("serial_fallback_runs")
+                    results[exp_id] = _run_one(exp_id)
+                lost = []
+            unrecovered = lost
         finally:
             _WORKER_STATE = None
 
     reports: list[ExperimentReport] = []
     failures: list[ExperimentFailure] = []
     for exp_id in exp_ids:
-        _, report, seconds, error = results[exp_id]
-        instr.record(exp_id, seconds, group="experiment")
-        if error is not None:
-            failures.append(ExperimentFailure(exp_id, error))
+        if exp_id in results:
+            _, report, seconds, error, fired = results[exp_id]
+            instr.record(exp_id, seconds, group="experiment")
+            for kind, _site in fired:
+                instr.incr("faults_injected")
+                instr.incr(f"fault_{kind}")
+            if error is not None:
+                failures.append(ExperimentFailure(exp_id, error))
+            else:
+                reports.append(report)
         else:
-            reports.append(report)
+            assert exp_id in unrecovered
+            instr.record(exp_id, 0.0, group="experiment")
+            failures.append(
+                ExperimentFailure(
+                    exp_id,
+                    "worker process died while running this experiment "
+                    "(retries exhausted or serial fallback disabled)",
+                    kind="worker-lost",
+                )
+            )
     return RunOutcome(tuple(reports), tuple(failures))

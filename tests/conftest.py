@@ -13,3 +13,10 @@ import pytest
 def _isolated_world_cache(tmp_path_factory, monkeypatch):
     root = tmp_path_factory.getbasetemp() / "world-cache"
     monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    """Never inherit $REPRO_FAULTS from the invoking shell."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_FAULT_SEED", raising=False)

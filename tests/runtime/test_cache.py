@@ -1,11 +1,14 @@
 """Unit tests for the content-addressed world cache."""
 
+import shutil
+
 import pytest
 
 from repro.runtime import (
     Instrumentation,
     WorldCache,
     default_cache_root,
+    run_experiments,
     world_cache_key,
 )
 from repro.synth import ScenarioConfig
@@ -110,3 +113,67 @@ class TestFetch:
         other = cache.directory_for(ScenarioConfig.tiny(seed=5))
         assert other != first.directory
         assert other.parent == first.directory.parent
+
+
+@pytest.fixture(scope="module")
+def baseline_report(cache_and_first):
+    """A fresh-build report body, the byte-identity reference."""
+    _, outcome, _ = cache_and_first
+    return run_experiments(outcome.world, ["fig1"], jobs=1).reports
+
+
+class TestCorruptEntries:
+    """Every file type in an entry, truncated or deleted, must evict.
+
+    One parametrization per archive format: the load failure evicts the
+    entry, bumps ``world_cache_evictions``, and the rebuilt world's
+    reports are byte-identical to a fresh build's.
+    """
+
+    TRUNCATE = [
+        "config.json",
+        "overrides.json",
+        "sbl.jsonl",
+        "irr.jsonl",
+        "roas.jsonl",
+        "registry.jsonl",
+        "bgp/intervals.jsonl",
+    ]
+    DELETE = [
+        "config.json",
+        "sbl.jsonl",
+        "bgp/peers.jsonl",
+        "drop",  # the whole snapshot directory
+    ]
+
+    def _assert_recovers(self, cache, baseline_report):
+        instr = Instrumentation()
+        outcome = cache.fetch(ScenarioConfig.tiny(), instrumentation=instr)
+        assert outcome.status == "miss"
+        assert instr.counters.get("world_cache_evictions") == 1
+        assert instr.counters.get("world_cache_misses") == 1
+        reports = run_experiments(outcome.world, ["fig1"], jobs=1).reports
+        assert reports == tuple(baseline_report)
+        assert cache.fetch(ScenarioConfig.tiny()).status == "hit"
+
+    @pytest.mark.parametrize("name", TRUNCATE)
+    def test_truncated_file_evicts_and_rebuilds(
+        self, cache_and_first, baseline_report, name
+    ):
+        cache, first, _ = cache_and_first
+        target = first.directory / name
+        data = target.read_bytes()
+        target.write_bytes(data[: len(data) // 2])
+        self._assert_recovers(cache, baseline_report)
+
+    @pytest.mark.parametrize("name", DELETE)
+    def test_deleted_file_evicts_and_rebuilds(
+        self, cache_and_first, baseline_report, name
+    ):
+        cache, first, _ = cache_and_first
+        target = first.directory / name
+        if target.is_dir():
+            shutil.rmtree(target)
+        else:
+            target.unlink()
+        self._assert_recovers(cache, baseline_report)

@@ -1,0 +1,330 @@
+"""Fault-injection tests: every injected fault drives a verified recovery.
+
+Each fault class the harness can arm — IO error, truncated write, worker
+crash, rename race, slow stage — is driven through its injection point
+and asserted to (a) recover to a correct result and (b) bump its
+instrumentation counter, so no error path in the runtime layer is
+exercised only by luck.
+"""
+
+import time
+
+import pytest
+
+from repro.runtime import (
+    FaultInjector,
+    FaultSpec,
+    FaultSpecError,
+    Instrumentation,
+    WorldCache,
+    injected,
+    run_experiments,
+)
+from repro.runtime import faults as faults_mod
+from repro.synth import ScenarioConfig
+
+SUBSET = ["fig1", "tab1", "fig5"]
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ScenarioConfig.tiny()
+
+
+@pytest.fixture(scope="module")
+def cache(tmp_path_factory):
+    return WorldCache(tmp_path_factory.mktemp("faults-cache"))
+
+
+@pytest.fixture(scope="module")
+def stored(cache, config):
+    """A healthy cache entry on disk, plus the world it holds."""
+    return cache.fetch(config)
+
+
+@pytest.fixture(scope="module")
+def baseline(stored):
+    """Serial, fault-free reports — the byte-identity reference."""
+    return run_experiments(stored.world, SUBSET, jobs=1).reports
+
+
+class TestSpecParsing:
+    def test_plain_spec_defaults(self):
+        spec = FaultSpec.parse("io-error@cache.save")
+        assert (spec.kind, spec.site) == ("io-error", "cache.save")
+        assert spec.times == 1 and spec.probability == 1.0
+
+    def test_suffixes(self):
+        spec = FaultSpec.parse("slow@experiment.run:*+0.25")
+        assert spec.kind == "slow"
+        assert spec.site == "experiment.run:*"
+        assert spec.delay == 0.25
+        spec = FaultSpec.parse("truncate@cache.store*3")
+        assert spec.times == 3
+        spec = FaultSpec.parse("io-error@cache.*~0.5*10")
+        assert spec.site == "cache.*"
+        assert spec.probability == 0.5 and spec.times == 10
+
+    def test_site_with_trailing_digits_is_not_a_suffix(self):
+        spec = FaultSpec.parse("crash@worker.run:fig1")
+        assert spec.site == "worker.run:fig1" and spec.times == 1
+
+    def test_multi_spec_string(self):
+        injector = FaultInjector.parse(
+            "io-error@cache.save, crash@worker.run:fig1*2"
+        )
+        assert [(s.kind, s.times) for s in injector.specs] == [
+            ("io-error", 1),
+            ("crash", 2),
+        ]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "explode@cache.save",  # unknown kind
+            "io-error",  # no site
+            "@cache.save",  # no kind
+            "io-error@cache.save*0",  # zero repeats
+            "io-error@cache.save~1.5",  # probability out of range
+            "io-error@cache.save*x1",  # unparsable number
+        ],
+    )
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(FaultSpecError):
+            FaultSpec.parse(bad)
+
+    def test_from_env(self, monkeypatch):
+        assert FaultInjector.from_env() is None
+        monkeypatch.setenv("REPRO_FAULTS", "io-error@nowhere")
+        monkeypatch.setenv("REPRO_FAULT_SEED", "7")
+        injector = FaultInjector.from_env()
+        assert injector is not None and injector.seed == 7
+
+
+class TestInjectorMechanics:
+    def test_fires_exactly_n_times(self):
+        injector = FaultInjector.parse("io-error@site.a*2")
+        fired = [
+            injector.trigger("site.a", allow_crash=False) is not None
+            for _ in range(4)
+        ]
+        assert fired == [True, True, False, False]
+        assert injector.fired == [("io-error", "site.a")] * 2
+
+    def test_site_globbing(self):
+        injector = FaultInjector.parse("io-error@cache.**5")
+        assert injector.trigger("cache.save", allow_crash=False)
+        assert injector.trigger("cache.rename", allow_crash=False)
+        assert injector.trigger("worker.run:fig1", allow_crash=False) is None
+
+    def test_crash_not_consumed_outside_workers(self):
+        injector = FaultInjector.parse("crash@site.a")
+        assert injector.trigger("site.a", allow_crash=False) is None
+        assert injector.specs[0].remaining == 1  # still armed for workers
+
+    def test_probability_is_seed_deterministic(self):
+        def pattern(seed):
+            injector = FaultInjector.parse("io-error@x~0.5*64", seed=seed)
+            return [
+                injector.trigger("x", allow_crash=False) is not None
+                for _ in range(64)
+            ]
+
+        assert pattern(3) == pattern(3)
+        assert any(pattern(3)) and not all(pattern(3))
+        assert pattern(0) != pattern(1) or pattern(0) != pattern(2)
+
+    def test_probability_extremes(self):
+        never = FaultInjector.parse("io-error@x~0.0")
+        assert never.trigger("x", allow_crash=False) is None
+        always = FaultInjector.parse("io-error@x~1.0")
+        assert always.trigger("x", allow_crash=False) is not None
+
+    def test_env_activation_tracks_changes(self, monkeypatch):
+        assert faults_mod.active() is None
+        monkeypatch.setenv("REPRO_FAULTS", "io-error@env.site")
+        injector = faults_mod.active()
+        assert injector is not None
+        assert faults_mod.active() is injector  # stable while unchanged
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert faults_mod.active() is None
+
+    def test_injected_context_manager_restores(self):
+        assert faults_mod.active() is None
+        with injected("io-error@x") as injector:
+            assert faults_mod.active() is injector
+        assert faults_mod.active() is None
+
+
+class TestCacheFaults:
+    def test_io_error_during_save_degrades_loudly(
+        self, cache, config, stored
+    ):
+        instr = Instrumentation()
+        with injected("io-error@cache.save"):
+            with pytest.warns(RuntimeWarning, match="cache store failed"):
+                outcome = cache.fetch(
+                    config, instrumentation=instr, refresh=True
+                )
+        assert outcome.status == "refresh"
+        assert instr.counters["world_cache_store_errors"] == 1
+        assert instr.counters["fault_io-error"] == 1
+        assert any("continuing uncached" in w for w in instr.warnings)
+        # The world is still whole and usable.
+        assert len(outcome.world.drop.unique_prefixes()) == 712
+        # No lock or staging debris survives the failed store.
+        debris = [
+            p
+            for p in outcome.directory.parent.iterdir()
+            if p.name.startswith(".") or p.suffix == ".lock"
+        ]
+        assert debris == []
+
+    def test_truncated_write_is_evicted_on_next_fetch(
+        self, cache, config, baseline
+    ):
+        instr = Instrumentation()
+        with injected("truncate@cache.store"):
+            cache.fetch(config, instrumentation=instr, refresh=True)
+        assert instr.counters["fault_truncate"] == 1
+
+        recovery = Instrumentation()
+        outcome = cache.fetch(config, instrumentation=recovery)
+        assert outcome.status == "miss"
+        assert recovery.counters["world_cache_evictions"] == 1
+        # The rebuilt world reports byte-identically.
+        reports = run_experiments(outcome.world, SUBSET, jobs=1).reports
+        assert reports == tuple(baseline)
+        # And the entry is healthy again.
+        assert cache.fetch(config).status == "hit"
+
+    def test_rename_race_is_benign(self, cache, config):
+        instr = Instrumentation()
+        with injected("rename-race@cache.rename"):
+            outcome = cache.fetch(config, instrumentation=instr, refresh=True)
+        assert instr.counters["world_cache_rename_races"] == 1
+        assert instr.counters["fault_rename-race"] == 1
+        assert instr.counters.get("world_cache_store_errors") is None
+        staging = [
+            p
+            for p in outcome.directory.parent.iterdir()
+            if p.name.startswith(".")
+        ]
+        assert staging == []
+
+    def test_io_error_during_load_evicts_and_rebuilds(self, cache, config):
+        assert cache.fetch(config).status in ("hit", "miss")  # entry exists
+        instr = Instrumentation()
+        with injected("io-error@cache.load") as injector:
+            outcome = cache.fetch(config, instrumentation=instr)
+        assert injector.fired == [("io-error", "cache.load")]
+        assert outcome.status == "miss"
+        assert instr.counters["world_cache_evictions"] == 1
+        assert instr.counters["world_cache_misses"] == 1
+        assert cache.fetch(config).status == "hit"
+
+
+class TestCacheLock:
+    def test_fresh_lock_skips_store(self, cache, config, stored):
+        lock = stored.directory.parent / f"{stored.directory.name}.lock"
+        lock.write_text("{}")
+        try:
+            instr = Instrumentation()
+            outcome = cache.fetch(config, instrumentation=instr, refresh=True)
+            assert outcome.status == "refresh"
+            assert instr.counters["world_cache_lock_contention"] == 1
+            assert instr.counters["world_cache_store_skipped"] == 1
+            assert lock.exists()  # another writer's lock is not ours to drop
+        finally:
+            lock.unlink(missing_ok=True)
+
+    def test_stale_lock_is_taken_over(
+        self, cache, config, stored, monkeypatch
+    ):
+        import os
+
+        lock = stored.directory.parent / f"{stored.directory.name}.lock"
+        lock.write_text("{}")
+        stale = time.time() - 3600
+        os.utime(lock, (stale, stale))
+        monkeypatch.setenv("REPRO_CACHE_LOCK_TIMEOUT", "60")
+        instr = Instrumentation()
+        outcome = cache.fetch(config, instrumentation=instr, refresh=True)
+        assert outcome.status == "refresh"
+        assert instr.counters["world_cache_lock_takeovers"] == 1
+        assert "world_cache_store_skipped" not in instr.counters
+        assert not lock.exists()  # released after a successful store
+        assert any("stale cache lock" in w for w in instr.warnings)
+
+
+class TestWorkerFaults:
+    def test_crash_recovers_via_serial_fallback(
+        self, stored, baseline, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "crash@worker.run:fig1")
+        instr = Instrumentation()
+        outcome = run_experiments(
+            stored.world,
+            SUBSET,
+            jobs=2,
+            directory=stored.directory,
+            instrumentation=instr,
+        )
+        assert outcome.ok
+        assert outcome.reports == tuple(baseline)  # byte-identical
+        assert instr.counters["worker_lost_experiments"] >= 1
+        assert instr.counters["serial_fallback_runs"] >= 1
+        assert "fig1" in instr.info["worker_lost"]
+        assert any("worker process died" in w for w in instr.warnings)
+
+    def test_crash_without_fallback_reports_worker_lost(
+        self, stored, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "crash@worker.run:fig1")
+        instr = Instrumentation()
+        outcome = run_experiments(
+            stored.world,
+            SUBSET,
+            jobs=2,
+            directory=stored.directory,
+            instrumentation=instr,
+            serial_fallback=False,
+        )
+        assert not outcome.ok
+        lost = [f for f in outcome.failures if f.kind == "worker-lost"]
+        assert "fig1" in [f.exp_id for f in lost]
+        assert all(
+            "worker process died" in f.error for f in lost
+        )
+
+    def test_crash_is_inert_in_serial_runs(self, stored, baseline):
+        # The crash kind only fires in worker processes; a serial run —
+        # like the runner's in-parent fallback — must pass through.
+        with injected("crash@worker.run:fig1") as injector:
+            outcome = run_experiments(stored.world, SUBSET, jobs=1)
+        assert outcome.ok
+        assert outcome.reports == tuple(baseline)
+        assert injector.fired == []
+
+    def test_slow_fault_shows_up_in_timings(self, stored):
+        instr = Instrumentation()
+        with injected("slow@experiment.run:fig1+0.2"):
+            outcome = run_experiments(
+                stored.world, ["fig1"], jobs=1, instrumentation=instr
+            )
+        assert outcome.ok
+        assert instr.counters["fault_slow"] == 1
+        (stage,) = instr.group("experiment")
+        assert stage.seconds >= 0.2
+
+    def test_io_error_in_experiment_is_isolated(self, stored):
+        instr = Instrumentation()
+        with injected("io-error@experiment.run:fig1"):
+            outcome = run_experiments(
+                stored.world, SUBSET, jobs=1, instrumentation=instr
+            )
+        assert [f.exp_id for f in outcome.failures] == ["fig1"]
+        assert outcome.failures[0].kind == "raised"
+        assert "InjectedIOError" in outcome.failures[0].error
+        assert [r.exp_id for r in outcome.reports] == ["tab1", "fig5"]
+        assert instr.counters["fault_io-error"] == 1

@@ -1,5 +1,7 @@
 """Unit tests for the parallel experiment runner."""
 
+import os
+
 import pytest
 
 from repro.analysis import load_entries
@@ -8,6 +10,7 @@ from repro.runtime import (
     Instrumentation,
     WorldCache,
     default_jobs,
+    resolve_jobs,
     run_experiments,
 )
 from repro.synth import ScenarioConfig
@@ -30,16 +33,31 @@ def entries(cached_world):
 SUBSET = ["fig1", "tab1", "fig5", "ext-survival"]
 
 
-class TestDefaultJobs:
+class TestJobs:
     def test_env_controls_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)
         assert default_jobs() == 1
         monkeypatch.setenv("REPRO_JOBS", "6")
         assert default_jobs() == 6
-        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
-        assert default_jobs() == 1
+
+    def test_zero_means_one_per_cpu(self, monkeypatch):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == (os.cpu_count() or 1)
+
+    def test_negative_and_garbage_rejected_loudly(self, monkeypatch):
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            resolve_jobs(-4)
         monkeypatch.setenv("REPRO_JOBS", "-3")
-        assert default_jobs() == 1
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            default_jobs()
+        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+        with pytest.raises(ValueError, match="must be an integer"):
+            default_jobs()
+
+    def test_positive_passthrough(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
 
 
 class TestRunExperiments:
@@ -86,6 +104,7 @@ class TestRunExperiments:
         assert [r.exp_id for r in outcome.reports] == ["fig1", "tab1"]
         assert [f.exp_id for f in outcome.failures] == ["boom"]
         assert "injected experiment failure" in outcome.failures[0].error
+        assert outcome.failures[0].kind == "raised"
 
     def test_failure_is_isolated_parallel(
         self, cached_world, entries, monkeypatch

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_DEGRADED, build_parser, main
 from repro.reporting import EXPERIMENTS
 
 
@@ -20,6 +20,25 @@ class TestParser:
         assert args.scale == "tiny"
         assert args.exp == ["tab1"]
         assert not args.all
+
+    def test_jobs_zero_accepted(self):
+        args = build_parser().parse_args(["report", "--exp", "tab1",
+                                          "--jobs", "0"])
+        assert args.jobs == 0
+
+    def test_jobs_negative_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["report", "--exp", "tab1",
+                                       "--jobs", "-2"])
+        assert excinfo.value.code == 2
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_jobs_garbage_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["report", "--exp", "tab1",
+                                       "--jobs", "many"])
+        assert excinfo.value.code == 2
+        assert "invalid" in capsys.readouterr().err
 
 
 class TestCommands:
@@ -60,3 +79,29 @@ class TestCommands:
         assert "### fig1" in out
         assert "### ext-rov" in out
         assert "| metric | paper | measured |" in out
+
+
+class TestDegradedRuns:
+    def test_env_jobs_negative_is_a_usage_error(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["report", "--exp", "tab2"])
+        assert excinfo.value.code == 2
+        assert "jobs must be >= 0" in capsys.readouterr().err
+
+    def test_corrupt_cache_entry_degrades_exit_status(
+        self, tmp_path, capsys
+    ):
+        args = ["report", "--exp", "tab2", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        (entry,) = (tmp_path / "worlds").iterdir()
+        (entry / "config.json").write_text("{ torn")
+        # The run self-heals (evict + rebuild) but reports degradation.
+        assert main(args) == EXIT_DEGRADED
+        captured = capsys.readouterr()
+        assert "Appendix A" in captured.out  # full, correct report
+        assert "degraded run:" in captured.err
+        assert "world_cache_evictions=1" in captured.err
+        # A healthy entry was re-stored: the next run is clean again.
+        assert main(args) == 0
