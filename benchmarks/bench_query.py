@@ -1,0 +1,169 @@
+"""Query-layer costs: index build, single-lookup latency, batch throughput.
+
+Two entry points share the measurement code:
+
+* pytest-benchmark functions (``bench_query_*``) picked up with the rest
+  of the bench suite, and
+* a standalone mode — ``python benchmarks/bench_query.py --out
+  BENCH_query.json`` — recording the PR's acceptance numbers (warm-index
+  single-lookup p50 < 1 ms, 10k batch < 1 s) as a JSON artifact.
+  ``--smoke`` shrinks the latency sample for CI.
+"""
+
+import argparse
+import json
+import sys
+from itertools import cycle, islice
+from pathlib import Path
+from time import perf_counter
+
+from repro.query import QueryEngine, build_index, load_index, save_index
+from repro.runtime import WorldCache
+from repro.synth import ScenarioConfig
+
+_SCALES = {
+    "tiny": ScenarioConfig.tiny,
+    "small": ScenarioConfig.small,
+    "paper": ScenarioConfig.paper,
+}
+
+BATCH_SIZE = 10_000
+
+
+def _queries(index, count):
+    """``count`` (prefix, day) pairs cycling the indexed populations."""
+    prefixes = list(islice(cycle(
+        list(index.routes) + list(index.drop) + list(index.roa)
+    ), count))
+    days = cycle([index.window.start, index.window.end])
+    return [(prefix, next(days)) for prefix in prefixes]
+
+
+def _percentile(sorted_values, q):
+    rank = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[rank]
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+
+def bench_query_index_build(benchmark, world):
+    index = benchmark.pedantic(
+        lambda: build_index(world), rounds=1, iterations=1
+    )
+    sizes = index.sizes()
+    assert sizes["route_prefixes"] > 0
+    assert sizes["drop_prefixes"] > 0
+
+
+def bench_query_single_lookup(benchmark, world):
+    engine = QueryEngine(build_index(world))
+    queries = cycle(_queries(engine.index, 512))
+
+    def one():
+        prefix, day = next(queries)
+        return engine.lookup(prefix, day)
+
+    status = benchmark(one)
+    assert status.total_peers == engine.index.total_peers
+
+
+def bench_query_batch_10k(benchmark, world):
+    engine = QueryEngine(build_index(world))
+    queries = _queries(engine.index, BATCH_SIZE)
+    results = benchmark.pedantic(
+        lambda: engine.lookup_many(queries), rounds=1, iterations=1
+    )
+    assert len(results) == BATCH_SIZE
+
+
+# ---------------------------------------------------------------------------
+# standalone artifact mode
+# ---------------------------------------------------------------------------
+
+
+def run(scale: str, *, samples: int, out: Path | None) -> dict:
+    world = WorldCache().fetch(_SCALES[scale]()).world
+
+    started = perf_counter()
+    index = build_index(world)
+    build_seconds = perf_counter() - started
+
+    # Persistence round trip: what a daemon restart pays instead of the
+    # build above.
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as staging:
+        save_index(index, Path(staging))
+        started = perf_counter()
+        index = load_index(Path(staging), expected_key="")
+        load_seconds = perf_counter() - started
+
+    engine = QueryEngine(index)
+    singles = _queries(index, samples)
+    for prefix, day in singles[:200]:  # warm caches before timing
+        engine.lookup(prefix, day)
+    latencies = []
+    for prefix, day in singles:
+        started = perf_counter()
+        engine.lookup(prefix, day)
+        latencies.append(perf_counter() - started)
+    latencies.sort()
+
+    batch = _queries(index, BATCH_SIZE)
+    started = perf_counter()
+    results = engine.lookup_many(batch)
+    batch_seconds = perf_counter() - started
+    assert len(results) == BATCH_SIZE
+
+    p50 = _percentile(latencies, 0.50)
+    p99 = _percentile(latencies, 0.99)
+    payload = {
+        "scale": scale,
+        "index": index.sizes(),
+        "index_build_seconds": round(build_seconds, 4),
+        "index_load_seconds": round(load_seconds, 4),
+        "single_lookup_samples": samples,
+        "single_lookup_p50_ms": round(p50 * 1e3, 4),
+        "single_lookup_p99_ms": round(p99 * 1e3, 4),
+        "batch_size": BATCH_SIZE,
+        "batch_seconds": round(batch_seconds, 4),
+        "batch_lookups_per_second": round(BATCH_SIZE / batch_seconds),
+        "meets_targets": {
+            "single_lookup_p50_under_1ms": p50 < 1e-3,
+            "batch_10k_under_1s": batch_seconds < 1.0,
+        },
+    }
+    if out is not None:
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
+    parser.add_argument("--samples", type=int, default=5000,
+                        help="single-lookup latency sample count")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: small latency sample")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the JSON artifact to FILE")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless the latency targets are met")
+    args = parser.parse_args(argv)
+    payload = run(
+        args.scale,
+        samples=500 if args.smoke else args.samples,
+        out=args.out,
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.check and not all(payload["meets_targets"].values()):
+        print("latency targets missed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

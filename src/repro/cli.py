@@ -6,9 +6,13 @@ Installed as ``repro-drop``::
     repro-drop report --exp tab1 --exp fig5
     repro-drop report --all --jobs 4 --timings
     repro-drop markdown > EXPERIMENTS-run.md
+    repro-drop query 192.0.2.0/24 --on 2021-06-01
+    repro-drop query --stdin --format table < prefixes.txt
+    repro-drop serve --port 8765
 
-``report``/``markdown`` accept either ``--scale`` (build a fresh world)
-or ``--archives DIR`` (load one previously written by ``build``).
+``report``/``markdown``/``query``/``serve`` accept either ``--scale``
+(build a fresh world) or ``--archives DIR`` (load one previously
+written by ``build``).
 Generated worlds are cached content-addressed under
 ``~/.cache/repro-drop`` (``$REPRO_CACHE_DIR``), so repeat runs skip the
 build; ``--no-cache`` bypasses and ``--refresh-cache`` rebuilds the
@@ -25,10 +29,20 @@ unwritable cache entry — detailed on stderr.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from time import perf_counter
 
+from .net.prefix import IPv4Prefix, PrefixError
+from .net.timeline import DateWindow, parse_date
+from .query import (
+    INDEX_FILENAME,
+    QueryEngine,
+    QueryServer,
+    load_index,
+    parse_query_line,
+)
 from .reporting import (
     EXPERIMENTS,
     render_markdown,
@@ -41,6 +55,7 @@ from .runtime import (
     default_jobs,
     resolve_jobs,
     run_experiments,
+    world_cache_key,
     world_sizes,
 )
 from .synth import ScenarioConfig, World, build_world, load_world, save_world
@@ -271,6 +286,175 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return status
 
 
+def _index_location(
+    args: argparse.Namespace,
+) -> tuple[Path | None, str]:
+    """Where a persisted index for this invocation would live, plus the
+    expected world key — both computable without loading any archive."""
+    if args.archives is not None:
+        meta_path = args.archives / "config.json"
+        if not meta_path.exists():
+            return None, ""
+        meta = json.loads(meta_path.read_text())
+        config = ScenarioConfig(
+            seed=meta["seed"],
+            window=DateWindow(
+                parse_date(meta["window_start"]),
+                parse_date(meta["window_end"]),
+            ),
+        )
+        return args.archives, world_cache_key(config)
+    if args.no_cache or args.refresh_cache:
+        return None, ""
+    config = _SCALES[args.scale](seed=args.seed)
+    cache = WorldCache(args.cache_dir)
+    return cache.directory_for(config), world_cache_key(config)
+
+
+def _query_engine(
+    args: argparse.Namespace, instr: Instrumentation
+) -> QueryEngine:
+    """The engine for this invocation's world.
+
+    Fast path: a valid persisted index answers every query, so when one
+    exists the world (and its multi-second archive load) is skipped
+    entirely — this is what makes daemon restarts cheap.  A torn or
+    stale index is evicted here and rebuilt below from the world.
+    """
+    directory, key = _index_location(args)
+    if directory is not None and (directory / INDEX_FILENAME).exists():
+        try:
+            index = load_index(
+                directory, expected_key=key, instrumentation=instr
+            )
+        except Exception:
+            (directory / INDEX_FILENAME).unlink(missing_ok=True)
+            instr.incr("query_index_evictions")
+        else:
+            instr.annotate(
+                "query_index",
+                {"status": "hit", "directory": str(directory)},
+            )
+            return QueryEngine(index, instrumentation=instr)
+    world, directory = _resolve_world(args, instr)
+    instr.annotate("query_index", {"status": "build"})
+    return QueryEngine.for_world(
+        world,
+        directory=directory,
+        key=world_cache_key(world.config),
+        instrumentation=instr,
+    )
+
+
+def _status_table(statuses) -> str:
+    """Aligned text table for ``query --format table``."""
+    header = (
+        "prefix", "on", "drop", "sbl", "irr", "rpki", "bgp", "peers"
+    )
+    rows = [header]
+    for status in statuses:
+        rows.append(
+            (
+                str(status.prefix),
+                status.on.isoformat(),
+                "listed" if status.drop_listed else "-",
+                status.drop_sbl_id or "-",
+                (
+                    "exact"
+                    if status.irr_exact
+                    else "covered" if status.irr_registered else "-"
+                ),
+                (
+                    status.rpki_validity
+                    or ("covered" if status.roa_covered else "-")
+                ),
+                (
+                    "announced"
+                    if status.announced
+                    else "covered" if status.covered_by_route else "-"
+                ),
+                f"{status.visible_peers}/{status.total_peers}",
+            )
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    return "\n".join(
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        for row in rows
+    )
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    instr = Instrumentation()
+    try:
+        default_day = parse_date(args.on) if args.on else None
+        prefixes = [IPv4Prefix.parse(text) for text in args.prefixes]
+    except (PrefixError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not prefixes and not args.stdin:
+        print(
+            "nothing to query: pass PREFIX arguments or --stdin",
+            file=sys.stderr,
+        )
+        return 2
+    engine = _query_engine(args, instr)
+    resolved_day = default_day if default_day is not None else engine.default_day
+    queries = [(prefix, resolved_day) for prefix in prefixes]
+    if args.stdin:
+        try:
+            for line in sys.stdin:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                queries.append(
+                    parse_query_line(line, default_day=resolved_day)
+                )
+        except (PrefixError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    statuses = engine.lookup_many(queries)
+    if args.format == "table":
+        print(_status_table(statuses))
+    else:
+        for status in statuses:
+            print(json.dumps(status.to_dict(), sort_keys=True))
+    _emit_timings(args, instr, sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    instr = Instrumentation()
+    engine = _query_engine(args, instr)
+    try:
+        server = QueryServer(engine, args.host, args.port)
+    except OSError as error:
+        print(f"error: cannot bind {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+    server.install_signal_handlers()
+    host, port = server.server_address[:2]
+    sizes = engine.index.sizes()
+    print(
+        f"serving http://{host}:{port} "
+        f"(/v1/status, /v1/batch, /healthz); "
+        f"{sizes['drop_prefixes']} DROP / {sizes['roa_prefixes']} ROA / "
+        f"{sizes['irr_prefixes']} IRR / {sizes['route_prefixes']} BGP "
+        f"prefixes indexed",
+        file=sys.stderr,
+    )
+    server.serve_until_shutdown()
+    served = {
+        name: count
+        for name, count in sorted(instr.counters.items())
+        if name.startswith("serve_") and name.endswith("_requests")
+    }
+    summary = ", ".join(f"{k.removeprefix('serve_').removesuffix('_requests')}="
+                        f"{v}" for k, v in served.items()) or "no requests"
+    print(f"drained cleanly ({summary})", file=sys.stderr)
+    _emit_timings(args, instr, sys.stderr)
+    return 0
+
+
 def _cmd_markdown(args: argparse.Namespace) -> int:
     outcome, instr = _run_selected(args, list(EXPERIMENTS))
     print(render_markdown(list(outcome.reports)))
@@ -323,6 +507,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_world_source(markdown_cmd)
     markdown_cmd.set_defaults(func=_cmd_markdown)
+
+    query_cmd = commands.add_parser(
+        "query",
+        help="point-in-time prefix status (DROP/IRR/RPKI/BGP) lookups",
+    )
+    _add_world_source(query_cmd)
+    query_cmd.add_argument(
+        "prefixes", nargs="*", metavar="PREFIX",
+        help="CIDR prefix to look up (repeatable)",
+    )
+    query_cmd.add_argument(
+        "--on", default=None, metavar="DATE",
+        help="point-in-time date, YYYY-MM-DD (default: window end)",
+    )
+    query_cmd.add_argument(
+        "--stdin", action="store_true",
+        help="also read 'PREFIX [DATE]' query lines from stdin",
+    )
+    query_cmd.add_argument(
+        "--format", choices=("json", "table"), default="json",
+        help="output format (default: json, one object per line)",
+    )
+    query_cmd.set_defaults(func=_cmd_query)
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="HTTP daemon for point-in-time lookups "
+        "(/v1/status, /v1/batch, /healthz)",
+    )
+    _add_world_source(serve_cmd)
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8765)
+    serve_cmd.set_defaults(func=_cmd_serve)
 
     return parser
 

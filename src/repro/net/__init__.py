@@ -19,7 +19,7 @@ from .prefix import (
     slash8_equivalents,
 )
 from .prefixset import PrefixSet
-from .radix import RadixTree
+from .radix import PrefixTrie, RadixTree
 from .timeline import (
     STUDY_END,
     STUDY_START,
@@ -42,6 +42,7 @@ __all__ = [
     "IPv4Prefix",
     "PrefixError",
     "PrefixSet",
+    "PrefixTrie",
     "RadixTree",
     "STUDY_END",
     "STUDY_START",

@@ -24,7 +24,7 @@ from typing import Generic, Iterator, TypeVar
 
 from .prefix import IPV4_BITS, IPv4Prefix
 
-__all__ = ["RadixTree"]
+__all__ = ["PrefixTrie", "RadixTree"]
 
 V = TypeVar("V")
 
@@ -271,3 +271,9 @@ class RadixTree(Generic[V]):
         node.value = None
         self._size -= 1
         return value  # type: ignore[return-value]
+
+
+#: The name the query layer uses for the same structure: a prefix-keyed
+#: trie answering longest-prefix-match (:meth:`RadixTree.lookup_best`) and
+#: subtree (:meth:`RadixTree.lookup_covered`) queries.
+PrefixTrie = RadixTree

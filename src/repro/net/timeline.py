@@ -15,6 +15,7 @@ day resolution using ``datetime.date``.  This module provides:
 
 from __future__ import annotations
 
+import re
 from bisect import bisect_right
 from dataclasses import dataclass
 from datetime import date, timedelta
@@ -43,14 +44,34 @@ STUDY_END = date(2022, 3, 30)
 T = TypeVar("T")
 
 
+_ISO_DATE = re.compile(r"^(\d{4})-(\d{1,2})-(\d{1,2})$")
+_COMPACT_DATE = re.compile(r"^\d{8}$")
+
+
 def parse_date(text: str) -> date:
-    """Parse ``YYYY-MM-DD`` or the RIR-stats ``YYYYMMDD`` form."""
+    """Parse ``YYYY-MM-DD`` or the RIR-stats ``YYYYMMDD`` form.
+
+    Anything else — trailing garbage, truncated input, an impossible
+    calendar date like ``2021-02-30`` — raises ``ValueError`` naming the
+    offending text, so a torn archive line surfaces as a parse failure
+    rather than a silently wrong day.
+    """
     cleaned = text.strip()
-    if "-" in cleaned:
-        year, month, day = cleaned.split("-")
+    match = _ISO_DATE.match(cleaned)
+    if match is not None:
+        year, month, day = (int(part) for part in match.groups())
+    elif _COMPACT_DATE.match(cleaned):
+        year, month, day = (
+            int(cleaned[0:4]), int(cleaned[4:6]), int(cleaned[6:8])
+        )
     else:
-        year, month, day = cleaned[0:4], cleaned[4:6], cleaned[6:8]
-    return date(int(year), int(month), int(day))
+        raise ValueError(
+            f"invalid date {text!r} (expected YYYY-MM-DD or YYYYMMDD)"
+        )
+    try:
+        return date(year, month, day)
+    except ValueError as error:
+        raise ValueError(f"invalid date {text!r}: {error}") from None
 
 
 def date_range(start: date, end: date, step_days: int = 1) -> Iterator[date]:

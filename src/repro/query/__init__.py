@@ -1,0 +1,41 @@
+"""Query subsystem: point-in-time prefix lookups, batch API, daemon.
+
+The serving layer on top of the runtime world cache:
+
+* :mod:`repro.query.index` — the immutable, read-optimized, persisted
+  :class:`QueryIndex` (date-annotated prefix tries, content-addressed
+  alongside the world's cache entry);
+* :mod:`repro.query.engine` — :class:`QueryEngine` with
+  ``lookup(prefix, on=day)`` / ``lookup_many`` returning the unified
+  :class:`PrefixStatus`;
+* :mod:`repro.query.server` — the ``repro-drop serve`` HTTP daemon
+  (``/v1/status``, ``/v1/batch``, ``/healthz``).
+"""
+
+from .engine import PrefixStatus, QueryEngine, parse_query_line
+from .index import (
+    INDEX_FILENAME,
+    INDEX_FORMAT,
+    IndexLoadError,
+    QueryIndex,
+    build_index,
+    load_index,
+    load_or_build_index,
+    save_index,
+)
+from .server import QueryServer
+
+__all__ = [
+    "INDEX_FILENAME",
+    "INDEX_FORMAT",
+    "IndexLoadError",
+    "PrefixStatus",
+    "QueryEngine",
+    "QueryIndex",
+    "QueryServer",
+    "build_index",
+    "load_index",
+    "load_or_build_index",
+    "parse_query_line",
+    "save_index",
+]

@@ -1,0 +1,238 @@
+"""The batch query API: point-in-time prefix status lookups.
+
+``QueryEngine.lookup(prefix, on=day)`` answers the paper's core join for
+one prefix on one day — "was it DROP-listed, IRR-registered, ROA-covered,
+RFC 6811-valid, and visible in BGP?" — from the immutable
+:class:`~repro.query.index.QueryIndex`, in microseconds.  The answers
+are definitionally identical to what the batch analyses compute from the
+full archives (``tests/query`` pins that equivalence), just reachable
+without loading a world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from typing import Iterable
+
+from ..net.prefix import IPv4Prefix
+from ..net.timeline import parse_date
+from ..rpki.tal import TalSet
+from ..rpki.validation import RouteValidity, validate_route
+from ..runtime.instrument import Instrumentation
+from ..synth.world import World
+from .index import QueryIndex, load_or_build_index
+
+__all__ = ["PrefixStatus", "QueryEngine", "parse_query_line"]
+
+
+@dataclass(frozen=True, slots=True)
+class PrefixStatus:
+    """The unified point-in-time answer for one (prefix, day) pair."""
+
+    prefix: IPv4Prefix
+    on: date
+    # DROP
+    drop_listed: bool
+    drop_entry: IPv4Prefix | None  # the most specific covering listing
+    drop_sbl_id: str | None
+    drop_since: date | None
+    # IRR
+    irr_registered: bool  # an active route object covers the prefix
+    irr_exact: bool  # ... for exactly this prefix
+    irr_origins: tuple[int, ...]
+    # RPKI
+    roa_covered: bool  # a trusted active ROA covers the prefix
+    roa_asns: tuple[int, ...]
+    rpki_validity: str | None  # RFC 6811 state of the announcement, or None
+    # BGP
+    announced: bool  # an exact-prefix route was active
+    covered_by_route: bool  # ... or a covering less-specific was
+    origins: tuple[int, ...]
+    visible_peers: int  # full-table peers observing the exact prefix
+    total_peers: int
+
+    def to_dict(self) -> dict:
+        """A JSON-able dict with stable field order (the wire format)."""
+        return {
+            "prefix": str(self.prefix),
+            "on": self.on.isoformat(),
+            "drop": {
+                "listed": self.drop_listed,
+                "entry": (
+                    None if self.drop_entry is None else str(self.drop_entry)
+                ),
+                "sbl_id": self.drop_sbl_id,
+                "since": (
+                    None
+                    if self.drop_since is None
+                    else self.drop_since.isoformat()
+                ),
+            },
+            "irr": {
+                "registered": self.irr_registered,
+                "exact": self.irr_exact,
+                "origins": list(self.irr_origins),
+            },
+            "rpki": {
+                "covered": self.roa_covered,
+                "roa_asns": list(self.roa_asns),
+                "validity": self.rpki_validity,
+            },
+            "bgp": {
+                "announced": self.announced,
+                "covered_by_route": self.covered_by_route,
+                "origins": list(self.origins),
+                "visible_peers": self.visible_peers,
+                "total_peers": self.total_peers,
+            },
+        }
+
+
+def parse_query_line(line: str, *, default_day: date) -> tuple[IPv4Prefix, date]:
+    """Parse one batch input line: ``PREFIX`` or ``PREFIX DATE``."""
+    parts = line.split()
+    if not parts or len(parts) > 2:
+        raise ValueError(
+            f"bad query line {line!r} (expected 'PREFIX [DATE]')"
+        )
+    prefix = IPv4Prefix.parse(parts[0])
+    day = parse_date(parts[1]) if len(parts) == 2 else default_day
+    return prefix, day
+
+
+class QueryEngine:
+    """Point-in-time lookups over one immutable :class:`QueryIndex`."""
+
+    def __init__(
+        self,
+        index: QueryIndex,
+        *,
+        tals: TalSet | None = None,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
+        self.index = index
+        self.tals = tals or TalSet.default()
+        self.instrumentation = instrumentation or Instrumentation()
+
+    @classmethod
+    def for_world(
+        cls,
+        world: World,
+        *,
+        directory=None,
+        key: str = "",
+        tals: TalSet | None = None,
+        instrumentation: Instrumentation | None = None,
+    ) -> "QueryEngine":
+        """An engine for ``world``, reusing a persisted index if present."""
+        index = load_or_build_index(
+            world, directory, key=key, instrumentation=instrumentation
+        )
+        return cls(index, tals=tals, instrumentation=instrumentation)
+
+    @property
+    def default_day(self) -> date:
+        """The day queries default to: the end of the data window."""
+        return self.index.window.end
+
+    # -- lookups -----------------------------------------------------------
+
+    def lookup(self, prefix: IPv4Prefix, on: date | None = None) -> PrefixStatus:
+        """The unified status of ``prefix`` on day ``on`` (window end
+        when omitted)."""
+        day = self.default_day if on is None else on
+        self.instrumentation.incr("query_lookups")
+
+        # DROP: the most specific listing covering the prefix on `day`.
+        drop_entry = drop_sbl = drop_since = None
+        for listing, bucket in reversed(self.index.drop.lookup_covering(prefix)):
+            for episode in bucket:
+                if episode.listed_on(day):
+                    drop_entry = listing
+                    drop_sbl = episode.sbl_id
+                    drop_since = episode.added
+                    break
+            if drop_entry is not None:
+                break
+
+        # IRR: active route objects for the prefix or a covering one.
+        irr_origins: set[int] = set()
+        irr_exact = False
+        for registered, bucket in self.index.irr.lookup_covering(prefix):
+            for entry in bucket:
+                if entry.active_on(day):
+                    irr_origins.add(entry.origin)
+                    if registered == prefix:
+                        irr_exact = True
+
+        # RPKI: trusted active ROAs covering the prefix.
+        roas = [
+            entry.roa(covering)
+            for covering, bucket in self.index.roa.lookup_covering(prefix)
+            for entry in bucket
+            if entry.active_on(day)
+            and self.tals.trusts(entry.trust_anchor)
+        ]
+
+        # BGP: exact announcements and covering reachability.
+        origins: set[int] = set()
+        observers: set[int] = set()
+        exact_bucket = self.index.routes.get(prefix) or ()
+        for route in exact_bucket:
+            if route.active_on(day):
+                origins.add(route.origin)
+                observers.update(
+                    route.observers_on(day, self.index.observer_sets)
+                )
+        announced = bool(origins)
+        covered_by_route = announced or any(
+            route.active_on(day)
+            for _, bucket in self.index.routes.lookup_covering(prefix)
+            for route in bucket
+        )
+
+        # RFC 6811 validity of the live announcement(s): VALID if any
+        # origin is authorized, else INVALID when covered; unannounced
+        # prefixes have no route to validate.
+        validity: str | None = None
+        if announced:
+            states = {
+                validate_route(prefix, origin, roas, self.tals)
+                for origin in origins
+            }
+            if RouteValidity.VALID in states:
+                validity = str(RouteValidity.VALID)
+            elif RouteValidity.INVALID in states:
+                validity = str(RouteValidity.INVALID)
+            else:
+                validity = str(RouteValidity.NOT_FOUND)
+
+        return PrefixStatus(
+            prefix=prefix,
+            on=day,
+            drop_listed=drop_entry is not None,
+            drop_entry=drop_entry,
+            drop_sbl_id=drop_sbl,
+            drop_since=drop_since,
+            irr_registered=bool(irr_origins),
+            irr_exact=irr_exact,
+            irr_origins=tuple(sorted(irr_origins)),
+            roa_covered=bool(roas),
+            roa_asns=tuple(sorted({roa.asn for roa in roas})),
+            rpki_validity=validity,
+            announced=announced,
+            covered_by_route=covered_by_route,
+            origins=tuple(sorted(origins)),
+            visible_peers=len(observers),
+            total_peers=self.index.total_peers,
+        )
+
+    def lookup_many(
+        self, queries: Iterable[tuple[IPv4Prefix, date | None]]
+    ) -> list[PrefixStatus]:
+        """Vectorized batch: one status per (prefix, day) pair, in order."""
+        with self.instrumentation.stage("lookup-many", group="query"):
+            results = [self.lookup(prefix, on) for prefix, on in queries]
+        self.instrumentation.incr("query_batches")
+        return results

@@ -1,0 +1,469 @@
+"""The point-in-time query index: immutable, read-optimized, persisted.
+
+Batch analyses walk whole archives; the serving layer instead answers
+"what was the status of this one prefix on date D?" in microseconds.  A
+:class:`QueryIndex` is built once per world — four
+:class:`~repro.net.radix.PrefixTrie` instances (DROP listings, IRR route
+objects, ROAs, BGP route intervals), each entry annotated with its date
+interval — and is immutable afterwards: lookups never mutate, so the
+index is safe to share across server threads without locks.
+
+The index persists as ``query-index.json`` *inside* the world's cache
+entry directory, so it is content-addressed by construction: the entry
+directory name is the world's config/generator hash, and a new generator
+version lands in a new directory.  The header additionally pins the
+index format version, the generator version, and the world key, so a
+stale or foreign file never loads.  Loading follows the runtime cache's
+corruption discipline: any failure (torn file, bad header, injected
+fault at the ``query.index.load`` site) evicts the file and rebuilds
+from the world — one rebuild, never an error, never silently wrong
+answers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from dataclasses import dataclass
+from datetime import date
+from pathlib import Path
+
+from ..net.prefix import IPv4Prefix
+from ..net.radix import PrefixTrie
+from ..net.timeline import DateWindow
+from ..rpki.roa import Roa
+from ..runtime.faults import corrupt_file, fault_point
+from ..runtime.instrument import Instrumentation
+from ..synth.builder import GENERATOR_VERSION
+from ..synth.world import World
+
+__all__ = [
+    "INDEX_FILENAME",
+    "INDEX_FORMAT",
+    "DropEntry",
+    "IndexLoadError",
+    "IrrEntry",
+    "QueryIndex",
+    "RoaEntry",
+    "RouteEntry",
+    "build_index",
+    "load_index",
+    "load_or_build_index",
+    "save_index",
+]
+
+#: On-disk index layout version; bump to orphan every persisted index.
+INDEX_FORMAT = 1
+
+#: The index file's name inside a world cache entry (or archive dir).
+INDEX_FILENAME = "query-index.json"
+
+
+class IndexLoadError(ValueError):
+    """A persisted index that cannot be trusted (torn, stale, foreign)."""
+
+
+def _active(start: date, end: date | None, day: date) -> bool:
+    """Inclusive-start, exclusive-end interval membership (open = forever)."""
+    return start <= day and (end is None or day < end)
+
+
+@dataclass(frozen=True, slots=True)
+class DropEntry:
+    """One DROP listing episode of a prefix."""
+
+    added: date
+    removed: date | None  # first day no longer listed
+    sbl_id: str | None
+
+    def listed_on(self, day: date) -> bool:
+        return _active(self.added, self.removed, day)
+
+
+@dataclass(frozen=True, slots=True)
+class IrrEntry:
+    """One IRR route-object registration lifetime."""
+
+    origin: int
+    created: date
+    deleted: date | None  # first day the object was gone
+
+    def active_on(self, day: date) -> bool:
+        return _active(self.created, self.deleted, day)
+
+
+@dataclass(frozen=True, slots=True)
+class RoaEntry:
+    """One ROA lifetime (enough to re-run RFC 6811 validation)."""
+
+    asn: int
+    max_length: int | None
+    trust_anchor: str
+    created: date
+    removed: date | None  # first day absent from the archive
+
+    def active_on(self, day: date) -> bool:
+        return _active(self.created, self.removed, day)
+
+    def roa(self, prefix: IPv4Prefix) -> Roa:
+        """The :class:`~repro.rpki.roa.Roa` payload this entry stores."""
+        return Roa(
+            prefix=prefix,
+            asn=self.asn,
+            max_length=self.max_length,
+            trust_anchor=self.trust_anchor,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RouteEntry:
+    """One BGP announcement episode, full-table observers interned.
+
+    ``observers_ref`` indexes :attr:`QueryIndex.observer_sets` (route
+    intervals overwhelmingly share observer sets, so interning keeps the
+    persisted index compact).  ``partials`` carries the DROP-filtering
+    peers' carve-outs as ``(peer_id, start, end-inclusive-or-None)``,
+    mirroring :class:`~repro.bgp.ribs.PartialObservation`.
+    """
+
+    origin: int
+    start: date
+    end: date | None  # last observed day, inclusive; None = open
+    observers_ref: int
+    partials: tuple[tuple[int, date, date | None], ...] = ()
+
+    def active_on(self, day: date) -> bool:
+        return self.start <= day and (self.end is None or day <= self.end)
+
+    def observers_on(
+        self, day: date, sets: list[frozenset[int]]
+    ) -> frozenset[int]:
+        """Full-table peers with this route in their table on ``day``."""
+        if not self.active_on(day):
+            return frozenset()
+        base = sets[self.observers_ref]
+        if not self.partials:
+            return base
+        seen = set(base)
+        for peer_id, start, end in self.partials:
+            seen.discard(peer_id)
+            if start <= day and (end is None or day <= end):
+                seen.add(peer_id)
+        return frozenset(seen)
+
+
+class QueryIndex:
+    """Four date-annotated prefix tries plus the run metadata header."""
+
+    __slots__ = (
+        "window",
+        "total_peers",
+        "key",
+        "generator",
+        "drop",
+        "irr",
+        "roa",
+        "routes",
+        "observer_sets",
+    )
+
+    def __init__(
+        self,
+        *,
+        window: DateWindow,
+        total_peers: int,
+        key: str,
+        generator: str = GENERATOR_VERSION,
+    ) -> None:
+        self.window = window
+        self.total_peers = total_peers
+        self.key = key
+        self.generator = generator
+        self.drop: PrefixTrie[list[DropEntry]] = PrefixTrie()
+        self.irr: PrefixTrie[list[IrrEntry]] = PrefixTrie()
+        self.roa: PrefixTrie[list[RoaEntry]] = PrefixTrie()
+        self.routes: PrefixTrie[list[RouteEntry]] = PrefixTrie()
+        self.observer_sets: list[frozenset[int]] = []
+
+    def sizes(self) -> dict[str, int]:
+        """Per-trie entry counts, for health and timing records."""
+        return {
+            "drop_prefixes": len(self.drop),
+            "irr_prefixes": len(self.irr),
+            "roa_prefixes": len(self.roa),
+            "route_prefixes": len(self.routes),
+            "observer_sets": len(self.observer_sets),
+        }
+
+
+# ---------------------------------------------------------------------------
+# building
+# ---------------------------------------------------------------------------
+
+
+def build_index(
+    world: World,
+    *,
+    key: str = "",
+    instrumentation: Instrumentation | None = None,
+) -> QueryIndex:
+    """Build the read-optimized index from a world's archives."""
+    instr = instrumentation or Instrumentation()
+    with instr.stage("index-build", group="query"):
+        full_table = world.peers.full_table_peer_ids()
+        index = QueryIndex(
+            window=world.window,
+            total_peers=len(full_table),
+            key=key,
+        )
+        for prefix in world.drop.unique_prefixes():
+            index.drop.insert(
+                prefix,
+                [
+                    DropEntry(e.added, e.removed, e.sbl_id)
+                    for e in world.drop.episodes_for(prefix)
+                ],
+            )
+        for record in world.irr.records():
+            entry = IrrEntry(
+                record.route.origin, record.created, record.deleted
+            )
+            _append(index.irr, record.route.prefix, entry)
+        for record in world.roas.records():
+            roa = record.roa
+            entry = RoaEntry(
+                roa.asn,
+                roa.max_length,
+                roa.trust_anchor,
+                record.created,
+                record.removed,
+            )
+            _append(index.roa, roa.prefix, entry)
+        interned: dict[frozenset[int], int] = {}
+        for interval in world.bgp.all_intervals():
+            observers = frozenset(interval.observers) & full_table
+            ref = interned.get(observers)
+            if ref is None:
+                ref = len(index.observer_sets)
+                interned[observers] = ref
+                index.observer_sets.append(observers)
+            entry = RouteEntry(
+                origin=interval.origin,
+                start=interval.start,
+                end=interval.end,
+                observers_ref=ref,
+                partials=tuple(
+                    (p.peer_id, p.start, p.end)
+                    for p in interval.partial_observers
+                    if p.peer_id in full_table
+                ),
+            )
+            _append(index.routes, interval.prefix, entry)
+    instr.incr("query_index_builds")
+    return index
+
+
+def _append(trie: PrefixTrie, prefix: IPv4Prefix, entry) -> None:
+    bucket = trie.get(prefix)
+    if bucket is None:
+        trie.insert(prefix, [entry])
+    else:
+        bucket.append(entry)
+
+
+# ---------------------------------------------------------------------------
+# persistence
+# ---------------------------------------------------------------------------
+
+
+def _iso(day: date | None) -> str | None:
+    return None if day is None else day.isoformat()
+
+
+def _day(text: str | None) -> date | None:
+    return None if text is None else date.fromisoformat(text)
+
+
+def save_index(
+    index: QueryIndex,
+    directory: Path,
+    *,
+    instrumentation: Instrumentation | None = None,
+) -> Path | None:
+    """Persist the index atomically as ``directory/query-index.json``.
+
+    Write failures (read-only archive dir, disk full, injected fault at
+    ``query.index.save``) degrade to an unpersisted index with a counter
+    and a warning — the engine works either way, the next run just
+    rebuilds.  Returns the written path, or None when degraded.
+    """
+    instr = instrumentation or Instrumentation()
+    payload = {
+        "format": INDEX_FORMAT,
+        "generator": index.generator,
+        "key": index.key,
+        "window": [index.window.start.isoformat(),
+                   index.window.end.isoformat()],
+        "total_peers": index.total_peers,
+        "observer_sets": [sorted(s) for s in index.observer_sets],
+        "drop": [
+            [str(prefix), [[_iso(e.added), _iso(e.removed), e.sbl_id]
+                           for e in bucket]]
+            for prefix, bucket in index.drop.items()
+        ],
+        "irr": [
+            [str(prefix), [[e.origin, _iso(e.created), _iso(e.deleted)]
+                           for e in bucket]]
+            for prefix, bucket in index.irr.items()
+        ],
+        "roa": [
+            [str(prefix),
+             [[e.asn, e.max_length, e.trust_anchor, _iso(e.created),
+               _iso(e.removed)] for e in bucket]]
+            for prefix, bucket in index.roa.items()
+        ],
+        "routes": [
+            [str(prefix),
+             [[e.origin, _iso(e.start), _iso(e.end), e.observers_ref,
+               [[pid, _iso(start), _iso(end)]
+                for pid, start, end in e.partials]]
+              for e in bucket]]
+            for prefix, bucket in index.routes.items()
+        ],
+    }
+    target = directory / INDEX_FILENAME
+    try:
+        with instr.stage("index-save", group="query"):
+            fault_point("query.index.save", instrumentation=instr)
+            fd, staging = tempfile.mkstemp(
+                dir=directory, prefix=f".{INDEX_FILENAME}-"
+            )
+            try:
+                with os.fdopen(fd, "w") as out:
+                    json.dump(payload, out, separators=(",", ":"))
+                os.rename(staging, target)
+            except BaseException:
+                Path(staging).unlink(missing_ok=True)
+                raise
+    except OSError as error:
+        instr.incr("query_index_store_errors")
+        message = f"query index store failed ({error}); continuing unpersisted"
+        instr.warn(message)
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
+        return None
+    instr.incr("query_index_stores")
+    return target
+
+
+def load_index(
+    directory: Path,
+    *,
+    expected_key: str,
+    instrumentation: Instrumentation | None = None,
+) -> QueryIndex:
+    """Load a persisted index, verifying its header.
+
+    Raises :class:`IndexLoadError` (or the underlying ``OSError`` /
+    ``json.JSONDecodeError``) when the file is missing, torn, or was
+    built by a different generator or for a different world — callers
+    evict and rebuild (see :func:`load_or_build_index`).
+    """
+    instr = instrumentation or Instrumentation()
+    path = directory / INDEX_FILENAME
+    with instr.stage("index-load", group="query"):
+        # A truncate fault at the load site models a torn file that
+        # became visible anyway (crash between write and fsync).
+        corrupt_file("query.index.load", path, instrumentation=instr)
+        fault_point("query.index.load", instrumentation=instr)
+        raw = json.loads(path.read_text())
+        if raw.get("format") != INDEX_FORMAT:
+            raise IndexLoadError(
+                f"index format {raw.get('format')!r} != {INDEX_FORMAT}"
+            )
+        if raw.get("generator") != GENERATOR_VERSION:
+            raise IndexLoadError(
+                f"index generator {raw.get('generator')!r} != "
+                f"{GENERATOR_VERSION!r}"
+            )
+        if expected_key and raw.get("key") != expected_key:
+            raise IndexLoadError(
+                f"index key {raw.get('key')!r} != {expected_key!r}"
+            )
+        start, end = raw["window"]
+        index = QueryIndex(
+            window=DateWindow(date.fromisoformat(start),
+                              date.fromisoformat(end)),
+            total_peers=raw["total_peers"],
+            key=raw["key"],
+            generator=raw["generator"],
+        )
+        index.observer_sets = [frozenset(s) for s in raw["observer_sets"]]
+        for prefix_text, bucket in raw["drop"]:
+            index.drop.insert(
+                IPv4Prefix.parse(prefix_text),
+                [DropEntry(_day(a), _day(r), sbl)  # type: ignore[arg-type]
+                 for a, r, sbl in bucket],
+            )
+        for prefix_text, bucket in raw["irr"]:
+            index.irr.insert(
+                IPv4Prefix.parse(prefix_text),
+                [IrrEntry(o, _day(c), _day(d))  # type: ignore[arg-type]
+                 for o, c, d in bucket],
+            )
+        for prefix_text, bucket in raw["roa"]:
+            index.roa.insert(
+                IPv4Prefix.parse(prefix_text),
+                [RoaEntry(asn, ml, ta, _day(c), _day(r))  # type: ignore[arg-type]
+                 for asn, ml, ta, c, r in bucket],
+            )
+        for prefix_text, bucket in raw["routes"]:
+            index.routes.insert(
+                IPv4Prefix.parse(prefix_text),
+                [
+                    RouteEntry(
+                        origin=o,
+                        start=_day(s),  # type: ignore[arg-type]
+                        end=_day(e),
+                        observers_ref=ref,
+                        partials=tuple(
+                            (pid, _day(ps), _day(pe))  # type: ignore[misc]
+                            for pid, ps, pe in partials
+                        ),
+                    )
+                    for o, s, e, ref, partials in bucket
+                ],
+            )
+    instr.incr("query_index_loads")
+    return index
+
+
+def load_or_build_index(
+    world: World,
+    directory: Path | None,
+    *,
+    key: str = "",
+    instrumentation: Instrumentation | None = None,
+) -> QueryIndex:
+    """The index for ``world``: persisted if possible, else built.
+
+    With a ``directory`` (the world's cache entry or archive dir), a
+    valid persisted index loads without touching the archives; a torn or
+    stale one is evicted (``query_index_evictions``) and transparently
+    rebuilt and re-stored.  Without a directory the index is built in
+    memory only.
+    """
+    instr = instrumentation or Instrumentation()
+    if directory is not None and (directory / INDEX_FILENAME).exists():
+        try:
+            return load_index(
+                directory, expected_key=key, instrumentation=instr
+            )
+        except Exception:
+            (directory / INDEX_FILENAME).unlink(missing_ok=True)
+            instr.incr("query_index_evictions")
+    index = build_index(world, key=key, instrumentation=instr)
+    if directory is not None:
+        save_index(index, directory, instrumentation=instr)
+    return index

@@ -1,0 +1,222 @@
+"""The serving daemon: the batch API behind three HTTP endpoints.
+
+A stdlib-only (``http.server``) daemon exposing the
+:class:`~repro.query.engine.QueryEngine` for interactive traffic:
+
+* ``GET /v1/status?prefix=P&on=YYYY-MM-DD`` — one unified
+  :class:`~repro.query.engine.PrefixStatus` as JSON;
+* ``POST /v1/batch`` — ``{"queries": [{"prefix": P, "on": D?}, ...]}``
+  answered in order as ``{"results": [...]}``;
+* ``GET /healthz`` — liveness plus index sizes and the request counters.
+
+The engine's index is immutable, so one engine serves every handler
+thread without locks.  Per-request timing flows into the run's
+:class:`~repro.runtime.instrument.Instrumentation` as counters (a
+request count and a cumulative microsecond total per endpoint, plus an
+error count) rather than per-request stage records, so a long-running
+daemon's memory stays flat.  SIGTERM/SIGINT drain gracefully: the
+accept loop stops, in-flight requests finish, then the socket closes.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from datetime import date
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
+from urllib.parse import parse_qs, urlsplit
+
+from ..net.prefix import IPv4Prefix, PrefixError
+from ..net.timeline import parse_date
+from .engine import QueryEngine
+
+__all__ = ["QueryServer"]
+
+#: Largest accepted ``/v1/batch`` request body, in bytes.
+_MAX_BATCH_BYTES = 8 << 20
+
+
+class _BadRequest(ValueError):
+    """A client error: reported as 400 with a JSON message."""
+
+
+def _parse_day(args: dict, *, default: date) -> date:
+    raw = args.get("on")
+    if raw is None:
+        return default
+    try:
+        return parse_date(str(raw))
+    except ValueError as error:
+        raise _BadRequest(str(error)) from None
+
+
+def _parse_prefix(raw: object) -> IPv4Prefix:
+    if not isinstance(raw, str) or not raw:
+        raise _BadRequest("missing prefix")
+    try:
+        return IPv4Prefix.parse(raw)
+    except PrefixError as error:
+        raise _BadRequest(str(error)) from None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the engine hangs off the server object."""
+
+    server: "QueryServer"  # type: ignore[assignment]
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:  # pragma: no cover - log formatting
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _timed(self, endpoint: str, handler) -> None:
+        instr = self.server.instrumentation
+        started = perf_counter()
+        try:
+            handler()
+        except _BadRequest as error:
+            instr.incr("serve_client_errors")
+            self._reply(400, {"error": str(error)})
+        except Exception as error:  # pragma: no cover - defensive
+            instr.incr("serve_server_errors")
+            self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+        finally:
+            micros = int((perf_counter() - started) * 1e6)
+            instr.incr(f"serve_{endpoint}_requests")
+            instr.incr(f"serve_{endpoint}_us_total", micros)
+
+    # -- endpoints ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlsplit(self.path)
+        if url.path == "/v1/status":
+            self._timed("status", lambda: self._status(url.query))
+        elif url.path == "/healthz":
+            self._timed("healthz", self._healthz)
+        else:
+            self.server.instrumentation.incr("serve_client_errors")
+            self._reply(404, {"error": f"unknown path {url.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        url = urlsplit(self.path)
+        if url.path == "/v1/batch":
+            self._timed("batch", self._batch)
+        else:
+            self.server.instrumentation.incr("serve_client_errors")
+            self._reply(404, {"error": f"unknown path {url.path}"})
+
+    def _status(self, query: str) -> None:
+        engine = self.server.engine
+        args = {k: v[-1] for k, v in parse_qs(query).items()}
+        prefix = _parse_prefix(args.get("prefix"))
+        day = _parse_day(args, default=engine.default_day)
+        self._reply(200, engine.lookup(prefix, day).to_dict())
+
+    def _batch(self) -> None:
+        engine = self.server.engine
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _BadRequest("missing request body")
+        if length > _MAX_BATCH_BYTES:
+            raise _BadRequest(f"batch body over {_MAX_BATCH_BYTES} bytes")
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as error:
+            raise _BadRequest(f"bad JSON body: {error}") from None
+        queries = (
+            payload.get("queries") if isinstance(payload, dict) else payload
+        )
+        if not isinstance(queries, list):
+            raise _BadRequest('expected {"queries": [...]} or a JSON list')
+        pairs: list[tuple[IPv4Prefix, date]] = []
+        for item in queries:
+            if isinstance(item, str):
+                item = {"prefix": item}
+            if not isinstance(item, dict):
+                raise _BadRequest(f"bad query item {item!r}")
+            pairs.append(
+                (
+                    _parse_prefix(item.get("prefix")),
+                    _parse_day(item, default=engine.default_day),
+                )
+            )
+        results = engine.lookup_many(pairs)
+        self._reply(200, {"results": [status.to_dict() for status in results]})
+
+    def _healthz(self) -> None:
+        engine = self.server.engine
+        instr = self.server.instrumentation
+        self._reply(
+            200,
+            {
+                "status": "ok",
+                "window": [
+                    engine.index.window.start.isoformat(),
+                    engine.index.window.end.isoformat(),
+                ],
+                "index": engine.index.sizes(),
+                "counters": dict(instr.counters),
+            },
+        )
+
+
+class QueryServer(ThreadingHTTPServer):
+    """The daemon: a threading HTTP server wrapping one engine.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`server_address`
+    holds the bound address either way.  ``block_on_close`` (the
+    stdlib default) makes :meth:`shutdown` + ``server_close`` a
+    graceful drain: no new connections, in-flight requests finish.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.instrumentation = engine.instrumentation
+        self.verbose = verbose
+        self._draining = threading.Event()
+        super().__init__((host, port), _Handler)
+
+    def install_signal_handlers(self) -> None:
+        """Drain on SIGTERM/SIGINT (a no-op off the main thread)."""
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, self._handle_signal)
+
+    def _handle_signal(self, signum, frame) -> None:
+        # shutdown() blocks until serve_forever exits, so it must not be
+        # called from the thread running serve_forever (the main thread,
+        # where signal handlers execute) — hand it to a helper thread.
+        if not self._draining.is_set():
+            self._draining.set()
+            self.instrumentation.incr("serve_drains")
+            threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def serve_until_shutdown(self) -> None:
+        """Serve until :meth:`shutdown` (or a drain signal), then close."""
+        try:
+            self.serve_forever()
+        finally:
+            self.server_close()

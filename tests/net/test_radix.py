@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net.prefix import IPv4Prefix, parse_ip
-from repro.net.radix import RadixTree
+from repro.net.radix import PrefixTrie, RadixTree
 
 
 def P(text):
@@ -131,3 +131,53 @@ class TestIteration:
             P("10.0.0.0/8"), P("10.0.0.0/16"), P("10.0.1.0/24"),
             P("10.1.0.0/16"), P("192.0.2.0/24"), P("0.0.0.0/0"),
         }
+
+
+class TestPrefixTrieAlias:
+    """The query layer's name for the structure is the same class."""
+
+    def test_alias_identity(self):
+        assert PrefixTrie is RadixTree
+
+
+class TestLookupBestEdgeCases:
+    def test_default_route_only_matches_everything(self):
+        t = PrefixTrie()
+        t.insert(P("0.0.0.0/0"), "default")
+        assert t.lookup_best(P("203.0.113.0/24")) == (P("0.0.0.0/0"),
+                                                      "default")
+        assert t.lookup_best(P("0.0.0.0/0")) == (P("0.0.0.0/0"), "default")
+
+    def test_exact_match_beats_covering(self, tree):
+        best = tree.lookup_best(P("10.0.1.0/24"))
+        assert best == (P("10.0.1.0/24"), "10.0.1.0/24")
+
+    def test_disjoint_prefix_falls_back_to_default(self, tree):
+        # 172.16/12 shares no entry but the default route still covers it.
+        assert tree.lookup_best(P("172.16.0.0/12"))[0] == P("0.0.0.0/0")
+
+    def test_disjoint_prefix_without_default_is_none(self):
+        t = PrefixTrie()
+        t.insert(P("10.0.0.0/8"), 1)
+        t.insert(P("192.0.2.0/24"), 2)
+        assert t.lookup_best(P("172.16.0.0/12")) is None
+
+
+class TestLookupCoveredEdgeCases:
+    def test_default_route_query_returns_whole_trie(self, tree):
+        covered = {str(p) for p, _ in tree.lookup_covered(P("0.0.0.0/0"))}
+        assert len(covered) == len(tree)
+        assert "0.0.0.0/0" in covered
+
+    def test_exact_leaf_is_its_own_subtree(self, tree):
+        assert tree.lookup_covered(P("10.0.1.0/24")) == [
+            (P("10.0.1.0/24"), "10.0.1.0/24")
+        ]
+
+    def test_disjoint_prefix_covers_nothing(self, tree):
+        assert tree.lookup_covered(P("172.16.0.0/12")) == []
+
+    def test_default_route_entry_not_covered_by_specific(self):
+        t = PrefixTrie()
+        t.insert(P("0.0.0.0/0"), "default")
+        assert t.lookup_covered(P("10.0.0.0/8")) == []

@@ -27,6 +27,34 @@ class TestParseDate:
     def test_whitespace(self):
         assert parse_date(" 2019-06-05\n") == STUDY_START
 
+    def test_single_digit_month_and_day(self):
+        assert parse_date("2020-2-9") == date(2020, 2, 9)
+
+    @pytest.mark.parametrize("text", [
+        "2021-02-30",   # February has no 30th
+        "2021-13-01",   # month out of range
+        "2021-00-10",   # zero month
+        "2021-04-31",   # April has no 31st
+        "20210230",     # impossible date, compact form
+    ])
+    def test_rejects_impossible_calendar_dates(self, text):
+        with pytest.raises(ValueError, match=repr(text)):
+            parse_date(text)
+
+    @pytest.mark.parametrize("text", [
+        "2022-01-01x",      # trailing garbage
+        "20220101x",
+        "2022-01-01 12:00", # timestamps are not dates
+        "2022-01",          # truncated
+        "202201",
+        "01-01-2022",       # wrong field order
+        "not-a-date",
+        "",
+    ])
+    def test_rejects_malformed_text(self, text):
+        with pytest.raises(ValueError, match="invalid date"):
+            parse_date(text)
+
 
 class TestDateRange:
     def test_inclusive(self):

@@ -1,0 +1,39 @@
+"""Shared query-layer fixtures: one tiny world, one index, one engine.
+
+The world is fetched through its own :class:`~repro.runtime.WorldCache`
+(not the session's env cache) so index persistence tests own their cache
+entry directory without racing the CLI tests.
+"""
+
+import pytest
+
+from repro.query import QueryEngine, build_index
+from repro.runtime import WorldCache
+from repro.synth import ScenarioConfig
+
+
+@pytest.fixture(scope="package")
+def config():
+    return ScenarioConfig.tiny()
+
+
+@pytest.fixture(scope="package")
+def stored(tmp_path_factory, config):
+    """The cached world plus its entry directory and content key."""
+    cache = WorldCache(tmp_path_factory.mktemp("query-cache"))
+    return cache.fetch(config)
+
+
+@pytest.fixture(scope="package")
+def world(stored):
+    return stored.world
+
+
+@pytest.fixture(scope="package")
+def index(world, stored):
+    return build_index(world, key=stored.key)
+
+
+@pytest.fixture(scope="package")
+def engine(index):
+    return QueryEngine(index)

@@ -1,0 +1,161 @@
+"""Tests for the query/serve CLI surface, including the golden run.
+
+The golden test is the PR's equivalence contract: ``repro-drop query``
+batch output must be byte-identical to the answers computed from the
+very world a full ``repro-drop report`` run used (same seed, same cache
+entry), so the interactive path can never diverge from the pipeline.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.query import INDEX_FILENAME, QueryEngine, build_index
+from repro.runtime import WorldCache
+from repro.synth import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def report_world(tmp_path_factory):
+    """The world a full report run on the default seed reads."""
+    # module-scoped CLI run: stdout is swallowed here, not asserted on.
+    assert main(["report", "--exp", "tab1"]) == 0
+    outcome = WorldCache().fetch(ScenarioConfig.tiny(seed=2022))
+    assert outcome.status == "hit"
+    return outcome.world
+
+
+class TestParser:
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "1.2.3.0/24"])
+        assert args.prefixes == ["1.2.3.0/24"]
+        assert args.on is None
+        assert not args.stdin
+        assert args.format == "json"
+        assert args.scale == "tiny" and args.seed == 2022
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+
+    def test_query_format_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "1.2.3.0/24",
+                                       "--format", "xml"])
+
+
+class TestQueryErrors:
+    def test_bad_prefix(self, capsys):
+        assert main(["query", "999.0.0.0/8"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_date(self, capsys):
+        assert main(["query", "10.0.0.0/8", "--on", "2021-02-30"]) == 2
+        assert "invalid date" in capsys.readouterr().err
+
+    def test_nothing_to_query(self, capsys):
+        assert main(["query"]) == 2
+        assert "nothing to query" in capsys.readouterr().err
+
+    def test_bad_stdin_line(self, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO("10.0.0.0/8 x y\n"))
+        assert main(["query", "--stdin"]) == 2
+        assert "bad query line" in capsys.readouterr().err
+
+
+class TestQueryGolden:
+    def test_batch_output_matches_report_world(self, report_world, capsys):
+        """Byte-identity between `query` output and the report's world."""
+        world = report_world
+        engine = QueryEngine(build_index(world))
+        days = [world.window.start, world.window.end]
+        prefixes = list(world.drop.unique_prefixes())[:8]
+        prefixes += [p for i, p in enumerate(world.bgp.prefixes())
+                     if i % 400 == 0]
+        expected = [
+            json.dumps(engine.lookup(p, d).to_dict(), sort_keys=True)
+            for d in days
+            for p in prefixes
+        ]
+        lines = []
+        for day in days:
+            argv = ["query", "--on", day.isoformat()]
+            argv += [str(p) for p in prefixes]
+            assert main(argv) == 0
+            lines += capsys.readouterr().out.splitlines()
+        assert lines == expected
+
+    def test_stdin_batch_with_dates(self, report_world, capsys, monkeypatch):
+        world = report_world
+        engine = QueryEngine(build_index(world))
+        prefix = world.drop.unique_prefixes()[0]
+        day = world.window.start
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                f"# comment\n\n{prefix} {day.isoformat()}\n{prefix}\n"
+            ),
+        )
+        assert main(["query", "--stdin"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines == [
+            json.dumps(engine.lookup(prefix, d).to_dict(), sort_keys=True)
+            for d in (day, world.window.end)
+        ]
+
+    def test_table_format(self, report_world, capsys):
+        prefix = report_world.drop.unique_prefixes()[0]
+        assert main(["query", str(prefix), "--format", "table"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].split() == ["prefix", "on", "drop", "sbl", "irr",
+                                  "rpki", "bgp", "peers"]
+        assert out[1].startswith(str(prefix))
+
+    def test_query_over_archives(self, report_world, tmp_path, capsys):
+        out_dir = tmp_path / "archives"
+        assert main(["build", "--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        prefix = report_world.drop.unique_prefixes()[0]
+        assert main(["query", "--archives", str(out_dir), str(prefix)]) == 0
+        first = capsys.readouterr().out
+        assert json.loads(first)["prefix"] == str(prefix)
+        # The archive dir now holds a persisted index; a second query
+        # answers identically from it without reloading the world.
+        assert (out_dir / INDEX_FILENAME).exists()
+        assert main(["query", "--archives", str(out_dir), str(prefix)]) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestQueryFaultInjection:
+    def test_torn_index_is_evicted_and_rebuilt(
+        self, report_world, tmp_path, capsys, monkeypatch
+    ):
+        """$REPRO_FAULTS=truncate@query.index.load never reaches the user."""
+        prefix = report_world.drop.unique_prefixes()[0]
+        assert main(["query", str(prefix)]) == 0
+        clean = capsys.readouterr().out
+        index_file = (
+            WorldCache().directory_for(ScenarioConfig.tiny(seed=2022))
+            / INDEX_FILENAME
+        )
+        assert index_file.exists()
+        timings = tmp_path / "timings.json"
+        monkeypatch.setenv("REPRO_FAULTS", "truncate@query.index.load")
+        assert main(["query", str(prefix),
+                     "--timings-out", str(timings)]) == 0
+        assert capsys.readouterr().out == clean
+        counters = json.loads(timings.read_text())["counters"]
+        assert counters["query_index_evictions"] == 1
+        assert counters["query_index_builds"] == 1
+        # The rebuilt index was re-persisted and is healthy again.
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert index_file.exists()
+        assert main(["query", str(prefix),
+                     "--timings-out", str(timings)]) == 0
+        assert capsys.readouterr().out == clean
+        counters = json.loads(timings.read_text())["counters"]
+        assert counters["query_index_loads"] == 1
+        assert "query_index_builds" not in counters

@@ -1,0 +1,191 @@
+"""Engine answers are cross-checked against the world's own stores.
+
+Every assertion here recomputes the expected answer directly from the
+archives (DropArchive, IrrDatabase, RoaArchive, RouteIntervalStore) —
+the same stores every batch analysis reads — so the query layer can
+never drift from the experiment pipeline without a failure here.
+"""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.net.prefix import IPv4Prefix
+from repro.query import parse_query_line
+from repro.rpki.tal import TalSet
+from repro.rpki.validation import RouteValidity, validate_route
+
+TALS = TalSet.default()
+
+
+def _sample(trie, stride=17):
+    return [prefix for i, (prefix, _) in enumerate(trie.items())
+            if i % stride == 0]
+
+
+@pytest.fixture(scope="module")
+def sample_days(world):
+    window = world.window
+    return [
+        window.start,
+        window.start + timedelta(days=window.days // 2),
+        window.end,
+    ]
+
+
+@pytest.fixture(scope="module")
+def sample_prefixes(index):
+    picked = []
+    for trie in (index.drop, index.irr, index.roa, index.routes):
+        picked.extend(_sample(trie))
+    # A few prefixes with no entry anywhere (documentation ranges).
+    picked.extend(IPv4Prefix.parse(p) for p in
+                  ["198.51.100.0/24", "203.0.113.128/25", "192.0.2.1/32"])
+    return picked
+
+
+class TestLookupAgainstWorld:
+    def test_drop_matches_archive(self, engine, world, sample_prefixes,
+                                  sample_days):
+        for prefix in sample_prefixes:
+            covering = [q for q in world.drop.unique_prefixes()
+                        if q.contains(prefix)]
+            for day in sample_days:
+                status = engine.lookup(prefix, day)
+                expected = any(
+                    episode.listed_on(day)
+                    for q in covering
+                    for episode in world.drop.episodes_for(q)
+                )
+                assert status.drop_listed == expected, (prefix, day)
+                if status.drop_listed:
+                    # The reported listing is the most specific active one.
+                    active = [q for q in covering
+                              if any(e.listed_on(day)
+                                     for e in world.drop.episodes_for(q))]
+                    assert status.drop_entry == max(
+                        active, key=lambda q: q.length
+                    )
+                else:
+                    assert status.drop_entry is None
+                    assert status.drop_sbl_id is None
+                    assert status.drop_since is None
+
+    def test_irr_matches_database(self, engine, world, sample_prefixes,
+                                  sample_days):
+        for prefix in sample_prefixes:
+            for day in sample_days:
+                status = engine.lookup(prefix, day)
+                expected = {r.route.origin
+                            for r in world.irr.covering(prefix)
+                            if r.active_on(day)}
+                assert status.irr_origins == tuple(sorted(expected))
+                assert status.irr_registered == bool(expected)
+                assert status.irr_exact == any(
+                    r.active_on(day) for r in world.irr.exact(prefix)
+                )
+
+    def test_rpki_matches_archive(self, engine, world, sample_prefixes,
+                                  sample_days):
+        for prefix in sample_prefixes:
+            for day in sample_days:
+                status = engine.lookup(prefix, day)
+                records = world.roas.covering(prefix, day, TALS)
+                assert status.roa_covered == world.roas.has_roa(
+                    prefix, day, TALS
+                )
+                assert status.roa_asns == tuple(
+                    sorted({r.roa.asn for r in records})
+                )
+
+    def test_bgp_matches_interval_store(self, engine, world, sample_prefixes,
+                                        sample_days):
+        full_table = world.peers.full_table_peer_ids()
+        for prefix in sample_prefixes:
+            for day in sample_days:
+                status = engine.lookup(prefix, day)
+                origins = world.bgp.origins_on(prefix, day)
+                assert status.origins == tuple(sorted(origins))
+                assert status.announced == bool(origins)
+                assert status.covered_by_route == any(
+                    iv.active_on(day)
+                    for iv in world.bgp.intervals_covering(prefix)
+                )
+                observers = world.bgp.peers_observing(prefix, day)
+                assert status.visible_peers == len(observers & full_table)
+                assert status.total_peers == len(full_table)
+
+    def test_validity_matches_rfc6811(self, engine, world, sample_prefixes,
+                                      sample_days):
+        for prefix in sample_prefixes:
+            for day in sample_days:
+                status = engine.lookup(prefix, day)
+                origins = world.bgp.origins_on(prefix, day)
+                if not origins:
+                    assert status.rpki_validity is None
+                    continue
+                roas = [r.roa for r in world.roas.covering(prefix, day, TALS)]
+                states = {validate_route(prefix, origin, roas, TALS)
+                          for origin in origins}
+                if RouteValidity.VALID in states:
+                    expected = RouteValidity.VALID
+                elif RouteValidity.INVALID in states:
+                    expected = RouteValidity.INVALID
+                else:
+                    expected = RouteValidity.NOT_FOUND
+                assert status.rpki_validity == str(expected), (prefix, day)
+
+
+class TestLookupApi:
+    def test_default_day_is_window_end(self, engine, world):
+        prefix = next(iter(world.bgp.prefixes()))
+        assert engine.default_day == world.window.end
+        assert engine.lookup(prefix) == engine.lookup(
+            prefix, world.window.end
+        )
+
+    def test_lookup_many_preserves_order(self, engine, world, sample_days):
+        prefixes = list(world.drop.unique_prefixes())[:5]
+        queries = [(p, d) for p in prefixes for d in sample_days]
+        statuses = engine.lookup_many(queries)
+        assert [(s.prefix, s.on) for s in statuses] == queries
+        assert statuses == [engine.lookup(p, d) for p, d in queries]
+
+    def test_lookup_counters(self, index):
+        from repro.query import QueryEngine
+        from repro.runtime import Instrumentation
+
+        instr = Instrumentation()
+        engine = QueryEngine(index, instrumentation=instr)
+        prefix = next(iter(index.routes))
+        engine.lookup_many([(prefix, None), (prefix, index.window.start)])
+        assert instr.counters["query_lookups"] == 2
+        assert instr.counters["query_batches"] == 1
+
+    def test_to_dict_wire_shape(self, engine, world):
+        prefix = world.drop.unique_prefixes()[0]
+        wire = engine.lookup(prefix).to_dict()
+        assert set(wire) == {"prefix", "on", "drop", "irr", "rpki", "bgp"}
+        assert wire["prefix"] == str(prefix)
+        assert set(wire["drop"]) == {"listed", "entry", "sbl_id", "since"}
+        assert set(wire["bgp"]) == {"announced", "covered_by_route",
+                                    "origins", "visible_peers",
+                                    "total_peers"}
+
+
+class TestParseQueryLine:
+    def test_prefix_only_uses_default(self, world):
+        default = world.window.end
+        prefix, day = parse_query_line("10.0.0.0/8", default_day=default)
+        assert (str(prefix), day) == ("10.0.0.0/8", default)
+
+    def test_prefix_and_date(self, world):
+        prefix, day = parse_query_line(
+            " 10.0.0.0/8   2020-01-02 ", default_day=world.window.end
+        )
+        assert (str(prefix), day.isoformat()) == ("10.0.0.0/8", "2020-01-02")
+
+    @pytest.mark.parametrize("line", ["", "a b c", "10.0.0.0/8 x y"])
+    def test_bad_shapes_rejected(self, line, world):
+        with pytest.raises(ValueError):
+            parse_query_line(line, default_day=world.window.end)

@@ -1,0 +1,159 @@
+"""Tests for repro.query.index: build, persist, verify, evict, rebuild."""
+
+import json
+
+import pytest
+
+from repro.query import (
+    INDEX_FILENAME,
+    IndexLoadError,
+    build_index,
+    load_index,
+    load_or_build_index,
+    save_index,
+)
+from repro.runtime import Instrumentation, injected
+from repro.synth.builder import GENERATOR_VERSION
+
+
+class TestBuild:
+    def test_sizes_match_world(self, index, world):
+        sizes = index.sizes()
+        assert sizes["drop_prefixes"] == len(world.drop.unique_prefixes())
+        assert sizes["route_prefixes"] == sum(
+            1 for _ in world.bgp.prefixes()
+        )
+        assert sizes["irr_prefixes"] > 0
+        assert sizes["roa_prefixes"] > 0
+
+    def test_total_peers_is_full_table_count(self, index, world):
+        assert index.total_peers == len(world.peers.full_table_peer_ids())
+
+    def test_observer_sets_are_interned(self, index):
+        # Interning only stores distinct sets, so the table is (much)
+        # smaller than the number of route entries referencing it.
+        assert 0 < len(index.observer_sets) < len(index.routes)
+        refs = {
+            entry.observers_ref
+            for _, bucket in index.routes.items()
+            for entry in bucket
+        }
+        assert refs <= set(range(len(index.observer_sets)))
+
+    def test_header_defaults(self, index, world, stored):
+        assert index.window == world.window
+        assert index.key == stored.key
+        assert index.generator == GENERATOR_VERSION
+
+    def test_build_counter(self, world):
+        instr = Instrumentation()
+        build_index(world, instrumentation=instr)
+        assert instr.counters["query_index_builds"] == 1
+
+
+class TestRoundTrip:
+    @pytest.fixture()
+    def saved_dir(self, index, tmp_path):
+        assert save_index(index, tmp_path) == tmp_path / INDEX_FILENAME
+        return tmp_path
+
+    def test_loaded_index_is_equal(self, index, saved_dir):
+        loaded = load_index(saved_dir, expected_key=index.key)
+        assert loaded.window == index.window
+        assert loaded.total_peers == index.total_peers
+        assert loaded.observer_sets == index.observer_sets
+        for name in ("drop", "irr", "roa", "routes"):
+            original = getattr(index, name)
+            restored = getattr(loaded, name)
+            assert len(restored) == len(original)
+            for prefix, bucket in original.items():
+                assert restored.get(prefix) == bucket
+
+    def test_save_then_load_counters(self, index, tmp_path):
+        instr = Instrumentation()
+        save_index(index, tmp_path, instrumentation=instr)
+        load_index(tmp_path, expected_key="", instrumentation=instr)
+        assert instr.counters["query_index_stores"] == 1
+        assert instr.counters["query_index_loads"] == 1
+
+    def test_no_staging_files_left_behind(self, saved_dir):
+        assert [p.name for p in saved_dir.iterdir()] == [INDEX_FILENAME]
+
+
+class TestHeaderVerification:
+    @pytest.fixture()
+    def saved_dir(self, index, tmp_path):
+        save_index(index, tmp_path)
+        return tmp_path
+
+    def _tamper(self, directory, **fields):
+        path = directory / INDEX_FILENAME
+        raw = json.loads(path.read_text())
+        raw.update(fields)
+        path.write_text(json.dumps(raw))
+
+    def test_wrong_format_rejected(self, saved_dir, index):
+        self._tamper(saved_dir, format=999)
+        with pytest.raises(IndexLoadError, match="format"):
+            load_index(saved_dir, expected_key=index.key)
+
+    def test_wrong_generator_rejected(self, saved_dir, index):
+        self._tamper(saved_dir, generator="somebody-else")
+        with pytest.raises(IndexLoadError, match="generator"):
+            load_index(saved_dir, expected_key=index.key)
+
+    def test_foreign_key_rejected(self, saved_dir):
+        with pytest.raises(IndexLoadError, match="key"):
+            load_index(saved_dir, expected_key="deadbeef00000000")
+
+    def test_empty_expected_key_skips_check(self, saved_dir):
+        assert load_index(saved_dir, expected_key="").total_peers > 0
+
+    def test_missing_file_raises(self, tmp_path, index):
+        with pytest.raises(OSError):
+            load_index(tmp_path, expected_key=index.key)
+
+
+class TestEvictionAndRecovery:
+    def test_torn_file_is_evicted_and_rebuilt(self, world, stored, tmp_path):
+        save_index(build_index(world, key=stored.key), tmp_path)
+        path = tmp_path / INDEX_FILENAME
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        instr = Instrumentation()
+        rebuilt = load_or_build_index(
+            world, tmp_path, key=stored.key, instrumentation=instr
+        )
+        assert instr.counters["query_index_evictions"] == 1
+        assert instr.counters["query_index_builds"] == 1
+        assert rebuilt.sizes() == build_index(world).sizes()
+        # ... and the healthy replacement was re-persisted.
+        assert instr.counters["query_index_stores"] == 1
+        assert load_index(tmp_path, expected_key=stored.key).sizes() == \
+            rebuilt.sizes()
+
+    def test_load_fault_is_evicted_and_rebuilt(self, world, stored, tmp_path):
+        """REPRO_FAULTS=truncate@query.index.load is survived silently."""
+        save_index(build_index(world, key=stored.key), tmp_path)
+        instr = Instrumentation()
+        with injected("truncate@query.index.load"):
+            index = load_or_build_index(
+                world, tmp_path, key=stored.key, instrumentation=instr
+            )
+        assert instr.counters["query_index_evictions"] == 1
+        assert index.sizes() == build_index(world).sizes()
+
+    def test_save_fault_degrades_to_unpersisted(self, index, tmp_path):
+        instr = Instrumentation()
+        with injected("io-error@query.index.save"):
+            with pytest.warns(RuntimeWarning, match="index store failed"):
+                assert save_index(
+                    index, tmp_path, instrumentation=instr
+                ) is None
+        assert instr.counters["query_index_store_errors"] == 1
+        assert not (tmp_path / INDEX_FILENAME).exists()
+
+    def test_no_directory_builds_in_memory(self, world):
+        instr = Instrumentation()
+        built = load_or_build_index(world, None, instrumentation=instr)
+        assert built.sizes()["route_prefixes"] > 0
+        assert "query_index_stores" not in instr.counters

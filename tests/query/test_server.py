@@ -1,0 +1,194 @@
+"""Tests for the repro-drop serve daemon (repro.query.server).
+
+The server binds an ephemeral port on the loopback interface and runs on
+a background thread; requests go through the real HTTP stack so what is
+asserted is exactly what a curl user sees.  The acceptance-criteria test
+lives here: ``/v1/status`` answers are identical to the batch API's for
+the same (prefix, date) pairs.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.query import QueryEngine, QueryServer
+from repro.runtime import Instrumentation
+
+
+@pytest.fixture(scope="module")
+def server(index):
+    instr = Instrumentation()
+    srv = QueryServer(
+        QueryEngine(index, instrumentation=instr), "127.0.0.1", 0
+    )
+    thread = threading.Thread(target=srv.serve_until_shutdown, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+
+def _get(server, path):
+    host, port = server.server_address
+    try:
+        with urllib.request.urlopen(f"http://{host}:{port}{path}") as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _post(server, path, payload):
+    host, port = server.server_address
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request) as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture(scope="module")
+def pairs(index):
+    days = [index.window.start, index.window.end]
+    prefixes = [p for i, p in enumerate(index.drop) if i % 101 == 0]
+    prefixes += [p for i, p in enumerate(index.routes) if i % 501 == 0]
+    return [(p, d) for p in prefixes for d in days]
+
+
+class TestStatusEndpoint:
+    def test_matches_batch_api(self, server, pairs):
+        """Acceptance: /v1/status == QueryEngine.lookup for every pair."""
+        engine = server.engine
+        for prefix, day in pairs:
+            status, body = _get(
+                server, f"/v1/status?prefix={prefix}&on={day.isoformat()}"
+            )
+            assert status == 200
+            assert body == engine.lookup(prefix, day).to_dict()
+
+    def test_default_day(self, server, index):
+        prefix = next(iter(index.routes))
+        status, body = _get(server, f"/v1/status?prefix={prefix}")
+        assert status == 200
+        assert body["on"] == index.window.end.isoformat()
+
+    def test_bad_prefix_is_400(self, server):
+        status, body = _get(server, "/v1/status?prefix=999.1.2.3/8")
+        assert status == 400 and "error" in body
+
+    def test_missing_prefix_is_400(self, server):
+        status, body = _get(server, "/v1/status")
+        assert status == 400 and body["error"] == "missing prefix"
+
+    def test_bad_date_is_400(self, server, index):
+        prefix = next(iter(index.routes))
+        status, body = _get(
+            server, f"/v1/status?prefix={prefix}&on=2021-02-30"
+        )
+        assert status == 400 and "invalid date" in body["error"]
+
+    def test_unknown_path_is_404(self, server):
+        assert _get(server, "/v1/nope")[0] == 404
+        assert _post(server, "/v1/nope", {})[0] == 404
+
+
+class TestBatchEndpoint:
+    def test_matches_single_status(self, server, pairs):
+        queries = [
+            {"prefix": str(p), "on": d.isoformat()} for p, d in pairs
+        ]
+        status, body = _post(server, "/v1/batch", {"queries": queries})
+        assert status == 200
+        singles = [
+            _get(server, f"/v1/status?prefix={p}&on={d.isoformat()}")[1]
+            for p, d in pairs
+        ]
+        assert body["results"] == singles
+
+    def test_bare_list_and_string_items(self, server, index):
+        prefix = str(next(iter(index.routes)))
+        status, body = _post(server, "/v1/batch", [prefix])
+        assert status == 200
+        assert body["results"][0]["prefix"] == prefix
+        assert body["results"][0]["on"] == index.window.end.isoformat()
+
+    def test_empty_body_is_400(self, server):
+        host, port = server.server_address
+        request = urllib.request.Request(
+            f"http://{host}:{port}/v1/batch", data=b""
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_bad_json_is_400(self, server):
+        host, port = server.server_address
+        request = urllib.request.Request(
+            f"http://{host}:{port}/v1/batch", data=b"{nope"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_non_list_payload_is_400(self, server):
+        assert _post(server, "/v1/batch", {"queries": "x"})[0] == 400
+        assert _post(server, "/v1/batch", {"oops": []})[0] == 400
+
+    def test_bad_item_is_400(self, server):
+        assert _post(server, "/v1/batch", [42])[0] == 400
+
+
+class TestHealthz:
+    def test_shape_and_counters(self, server, index):
+        prefix = next(iter(index.routes))
+        _get(server, f"/v1/status?prefix={prefix}")
+        status, body = _get(server, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["window"] == [index.window.start.isoformat(),
+                                  index.window.end.isoformat()]
+        assert body["index"] == index.sizes()
+        assert body["counters"]["serve_status_requests"] >= 1
+        assert body["counters"]["serve_status_us_total"] >= 1
+
+    def test_client_errors_counted(self, server):
+        before = _get(server, "/healthz")[1]["counters"].get(
+            "serve_client_errors", 0
+        )
+        _get(server, "/v1/status?prefix=bogus")
+        after = _get(server, "/healthz")[1]["counters"]["serve_client_errors"]
+        assert after == before + 1
+
+
+class TestDrain:
+    def test_shutdown_joins_cleanly(self, index):
+        srv = QueryServer(QueryEngine(index), "127.0.0.1", 0)
+        thread = threading.Thread(
+            target=srv.serve_until_shutdown, daemon=True
+        )
+        thread.start()
+        prefix = next(iter(index.routes))
+        assert _get(srv, f"/v1/status?prefix={prefix}")[0] == 200
+        srv._handle_signal(15, None)  # what SIGTERM runs, sans signal glue
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert srv.instrumentation.counters["serve_drains"] == 1
+
+    def test_drain_is_idempotent(self, index):
+        srv = QueryServer(QueryEngine(index), "127.0.0.1", 0)
+        thread = threading.Thread(
+            target=srv.serve_until_shutdown, daemon=True
+        )
+        thread.start()
+        srv._handle_signal(15, None)
+        srv._handle_signal(2, None)
+        thread.join(timeout=10)
+        assert srv.instrumentation.counters["serve_drains"] == 1

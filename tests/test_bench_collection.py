@@ -41,6 +41,8 @@ def test_benchmarks_collect_cleanly():
     assert "bench_archive_round_trip" in out
     assert "bench_build_tiny_world" in out
     assert "bench_world_build" in out
+    assert "bench_query_single_lookup" in out
+    assert "bench_query_batch_10k" in out
 
 
 def test_benchmark_fixture_signatures_resolve():
