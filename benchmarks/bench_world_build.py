@@ -1,6 +1,47 @@
-"""World generation and archive round-trip costs."""
+"""World generation and archive round-trip costs, plus the fast-path artifact.
 
+Two entry points share the measurement code:
+
+* pytest-benchmark functions (``bench_build_tiny_world``,
+  ``bench_archive_round_trip``) picked up with the rest of the bench
+  suite, and
+* a standalone mode — ``python benchmarks/bench_world_build.py --scale
+  paper --out BENCH_world.json`` — recording this PR's acceptance
+  numbers as a JSON artifact: serial vs sharded build wall time (with a
+  byte-identity check between the two worlds), the one-off substrate
+  build cost, and ``run_all`` cold (every experiment re-walking the raw
+  stores, the pre-substrate behavior) vs warm (substrate served from
+  the world's cache entry).  ``--smoke`` shrinks everything for CI;
+  ``--check`` enforces the headline ≥3× run_all target at paper scale.
+"""
+
+import argparse
+import hashlib
+import json
+import sys
+import tempfile
+from pathlib import Path
+from time import perf_counter
+
+from repro.analysis import load_entries
+from repro.analysis.substrate import SUBSTRATE_FILENAME, AnalysisSubstrate
+from repro.reporting.experiments import EXPERIMENTS, run_all
+from repro.runtime import WorldCache
 from repro.synth import ScenarioConfig, build_world, load_world, save_world
+
+_SCALES = {
+    "tiny": ScenarioConfig.tiny,
+    "small": ScenarioConfig.small,
+    "paper": ScenarioConfig.paper,
+}
+
+#: run_all speedup (cold / substrate-warm) the fast path must deliver.
+RUN_ALL_SPEEDUP_TARGET = 3.0
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
 
 
 def bench_build_tiny_world(benchmark):
@@ -22,3 +63,124 @@ def bench_archive_round_trip(benchmark, world, entries, tmp_path_factory):
     assert len(loaded.drop.unique_prefixes()) == len(
         world.drop.unique_prefixes()
     )
+
+
+# ---------------------------------------------------------------------------
+# standalone artifact mode
+# ---------------------------------------------------------------------------
+
+
+def _archive_digest(world) -> str:
+    """One digest over every persisted file of ``world``'s archive."""
+    summary = hashlib.sha256()
+    with tempfile.TemporaryDirectory() as staging:
+        save_world(world, Path(staging), drop_step_days=1)
+        for path in sorted(Path(staging).iterdir()):
+            if path.is_file():
+                summary.update(path.name.encode())
+                summary.update(path.read_bytes())
+    return summary.hexdigest()
+
+
+def run(scale: str, *, jobs: int, out: Path | None) -> dict:
+    config = _SCALES[scale]()
+
+    # -- build: serial vs sharded fan-out, byte-identity checked --------
+    started = perf_counter()
+    serial_world = build_world(config)
+    serial_seconds = perf_counter() - started
+
+    started = perf_counter()
+    parallel_world = build_world(config, jobs=jobs)
+    parallel_seconds = perf_counter() - started
+
+    serial_digest = _archive_digest(serial_world)
+    identical = serial_digest == _archive_digest(parallel_world)
+    del parallel_world
+
+    # -- analysis: run_all cold vs substrate-warm -----------------------
+    outcome = WorldCache().fetch(config)
+    world, entries = outcome.world, load_entries(outcome.world)
+
+    # Cold: every experiment re-walks the raw stores independently (the
+    # pre-substrate behavior run_all replaced).
+    started = perf_counter()
+    cold_reports = [
+        EXPERIMENTS[exp_id](world, entries, None) for exp_id in EXPERIMENTS
+    ]
+    cold_seconds = perf_counter() - started
+
+    # One-off substrate build, persisted into the world's cache entry.
+    # A leftover file from an earlier bench run would turn the timed
+    # build into a load, so start from a clean entry.
+    (outcome.directory / SUBSTRATE_FILENAME).unlink(missing_ok=True)
+    substrate = AnalysisSubstrate(
+        world, directory=outcome.directory, key=outcome.key
+    )
+    started = perf_counter()
+    substrate.warm()
+    substrate_build_seconds = perf_counter() - started
+
+    # Warm: a fresh process-equivalent run paying only the substrate
+    # load (from the cache entry) plus the experiments themselves.
+    warm_substrate = AnalysisSubstrate(
+        world, directory=outcome.directory, key=outcome.key
+    )
+    started = perf_counter()
+    warm_reports = run_all(world, entries=entries, substrate=warm_substrate)
+    warm_seconds = perf_counter() - started
+
+    speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    payload = {
+        "scale": scale,
+        "jobs": jobs,
+        "build_serial_seconds": round(serial_seconds, 4),
+        "build_parallel_seconds": round(parallel_seconds, 4),
+        "build_archive_digest": serial_digest[:16],
+        "build_parallel_identical": identical,
+        "substrate_build_seconds": round(substrate_build_seconds, 4),
+        "run_all_experiments": len(EXPERIMENTS),
+        "run_all_cold_seconds": round(cold_seconds, 4),
+        "run_all_warm_seconds": round(warm_seconds, 4),
+        "run_all_speedup": round(speedup, 2),
+        "run_all_outputs_identical": warm_reports == cold_reports,
+        "meets_targets": {
+            "parallel_build_identical": identical,
+            "run_all_outputs_identical": warm_reports == cold_reports,
+            "run_all_speedup_3x": speedup >= RUN_ALL_SPEEDUP_TARGET,
+        },
+    }
+    if out is not None:
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count for the sharded build")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: force the tiny scale")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the JSON artifact to FILE")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless the identity checks (and, at "
+                             "paper scale, the 3x run_all target) are met")
+    args = parser.parse_args(argv)
+    scale = "tiny" if args.smoke else args.scale
+    payload = run(scale, jobs=args.jobs, out=args.out)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    targets = dict(payload["meets_targets"])
+    if scale != "paper":
+        # The 3x headline is a paper-scale promise: tiny/small runs are
+        # dominated by fixed costs, so only the identity checks gate.
+        targets.pop("run_all_speedup_3x")
+    if args.check and not all(targets.values()):
+        print("world fast-path targets missed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,8 +40,21 @@ from .unallocated import (
 )
 from .visibility import VisibilityResult, analyze_visibility
 
+# Imported last: substrate pulls in repro.runtime, whose runner imports
+# repro.reporting, which re-enters this package — every name above must
+# already be bound when that happens.
+from .substrate import (  # noqa: E402
+    AnalysisSubstrate,
+    BatchedDaySpaces,
+    SubstrateLoadError,
+    compute_roa_status,
+)
+
 __all__ = [
     "AlarmEvaluation",
+    "AnalysisSubstrate",
+    "BatchedDaySpaces",
+    "SubstrateLoadError",
     "As0Counterfactual",
     "As0FilteringResult",
     "CategoryBar",
@@ -77,6 +90,7 @@ __all__ = [
     "analyze_unallocated",
     "analyze_visibility",
     "classify_drop",
+    "compute_roa_status",
     "detect_as0_filtering",
     "detect_drop_filtering",
     "detect_incidents",

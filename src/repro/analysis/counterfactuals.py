@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from datetime import timedelta
+from typing import TYPE_CHECKING
 
 from ..rpki.roa import Roa
 from ..rpki.tal import TalSet
@@ -30,6 +31,9 @@ from ..rpki.validation import RouteValidity, validate_route
 from ..synth.world import World
 from .common import DropEntryView, load_entries
 from .roa_status import analyze_roa_status
+
+if TYPE_CHECKING:
+    from .substrate import AnalysisSubstrate
 
 __all__ = [
     "As0Counterfactual",
@@ -158,8 +162,15 @@ class As0Counterfactual:
 def as0_counterfactual(
     world: World,
     entries: list[DropEntryView] | None = None,
+    *,
+    substrate: "AnalysisSubstrate | None" = None,
 ) -> As0Counterfactual:
-    """Quantify the §6.2 AS0 recommendations."""
+    """Quantify the §6.2 AS0 recommendations.
+
+    The operator ladder reuses the substrate's memoized Figure 5
+    result when one is supplied — ``fig5`` and this counterfactual
+    otherwise each recompute the identical (and expensive) series.
+    """
     if entries is None:
         entries = load_entries(world)
     unallocated = [e for e in entries if e.unallocated]
@@ -180,7 +191,11 @@ def as0_counterfactual(
         # of the actual policy dates.
         if entry.region is not None:
             blocked_universal += 1
-    status = analyze_roa_status(world)
+    status = (
+        substrate.roa_status()
+        if substrate is not None
+        else analyze_roa_status(world)
+    )
     ladder = []
     holders = sorted(
         status.unrouted_signed_by_holder.values(), reverse=True

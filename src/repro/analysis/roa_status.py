@@ -19,7 +19,13 @@ from ..rirstats.rirs import ALL_RIRS
 from ..rpki.tal import TalSet
 from ..synth.world import World
 
-__all__ = ["RoaStatusPoint", "RoaStatusResult", "analyze_roa_status"]
+__all__ = [
+    "DirectDaySpaces",
+    "RoaStatusPoint",
+    "RoaStatusResult",
+    "analyze_roa_status",
+    "default_sample_days",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,22 +83,54 @@ class RoaStatusResult:
         return self.unrouted_unsigned_by_rir.get(rir, 0.0) / total
 
 
+def default_sample_days(world: World) -> list[date]:
+    """Figure 5's sampling grid: month starts plus the window end."""
+    days = list(month_starts(world.window.start, world.window.end))
+    days.append(world.window.end)
+    return days
+
+
+class DirectDaySpaces:
+    """Per-day space computation straight off the raw stores.
+
+    The analysis only ever consumes three per-day sets; factoring their
+    computation behind this tiny provider lets the shared substrate
+    swap in batched (single-pass) versions while the set algebra — the
+    part that defines Figure 5 — stays on exactly one code path.
+    """
+
+    def __init__(self, world: World, tals: TalSet) -> None:
+        self.world = world
+        self.tals = tals
+
+    def signed(self, day: date) -> tuple[PrefixSet, PrefixSet]:
+        """(all ROA-covered space, non-AS0 ROA-covered space)."""
+        return _signed_space(self.world, day, self.tals)
+
+    def allocated(self, day: date) -> PrefixSet:
+        return self.world.resources.allocated_space(day)
+
+    def routed(self, day: date) -> PrefixSet:
+        return self.world.bgp.routed_space(day)
+
+
 def analyze_roa_status(
     world: World,
     sample_days: list[date] | None = None,
+    *,
+    spaces: DirectDaySpaces | None = None,
 ) -> RoaStatusResult:
     """Compute the Figure 5 series (default: monthly samples)."""
     if sample_days is None:
-        sample_days = list(
-            month_starts(world.window.start, world.window.end)
-        )
-        sample_days.append(world.window.end)
+        sample_days = default_sample_days(world)
     tals = TalSet.default()
+    if spaces is None:
+        spaces = DirectDaySpaces(world, tals)
     points = []
     for day in sample_days:
-        signed_all, signed_non_as0 = _signed_space(world, day, tals)
-        allocated = world.resources.allocated_space(day)
-        routed = world.bgp.routed_space(day)
+        signed_all, signed_non_as0 = spaces.signed(day)
+        allocated = spaces.allocated(day)
+        routed = spaces.routed(day)
         signed = signed_all & allocated
         signed_routed = signed & routed
         signed_unrouted = (signed_non_as0 & allocated) - routed
@@ -110,9 +148,9 @@ def analyze_roa_status(
         )
 
     end = sample_days[-1]
-    signed_all, signed_non_as0 = _signed_space(world, end, tals)
-    allocated = world.resources.allocated_space(end)
-    routed = world.bgp.routed_space(end)
+    signed_all, signed_non_as0 = spaces.signed(end)
+    allocated = spaces.allocated(end)
+    routed = spaces.routed(end)
     final_unrouted_signed = (signed_non_as0 & allocated) - routed
     by_holder: dict[str, float] = {}
     for holder, space in world.resources.holders_of_space(end).items():

@@ -1,0 +1,482 @@
+"""The shared analysis substrate: build once per world, reuse everywhere.
+
+Every experiment in :mod:`repro.reporting.experiments` used to re-walk
+the raw DROP/IRR/ROA/BGP stores independently; at paper scale that is
+minutes of redundant interval scans (two identical Figure 5 series, ~70
+full routed-space walks).  The substrate computes the expensive shared
+state once per world:
+
+* the **columnar per-prefix event tables** — sorted announcement
+  episodes with interned full-table observer sets, plus the ROA/IRR
+  interval indexes — are the :class:`~repro.query.index.QueryIndex`
+  itself, reused (not re-implemented) so the observer-set interning has
+  exactly one home;
+* the **Figure 5 day grid** — routed, allocated, and ROA-signed address
+  space per monthly sample day, computed in one pass over each store
+  (bucketing every interval into the sample days it spans) instead of
+  one full scan per day;
+* the **memoized Figure 5 result** itself, which both the ``fig5``
+  experiment and the ``ext-as0`` counterfactual consume.
+
+The substrate persists as ``analysis-substrate.json`` next to
+``query-index.json`` inside the world's cache entry, so it is
+content-addressed by construction and follows the same corruption
+discipline: the header pins the format version, the generator version,
+and the world key; any load failure (torn file, stale header, injected
+fault at ``substrate.load``) evicts the file and rebuilds from the
+world; save failures degrade to an unpersisted substrate with a counter
+and a warning.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from bisect import bisect_left, bisect_right
+from datetime import date, timedelta
+from pathlib import Path
+from typing import Sequence
+
+from ..bgp.visibility import (
+    DEFAULT_OFFSETS,
+    VisibilityProfile,
+    fraction_observing as bgp_fraction_observing,
+)
+from ..net.prefix import IPv4Prefix
+from ..net.prefixset import PrefixSet
+from ..rpki.tal import TalSet
+from ..synth.builder import GENERATOR_VERSION
+from ..synth.world import World
+from .roa_status import (
+    RoaStatusPoint,
+    RoaStatusResult,
+    analyze_roa_status,
+    default_sample_days,
+)
+
+__all__ = [
+    "SUBSTRATE_FILENAME",
+    "SUBSTRATE_FORMAT",
+    "AnalysisSubstrate",
+    "BatchedDaySpaces",
+    "SubstrateLoadError",
+    "compute_roa_status",
+    "load_substrate_file",
+    "save_substrate_file",
+]
+
+#: On-disk substrate layout version; bump to orphan every persisted file.
+SUBSTRATE_FORMAT = 1
+
+#: The substrate file's name inside a world cache entry (or archive dir).
+SUBSTRATE_FILENAME = "analysis-substrate.json"
+
+
+class SubstrateLoadError(ValueError):
+    """A persisted substrate that cannot be trusted (torn, stale, foreign)."""
+
+
+# ---------------------------------------------------------------------------
+# batched per-day space computation
+# ---------------------------------------------------------------------------
+
+
+class BatchedDaySpaces:
+    """Figure 5's per-day address-space sets, computed in single passes.
+
+    :class:`~repro.analysis.roa_status.DirectDaySpaces` walks every
+    store once *per sample day*; this provider walks each store once
+    *total*, bucketing each interval into the (sorted) sample days it
+    spans, then materializes one :class:`PrefixSet` per day.  The
+    resulting sets are identical — ``PrefixSet.from_intervals``
+    normalizes either way — so ``analyze_roa_status`` produces the same
+    bytes from either provider.
+    """
+
+    def __init__(
+        self, world: World, sample_days: Sequence[date], tals: TalSet
+    ) -> None:
+        self.world = world
+        self.tals = tals
+        self.days = sorted(sample_days)
+        spans_routed: list[list] = [[] for _ in self.days]
+        spans_alloc: list[list] = [[] for _ in self.days]
+        spans_signed: list[list] = [[] for _ in self.days]
+        spans_non_as0: list[list] = [[] for _ in self.days]
+        # BGP route intervals: end day is *inclusive* (None = open).
+        for interval in world.bgp.all_intervals():
+            lo = bisect_left(self.days, interval.start)
+            hi = (
+                len(self.days)
+                if interval.end is None
+                else bisect_right(self.days, interval.end)
+            )
+            if lo >= hi:
+                continue
+            span = (interval.prefix.first, interval.prefix.last + 1)
+            for i in range(lo, hi):
+                spans_routed[i].append(span)
+        # Allocations: end day is *exclusive* (first day no longer held).
+        for alloc in world.resources.allocations():
+            if alloc.status not in ("allocated", "assigned"):
+                continue
+            lo = bisect_left(self.days, alloc.start)
+            hi = (
+                len(self.days)
+                if alloc.end is None
+                else bisect_left(self.days, alloc.end)
+            )
+            if lo >= hi:
+                continue
+            span = (alloc.addresses.start, alloc.addresses.end)
+            for i in range(lo, hi):
+                spans_alloc[i].append(span)
+        # ROA records: end day is *exclusive* (first day absent).
+        for record in world.roas.records():
+            if not tals.trusts(record.roa.trust_anchor):
+                continue
+            lo = bisect_left(self.days, record.created)
+            hi = (
+                len(self.days)
+                if record.removed is None
+                else bisect_left(self.days, record.removed)
+            )
+            if lo >= hi:
+                continue
+            span = (record.roa.prefix.first, record.roa.prefix.last + 1)
+            for i in range(lo, hi):
+                spans_signed[i].append(span)
+                if not record.roa.is_as0:
+                    spans_non_as0[i].append(span)
+        self._routed = {
+            day: PrefixSet.from_intervals(spans)
+            for day, spans in zip(self.days, spans_routed)
+        }
+        self._allocated = {
+            day: PrefixSet.from_intervals(spans)
+            for day, spans in zip(self.days, spans_alloc)
+        }
+        self._signed = {
+            day: (
+                PrefixSet.from_intervals(all_spans),
+                PrefixSet.from_intervals(non_as0),
+            )
+            for day, all_spans, non_as0 in zip(
+                self.days, spans_signed, spans_non_as0
+            )
+        }
+
+    def signed(self, day: date) -> tuple[PrefixSet, PrefixSet]:
+        return self._signed[day]
+
+    def allocated(self, day: date) -> PrefixSet:
+        return self._allocated[day]
+
+    def routed(self, day: date) -> PrefixSet:
+        return self._routed[day]
+
+
+def compute_roa_status(
+    world: World, sample_days: Sequence[date] | None = None
+) -> RoaStatusResult:
+    """The Figure 5 result via the batched (single-walk) providers."""
+    days = (
+        default_sample_days(world)
+        if sample_days is None
+        else list(sample_days)
+    )
+    spaces = BatchedDaySpaces(world, days, TalSet.default())
+    return analyze_roa_status(world, days, spaces=spaces)
+
+
+# ---------------------------------------------------------------------------
+# the substrate
+# ---------------------------------------------------------------------------
+
+
+class AnalysisSubstrate:
+    """Lazily-built, optionally persisted shared state for one world.
+
+    Components build on first use and memoize: :meth:`roa_status` (the
+    Figure 5 result, persisted in ``analysis-substrate.json``) and
+    :meth:`query_index` (the per-prefix event tables, persisted by
+    :mod:`repro.query.index` as ``query-index.json``).  With a
+    ``directory`` (the world's cache entry or archive dir) both load
+    from disk when a valid persisted copy exists and evict-and-rebuild
+    otherwise; without one the substrate is memory-only.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        *,
+        directory: Path | None = None,
+        key: str = "",
+        instrumentation: "Instrumentation | None" = None,
+    ) -> None:
+        # Imported lazily throughout: repro.runtime's package import
+        # pulls in the runner, which imports repro.reporting, which
+        # imports this module — a cycle at module-load time.
+        from ..runtime.instrument import Instrumentation
+
+        self.world = world
+        self.directory = Path(directory) if directory is not None else None
+        self.key = key
+        self.instrumentation = instrumentation or Instrumentation()
+        self._roa_status: RoaStatusResult | None = None
+        self._index = None
+
+    # -- components --------------------------------------------------------
+
+    def roa_status(self) -> RoaStatusResult:
+        """The memoized Figure 5 result (persisted when possible)."""
+        if self._roa_status is not None:
+            return self._roa_status
+        instr = self.instrumentation
+        path = (
+            None
+            if self.directory is None
+            else self.directory / SUBSTRATE_FILENAME
+        )
+        if path is not None and path.exists():
+            try:
+                self._roa_status = load_substrate_file(
+                    self.directory,
+                    expected_key=self.key,
+                    instrumentation=instr,
+                )
+            except Exception:
+                path.unlink(missing_ok=True)
+                instr.incr("substrate_evictions")
+            else:
+                return self._roa_status
+        with instr.stage("substrate-build", group="substrate"):
+            self._roa_status = compute_roa_status(self.world)
+        instr.incr("substrate_builds")
+        if self.directory is not None:
+            save_substrate_file(
+                self._roa_status,
+                self.directory,
+                key=self.key,
+                instrumentation=instr,
+            )
+        return self._roa_status
+
+    def query_index(self):
+        """The per-prefix event tables (a shared ``QueryIndex``)."""
+        if self._index is None:
+            from ..query.index import load_or_build_index
+
+            self._index = load_or_build_index(
+                self.world,
+                self.directory,
+                key=self.key,
+                instrumentation=self.instrumentation,
+            )
+        return self._index
+
+    def warm(self) -> "AnalysisSubstrate":
+        """Build (or load) the shared analysis state now — e.g. before
+        forking pool workers, so they inherit it instead of each
+        rebuilding it.
+
+        Deliberately does *not* touch :meth:`query_index`: at paper
+        scale loading (or building) the index costs far more than
+        answering every visibility query straight from the raw store,
+        so the index only pays for itself in processes that already
+        hold one — the serving daemon and the ``repro-drop query``
+        fast path."""
+        self.roa_status()
+        return self
+
+    # -- visibility queries (served from the event tables) -----------------
+
+    def fraction_observing(self, prefix: IPv4Prefix, day: date) -> float:
+        """Fraction of full-table peers with an exact route on ``day``.
+
+        Served from the event tables when an index is already in
+        memory (the observer sets are pre-intersected with the
+        full-table peers at build time), otherwise straight from the
+        raw BGP store — :func:`repro.bgp.visibility.fraction_observing`
+        semantics, identical either way (pinned by tests).
+        """
+        index = self._index
+        if index is None:
+            return bgp_fraction_observing(
+                self.world.bgp, self.world.peers, prefix, day
+            )
+        if not index.total_peers:
+            return 0.0
+        bucket = index.routes.get(prefix) or ()
+        observing: set[int] = set()
+        for entry in bucket:
+            observing.update(entry.observers_on(day, index.observer_sets))
+        return len(observing) / index.total_peers
+
+    def visibility_profile(
+        self,
+        prefix: IPv4Prefix,
+        listed: date,
+        offsets: Sequence[int] = DEFAULT_OFFSETS,
+    ) -> VisibilityProfile:
+        """Figure 2's per-prefix profile, from the event tables."""
+        fractions = {
+            offset: self.fraction_observing(
+                prefix, listed + timedelta(days=offset)
+            )
+            for offset in offsets
+        }
+        return VisibilityProfile(
+            prefix=prefix, listed=listed, fractions=fractions
+        )
+
+    def announced_on(self, prefix: IPv4Prefix, day: date) -> bool:
+        """True if an exact-prefix route episode was active on ``day``."""
+        index = self._index
+        if index is None:
+            return self.world.bgp.is_announced(
+                prefix, day, include_covering=False
+            )
+        bucket = index.routes.get(prefix) or ()
+        return any(entry.active_on(day) for entry in bucket)
+
+    def withdrawn_within(
+        self, prefix: IPv4Prefix, listed: date, days: int = 30
+    ) -> bool:
+        """§4.1's withdrawal predicate, from the event tables."""
+        announced_at_listing = self.announced_on(
+            prefix, listed
+        ) or self.announced_on(prefix, listed - timedelta(days=1))
+        if not announced_at_listing:
+            return False
+        return not self.announced_on(prefix, listed + timedelta(days=days))
+
+
+# ---------------------------------------------------------------------------
+# persistence
+# ---------------------------------------------------------------------------
+
+
+def _iso(day: date | None) -> str | None:
+    return None if day is None else day.isoformat()
+
+
+def save_substrate_file(
+    result: RoaStatusResult,
+    directory: Path,
+    *,
+    key: str = "",
+    instrumentation: "Instrumentation | None" = None,
+) -> Path | None:
+    """Persist the substrate atomically as ``analysis-substrate.json``.
+
+    Write failures (read-only dir, disk full, injected fault at
+    ``substrate.save``) degrade to an unpersisted substrate with a
+    counter and a warning.  Returns the written path, or None.
+    """
+    from ..runtime.faults import fault_point
+    from ..runtime.instrument import Instrumentation
+
+    instr = instrumentation or Instrumentation()
+    payload = {
+        "format": SUBSTRATE_FORMAT,
+        "generator": GENERATOR_VERSION,
+        "key": key,
+        "roa_status": {
+            "points": [
+                [
+                    _iso(p.day),
+                    p.signed,
+                    p.signed_routed,
+                    p.signed_unrouted,
+                    p.allocated_unrouted_unsigned,
+                ]
+                for p in result.points
+            ],
+            "by_holder": result.unrouted_signed_by_holder,
+            "by_rir": result.unrouted_unsigned_by_rir,
+        },
+    }
+    target = directory / SUBSTRATE_FILENAME
+    try:
+        with instr.stage("substrate-save", group="substrate"):
+            fault_point("substrate.save", instrumentation=instr)
+            fd, staging = tempfile.mkstemp(
+                dir=directory, prefix=f".{SUBSTRATE_FILENAME}-"
+            )
+            try:
+                with os.fdopen(fd, "w") as out:
+                    json.dump(payload, out, separators=(",", ":"))
+                os.rename(staging, target)
+            except BaseException:
+                Path(staging).unlink(missing_ok=True)
+                raise
+    except OSError as error:
+        instr.incr("substrate_store_errors")
+        message = f"substrate store failed ({error}); continuing unpersisted"
+        instr.warn(message)
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
+        return None
+    instr.incr("substrate_stores")
+    return target
+
+
+def load_substrate_file(
+    directory: Path,
+    *,
+    expected_key: str = "",
+    instrumentation: "Instrumentation | None" = None,
+) -> RoaStatusResult:
+    """Load a persisted substrate, verifying its header.
+
+    Raises :class:`SubstrateLoadError` (or the underlying ``OSError`` /
+    ``json.JSONDecodeError``) when the file is missing, torn, or was
+    built by a different generator or for a different world — callers
+    evict and rebuild (see :meth:`AnalysisSubstrate.roa_status`).
+    """
+    from ..runtime.faults import corrupt_file, fault_point
+    from ..runtime.instrument import Instrumentation
+
+    instr = instrumentation or Instrumentation()
+    path = directory / SUBSTRATE_FILENAME
+    with instr.stage("substrate-load", group="substrate"):
+        # A truncate fault at the load site models a torn file that
+        # became visible anyway (crash between write and fsync).
+        corrupt_file("substrate.load", path, instrumentation=instr)
+        fault_point("substrate.load", instrumentation=instr)
+        raw = json.loads(path.read_text())
+        if raw.get("format") != SUBSTRATE_FORMAT:
+            raise SubstrateLoadError(
+                f"substrate format {raw.get('format')!r} != "
+                f"{SUBSTRATE_FORMAT}"
+            )
+        if raw.get("generator") != GENERATOR_VERSION:
+            raise SubstrateLoadError(
+                f"substrate generator {raw.get('generator')!r} != "
+                f"{GENERATOR_VERSION!r}"
+            )
+        if expected_key and raw.get("key") != expected_key:
+            raise SubstrateLoadError(
+                f"substrate key {raw.get('key')!r} != {expected_key!r}"
+            )
+        status = raw["roa_status"]
+        result = RoaStatusResult(
+            points=tuple(
+                RoaStatusPoint(
+                    day=date.fromisoformat(day),
+                    signed=signed,
+                    signed_routed=routed,
+                    signed_unrouted=unrouted,
+                    allocated_unrouted_unsigned=unsigned,
+                )
+                for day, signed, routed, unrouted, unsigned in status[
+                    "points"
+                ]
+            ),
+            unrouted_signed_by_holder=dict(status["by_holder"]),
+            unrouted_unsigned_by_rir=dict(status["by_rir"]),
+        )
+    instr.incr("substrate_loads")
+    return result

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from ..bgp.visibility import (
     DEFAULT_OFFSETS,
     VisibilityProfile,
@@ -19,6 +21,9 @@ from ..bgp.visibility import (
 from ..drop.categories import Category
 from ..synth.world import World
 from .common import DropEntryView, load_entries
+
+if TYPE_CHECKING:
+    from .substrate import AnalysisSubstrate
 
 __all__ = ["VisibilityResult", "analyze_visibility"]
 
@@ -54,8 +59,15 @@ def analyze_visibility(
     offsets: tuple[int, ...] = DEFAULT_OFFSETS,
     *,
     exclude_incidents: bool = True,
+    substrate: "AnalysisSubstrate | None" = None,
 ) -> VisibilityResult:
-    """Run the Figure 2 visibility analysis."""
+    """Run the Figure 2 visibility analysis.
+
+    With a ``substrate``, profiles and withdrawal checks are served
+    from its per-prefix event tables (interned observer sets) instead
+    of walking the raw route-interval store — same numbers, one store
+    scan per world instead of one per prefix per offset.
+    """
     if entries is None:
         entries = load_entries(world)
     if exclude_incidents:
@@ -68,7 +80,9 @@ def analyze_visibility(
     }
     for entry in entries:
         profiles.append(
-            visibility_profile(
+            substrate.visibility_profile(entry.prefix, entry.listed, offsets)
+            if substrate is not None
+            else visibility_profile(
                 world.bgp, world.peers, entry.prefix, entry.listed, offsets
             )
         )
@@ -76,8 +90,12 @@ def analyze_visibility(
         # BGP-observed around its listing; the paper's 19% is over all
         # listed prefixes, with never-routed prefixes never "withdrawn".
         eligible_total += 1
-        withdrawn = withdrawn_within(
-            world.bgp, entry.prefix, entry.listed, days=30
+        withdrawn = (
+            substrate.withdrawn_within(entry.prefix, entry.listed, days=30)
+            if substrate is not None
+            else withdrawn_within(
+                world.bgp, entry.prefix, entry.listed, days=30
+            )
         )
         if withdrawn:
             withdrawn_total += 1

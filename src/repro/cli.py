@@ -38,10 +38,11 @@ from .net.prefix import IPv4Prefix, PrefixError
 from .net.timeline import DateWindow, parse_date
 from .query import (
     INDEX_FILENAME,
+    BatchParseError,
     QueryEngine,
     QueryServer,
     load_index,
-    parse_query_line,
+    parse_query_batch,
 )
 from .reporting import (
     EXPERIMENTS,
@@ -119,8 +120,8 @@ def _add_world_source(parser: argparse.ArgumentParser) -> None:
         "--jobs",
         type=_jobs_arg,
         default=None,
-        help="experiment worker processes; 0 = one per CPU "
-        "(default: $REPRO_JOBS or 1)",
+        help="worker processes for the world build and the experiments; "
+        "0 = one per CPU (default: $REPRO_JOBS or 1)",
     )
     parser.add_argument(
         "--no-cache",
@@ -153,8 +154,19 @@ def _add_world_source(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _resolve_jobs_arg(args: argparse.Namespace) -> int:
+    """The effective worker count: ``--jobs``, else ``$REPRO_JOBS``."""
+    if args.jobs is not None:
+        return resolve_jobs(args.jobs)  # argparse already rejected < 0
+    try:
+        return default_jobs()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2) from None
+
+
 def _resolve_world(
-    args: argparse.Namespace, instr: Instrumentation
+    args: argparse.Namespace, instr: Instrumentation, *, jobs: int = 1
 ) -> tuple[World, Path | None]:
     """The world to measure, plus a directory workers can reload it from."""
     if args.archives is not None:
@@ -165,13 +177,13 @@ def _resolve_world(
         return world, args.archives
     config = _SCALES[args.scale](seed=args.seed)
     if args.no_cache:
-        world = build_world(config, instrumentation=instr)
+        world = build_world(config, jobs=jobs, instrumentation=instr)
         instr.annotate("world_cache", {"status": "bypass"})
         instr.annotate("world_sizes", world_sizes(world))
         return world, None
     cache = WorldCache(args.cache_dir)
     outcome = cache.fetch(
-        config, instrumentation=instr, refresh=args.refresh_cache
+        config, instrumentation=instr, refresh=args.refresh_cache, jobs=jobs
     )
     instr.annotate(
         "world_cache",
@@ -189,15 +201,8 @@ def _run_selected(
 ) -> tuple[RunOutcome, Instrumentation]:
     instr = Instrumentation()
     started = perf_counter()
-    if args.jobs is not None:
-        jobs = resolve_jobs(args.jobs)  # argparse already rejected < 0
-    else:
-        try:
-            jobs = default_jobs()
-        except ValueError as error:
-            print(f"error: {error}", file=sys.stderr)
-            raise SystemExit(2) from None
-    world, directory = _resolve_world(args, instr)
+    jobs = _resolve_jobs_arg(args)
+    world, directory = _resolve_world(args, instr, jobs=jobs)
     instr.annotate("jobs", jobs)
     instr.annotate("experiment_ids", wanted)
     outcome = run_experiments(
@@ -250,7 +255,9 @@ def _finish(outcome: RunOutcome, instr: Instrumentation) -> int:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
-    world = build_world(_SCALES[args.scale](seed=args.seed))
+    world = build_world(
+        _SCALES[args.scale](seed=args.seed), jobs=_resolve_jobs_arg(args)
+    )
     save_world(world, args.out, drop_step_days=args.drop_step_days)
     print(
         f"wrote {args.out}: {len(world.drop.unique_prefixes())} DROP "
@@ -336,7 +343,9 @@ def _query_engine(
                 {"status": "hit", "directory": str(directory)},
             )
             return QueryEngine(index, instrumentation=instr)
-    world, directory = _resolve_world(args, instr)
+    world, directory = _resolve_world(
+        args, instr, jobs=_resolve_jobs_arg(args)
+    )
     instr.annotate("query_index", {"status": "build"})
     return QueryEngine.for_world(
         world,
@@ -387,9 +396,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
     instr = Instrumentation()
     try:
         default_day = parse_date(args.on) if args.on else None
-        prefixes = [IPv4Prefix.parse(text) for text in args.prefixes]
-    except (PrefixError, ValueError) as error:
+    except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
+        return 2
+    # Positional prefixes are validated as one batch too: a command
+    # line with three typos reports all three, not just the first.
+    prefix_errors: list[tuple[int, str, str]] = []
+    prefixes: list[IPv4Prefix] = []
+    for position, text in enumerate(args.prefixes):
+        try:
+            prefixes.append(IPv4Prefix.parse(text))
+        except PrefixError as error:
+            prefix_errors.append((position, text, str(error)))
+    if prefix_errors:
+        print(f"error: {BatchParseError(prefix_errors)}", file=sys.stderr)
         return 2
     if not prefixes and not args.stdin:
         print(
@@ -401,15 +421,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
     resolved_day = default_day if default_day is not None else engine.default_day
     queries = [(prefix, resolved_day) for prefix in prefixes]
     if args.stdin:
+        lines = [
+            line.strip()
+            for line in sys.stdin
+            if line.strip() and not line.strip().startswith("#")
+        ]
         try:
-            for line in sys.stdin:
-                line = line.strip()
-                if not line or line.startswith("#"):
-                    continue
-                queries.append(
-                    parse_query_line(line, default_day=resolved_day)
-                )
-        except (PrefixError, ValueError) as error:
+            queries.extend(
+                parse_query_batch(lines, default_day=resolved_day)
+            )
+        except BatchParseError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
     statuses = engine.lookup_many(queries)
@@ -481,6 +502,11 @@ def build_parser() -> argparse.ArgumentParser:
     build_cmd.add_argument(
         "--drop-step-days", type=int, default=7,
         help="DROP snapshot interval in days (default: weekly)",
+    )
+    build_cmd.add_argument(
+        "--jobs", type=_jobs_arg, default=None,
+        help="world-build worker processes; 0 = one per CPU "
+        "(default: $REPRO_JOBS or 1)",
     )
     build_cmd.set_defaults(func=_cmd_build)
 

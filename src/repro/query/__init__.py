@@ -12,7 +12,13 @@ The serving layer on top of the runtime world cache:
   (``/v1/status``, ``/v1/batch``, ``/healthz``).
 """
 
-from .engine import PrefixStatus, QueryEngine, parse_query_line
+from .engine import (
+    BatchParseError,
+    PrefixStatus,
+    QueryEngine,
+    parse_query_batch,
+    parse_query_line,
+)
 from .index import (
     INDEX_FILENAME,
     INDEX_FORMAT,
@@ -26,6 +32,7 @@ from .index import (
 from .server import QueryServer
 
 __all__ = [
+    "BatchParseError",
     "INDEX_FILENAME",
     "INDEX_FORMAT",
     "IndexLoadError",
@@ -36,6 +43,7 @@ __all__ = [
     "build_index",
     "load_index",
     "load_or_build_index",
+    "parse_query_batch",
     "parse_query_line",
     "save_index",
 ]

@@ -23,7 +23,13 @@ from ..runtime.instrument import Instrumentation
 from ..synth.world import World
 from .index import QueryIndex, load_or_build_index
 
-__all__ = ["PrefixStatus", "QueryEngine", "parse_query_line"]
+__all__ = [
+    "BatchParseError",
+    "PrefixStatus",
+    "QueryEngine",
+    "parse_query_batch",
+    "parse_query_line",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -99,6 +105,46 @@ def parse_query_line(line: str, *, default_day: date) -> tuple[IPv4Prefix, date]
     prefix = IPv4Prefix.parse(parts[0])
     day = parse_date(parts[1]) if len(parts) == 2 else default_day
     return prefix, day
+
+
+class BatchParseError(ValueError):
+    """Every invalid input of one batch, reported together.
+
+    ``errors`` holds ``(position, input, message)`` triples, zero-based
+    in batch order, so a caller submitting hundreds of lines learns
+    about all of them in one round trip instead of one per attempt.
+    """
+
+    def __init__(self, errors: list[tuple[int, str, str]]) -> None:
+        self.errors = list(errors)
+        details = "; ".join(
+            f"[{position}] {text!r}: {message}"
+            for position, text, message in self.errors
+        )
+        count = len(self.errors)
+        plural = "query" if count == 1 else "queries"
+        super().__init__(f"{count} bad {plural}: {details}")
+
+
+def parse_query_batch(
+    lines: Iterable[str], *, default_day: date
+) -> list[tuple[IPv4Prefix, date]]:
+    """Parse a whole batch of query lines, validating all of them.
+
+    Unlike looping over :func:`parse_query_line`, a bad line does not
+    stop the scan: every invalid input is collected and raised as one
+    :class:`BatchParseError` listing each offender with its position.
+    """
+    pairs: list[tuple[IPv4Prefix, date]] = []
+    errors: list[tuple[int, str, str]] = []
+    for position, line in enumerate(lines):
+        try:
+            pairs.append(parse_query_line(line, default_day=default_day))
+        except ValueError as error:  # PrefixError is a ValueError
+            errors.append((position, line, str(error)))
+    if errors:
+        raise BatchParseError(errors)
+    return pairs
 
 
 class QueryEngine:
@@ -229,10 +275,35 @@ class QueryEngine:
         )
 
     def lookup_many(
-        self, queries: Iterable[tuple[IPv4Prefix, date | None]]
+        self,
+        queries: Iterable[tuple[IPv4Prefix, date | None] | str],
+        *,
+        default_day: date | None = None,
     ) -> list[PrefixStatus]:
-        """Vectorized batch: one status per (prefix, day) pair, in order."""
+        """Vectorized batch: one status per query, in input order.
+
+        Items are ``(prefix, day)`` pairs or raw ``"PREFIX [DATE]"``
+        strings; strings are validated up front as one batch, so a
+        request with several malformed inputs fails with a single
+        :class:`BatchParseError` naming every offender and its position
+        — not just the first.
+        """
+        day = self.default_day if default_day is None else default_day
+        resolved: list[tuple[IPv4Prefix, date | None]] = []
+        errors: list[tuple[int, str, str]] = []
+        for position, item in enumerate(queries):
+            if isinstance(item, str):
+                try:
+                    resolved.append(
+                        parse_query_line(item, default_day=day)
+                    )
+                except ValueError as error:  # PrefixError included
+                    errors.append((position, item, str(error)))
+            else:
+                resolved.append(item)
+        if errors:
+            raise BatchParseError(errors)
         with self.instrumentation.stage("lookup-many", group="query"):
-            results = [self.lookup(prefix, on) for prefix, on in queries]
+            results = [self.lookup(prefix, on) for prefix, on in resolved]
         self.instrumentation.incr("query_batches")
         return results

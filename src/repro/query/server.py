@@ -30,7 +30,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from ..net.prefix import IPv4Prefix, PrefixError
 from ..net.timeline import parse_date
-from .engine import QueryEngine
+from .engine import BatchParseError, QueryEngine
 
 __all__ = ["QueryServer"]
 
@@ -140,18 +140,27 @@ class _Handler(BaseHTTPRequestHandler):
         )
         if not isinstance(queries, list):
             raise _BadRequest('expected {"queries": [...]} or a JSON list')
+        # Validate the whole batch before answering any of it, so one
+        # response names every malformed item — not just the first.
         pairs: list[tuple[IPv4Prefix, date]] = []
-        for item in queries:
+        errors: list[tuple[int, str, str]] = []
+        for position, item in enumerate(queries):
             if isinstance(item, str):
                 item = {"prefix": item}
             if not isinstance(item, dict):
-                raise _BadRequest(f"bad query item {item!r}")
-            pairs.append(
-                (
-                    _parse_prefix(item.get("prefix")),
-                    _parse_day(item, default=engine.default_day),
+                errors.append((position, repr(item), "bad query item"))
+                continue
+            try:
+                pairs.append(
+                    (
+                        _parse_prefix(item.get("prefix")),
+                        _parse_day(item, default=engine.default_day),
+                    )
                 )
-            )
+            except _BadRequest as error:
+                errors.append((position, repr(item), str(error)))
+        if errors:
+            raise _BadRequest(str(BatchParseError(errors)))
         results = engine.lookup_many(pairs)
         self._reply(200, {"results": [status.to_dict() for status in results]})
 

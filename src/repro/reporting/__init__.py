@@ -2,6 +2,7 @@
 
 from .experiments import (
     EXPERIMENTS,
+    SUBSTRATE_EXPERIMENTS,
     ExperimentReport,
     Metric,
     render_markdown,
@@ -14,6 +15,7 @@ from .tables import TextTable
 
 __all__ = [
     "EXPERIMENTS",
+    "SUBSTRATE_EXPERIMENTS",
     "ExperimentReport",
     "Metric",
     "TextTable",

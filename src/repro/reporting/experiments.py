@@ -10,7 +10,7 @@ EXPERIMENTS.md generation — one source of truth for "did we reproduce it".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..analysis import (
     analyze_deallocation,
@@ -32,8 +32,13 @@ from ..synth.world import World
 from .figures import ascii_cdf, ascii_series, ascii_timeline
 from .tables import TextTable
 
+if TYPE_CHECKING:  # imported lazily at runtime: substrate -> runtime
+    # -> runner -> reporting would otherwise be a cycle.
+    from ..analysis.substrate import AnalysisSubstrate
+
 __all__ = [
     "EXPERIMENTS",
+    "SUBSTRATE_EXPERIMENTS",
     "ExperimentReport",
     "Metric",
     "render_markdown",
@@ -53,13 +58,21 @@ class Metric:
     unit: str = ""
 
     def matches(self, rel_tol: float = 0.25) -> bool:
-        """Loose agreement check for numeric metrics."""
-        if not isinstance(self.paper, (int, float)) or not isinstance(
-            self.measured, (int, float)
-        ):
+        """Loose agreement check for numeric metrics.
+
+        Non-numeric values (and bools, which would otherwise slip
+        through as ints) compare by equality; a zero paper value asks
+        for a measured value within absolute tolerance, since relative
+        error against zero is undefined.
+        """
+        numeric = tuple(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in (self.paper, self.measured)
+        )
+        if not all(numeric):
             return self.paper == self.measured
         if self.paper == 0:
-            return abs(float(self.measured)) < 1e-9 or self.measured == 0
+            return abs(float(self.measured)) < 1e-9
         return (
             abs(float(self.measured) - float(self.paper))
             / abs(float(self.paper))
@@ -77,8 +90,17 @@ class ExperimentReport:
     body: str = ""
 
 
-_Runner = Callable[[World, list[DropEntryView]], ExperimentReport]
+_Runner = Callable[
+    [World, list[DropEntryView], "AnalysisSubstrate | None"],
+    ExperimentReport,
+]
 EXPERIMENTS: dict[str, _Runner] = {}
+
+#: Experiments that consume the substrate's expensive shared components
+#: (the memoized Figure 5 series, the per-prefix event tables).  The
+#: parallel runner pre-warms the substrate in the parent only when at
+#: least one of these is requested.
+SUBSTRATE_EXPERIMENTS = frozenset({"fig2", "fig5", "ext-as0"})
 
 
 def _experiment(exp_id: str) -> Callable[[_Runner], _Runner]:
@@ -93,8 +115,15 @@ def run_experiment(
     world: World,
     exp_id: str,
     entries: list[DropEntryView] | None = None,
+    substrate: "AnalysisSubstrate | None" = None,
 ) -> ExperimentReport:
-    """Run one registered experiment by id."""
+    """Run one registered experiment by id.
+
+    ``substrate`` shares the expensive once-per-world state (see
+    :class:`~repro.analysis.substrate.AnalysisSubstrate`); without one
+    the experiment recomputes what it needs from the raw stores —
+    identical results either way.
+    """
     # Imported lazily: reporting loads before the runtime package, and
     # the injection point must also cover direct library calls (run_all,
     # the examples), not just the pooled runner.
@@ -103,23 +132,34 @@ def run_experiment(
     fault_point(f"experiment.run:{exp_id}")
     if entries is None:
         entries = load_entries(world)
-    return EXPERIMENTS[exp_id](world, entries)
+    return EXPERIMENTS[exp_id](world, entries, substrate)
 
 
 def run_all(
     world: World,
     exp_ids: list[str] | None = None,
     entries: list[DropEntryView] | None = None,
+    substrate: "AnalysisSubstrate | None" = None,
 ) -> list[ExperimentReport]:
     """Run experiments serially — all of them, or just ``exp_ids``.
 
     ``entries`` lets callers (the parallel runner, benchmarks) reuse an
     already-computed entry view instead of re-joining the archives.
+    A memory-only :class:`AnalysisSubstrate` is created when the caller
+    does not supply one, so the experiments share the Figure 5 series
+    and the per-prefix event tables instead of each re-walking the raw
+    stores; reports are identical with or without it.
     """
     if entries is None:
         entries = load_entries(world)
+    if substrate is None:
+        from ..analysis.substrate import AnalysisSubstrate
+
+        substrate = AnalysisSubstrate(world)
     ids = list(EXPERIMENTS) if exp_ids is None else list(exp_ids)
-    return [EXPERIMENTS[exp_id](world, entries) for exp_id in ids]
+    return [
+        EXPERIMENTS[exp_id](world, entries, substrate) for exp_id in ids
+    ]
 
 
 def render_text(report: ExperimentReport) -> str:
@@ -170,7 +210,11 @@ def render_markdown(reports: list[ExperimentReport]) -> str:
 
 
 @_experiment("fig1")
-def _fig1(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+def _fig1(
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
+) -> ExperimentReport:
     result = classify_drop(world, entries)
     table = TextTable(
         ["category", "exclusive", "additional", "addresses", "/8 equiv"]
@@ -206,8 +250,12 @@ def _fig1(world: World, entries: list[DropEntryView]) -> ExperimentReport:
 
 
 @_experiment("fig2")
-def _fig2(world: World, entries: list[DropEntryView]) -> ExperimentReport:
-    result = analyze_visibility(world, entries)
+def _fig2(
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
+) -> ExperimentReport:
+    result = analyze_visibility(world, entries, substrate=substrate)
     body = ascii_cdf(
         result.cdf(30),
         label="Fraction of peers observing prefix, 30 days after listing",
@@ -227,7 +275,9 @@ def _fig2(world: World, entries: list[DropEntryView]) -> ExperimentReport:
 
 @_experiment("fig2-peers")
 def _fig2_peers(
-    world: World, entries: list[DropEntryView]
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
 ) -> ExperimentReport:
     result = detect_drop_filtering(world, entries)
     table = TextTable(["peer", "collector", "rate"])
@@ -245,7 +295,11 @@ def _fig2_peers(
 
 
 @_experiment("tab1")
-def _tab1(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+def _tab1(
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
+) -> ExperimentReport:
     result = analyze_rpki_uptake(world, entries)
     table = TextTable(
         ["region", "never", "of", "removed", "of", "present", "of"]
@@ -278,7 +332,11 @@ def _tab1(world: World, entries: list[DropEntryView]) -> ExperimentReport:
 
 
 @_experiment("fig3")
-def _fig3(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+def _fig3(
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
+) -> ExperimentReport:
     result = analyze_irr(world, entries)
     to_bgp = [
         t.days_to_bgp
@@ -310,7 +368,11 @@ def _fig3(world: World, entries: list[DropEntryView]) -> ExperimentReport:
 
 
 @_experiment("fig4")
-def _fig4(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+def _fig4(
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
+) -> ExperimentReport:
     result = analyze_rpki_effectiveness(world, entries)
     lines = []
     for hijack in result.rpki_valid_hijacks:
@@ -343,8 +405,16 @@ def _fig4(world: World, entries: list[DropEntryView]) -> ExperimentReport:
 
 
 @_experiment("fig5")
-def _fig5(world: World, entries: list[DropEntryView]) -> ExperimentReport:
-    result = analyze_roa_status(world)
+def _fig5(
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
+) -> ExperimentReport:
+    result = (
+        substrate.roa_status()
+        if substrate is not None
+        else analyze_roa_status(world)
+    )
     body = ascii_series(
         [(p.day, p.signed) for p in result.points],
         label="ROA-covered allocated space (/8 equivalents)",
@@ -377,7 +447,11 @@ def _fig5(world: World, entries: list[DropEntryView]) -> ExperimentReport:
 
 
 @_experiment("fig6")
-def _fig6(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+def _fig6(
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
+) -> ExperimentReport:
     result = analyze_unallocated(world, entries)
     events = [
         (l.listed, f"{l.prefix} ({l.region})") for l in result.listings
@@ -401,7 +475,11 @@ def _fig6(world: World, entries: list[DropEntryView]) -> ExperimentReport:
 
 
 @_experiment("fig7")
-def _fig7(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+def _fig7(
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
+) -> ExperimentReport:
     result = analyze_unallocated(world, entries)
     bodies = []
     metrics = []
@@ -430,7 +508,11 @@ def _fig7(world: World, entries: list[DropEntryView]) -> ExperimentReport:
 
 
 @_experiment("tab2")
-def _tab2(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+def _tab2(
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
+) -> ExperimentReport:
     result = classify_drop(world, entries)
     metrics = (
         Metric("records with one keyword", 0.90,
@@ -446,7 +528,11 @@ def _tab2(world: World, entries: list[DropEntryView]) -> ExperimentReport:
 
 
 @_experiment("sec4.1-dealloc")
-def _dealloc(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+def _dealloc(
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
+) -> ExperimentReport:
     result = analyze_deallocation(world, entries)
     metrics = (
         Metric("MH prefixes deallocated", 0.174,
@@ -462,7 +548,11 @@ def _dealloc(world: World, entries: list[DropEntryView]) -> ExperimentReport:
 
 
 @_experiment("sec5")
-def _sec5(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+def _sec5(
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
+) -> ExperimentReport:
     result = analyze_irr(world, entries)
     org_table = TextTable(["ORG-ID", "route objects"])
     for org, count in sorted(
@@ -495,7 +585,11 @@ def _sec5(world: World, entries: list[DropEntryView]) -> ExperimentReport:
 
 
 @_experiment("sec6.2-as0")
-def _sec62(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+def _sec62(
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
+) -> ExperimentReport:
     result = detect_as0_filtering(world)
     metrics = (
         Metric("prefixes the AS0 TALs would filter", 30,
@@ -516,7 +610,11 @@ def _sec62(world: World, entries: list[DropEntryView]) -> ExperimentReport:
 
 
 @_experiment("ext-rov")
-def _ext_rov(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+def _ext_rov(
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
+) -> ExperimentReport:
     from ..analysis.counterfactuals import rov_counterfactual
     from ..rpki.validation import RouteValidity
 
@@ -543,10 +641,14 @@ def _ext_rov(world: World, entries: list[DropEntryView]) -> ExperimentReport:
 
 
 @_experiment("ext-as0")
-def _ext_as0(world: World, entries: list[DropEntryView]) -> ExperimentReport:
+def _ext_as0(
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
+) -> ExperimentReport:
     from ..analysis.counterfactuals import as0_counterfactual
 
-    result = as0_counterfactual(world, entries)
+    result = as0_counterfactual(world, entries, substrate=substrate)
     ladder = ", ".join(f"top-{i+1}: {x:.0%}"
                        for i, x in enumerate(result.operator_ladder[:3]))
     metrics = (
@@ -569,7 +671,9 @@ def _ext_as0(world: World, entries: list[DropEntryView]) -> ExperimentReport:
 
 @_experiment("ext-maxlen")
 def _ext_maxlen(
-    world: World, entries: list[DropEntryView]
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
 ) -> ExperimentReport:
     from ..analysis.maxlength import audit_maxlength
 
@@ -591,7 +695,9 @@ def _ext_maxlen(
 
 @_experiment("ext-alarms")
 def _ext_alarms(
-    world: World, entries: list[DropEntryView]
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
 ) -> ExperimentReport:
     from ..analysis.alarm_eval import evaluate_alarms
 
@@ -623,7 +729,9 @@ def _ext_alarms(
 
 @_experiment("ext-serial")
 def _ext_serial(
-    world: World, entries: list[DropEntryView]
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
 ) -> ExperimentReport:
     from ..analysis.serial_hijackers import profile_origins
 
@@ -656,7 +764,9 @@ def _ext_serial(
 
 @_experiment("ext-survival")
 def _ext_survival(
-    world: World, entries: list[DropEntryView]
+    world: World,
+    entries: list[DropEntryView],
+    substrate: "AnalysisSubstrate | None" = None,
 ) -> ExperimentReport:
     from ..analysis.survival import analyze_survival
 

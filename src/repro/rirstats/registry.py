@@ -102,6 +102,10 @@ class ResourceRegistry:
         """Record one allocation lifetime."""
         self._allocations.append(allocation)
 
+    def allocations(self) -> list[Allocation]:
+        """Every allocation record, in insertion order."""
+        return list(self._allocations)
+
     def allocate(
         self,
         space: IPv4Prefix | AddressRange | str,

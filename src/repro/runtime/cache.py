@@ -121,8 +121,13 @@ class WorldCache:
         *,
         instrumentation: Instrumentation | None = None,
         refresh: bool = False,
+        jobs: int = 1,
     ) -> CacheOutcome:
         """The world for ``config``: cached if possible, else built.
+
+        ``jobs`` fans a cache-miss build out over worker processes; the
+        built world is byte-identical either way, so the cache key never
+        depends on it.
 
         A loaded world carries the caller's full ``config`` (the archive
         round-trip keeps only seed + window), so analyses that read
@@ -149,7 +154,7 @@ class WorldCache:
                 instr.annotate("world_sizes", world_sizes(world))
                 return CacheOutcome(world, "hit", key, directory)
         instr.incr("world_cache_misses")
-        world = build_world(config, instrumentation=instr)
+        world = build_world(config, jobs=jobs, instrumentation=instr)
         instr.annotate("world_sizes", world_sizes(world))
         self._store(world, directory, instr)
         return CacheOutcome(

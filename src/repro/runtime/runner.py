@@ -39,9 +39,16 @@ from time import perf_counter
 
 from ..analysis import load_entries
 from ..analysis.common import DropEntryView
-from ..reporting import EXPERIMENTS, ExperimentReport, run_experiment
+from ..analysis.substrate import AnalysisSubstrate
+from ..reporting import (
+    EXPERIMENTS,
+    SUBSTRATE_EXPERIMENTS,
+    ExperimentReport,
+    run_experiment,
+)
 from ..synth import ScenarioConfig, World, build_world, load_world
 from . import faults
+from .cache import world_cache_key
 from .instrument import Instrumentation
 
 __all__ = [
@@ -50,6 +57,7 @@ __all__ = [
     "ExperimentFailure",
     "RunOutcome",
     "default_jobs",
+    "parallel_map",
     "resolve_jobs",
     "run_experiments",
 ]
@@ -120,9 +128,27 @@ class RunOutcome:
         return not self.failures
 
 
-#: Worker-process state: ``(world, entries)``.  Set in the parent before
-#: the pool is created so forked workers inherit it without reloading.
-_WORKER_STATE: tuple[World, list[DropEntryView]] | None = None
+#: Worker-process state: ``(world, entries, substrate)``.  Set in the
+#: parent before the pool is created so forked workers inherit it
+#: without reloading.
+_WORKER_STATE: tuple[World, list[DropEntryView], AnalysisSubstrate] | None = (
+    None
+)
+
+
+def _substrate_for(
+    world: World,
+    directory: Path | None,
+    instrumentation: Instrumentation | None = None,
+) -> AnalysisSubstrate:
+    """A substrate keyed like the query index, persisted in ``directory``."""
+    key = "" if world.config is None else world_cache_key(world.config)
+    return AnalysisSubstrate(
+        world,
+        directory=directory,
+        key=key,
+        instrumentation=instrumentation,
+    )
 
 
 def _init_worker(
@@ -140,12 +166,18 @@ def _init_worker(
         world = build_world(config)
     else:  # pragma: no cover - guarded by run_experiments
         raise RuntimeError("worker has neither a world directory nor a config")
-    _WORKER_STATE = (world, load_entries(world))
+    _WORKER_STATE = (
+        world,
+        load_entries(world),
+        _substrate_for(
+            world, Path(directory) if directory is not None else None
+        ),
+    )
 
 
 def _run_one(exp_id: str):
     assert _WORKER_STATE is not None
-    world, entries = _WORKER_STATE
+    world, entries, substrate = _WORKER_STATE
     # Faults fired while running (in this process — possibly a worker)
     # ride back on the result tuple so they land in the parent's
     # instrumentation counters.
@@ -154,7 +186,7 @@ def _run_one(exp_id: str):
     started = perf_counter()
     try:
         faults.fault_point(f"worker.run:{exp_id}")
-        report = run_experiment(world, exp_id, entries)
+        report = run_experiment(world, exp_id, entries, substrate)
         error = None
     except Exception:
         report, error = None, traceback.format_exc()
@@ -167,6 +199,29 @@ def _mp_context():
     """The pool context ``$REPRO_START_METHOD`` selects, or None."""
     method = os.environ.get(START_METHOD_ENV, "").strip()
     return multiprocessing.get_context(method) if method else None
+
+
+def parallel_map(fn, tasks, *, jobs: int) -> list:
+    """Ordered ``[fn(t) for t in tasks]`` over a process pool.
+
+    The generic fan-out behind the sharded world build: ``fn`` must be
+    a picklable module-level function of one picklable task.  A broken
+    pool (worker OOM-killed, injected crash) falls back to computing the
+    whole map serially in the parent — a dying worker costs wall time,
+    never results, matching :func:`run_experiments`.  ``jobs <= 1`` or
+    a single task short-circuits to the serial loop.
+    """
+    tasks = list(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(tasks)),
+            mp_context=_mp_context(),
+        ) as pool:
+            return list(pool.map(fn, tasks))
+    except Exception:
+        return [fn(task) for task in tasks]
 
 
 def _collect_parallel(
@@ -209,6 +264,7 @@ def run_experiments(
     jobs: int = 1,
     directory: Path | None = None,
     entries: list[DropEntryView] | None = None,
+    substrate: AnalysisSubstrate | None = None,
     instrumentation: Instrumentation | None = None,
     serial_fallback: bool = True,
 ) -> RunOutcome:
@@ -236,17 +292,25 @@ def run_experiments(
     if entries is None:
         with instr.stage("load-entries", group="run"):
             entries = load_entries(world)
+    if substrate is None:
+        substrate = _substrate_for(world, directory, instr)
 
     results: dict[str, tuple] = {}
     unrecovered: list[str] = []
     if jobs <= 1 or len(exp_ids) <= 1:
-        _WORKER_STATE = (world, entries)
+        _WORKER_STATE = (world, entries, substrate)
         try:
             results = {e: _run_one(e) for e in exp_ids}
         finally:
             _WORKER_STATE = None
     else:
-        _WORKER_STATE = (world, entries)
+        if SUBSTRATE_EXPERIMENTS & set(exp_ids):
+            # Build (or load) the shared state once in the parent:
+            # forked workers inherit it, spawned workers reload the
+            # persisted copy — nobody rebuilds it per process.
+            with instr.stage("substrate-warm", group="run"):
+                substrate.warm()
+        _WORKER_STATE = (world, entries, substrate)
         try:
             lost = _collect_parallel(
                 exp_ids, jobs, directory, world.config, results

@@ -21,6 +21,7 @@ see :class:`SpaceCarver`.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from datetime import date, timedelta
 
 import numpy as np
@@ -46,13 +47,17 @@ __all__ = [
     "GENERATOR_VERSION",
     "SpaceCarver",
     "WorldBuilder",
+    "background_shard_seed",
     "build_world",
 ]
 
 #: Version of the generation algorithm.  Bump whenever a builder change
 #: alters the produced world for an unchanged config — the world cache
 #: keys on it, so stale cached worlds invalidate automatically.
-GENERATOR_VERSION = 1
+#: v2: the background stage generates in fixed-size shards with
+#: per-shard RNG streams and pre-carved address blocks, so it can fan
+#: out over a process pool while staying byte-identical to serial.
+GENERATOR_VERSION = 2
 
 #: /8s the carver never hands out: special-purpose space plus the blocks
 #: used verbatim by the Figure 4 case study and the §6.2.1 operator-AS0
@@ -125,13 +130,216 @@ class SpaceCarver:
         return [self.carve(chunk_length) for _ in range(chunks)]
 
 
+# -- background sharding -------------------------------------------------------
+#
+# The background stage is the bulk of a build (~196K prefixes at paper
+# scale), so it generates in fixed-size shards: each shard is a pure
+# function of its task — own RNG stream, own pre-carved address block,
+# own ASN block — and the parent merges results in task order.  Serial
+# and parallel builds execute the *same* shard functions, so
+# ``build_world(cfg, jobs=N)`` is byte-identical to ``jobs=1`` by
+# construction (and pinned by the golden tests).
+
+#: Prefixes per background shard.  Must stay a multiple of 64 (the
+#: allocation-block grouping) and 4 (the ASN reuse grouping) so shard
+#: boundaries never split a group.
+_BACKGROUND_SHARD_PREFIXES = 4096
+
+#: Worst-case addresses one background prefix consumes from its shard
+#: block: a /22 (1024 addresses) plus up to a /22 of alignment slack.
+_BACKGROUND_ADDRS_PER_PREFIX = 2048
+
+#: Background ASNs live in a dedicated range so shards never contend on
+#: the builder's sequential ASN cursor: one block per region, the ASN
+#: derived from the region-global prefix index.
+_BACKGROUND_ASN_BASE = 1_000_000
+_BACKGROUND_ASN_STRIDE = 100_000
+
+#: Entropy domain tag separating background shard streams from every
+#: other consumer of the scenario seed.
+_BACKGROUND_STREAM = 0xB6
+
+
+def background_shard_seed(
+    seed: int, region_index: int, shard_index: int
+) -> np.random.SeedSequence:
+    """The RNG stream for one background shard.
+
+    Distinct ``(seed, region, shard)`` triples map to distinct entropy
+    tuples, so no two shards of any world — across scenario seeds — ever
+    draw from the same stream (pinned by the shard-seed collision test).
+    """
+    return np.random.SeedSequence(
+        entropy=(seed, _BACKGROUND_STREAM, region_index, shard_index)
+    )
+
+
+def _largest_remainder(total: int, sizes: list[int]) -> list[int]:
+    """Split ``total`` across buckets proportionally, summing exactly.
+
+    Keeps the per-region signer count at ``round(count * rate)`` no
+    matter how the region shards, so paper rates stay exact.
+    """
+    grand = sum(sizes)
+    shares = [total * size / grand for size in sizes]
+    floors = [int(share) for share in shares]
+    order = sorted(
+        range(len(sizes)),
+        key=lambda i: (-(shares[i] - floors[i]), i),
+    )
+    for i in order[: total - sum(floors)]:
+        floors[i] += 1
+    return floors
+
+
+@dataclass(frozen=True)
+class _BackgroundShardTask:
+    """Everything one background shard needs; picklable for the pool."""
+
+    seed: int
+    region_index: int
+    shard_index: int
+    rir: str
+    start_index: int  # region-global index of the shard's first prefix
+    count: int
+    signer_quota: int
+    block_start: int  # first address of the pre-carved shard block
+    asn_base: int
+    history: date
+    window_start: date
+    window_end: date
+    maxlength_usage_rate: float
+    observers: frozenset[int]
+    topology: AsTopology  # transit core only (see ``core_view``)
+
+
+@dataclass(frozen=True)
+class _BackgroundShardResult:
+    """A shard's output, merged into the builder in task order."""
+
+    routes: tuple[RouteInterval, ...]
+    roas: tuple[RoaRecord, ...]
+    #: ``(start, end, holder)`` allocation blocks.
+    allocations: tuple[tuple[int, int, str], ...]
+    #: ``(asn, providers)`` edge networks to adopt into the topology.
+    attachments: tuple[tuple[int, tuple[int, ...]], ...]
+
+
+def _run_background_shard(
+    task: _BackgroundShardTask,
+) -> _BackgroundShardResult:
+    """Generate one shard of the background population (pure function)."""
+    rng = np.random.default_rng(
+        background_shard_seed(task.seed, task.region_index, task.shard_index)
+    )
+    signer_flags = np.zeros(task.count, dtype=bool)
+    signer_flags[: task.signer_quota] = True
+    rng.shuffle(signer_flags)
+
+    topology = task.topology
+    day_span = (task.window_end - task.window_start).days
+    routes: list[RouteInterval] = []
+    roas: list[RoaRecord] = []
+    allocations: list[tuple[int, int, str]] = []
+    attachments: list[tuple[int, tuple[int, ...]]] = []
+
+    cursor = task.block_start
+    network_asn = 0
+    network_path: ASPath | None = None
+    alloc_start: int | None = None
+    alloc_end = 0
+    for index in range(task.count):
+        global_index = task.start_index + index
+        if global_index % 4 == 0:
+            network_asn = task.asn_base + global_index // 4
+            providers = topology.draw_edge_providers(rng)
+            attachments.append((network_asn, providers))
+            network_path = topology.path_via_providers(
+                network_asn, providers, rng
+            )
+        assert network_path is not None  # shard starts on a 4-boundary
+        length = int(rng.integers(22, 25))
+        size = 1 << (32 - length)
+        network = (cursor + size - 1) & ~(size - 1)
+        cursor = network + size
+        prefix = IPv4Prefix(network, length)
+        if alloc_start is None:
+            alloc_start = network
+        alloc_end = network + size
+        routes.append(
+            RouteInterval(
+                prefix=prefix,
+                path=network_path,
+                start=task.history,
+                end=None,
+                observers=task.observers,
+            )
+        )
+        if signer_flags[index]:
+            signed_on = task.window_start + timedelta(
+                days=int(rng.integers(0, day_span + 1))
+            )
+            max_length = None
+            if rng.random() < task.maxlength_usage_rate:
+                if rng.random() < 0.16:
+                    # The defended minority (Gilad et al. found 84%
+                    # vulnerable): maxLength one longer, and both
+                    # halves actually announced.
+                    max_length = min(32, length + 1)
+                    if max_length > length:
+                        for half in prefix.subnets(max_length):
+                            routes.append(
+                                RouteInterval(
+                                    prefix=half,
+                                    path=network_path,
+                                    start=task.history,
+                                    end=None,
+                                    observers=task.observers,
+                                )
+                            )
+                else:
+                    max_length = min(
+                        32, length + int(rng.integers(1, 9))
+                    )
+            roas.append(
+                RoaRecord(
+                    roa=Roa(
+                        prefix=prefix,
+                        asn=network_asn,
+                        max_length=max_length,
+                        trust_anchor=task.rir,
+                    ),
+                    created=signed_on,
+                    removed=None,
+                )
+            )
+        # One allocation per 64 prefixes keeps the registry small
+        # without changing any per-prefix answer (contiguous carve).
+        if global_index % 64 == 63 or index == task.count - 1:
+            allocations.append(
+                (
+                    alloc_start,
+                    alloc_end,
+                    f"{task.rir.lower()}-isp-{global_index // 64}",
+                )
+            )
+            alloc_start = None
+    return _BackgroundShardResult(
+        routes=tuple(routes),
+        roas=tuple(roas),
+        allocations=tuple(allocations),
+        attachments=tuple(attachments),
+    )
+
+
 class WorldBuilder:
     """Builds a :class:`~repro.synth.world.World` from a config."""
 
     def __init__(
-        self, config: ScenarioConfig, *, instrumentation=None
+        self, config: ScenarioConfig, *, jobs: int = 1, instrumentation=None
     ) -> None:
         self.cfg = config
+        self.jobs = max(1, jobs)
         if instrumentation is None:
             from ..runtime.instrument import Instrumentation
 
@@ -566,79 +774,96 @@ class WorldBuilder:
     # -- stage 5: background populations (Table 1) -----------------------------------
 
     def build_background(self) -> None:
-        """Routed, unsigned-at-start prefixes per region; some sign."""
-        cfg = self.cfg
-        window = cfg.window
-        history = cfg.bgp_history_start
+        """Routed, unsigned-at-start prefixes per region; some sign.
+
+        Planned as shards (see the module-level sharding constants),
+        generated by :func:`_run_background_shard` — in a process pool
+        when the builder has ``jobs > 1``, in-process otherwise — and
+        merged in canonical task order.  Both execution vehicles run the
+        identical shard functions, so the result is byte-identical.
+        """
+        tasks = self._plan_background_shards()
+        results = self._map_background_shards(tasks)
         signed_counts: dict[str, int] = {}
-        for rir, profile in cfg.regions.items():
+        for task, result in zip(tasks, results):
+            for asn, providers in result.attachments:
+                self.topology.adopt_edge_network(asn, providers)
+            for interval in result.routes:
+                self.bgp.add(interval)
+            for record in result.roas:
+                self.roas.add(record)
+            for start, end, holder in result.allocations:
+                block = AddressRange(start, end)
+                self.resources.delegate_to_rir(task.rir, block)
+                self.resources.allocate(
+                    block, task.rir, date(2012, 1, 1), holder=holder
+                )
+            signed_counts[task.rir] = (
+                signed_counts.get(task.rir, 0) + task.signer_quota
+            )
+        self.truth.background_signed = signed_counts
+
+    def _plan_background_shards(self) -> list[_BackgroundShardTask]:
+        """Carve per-shard address blocks and derive per-shard streams.
+
+        Planning happens in the parent so the carver cursor moves
+        deterministically regardless of ``jobs``; each shard block is
+        sized for the worst case, and the unused tail is never delegated
+        or allocated, so it is invisible to every analysis.
+        """
+        cfg = self.cfg
+        core = self.topology.core_view()
+        tasks: list[_BackgroundShardTask] = []
+        for region_index, (rir, profile) in enumerate(cfg.regions.items()):
             count = profile.background_prefixes
             signers = int(round(count * profile.base_signing_rate))
-            signer_flags = np.zeros(count, dtype=bool)
-            signer_flags[:signers] = True
-            self.rng_background.shuffle(signer_flags)
-            network_asn = self.next_asn()
-            self.topology.attach_edge_network(network_asn)
-            network_path = self.topology.path_from_core(network_asn)
-            alloc_start: int | None = None
-            alloc_end = 0
-            for index in range(count):
-                if index % 4 == 0:
-                    network_asn = self.next_asn()
-                    self.topology.attach_edge_network(network_asn)
-                    network_path = self.topology.path_from_core(network_asn)
-                length = int(self.rng_background.integers(22, 25))
-                prefix = self.carver.carve(length)
-                if alloc_start is None:
-                    alloc_start = prefix.network
-                alloc_end = prefix.last + 1
-                self.announce(prefix, network_path, history, None)
-                if signer_flags[index]:
-                    signed_on = self.uniform_day(
-                        self.rng_background, window.start, window.end
+            sizes: list[int] = []
+            start = 0
+            while start < count:
+                sizes.append(min(_BACKGROUND_SHARD_PREFIXES, count - start))
+                start += sizes[-1]
+            quotas = _largest_remainder(signers, sizes)
+            start = 0
+            for shard_index, (size, quota) in enumerate(zip(sizes, quotas)):
+                block = self.carver.carve_range(
+                    size * _BACKGROUND_ADDRS_PER_PREFIX, align_length=16
+                )
+                tasks.append(
+                    _BackgroundShardTask(
+                        seed=cfg.seed,
+                        region_index=region_index,
+                        shard_index=shard_index,
+                        rir=rir,
+                        start_index=start,
+                        count=size,
+                        signer_quota=quota,
+                        block_start=block.start,
+                        asn_base=(
+                            _BACKGROUND_ASN_BASE
+                            + region_index * _BACKGROUND_ASN_STRIDE
+                        ),
+                        history=cfg.bgp_history_start,
+                        window_start=cfg.window.start,
+                        window_end=cfg.window.end,
+                        maxlength_usage_rate=cfg.maxlength_usage_rate,
+                        observers=self._all_observers,
+                        topology=core,
                     )
-                    max_length = None
-                    if (
-                        self.rng_background.random()
-                        < cfg.maxlength_usage_rate
-                    ):
-                        if self.rng_background.random() < 0.16:
-                            # The defended minority (Gilad et al. found
-                            # 84% vulnerable): maxLength one longer, and
-                            # both halves actually announced.
-                            max_length = min(32, length + 1)
-                            if max_length > length:
-                                for half in prefix.subnets(max_length):
-                                    self.announce(
-                                        half, network_path, history, None
-                                    )
-                        else:
-                            max_length = min(
-                                32,
-                                length
-                                + int(self.rng_background.integers(1, 9)),
-                            )
-                    self.sign(
-                        prefix,
-                        network_asn,
-                        signed_on,
-                        trust_anchor=rir,
-                        max_length=max_length,
-                    )
-                # One allocation per 64 prefixes keeps the registry small
-                # without changing any per-prefix answer (contiguous carve).
-                if index % 64 == 63 or index == count - 1:
-                    block = AddressRange(alloc_start, alloc_end)
-                    self.resources.delegate_to_rir(rir, block)
-                    self.resources.allocate(
-                        block,
-                        rir,
-                        date(2012, 1, 1),
-                        holder=f"{rir.lower()}-isp-{index // 64}",
-                    )
-                    alloc_start = None
-            signed_counts[rir] = signers
-        self.truth.background_signed = signed_counts
+                )
+                start += size
+        return tasks
+
+    def _map_background_shards(
+        self, tasks: list[_BackgroundShardTask]
+    ) -> list[_BackgroundShardResult]:
+        if self.jobs > 1 and len(tasks) > 1:
+            # Imported lazily: runtime imports synth at module load.
+            from ..runtime.runner import parallel_map
+
+            return parallel_map(
+                _run_background_shard, tasks, jobs=self.jobs
+            )
+        return [_run_background_shard(task) for task in tasks]
 
     # -- stage 7: RIR AS0 trust anchors (§6.2.2) ----------------------------------------
 
@@ -722,14 +947,22 @@ class WorldBuilder:
 
 
 def build_world(
-    config: ScenarioConfig | None = None, *, instrumentation=None
+    config: ScenarioConfig | None = None,
+    *,
+    jobs: int = 1,
+    instrumentation=None,
 ) -> World:
     """Build a world from ``config`` (default: paper scale).
 
-    With ``instrumentation`` given, per-stage wall times are recorded
-    into it (group ``"build"``).
+    ``jobs > 1`` fans the background shards out over a process pool;
+    the result is byte-identical to the serial build (golden-tested),
+    so the world cache never keys on it.  With ``instrumentation``
+    given, per-stage wall times are recorded into it (group
+    ``"build"``).
     """
     builder = WorldBuilder(
-        config or ScenarioConfig.paper(), instrumentation=instrumentation
+        config or ScenarioConfig.paper(),
+        jobs=jobs,
+        instrumentation=instrumentation,
     )
     return builder.build()

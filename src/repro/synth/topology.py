@@ -28,9 +28,15 @@ PEER_PEER = "p2p"
 
 
 class AsTopology:
-    """A provider hierarchy with valley-free path derivation."""
+    """A provider hierarchy with valley-free path derivation.
 
-    def __init__(self, rng: np.random.Generator) -> None:
+    ``rng=None`` builds a draw-less topology (see :meth:`core_view`):
+    every method that consumes randomness must then be given an explicit
+    generator, which is how the sharded world build keeps its per-shard
+    RNG streams independent of the builder's own topology stream.
+    """
+
+    def __init__(self, rng: np.random.Generator | None) -> None:
         self._rng = rng
         self.graph = nx.DiGraph()
         self.tier1: list[int] = []
@@ -65,20 +71,54 @@ class AsTopology:
                 topology.graph.add_edge(asn, int(provider), rel=CUSTOMER_PROVIDER)
         return topology
 
+    def core_view(self) -> "AsTopology":
+        """A copy of just the transit core (tier-1s and regionals).
+
+        Edge networks attached so far are excluded, so the view is small
+        to pickle and identical for every shard of a build regardless of
+        execution order.  The view carries no RNG: draws against it must
+        pass an explicit generator.
+        """
+        view = AsTopology(None)
+        view.tier1 = list(self.tier1)
+        view.regional = list(self.regional)
+        core = set(view.tier1) | set(view.regional)
+        view.graph = self.graph.subgraph(core).copy()
+        return view
+
     # -- growth -----------------------------------------------------------
 
-    def attach_edge_network(self, asn: int) -> tuple[int, ...]:
-        """Attach an edge network under 1–2 regional providers."""
-        if self.graph.has_node(asn):
-            raise ValueError(f"AS{asn} already in the topology")
-        count = 1 + int(self._rng.integers(0, 2))
-        providers = self._rng.choice(
+    def draw_edge_providers(
+        self, rng: np.random.Generator | None = None
+    ) -> tuple[int, ...]:
+        """Draw 1–2 regional providers for a new edge network.
+
+        Pure draw: the graph is not touched, so shard workers can draw
+        against a shared :meth:`core_view` and hand the result back for
+        :meth:`adopt_edge_network` in the parent.
+        """
+        rng = self._rng if rng is None else rng
+        count = 1 + int(rng.integers(0, 2))
+        providers = rng.choice(
             np.array(self.regional), size=count, replace=False
         )
+        return tuple(int(p) for p in providers)
+
+    def adopt_edge_network(
+        self, asn: int, providers: tuple[int, ...]
+    ) -> None:
+        """Attach ``asn`` under pre-drawn ``providers`` (no RNG use)."""
+        if self.graph.has_node(asn):
+            raise ValueError(f"AS{asn} already in the topology")
         self.graph.add_node(asn, tier=3)
         for provider in providers:
             self.graph.add_edge(asn, int(provider), rel=CUSTOMER_PROVIDER)
-        return tuple(int(p) for p in providers)
+
+    def attach_edge_network(self, asn: int) -> tuple[int, ...]:
+        """Attach an edge network under 1–2 regional providers."""
+        providers = self.draw_edge_providers()
+        self.adopt_edge_network(asn, providers)
+        return providers
 
     def __contains__(self, asn: int) -> bool:
         return self.graph.has_node(asn)
@@ -119,6 +159,32 @@ class AsTopology:
             peers = [t for t in self.tier1 if t != current]
             vantage = peers[int(self._rng.integers(len(peers)))]
             chain.append(vantage)
+        return ASPath(tuple(reversed(chain)))
+
+    def path_via_providers(
+        self,
+        origin: int,
+        providers: tuple[int, ...],
+        rng: np.random.Generator | None = None,
+    ) -> ASPath:
+        """A valley-free path for an origin not (yet) in the graph.
+
+        ``providers`` is the origin's drawn provider set (see
+        :meth:`draw_edge_providers`); the climb above them follows the
+        same draw sequence as :meth:`path_from_core` does for an
+        attached edge network, so parent and shard builds agree.
+        """
+        rng = self._rng if rng is None else rng
+        chain: list[int] = [origin]
+        current = int(providers[int(rng.integers(len(providers)))])
+        chain.append(current)
+        while self.graph.nodes[current]["tier"] > 1:
+            ups = self.providers_of(current)
+            current = ups[int(rng.integers(len(ups)))]
+            chain.append(current)
+        if rng.random() < 0.5:
+            peers = [t for t in self.tier1 if t != current]
+            chain.append(peers[int(rng.integers(len(peers)))])
         return ASPath(tuple(reversed(chain)))
 
     def is_valley_free(self, path: ASPath) -> bool:

@@ -1,0 +1,260 @@
+"""The analysis substrate: identity with the direct paths, persistence.
+
+The substrate exists purely as a fast path — every answer it serves
+must equal what the direct store-walking code computes.  These tests
+pin that identity (batched Figure 5 grid vs per-day walks, event-table
+visibility vs raw BGP store, ``run_all`` with vs without the substrate)
+and exercise the persistence discipline copied from the query index:
+header verification, torn-file eviction, injected-fault recovery.
+"""
+
+import json
+from datetime import timedelta
+
+import pytest
+
+from repro.analysis import DropEntryView, load_entries
+from repro.analysis.roa_status import analyze_roa_status, default_sample_days
+from repro.analysis.substrate import (
+    SUBSTRATE_FILENAME,
+    AnalysisSubstrate,
+    SubstrateLoadError,
+    compute_roa_status,
+    load_substrate_file,
+    save_substrate_file,
+)
+from repro.bgp.visibility import (
+    fraction_observing,
+    visibility_profile,
+    withdrawn_within,
+)
+from repro.reporting.experiments import EXPERIMENTS, run_all
+from repro.runtime import Instrumentation, WorldCache, injected
+
+
+@pytest.fixture(scope="module")
+def stored(tmp_path_factory):
+    from repro.synth import ScenarioConfig
+
+    cache = WorldCache(tmp_path_factory.mktemp("substrate-cache"))
+    return cache.fetch(ScenarioConfig.tiny())
+
+
+@pytest.fixture(scope="module")
+def world(stored):
+    return stored.world
+
+
+@pytest.fixture(scope="module")
+def roa_status(world):
+    return compute_roa_status(world)
+
+
+class TestBatchedIdentity:
+    def test_matches_direct_walk(self, world, roa_status):
+        """Acceptance: the batched day grid == the per-day store walks."""
+        assert roa_status == analyze_roa_status(world)
+
+    def test_matches_direct_walk_on_custom_days(self, world):
+        days = default_sample_days(world)[::3]
+        assert compute_roa_status(world, days) == analyze_roa_status(
+            world, days
+        )
+
+
+class TestVisibilityIdentity:
+    """Both serving paths — event tables and raw-store fallback — agree.
+
+    ``with_index=True`` pre-loads the query index so the helpers answer
+    from the interned event tables; ``False`` leaves the substrate
+    index-free, exercising the raw-store path report runs use.
+    """
+
+    @pytest.fixture(params=[True, False], ids=["event-tables", "raw-store"])
+    def substrate(self, request, world):
+        substrate = AnalysisSubstrate(world)
+        if request.param:
+            substrate.query_index()
+        return substrate
+
+    def test_fraction_observing(self, substrate, world):
+        day = world.window.end
+        for prefix in world.drop.unique_prefixes()[::5]:
+            assert substrate.fraction_observing(
+                prefix, day
+            ) == fraction_observing(world.bgp, world.peers, prefix, day)
+
+    def test_visibility_profile_and_withdrawal(self, substrate, world):
+        for entry in load_entries(world)[::7]:
+            assert substrate.visibility_profile(
+                entry.prefix, entry.listed
+            ) == visibility_profile(
+                world.bgp, world.peers, entry.prefix, entry.listed
+            )
+            assert substrate.withdrawn_within(
+                entry.prefix, entry.listed
+            ) == withdrawn_within(world.bgp, entry.prefix, entry.listed)
+
+    def test_announced_on(self, substrate, world):
+        day = world.window.start + timedelta(days=world.window.days // 2)
+        for prefix in list(world.bgp.prefixes())[::31]:
+            assert substrate.announced_on(prefix, day) == \
+                world.bgp.is_announced(prefix, day, include_covering=False)
+
+    def test_warm_leaves_index_lazy(self, world):
+        substrate = AnalysisSubstrate(world)
+        substrate.warm()
+        assert substrate._roa_status is not None
+        assert substrate._index is None
+
+
+class TestRunAllIdentity:
+    def test_with_and_without_substrate(self, world):
+        """Acceptance: run_all output identical with/without substrate."""
+        entries = load_entries(world)
+        with_substrate = run_all(world, entries=entries)
+        without = [
+            EXPERIMENTS[exp_id](world, entries, None)
+            for exp_id in EXPERIMENTS
+        ]
+        assert with_substrate == without
+
+    def test_with_and_without_persisted_cache(self, world, stored, tmp_path):
+        """... and identical again when the substrate comes from disk."""
+        entries = load_entries(world)
+        cold = AnalysisSubstrate(world, directory=tmp_path, key=stored.key)
+        cold_reports = run_all(world, entries=entries, substrate=cold)
+        assert (tmp_path / SUBSTRATE_FILENAME).exists()
+        warm = AnalysisSubstrate(world, directory=tmp_path, key=stored.key)
+        assert run_all(
+            world, entries=entries, substrate=warm
+        ) == cold_reports
+
+
+class TestPersistence:
+    def test_round_trip_is_equal(self, roa_status, tmp_path):
+        instr = Instrumentation()
+        path = save_substrate_file(
+            roa_status, tmp_path, key="abc123", instrumentation=instr
+        )
+        assert path == tmp_path / SUBSTRATE_FILENAME
+        loaded = load_substrate_file(
+            tmp_path, expected_key="abc123", instrumentation=instr
+        )
+        assert loaded == roa_status
+        assert instr.counters["substrate_stores"] == 1
+        assert instr.counters["substrate_loads"] == 1
+
+    def test_no_staging_files_left_behind(self, roa_status, tmp_path):
+        save_substrate_file(roa_status, tmp_path)
+        assert [p.name for p in tmp_path.iterdir()] == [SUBSTRATE_FILENAME]
+
+    def _tamper(self, directory, **fields):
+        path = directory / SUBSTRATE_FILENAME
+        raw = json.loads(path.read_text())
+        raw.update(fields)
+        path.write_text(json.dumps(raw))
+
+    def test_wrong_format_rejected(self, roa_status, tmp_path):
+        save_substrate_file(roa_status, tmp_path)
+        self._tamper(tmp_path, format=999)
+        with pytest.raises(SubstrateLoadError, match="format"):
+            load_substrate_file(tmp_path)
+
+    def test_wrong_generator_rejected(self, roa_status, tmp_path):
+        save_substrate_file(roa_status, tmp_path)
+        self._tamper(tmp_path, generator="somebody-else")
+        with pytest.raises(SubstrateLoadError, match="generator"):
+            load_substrate_file(tmp_path)
+
+    def test_foreign_key_rejected(self, roa_status, tmp_path):
+        save_substrate_file(roa_status, tmp_path, key="abc123")
+        with pytest.raises(SubstrateLoadError, match="key"):
+            load_substrate_file(tmp_path, expected_key="deadbeef")
+
+    def test_empty_expected_key_skips_check(self, roa_status, tmp_path):
+        save_substrate_file(roa_status, tmp_path, key="abc123")
+        assert load_substrate_file(tmp_path) == roa_status
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            load_substrate_file(tmp_path)
+
+
+class TestEvictionAndRecovery:
+    def test_torn_file_is_evicted_and_rebuilt(
+        self, world, roa_status, tmp_path
+    ):
+        save_substrate_file(roa_status, tmp_path)
+        path = tmp_path / SUBSTRATE_FILENAME
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        instr = Instrumentation()
+        substrate = AnalysisSubstrate(
+            world, directory=tmp_path, instrumentation=instr
+        )
+        assert substrate.roa_status() == roa_status
+        assert instr.counters["substrate_evictions"] == 1
+        assert instr.counters["substrate_builds"] == 1
+        # ... and the healthy replacement was re-persisted.
+        assert instr.counters["substrate_stores"] == 1
+        assert load_substrate_file(tmp_path) == roa_status
+
+    def test_stale_generator_is_evicted_and_rebuilt(
+        self, world, roa_status, tmp_path
+    ):
+        save_substrate_file(roa_status, tmp_path)
+        path = tmp_path / SUBSTRATE_FILENAME
+        raw = json.loads(path.read_text())
+        raw["generator"] = "v0-prehistoric"
+        path.write_text(json.dumps(raw))
+        instr = Instrumentation()
+        substrate = AnalysisSubstrate(
+            world, directory=tmp_path, instrumentation=instr
+        )
+        assert substrate.roa_status() == roa_status
+        assert instr.counters["substrate_evictions"] == 1
+        assert instr.counters["substrate_builds"] == 1
+
+    def test_load_fault_is_evicted_and_rebuilt(
+        self, world, roa_status, tmp_path
+    ):
+        """REPRO_FAULTS=truncate@substrate.load is survived silently."""
+        save_substrate_file(roa_status, tmp_path)
+        instr = Instrumentation()
+        with injected("truncate@substrate.load"):
+            substrate = AnalysisSubstrate(
+                world, directory=tmp_path, instrumentation=instr
+            )
+            assert substrate.roa_status() == roa_status
+        assert instr.counters["substrate_evictions"] == 1
+        assert instr.counters["substrate_builds"] == 1
+
+    def test_save_fault_degrades_to_unpersisted(self, roa_status, tmp_path):
+        instr = Instrumentation()
+        with injected("io-error@substrate.save"):
+            with pytest.warns(RuntimeWarning, match="substrate store failed"):
+                assert save_substrate_file(
+                    roa_status, tmp_path, instrumentation=instr
+                ) is None
+        assert instr.counters["substrate_store_errors"] == 1
+        assert not (tmp_path / SUBSTRATE_FILENAME).exists()
+
+    def test_no_directory_builds_in_memory(self, world):
+        instr = Instrumentation()
+        substrate = AnalysisSubstrate(world, instrumentation=instr)
+        substrate.roa_status()
+        assert instr.counters["substrate_builds"] == 1
+        assert "substrate_stores" not in instr.counters
+
+    def test_memoized_after_first_build(self, world):
+        instr = Instrumentation()
+        substrate = AnalysisSubstrate(world, instrumentation=instr)
+        first = substrate.roa_status()
+        assert substrate.roa_status() is first
+        assert instr.counters["substrate_builds"] == 1
+
+
+class TestEntryShape:
+    def test_entries_are_views(self, world):
+        entries = load_entries(world)
+        assert entries and isinstance(entries[0], DropEntryView)

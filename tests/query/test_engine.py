@@ -11,7 +11,7 @@ from datetime import timedelta
 import pytest
 
 from repro.net.prefix import IPv4Prefix
-from repro.query import parse_query_line
+from repro.query import BatchParseError, parse_query_batch, parse_query_line
 from repro.rpki.tal import TalSet
 from repro.rpki.validation import RouteValidity, validate_route
 
@@ -189,3 +189,55 @@ class TestParseQueryLine:
     def test_bad_shapes_rejected(self, line, world):
         with pytest.raises(ValueError):
             parse_query_line(line, default_day=world.window.end)
+
+
+class TestBatchParse:
+    def test_all_errors_reported_with_positions(self, world):
+        lines = [
+            "10.0.0.0/8",          # fine
+            "999.1.2.3/8",         # bad address
+            "10.0.0.0/8 2020-99-01",  # bad date
+            "10.0.0.0/8",          # fine
+            "a b c",               # bad shape
+        ]
+        with pytest.raises(BatchParseError) as excinfo:
+            parse_query_batch(lines, default_day=world.window.end)
+        error = excinfo.value
+        assert [position for position, _, _ in error.errors] == [1, 2, 4]
+        assert [text for _, text, _ in error.errors] == [
+            lines[1], lines[2], lines[4]
+        ]
+        # One consolidated message naming every offender.
+        assert "3 bad queries" in str(error)
+        assert "[1]" in str(error) and "[4]" in str(error)
+
+    def test_single_error_is_singular(self, world):
+        with pytest.raises(BatchParseError) as excinfo:
+            parse_query_batch(["nope"], default_day=world.window.end)
+        assert "1 bad query:" in str(excinfo.value)
+
+    def test_is_a_value_error(self, world):
+        with pytest.raises(ValueError):
+            parse_query_batch(["nope"], default_day=world.window.end)
+
+    def test_clean_batch_matches_line_parser(self, world):
+        default = world.window.end
+        lines = ["10.0.0.0/8", "192.0.2.0/24 2020-01-02"]
+        assert parse_query_batch(lines, default_day=default) == [
+            parse_query_line(line, default_day=default) for line in lines
+        ]
+
+    def test_lookup_many_accepts_strings(self, engine, index):
+        prefix = next(iter(index.routes))
+        day = index.window.start
+        mixed = [str(prefix), f"{prefix} {day.isoformat()}", (prefix, day)]
+        statuses = engine.lookup_many(mixed)
+        assert statuses[0] == engine.lookup(prefix, index.window.end)
+        assert statuses[1] == engine.lookup(prefix, day)
+        assert statuses[2] == statuses[1]
+
+    def test_lookup_many_collects_string_errors(self, engine, index):
+        prefix = next(iter(index.routes))
+        with pytest.raises(BatchParseError) as excinfo:
+            engine.lookup_many([str(prefix), "bogus", "also bad x"])
+        assert [position for position, _, _ in excinfo.value.errors] == [1, 2]

@@ -145,6 +145,19 @@ class TestBatchEndpoint:
     def test_bad_item_is_400(self, server):
         assert _post(server, "/v1/batch", [42])[0] == 400
 
+    def test_all_bad_items_reported_together(self, server, index):
+        prefix = str(next(iter(index.routes)))
+        status, body = _post(
+            server,
+            "/v1/batch",
+            [prefix, "999.1.2.3/8", 42, {"prefix": prefix, "on": "nope"}],
+        )
+        assert status == 400
+        # One response names every offender with its batch position.
+        assert "3 bad queries" in body["error"]
+        for marker in ("[1]", "[2]", "[3]"):
+            assert marker in body["error"]
+
 
 class TestHealthz:
     def test_shape_and_counters(self, server, index):

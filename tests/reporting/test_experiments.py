@@ -26,10 +26,28 @@ class TestMetric:
     def test_matches_zero_paper_value(self):
         assert Metric("x", 0, 0).matches()
         assert not Metric("x", 0, 5).matches()
+        # Floats below the absolute tolerance still count as zero.
+        assert Metric("x", 0, 1e-12).matches()
+        assert Metric("x", 0.0, -1e-10).matches()
+        assert not Metric("x", 0, 1e-3).matches()
 
     def test_string_metric_exact(self):
         assert Metric("x", "yes", "yes").matches()
         assert not Metric("x", "yes", "no").matches()
+
+    def test_mixed_types_compare_by_equality(self):
+        # A string never slips past the numeric path, even paired with
+        # a number or when the paper value is 0.
+        assert not Metric("x", 0, "0").matches()
+        assert not Metric("x", "100", 100).matches()
+        assert not Metric("x", 100, "100").matches()
+
+    def test_bools_are_not_numeric(self):
+        # bool is an int subclass; it must compare by identity of value,
+        # not fall into the relative-tolerance branch.
+        assert Metric("x", True, True).matches()
+        assert not Metric("x", True, False).matches()
+        assert not Metric("x", False, 0.1).matches()
 
 
 class TestRegistry:

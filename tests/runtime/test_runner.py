@@ -94,7 +94,7 @@ class TestRunExperiments:
     ):
         world, _ = cached_world
 
-        def explode(world, entries):
+        def explode(world, entries, substrate=None):
             raise RuntimeError("injected experiment failure")
 
         monkeypatch.setitem(EXPERIMENTS, "boom", explode)
@@ -111,7 +111,7 @@ class TestRunExperiments:
     ):
         world, directory = cached_world
 
-        def explode(world, entries):
+        def explode(world, entries, substrate=None):
             raise RuntimeError("injected experiment failure")
 
         monkeypatch.setitem(EXPERIMENTS, "boom", explode)
