@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""End-to-end observability smoke: trace export + live /metrics scrape.
+
+CI runs this after the test suite.  It drives the real CLI twice:
+
+1. ``report --all --scale tiny --trace`` — asserts the exported span
+   tree is valid JSONL, contains the per-experiment spans, and includes
+   spans adopted from worker processes.
+2. ``serve --scale tiny --port 0`` — scrapes ``/metrics`` off the live
+   daemon, asserts the exposition parses as Prometheus text format
+   0.0.4, and that the core cache / runner / per-endpoint series are
+   present; then SIGTERMs it and asserts a clean drain.
+
+Stdlib only, exit status 0/1, every failure prints what it saw.
+"""
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+CLI = [sys.executable, "-m", "repro.cli"]
+BANNER = re.compile(r"serving http://([\d.]+):(\d+)")
+
+#: Series every healthy scrape must expose (the cache and runner
+#: families are pre-declared, the server ones come from traffic).
+REQUIRED_METRICS = [
+    "# TYPE repro_cache_hits_total counter",
+    "# TYPE repro_cache_evictions_total counter",
+    "# TYPE repro_runner_worker_lost_total counter",
+    "# TYPE repro_faults_total counter",
+    'repro_server_requests_total{endpoint="',
+    'repro_server_request_seconds_bucket{endpoint="',
+    'repro_server_index_entries{store="',
+    "repro_server_draining 0",
+]
+
+
+def fail(message):
+    print(f"obs-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(trace: Path):
+    run = subprocess.run(
+        CLI + ["report", "--all", "--scale", "tiny", "--jobs", "2",
+               "--trace", str(trace)],
+        capture_output=True, text=True,
+    )
+    if run.returncode != 0:
+        fail(f"report exited {run.returncode}:\n{run.stderr}")
+    lines = trace.read_text().splitlines()
+    if not lines:
+        fail("trace file is empty")
+    spans = [json.loads(line) for line in lines]
+    for span in spans:
+        missing = {"span", "parent", "name", "start", "duration",
+                   "attrs", "pid"} - span.keys()
+        if missing:
+            fail(f"span missing fields {missing}: {span}")
+    ids = {span["span"] for span in spans}
+    dangling = [s for s in spans
+                if s["parent"] is not None and s["parent"] not in ids]
+    if dangling:
+        fail(f"dangling parent ids after adoption: {dangling[:3]}")
+    experiments = {s["name"] for s in spans
+                   if s["attrs"].get("group") == "experiment"}
+    if "fig1" not in experiments or "tab2" not in experiments:
+        fail(f"experiment spans missing from trace: {sorted(experiments)}")
+    adopted = [s for s in spans if s["name"].startswith("experiment:")]
+    if not adopted:
+        fail("no worker-side spans were adopted into the trace")
+    print(f"obs-smoke: trace ok ({len(spans)} spans, "
+          f"{len(adopted)} adopted from workers)")
+
+
+def scrape(base, path):
+    with urllib.request.urlopen(f"{base}{path}", timeout=10) as reply:
+        return reply.status, reply.headers, reply.read().decode()
+
+
+def check_serve():
+    proc = subprocess.Popen(
+        CLI + ["serve", "--scale", "tiny", "--port", "0"],
+        stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        match = None
+        for line in proc.stderr:
+            match = BANNER.search(line)
+            if match:
+                break
+        if match is None:
+            fail(f"serve exited ({proc.wait()}) before printing its banner")
+        base = f"http://{match.group(1)}:{match.group(2)}"
+
+        status, _, _ = scrape(base, "/healthz")
+        if status != 200:
+            fail(f"/healthz returned {status}")
+        scrape(base, "/metrics")  # first scrape seeds the metrics endpoint
+        status, headers, body = scrape(base, "/metrics")
+        if status != 200:
+            fail(f"/metrics returned {status}")
+        if not headers["Content-Type"].startswith("text/plain; version=0.0.4"):
+            fail(f"unexpected content type {headers['Content-Type']!r}")
+        for line in body.splitlines():
+            if line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            if not name.startswith("repro_"):
+                fail(f"sample outside the repro_ namespace: {line!r}")
+            float(value)  # a non-numeric value is a format violation
+        for needle in REQUIRED_METRICS:
+            if needle not in body:
+                fail(f"core series missing from exposition: {needle!r}")
+        samples = sum(1 for l in body.splitlines() if not l.startswith("#"))
+        print(f"obs-smoke: /metrics ok ({samples} samples)")
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        remaining = proc.communicate(timeout=30)[1]
+    if proc.returncode != 0:
+        fail(f"serve drained with status {proc.returncode}:\n{remaining}")
+    if "drained cleanly" not in remaining:
+        fail(f"no clean-drain message on stderr:\n{remaining}")
+    print("obs-smoke: drain ok")
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="obs-smoke-") as scratch:
+        check_trace(Path(scratch) / "trace.jsonl")
+    check_serve()
+    print("obs-smoke: PASS")
+
+
+if __name__ == "__main__":
+    main()

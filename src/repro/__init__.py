@@ -11,7 +11,10 @@ against BGP, IRR, RPKI, and RIR-allocation data:
 * :mod:`repro.rirstats` — delegated files and the allocation registry;
 * :mod:`repro.synth` — the deterministic synthetic world generator;
 * :mod:`repro.analysis` — the paper's analyses, one module per experiment;
-* :mod:`repro.reporting` — text tables/figures and the experiment registry.
+* :mod:`repro.reporting` — text tables/figures and the experiment registry;
+* :mod:`repro.obs` — spans, metrics registry, Prometheus exposition: the
+  one instrumentation API behind ``--timings``/``--trace``/``/metrics``;
+* :mod:`repro.errors` — the unified error surface (``ReproError.code``).
 
 Quickstart::
 
@@ -24,4 +27,25 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+#: The unified error surface (see :mod:`repro.errors`): every one of
+#: these subclasses :class:`repro.errors.ReproError` and carries a
+#: stable ``.code``.  Resolved lazily so ``import repro`` stays cheap.
+_ERROR_EXPORTS = {
+    "ReproError": "repro.errors",
+    "CacheCorruptionError": "repro.errors",
+    "BatchParseError": "repro.query.engine",
+    "IndexLoadError": "repro.query.index",
+    "SubstrateLoadError": "repro.analysis.substrate",
+    "FaultSpecError": "repro.runtime.faults",
+}
+
+__all__ = ["__version__", *sorted(_ERROR_EXPORTS)]
+
+
+def __getattr__(name: str):
+    module_name = _ERROR_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

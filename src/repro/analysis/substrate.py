@@ -44,6 +44,7 @@ from ..bgp.visibility import (
     VisibilityProfile,
     fraction_observing as bgp_fraction_observing,
 )
+from ..errors import ReproError
 from ..net.prefix import IPv4Prefix
 from ..net.prefixset import PrefixSet
 from ..rpki.tal import TalSet
@@ -74,8 +75,10 @@ SUBSTRATE_FORMAT = 1
 SUBSTRATE_FILENAME = "analysis-substrate.json"
 
 
-class SubstrateLoadError(ValueError):
+class SubstrateLoadError(ReproError, ValueError):
     """A persisted substrate that cannot be trusted (torn, stale, foreign)."""
+
+    code = "analysis.substrate-stale"
 
 
 # ---------------------------------------------------------------------------
@@ -219,7 +222,7 @@ class AnalysisSubstrate:
         # Imported lazily throughout: repro.runtime's package import
         # pulls in the runner, which imports repro.reporting, which
         # imports this module — a cycle at module-load time.
-        from ..runtime.instrument import Instrumentation
+        from ..obs import Instrumentation
 
         self.world = world
         self.directory = Path(directory) if directory is not None else None
@@ -377,7 +380,7 @@ def save_substrate_file(
     counter and a warning.  Returns the written path, or None.
     """
     from ..runtime.faults import fault_point
-    from ..runtime.instrument import Instrumentation
+    from ..obs import Instrumentation
 
     instr = instrumentation or Instrumentation()
     payload = {
@@ -437,7 +440,7 @@ def load_substrate_file(
     evict and rebuild (see :meth:`AnalysisSubstrate.roa_status`).
     """
     from ..runtime.faults import corrupt_file, fault_point
-    from ..runtime.instrument import Instrumentation
+    from ..obs import Instrumentation
 
     instr = instrumentation or Instrumentation()
     path = directory / SUBSTRATE_FILENAME

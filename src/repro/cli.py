@@ -20,19 +20,27 @@ entry.  ``--jobs N`` (or ``$REPRO_JOBS``) fans the experiments out over
 worker processes (``0`` = one per CPU); output is byte-identical to a
 serial run.
 
-Exit status: 0 clean, 1 when an experiment produced no report, 2 usage,
-3 (``EXIT_DEGRADED``) when every report was produced but only by
-recovering from an infrastructure fault — dead worker, corrupt or
-unwritable cache entry — detailed on stderr.
+``--trace PATH`` (or ``$REPRO_TRACE``) writes the run's span tree as
+JSONL when the command finishes; ``--profile`` prints per-stage
+cProfile hot spots (top cumulative callers) to stderr.
+
+Exit status follows :class:`ExitCode`: 0 (``OK``) clean, 1
+(``FAILURE``) when an experiment produced no report, 2 (``USAGE``) for
+bad invocations, 3 (``DEGRADED``) when every report was produced but
+only by recovering from an infrastructure fault — dead worker, corrupt
+or unwritable cache entry — detailed on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import enum
 import json
 import sys
 from pathlib import Path
 from time import perf_counter
+
+from .obs import profiled, trace_path_from_env
 
 from .net.prefix import IPv4Prefix, PrefixError
 from .net.timeline import DateWindow, parse_date
@@ -61,13 +69,26 @@ from .runtime import (
 )
 from .synth import ScenarioConfig, World, build_world, load_world, save_world
 
-__all__ = ["EXIT_DEGRADED", "main"]
+__all__ = ["EXIT_DEGRADED", "ExitCode", "main"]
 
-#: Exit status of a run whose every experiment succeeded, but only by
-#: recovering from an infrastructure fault (dead worker, corrupt or
-#: unwritable cache entry).  Results are complete and correct; the
-#: machine they ran on deserves a look.
-EXIT_DEGRADED = 3
+
+class ExitCode(enum.IntEnum):
+    """The CLI's exit status policy (documented in the README).
+
+    ``DEGRADED`` marks a run whose every experiment succeeded, but only
+    by recovering from an infrastructure fault (dead worker, corrupt or
+    unwritable cache entry).  Results are complete and correct; the
+    machine they ran on deserves a look.
+    """
+
+    OK = 0
+    FAILURE = 1
+    USAGE = 2
+    DEGRADED = 3
+
+
+#: Deprecated alias for :attr:`ExitCode.DEGRADED` (kept for one release).
+EXIT_DEGRADED = ExitCode.DEGRADED
 
 #: Nonzero values of any of these mark a run as degraded.
 _DEGRADED_COUNTERS = (
@@ -152,6 +173,20 @@ def _add_world_source(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="also write the timings JSON to FILE",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append the run's span tree as JSONL to PATH when the "
+        "command finishes (default: $REPRO_TRACE, if set)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile each major stage and print the top cumulative "
+        "callers to stderr",
+    )
 
 
 def _resolve_jobs_arg(args: argparse.Namespace) -> int:
@@ -202,12 +237,18 @@ def _run_selected(
     instr = Instrumentation()
     started = perf_counter()
     jobs = _resolve_jobs_arg(args)
-    world, directory = _resolve_world(args, instr, jobs=jobs)
+    with profiled(args.profile, "world-resolve"):
+        world, directory = _resolve_world(args, instr, jobs=jobs)
     instr.annotate("jobs", jobs)
     instr.annotate("experiment_ids", wanted)
-    outcome = run_experiments(
-        world, wanted, jobs=jobs, directory=directory, instrumentation=instr
-    )
+    with profiled(args.profile, "experiments"):
+        outcome = run_experiments(
+            world,
+            wanted,
+            jobs=jobs,
+            directory=directory,
+            instrumentation=instr,
+        )
     instr.annotate("wall_seconds", round(perf_counter() - started, 6))
     return outcome, instr
 
@@ -222,6 +263,13 @@ def _emit_timings(
         args.timings_out.write_text(payload + "\n")
     if args.timings:
         print(payload, file=stream)
+
+
+def _export_trace(args: argparse.Namespace, instr: Instrumentation) -> None:
+    """Write the run's spans as JSONL to ``--trace`` or ``$REPRO_TRACE``."""
+    path = args.trace if args.trace is not None else trace_path_from_env()
+    if path is not None:
+        instr.tracer.write_jsonl(path)
 
 
 def _finish(outcome: RunOutcome, instr: Instrumentation) -> int:
@@ -250,8 +298,8 @@ def _finish(outcome: RunOutcome, instr: Instrumentation) -> int:
         for message in instr.warnings:
             print(f"  - {message}", file=sys.stderr)
     if not outcome.ok:
-        return 1
-    return EXIT_DEGRADED if degraded else 0
+        return ExitCode.FAILURE
+    return ExitCode.DEGRADED if degraded else ExitCode.OK
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -278,18 +326,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if not wanted:
         print("nothing to run: pass --exp ID (repeatable) or --all",
               file=sys.stderr)
-        return 2
+        return ExitCode.USAGE
     unknown = [e for e in wanted if e not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}",
               file=sys.stderr)
-        return 2
+        return ExitCode.USAGE
     outcome, instr = _run_selected(args, wanted)
     for report in outcome.reports:
         print(render_text(report))
         print()
     status = _finish(outcome, instr)
     _emit_timings(args, instr, sys.stdout)
+    _export_trace(args, instr)
     return status
 
 
@@ -398,7 +447,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         default_day = parse_date(args.on) if args.on else None
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return ExitCode.USAGE
     # Positional prefixes are validated as one batch too: a command
     # line with three typos reports all three, not just the first.
     prefix_errors: list[tuple[int, str, str]] = []
@@ -410,14 +459,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
             prefix_errors.append((position, text, str(error)))
     if prefix_errors:
         print(f"error: {BatchParseError(prefix_errors)}", file=sys.stderr)
-        return 2
+        return ExitCode.USAGE
     if not prefixes and not args.stdin:
         print(
             "nothing to query: pass PREFIX arguments or --stdin",
             file=sys.stderr,
         )
-        return 2
-    engine = _query_engine(args, instr)
+        return ExitCode.USAGE
+    with profiled(args.profile, "query-engine"):
+        engine = _query_engine(args, instr)
     resolved_day = default_day if default_day is not None else engine.default_day
     queries = [(prefix, resolved_day) for prefix in prefixes]
     if args.stdin:
@@ -432,32 +482,35 @@ def _cmd_query(args: argparse.Namespace) -> int:
             )
         except BatchParseError as error:
             print(f"error: {error}", file=sys.stderr)
-            return 2
-    statuses = engine.lookup_many(queries)
+            return ExitCode.USAGE
+    with profiled(args.profile, "lookups"):
+        statuses = engine.lookup_many(queries)
     if args.format == "table":
         print(_status_table(statuses))
     else:
         for status in statuses:
             print(json.dumps(status.to_dict(), sort_keys=True))
     _emit_timings(args, instr, sys.stderr)
-    return 0
+    _export_trace(args, instr)
+    return ExitCode.OK
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     instr = Instrumentation()
-    engine = _query_engine(args, instr)
+    with profiled(args.profile, "query-engine"):
+        engine = _query_engine(args, instr)
     try:
         server = QueryServer(engine, args.host, args.port)
     except OSError as error:
         print(f"error: cannot bind {args.host}:{args.port}: {error}",
               file=sys.stderr)
-        return 1
+        return ExitCode.FAILURE
     server.install_signal_handlers()
     host, port = server.server_address[:2]
     sizes = engine.index.sizes()
     print(
         f"serving http://{host}:{port} "
-        f"(/v1/status, /v1/batch, /healthz); "
+        f"(/v1/status, /v1/batch, /healthz, /metrics); "
         f"{sizes['drop_prefixes']} DROP / {sizes['roa_prefixes']} ROA / "
         f"{sizes['irr_prefixes']} IRR / {sizes['route_prefixes']} BGP "
         f"prefixes indexed",
@@ -473,7 +526,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         f"{v}" for k, v in served.items()) or "no requests"
     print(f"drained cleanly ({summary})", file=sys.stderr)
     _emit_timings(args, instr, sys.stderr)
-    return 0
+    _export_trace(args, instr)
+    return ExitCode.OK
 
 
 def _cmd_markdown(args: argparse.Namespace) -> int:
@@ -481,6 +535,7 @@ def _cmd_markdown(args: argparse.Namespace) -> int:
     print(render_markdown(list(outcome.reports)))
     status = _finish(outcome, instr)
     _emit_timings(args, instr, sys.stderr)
+    _export_trace(args, instr)
     return status
 
 
@@ -560,7 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd = commands.add_parser(
         "serve",
         help="HTTP daemon for point-in-time lookups "
-        "(/v1/status, /v1/batch, /healthz)",
+        "(/v1/status, /v1/batch, /healthz, /metrics)",
     )
     _add_world_source(serve_cmd)
     serve_cmd.add_argument("--host", default="127.0.0.1")

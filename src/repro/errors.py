@@ -1,0 +1,42 @@
+"""The unified error surface: every repro failure mode, one base class.
+
+Each subsystem used to raise its own ad-hoc ``ValueError`` subclass;
+callers that wanted to distinguish "bad input" from "stale persisted
+state" from "corrupt cache entry" had to import from four modules and
+match on class identity.  Every repro-specific error now subclasses
+:class:`ReproError` and carries a stable machine-readable ``.code``
+(``<subsystem>.<condition>``), so logs, HTTP error payloads, and tests
+can match on the code without importing the concrete class.
+
+The concrete classes stay defined next to the code that raises them
+(``BatchParseError`` in :mod:`repro.query.engine`, ``IndexLoadError``
+in :mod:`repro.query.index`, ...) and are re-exported — alongside this
+module's own classes — from :mod:`repro` itself::
+
+    from repro import ReproError, BatchParseError
+
+Codes are part of the public API: never renumber or reuse one.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CacheCorruptionError", "ReproError"]
+
+
+class ReproError(Exception):
+    """Base of every repro-specific error.
+
+    ``code`` is a stable ``<subsystem>.<condition>`` identifier; the
+    class attribute is the contract, instances inherit it.
+    """
+
+    code: str = "repro.error"
+
+
+class CacheCorruptionError(ReproError):
+    """A world cache entry that failed to reload (torn, truncated,
+    foreign).  Raised internally by the cache load path and always
+    handled by evict-and-rebuild — it reaches callers only through the
+    degraded-run counters and warnings."""
+
+    code = "runtime.cache-corrupt"

@@ -1,0 +1,50 @@
+"""Observability: one instrumentation API for the whole stack.
+
+``repro.obs`` unifies what used to be three telemetry dialects — the
+``--timings`` stage JSON, the serving daemon's ad-hoc counter dict, and
+bespoke bench artifact writers — behind two primitives and one facade:
+
+* :mod:`repro.obs.spans` — :class:`Span` / :class:`Tracer`: nested,
+  monotonic-clock spans with attributes, forwarded across worker
+  processes, exported as JSONL via ``--trace PATH`` / ``$REPRO_TRACE``;
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` (fixed
+  log-scale buckets) and Prometheus text exposition, served at
+  ``GET /metrics`` by ``repro-drop serve``;
+* :mod:`repro.obs.instrument` — :class:`Instrumentation`, the per-run
+  facade the whole stack threads around: ``stage()`` produces spans,
+  ``incr()`` produces registry metrics, and the ``--timings`` JSON is a
+  view over the span buffer (schema unchanged, golden-checked);
+* :mod:`repro.obs.profiling` — the ``--profile`` cProfile-per-stage
+  helper.
+
+Metric naming convention: ``repro_<subsystem>_<name>_<unit>`` (see
+``docs/architecture.md``, "Observability").
+"""
+
+from .instrument import Instrumentation, StageRecord, world_sizes
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .profiling import profiled
+from .spans import TRACE_ENV, Span, Tracer, trace_path_from_env
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "Span",
+    "StageRecord",
+    "TRACE_ENV",
+    "Tracer",
+    "profiled",
+    "trace_path_from_env",
+    "world_sizes",
+]

@@ -1,0 +1,335 @@
+"""Instrumentation: the run-record facade over spans and metrics.
+
+Historically this class (in :mod:`repro.runtime.instrument`) kept its
+own stage list and counter dict — one of three telemetry dialects in
+the codebase.  It is now a thin facade over the unified layer: every
+``stage()`` / ``record()`` call produces a real :class:`~repro.obs.spans.Span`
+in the run's :class:`~repro.obs.spans.Tracer`, every ``incr()`` lands in
+the run's :class:`~repro.obs.metrics.MetricsRegistry` under the
+canonical ``repro_<subsystem>_<name>_<unit>`` metric name — and the
+``repro-drop report --timings`` JSON is *derived* from those spans
+(same schema as before, golden-checked), not stored separately.
+
+The legacy counter names (``world_cache_hits``, ``serve_status_requests``,
+...) remain visible through :attr:`Instrumentation.counters` because
+the ``--timings`` schema and the degraded-run report are built on them;
+:data:`_CANONICAL` maps each one onto its registry metric, with
+patterns folding families (``fault_<kind>``,
+``serve_<endpoint>_requests``) into labeled series.
+"""
+
+from __future__ import annotations
+
+import re
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from .metrics import MetricsRegistry
+from .spans import Span, Tracer
+
+__all__ = ["Instrumentation", "StageRecord", "world_sizes"]
+
+
+@dataclass(frozen=True, slots=True)
+class StageRecord:
+    """One timed span: a builder stage, a cache step, or an experiment."""
+
+    name: str
+    seconds: float
+    group: str = "build"
+
+
+#: legacy counter name -> (metric name, fixed labels, help text)
+_CANONICAL: dict[str, tuple[str, dict, str]] = {
+    "world_cache_hits": (
+        "repro_cache_hits_total", {},
+        "World cache entries loaded from disk.",
+    ),
+    "world_cache_misses": (
+        "repro_cache_misses_total", {},
+        "World cache misses that triggered a build.",
+    ),
+    "world_cache_evictions": (
+        "repro_cache_evictions_total", {},
+        "Corrupt world cache entries evicted and rebuilt.",
+    ),
+    "world_cache_store_skipped": (
+        "repro_cache_store_skipped_total", {},
+        "Cache stores skipped because another writer held the lock.",
+    ),
+    "world_cache_store_errors": (
+        "repro_cache_store_errors_total", {},
+        "Cache stores that failed (disk full, permissions).",
+    ),
+    "world_cache_rename_races": (
+        "repro_cache_rename_races_total", {},
+        "Cache publishes that lost the final rename race.",
+    ),
+    "world_cache_lock_contention": (
+        "repro_cache_lock_contention_total", {},
+        "Lock acquisitions yielded to a concurrent fresh writer.",
+    ),
+    "world_cache_lock_takeovers": (
+        "repro_cache_lock_takeovers_total", {},
+        "Stale cache locks taken over from dead writers.",
+    ),
+    "worker_lost_experiments": (
+        "repro_runner_worker_lost_total", {},
+        "Experiments whose worker process died mid-run.",
+    ),
+    "worker_pool_retries": (
+        "repro_runner_pool_retries_total", {},
+        "Fresh-pool retry rounds after a worker loss.",
+    ),
+    "serial_fallback_runs": (
+        "repro_runner_serial_fallback_total", {},
+        "Experiments recovered serially in the parent process.",
+    ),
+    "faults_injected": (
+        "repro_faults_injected_total", {},
+        "Injected faults fired, all kinds.",
+    ),
+    "query_lookups": (
+        "repro_query_lookups_total", {},
+        "Single point-in-time prefix lookups answered.",
+    ),
+    "query_batches": (
+        "repro_query_batches_total", {},
+        "Batch lookup calls answered.",
+    ),
+    "query_index_builds": (
+        "repro_query_index_builds_total", {},
+        "Query indexes built from a world.",
+    ),
+    "query_index_loads": (
+        "repro_query_index_loads_total", {},
+        "Query indexes loaded from a persisted file.",
+    ),
+    "query_index_stores": (
+        "repro_query_index_stores_total", {},
+        "Query indexes persisted to disk.",
+    ),
+    "query_index_store_errors": (
+        "repro_query_index_store_errors_total", {},
+        "Query index stores that failed.",
+    ),
+    "query_index_evictions": (
+        "repro_query_index_evictions_total", {},
+        "Torn or stale query index files evicted.",
+    ),
+    "substrate_builds": (
+        "repro_substrate_builds_total", {},
+        "Analysis substrates computed from a world.",
+    ),
+    "substrate_loads": (
+        "repro_substrate_loads_total", {},
+        "Analysis substrates loaded from a persisted file.",
+    ),
+    "substrate_stores": (
+        "repro_substrate_stores_total", {},
+        "Analysis substrates persisted to disk.",
+    ),
+    "substrate_store_errors": (
+        "repro_substrate_store_errors_total", {},
+        "Substrate stores that failed.",
+    ),
+    "substrate_evictions": (
+        "repro_substrate_evictions_total", {},
+        "Torn or stale substrate files evicted.",
+    ),
+    "serve_drains": (
+        "repro_server_drains_total", {},
+        "Graceful drains triggered by SIGTERM/SIGINT.",
+    ),
+    "serve_client_errors": (
+        "repro_server_errors_total", {"kind": "client"},
+        "Requests answered with an error status, by kind.",
+    ),
+    "serve_server_errors": (
+        "repro_server_errors_total", {"kind": "server"},
+        "Requests answered with an error status, by kind.",
+    ),
+}
+
+#: legacy pattern -> (metric name, label name, help text)
+_CANONICAL_PATTERNS: tuple[tuple[re.Pattern, str, str, str], ...] = (
+    (
+        re.compile(r"^fault_(?P<value>.+)$"),
+        "repro_faults_total", "kind",
+        "Injected faults fired, by kind.",
+    ),
+    (
+        re.compile(r"^serve_(?P<value>.+)_requests$"),
+        "repro_server_requests_total", "endpoint",
+        "HTTP requests handled, by endpoint.",
+    ),
+    (
+        re.compile(r"^serve_(?P<value>.+)_us_total$"),
+        "repro_server_request_microseconds_total", "endpoint",
+        "Cumulative request handling time, by endpoint.",
+    ),
+)
+
+
+def _canonical(name: str) -> tuple[str, dict, str]:
+    """The registry (metric, labels, help) for one legacy counter name."""
+    known = _CANONICAL.get(name)
+    if known is not None:
+        return known
+    for pattern, metric, label, help in _CANONICAL_PATTERNS:
+        match = pattern.match(name)
+        if match is not None:
+            return metric, {label: match.group("value")}, help
+    return (
+        "repro_adhoc_total",
+        {"counter": name},
+        "Counters with no canonical metric mapping.",
+    )
+
+
+class Instrumentation:
+    """Collects spans, counters, and free-form annotations for one run.
+
+    ``tracer`` and ``registry`` default to fresh private instances, so
+    unit tests stay isolated; the CLI creates one Instrumentation per
+    invocation and threads it everywhere, which makes its tracer and
+    registry the de-facto process-wide ones for that run.
+    """
+
+    def __init__(
+        self,
+        *,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters: dict[str, int] = {}
+        self.info: dict[str, object] = {}
+        self.warnings: list[str] = []
+        # Declare every canonical family up front: a zero-sample counter
+        # still exposes its HELP/TYPE lines, so scrapers see a stable
+        # set of series from the first scrape, not one that grows as
+        # code paths happen to run.
+        for metric, labels, help in _CANONICAL.values():
+            self.registry.counter(metric, help=help, labels=tuple(labels))
+        for _, metric, label, help in _CANONICAL_PATTERNS:
+            self.registry.counter(metric, help=help, labels=(label,))
+
+    # -- spans -------------------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str, *, group: str = "build") -> Iterator[None]:
+        """Time a block and record it as a stage (a grouped span)."""
+        span = None
+        try:
+            with self.tracer.span(name, group=group) as span:
+                yield
+        finally:
+            if span is not None:
+                self._stage_histogram().observe(
+                    span.duration, group=group, stage=name
+                )
+
+    def record(
+        self,
+        name: str,
+        seconds: float,
+        *,
+        group: str,
+        parent_id: int | None = None,
+    ) -> Span:
+        """Record an externally-timed span (e.g. a worker-measured
+        experiment); returns it so callers can parent children under it."""
+        span = self.tracer.record(
+            name, seconds, parent_id=parent_id, group=group
+        )
+        self._stage_histogram().observe(seconds, group=group, stage=name)
+        return span
+
+    def _stage_histogram(self):
+        return self.registry.histogram(
+            "repro_run_stage_seconds",
+            help="Wall time of instrumented stages, by group and stage.",
+            labels=("group", "stage"),
+        )
+
+    @property
+    def stages(self) -> list[StageRecord]:
+        """Every recorded stage, as a view over the grouped spans."""
+        return [
+            StageRecord(
+                span.name, span.duration, span.attributes["group"]
+            )
+            for span in list(self.tracer.finished)
+            if "group" in span.attributes
+        ]
+
+    def group(self, group: str) -> list[StageRecord]:
+        """The recorded stages of one group, in recording order."""
+        return [s for s in self.stages if s.group == group]
+
+    # -- counters / annotations --------------------------------------------
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """The legacy counter dict (also mirrored into the registry)."""
+        return self._counters
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Bump a counter (cache hits, worker restarts, ...)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+        metric, labels, help = _canonical(name)
+        self.registry.counter(
+            metric, help=help, labels=tuple(labels)
+        ).inc(amount, **labels)
+
+    def annotate(self, key: str, value: object) -> None:
+        """Attach a JSON-able fact about the run (jobs, cache status)."""
+        self.info[key] = value
+
+    def warn(self, message: str) -> None:
+        """Record a degraded-but-recovered condition for the run record."""
+        self.warnings.append(message)
+
+    # -- the --timings view ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The whole record as a JSON-able dict (the ``--timings`` schema,
+        derived from the span buffer — bytes unchanged from schema 1)."""
+        grouped: dict[str, list[dict]] = {}
+        total = 0.0
+        for span in list(self.tracer.finished):
+            group = span.attributes.get("group")
+            if group is None:
+                continue
+            grouped.setdefault(group, []).append(
+                {"name": span.name, "seconds": round(span.duration, 6)}
+            )
+            total += span.duration
+        return {
+            "schema": 1,
+            "counters": dict(self._counters),
+            "info": dict(self.info),
+            "warnings": list(self.warnings),
+            "stages": grouped,
+            "total_seconds": round(total, 6),
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """The record as a JSON document."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def world_sizes(world) -> dict[str, int]:
+    """Store sizes for a world, for the timings record."""
+    return {
+        "drop_prefixes": len(world.drop.unique_prefixes()),
+        "bgp_intervals": len(world.bgp),
+        "roas": len(world.roas),
+        "irr_objects": len(world.irr),
+        "sbl_records": len(world.sbl),
+    }

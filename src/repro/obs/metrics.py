@@ -1,0 +1,301 @@
+"""Metrics: counters, gauges, histograms, and Prometheus exposition.
+
+The other half of the observability layer: where spans answer "where
+did *this run* spend its time", metrics answer "what has *this process*
+done so far" — cache hits, fault trips, requests served, latency
+distributions — in a form a scraper understands.
+
+Zero-dependency by design: a :class:`MetricsRegistry` holds named
+metrics (created get-or-create, shared freely across threads), and
+:meth:`MetricsRegistry.expose` renders the standard Prometheus text
+format (version 0.0.4), which is what ``GET /metrics`` on
+``repro-drop serve`` returns.
+
+Naming follows the convention documented in ``docs/architecture.md``:
+``repro_<subsystem>_<name>_<unit>`` — e.g.
+``repro_cache_hits_total``, ``repro_server_request_seconds`` — and the
+registry enforces the ``repro_`` prefix so dialects cannot regrow.
+Histograms use fixed log-scale buckets (half-decade steps from 1 µs to
+100 s by default), so latency series are comparable across subsystems
+without per-site tuning.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Iterator, Mapping
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Metric and label names the exposition format (and this registry) accept.
+_NAME_RE = re.compile(r"^repro_[a-z][a-z0-9_]*$")
+_LABEL_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Fixed log-scale histogram bounds: half-decade steps, 1 µs .. 100 s.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    round(10.0 ** (exponent / 2), 12) for exponent in range(-12, 5)
+)
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_key(
+    label_names: tuple[str, ...], labels: Mapping[str, str]
+) -> tuple[str, ...]:
+    if set(labels) != set(label_names):
+        raise ValueError(
+            f"expected labels {sorted(label_names)}, got {sorted(labels)}"
+        )
+    return tuple(str(labels[name]) for name in label_names)
+
+
+def _render_labels(
+    label_names: tuple[str, ...],
+    key: tuple[str, ...],
+    extra: tuple[tuple[str, str], ...] = (),
+) -> str:
+    pairs = list(zip(label_names, key)) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+class _Metric:
+    """Shared plumbing: name/help/labels validation and child lookup."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str, label_names: tuple[str, ...]
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"metric name {name!r} does not match the "
+                "repro_<subsystem>_<name>_<unit> convention"
+            )
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"bad label name {label!r}")
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Mapping[str, str]) -> tuple[str, ...]:
+        return _labels_key(self.label_names, labels)
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (events, errors, bytes)."""
+
+    kind = "counter"
+
+    def __init__(self, name, help="", label_names=()):
+        super().__init__(name, help, tuple(label_names))
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(self._key(labels), 0)
+
+    def samples(self) -> Iterator[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            labels = _render_labels(self.label_names, key)
+            yield f"{self.name}{labels} {_format_value(value)}"
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (sizes, in-flight counts, flags)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help="", label_names=()):
+        super().__init__(name, help, tuple(label_names))
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        with self._lock:
+            self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(self._key(labels), 0)
+
+    def samples(self) -> Iterator[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            labels = _render_labels(self.label_names, key)
+            yield f"{self.name}{labels} {_format_value(value)}"
+
+
+class Histogram(_Metric):
+    """A distribution over fixed log-scale buckets (latencies, sizes).
+
+    Cumulative bucket counts plus ``_sum``/``_count``, exactly as the
+    Prometheus text format specifies, so ``histogram_quantile`` works
+    on the scraped series unchanged.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name,
+        help="",
+        label_names=(),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, tuple(label_names))
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        #: per-label-set: ([per-bucket counts..., overflow], sum, count)
+        self._series: dict[tuple[str, ...], list] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = [[0] * (len(self.bounds) + 1), 0.0, 0]
+                self._series[key] = series
+            counts, _, _ = series
+            for position, bound in enumerate(self.bounds):
+                if value <= bound:
+                    counts[position] += 1
+                    break
+            else:
+                counts[-1] += 1
+            series[1] += value
+            series[2] += 1
+
+    def count(self, **labels: str) -> int:
+        series = self._series.get(self._key(labels))
+        return 0 if series is None else series[2]
+
+    def sum(self, **labels: str) -> float:
+        series = self._series.get(self._key(labels))
+        return 0.0 if series is None else series[1]
+
+    def samples(self) -> Iterator[str]:
+        with self._lock:
+            items = sorted(
+                (key, [list(series[0]), series[1], series[2]])
+                for key, series in self._series.items()
+            )
+        for key, (counts, total, count) in items:
+            cumulative = 0
+            for bound, bucket in zip(self.bounds, counts):
+                cumulative += bucket
+                labels = _render_labels(
+                    self.label_names, key, (("le", _format_value(bound)),)
+                )
+                yield f"{self.name}_bucket{labels} {cumulative}"
+            labels = _render_labels(
+                self.label_names, key, (("le", "+Inf"),)
+            )
+            yield f"{self.name}_bucket{labels} {count}"
+            plain = _render_labels(self.label_names, key)
+            yield f"{self.name}_sum{plain} {_format_value(total)}"
+            yield f"{self.name}_count{plain} {count}"
+
+
+class MetricsRegistry:
+    """A named set of metrics with get-or-create access and exposition.
+
+    One registry per run (the CLI threads it everywhere through
+    :class:`~repro.obs.instrument.Instrumentation`); the serving daemon
+    exposes its registry at ``GET /metrics``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name, help, label_names, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.label_names != tuple(
+                    label_names
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already registered as a "
+                        f"{existing.kind} with labels {existing.label_names}"
+                    )
+                return existing
+            metric = cls(name, help=help, label_names=label_names, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name, help="", labels=()) -> Counter:
+        return self._get_or_create(Counter, name, help, tuple(labels))
+
+    def gauge(self, name, help="", labels=()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, tuple(labels))
+
+    def histogram(
+        self, name, help="", labels=(), buckets=DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, tuple(labels), buckets=buckets
+        )
+
+    def get(self, name: str):
+        """The registered metric named ``name``, or None."""
+        return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[_Metric]:
+        with self._lock:
+            ordered = sorted(self._metrics.items())
+        return iter(metric for _, metric in ordered)
+
+    def expose(self) -> str:
+        """The whole registry in Prometheus text format (0.0.4)."""
+        lines: list[str] = []
+        for metric in self:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.samples())
+        return "\n".join(lines) + "\n"

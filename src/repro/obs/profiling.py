@@ -1,0 +1,48 @@
+"""``--profile``: stdlib cProfile dumps, one per instrumented stage.
+
+Spans say *where* a run spends its time at stage granularity; when a
+stage itself is the mystery, ``repro-drop ... --profile`` wraps each
+top-level CLI stage (world resolution, experiment dispatch, query
+answering) in a :mod:`cProfile` session and prints the top-N
+cumulative entries to stderr as the stage finishes.  Zero overhead
+when disabled: the context manager is a bare ``yield``.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["profiled"]
+
+#: Rows of cProfile output printed per stage.
+DEFAULT_TOP = 25
+
+
+@contextmanager
+def profiled(
+    enabled: bool,
+    label: str,
+    *,
+    top: int = DEFAULT_TOP,
+    stream=None,
+) -> Iterator[None]:
+    """Profile the block when ``enabled``; dump top-``top`` cumulative
+    entries to ``stream`` (default stderr) tagged with ``label``."""
+    if not enabled:
+        yield
+        return
+    import cProfile
+    import pstats
+
+    out = stream if stream is not None else sys.stderr
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield
+    finally:
+        profile.disable()
+        print(f"-- profile: {label} (top {top} by cumulative) --", file=out)
+        stats = pstats.Stats(profile, stream=out)
+        stats.sort_stats("cumulative").print_stats(top)

@@ -1,0 +1,238 @@
+"""Spans: the tracing half of the observability layer.
+
+A :class:`Span` is one timed operation — a builder stage, a cache load,
+an experiment, an HTTP request — with a monotonic-clock duration, a
+parent link, and free-form JSON-able attributes.  A :class:`Tracer`
+collects them: ``tracer.span(name)`` is a context manager that nests
+(the enclosing open span becomes the parent, tracked per thread via
+:mod:`contextvars`), ``@tracer.traced()`` wraps a function, and
+``tracer.record(name, seconds)`` admits an externally-timed span (how
+worker-measured experiment times enter the parent's trace).
+
+Spans cross process boundaries the same way failure records already do
+in the runner: a worker serializes its spans (:meth:`Tracer.export`)
+onto the result tuple and the parent re-homes them with
+:meth:`Tracer.adopt`, which assigns fresh ids and reparents the
+worker's root spans under a parent-side span — so a ``--jobs 4`` run
+yields one connected tree, not four orphaned forests.
+
+Export is buffered JSONL (:meth:`Tracer.write_jsonl`): spans accumulate
+in memory (appends under a lock, so handler threads can share one
+tracer) and are written in one shot — one JSON object per line, sorted
+keys — when the run ends.  ``repro-drop ... --trace PATH`` and
+``$REPRO_TRACE`` both land here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from functools import wraps
+from pathlib import Path
+from time import perf_counter
+from typing import Callable, Iterator
+
+__all__ = ["TRACE_ENV", "Span", "Tracer", "trace_path_from_env"]
+
+#: Environment variable naming the JSONL trace destination.
+TRACE_ENV = "REPRO_TRACE"
+
+
+def trace_path_from_env(environ=os.environ) -> Path | None:
+    """The ``$REPRO_TRACE`` destination, or None when unset."""
+    raw = environ.get(TRACE_ENV, "").strip()
+    return Path(raw).expanduser() if raw else None
+
+
+@dataclass(slots=True)
+class Span:
+    """One finished (or still-open) timed operation."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    #: ``perf_counter()`` at open — monotonic, comparable only within
+    #: one process; useful for ordering, not for wall-clock display.
+    start: float
+    #: Seconds between open and close (or the externally-measured time).
+    duration: float
+    attributes: dict = field(default_factory=dict)
+    pid: int = field(default_factory=os.getpid)
+
+    def to_dict(self) -> dict:
+        """The JSONL wire form (stable field set, sorted on dump)."""
+        return {
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": round(self.start, 6),
+            "duration": round(self.duration, 6),
+            "attrs": dict(self.attributes),
+            "pid": self.pid,
+        }
+
+
+class Tracer:
+    """Collects spans for one run; thread-safe, processes cooperate.
+
+    Span ids are sequential per tracer, so two identical runs produce
+    identical trees (the byte-stability tests strip only timestamps and
+    pids).  The current open span is tracked per execution context:
+    each thread (and each :mod:`contextvars` context) nests
+    independently, so server handler threads sharing one tracer do not
+    see each other's spans as parents.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self.finished: list[Span] = []
+        self._current: ContextVar[int | None] = ContextVar(
+            "repro_obs_current_span", default=None
+        )
+
+    # -- recording ---------------------------------------------------------
+
+    def _allocate(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            return span_id
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            self.finished.append(span)
+
+    @property
+    def current_span_id(self) -> int | None:
+        """The enclosing open span's id in this context, or None."""
+        return self._current.get()
+
+    @contextmanager
+    def span(self, name: str, **attributes) -> Iterator[Span]:
+        """Time a block as a span, nested under the current open span.
+
+        The span lands in :attr:`finished` on exit (even when the body
+        raises, with an ``error`` attribute naming the exception type).
+        """
+        span = Span(
+            span_id=self._allocate(),
+            parent_id=self._current.get(),
+            name=name,
+            start=perf_counter(),
+            duration=0.0,
+            attributes=dict(attributes),
+        )
+        token = self._current.set(span.span_id)
+        try:
+            yield span
+        except BaseException as error:
+            span.attributes["error"] = type(error).__name__
+            raise
+        finally:
+            self._current.reset(token)
+            span.duration = perf_counter() - span.start
+            self._finish(span)
+
+    def traced(
+        self, name: str | None = None, **attributes
+    ) -> Callable[[Callable], Callable]:
+        """Decorator form of :meth:`span` (span name defaults to
+        ``module.qualname``)."""
+
+        def decorate(fn: Callable) -> Callable:
+            span_name = name or f"{fn.__module__}.{fn.__qualname__}"
+
+            @wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(span_name, **attributes):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    def record(
+        self,
+        name: str,
+        seconds: float,
+        *,
+        parent_id: int | None = None,
+        **attributes,
+    ) -> Span:
+        """Admit an externally-timed span (no open/close window here)."""
+        span = Span(
+            span_id=self._allocate(),
+            parent_id=(
+                parent_id if parent_id is not None else self._current.get()
+            ),
+            name=name,
+            start=perf_counter(),
+            duration=seconds,
+            attributes=dict(attributes),
+        )
+        self._finish(span)
+        return span
+
+    # -- cross-process forwarding ------------------------------------------
+
+    def export(self) -> tuple[dict, ...]:
+        """Every finished span as picklable dicts (worker → parent)."""
+        with self._lock:
+            return tuple(span.to_dict() for span in self.finished)
+
+    def adopt(
+        self, spans: tuple[dict, ...] | list[dict], *, parent_id: int | None
+    ) -> list[Span]:
+        """Re-home exported spans (usually a worker's) into this tracer.
+
+        Each adopted span gets a fresh local id; internal parent/child
+        links are remapped, and spans that were roots over there hang
+        off ``parent_id`` here.  The origin pid rides along, which is
+        how the span-tree tests tell worker spans from parent spans.
+        """
+        spans = list(spans)
+        # Two passes: spans finish children-first, so a child's parent
+        # id must be pre-allocated before any links are remapped.
+        id_map = {raw["span"]: self._allocate() for raw in spans}
+        adopted: list[Span] = []
+        for raw in spans:
+            local = Span(
+                span_id=id_map[raw["span"]],
+                parent_id=id_map.get(raw["parent"], parent_id),
+                name=raw["name"],
+                start=raw["start"],
+                duration=raw["duration"],
+                attributes=dict(raw["attrs"]),
+                pid=raw["pid"],
+            )
+            id_map[raw["span"]] = local.span_id
+            adopted.append(local)
+            self._finish(local)
+        return adopted
+
+    # -- export ------------------------------------------------------------
+
+    def write_jsonl(self, path: Path) -> Path:
+        """Write the buffered trace as JSONL (one span per line).
+
+        The whole buffer is serialized first and written with a single
+        ``write`` on an append-mode handle, so concurrent writers (two
+        CLI invocations tracing to the same file) interleave at span
+        granularity, never mid-line.
+        """
+        path = Path(path)
+        if path.parent != Path():
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            lines = "".join(
+                json.dumps(span.to_dict(), sort_keys=True) + "\n"
+                for span in self.finished
+            )
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(lines)
+        return path

@@ -15,11 +15,12 @@ from dataclasses import dataclass
 from datetime import date
 from typing import Iterable
 
+from ..errors import ReproError
 from ..net.prefix import IPv4Prefix
 from ..net.timeline import parse_date
 from ..rpki.tal import TalSet
 from ..rpki.validation import RouteValidity, validate_route
-from ..runtime.instrument import Instrumentation
+from ..obs import Instrumentation
 from ..synth.world import World
 from .index import QueryIndex, load_or_build_index
 
@@ -107,13 +108,15 @@ def parse_query_line(line: str, *, default_day: date) -> tuple[IPv4Prefix, date]
     return prefix, day
 
 
-class BatchParseError(ValueError):
+class BatchParseError(ReproError, ValueError):
     """Every invalid input of one batch, reported together.
 
     ``errors`` holds ``(position, input, message)`` triples, zero-based
     in batch order, so a caller submitting hundreds of lines learns
     about all of them in one round trip instead of one per attempt.
     """
+
+    code = "query.batch-parse"
 
     def __init__(self, errors: list[tuple[int, str, str]]) -> None:
         self.errors = list(errors)

@@ -30,12 +30,13 @@ from dataclasses import dataclass
 from datetime import date
 from pathlib import Path
 
+from ..errors import ReproError
 from ..net.prefix import IPv4Prefix
 from ..net.radix import PrefixTrie
 from ..net.timeline import DateWindow
 from ..rpki.roa import Roa
 from ..runtime.faults import corrupt_file, fault_point
-from ..runtime.instrument import Instrumentation
+from ..obs import Instrumentation
 from ..synth.builder import GENERATOR_VERSION
 from ..synth.world import World
 
@@ -61,8 +62,10 @@ INDEX_FORMAT = 1
 INDEX_FILENAME = "query-index.json"
 
 
-class IndexLoadError(ValueError):
+class IndexLoadError(ReproError, ValueError):
     """A persisted index that cannot be trusted (torn, stale, foreign)."""
+
+    code = "query.index-stale"
 
 
 def _active(start: date, end: date | None, day: date) -> bool:

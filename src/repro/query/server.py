@@ -7,15 +7,22 @@ A stdlib-only (``http.server``) daemon exposing the
   :class:`~repro.query.engine.PrefixStatus` as JSON;
 * ``POST /v1/batch`` — ``{"queries": [{"prefix": P, "on": D?}, ...]}``
   answered in order as ``{"results": [...]}``;
-* ``GET /healthz`` — liveness plus index sizes and the request counters.
+* ``GET /healthz`` — liveness plus index sizes and the request counters;
+* ``GET /metrics`` — the run's :class:`~repro.obs.MetricsRegistry` in
+  Prometheus text format (0.0.4).
 
 The engine's index is immutable, so one engine serves every handler
 thread without locks.  Per-request timing flows into the run's
-:class:`~repro.runtime.instrument.Instrumentation` as counters (a
-request count and a cumulative microsecond total per endpoint, plus an
-error count) rather than per-request stage records, so a long-running
-daemon's memory stays flat.  SIGTERM/SIGINT drain gracefully: the
-accept loop stops, in-flight requests finish, then the socket closes.
+:class:`~repro.obs.Instrumentation` — legacy per-endpoint counters for
+the ``/healthz`` body plus a ``repro_server_request_seconds`` histogram
+in the registry — rather than per-request stage records, so a
+long-running daemon's memory stays flat.  ``/healthz`` and ``/metrics``
+never touch the engine: the index facts they report are snapshotted
+once at startup (the index cannot change), so a health probe or a
+scrape costs no lookup-path allocations.  SIGTERM/SIGINT drain
+gracefully: both endpoints flip to 503 so load balancers stop sending
+traffic, the accept loop stops, in-flight requests finish, then the
+socket closes.
 """
 
 from __future__ import annotations
@@ -93,9 +100,10 @@ class _Handler(BaseHTTPRequestHandler):
             instr.incr("serve_server_errors")
             self._reply(500, {"error": f"{type(error).__name__}: {error}"})
         finally:
-            micros = int((perf_counter() - started) * 1e6)
+            elapsed = perf_counter() - started
+            self.server.request_seconds.observe(elapsed, endpoint=endpoint)
             instr.incr(f"serve_{endpoint}_requests")
-            instr.incr(f"serve_{endpoint}_us_total", micros)
+            instr.incr(f"serve_{endpoint}_us_total", int(elapsed * 1e6))
 
     # -- endpoints ---------------------------------------------------------
 
@@ -105,6 +113,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._timed("status", lambda: self._status(url.query))
         elif url.path == "/healthz":
             self._timed("healthz", self._healthz)
+        elif url.path == "/metrics":
+            self._timed("metrics", self._metrics)
         else:
             self.server.instrumentation.incr("serve_client_errors")
             self._reply(404, {"error": f"unknown path {url.path}"})
@@ -165,20 +175,27 @@ class _Handler(BaseHTTPRequestHandler):
         self._reply(200, {"results": [status.to_dict() for status in results]})
 
     def _healthz(self) -> None:
-        engine = self.server.engine
-        instr = self.server.instrumentation
-        self._reply(
-            200,
-            {
-                "status": "ok",
-                "window": [
-                    engine.index.window.start.isoformat(),
-                    engine.index.window.end.isoformat(),
-                ],
-                "index": engine.index.sizes(),
-                "counters": dict(instr.counters),
-            },
+        # Registry/snapshot state only — no engine, no lookup path.
+        draining = self.server.draining
+        payload = {
+            "status": "draining" if draining else "ok",
+            "counters": dict(self.server.instrumentation.counters),
+        }
+        payload.update(self.server.health_snapshot)
+        self._reply(503 if draining else 200, payload)
+
+    def _metrics(self) -> None:
+        if self.server.draining:
+            self._reply(503, {"error": "draining"})
+            return
+        body = self.server.registry.expose().encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
         )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
 
 class QueryServer(ThreadingHTTPServer):
@@ -203,9 +220,43 @@ class QueryServer(ThreadingHTTPServer):
     ) -> None:
         self.engine = engine
         self.instrumentation = engine.instrumentation
+        self.registry = self.instrumentation.registry
         self.verbose = verbose
         self._draining = threading.Event()
+        # /healthz facts, snapshotted once: the index is immutable, so
+        # probes never walk the engine (and cannot allocate lookup
+        # state) — they read this dict and the counter dict, nothing else.
+        index = engine.index
+        self.health_snapshot = {
+            "window": [
+                index.window.start.isoformat(),
+                index.window.end.isoformat(),
+            ],
+            "index": index.sizes(),
+        }
+        entries = self.registry.gauge(
+            "repro_server_index_entries",
+            help="Entries in the served query index, by store.",
+            labels=("store",),
+        )
+        for store, count in self.health_snapshot["index"].items():
+            entries.set(count, store=store)
+        self._draining_gauge = self.registry.gauge(
+            "repro_server_draining",
+            help="1 while the server is draining after SIGTERM/SIGINT.",
+        )
+        self._draining_gauge.set(0)
+        self.request_seconds = self.registry.histogram(
+            "repro_server_request_seconds",
+            help="Request handling latency, by endpoint.",
+            labels=("endpoint",),
+        )
         super().__init__((host, port), _Handler)
+
+    @property
+    def draining(self) -> bool:
+        """True once a drain signal was received (health flips to 503)."""
+        return self._draining.is_set()
 
     def install_signal_handlers(self) -> None:
         """Drain on SIGTERM/SIGINT (a no-op off the main thread)."""
@@ -220,6 +271,7 @@ class QueryServer(ThreadingHTTPServer):
         # where signal handlers execute) — hand it to a helper thread.
         if not self._draining.is_set():
             self._draining.set()
+            self._draining_gauge.set(1)
             self.instrumentation.incr("serve_drains")
             threading.Thread(target=self.shutdown, daemon=True).start()
 

@@ -116,13 +116,18 @@ def run_experiment(
     exp_id: str,
     entries: list[DropEntryView] | None = None,
     substrate: "AnalysisSubstrate | None" = None,
+    *,
+    tracer=None,
 ) -> ExperimentReport:
     """Run one registered experiment by id.
 
     ``substrate`` shares the expensive once-per-world state (see
     :class:`~repro.analysis.substrate.AnalysisSubstrate`); without one
     the experiment recomputes what it needs from the raw stores —
-    identical results either way.
+    identical results either way.  ``tracer`` (a
+    :class:`repro.obs.Tracer`) wraps the experiment body in a span; the
+    pooled runner passes its worker-side tracer so per-experiment spans
+    ride back to the parent trace.
     """
     # Imported lazily: reporting loads before the runtime package, and
     # the injection point must also cover direct library calls (run_all,
@@ -132,6 +137,9 @@ def run_experiment(
     fault_point(f"experiment.run:{exp_id}")
     if entries is None:
         entries = load_entries(world)
+    if tracer is not None:
+        with tracer.span(f"experiment:{exp_id}", experiment=exp_id):
+            return EXPERIMENTS[exp_id](world, entries, substrate)
     return EXPERIMENTS[exp_id](world, entries, substrate)
 
 

@@ -7,8 +7,8 @@ single measured byte:
   keyed by config hash + generator version;
 * :mod:`repro.runtime.runner` — the parallel experiment runner with
   deterministic ordering and per-experiment error isolation;
-* :mod:`repro.runtime.instrument` — stage timers / counters behind
-  ``repro-drop report --timings``;
+* :mod:`repro.runtime.instrument` — deprecated shim over
+  :mod:`repro.obs`, where stage timers / counters now live;
 * :mod:`repro.runtime.faults` — the deterministic fault-injection
   harness (``$REPRO_FAULTS``) that drives every recovery path above
   under test.
@@ -31,7 +31,7 @@ from .faults import (
     InjectedIOError,
     injected,
 )
-from .instrument import Instrumentation, StageRecord, world_sizes
+from ..obs import Instrumentation, StageRecord, world_sizes
 from .runner import (
     JOBS_ENV,
     START_METHOD_ENV,

@@ -31,10 +31,11 @@ import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..errors import CacheCorruptionError
 from ..synth import ScenarioConfig, World, build_world, load_world, save_world
 from ..synth.builder import GENERATOR_VERSION
 from .faults import corrupt_file, fault_point
-from .instrument import Instrumentation, world_sizes
+from ..obs import Instrumentation, world_sizes
 
 __all__ = [
     "CACHE_DIR_ENV",
@@ -140,10 +141,8 @@ class WorldCache:
         directory = self.root / "worlds" / key
         if not refresh and directory.exists():
             try:
-                with instr.stage("cache-load", group="cache"):
-                    fault_point("cache.load", instrumentation=instr)
-                    world = load_world(directory)
-            except Exception:
+                world = self.load_entry(directory, instrumentation=instr)
+            except CacheCorruptionError:
                 # Truncated or corrupt entry (interrupted writer, disk
                 # fault): evict and rebuild below.
                 shutil.rmtree(directory, ignore_errors=True)
@@ -160,6 +159,30 @@ class WorldCache:
         return CacheOutcome(
             world, "refresh" if refresh else "miss", key, directory
         )
+
+    def load_entry(
+        self,
+        directory: Path,
+        *,
+        instrumentation: Instrumentation | None = None,
+    ) -> World:
+        """Load one cache entry, or raise :class:`CacheCorruptionError`.
+
+        Any reload failure — torn file, missing archive, injected fault
+        at the ``cache.load`` site — surfaces as a
+        :class:`~repro.errors.CacheCorruptionError` (code
+        ``runtime.cache-corrupt``) naming the entry; :meth:`fetch`
+        catches it to evict and rebuild.
+        """
+        instr = instrumentation or Instrumentation()
+        try:
+            with instr.stage("cache-load", group="cache"):
+                fault_point("cache.load", instrumentation=instr)
+                return load_world(directory)
+        except Exception as error:
+            raise CacheCorruptionError(
+                f"cache entry {directory.name} cannot be loaded: {error}"
+            ) from error
 
     # -- storing -----------------------------------------------------------
 
@@ -244,6 +267,12 @@ class WorldCache:
         than the stale timeout is taken over: its writer died between
         acquire and release.
         """
+        wait = instr.registry.histogram(
+            "repro_cache_lock_wait_seconds",
+            help="Time spent acquiring the per-entry writer lock.",
+            labels=("outcome",),
+        )
+        started = time.perf_counter()
         for attempt in range(2):
             try:
                 fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
@@ -254,6 +283,9 @@ class WorldCache:
                     continue  # holder released between open and stat: retry
                 if age <= _lock_timeout():
                     instr.incr("world_cache_lock_contention")
+                    wait.observe(
+                        time.perf_counter() - started, outcome="yielded"
+                    )
                     return False
                 # Stale: the writer died. Take the lock over and retry
                 # the exclusive create once.
@@ -268,7 +300,11 @@ class WorldCache:
                     json.dump(
                         {"pid": os.getpid(), "acquired": time.time()}, handle
                     )
+                wait.observe(
+                    time.perf_counter() - started, outcome="acquired"
+                )
                 return True
+        wait.observe(time.perf_counter() - started, outcome="yielded")
         return False
 
     @staticmethod

@@ -43,6 +43,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
+from ..errors import ReproError
+
 __all__ = [
     "FAULTS_ENV",
     "FAULT_SEED_ENV",
@@ -67,8 +69,10 @@ CRASH_EXIT_CODE = 66
 KINDS = frozenset({"io-error", "truncate", "crash", "rename-race", "slow"})
 
 
-class FaultSpecError(ValueError):
+class FaultSpecError(ReproError, ValueError):
     """A ``$REPRO_FAULTS`` spec string that does not parse."""
+
+    code = "runtime.fault-spec"
 
 
 class InjectedIOError(OSError):

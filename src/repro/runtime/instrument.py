@@ -1,100 +1,31 @@
-"""Stage instrumentation: wall-clock timers and counters for a run.
+"""Deprecated shim: stage instrumentation moved to :mod:`repro.obs`.
 
-One :class:`Instrumentation` object is threaded through a whole
-invocation — world build (per-builder-stage timings), cache access
-(hit/miss counters, load/store timings), and experiment dispatch
-(per-experiment wall time).  The collected record serializes to JSON for
-``repro-drop report --timings`` and the benchmark trajectory, so runs
-can be compared across commits.
+The :class:`Instrumentation` facade, :class:`StageRecord`, and
+:func:`world_sizes` now live in :mod:`repro.obs.instrument`, where
+stages are real spans and counters are registry metrics.  This module
+keeps the old import path working for one release; every attribute
+access emits a :class:`DeprecationWarning`.  Import from
+:mod:`repro.obs` (or :mod:`repro.runtime`, which re-exports) instead.
 """
 
 from __future__ import annotations
 
-import json
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Iterator
+import warnings
 
 __all__ = ["Instrumentation", "StageRecord", "world_sizes"]
 
-
-@dataclass(frozen=True, slots=True)
-class StageRecord:
-    """One timed span: a builder stage, a cache step, or an experiment."""
-
-    name: str
-    seconds: float
-    group: str = "build"
+_MOVED = frozenset(__all__)
 
 
-class Instrumentation:
-    """Collects timed stages, counters, and free-form annotations."""
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.runtime.instrument.{name} moved to repro.obs; "
+            "this shim will be removed in the next release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .. import obs
 
-    def __init__(self) -> None:
-        self.stages: list[StageRecord] = []
-        self.counters: dict[str, int] = {}
-        self.info: dict[str, object] = {}
-        self.warnings: list[str] = []
-
-    @contextmanager
-    def stage(self, name: str, *, group: str = "build") -> Iterator[None]:
-        """Time a block and record it as a stage."""
-        started = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.record(name, time.perf_counter() - started, group=group)
-
-    def record(self, name: str, seconds: float, *, group: str) -> None:
-        """Record an externally-timed span."""
-        self.stages.append(StageRecord(name, seconds, group))
-
-    def incr(self, name: str, amount: int = 1) -> None:
-        """Bump a counter (cache hits, worker restarts, ...)."""
-        self.counters[name] = self.counters.get(name, 0) + amount
-
-    def annotate(self, key: str, value: object) -> None:
-        """Attach a JSON-able fact about the run (jobs, cache status)."""
-        self.info[key] = value
-
-    def warn(self, message: str) -> None:
-        """Record a degraded-but-recovered condition for the run record."""
-        self.warnings.append(message)
-
-    def group(self, group: str) -> list[StageRecord]:
-        """The recorded stages of one group, in recording order."""
-        return [s for s in self.stages if s.group == group]
-
-    def to_dict(self) -> dict:
-        """The whole record as a JSON-able dict."""
-        grouped: dict[str, list[dict]] = {}
-        for record in self.stages:
-            grouped.setdefault(record.group, []).append(
-                {"name": record.name, "seconds": round(record.seconds, 6)}
-            )
-        return {
-            "schema": 1,
-            "counters": dict(self.counters),
-            "info": dict(self.info),
-            "warnings": list(self.warnings),
-            "stages": grouped,
-            "total_seconds": round(
-                sum(record.seconds for record in self.stages), 6
-            ),
-        }
-
-    def to_json(self, *, indent: int | None = 2) -> str:
-        """The record as a JSON document."""
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
-
-
-def world_sizes(world) -> dict[str, int]:
-    """Store sizes for a world, for the timings record."""
-    return {
-        "drop_prefixes": len(world.drop.unique_prefixes()),
-        "bgp_intervals": len(world.bgp),
-        "roas": len(world.roas),
-        "irr_objects": len(world.irr),
-        "sbl_records": len(world.sbl),
-    }
+        return getattr(obs, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -49,7 +49,7 @@ from ..reporting import (
 from ..synth import ScenarioConfig, World, build_world, load_world
 from . import faults
 from .cache import world_cache_key
-from .instrument import Instrumentation
+from ..obs import Instrumentation, Tracer
 
 __all__ = [
     "JOBS_ENV",
@@ -180,19 +180,24 @@ def _run_one(exp_id: str):
     world, entries, substrate = _WORKER_STATE
     # Faults fired while running (in this process — possibly a worker)
     # ride back on the result tuple so they land in the parent's
-    # instrumentation counters.
+    # instrumentation counters.  Spans travel the same way: the body
+    # traces into a private per-call tracer whose export rides the
+    # tuple, and the parent adopts it under its experiment span.
     injector = faults.active()
     already_fired = len(injector.fired) if injector is not None else 0
+    tracer = Tracer()
     started = perf_counter()
     try:
         faults.fault_point(f"worker.run:{exp_id}")
-        report = run_experiment(world, exp_id, entries, substrate)
+        report = run_experiment(
+            world, exp_id, entries, substrate, tracer=tracer
+        )
         error = None
     except Exception:
         report, error = None, traceback.format_exc()
     seconds = perf_counter() - started
     fired = tuple(injector.fired[already_fired:]) if injector is not None else ()
-    return exp_id, report, seconds, error, fired
+    return exp_id, report, seconds, error, fired, tracer.export()
 
 
 def _mp_context():
@@ -341,22 +346,32 @@ def run_experiments(
         finally:
             _WORKER_STATE = None
 
+    status_counter = instr.registry.counter(
+        "repro_runner_experiments_total",
+        help="Experiments resolved, by final status.",
+        labels=("status",),
+    )
     reports: list[ExperimentReport] = []
     failures: list[ExperimentFailure] = []
     for exp_id in exp_ids:
         if exp_id in results:
-            _, report, seconds, error, fired = results[exp_id]
-            instr.record(exp_id, seconds, group="experiment")
+            _, report, seconds, error, fired, spans = results[exp_id]
+            span = instr.record(exp_id, seconds, group="experiment")
+            if spans:
+                instr.tracer.adopt(spans, parent_id=span.span_id)
             for kind, _site in fired:
                 instr.incr("faults_injected")
                 instr.incr(f"fault_{kind}")
             if error is not None:
+                status_counter.inc(status="raised")
                 failures.append(ExperimentFailure(exp_id, error))
             else:
+                status_counter.inc(status="ok")
                 reports.append(report)
         else:
             assert exp_id in unrecovered
             instr.record(exp_id, 0.0, group="experiment")
+            status_counter.inc(status="worker-lost")
             failures.append(
                 ExperimentFailure(
                     exp_id,

@@ -341,7 +341,7 @@ class WorldBuilder:
         self.cfg = config
         self.jobs = max(1, jobs)
         if instrumentation is None:
-            from ..runtime.instrument import Instrumentation
+            from ..obs import Instrumentation
 
             instrumentation = Instrumentation()
         self.instrumentation = instrumentation

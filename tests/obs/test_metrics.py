@@ -1,0 +1,131 @@
+"""Unit tests for the metrics registry and Prometheus exposition."""
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestNaming:
+    def test_prefix_enforced(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="convention"):
+            registry.counter("cache_hits_total")
+        with pytest.raises(ValueError, match="convention"):
+            registry.counter("repro_Bad_Name")
+
+    def test_bad_label_rejected(self):
+        with pytest.raises(ValueError, match="bad label"):
+            MetricsRegistry().counter("repro_x_total", labels=("0bad",))
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = MetricsRegistry().counter(
+            "repro_cache_hits_total", labels=("tier",)
+        )
+        counter.inc(tier="l1")
+        counter.inc(2, tier="l1")
+        counter.inc(tier="l2")
+        assert counter.value(tier="l1") == 3
+        assert counter.value(tier="l2") == 1
+        assert counter.value(tier="unseen") == 0
+
+    def test_counters_only_go_up(self):
+        counter = MetricsRegistry().counter("repro_x_total")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_label_mismatch_rejected(self):
+        counter = MetricsRegistry().counter("repro_x_total", labels=("a",))
+        with pytest.raises(ValueError, match="expected labels"):
+            counter.inc(b="nope")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("repro_server_inflight")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4
+
+
+class TestHistogram:
+    def test_default_buckets_are_log_scale(self):
+        assert DEFAULT_BUCKETS[0] == pytest.approx(1e-6)
+        assert DEFAULT_BUCKETS[-1] == pytest.approx(100.0)
+        assert len(DEFAULT_BUCKETS) == 17
+
+    def test_observe_sum_count(self):
+        histogram = MetricsRegistry().histogram("repro_x_seconds")
+        histogram.observe(0.002)
+        histogram.observe(0.5)
+        histogram.observe(1e9)  # beyond the last bound: overflow bucket
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(1e9 + 0.502)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_x_total", labels=("a",))
+        assert registry.counter("repro_x_total", labels=("a",)) is first
+        assert registry.get("repro_x_total") is first
+        assert registry.get("repro_missing") is None
+
+    def test_kind_and_label_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", labels=("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_x_total", labels=("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("repro_x_total", labels=("b",))
+
+
+class TestExpositionGolden:
+    def test_text_format(self):
+        """The exposition output, byte for byte (format 0.0.4)."""
+        registry = MetricsRegistry()
+        requests = registry.counter(
+            "repro_server_requests_total",
+            help="HTTP requests handled, by endpoint.",
+            labels=("endpoint",),
+        )
+        requests.inc(3, endpoint="status")
+        requests.inc(endpoint="batch")
+        draining = registry.gauge(
+            "repro_server_draining", help="1 while draining."
+        )
+        draining.set(0)
+        latency = registry.histogram(
+            "repro_cache_lock_wait_seconds",
+            help="Lock wait.",
+            buckets=(0.001, 1.0),
+        )
+        latency.observe(0.0005)
+        latency.observe(0.25)
+        latency.observe(5.0)
+        assert registry.expose() == (
+            "# HELP repro_cache_lock_wait_seconds Lock wait.\n"
+            "# TYPE repro_cache_lock_wait_seconds histogram\n"
+            'repro_cache_lock_wait_seconds_bucket{le="0.001"} 1\n'
+            'repro_cache_lock_wait_seconds_bucket{le="1"} 2\n'
+            'repro_cache_lock_wait_seconds_bucket{le="+Inf"} 3\n'
+            "repro_cache_lock_wait_seconds_sum 5.2505\n"
+            "repro_cache_lock_wait_seconds_count 3\n"
+            "# HELP repro_server_draining 1 while draining.\n"
+            "# TYPE repro_server_draining gauge\n"
+            "repro_server_draining 0\n"
+            "# HELP repro_server_requests_total "
+            "HTTP requests handled, by endpoint.\n"
+            "# TYPE repro_server_requests_total counter\n"
+            'repro_server_requests_total{endpoint="batch"} 1\n'
+            'repro_server_requests_total{endpoint="status"} 3\n'
+        )
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_x_total", labels=("path",))
+        counter.inc(path='a"b\\c\nd')
+        (sample,) = list(counter.samples())
+        assert sample == 'repro_x_total{path="a\\"b\\\\c\\nd"} 1'

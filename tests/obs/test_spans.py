@@ -1,0 +1,136 @@
+"""Unit tests for the span tracer (repro.obs.spans)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import TRACE_ENV, Tracer, trace_path_from_env
+
+
+class TestSpanNesting:
+    def test_context_manager_nests(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # Children finish (and land in the buffer) before their parents.
+        assert [s.name for s in tracer.finished] == ["inner", "outer"]
+        assert outer.duration > 0 and inner.duration > 0
+
+    def test_sequential_ids_are_deterministic(self):
+        for _ in range(2):
+            tracer = Tracer()
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+            with tracer.span("c"):
+                pass
+            assert [(s.span_id, s.parent_id) for s in tracer.finished] == [
+                (2, 1), (1, None), (3, None)
+            ]
+
+    def test_attributes_and_error_marker(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed", stage="x"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished
+        assert span.attributes == {"stage": "x", "error": "RuntimeError"}
+
+    def test_decorator(self):
+        tracer = Tracer()
+
+        @tracer.traced()
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        (span,) = tracer.finished
+        assert span.name.endswith("work")
+
+    def test_record_external_timing(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            pass
+        span = tracer.record(
+            "ext", 1.5, parent_id=parent.span_id, group="experiment"
+        )
+        assert span.duration == 1.5
+        assert span.parent_id == parent.span_id
+
+    def test_threads_nest_independently(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(name):
+            with tracer.span(name) as span:
+                seen[name] = span.parent_id
+
+        with tracer.span("main"):
+            threads = [
+                threading.Thread(target=worker, args=(f"t{i}",))
+                for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # Handler-style threads must not inherit another thread's open
+        # span as their parent.
+        assert seen == {"t0": None, "t1": None}
+
+
+class TestAdopt:
+    def _worker_trace(self):
+        worker = Tracer()
+        with worker.span("w-outer", experiment="fig1"):
+            with worker.span("w-inner"):
+                pass
+        with worker.span("w-second"):
+            pass
+        return worker.export()
+
+    def test_reparents_roots_and_remaps_links(self):
+        parent = Tracer()
+        anchor = parent.record("fig1", 0.5, group="experiment")
+        adopted = parent.adopt(self._worker_trace(), parent_id=anchor.span_id)
+        by_name = {s.name: s for s in adopted}
+        assert by_name["w-outer"].parent_id == anchor.span_id
+        assert by_name["w-second"].parent_id == anchor.span_id
+        # The internal child link is remapped to the *local* parent id,
+        # even though the child exported before its parent.
+        assert by_name["w-inner"].parent_id == by_name["w-outer"].span_id
+        local_ids = {s.span_id for s in parent.finished}
+        assert len(local_ids) == len(parent.finished)  # no id collisions
+
+    def test_adopt_under_none_makes_roots(self):
+        parent = Tracer()
+        adopted = parent.adopt(self._worker_trace(), parent_id=None)
+        roots = [s for s in adopted if s.name != "w-inner"]
+        assert all(s.parent_id is None for s in roots)
+
+
+class TestExportJsonl:
+    def test_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a", group="build"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        tracer.write_jsonl(path)  # appends, never truncates
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["name"] == "a"
+        assert record["attrs"] == {"group": "build"}
+        assert set(record) == {
+            "span", "parent", "name", "start", "duration", "attrs", "pid"
+        }
+
+    def test_trace_path_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        assert trace_path_from_env() is None
+        monkeypatch.setenv(TRACE_ENV, str(tmp_path / "t.jsonl"))
+        assert trace_path_from_env() == tmp_path / "t.jsonl"

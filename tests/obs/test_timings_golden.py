@@ -1,0 +1,132 @@
+"""The --timings contract: same schema-1 JSON, now derived from spans.
+
+The CLI-level golden test (tests/test_golden.py) pins the schema on a
+real run; here the dict is pinned byte-for-byte on deterministic inputs,
+plus the canonical counter mirroring and the deprecation shim.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.obs import Instrumentation
+from repro.runtime.faults import InjectedIOError, fault_point, injected
+
+
+class TestTimingsView:
+    def _loaded(self):
+        instr = Instrumentation()
+        instr.record("platform", 0.25, group="build")
+        instr.record("cache-load", 0.125, group="cache")
+        instr.record("fig1", 0.5, group="experiment")
+        instr.record("fig5", 1.0, group="experiment")
+        instr.incr("world_cache_hits")
+        instr.annotate("jobs", 4)
+        instr.warn("took over stale cache lock")
+        return instr
+
+    def test_schema1_dict_golden(self):
+        assert self._loaded().to_dict() == {
+            "schema": 1,
+            "counters": {"world_cache_hits": 1},
+            "info": {"jobs": 4},
+            "warnings": ["took over stale cache lock"],
+            "stages": {
+                "build": [{"name": "platform", "seconds": 0.25}],
+                "cache": [{"name": "cache-load", "seconds": 0.125}],
+                "experiment": [
+                    {"name": "fig1", "seconds": 0.5},
+                    {"name": "fig5", "seconds": 1.0},
+                ],
+            },
+            "total_seconds": 1.875,
+        }
+
+    def test_to_json_round_trip(self):
+        instr = self._loaded()
+        assert json.loads(instr.to_json()) == instr.to_dict()
+
+    def test_ungrouped_spans_stay_out_of_timings(self):
+        instr = self._loaded()
+        with instr.tracer.span("adopted-worker-span", experiment="fig1"):
+            pass
+        payload = instr.to_dict()
+        assert payload["total_seconds"] == 1.875
+        names = [
+            stage["name"]
+            for stages in payload["stages"].values()
+            for stage in stages
+        ]
+        assert "adopted-worker-span" not in names
+
+    def test_stage_also_lands_in_histogram(self):
+        instr = Instrumentation()
+        with instr.stage("platform", group="build"):
+            pass
+        histogram = instr.registry.get("repro_run_stage_seconds")
+        assert histogram.count(group="build", stage="platform") == 1
+
+
+class TestCanonicalCounters:
+    def test_known_counter_mirrors_to_registry(self):
+        instr = Instrumentation()
+        instr.incr("world_cache_hits", 2)
+        assert instr.counters == {"world_cache_hits": 2}
+        assert instr.registry.get("repro_cache_hits_total").value() == 2
+
+    def test_pattern_families_fold_into_labels(self):
+        instr = Instrumentation()
+        instr.incr("serve_status_requests", 3)
+        instr.incr("serve_batch_requests")
+        instr.incr("serve_status_us_total", 1234)
+        requests = instr.registry.get("repro_server_requests_total")
+        assert requests.value(endpoint="status") == 3
+        assert requests.value(endpoint="batch") == 1
+        micros = instr.registry.get("repro_server_request_microseconds_total")
+        assert micros.value(endpoint="status") == 1234
+
+    def test_unknown_counter_falls_back_to_adhoc(self):
+        instr = Instrumentation()
+        instr.incr("something_bespoke")
+        adhoc = instr.registry.get("repro_adhoc_total")
+        assert adhoc.value(counter="something_bespoke") == 1
+
+    def test_core_families_declared_up_front(self):
+        exposition = Instrumentation().registry.expose()
+        for name in (
+            "repro_cache_hits_total",
+            "repro_runner_worker_lost_total",
+            "repro_faults_total",
+            "repro_server_requests_total",
+        ):
+            assert f"# TYPE {name} counter" in exposition
+
+    def test_fault_trip_increments_matching_counter(self):
+        instr = Instrumentation()
+        with injected("io-error@obs.test.site"):
+            with pytest.raises(InjectedIOError):
+                fault_point("obs.test.site", instrumentation=instr)
+        assert instr.counters["fault_io-error"] == 1
+        faults = instr.registry.get("repro_faults_total")
+        assert faults.value(kind="io-error") == 1
+        assert instr.registry.get("repro_faults_injected_total").value() == 1
+
+
+class TestDeprecationShim:
+    def test_old_import_path_warns_and_resolves(self):
+        from repro.runtime import instrument as legacy
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shimmed = legacy.Instrumentation
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert shimmed is Instrumentation
+
+    def test_unknown_attribute_still_raises(self):
+        from repro.runtime import instrument as legacy
+
+        with pytest.raises(AttributeError):
+            legacy.no_such_thing

@@ -1,0 +1,114 @@
+"""Span-tree integrity across the parallel runner (--jobs 4).
+
+Worker processes trace into private tracers whose exports ride the
+result tuples; the parent adopts them under its per-experiment spans.
+These tests pin that the resulting tree is connected, correctly
+reparented, and byte-stable modulo timestamps and pids.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import load_entries
+from repro.analysis.substrate import AnalysisSubstrate
+from repro.runtime import Instrumentation, WorldCache, run_experiments
+from repro.synth import ScenarioConfig
+
+#: Substrate-free experiments, so two runs produce identical span trees
+#: without depending on substrate warm/load ordering.
+SUBSET = ["fig1", "tab1", "fig3", "fig6"]
+
+
+@pytest.fixture(scope="module")
+def cached_world(tmp_path_factory):
+    cache = WorldCache(tmp_path_factory.mktemp("trace-cache"))
+    outcome = cache.fetch(ScenarioConfig.tiny())
+    return outcome.world, outcome.directory
+
+
+@pytest.fixture(scope="module")
+def shared(cached_world):
+    world, _ = cached_world
+    return load_entries(world), AnalysisSubstrate(world)
+
+
+def _run(cached_world, shared, jobs):
+    world, directory = cached_world
+    entries, substrate = shared
+    instr = Instrumentation()
+    outcome = run_experiments(
+        world,
+        SUBSET,
+        jobs=jobs,
+        directory=directory,
+        entries=entries,
+        substrate=substrate,
+        instrumentation=instr,
+    )
+    assert outcome.ok
+    return instr
+
+
+def _skeleton(tracer):
+    """The trace minus timestamps and pids (the byte-stable part)."""
+    return [
+        {
+            key: value
+            for key, value in span.items()
+            if key not in ("start", "duration", "pid")
+        }
+        for span in tracer.export()
+    ]
+
+
+class TestSpanTree:
+    def test_parallel_tree_is_connected(self, cached_world, shared):
+        instr = _run(cached_world, shared, jobs=4)
+        spans = list(instr.tracer.finished)
+        by_id = {span.span_id: span for span in spans}
+        # Every parent link resolves inside this tracer: adoption
+        # remapped the worker-side ids, leaving no dangling references.
+        for span in spans:
+            assert span.parent_id is None or span.parent_id in by_id
+
+        records = {
+            span.name: span
+            for span in spans
+            if span.attributes.get("group") == "experiment"
+        }
+        assert sorted(records) == sorted(SUBSET)
+        for exp_id in SUBSET:
+            children = [
+                s for s in spans if s.parent_id == records[exp_id].span_id
+            ]
+            assert [c.name for c in children] == [f"experiment:{exp_id}"]
+            assert children[0].attributes == {"experiment": exp_id}
+
+    def test_worker_spans_keep_their_origin_pid(self, cached_world, shared):
+        instr = _run(cached_world, shared, jobs=4)
+        worker_pids = {
+            span.pid
+            for span in instr.tracer.finished
+            if span.name.startswith("experiment:")
+        }
+        assert os.getpid() not in worker_pids
+        # The parent-side experiment records carry the parent pid.
+        parent_pids = {
+            span.pid
+            for span in instr.tracer.finished
+            if span.attributes.get("group") == "experiment"
+        }
+        assert parent_pids == {os.getpid()}
+
+    def test_trace_is_byte_stable_modulo_timestamps(
+        self, cached_world, shared
+    ):
+        first = _run(cached_world, shared, jobs=4)
+        second = _run(cached_world, shared, jobs=4)
+        assert _skeleton(first.tracer) == _skeleton(second.tracer)
+
+    def test_serial_and_parallel_trees_match(self, cached_world, shared):
+        serial = _run(cached_world, shared, jobs=1)
+        parallel = _run(cached_world, shared, jobs=4)
+        assert _skeleton(serial.tracer) == _skeleton(parallel.tracer)

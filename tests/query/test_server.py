@@ -181,6 +181,79 @@ class TestHealthz:
         assert after == before + 1
 
 
+def _get_text(server, path):
+    host, port = server.server_address
+    with urllib.request.urlopen(f"http://{host}:{port}{path}") as reply:
+        return reply.status, reply.headers, reply.read().decode()
+
+
+class TestMetrics:
+    def test_prometheus_exposition(self, server, index):
+        prefix = next(iter(index.routes))
+        _get(server, f"/v1/status?prefix={prefix}")
+        status, headers, body = _get_text(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        # Exposition parses: every non-comment line is `name{labels} value`.
+        for line in body.splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name.startswith("repro_")
+            float(value)
+        # Core series: cache and runner families are declared up front,
+        # per-endpoint counters and the latency histogram from traffic.
+        assert "# TYPE repro_cache_hits_total counter" in body
+        assert "# TYPE repro_runner_worker_lost_total counter" in body
+        assert 'repro_server_requests_total{endpoint="status"}' in body
+        assert 'repro_server_request_seconds_bucket{endpoint="status"' in body
+        assert 'repro_server_index_entries{store="drop_prefixes"} ' in body
+        assert "repro_server_draining 0" in body
+
+    def test_scrape_counts_itself(self, server):
+        _get_text(server, "/metrics")
+        body = _get_text(server, "/metrics")[2]
+        assert 'repro_server_requests_total{endpoint="metrics"}' in body
+
+    def test_health_endpoints_never_touch_the_engine(self, server):
+        # /healthz and /metrics serve from the startup snapshot and the
+        # registry; poisoning the engine proves no request reaches it.
+        engine = self.__class__  # any non-engine object
+        original, server.engine = server.engine, engine
+        try:
+            assert _get(server, "/healthz")[0] == 200
+            assert _get_text(server, "/metrics")[0] == 200
+        finally:
+            server.engine = original
+
+
+class TestDrainRefusals:
+    def test_healthz_and_metrics_503_while_draining(self, index):
+        instr = Instrumentation()
+        srv = QueryServer(
+            QueryEngine(index, instrumentation=instr), "127.0.0.1", 0
+        )
+        thread = threading.Thread(
+            target=srv.serve_until_shutdown, daemon=True
+        )
+        thread.start()
+        try:
+            assert _get(srv, "/healthz")[0] == 200
+            # The drain window, without the shutdown: flag only.
+            srv._draining.set()
+            srv._draining_gauge.set(1)
+            status, body = _get(srv, "/healthz")
+            assert status == 503 and body["status"] == "draining"
+            host, port = srv.server_address
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"http://{host}:{port}/metrics")
+            assert excinfo.value.code == 503
+        finally:
+            srv.shutdown()
+            thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
 class TestDrain:
     def test_shutdown_joins_cleanly(self, index):
         srv = QueryServer(QueryEngine(index), "127.0.0.1", 0)

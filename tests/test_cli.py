@@ -105,3 +105,59 @@ class TestDegradedRuns:
         assert "world_cache_evictions=1" in captured.err
         # A healthy entry was re-stored: the next run is clean again.
         assert main(args) == 0
+
+
+class TestExitCodePolicy:
+    def test_enum_values(self):
+        from repro.cli import ExitCode
+
+        assert [(c.name, c.value) for c in ExitCode] == [
+            ("OK", 0), ("FAILURE", 1), ("USAGE", 2), ("DEGRADED", 3)
+        ]
+        # The pre-enum constant stays importable and equal.
+        assert EXIT_DEGRADED == ExitCode.DEGRADED == 3
+
+    def test_commands_return_exit_codes(self, capsys):
+        from repro.cli import ExitCode
+
+        assert main(["report", "--exp", "tab2"]) is ExitCode.OK
+        assert main(["report", "--exp", "nope"]) is ExitCode.USAGE
+        assert main(["query", "not-a-prefix"]) is ExitCode.USAGE
+        capsys.readouterr()
+
+
+class TestTraceExport:
+    def test_trace_flag_writes_jsonl(self, tmp_path, capsys):
+        import json as json_mod
+
+        trace = tmp_path / "trace.jsonl"
+        args = ["report", "--exp", "tab2", "--trace", str(trace)]
+        assert main(args) == 0
+        capsys.readouterr()
+        spans = [
+            json_mod.loads(line)
+            for line in trace.read_text().splitlines()
+        ]
+        assert spans
+        names = {span["name"] for span in spans}
+        assert "tab2" in names  # the experiment record span
+        # The world-resolution stage rides along (a cache-group span on
+        # a cache hit, build-group stages on a fresh build).
+        assert any(
+            span["attrs"].get("group") in ("build", "cache")
+            for span in spans
+        )
+
+    def test_trace_env_var(self, tmp_path, monkeypatch, capsys):
+        trace = tmp_path / "env-trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(trace))
+        assert main(["query", "192.0.2.0/24"]) == 0
+        capsys.readouterr()
+        assert trace.exists() and trace.read_text().strip()
+
+    def test_profile_prints_hotspots(self, capsys):
+        assert main(["report", "--exp", "tab2", "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "-- profile: world-resolve" in err
+        assert "-- profile: experiments" in err
+        assert "cumulative" in err

@@ -1,0 +1,59 @@
+"""The unified error surface: one base class, stable codes, re-exports."""
+
+import pytest
+
+import repro
+from repro.errors import CacheCorruptionError, ReproError
+
+
+@pytest.mark.parametrize(
+    ("name", "code"),
+    [
+        ("ReproError", "repro.error"),
+        ("CacheCorruptionError", "runtime.cache-corrupt"),
+        ("BatchParseError", "query.batch-parse"),
+        ("IndexLoadError", "query.index-stale"),
+        ("SubstrateLoadError", "analysis.substrate-stale"),
+        ("FaultSpecError", "runtime.fault-spec"),
+    ],
+)
+def test_stable_codes_and_repro_reexports(name, code):
+    cls = getattr(repro, name)
+    assert issubclass(cls, ReproError)
+    assert cls.code == code
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.NoSuchError
+
+
+def test_catching_the_base_class_catches_them_all():
+    from repro.query.engine import BatchParseError
+
+    with pytest.raises(ReproError) as excinfo:
+        raise BatchParseError([(0, "x", "bad")])
+    assert excinfo.value.code == "query.batch-parse"
+    # The concrete classes stay ValueErrors too, so pre-redesign
+    # callers that caught ValueError keep working.
+    assert isinstance(excinfo.value, ValueError)
+
+
+def test_cache_corruption_error_from_corrupt_entry(tmp_path):
+    from repro.runtime import WorldCache
+    from repro.synth import ScenarioConfig
+
+    cache = WorldCache(tmp_path)
+    outcome = cache.fetch(ScenarioConfig.tiny())
+    (outcome.directory / "roas.jsonl").write_text("torn{")
+    with pytest.raises(CacheCorruptionError) as excinfo:
+        cache.load_entry(outcome.directory)
+    assert excinfo.value.code == "runtime.cache-corrupt"
+    assert outcome.key in str(excinfo.value)
+    # fetch() recovers: evict and rebuild, counted as an eviction.
+    from repro.runtime import Instrumentation
+
+    instr = Instrumentation()
+    again = cache.fetch(ScenarioConfig.tiny(), instrumentation=instr)
+    assert again.status == "miss"
+    assert instr.counters["world_cache_evictions"] == 1
