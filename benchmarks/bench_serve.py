@@ -1,0 +1,365 @@
+"""Serving-tier costs: end-to-end latency and sustained throughput.
+
+Two entry points share the measurement code:
+
+* pytest-benchmark functions (``bench_serve_*``) measuring the
+  transport-independent :class:`~repro.query.http.ServerCore` dispatch
+  (the per-request work both daemons do), and
+* a standalone load harness — ``python benchmarks/bench_serve.py --out
+  BENCH_serve.json`` — that spawns the *real* daemon as a subprocess
+  (``repro-drop serve --async``), drives it over live sockets, and
+  records the PR's acceptance numbers: sustained throughput >= 10k
+  requests/second and end-to-end single-lookup p99 < 5 ms (< 1 ms is
+  also reported, the local target).
+
+The two phases measure different things on purpose.  The *latency*
+phase keeps exactly one request in flight on one keep-alive connection,
+so every sample is an honest client-observed round trip.  The
+*throughput* phase pipelines ``--depth`` requests over ``--connections``
+connections — the regime the async tier's keep-alive parsing and
+response cache are built for — and counts completed responses over the
+wall clock.  On a one-core runner the client and server timeshare the
+CPU, so pipelining is what keeps the server's accept loops saturated.
+"""
+
+import argparse
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+from pathlib import Path
+from time import perf_counter
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+
+_BANNER = re.compile(r"serving http://([\d.]+):(\d+)")
+
+#: RPS the throughput phase must sustain (the PR acceptance floor).
+TARGET_RPS = 10_000
+
+#: End-to-end p99 ceilings: the CI floor and the local expectation.
+TARGET_P99_CI_MS = 5.0
+TARGET_P99_LOCAL_MS = 1.0
+
+
+def _request_bytes(target: str) -> bytes:
+    return f"GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n".encode()
+
+
+def _read_response(sock_file) -> tuple:
+    """Consume one response off a buffered socket file.
+
+    Returns ``(status, total_bytes)`` — the byte count covers the whole
+    response on the wire (head and body), which the throughput phase
+    uses to drain repeat rounds without re-parsing.
+    """
+    status_line = sock_file.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    status = int(status_line.split(b" ")[1])
+    total = len(status_line)
+    length = 0
+    while True:
+        line = sock_file.readline()
+        total += len(line)
+        if line in (b"\r\n", b""):
+            break
+        name, _, value = line.partition(b":")
+        if name.lower() == b"content-length":
+            length = int(value)
+    if length:
+        total += len(sock_file.read(length))
+    return status, total
+
+
+class _Daemon:
+    """The served-under-test ``repro-drop serve --async`` subprocess."""
+
+    def __init__(self, scale: str, workers: int) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(_SRC) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve", "--async",
+                "--workers", str(workers), "--scale", scale, "--port", "0",
+            ],
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.address = None
+        deadline = perf_counter() + 300
+        while perf_counter() < deadline:
+            line = self.proc.stderr.readline()
+            if not line:
+                break
+            match = _BANNER.search(line)
+            if match:
+                self.address = (match.group(1), int(match.group(2)))
+                break
+        if self.address is None:
+            self.proc.kill()
+            raise RuntimeError("daemon never printed its serving banner")
+
+    def connect(self) -> socket.socket:
+        sock = socket.create_connection(self.address)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def stop(self) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            return self.proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            return self.proc.wait(timeout=10)
+
+
+def _targets(daemon, count: int = 64) -> list:
+    """``/v1/status`` targets for prefixes the daemon actually serves."""
+    sock = daemon.connect()
+    try:
+        sock.sendall(_request_bytes("/healthz"))
+        reader = sock.makefile("rb")
+        reader.readline()
+        length = 0
+        while True:
+            line = reader.readline()
+            if line in (b"\r\n", b""):
+                break
+            name, _, value = line.partition(b":")
+            if name.lower() == b"content-length":
+                length = int(value)
+        health = json.loads(reader.read(length))
+    finally:
+        sock.close()
+    start, end = health["window"]
+    # Deterministic spread over the synthetic populations (192.0.2.x is
+    # also fine: a miss is still a full lookup + serialized answer).
+    prefixes = [f"10.{i}.0.0/24" for i in range(count)]
+    days = [start, end]
+    return [
+        f"/v1/status?prefix={prefix}&on={days[i % 2]}"
+        for i, prefix in enumerate(prefixes)
+    ]
+
+
+def _percentile(sorted_values, q):
+    rank = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[rank]
+
+
+def _latency_phase(daemon, targets, samples: int) -> dict:
+    """Sequential single-in-flight round trips on one connection."""
+    sock = daemon.connect()
+    reader = sock.makefile("rb")
+    try:
+        for target in targets:  # warm the daemon's response cache
+            sock.sendall(_request_bytes(target))
+            _read_response(reader)
+        latencies = []
+        for i in range(samples):
+            target = targets[i % len(targets)]
+            started = perf_counter()
+            sock.sendall(_request_bytes(target))
+            status, _ = _read_response(reader)
+            latencies.append(perf_counter() - started)
+            assert status == 200, f"unexpected status {status}"
+    finally:
+        reader.close()
+        sock.close()
+    latencies.sort()
+    return {
+        "samples": samples,
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 4),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 4),
+        "max_ms": round(latencies[-1] * 1e3, 4),
+    }
+
+
+def _throughput_phase(
+    daemon, targets, *, connections: int, depth: int, seconds: float
+) -> dict:
+    """Pipelined load: every connection keeps ``depth`` requests in
+    flight; completed responses over the wall clock is the RPS.
+
+    The first round per connection is parsed response-by-response and
+    its total byte count recorded; the index is immutable and every
+    round repeats the identical batch, so later rounds just drain that
+    many bytes (what ``wrk``-style load generators do).  That keeps the
+    client cheap enough that the daemon — not the harness — is what the
+    one-core measurement saturates.
+    """
+    socks = [daemon.connect() for _ in range(connections)]
+    batches = []
+    round_sizes = []
+    for c, sock in enumerate(socks):
+        batch = b"".join(
+            _request_bytes(targets[(c + i) % len(targets)])
+            for i in range(depth)
+        )
+        batches.append(batch)
+        reader = sock.makefile("rb")
+        sock.sendall(batch)
+        total = 0
+        for _ in range(depth):
+            status, size = _read_response(reader)
+            assert status == 200, f"unexpected status {status}"
+            total += size
+        reader.detach()
+        round_sizes.append(total)
+    completed = connections * depth
+    started = perf_counter()
+    try:
+        while True:
+            for sock, batch, expected in zip(socks, batches, round_sizes):
+                sock.sendall(batch)
+                seen = 0
+                while seen < expected:
+                    chunk = sock.recv(expected - seen)
+                    if not chunk:
+                        raise ConnectionError("server closed mid-round")
+                    seen += len(chunk)
+                completed += depth
+            if perf_counter() - started >= seconds:
+                break
+        elapsed = perf_counter() - started
+    finally:
+        for sock in socks:
+            sock.close()
+    return {
+        "connections": connections,
+        "pipeline_depth": depth,
+        "seconds": round(elapsed, 4),
+        "requests": completed,
+        "sustained_rps": round(completed / elapsed),
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+
+def bench_serve_core_status_cached(benchmark, world):
+    """The per-request dispatch cost with a warm response cache — the
+    unit of work the throughput target is built on."""
+    from repro.query import QueryEngine, build_index
+    from repro.query.http import DEFAULT_CACHE_SIZE, ServerCore
+
+    engine = QueryEngine(build_index(world))
+    core = ServerCore(engine, cache_size=DEFAULT_CACHE_SIZE)
+    target = f"/v1/status?prefix={next(iter(engine.index.routes))}"
+    assert core.handle("GET", target, None, 0).status == 200  # warm
+    response = benchmark(lambda: core.handle("GET", target, None, 0))
+    assert response.status == 200
+
+
+def bench_serve_core_status_uncached(benchmark, world):
+    from repro.query import QueryEngine, build_index
+    from repro.query.http import ServerCore
+
+    engine = QueryEngine(build_index(world))
+    core = ServerCore(engine)  # cache off: full parse + lookup + dump
+    target = f"/v1/status?prefix={next(iter(engine.index.routes))}"
+    response = benchmark(lambda: core.handle("GET", target, None, 0))
+    assert response.status == 200
+
+
+# ---------------------------------------------------------------------------
+# standalone artifact mode
+# ---------------------------------------------------------------------------
+
+
+def run(
+    scale: str,
+    *,
+    workers: int,
+    samples: int,
+    connections: int,
+    depth: int,
+    seconds: float,
+    out: Path | None,
+) -> dict:
+    daemon = _Daemon(scale, workers)
+    try:
+        targets = _targets(daemon)
+        latency = _latency_phase(daemon, targets, samples)
+        throughput = _throughput_phase(
+            daemon,
+            targets,
+            connections=connections,
+            depth=depth,
+            seconds=seconds,
+        )
+    finally:
+        exit_code = daemon.stop()
+    payload = {
+        "scale": scale,
+        "workers": workers,
+        "latency": latency,
+        "throughput": throughput,
+        "daemon_exit_code": exit_code,
+        "meets_targets": {
+            "sustained_10k_rps": throughput["sustained_rps"] >= TARGET_RPS,
+            "p99_under_5ms": latency["p99_ms"] < TARGET_P99_CI_MS,
+            "p99_under_1ms_local": latency["p99_ms"] < TARGET_P99_LOCAL_MS,
+            "clean_drain_exit": exit_code == 0,
+        },
+    }
+    if out is not None:
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+#: ``p99_under_1ms_local`` is informational (scheduler jitter on shared
+#: CI runners), so ``--check`` gates on the other three.
+_CHECKED_TARGETS = ("sustained_10k_rps", "p99_under_5ms", "clean_drain_exit")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["tiny", "small", "paper"],
+                        default="tiny")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="async serving workers in the daemon")
+    parser.add_argument("--samples", type=int, default=2000,
+                        help="latency-phase round trips")
+    parser.add_argument("--connections", type=int, default=4,
+                        help="throughput-phase connections")
+    parser.add_argument("--depth", type=int, default=64,
+                        help="pipelined requests in flight per connection")
+    parser.add_argument("--seconds", type=float, default=5.0,
+                        help="throughput-phase duration")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: short phases")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the JSON artifact to FILE")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless the serving targets are met")
+    args = parser.parse_args(argv)
+    payload = run(
+        args.scale,
+        workers=args.workers,
+        samples=300 if args.smoke else args.samples,
+        connections=args.connections,
+        depth=args.depth,
+        seconds=1.5 if args.smoke else args.seconds,
+        out=args.out,
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.check and not all(
+        payload["meets_targets"][name] for name in _CHECKED_TARGETS
+    ):
+        print("serving targets missed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

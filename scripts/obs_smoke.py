@@ -10,6 +10,9 @@ CI runs this after the test suite.  It drives the real CLI twice:
    daemon, asserts the exposition parses as Prometheus text format
    0.0.4, and that the core cache / runner / per-endpoint series are
    present; then SIGTERMs it and asserts a clean drain.
+3. ``serve --async --workers 2`` — the same checks against the asyncio
+   tier, plus a live ``POST /v1/admin/reload`` that must flip
+   ``repro_server_reload_total`` to 1 while the daemon keeps serving.
 
 Stdlib only, exit status 0/1, every failure prints what it saw.
 """
@@ -83,11 +86,12 @@ def scrape(base, path):
         return reply.status, reply.headers, reply.read().decode()
 
 
-def check_serve():
+def check_serve(extra_args=(), *, check_reload=False):
     proc = subprocess.Popen(
-        CLI + ["serve", "--scale", "tiny", "--port", "0"],
+        CLI + ["serve", "--scale", "tiny", "--port", "0", *extra_args],
         stderr=subprocess.PIPE, text=True,
     )
+    label = "async /metrics" if extra_args else "/metrics"
     try:
         match = None
         for line in proc.stderr:
@@ -117,8 +121,26 @@ def check_serve():
         for needle in REQUIRED_METRICS:
             if needle not in body:
                 fail(f"core series missing from exposition: {needle!r}")
+        if check_reload:
+            for needle in (
+                "# TYPE repro_server_reload_total counter",
+                "# TYPE repro_server_reload_failures_total counter",
+            ):
+                if needle not in body:
+                    fail(f"reload series missing from exposition: {needle!r}")
+            request = urllib.request.Request(
+                f"{base}/v1/admin/reload", data=b"", method="POST"
+            )
+            with urllib.request.urlopen(request, timeout=60) as reply:
+                payload = json.loads(reply.read())
+            if payload.get("status") != "reloaded":
+                fail(f"admin reload answered {payload!r}")
+            _, _, body = scrape(base, "/metrics")
+            if "repro_server_reload_total 1" not in body:
+                fail("repro_server_reload_total did not reach 1 after reload")
+            print("obs-smoke: hot reload ok")
         samples = sum(1 for l in body.splitlines() if not l.startswith("#"))
-        print(f"obs-smoke: /metrics ok ({samples} samples)")
+        print(f"obs-smoke: {label} ok ({samples} samples)")
     finally:
         proc.send_signal(signal.SIGTERM)
         remaining = proc.communicate(timeout=30)[1]
@@ -133,6 +155,7 @@ def main():
     with tempfile.TemporaryDirectory(prefix="obs-smoke-") as scratch:
         check_trace(Path(scratch) / "trace.jsonl")
     check_serve()
+    check_serve(["--async", "--workers", "2"], check_reload=True)
     print("obs-smoke: PASS")
 
 

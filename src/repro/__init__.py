@@ -37,6 +37,11 @@ _ERROR_EXPORTS = {
     "IndexLoadError": "repro.query.index",
     "SubstrateLoadError": "repro.analysis.substrate",
     "FaultSpecError": "repro.runtime.faults",
+    "RequestError": "repro.query.http",
+    "BadPrefixError": "repro.query.http",
+    "BadDayError": "repro.query.http",
+    "NotFoundError": "repro.query.http",
+    "ReloadError": "repro.query.http",
 }
 
 __all__ = ["__version__", *sorted(_ERROR_EXPORTS)]

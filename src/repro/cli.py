@@ -9,6 +9,7 @@ Installed as ``repro-drop``::
     repro-drop query 192.0.2.0/24 --on 2021-06-01
     repro-drop query --stdin --format table < prefixes.txt
     repro-drop serve --port 8765
+    repro-drop serve --async --workers 4 --port 8765
 
 ``report``/``markdown``/``query``/``serve`` accept either ``--scale``
 (build a fresh world) or ``--archives DIR`` (load one previously
@@ -46,6 +47,7 @@ from .net.prefix import IPv4Prefix, PrefixError
 from .net.timeline import DateWindow, parse_date
 from .query import (
     INDEX_FILENAME,
+    AsyncQueryServer,
     BatchParseError,
     QueryEngine,
     QueryServer,
@@ -103,6 +105,19 @@ _SCALES = {
     "small": ScenarioConfig.small,
     "paper": ScenarioConfig.paper,
 }
+
+
+def _workers_arg(value: str) -> int:
+    """``--workers``: a positive int (async serving worker loops)."""
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {value!r}"
+        ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {workers}")
+    return workers
 
 
 def _jobs_arg(value: str) -> int:
@@ -500,7 +515,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     with profiled(args.profile, "query-engine"):
         engine = _query_engine(args, instr)
     try:
-        server = QueryServer(engine, args.host, args.port)
+        if args.use_async:
+            # Hot reload re-resolves the world source exactly like a
+            # fresh `serve` would (picking up changed archives or a
+            # refreshed cache entry), reusing the daemon's
+            # instrumentation so the counters and the registry stay
+            # unified across swaps.
+            server = AsyncQueryServer(
+                engine,
+                args.host,
+                args.port,
+                workers=args.workers,
+                reload_factory=lambda: _query_engine(args, instr),
+            )
+            server.start()
+            mode = f"async, {args.workers} workers, SIGHUP//v1/admin/reload"
+        else:
+            server = QueryServer(engine, args.host, args.port)
+            mode = "threaded"
     except OSError as error:
         print(f"error: cannot bind {args.host}:{args.port}: {error}",
               file=sys.stderr)
@@ -510,7 +542,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     sizes = engine.index.sizes()
     print(
         f"serving http://{host}:{port} "
-        f"(/v1/status, /v1/batch, /healthz, /metrics); "
+        f"(/v1/status, /v1/batch, /healthz, /metrics; {mode}); "
         f"{sizes['drop_prefixes']} DROP / {sizes['roa_prefixes']} ROA / "
         f"{sizes['irr_prefixes']} IRR / {sizes['route_prefixes']} BGP "
         f"prefixes indexed",
@@ -620,6 +652,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_world_source(serve_cmd)
     serve_cmd.add_argument("--host", default="127.0.0.1")
     serve_cmd.add_argument("--port", type=int, default=8765)
+    serve_cmd.add_argument(
+        "--async", dest="use_async", action="store_true",
+        help="asyncio multi-worker tier: SO_REUSEPORT workers, "
+        "keep-alive + pipelining, SIGHUP//v1/admin/reload hot reload",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=_workers_arg, default=2,
+        help="async worker event loops (default: 2; ignored without "
+        "--async)",
+    )
     serve_cmd.set_defaults(func=_cmd_serve)
 
     return parser

@@ -23,6 +23,7 @@ from __future__ import annotations
 import re
 from contextlib import contextmanager
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator
 
 from .metrics import MetricsRegistry
@@ -150,6 +151,18 @@ _CANONICAL: dict[str, tuple[str, dict, str]] = {
         "repro_server_errors_total", {"kind": "server"},
         "Requests answered with an error status, by kind.",
     ),
+    "serve_accept_errors": (
+        "repro_server_errors_total", {"kind": "accept"},
+        "Requests answered with an error status, by kind.",
+    ),
+    "serve_reloads": (
+        "repro_server_reload_total", {},
+        "Successful hot reloads of the serving index.",
+    ),
+    "serve_reload_failures": (
+        "repro_server_reload_failures_total", {},
+        "Hot reloads that failed (the old index kept serving).",
+    ),
 }
 
 #: legacy pattern -> (metric name, label name, help text)
@@ -172,8 +185,12 @@ _CANONICAL_PATTERNS: tuple[tuple[re.Pattern, str, str, str], ...] = (
 )
 
 
+@lru_cache(maxsize=512)
 def _canonical(name: str) -> tuple[str, dict, str]:
-    """The registry (metric, labels, help) for one legacy counter name."""
+    """The registry (metric, labels, help) for one legacy counter name.
+
+    Cached: the serving tier resolves two counter names per request,
+    and the pattern fallbacks below cost regex matches."""
     known = _CANONICAL.get(name)
     if known is not None:
         return known

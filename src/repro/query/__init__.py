@@ -1,4 +1,4 @@
-"""Query subsystem: point-in-time prefix lookups, batch API, daemon.
+"""Query subsystem: point-in-time prefix lookups, batch API, daemons.
 
 The serving layer on top of the runtime world cache:
 
@@ -8,16 +8,32 @@ The serving layer on top of the runtime world cache:
 * :mod:`repro.query.engine` — :class:`QueryEngine` with
   ``lookup(prefix, on=day)`` / ``lookup_many`` returning the unified
   :class:`PrefixStatus`;
-* :mod:`repro.query.server` — the ``repro-drop serve`` HTTP daemon
-  (``/v1/status``, ``/v1/batch``, ``/healthz``).
+* :mod:`repro.query.http` — :class:`ServerCore`, the
+  transport-independent request handler both daemons share (one code
+  path, byte-identical contract), plus the stable-coded request
+  errors;
+* :mod:`repro.query.server` — the threaded ``repro-drop serve`` daemon
+  (stdlib ``http.server``);
+* :mod:`repro.query.aserver` — the asyncio multi-worker tier
+  (``serve --async --workers N``) with hot reload and graceful drain.
 """
 
+from .aserver import AsyncQueryServer
 from .engine import (
     BatchParseError,
     PrefixStatus,
     QueryEngine,
     parse_query_batch,
     parse_query_line,
+)
+from .http import (
+    MAX_BATCH_BYTES,
+    BadDayError,
+    BadPrefixError,
+    NotFoundError,
+    ReloadError,
+    RequestError,
+    ServerCore,
 )
 from .index import (
     INDEX_FILENAME,
@@ -32,14 +48,22 @@ from .index import (
 from .server import QueryServer
 
 __all__ = [
+    "AsyncQueryServer",
+    "BadDayError",
+    "BadPrefixError",
     "BatchParseError",
     "INDEX_FILENAME",
     "INDEX_FORMAT",
     "IndexLoadError",
+    "MAX_BATCH_BYTES",
+    "NotFoundError",
     "PrefixStatus",
     "QueryEngine",
     "QueryIndex",
     "QueryServer",
+    "ReloadError",
+    "RequestError",
+    "ServerCore",
     "build_index",
     "load_index",
     "load_or_build_index",

@@ -1,0 +1,531 @@
+"""The asyncio serving tier: multi-worker, hot-reloadable, drainable.
+
+``repro-drop serve --async --workers N`` runs this instead of the
+threaded daemon.  N *workers* — one thread each, one asyncio event loop
+each, one ``SO_REUSEPORT`` listening socket each (kernel-level accept
+load balancing; a ``dup()`` of one socket where the option is missing)
+— share a single read-only :class:`~repro.query.http.ServerCore`, so
+every worker answers from the same immutable
+:class:`~repro.query.index.QueryIndex` with zero per-worker state.  The
+wire contract (``/v1/status``, ``/v1/batch``, ``/healthz``,
+``/metrics``, every error payload) is byte-identical to the threaded
+:class:`~repro.query.server.QueryServer` because both call the same
+core; ``tests/query/test_aserver.py`` pins the parity over live
+sockets.
+
+On top of the threaded tier's contract this adds:
+
+* **keep-alive + pipelining** — each connection handles any number of
+  HTTP/1.1 requests; a burst of pipelined requests is parsed out of the
+  connection buffer and answered in order with one coalesced write
+  (what the load harness exploits to saturate a shared CPU);
+* **hot reload** — ``SIGHUP`` or ``POST /v1/admin/reload`` builds a
+  fresh engine via ``reload_factory`` and swaps it in atomically
+  (:meth:`ServerCore.set_engine`): in-flight requests finish on the
+  index they started with, new requests see the new one, and a failed
+  rebuild (``server.reload`` fault site) leaves the old index serving
+  and bumps ``repro_server_reload_failures_total``;
+* **graceful drain** — SIGTERM/SIGINT (or :meth:`drain`) flips
+  ``/healthz`` to 503, closes the listening sockets, finishes in-flight
+  requests (answered with ``Connection: close``), closes idle
+  keep-alive connections, then stops the loops; :meth:`shutdown` makes
+  the call signature symmetric with the threaded server;
+* **per-worker spans** — each worker records its lifetime (with
+  connection/request tallies) in a private tracer, re-homed into the
+  run's span tree on shutdown exactly like the parallel runner's
+  worker spans.
+
+``server.accept`` is a fault site at connection admission: an armed
+``io-error`` drops the connection (counted as
+``repro_server_errors_total{kind="accept"}``) without touching the
+accept loop, and a ``slow`` fault holds a connection open — how the
+drain tests pin "in-flight requests finish".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import socket
+import threading
+from time import perf_counter
+
+from ..obs import Tracer
+from ..runtime.faults import fault_point
+from .engine import QueryEngine
+from .http import (
+    DEFAULT_CACHE_SIZE,
+    MAX_BATCH_BYTES,
+    ReloadError,
+    Response,
+    ServerCore,
+)
+
+__all__ = ["AsyncQueryServer"]
+
+#: Seconds a drain waits for in-flight requests before cutting them off.
+DRAIN_GRACE_SECONDS = 10.0
+
+#: Largest accepted request head (request line + headers), in bytes;
+#: also the asyncio stream high-water mark.
+_MAX_HEAD_BYTES = 64 * 1024
+
+#: Bytes pulled off a connection per read.
+_READ_CHUNK = 256 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_BAD_REQUEST_BODY = (
+    b'{"code": "query.bad-request", "error": "malformed HTTP request"}'
+)
+
+
+def _head_bytes(response: Response, *, close: bool) -> bytes:
+    head = (
+        f"HTTP/1.1 {response.status} "
+        f"{_REASONS.get(response.status, 'OK')}\r\n"
+        f"Content-Type: {response.content_type}\r\n"
+        f"Content-Length: {len(response.body)}\r\n"
+    )
+    if close:
+        head += "Connection: close\r\n"
+    return (head + "\r\n").encode("latin-1")
+
+
+def _parse_head(blob: bytes) -> tuple[str, str, bool, int]:
+    """``(method, target, keep_alive, content_length)`` from one head.
+
+    Raises :class:`ValueError` for anything that is not a plausible
+    HTTP/1.x request head — the connection is answered with one 400 and
+    closed (a byte-stream desync is not recoverable).
+    """
+    lines = blob.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ValueError(f"bad request line {lines[0]!r}")
+    method, target, version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length") or 0)
+    connection = headers.get("connection", "").lower()
+    keep_alive = (
+        connection != "close"
+        if version == "HTTP/1.1"
+        else connection == "keep-alive"
+    )
+    return method, target, keep_alive, length
+
+
+class _Worker:
+    """One serving worker: a thread running one event loop."""
+
+    def __init__(self, wid: int) -> None:
+        self.wid = wid
+        self.sock: socket.socket | None = None
+        self.thread: threading.Thread | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self.stop_event: asyncio.Event | None = None
+        self.ready = threading.Event()
+        self.error: BaseException | None = None
+        self.connections = 0
+        self.requests = 0
+        self.spans: tuple[dict, ...] = ()
+
+
+class AsyncQueryServer:
+    """The asyncio multi-worker daemon around one shared core.
+
+    ``port=0`` binds an ephemeral port; :attr:`server_address` holds
+    the bound address after :meth:`start`.  ``reload_factory`` — a
+    zero-argument callable returning a fresh :class:`QueryEngine` — is
+    what enables ``SIGHUP`` / ``POST /v1/admin/reload``; without it the
+    admin endpoint stays 404 and SIGHUP is ignored.  The factory should
+    reuse the serving engine's :class:`~repro.obs.Instrumentation` so
+    the daemon's counters stay unified across reloads (the CLI does).
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        workers: int = 2,
+        reload_factory=None,
+        verbose: bool = False,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.reload_factory = reload_factory
+        self.core = ServerCore(
+            engine,
+            verbose=verbose,
+            reloader=self.reload if reload_factory is not None else None,
+            cache_size=cache_size,
+        )
+        self.instrumentation = self.core.instrumentation
+        self.registry = self.core.registry
+        self._host, self._port = host, port
+        self._workers: list[_Worker] = [
+            _Worker(wid) for wid in range(workers)
+        ]
+        self._reload_lock = threading.Lock()
+        self._started = False
+        self._drain_started = threading.Event()
+        self.server_address: tuple[str, int] | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self.core.draining.is_set()
+
+    @property
+    def engine(self) -> QueryEngine:
+        return self.core.engine
+
+    def _bind_sockets(self) -> list[socket.socket]:
+        """One listening socket per worker, all on the same port.
+
+        ``SO_REUSEPORT`` gives each worker its own accept queue (the
+        kernel balances connections); platforms without it share one
+        queue via ``dup()`` — both cases leave the request path
+        identical.
+        """
+        reuseport = hasattr(socket, "SO_REUSEPORT") and len(self._workers) > 1
+        first = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            first.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if reuseport:
+                first.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            first.bind((self._host, self._port))
+            first.listen(1024)
+            first.setblocking(False)
+        except BaseException:
+            first.close()
+            raise
+        address = first.getsockname()
+        sockets = [first]
+        try:
+            for _ in range(1, len(self._workers)):
+                if reuseport:
+                    extra = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                    extra.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+                    )
+                    extra.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+                    )
+                    extra.bind(address)
+                    extra.listen(1024)
+                else:
+                    extra = first.dup()
+                extra.setblocking(False)
+                sockets.append(extra)
+        except BaseException:
+            for sock in sockets:
+                sock.close()
+            raise
+        self.server_address = address[:2]
+        return sockets
+
+    def start(self) -> None:
+        """Bind and start every worker; returns once all are accepting."""
+        if self._started:
+            return
+        sockets = self._bind_sockets()
+        self._started = True
+        for worker, sock in zip(self._workers, sockets):
+            worker.sock = sock
+            worker.thread = threading.Thread(
+                target=self._worker_run,
+                args=(worker,),
+                name=f"repro-aserve-{worker.wid}",
+                daemon=True,
+            )
+            worker.thread.start()
+        for worker in self._workers:
+            if not worker.ready.wait(timeout=30) or worker.error is not None:
+                self.drain()
+                raise RuntimeError(
+                    f"worker {worker.wid} failed to start: {worker.error}"
+                )
+
+    def serve_until_shutdown(self) -> None:
+        """Serve until :meth:`drain` (or a drain signal), then clean up."""
+        self.start()
+        started = perf_counter()
+        for worker in self._workers:
+            worker.thread.join()
+        # Re-home every worker's spans under one parent, exactly like
+        # the runner adopts experiment-worker spans.
+        tracer = self.instrumentation.tracer
+        parent = self.instrumentation.record(
+            "serve-async", perf_counter() - started, group="server"
+        )
+        for worker in self._workers:
+            tracer.adopt(worker.spans, parent_id=parent.span_id)
+
+    def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight, stop.
+
+        Idempotent; safe from any thread (including signal-handler
+        helper threads).  Blocks only long enough to post the stop
+        request to each loop — :meth:`serve_until_shutdown` (or
+        :meth:`shutdown`'s caller joining the serving thread) observes
+        completion.
+        """
+        first = self.core.start_drain()
+        if not first and self._drain_started.is_set():
+            return
+        self._drain_started.set()
+        for worker in self._workers:
+            if worker.thread is not None:
+                # A worker that is still booting publishes its loop and
+                # stop event before flipping ready — wait it out so the
+                # stop request cannot fall between the cracks.
+                worker.ready.wait(timeout=5)
+            loop, stop = worker.loop, worker.stop_event
+            if loop is not None and stop is not None and loop.is_running():
+                loop.call_soon_threadsafe(stop.set)
+
+    def shutdown(self) -> None:
+        """Alias for :meth:`drain` (signature parity with QueryServer)."""
+        self.drain()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT drain; SIGHUP hot-reloads (main thread only)."""
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, self._handle_drain_signal)
+        if hasattr(signal, "SIGHUP") and self.reload_factory is not None:
+            signal.signal(signal.SIGHUP, self._handle_hup)
+
+    def _handle_drain_signal(self, signum, frame) -> None:
+        # drain() only posts to the loops, but joining happens in
+        # serve_until_shutdown — keep the handler minimal anyway.
+        threading.Thread(target=self.drain, daemon=True).start()
+
+    def _handle_hup(self, signum, frame) -> None:
+        threading.Thread(target=self._reload_quietly, daemon=True).start()
+
+    def _reload_quietly(self) -> None:
+        with contextlib.suppress(ReloadError):
+            self.reload()
+
+    # -- hot reload --------------------------------------------------------
+
+    def reload(self) -> dict:
+        """Build a fresh engine and swap it in; the hot-reload entry.
+
+        Serialized (one rebuild at a time); on any failure the old
+        engine keeps serving, ``serve_reload_failures`` is counted, and
+        :class:`ReloadError` is raised — ``POST /v1/admin/reload``
+        renders it as a 500 with the stable ``query.reload-failed``
+        code.  Returns the new health snapshot on success.
+        """
+        if self.reload_factory is None:
+            raise ReloadError("no reload factory configured")
+        instr = self.instrumentation
+        with self._reload_lock:
+            try:
+                fault_point("server.reload", instrumentation=instr)
+                engine = self.reload_factory()
+            except Exception as error:
+                instr.incr("serve_reload_failures")
+                raise ReloadError(
+                    f"reload failed: {type(error).__name__}: {error}"
+                ) from error
+            snapshot = self.core.set_engine(engine)
+            instr.incr("serve_reloads")
+            return snapshot
+
+    # -- worker internals --------------------------------------------------
+
+    def _worker_run(self, worker: _Worker) -> None:
+        tracer = Tracer()
+        loop = asyncio.new_event_loop()
+        worker.loop = loop
+        try:
+            with tracer.span("server-worker", worker=worker.wid) as span:
+                loop.run_until_complete(self._worker_main(worker))
+                span.attributes["connections"] = worker.connections
+                span.attributes["requests"] = worker.requests
+        except BaseException as error:  # pragma: no cover - startup failures
+            worker.error = error
+            worker.ready.set()
+        finally:
+            with contextlib.suppress(Exception):
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+            worker.spans = tracer.export()
+
+    async def _worker_main(self, worker: _Worker) -> None:
+        loop = asyncio.get_running_loop()
+        worker.stop_event = asyncio.Event()
+        active: set[asyncio.StreamWriter] = set()
+        busy: set[asyncio.StreamWriter] = set()
+
+        async def handle(reader, writer):
+            await self._connection(worker, reader, writer, active, busy)
+
+        server = await asyncio.start_server(
+            handle, sock=worker.sock, limit=_MAX_HEAD_BYTES
+        )
+        worker.ready.set()
+        await worker.stop_event.wait()
+        server.close()
+        await server.wait_closed()
+        # In-flight requests finish (answered with Connection: close);
+        # idle keep-alive connections are cut.  Give bytes that already
+        # reached the process a beat to hit their handlers first — a
+        # request can be sitting in a connection's reader before that
+        # connection ever marked itself busy.
+        await asyncio.sleep(0.05)
+        for writer in list(active):
+            if writer not in busy:
+                writer.close()
+        deadline = loop.time() + DRAIN_GRACE_SECONDS
+        while active and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        for writer in list(active):  # pragma: no cover - grace expiry
+            writer.close()
+
+    async def _connection(
+        self,
+        worker: _Worker,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        active: set,
+        busy: set,
+    ) -> None:
+        core = self.core
+        active.add(writer)
+        worker.connections += 1
+        try:
+            try:
+                fault_point(
+                    "server.accept", instrumentation=core.instrumentation
+                )
+            except Exception:
+                core.instrumentation.incr("serve_accept_errors")
+                return
+            buffer = bytearray()
+            while True:
+                try:
+                    chunk = await reader.read(_READ_CHUNK)
+                except ConnectionError:
+                    break
+                if not chunk:
+                    break
+                buffer += chunk
+                busy.add(writer)
+                try:
+                    close = await self._answer_buffered(
+                        worker, reader, writer, buffer
+                    )
+                finally:
+                    busy.discard(writer)
+                if close:
+                    break
+        finally:
+            busy.discard(writer)
+            active.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _answer_buffered(
+        self, worker, reader, writer, buffer: bytearray
+    ) -> bool:
+        """Answer every complete request in ``buffer``; True to close.
+
+        Pipelined requests are answered in order with *one* coalesced
+        write per burst — on a single shared CPU, per-response writes
+        cost a scheduler round trip each (the peer wakes per segment),
+        which is the difference between ~5k and well past 10k RPS.
+        """
+        core = self.core
+        out: list[bytes] = []
+        close = False
+        while not close:
+            split = buffer.find(b"\r\n\r\n")
+            if split < 0:
+                if len(buffer) > _MAX_HEAD_BYTES:
+                    core.instrumentation.incr("serve_client_errors")
+                    response = Response(
+                        400, "application/json", _BAD_REQUEST_BODY
+                    )
+                    out.append(
+                        _head_bytes(response, close=True) + response.body
+                    )
+                    close = True
+                break
+            head = bytes(buffer[: split + 4])
+            del buffer[: split + 4]
+            try:
+                method, target, keep_alive, length = _parse_head(head)
+            except ValueError:
+                core.instrumentation.incr("serve_client_errors")
+                response = Response(400, "application/json", _BAD_REQUEST_BODY)
+                out.append(_head_bytes(response, close=True) + response.body)
+                close = True
+                break
+            body = None
+            if 0 < length <= MAX_BATCH_BYTES:
+                while len(buffer) < length:
+                    try:
+                        chunk = await reader.read(_READ_CHUNK)
+                    except ConnectionError:
+                        chunk = b""
+                    if not chunk:  # truncated body: nothing to answer
+                        return True
+                    buffer += chunk
+                body = bytes(buffer[:length])
+                del buffer[:length]
+            if target.startswith("/v1/admin/"):
+                # Reloads rebuild an index — seconds, not microseconds —
+                # so they run on an executor thread; this worker's loop
+                # keeps answering lookups mid-reload (the zero-downtime
+                # property).  Flush answered requests first so they are
+                # not held hostage by the rebuild.
+                if out:
+                    writer.write(b"".join(out))
+                    out = []
+                    try:
+                        await writer.drain()
+                    except ConnectionError:
+                        return True
+                loop = asyncio.get_running_loop()
+                response = await loop.run_in_executor(
+                    None, core.handle, method, target, body, length
+                )
+            else:
+                response = core.handle(method, target, body, length)
+            worker.requests += 1
+            # An unread oversize body desyncs the stream: answer, close.
+            close = (
+                not keep_alive
+                or length > MAX_BATCH_BYTES
+                or core.draining.is_set()
+            )
+            out.append(_head_bytes(response, close=close) + response.body)
+        if out:
+            writer.write(b"".join(out))
+            try:
+                await writer.drain()
+            except ConnectionError:
+                return True
+        return close

@@ -1,0 +1,403 @@
+"""The transport-independent serving core shared by both daemons.
+
+``repro-drop serve`` exists twice: the threaded stdlib daemon
+(:class:`~repro.query.server.QueryServer`) and the asyncio multi-worker
+tier (:class:`~repro.query.aserver.AsyncQueryServer`).  Their wire
+contract — every endpoint, every success body, every error payload —
+must be byte-identical, so the request handling lives here exactly
+once: a :class:`ServerCore` owns the engine reference, the health
+snapshot, the metrics wiring, the drain flag, and a bounded response
+cache, and maps one parsed request onto one :class:`Response`.  The two
+servers are thin transports: they read bytes off a socket, call
+:meth:`ServerCore.handle`, and write the response back.
+
+Client errors are :class:`ReproError` subclasses with stable codes
+(``query.bad-prefix``, ``query.bad-day``, ``query.bad-request``,
+``query.not-found``), and every error body has the same shape::
+
+    {"code": "<subsystem>.<condition>", "error": "<human message>"}
+
+The engine reference swaps atomically: requests grab one immutable
+``(engine, snapshot, cache)`` state tuple at dispatch, so a hot reload
+(:meth:`ServerCore.set_engine`) can never produce a torn answer — an
+in-flight request finishes entirely on the state it started with.  The
+response cache rides inside the state tuple for the same reason: a slow
+request racing a reload can only populate the *old* state's cache,
+which the swap orphans wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from datetime import date
+from time import perf_counter
+from typing import Callable, NamedTuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..errors import ReproError
+from ..net.prefix import IPv4Prefix, PrefixError
+from ..net.timeline import parse_date
+from .engine import BatchParseError, QueryEngine
+
+__all__ = [
+    "MAX_BATCH_BYTES",
+    "PROMETHEUS_CONTENT_TYPE",
+    "BadDayError",
+    "BadPrefixError",
+    "NotFoundError",
+    "ReloadError",
+    "RequestError",
+    "Response",
+    "ServerCore",
+    "error_payload",
+    "parse_day",
+    "parse_prefix",
+]
+
+#: Largest accepted ``/v1/batch`` request body, in bytes.
+MAX_BATCH_BYTES = 8 << 20
+
+#: The exposition content type ``GET /metrics`` answers with.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Default capacity of the per-engine response cache (entries).  The
+#: index is immutable, so a ``/v1/status`` answer for one raw request
+#: target never changes until a reload swaps the engine (which swaps
+#: the cache with it).
+DEFAULT_CACHE_SIZE = 65536
+
+
+class RequestError(ReproError, ValueError):
+    """A malformed request: reported with :attr:`http_status` and a
+    stable ``.code`` in the JSON error body."""
+
+    code = "query.bad-request"
+    http_status = 400
+
+
+class BadPrefixError(RequestError):
+    """A missing or unparseable ``prefix`` argument."""
+
+    code = "query.bad-prefix"
+
+
+class BadDayError(RequestError):
+    """An ``on`` argument that is not a valid calendar date."""
+
+    code = "query.bad-day"
+
+
+class NotFoundError(RequestError):
+    """A request for a path/method pair no endpoint answers."""
+
+    code = "query.not-found"
+    http_status = 404
+
+
+class ReloadError(ReproError, RuntimeError):
+    """A hot reload that failed; the old index keeps serving."""
+
+    code = "query.reload-failed"
+    http_status = 500
+
+
+def error_payload(error: ReproError) -> dict:
+    """The uniform JSON error body: stable code plus human message."""
+    return {"code": error.code, "error": str(error)}
+
+
+def parse_day(args: dict, *, default: date) -> date:
+    """The ``on`` argument as a date (``default`` when absent)."""
+    raw = args.get("on")
+    if raw is None:
+        return default
+    try:
+        return parse_date(str(raw))
+    except ValueError as error:
+        raise BadDayError(str(error)) from None
+
+
+def parse_prefix(raw: object) -> IPv4Prefix:
+    """The ``prefix`` argument, required and parseable."""
+    if not isinstance(raw, str) or not raw:
+        raise BadPrefixError("missing prefix")
+    try:
+        return IPv4Prefix.parse(raw)
+    except PrefixError as error:
+        raise BadPrefixError(str(error)) from None
+
+
+class Response(NamedTuple):
+    """One finished HTTP response, transport-agnostic."""
+
+    status: int
+    content_type: str
+    body: bytes
+
+
+def _json_response(status: int, payload: dict) -> Response:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return Response(status, "application/json", body)
+
+
+class _State(NamedTuple):
+    """What one request dispatch sees, swapped atomically on reload."""
+
+    engine: QueryEngine
+    snapshot: dict
+    cache: "OrderedDict[str, Response]"
+
+
+def _snapshot(engine: QueryEngine) -> dict:
+    """The engine-free ``/healthz`` facts: window bounds, store sizes."""
+    index = engine.index
+    return {
+        "window": [
+            index.window.start.isoformat(),
+            index.window.end.isoformat(),
+        ],
+        "index": index.sizes(),
+    }
+
+
+class ServerCore:
+    """Engine, snapshot, metrics, drain state, and request dispatch.
+
+    One core serves every transport thread (and every asyncio worker
+    loop) of one daemon.  ``reloader`` — when the daemon supports hot
+    reload — is a callable returning the fresh health snapshot; it
+    backs ``POST /v1/admin/reload`` (404 when absent, so the threaded
+    daemon's surface is unchanged).  ``cache_size=0`` disables the
+    response cache.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        *,
+        verbose: bool = False,
+        reloader: Callable[[], dict] | None = None,
+        cache_size: int = 0,
+    ) -> None:
+        self.instrumentation = engine.instrumentation
+        self.registry = self.instrumentation.registry
+        self.verbose = verbose
+        self.reloader = reloader
+        self.cache_size = cache_size
+        self.draining = threading.Event()
+        self._cache_lock = threading.Lock()
+        self._state = _State(engine, _snapshot(engine), OrderedDict())
+        self._index_entries = self.registry.gauge(
+            "repro_server_index_entries",
+            help="Entries in the served query index, by store.",
+            labels=("store",),
+        )
+        self._publish_snapshot(self._state.snapshot)
+        self.draining_gauge = self.registry.gauge(
+            "repro_server_draining",
+            help="1 while the server is draining after SIGTERM/SIGINT.",
+        )
+        self.draining_gauge.set(0)
+        self.request_seconds = self.registry.histogram(
+            "repro_server_request_seconds",
+            help="Request handling latency, by endpoint.",
+            labels=("endpoint",),
+        )
+
+    # -- engine state ------------------------------------------------------
+
+    @property
+    def engine(self) -> QueryEngine:
+        return self._state.engine
+
+    @property
+    def health_snapshot(self) -> dict:
+        return self._state.snapshot
+
+    def set_engine(
+        self, engine: QueryEngine, *, refresh_snapshot: bool = True
+    ) -> dict:
+        """Atomically swap the served engine (the hot-reload primitive).
+
+        In-flight requests finish on the state they grabbed at dispatch;
+        new requests see the new engine, snapshot, and an empty response
+        cache.  Returns the published snapshot.
+        """
+        old = self._state
+        snapshot = _snapshot(engine) if refresh_snapshot else old.snapshot
+        self._state = _State(engine, snapshot, OrderedDict())
+        if refresh_snapshot:
+            self._publish_snapshot(snapshot)
+        return snapshot
+
+    def _publish_snapshot(self, snapshot: dict) -> None:
+        for store, count in snapshot["index"].items():
+            self._index_entries.set(count, store=store)
+
+    def start_drain(self) -> bool:
+        """Flip to draining (healthz 503); True on the first call only."""
+        if self.draining.is_set():
+            return False
+        self.draining.set()
+        self.draining_gauge.set(1)
+        self.instrumentation.incr("serve_drains")
+        return True
+
+    # -- dispatch ----------------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        target: str,
+        body: bytes | None,
+        content_length: int,
+    ) -> Response:
+        """One request, one response.
+
+        ``target`` is the raw request target (path plus query string);
+        ``body`` is the request body when the transport read one (POSTs
+        within :data:`MAX_BATCH_BYTES` only), ``content_length`` the
+        declared length either way — the size-limit errors are raised
+        here so both transports report them identically.
+        """
+        url = urlsplit(target)
+        if method == "GET":
+            if url.path == "/v1/status":
+                return self._timed(
+                    "status", lambda: self._status(url.query, target)
+                )
+            if url.path == "/healthz":
+                return self._timed("healthz", self._healthz)
+            if url.path == "/metrics":
+                return self._timed("metrics", self._metrics)
+        elif method == "POST":
+            if url.path == "/v1/batch":
+                return self._timed(
+                    "batch", lambda: self._batch(body, content_length)
+                )
+            if url.path == "/v1/admin/reload" and self.reloader is not None:
+                return self._timed("reload", self._admin_reload)
+        self.instrumentation.incr("serve_client_errors")
+        return _json_response(
+            404, error_payload(NotFoundError(f"unknown path {url.path}"))
+        )
+
+    def _timed(self, endpoint: str, handler) -> Response:
+        instr = self.instrumentation
+        started = perf_counter()
+        try:
+            return handler()
+        except (RequestError, BatchParseError) as error:
+            instr.incr("serve_client_errors")
+            return _json_response(
+                getattr(error, "http_status", 400), error_payload(error)
+            )
+        except Exception as error:  # pragma: no cover - defensive
+            instr.incr("serve_server_errors")
+            return _json_response(
+                500,
+                {
+                    "code": "query.internal",
+                    "error": f"{type(error).__name__}: {error}",
+                },
+            )
+        finally:
+            elapsed = perf_counter() - started
+            self.request_seconds.observe(elapsed, endpoint=endpoint)
+            instr.incr(f"serve_{endpoint}_requests")
+            instr.incr(f"serve_{endpoint}_us_total", int(elapsed * 1e6))
+
+    # -- endpoints ---------------------------------------------------------
+
+    def _status(self, query: str, target: str) -> Response:
+        state = self._state
+        if self.cache_size:
+            with self._cache_lock:
+                cached = state.cache.get(target)
+                if cached is not None:
+                    state.cache.move_to_end(target)
+                    return cached
+        args = {k: v[-1] for k, v in parse_qs(query).items()}
+        prefix = parse_prefix(args.get("prefix"))
+        day = parse_day(args, default=state.engine.default_day)
+        response = _json_response(
+            200, state.engine.lookup(prefix, day).to_dict()
+        )
+        if self.cache_size:
+            with self._cache_lock:
+                state.cache[target] = response
+                while len(state.cache) > self.cache_size:
+                    state.cache.popitem(last=False)
+        return response
+
+    def _batch(self, body: bytes | None, content_length: int) -> Response:
+        state = self._state
+        engine = state.engine
+        if content_length <= 0:
+            raise RequestError("missing request body")
+        if content_length > MAX_BATCH_BYTES:
+            raise RequestError(f"batch body over {MAX_BATCH_BYTES} bytes")
+        assert body is not None  # transports read bodies within the cap
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as error:
+            raise RequestError(f"bad JSON body: {error}") from None
+        queries = (
+            payload.get("queries") if isinstance(payload, dict) else payload
+        )
+        if not isinstance(queries, list):
+            raise RequestError('expected {"queries": [...]} or a JSON list')
+        # Validate the whole batch before answering any of it, so one
+        # response names every malformed item — not just the first.
+        pairs: list[tuple[IPv4Prefix, date]] = []
+        errors: list[tuple[int, str, str]] = []
+        for position, item in enumerate(queries):
+            if isinstance(item, str):
+                item = {"prefix": item}
+            if not isinstance(item, dict):
+                errors.append((position, repr(item), "bad query item"))
+                continue
+            try:
+                pairs.append(
+                    (
+                        parse_prefix(item.get("prefix")),
+                        parse_day(item, default=engine.default_day),
+                    )
+                )
+            except RequestError as error:
+                errors.append((position, repr(item), str(error)))
+        if errors:
+            raise BatchParseError(errors)
+        results = engine.lookup_many(pairs)
+        return _json_response(
+            200, {"results": [status.to_dict() for status in results]}
+        )
+
+    def _healthz(self) -> Response:
+        # Registry/snapshot state only — no engine, no lookup path.
+        state = self._state
+        draining = self.draining.is_set()
+        payload = {
+            "status": "draining" if draining else "ok",
+            "counters": dict(self.instrumentation.counters),
+        }
+        payload.update(state.snapshot)
+        return _json_response(503 if draining else 200, payload)
+
+    def _metrics(self) -> Response:
+        if self.draining.is_set():
+            return _json_response(
+                503, {"code": "query.draining", "error": "draining"}
+            )
+        return Response(
+            200, PROMETHEUS_CONTENT_TYPE, self.registry.expose().encode()
+        )
+
+    def _admin_reload(self) -> Response:
+        try:
+            snapshot = self.reloader()
+        except ReloadError as error:
+            return _json_response(error.http_status, error_payload(error))
+        return _json_response(200, {"status": "reloaded", **snapshot})

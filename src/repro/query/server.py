@@ -1,4 +1,4 @@
-"""The serving daemon: the batch API behind three HTTP endpoints.
+"""The threaded serving daemon: one transport over the shared core.
 
 A stdlib-only (``http.server``) daemon exposing the
 :class:`~repro.query.engine.QueryEngine` for interactive traffic:
@@ -11,195 +11,67 @@ A stdlib-only (``http.server``) daemon exposing the
 * ``GET /metrics`` — the run's :class:`~repro.obs.MetricsRegistry` in
   Prometheus text format (0.0.4).
 
-The engine's index is immutable, so one engine serves every handler
-thread without locks.  Per-request timing flows into the run's
-:class:`~repro.obs.Instrumentation` — legacy per-endpoint counters for
-the ``/healthz`` body plus a ``repro_server_request_seconds`` histogram
-in the registry — rather than per-request stage records, so a
-long-running daemon's memory stays flat.  ``/healthz`` and ``/metrics``
-never touch the engine: the index facts they report are snapshotted
-once at startup (the index cannot change), so a health probe or a
-scrape costs no lookup-path allocations.  SIGTERM/SIGINT drain
-gracefully: both endpoints flip to 503 so load balancers stop sending
-traffic, the accept loop stops, in-flight requests finish, then the
-socket closes.
+All request handling — parsing, validation, the JSON bodies, the error
+payload shape, the per-endpoint metrics — lives in
+:class:`~repro.query.http.ServerCore`, shared byte-for-byte with the
+asyncio tier (:mod:`repro.query.aserver`); this module only adapts the
+stdlib handler API onto it.  The engine's index is immutable, so one
+core serves every handler thread without locks, and ``/healthz`` /
+``/metrics`` never touch the engine: they read the startup snapshot and
+the registry.  SIGTERM/SIGINT drain gracefully: both endpoints flip to
+503 so load balancers stop sending traffic, the accept loop stops,
+in-flight requests finish, then the socket closes.
 """
 
 from __future__ import annotations
 
-import json
 import signal
 import threading
-from datetime import date
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from time import perf_counter
-from urllib.parse import parse_qs, urlsplit
 
-from ..net.prefix import IPv4Prefix, PrefixError
-from ..net.timeline import parse_date
-from .engine import BatchParseError, QueryEngine
+from .engine import QueryEngine
+from .http import MAX_BATCH_BYTES, Response, ServerCore
 
 __all__ = ["QueryServer"]
 
-#: Largest accepted ``/v1/batch`` request body, in bytes.
-_MAX_BATCH_BYTES = 8 << 20
-
-
-class _BadRequest(ValueError):
-    """A client error: reported as 400 with a JSON message."""
-
-
-def _parse_day(args: dict, *, default: date) -> date:
-    raw = args.get("on")
-    if raw is None:
-        return default
-    try:
-        return parse_date(str(raw))
-    except ValueError as error:
-        raise _BadRequest(str(error)) from None
-
-
-def _parse_prefix(raw: object) -> IPv4Prefix:
-    if not isinstance(raw, str) or not raw:
-        raise _BadRequest("missing prefix")
-    try:
-        return IPv4Prefix.parse(raw)
-    except PrefixError as error:
-        raise _BadRequest(str(error)) from None
+#: Re-exported for backward compatibility (the limit now lives in
+#: :mod:`repro.query.http`, next to the handler that enforces it).
+_MAX_BATCH_BYTES = MAX_BATCH_BYTES
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """One request; the engine hangs off the server object."""
+    """One request; the shared core hangs off the server object."""
 
     server: "QueryServer"  # type: ignore[assignment]
     protocol_version = "HTTP/1.1"
 
-    # -- plumbing ----------------------------------------------------------
-
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        if self.server.verbose:  # pragma: no cover - log formatting
+        if self.server.core.verbose:  # pragma: no cover - log formatting
             super().log_message(format, *args)
 
-    def _reply(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
+    def _dispatch(self, method: str) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = None
+        if method == "POST" and 0 < length <= MAX_BATCH_BYTES:
+            body = self.rfile.read(length)
+        response: Response = self.server.core.handle(
+            method, self.path, body, length
+        )
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
         self.end_headers()
-        self.wfile.write(body)
-
-    def _timed(self, endpoint: str, handler) -> None:
-        instr = self.server.instrumentation
-        started = perf_counter()
-        try:
-            handler()
-        except _BadRequest as error:
-            instr.incr("serve_client_errors")
-            self._reply(400, {"error": str(error)})
-        except Exception as error:  # pragma: no cover - defensive
-            instr.incr("serve_server_errors")
-            self._reply(500, {"error": f"{type(error).__name__}: {error}"})
-        finally:
-            elapsed = perf_counter() - started
-            self.server.request_seconds.observe(elapsed, endpoint=endpoint)
-            instr.incr(f"serve_{endpoint}_requests")
-            instr.incr(f"serve_{endpoint}_us_total", int(elapsed * 1e6))
-
-    # -- endpoints ---------------------------------------------------------
+        self.wfile.write(response.body)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        url = urlsplit(self.path)
-        if url.path == "/v1/status":
-            self._timed("status", lambda: self._status(url.query))
-        elif url.path == "/healthz":
-            self._timed("healthz", self._healthz)
-        elif url.path == "/metrics":
-            self._timed("metrics", self._metrics)
-        else:
-            self.server.instrumentation.incr("serve_client_errors")
-            self._reply(404, {"error": f"unknown path {url.path}"})
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        url = urlsplit(self.path)
-        if url.path == "/v1/batch":
-            self._timed("batch", self._batch)
-        else:
-            self.server.instrumentation.incr("serve_client_errors")
-            self._reply(404, {"error": f"unknown path {url.path}"})
-
-    def _status(self, query: str) -> None:
-        engine = self.server.engine
-        args = {k: v[-1] for k, v in parse_qs(query).items()}
-        prefix = _parse_prefix(args.get("prefix"))
-        day = _parse_day(args, default=engine.default_day)
-        self._reply(200, engine.lookup(prefix, day).to_dict())
-
-    def _batch(self) -> None:
-        engine = self.server.engine
-        length = int(self.headers.get("Content-Length") or 0)
-        if length <= 0:
-            raise _BadRequest("missing request body")
-        if length > _MAX_BATCH_BYTES:
-            raise _BadRequest(f"batch body over {_MAX_BATCH_BYTES} bytes")
-        try:
-            payload = json.loads(self.rfile.read(length))
-        except json.JSONDecodeError as error:
-            raise _BadRequest(f"bad JSON body: {error}") from None
-        queries = (
-            payload.get("queries") if isinstance(payload, dict) else payload
-        )
-        if not isinstance(queries, list):
-            raise _BadRequest('expected {"queries": [...]} or a JSON list')
-        # Validate the whole batch before answering any of it, so one
-        # response names every malformed item — not just the first.
-        pairs: list[tuple[IPv4Prefix, date]] = []
-        errors: list[tuple[int, str, str]] = []
-        for position, item in enumerate(queries):
-            if isinstance(item, str):
-                item = {"prefix": item}
-            if not isinstance(item, dict):
-                errors.append((position, repr(item), "bad query item"))
-                continue
-            try:
-                pairs.append(
-                    (
-                        _parse_prefix(item.get("prefix")),
-                        _parse_day(item, default=engine.default_day),
-                    )
-                )
-            except _BadRequest as error:
-                errors.append((position, repr(item), str(error)))
-        if errors:
-            raise _BadRequest(str(BatchParseError(errors)))
-        results = engine.lookup_many(pairs)
-        self._reply(200, {"results": [status.to_dict() for status in results]})
-
-    def _healthz(self) -> None:
-        # Registry/snapshot state only — no engine, no lookup path.
-        draining = self.server.draining
-        payload = {
-            "status": "draining" if draining else "ok",
-            "counters": dict(self.server.instrumentation.counters),
-        }
-        payload.update(self.server.health_snapshot)
-        self._reply(503 if draining else 200, payload)
-
-    def _metrics(self) -> None:
-        if self.server.draining:
-            self._reply(503, {"error": "draining"})
-            return
-        body = self.server.registry.expose().encode("utf-8")
-        self.send_response(200)
-        self.send_header(
-            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
-        )
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        self._dispatch("POST")
 
 
 class QueryServer(ThreadingHTTPServer):
-    """The daemon: a threading HTTP server wrapping one engine.
+    """The daemon: a threading HTTP server wrapping one shared core.
 
     ``port=0`` binds an ephemeral port (tests); :attr:`server_address`
     holds the bound address either way.  ``block_on_close`` (the
@@ -218,45 +90,37 @@ class QueryServer(ThreadingHTTPServer):
         *,
         verbose: bool = False,
     ) -> None:
-        self.engine = engine
-        self.instrumentation = engine.instrumentation
-        self.registry = self.instrumentation.registry
+        self.core = ServerCore(engine, verbose=verbose)
+        self.instrumentation = self.core.instrumentation
+        self.registry = self.core.registry
         self.verbose = verbose
-        self._draining = threading.Event()
-        # /healthz facts, snapshotted once: the index is immutable, so
-        # probes never walk the engine (and cannot allocate lookup
-        # state) — they read this dict and the counter dict, nothing else.
-        index = engine.index
-        self.health_snapshot = {
-            "window": [
-                index.window.start.isoformat(),
-                index.window.end.isoformat(),
-            ],
-            "index": index.sizes(),
-        }
-        entries = self.registry.gauge(
-            "repro_server_index_entries",
-            help="Entries in the served query index, by store.",
-            labels=("store",),
-        )
-        for store, count in self.health_snapshot["index"].items():
-            entries.set(count, store=store)
-        self._draining_gauge = self.registry.gauge(
-            "repro_server_draining",
-            help="1 while the server is draining after SIGTERM/SIGINT.",
-        )
-        self._draining_gauge.set(0)
-        self.request_seconds = self.registry.histogram(
-            "repro_server_request_seconds",
-            help="Request handling latency, by endpoint.",
-            labels=("endpoint",),
-        )
+        # Test-visible aliases onto the core's state (the drain tests
+        # flip these directly to open the drain window without the
+        # shutdown).
+        self._draining = self.core.draining
+        self._draining_gauge = self.core.draining_gauge
+        self.request_seconds = self.core.request_seconds
         super().__init__((host, port), _Handler)
+
+    @property
+    def engine(self) -> QueryEngine:
+        return self.core.engine
+
+    @engine.setter
+    def engine(self, engine: QueryEngine) -> None:
+        # Plain swap, snapshot untouched: /healthz and /metrics answer
+        # from the startup snapshot whatever this is set to (pinned by
+        # the poisoned-engine test).
+        self.core.set_engine(engine, refresh_snapshot=False)
+
+    @property
+    def health_snapshot(self) -> dict:
+        return self.core.health_snapshot
 
     @property
     def draining(self) -> bool:
         """True once a drain signal was received (health flips to 503)."""
-        return self._draining.is_set()
+        return self.core.draining.is_set()
 
     def install_signal_handlers(self) -> None:
         """Drain on SIGTERM/SIGINT (a no-op off the main thread)."""
@@ -269,10 +133,7 @@ class QueryServer(ThreadingHTTPServer):
         # shutdown() blocks until serve_forever exits, so it must not be
         # called from the thread running serve_forever (the main thread,
         # where signal handlers execute) — hand it to a helper thread.
-        if not self._draining.is_set():
-            self._draining.set()
-            self._draining_gauge.set(1)
-            self.instrumentation.incr("serve_drains")
+        if self.core.start_drain():
             threading.Thread(target=self.shutdown, daemon=True).start()
 
     def serve_until_shutdown(self) -> None:

@@ -20,6 +20,12 @@ disarming (default 1), ``~P`` fires with probability P per match
 (seeded, so reproducible), ``+S`` sleeps S seconds (``slow`` only).
 Sites are matched with :mod:`fnmatch` globs.
 
+The serving tier exposes two sites of its own: ``server.reload``
+(inside :meth:`AsyncQueryServer.reload`, before the engine factory
+runs — a fired fault fails the reload and keeps the old index) and
+``server.accept`` (at async connection admission — ``io-error`` drops
+the connection, ``slow`` holds it open, which the drain tests use).
+
 Activation is either programmatic (the :func:`injected` context
 manager — inherited by forked workers) or ambient via
 ``$REPRO_FAULTS`` + ``$REPRO_FAULT_SEED`` (read lazily and re-read on

@@ -3,6 +3,9 @@
 A measurement pipeline that silently skips malformed input produces
 wrong numbers; these tests pin down the error behaviour of every parser
 and the robustness of snapshot-diff reconstruction to imperfect input.
+The serving tier's fault sites (``server.reload``, ``server.accept``)
+live at the end: a poisoned hot reload must keep the old index serving,
+and a poisoned accept must drop exactly one connection.
 """
 
 from datetime import date
@@ -136,3 +139,91 @@ class TestImperfectSnapshots:
         window = DateWindow(date(2020, 1, 1), date(2020, 3, 1))
         archive = DropArchive.from_snapshots([], window)
         assert len(archive) == 0
+
+
+class TestServingFaults:
+    """The serving tier's fault sites, end to end."""
+
+    @pytest.fixture(scope="class")
+    def index(self):
+        from repro.query import build_index
+
+        return build_index(build_world(ScenarioConfig.tiny(seed=99)))
+
+    def test_poisoned_reload_keeps_old_index(self, index):
+        from repro.query import AsyncQueryServer, QueryEngine, ReloadError
+        from repro.runtime import Instrumentation
+        from repro.runtime.faults import injected
+
+        instr = Instrumentation()
+        factory_calls = []
+
+        def factory():
+            factory_calls.append(1)
+            return QueryEngine(index, instrumentation=instr)
+
+        server = AsyncQueryServer(
+            QueryEngine(index, instrumentation=instr),
+            "127.0.0.1",
+            0,
+            reload_factory=factory,
+        )
+        old_engine = server.engine
+        with injected("io-error@server.reload"):
+            with pytest.raises(ReloadError) as excinfo:
+                server.reload()
+        assert excinfo.value.code == "query.reload-failed"
+        # The fault fired before the factory: no rebuild, old engine.
+        assert factory_calls == []
+        assert server.engine is old_engine
+        assert instr.counters["serve_reload_failures"] == 1
+        assert "serve_reloads" not in instr.counters
+        # Disarmed, the next reload succeeds.
+        snapshot = server.reload()
+        assert snapshot["index"] == index.sizes()
+        assert instr.counters["serve_reloads"] == 1
+
+    def test_poisoned_accept_drops_one_connection(self, index):
+        import json
+        import threading
+
+        from repro.query import AsyncQueryServer, QueryEngine
+        from repro.runtime import Instrumentation
+        from repro.runtime.faults import injected
+
+        from tests.query.conftest import fetch
+
+        instr = Instrumentation()
+        server = AsyncQueryServer(
+            QueryEngine(index, instrumentation=instr), "127.0.0.1", 0,
+            workers=1,
+        )
+        server.start()
+        thread = threading.Thread(
+            target=server.serve_until_shutdown, daemon=True
+        )
+        thread.start()
+        try:
+            prefix = next(iter(index.routes))
+            target = f"/v1/status?prefix={prefix}"
+            with injected("io-error@server.accept"):
+                # The armed connection is dropped without a response...
+                with pytest.raises((ConnectionError, OSError, EOFError)):
+                    fetch(server.server_address, "GET", target)
+            # ...the very next connection is served normally.
+            reply = fetch(server.server_address, "GET", target)
+            assert reply.status == 200
+            assert instr.counters["serve_accept_errors"] == 1
+            metrics = fetch(server.server_address, "GET", "/metrics")
+            assert (
+                'repro_server_errors_total{kind="accept"} 1'
+                in metrics.body.decode()
+            )
+            health = json.loads(
+                fetch(server.server_address, "GET", "/healthz").body
+            )
+            assert health["counters"]["serve_accept_errors"] == 1
+        finally:
+            server.drain()
+            thread.join(timeout=20)
+        assert not thread.is_alive()

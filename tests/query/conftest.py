@@ -3,13 +3,102 @@
 The world is fetched through its own :class:`~repro.runtime.WorldCache`
 (not the session's env cache) so index persistence tests own their cache
 entry directory without racing the CLI tests.
+
+Also home to the raw asyncio HTTP client the serving tests drive both
+daemons with: :class:`AioClient` speaks enough HTTP/1.1 over a stream
+pair to exercise keep-alive and pipelining, and :func:`fetch` wraps it
+for one-shot requests.  The tests deliberately avoid ``urllib`` here —
+byte-for-byte contract parity means asserting on the exact body bytes
+and headers, with the identical request bytes sent to both servers.
 """
+
+import asyncio
+from typing import NamedTuple
 
 import pytest
 
 from repro.query import QueryEngine, build_index
 from repro.runtime import WorldCache
 from repro.synth import ScenarioConfig
+
+
+class Reply(NamedTuple):
+    """One parsed HTTP response: status, lowercase headers, body bytes."""
+
+    status: int
+    headers: dict
+    body: bytes
+
+
+def request_bytes(method: str, target: str, body: bytes | None = None) -> bytes:
+    """The raw request both servers are sent (identical bytes)."""
+    head = f"{method} {target} HTTP/1.1\r\nHost: test\r\n"
+    if body is not None or method == "POST":
+        head += f"Content-Length: {len(body or b'')}\r\n"
+    return (head + "\r\n").encode("latin-1") + (body or b"")
+
+
+async def _read_reply(reader: asyncio.StreamReader) -> Reply:
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers: dict = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length") or 0)
+    body = await reader.readexactly(length) if length else b""
+    return Reply(status, headers, body)
+
+
+class AioClient:
+    """A raw keep-alive HTTP/1.1 client over one asyncio connection."""
+
+    def __init__(self, reader, writer) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def open(cls, address) -> "AioClient":
+        host, port = address
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(
+        self, method: str, target: str, body: bytes | None = None
+    ) -> Reply:
+        self.writer.write(request_bytes(method, target, body))
+        await self.writer.drain()
+        return await _read_reply(self.reader)
+
+    async def pipeline(self, requests) -> list:
+        """Write every request before reading any response (HTTP
+        pipelining); returns the replies in request order."""
+        for method, target, body in requests:
+            self.writer.write(request_bytes(method, target, body))
+        await self.writer.drain()
+        return [await _read_reply(self.reader) for _ in requests]
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def fetch(address, method: str, target: str, body: bytes | None = None) -> Reply:
+    """One request over a fresh connection, from synchronous test code."""
+
+    async def go() -> Reply:
+        client = await AioClient.open(address)
+        try:
+            return await client.request(method, target, body)
+        finally:
+            await client.close()
+
+    return asyncio.run(go())
 
 
 @pytest.fixture(scope="package")

@@ -1,0 +1,567 @@
+"""The asyncio serving tier (repro.query.aserver).
+
+Three test families:
+
+* **contract parity** — every endpoint of the async tier answers
+  byte-for-byte what the threaded ``QueryServer`` answers, over live
+  sockets, driven in lockstep (identical request bytes to both) so even
+  the counter values in ``/healthz`` line up;
+* **concurrency** — interleaved requests match serial answers, one
+  connection can pipeline, hot reload under load never produces a torn
+  response, a failed reload keeps the old index serving;
+* **drain** — SIGTERM semantics: healthz flips to 503, in-flight
+  requests finish (pinned with a ``slow@server.accept`` fault), the
+  worker threads join, and the per-worker spans are re-homed into the
+  run's trace.
+"""
+
+import asyncio
+import contextlib
+import json
+import threading
+
+import pytest
+
+from repro.query import AsyncQueryServer, QueryEngine, QueryServer
+from repro.runtime import Instrumentation
+from repro.runtime.faults import injected
+
+from .conftest import AioClient, fetch
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+
+
+def _start_threaded(index):
+    srv = QueryServer(
+        QueryEngine(index, instrumentation=Instrumentation()), "127.0.0.1", 0
+    )
+    thread = threading.Thread(target=srv.serve_until_shutdown, daemon=True)
+    thread.start()
+    return srv, thread
+
+
+def _start_async(engine, **kwargs):
+    srv = AsyncQueryServer(engine, "127.0.0.1", 0, **kwargs)
+    srv.start()
+    thread = threading.Thread(target=srv.serve_until_shutdown, daemon=True)
+    thread.start()
+    return srv, thread
+
+
+@contextlib.contextmanager
+def running_async(engine, **kwargs):
+    srv, thread = _start_async(engine, **kwargs)
+    try:
+        yield srv
+    finally:
+        srv.drain()
+        thread.join(timeout=20)
+        assert not thread.is_alive()
+
+
+@pytest.fixture(scope="module")
+def pair(index):
+    """One threaded and one async server over the same index.
+
+    Every test touching this fixture sends the *identical* request to
+    both servers (see :func:`both`), so their counter streams — visible
+    through ``/healthz`` — stay equal for the whole module.  The async
+    server runs with the response cache off for the same reason: a
+    cache hit skips the engine's lookup counter.
+    """
+    threaded, t_thread = _start_threaded(index)
+    aserver, a_thread = _start_async(
+        QueryEngine(index, instrumentation=Instrumentation()),
+        workers=2,
+        cache_size=0,
+    )
+    yield threaded, aserver
+    threaded.shutdown()
+    aserver.drain()
+    t_thread.join(timeout=10)
+    a_thread.join(timeout=20)
+    assert not t_thread.is_alive() and not a_thread.is_alive()
+
+
+def both(pair, method, target, body=None):
+    """Send one identical request to both servers; assert byte parity."""
+    threaded, aserver = pair
+    expected = fetch(threaded.server_address, method, target, body)
+    actual = fetch(aserver.server_address, method, target, body)
+    assert actual.status == expected.status
+    assert actual.headers.get("content-type") == expected.headers.get(
+        "content-type"
+    )
+    assert actual.body == expected.body
+    return actual
+
+
+@pytest.fixture(scope="module")
+def pairs(index):
+    days = [index.window.start, index.window.end]
+    prefixes = [p for i, p in enumerate(index.drop) if i % 101 == 0]
+    prefixes += [p for i, p in enumerate(index.routes) if i % 501 == 0]
+    return [(p, d) for p in prefixes for d in days]
+
+
+# ---------------------------------------------------------------------------
+# contract parity
+# ---------------------------------------------------------------------------
+
+
+class TestContractParity:
+    def test_status_pairs(self, pair, pairs):
+        for prefix, day in pairs:
+            reply = both(
+                pair, "GET", f"/v1/status?prefix={prefix}&on={day.isoformat()}"
+            )
+            assert reply.status == 200
+
+    def test_status_default_day(self, pair, index):
+        prefix = next(iter(index.routes))
+        reply = both(pair, "GET", f"/v1/status?prefix={prefix}")
+        assert json.loads(reply.body)["on"] == index.window.end.isoformat()
+
+    def test_batch_query_dicts(self, pair, pairs):
+        payload = {
+            "queries": [
+                {"prefix": str(p), "on": d.isoformat()} for p, d in pairs
+            ]
+        }
+        reply = both(
+            pair, "POST", "/v1/batch", json.dumps(payload).encode()
+        )
+        assert reply.status == 200
+        assert len(json.loads(reply.body)["results"]) == len(pairs)
+
+    def test_batch_bare_list_and_strings(self, pair, index):
+        prefix = str(next(iter(index.routes)))
+        reply = both(
+            pair, "POST", "/v1/batch", json.dumps([prefix]).encode()
+        )
+        assert reply.status == 200
+        assert json.loads(reply.body)["results"][0]["prefix"] == prefix
+
+    @pytest.mark.parametrize(
+        ("method", "target", "body", "status", "code"),
+        [
+            ("GET", "/v1/status", None, 400, "query.bad-prefix"),
+            (
+                "GET", "/v1/status?prefix=999.1.2.3/8", None,
+                400, "query.bad-prefix",
+            ),
+            (
+                "GET", "/v1/status?prefix=192.0.2.0/24&on=2021-02-30", None,
+                400, "query.bad-day",
+            ),
+            ("GET", "/v1/nope", None, 404, "query.not-found"),
+            ("POST", "/v1/nope", b"{}", 404, "query.not-found"),
+            ("POST", "/v1/batch", b"", 400, "query.bad-request"),
+            ("POST", "/v1/batch", b"{nope", 400, "query.bad-request"),
+            (
+                "POST", "/v1/batch", b'{"queries": "x"}',
+                400, "query.bad-request",
+            ),
+            ("POST", "/v1/batch", b"[42]", 400, "query.batch-parse"),
+            # No reload factory on either server: the admin endpoint
+            # does not exist, byte-identically.
+            ("POST", "/v1/admin/reload", b"", 404, "query.not-found"),
+        ],
+    )
+    def test_error_payload_parity(
+        self, pair, method, target, body, status, code
+    ):
+        reply = both(pair, method, target, body)
+        assert reply.status == status
+        payload = json.loads(reply.body)
+        assert set(payload) == {"code", "error"}
+        assert payload["code"] == code
+
+    def test_missing_prefix_message_unchanged(self, pair):
+        reply = both(pair, "GET", "/v1/status")
+        assert json.loads(reply.body)["error"] == "missing prefix"
+
+    def test_all_bad_batch_items_reported_together(self, pair, index):
+        prefix = str(next(iter(index.routes)))
+        payload = [prefix, "999.1.2.3/8", 42, {"prefix": prefix, "on": "x"}]
+        reply = both(
+            pair, "POST", "/v1/batch", json.dumps(payload).encode()
+        )
+        assert reply.status == 400
+        body = json.loads(reply.body)
+        assert body["code"] == "query.batch-parse"
+        assert "3 bad queries" in body["error"]
+        for marker in ("[1]", "[2]", "[3]"):
+            assert marker in body["error"]
+
+    def test_healthz_parity_with_timing_masked(self, pair, index):
+        # The `serve_*_us_total` counters are wall-clock microseconds —
+        # the one part of the contract that legitimately differs.
+        threaded, aserver = pair
+        replies = [
+            fetch(srv.server_address, "GET", "/healthz")
+            for srv in (threaded, aserver)
+        ]
+        bodies = [json.loads(reply.body) for reply in replies]
+        for body in bodies:
+            body["counters"] = {
+                name: count
+                for name, count in body["counters"].items()
+                if not name.endswith("_us_total")
+            }
+        # The lockstep fixture discipline makes even the counts equal
+        # (both healthz requests above included).
+        assert bodies[0] == bodies[1]
+        assert bodies[0]["index"] == index.sizes()
+
+    def test_metrics_parity_of_series(self, pair):
+        threaded, aserver = pair
+        texts = [
+            fetch(srv.server_address, "GET", "/metrics").body.decode()
+            for srv in (threaded, aserver)
+        ]
+
+        def series(text):
+            return {
+                line.rsplit(" ", 1)[0]
+                for line in text.splitlines()
+                if line and not line.startswith("#")
+            }
+
+        def comments(text):
+            return {
+                line for line in text.splitlines() if line.startswith("# ")
+            }
+
+        assert series(texts[0]) == series(texts[1])
+        assert comments(texts[0]) == comments(texts[1])
+        for text in texts:
+            assert "# TYPE repro_server_reload_total counter" in text
+            assert (
+                "# TYPE repro_server_reload_failures_total counter" in text
+            )
+
+    def test_healthz_first_request_byte_identical(self, index):
+        # Fresh servers, no traffic: no timing counters exist yet, so
+        # the very first /healthz answer is comparable to the last byte.
+        threaded, t_thread = _start_threaded(index)
+        try:
+            with running_async(
+                QueryEngine(index, instrumentation=Instrumentation()),
+                workers=1,
+                cache_size=0,
+            ) as aserver:
+                expected = fetch(threaded.server_address, "GET", "/healthz")
+                actual = fetch(aserver.server_address, "GET", "/healthz")
+                assert actual.status == expected.status == 200
+                assert actual.body == expected.body
+        finally:
+            threaded.shutdown()
+            t_thread.join(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# concurrency
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrency:
+    def test_interleaved_requests_match_serial(self, index):
+        days = [index.window.start, index.window.end]
+        prefixes = [p for i, p in enumerate(index.routes) if i % 211 == 0]
+        targets = [
+            f"/v1/status?prefix={p}&on={d.isoformat()}"
+            for p in prefixes
+            for d in days
+        ][:20]
+        assert len(targets) >= 4
+        with running_async(QueryEngine(index), workers=2) as server:
+            address = server.server_address
+
+            async def serial():
+                client = await AioClient.open(address)
+                try:
+                    return {
+                        t: (await client.request("GET", t)).body
+                        for t in targets
+                    }
+                finally:
+                    await client.close()
+
+            expected = asyncio.run(serial())
+
+            async def storm():
+                async def one_client(offset):
+                    client = await AioClient.open(address)
+                    got = []
+                    try:
+                        for i in range(25):
+                            t = targets[(offset + i) % len(targets)]
+                            reply = await client.request("GET", t)
+                            got.append((t, reply.status, reply.body))
+                    finally:
+                        await client.close()
+                    return got
+
+                chunks = await asyncio.gather(
+                    *(one_client(i * 3) for i in range(8))
+                )
+                return [item for chunk in chunks for item in chunk]
+
+            results = asyncio.run(storm())
+        assert len(results) == 200
+        for target, status, body in results:
+            assert status == 200
+            assert body == expected[target]
+
+    def test_keepalive_pipelining_answers_in_order(self, index):
+        days = [index.window.start, index.window.end]
+        prefix = next(iter(index.routes))
+        targets = [
+            f"/v1/status?prefix={prefix}&on={d.isoformat()}" for d in days
+        ] * 5
+        with running_async(QueryEngine(index), workers=1) as server:
+            address = server.server_address
+
+            async def go():
+                client = await AioClient.open(address)
+                try:
+                    singles = {
+                        t: (await client.request("GET", t)).body
+                        for t in set(targets)
+                    }
+                    replies = await client.pipeline(
+                        [("GET", t, None) for t in targets]
+                    )
+                    # The connection survives the burst.
+                    again = await client.request("GET", targets[0])
+                    return singles, replies, again
+                finally:
+                    await client.close()
+
+            singles, replies, again = asyncio.run(go())
+        assert [r.status for r in replies] == [200] * len(targets)
+        assert [r.body for r in replies] == [singles[t] for t in targets]
+        assert again.body == singles[targets[0]]
+
+
+# ---------------------------------------------------------------------------
+# hot reload
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def index_b(tmp_path_factory):
+    """A second, distinguishable world: same scale, different seed."""
+    from repro.query import build_index
+    from repro.runtime import WorldCache
+    from repro.synth import ScenarioConfig
+
+    cache = WorldCache(tmp_path_factory.mktemp("reload-cache"))
+    stored = cache.fetch(ScenarioConfig.tiny(seed=7))
+    return build_index(stored.world, key=stored.key)
+
+
+def _distinguishing_target(index, index_b):
+    """A status target whose answer differs between the two indexes."""
+    day = index.window.end
+    engine_a, engine_b = QueryEngine(index), QueryEngine(index_b)
+    for prefix in list(index.drop)[:64]:
+        answer_a = engine_a.lookup(prefix, day).to_dict()
+        answer_b = engine_b.lookup(prefix, day).to_dict()
+        if answer_a != answer_b:
+            target = f"/v1/status?prefix={prefix}&on={day.isoformat()}"
+            return (
+                target,
+                json.dumps(answer_a, sort_keys=True).encode(),
+                json.dumps(answer_b, sort_keys=True).encode(),
+            )
+    raise AssertionError("worlds A and B are indistinguishable")
+
+
+class TestHotReload:
+    def test_reload_under_load_is_never_torn(self, index, index_b):
+        instr = Instrumentation()
+        target, bytes_a, bytes_b = _distinguishing_target(index, index_b)
+        factory = lambda: QueryEngine(index_b, instrumentation=instr)  # noqa: E731
+        with running_async(
+            QueryEngine(index, instrumentation=instr),
+            workers=2,
+            reload_factory=factory,
+        ) as server:
+            address = server.server_address
+
+            async def go():
+                looker = await AioClient.open(address)
+                admin = await AioClient.open(address)
+                bodies = []
+                done = asyncio.Event()
+
+                async def pound():
+                    while not done.is_set():
+                        reply = await looker.request("GET", target)
+                        assert reply.status == 200
+                        bodies.append(reply.body)
+
+                task = asyncio.create_task(pound())
+                await asyncio.sleep(0.05)
+                reply = await admin.request("POST", "/v1/admin/reload", b"")
+                done.set()
+                await task
+                after = await looker.request("GET", target)
+                await looker.close()
+                await admin.close()
+                return reply, bodies, after
+
+            reload_reply, bodies, after = asyncio.run(go())
+            health = fetch(address, "GET", "/healthz")
+
+        assert reload_reply.status == 200
+        payload = json.loads(reload_reply.body)
+        assert payload["status"] == "reloaded"
+        assert payload["index"] == index_b.sizes()
+        # Every answer is wholly old-world or wholly new-world.
+        assert bodies, "lookup loop never ran"
+        torn = [b for b in bodies if b not in (bytes_a, bytes_b)]
+        assert torn == []
+        assert after.body == bytes_b
+        assert json.loads(health.body)["index"] == index_b.sizes()
+        assert instr.counters["serve_reloads"] == 1
+
+    def test_failed_reload_keeps_old_index(self, index):
+        instr = Instrumentation()
+
+        def factory():
+            raise RuntimeError("rebuild exploded")
+
+        with running_async(
+            QueryEngine(index, instrumentation=instr),
+            workers=1,
+            reload_factory=factory,
+        ) as server:
+            address = server.server_address
+            prefix = next(iter(index.routes))
+            target = f"/v1/status?prefix={prefix}"
+            before = fetch(address, "GET", target)
+            reply = fetch(address, "POST", "/v1/admin/reload", b"")
+            after = fetch(address, "GET", target)
+            metrics = fetch(address, "GET", "/metrics").body.decode()
+
+        assert reply.status == 500
+        payload = json.loads(reply.body)
+        assert payload["code"] == "query.reload-failed"
+        assert "rebuild exploded" in payload["error"]
+        assert after.body == before.body
+        assert instr.counters["serve_reload_failures"] == 1
+        assert "serve_reloads" not in instr.counters
+        assert "repro_server_reload_failures_total 1" in metrics
+        # Declared up front, but never incremented: TYPE line only.
+        assert "# TYPE repro_server_reload_total counter" in metrics
+        assert "\nrepro_server_reload_total " not in metrics
+
+    def test_sighup_entrypoint_swallows_failures(self, index, index_b):
+        instr = Instrumentation()
+        engines = [QueryEngine(index_b, instrumentation=instr)]
+
+        def factory():
+            if not engines:
+                raise RuntimeError("boom")
+            return engines.pop()
+
+        server = AsyncQueryServer(
+            QueryEngine(index, instrumentation=instr),
+            "127.0.0.1",
+            0,
+            reload_factory=factory,
+        )
+        # What the SIGHUP handler thread runs, sans signal glue.
+        server._reload_quietly()
+        assert server.core.health_snapshot["index"] == index_b.sizes()
+        server._reload_quietly()  # factory now fails: swallowed, counted
+        assert instr.counters["serve_reloads"] == 1
+        assert instr.counters["serve_reload_failures"] == 1
+        assert server.core.health_snapshot["index"] == index_b.sizes()
+
+
+# ---------------------------------------------------------------------------
+# drain
+# ---------------------------------------------------------------------------
+
+
+class TestDrain:
+    def test_healthz_and_metrics_503_while_draining(self, index):
+        instr = Instrumentation()
+        with running_async(
+            QueryEngine(index, instrumentation=instr), workers=1
+        ) as server:
+            address = server.server_address
+            assert fetch(address, "GET", "/healthz").status == 200
+            # The drain window, without stopping the loops: flag only.
+            server.core.start_drain()
+            reply = fetch(address, "GET", "/healthz")
+            assert reply.status == 503
+            assert json.loads(reply.body)["status"] == "draining"
+            assert reply.headers.get("connection") == "close"
+            metrics = fetch(address, "GET", "/metrics")
+            assert metrics.status == 503
+            assert json.loads(metrics.body)["code"] == "query.draining"
+
+    def test_in_flight_request_finishes_during_drain(self, index):
+        instr = Instrumentation()
+        prefix = next(iter(index.routes))
+        target = f"/v1/status?prefix={prefix}"
+        with injected("slow@server.accept+0.4"):
+            srv, thread = _start_async(
+                QueryEngine(index, instrumentation=instr), workers=2
+            )
+            address = srv.server_address
+
+            async def go():
+                # The admission fault holds this connection's handler
+                # (and its worker's loop) for 0.4s with our request
+                # already on the wire — then the drain starts.
+                client = await AioClient.open(address)
+                try:
+                    pending = asyncio.create_task(
+                        client.request("GET", target)
+                    )
+                    await asyncio.sleep(0.1)
+                    await asyncio.to_thread(srv.drain)
+                    return await asyncio.wait_for(pending, timeout=15)
+                finally:
+                    await client.close()
+
+            reply = asyncio.run(go())
+            thread.join(timeout=20)
+        assert not thread.is_alive()
+        assert reply.status == 200
+        assert reply.headers.get("connection") == "close"
+        assert instr.counters["serve_drains"] == 1
+
+    def test_drain_is_idempotent_and_rehomes_worker_spans(self, index):
+        instr = Instrumentation()
+        with running_async(
+            QueryEngine(index, instrumentation=instr), workers=2
+        ) as server:
+            prefix = next(iter(index.routes))
+            fetch(server.server_address, "GET", f"/v1/status?prefix={prefix}")
+            server.drain()
+            server.drain()
+            server.shutdown()
+        # running_async joined serve_until_shutdown: spans are adopted.
+        assert instr.counters["serve_drains"] == 1
+        spans = {span.name: span for span in instr.tracer.finished}
+        parent = spans["serve-async"]
+        workers = [
+            span
+            for span in instr.tracer.finished
+            if span.name == "server-worker"
+        ]
+        assert len(workers) == 2
+        for span in workers:
+            assert span.parent_id == parent.span_id
+            assert "connections" in span.attributes
+            assert "requests" in span.attributes
+        assert sum(s.attributes["requests"] for s in workers) == 1

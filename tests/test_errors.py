@@ -15,6 +15,11 @@ from repro.errors import CacheCorruptionError, ReproError
         ("IndexLoadError", "query.index-stale"),
         ("SubstrateLoadError", "analysis.substrate-stale"),
         ("FaultSpecError", "runtime.fault-spec"),
+        ("RequestError", "query.bad-request"),
+        ("BadPrefixError", "query.bad-prefix"),
+        ("BadDayError", "query.bad-day"),
+        ("NotFoundError", "query.not-found"),
+        ("ReloadError", "query.reload-failed"),
     ],
 )
 def test_stable_codes_and_repro_reexports(name, code):
