@@ -1,0 +1,319 @@
+"""Binary world-store costs: open latency and per-worker memory.
+
+Two entry points share the measurement code, mirroring
+``bench_world_build.py``:
+
+* pytest-benchmark functions (``bench_store_index_load``,
+  ``bench_store_index_lookups``) picked up with the rest of the bench
+  suite, and
+* a standalone mode — ``python benchmarks/bench_store.py --scale paper
+  --out BENCH_store.json --check`` — recording this PR's acceptance
+  numbers as a JSON artifact: query-index and substrate open latency
+  (JSON parse-and-rebuild vs binary mmap, best of N), per-worker
+  incremental private RSS across four forked workers exercising the
+  engine (materialized object graph vs zero-copy views over shared
+  file-backed pages), and a byte-identity check of the query output
+  between the two paths.  ``--smoke`` shrinks everything for CI;
+  ``--check`` enforces the paper-scale gates: binary index open ≥10×
+  faster, per-worker RSS ≥5× smaller, outputs byte-identical.
+"""
+
+import argparse
+import gc
+import json
+import os
+import sys
+from pathlib import Path
+from time import perf_counter
+
+from repro.analysis.substrate import (
+    AnalysisSubstrate,
+    load_substrate_file,
+)
+from repro.query import QueryEngine, load_index, save_index
+from repro.runtime import WorldCache
+from repro.store.index import load_store_index
+from repro.store.substrate import load_store_substrate
+from repro.synth import ScenarioConfig
+
+_SCALES = {
+    "tiny": ScenarioConfig.tiny,
+    "small": ScenarioConfig.small,
+    "paper": ScenarioConfig.paper,
+}
+
+#: Binary index open must beat the JSON parse-and-rebuild by this much.
+LOAD_SPEEDUP_TARGET = 10.0
+
+#: Forked workers on the mmap view must dirty this much less private RSS.
+RSS_REDUCTION_TARGET = 5.0
+
+#: Forked worker fan-out for the RSS measurement.
+WORKERS = 4
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+
+def bench_store_index_load(benchmark, world, tmp_path_factory):
+    from repro.query import build_index
+
+    directory = tmp_path_factory.mktemp("store-bench")
+    index = build_index(world)
+    save_index(index, directory)
+    view = benchmark(load_store_index, directory, expected_key="")
+    assert view.sizes() == index.sizes()
+
+
+def bench_store_index_lookups(benchmark, world, tmp_path_factory):
+    from repro.query import build_index
+
+    directory = tmp_path_factory.mktemp("store-bench-lookups")
+    index = build_index(world)
+    save_index(index, directory)
+    view = load_store_index(directory, expected_key="")
+    engine = QueryEngine(view)
+    prefixes = _sample_prefixes(view)
+    day = view.window.end
+
+    def run():
+        return [engine.lookup(p, day) for p in prefixes]
+
+    results = benchmark(run)
+    assert len(results) == len(prefixes)
+
+
+# ---------------------------------------------------------------------------
+# standalone artifact mode
+# ---------------------------------------------------------------------------
+
+
+def _sample_prefixes(index, stride: int = 1):
+    prefixes = [p for i, p in enumerate(index.drop) if i % (7 * stride) == 0]
+    prefixes += [
+        p for i, p in enumerate(index.routes) if i % (41 * stride) == 0
+    ]
+    prefixes += [p for i, p in enumerate(index.roa) if i % (19 * stride) == 0]
+    return prefixes
+
+
+def _best_seconds(fn, *, repeat: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        started = perf_counter()
+        fn()
+        best = min(best, perf_counter() - started)
+    return best
+
+
+def _private_rss_bytes() -> int:
+    """This process's private (unshared) resident bytes, from ``/proc``.
+
+    ``Private_Clean + Private_Dirty`` out of ``smaps_rollup`` is the
+    honest per-worker currency: right after ``fork`` every inherited
+    page is *shared* with the parent, and a page only turns private
+    when the worker copy-on-write-dirties it (refcounts and GC walks
+    over the materialized JSON index) — while the binary store's mmap
+    pages are file-backed and stay shared however often they are read.
+    (Plain ``RssAnon`` cannot see this: the inherited pages already
+    count toward it at fork, and a CoW copy does not change the count.)
+    """
+    total = 0
+    for line in Path("/proc/self/smaps_rollup").read_text().splitlines():
+        if line.startswith(("Private_Clean:", "Private_Dirty:")):
+            total += int(line.split()[1]) * 1024
+    return total
+
+
+def _exercise(index, rounds: int = 2) -> int:
+    """What a warm serving worker does: engine lookups plus a GC pass.
+
+    The explicit ``gc.collect()`` is part of the workload on purpose:
+    any long-running CPython worker runs collections, and a collection
+    walks (and so copy-on-write-dirties) every inherited object — the
+    exact cost the zero-copy store avoids.
+    """
+    engine = QueryEngine(index)
+    total = 0
+    for _ in range(rounds):
+        for prefix in _sample_prefixes(index):
+            for day in (index.window.start, index.window.end):
+                total += len(engine.lookup(prefix, day).to_dict())
+        gc.collect()
+    return total
+
+
+def _fork_worker_rss_delta(index) -> int:
+    """Fork one worker, exercise ``index`` in it, return its private-RSS delta."""
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:  # worker
+        status = 1
+        try:
+            os.close(read_fd)
+            gc.collect()
+            before = _private_rss_bytes()
+            _exercise(index)
+            delta = _private_rss_bytes() - before
+            os.write(write_fd, str(delta).encode())
+            status = 0
+        finally:
+            os._exit(status)
+    os.close(write_fd)
+    with os.fdopen(read_fd, "rb") as reply:
+        data = reply.read()
+    _, exit_status = os.waitpid(pid, 0)
+    if exit_status != 0 or not data:
+        raise RuntimeError(f"RSS worker failed (status {exit_status})")
+    return int(data)
+
+
+def _mean_worker_rss(index, workers: int = WORKERS) -> int:
+    deltas = [_fork_worker_rss_delta(index) for _ in range(workers)]
+    return sum(deltas) // len(deltas)
+
+
+def _engine_outputs(index) -> str:
+    engine = QueryEngine(index)
+    rows = []
+    for prefix in _sample_prefixes(index):
+        for day in (index.window.start, index.window.end):
+            rows.append(
+                json.dumps(engine.lookup(prefix, day).to_dict(),
+                           sort_keys=True)
+            )
+    return "\n".join(rows)
+
+
+def store_columns(directory: Path, key: str) -> dict:
+    """The load-time and RSS-per-worker columns, for both artifacts.
+
+    Shared with ``bench_world_build.py`` so ``BENCH_world.json`` carries
+    the same columns as ``BENCH_store.json``.  Call with no world (or
+    other large object graph) live in the parent: the forked workers'
+    GC pass dirties every inherited object, which would inflate both
+    paths' deltas and compress the ratio.
+    """
+    json_seconds = _best_seconds(
+        lambda: load_index(directory, expected_key=key)
+    )
+    store_seconds = _best_seconds(
+        lambda: load_store_index(directory, expected_key=key)
+    )
+    gc.collect()
+    json_index = load_index(directory, expected_key=key)
+    rss_json = _mean_worker_rss(json_index)
+    del json_index
+    gc.collect()
+    store_view = load_store_index(directory, expected_key=key)
+    rss_store = _mean_worker_rss(store_view)
+    del store_view
+    return {
+        "index_load_json_seconds": round(json_seconds, 4),
+        "index_load_store_seconds": round(store_seconds, 4),
+        "worker_rss_json_bytes": rss_json,
+        "worker_rss_store_bytes": rss_store,
+    }
+
+
+def run(scale: str, *, out: Path | None) -> dict:
+    config = _SCALES[scale]()
+    outcome = WorldCache().fetch(config)
+    directory, key = outcome.directory, outcome.key
+
+    # Ensure both formats are persisted in the cache entry: save_index
+    # writes the JSON artifact and its binary sibling; warming the
+    # substrate persists analysis-substrate.{json,bin}.
+    from repro.query import build_index
+
+    index = build_index(outcome.world, key=key)
+    save_index(index, directory)
+    AnalysisSubstrate(outcome.world, directory=directory, key=key).warm()
+    del index
+    outcome = None  # drop the world before the memory phase
+    gc.collect()
+
+    # -- byte identity: the two paths answer identically -----------------
+    json_index = load_index(directory, expected_key=key)
+    store_view = load_store_index(directory, expected_key=key)
+    outputs_identical = _engine_outputs(json_index) == _engine_outputs(
+        store_view
+    )
+    del json_index, store_view
+    gc.collect()
+
+    # -- open latency + per-worker memory (shared with bench_world) ------
+    columns = store_columns(directory, key)
+    json_substrate_seconds = _best_seconds(
+        lambda: load_substrate_file(directory, expected_key=key)
+    )
+    store_substrate_seconds = _best_seconds(
+        lambda: load_store_substrate(directory, expected_key=key)
+    )
+    index_speedup = (
+        columns["index_load_json_seconds"]
+        / (columns["index_load_store_seconds"] or 0.0001)
+    )
+    substrate_speedup = json_substrate_seconds / store_substrate_seconds
+    rss_json = columns["worker_rss_json_bytes"]
+    rss_store = columns["worker_rss_store_bytes"]
+    # At tiny scale both deltas can round to zero pages; report None
+    # rather than an Infinity that is not valid JSON.
+    rss_reduction = rss_json / rss_store if rss_store else None
+
+    payload = {
+        "scale": scale,
+        "workers": WORKERS,
+        **columns,
+        "index_load_speedup": round(index_speedup, 1),
+        "substrate_load_json_seconds": round(json_substrate_seconds, 4),
+        "substrate_load_store_seconds": round(store_substrate_seconds, 4),
+        "substrate_load_speedup": round(substrate_speedup, 1),
+        "worker_rss_reduction": (
+            None if rss_reduction is None else round(rss_reduction, 1)
+        ),
+        "query_outputs_identical": outputs_identical,
+        "meets_targets": {
+            "index_load_speedup_10x": index_speedup >= LOAD_SPEEDUP_TARGET,
+            "worker_rss_reduction_5x": (
+                rss_reduction is not None
+                and rss_reduction >= RSS_REDUCTION_TARGET
+            ),
+            "query_outputs_identical": outputs_identical,
+        },
+    }
+    if out is not None:
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: force the tiny scale")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the JSON artifact to FILE")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless byte identity holds (and, at "
+                             "paper scale, the 10x load / 5x RSS targets)")
+    args = parser.parse_args(argv)
+    scale = "tiny" if args.smoke else args.scale
+    payload = run(scale, out=args.out)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    targets = dict(payload["meets_targets"])
+    if scale != "paper":
+        # The 10x/5x headlines are paper-scale promises: a tiny index
+        # opens in microseconds either way and fixed costs dominate.
+        targets.pop("index_load_speedup_10x")
+        targets.pop("worker_rss_reduction_5x")
+    if args.check and not all(targets.values()):
+        print("world store targets missed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

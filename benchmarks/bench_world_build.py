@@ -11,7 +11,9 @@ Two entry points share the measurement code:
   byte-identity check between the two worlds), the one-off substrate
   build cost, and ``run_all`` cold (every experiment re-walking the raw
   stores, the pre-substrate behavior) vs warm (substrate served from
-  the world's cache entry).  ``--smoke`` shrinks everything for CI;
+  the world's cache entry), plus the binary world-store columns
+  (JSON vs mmap open latency, per-forked-worker private RSS) shared
+  with ``bench_store.py``.  ``--smoke`` shrinks everything for CI;
   ``--check`` enforces the headline ≥3× run_all target at paper scale.
 """
 
@@ -96,7 +98,7 @@ def run(scale: str, *, jobs: int, out: Path | None) -> dict:
 
     serial_digest = _archive_digest(serial_world)
     identical = serial_digest == _archive_digest(parallel_world)
-    del parallel_world
+    del serial_world, parallel_world
 
     # -- analysis: run_all cold vs substrate-warm -----------------------
     outcome = WorldCache().fetch(config)
@@ -112,8 +114,12 @@ def run(scale: str, *, jobs: int, out: Path | None) -> dict:
 
     # One-off substrate build, persisted into the world's cache entry.
     # A leftover file from an earlier bench run would turn the timed
-    # build into a load, so start from a clean entry.
+    # build into a load, so start from a clean entry — the binary
+    # sibling included, or warm() would happily serve it.
+    from repro.store.substrate import STORE_SUBSTRATE_FILENAME
+
     (outcome.directory / SUBSTRATE_FILENAME).unlink(missing_ok=True)
+    (outcome.directory / STORE_SUBSTRATE_FILENAME).unlink(missing_ok=True)
     substrate = AnalysisSubstrate(
         world, directory=outcome.directory, key=outcome.key
     )
@@ -131,7 +137,23 @@ def run(scale: str, *, jobs: int, out: Path | None) -> dict:
     warm_seconds = perf_counter() - started
 
     speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+
+    # -- store columns: open latency + per-worker RSS, both formats ------
+    # Shared with bench_store.py; the world (and everything else big)
+    # must be dropped first — see store_columns' docstring.
+    from bench_store import store_columns
+
+    outputs_identical = warm_reports == cold_reports
+    directory, key = outcome.directory, outcome.key
+    del world, entries, substrate, warm_substrate
+    del cold_reports, warm_reports, outcome
+    import gc
+
+    gc.collect()
+    columns = store_columns(directory, key)
+
     payload = {
+        **columns,
         "scale": scale,
         "jobs": jobs,
         "build_serial_seconds": round(serial_seconds, 4),
@@ -143,10 +165,10 @@ def run(scale: str, *, jobs: int, out: Path | None) -> dict:
         "run_all_cold_seconds": round(cold_seconds, 4),
         "run_all_warm_seconds": round(warm_seconds, 4),
         "run_all_speedup": round(speedup, 2),
-        "run_all_outputs_identical": warm_reports == cold_reports,
+        "run_all_outputs_identical": outputs_identical,
         "meets_targets": {
             "parallel_build_identical": identical,
-            "run_all_outputs_identical": warm_reports == cold_reports,
+            "run_all_outputs_identical": outputs_identical,
             "run_all_speedup_3x": speedup >= RUN_ALL_SPEEDUP_TARGET,
         },
     }

@@ -31,8 +31,6 @@ and a warning.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 import warnings
 from bisect import bisect_left, bisect_right
 from datetime import date, timedelta
@@ -238,6 +236,28 @@ class AnalysisSubstrate:
         if self._roa_status is not None:
             return self._roa_status
         instr = self.instrumentation
+        if self.directory is not None:
+            # Binary columnar store first (mmap + checksums), JSON
+            # compatibility artifact second; either failing its pins is
+            # evicted before the next fallback.
+            from ..store.substrate import (
+                STORE_SUBSTRATE_FILENAME,
+                load_store_substrate,
+            )
+
+            store_path = self.directory / STORE_SUBSTRATE_FILENAME
+            if store_path.exists():
+                try:
+                    self._roa_status = load_store_substrate(
+                        self.directory,
+                        expected_key=self.key,
+                        instrumentation=instr,
+                    )
+                except Exception:
+                    store_path.unlink(missing_ok=True)
+                    instr.incr("store_evictions")
+                else:
+                    return self._roa_status
         path = (
             None
             if self.directory is None
@@ -254,6 +274,17 @@ class AnalysisSubstrate:
                 path.unlink(missing_ok=True)
                 instr.incr("substrate_evictions")
             else:
+                # Upgrade path: a JSON-only entry (pre-binary cache, or
+                # an evicted ``.bin``) gains its binary sibling here so
+                # the next open takes the mmap fast path.
+                from ..store.substrate import save_store_substrate
+
+                save_store_substrate(
+                    self._roa_status,
+                    self.directory,
+                    key=self.key,
+                    instrumentation=instr,
+                )
                 return self._roa_status
         with instr.stage("substrate-build", group="substrate"):
             self._roa_status = compute_roa_status(self.world)
@@ -381,6 +412,7 @@ def save_substrate_file(
     """
     from ..runtime.faults import fault_point
     from ..obs import Instrumentation
+    from ..store.container import durable_write
 
     instr = instrumentation or Instrumentation()
     payload = {
@@ -406,16 +438,14 @@ def save_substrate_file(
     try:
         with instr.stage("substrate-save", group="substrate"):
             fault_point("substrate.save", instrumentation=instr)
-            fd, staging = tempfile.mkstemp(
-                dir=directory, prefix=f".{SUBSTRATE_FILENAME}-"
+            # durable_write fsyncs the staging file before the rename
+            # and the directory after it, so a crash can never publish
+            # a torn substrate.
+            durable_write(
+                directory,
+                SUBSTRATE_FILENAME,
+                json.dumps(payload, separators=(",", ":")).encode("utf-8"),
             )
-            try:
-                with os.fdopen(fd, "w") as out:
-                    json.dump(payload, out, separators=(",", ":"))
-                os.rename(staging, target)
-            except BaseException:
-                Path(staging).unlink(missing_ok=True)
-                raise
     except OSError as error:
         instr.incr("substrate_store_errors")
         message = f"substrate store failed ({error}); continuing unpersisted"
@@ -423,6 +453,11 @@ def save_substrate_file(
         warnings.warn(message, RuntimeWarning, stacklevel=2)
         return None
     instr.incr("substrate_stores")
+    # The binary columnar sibling: what the fast paths load.  Written
+    # after the JSON artifact so a fault degrades to JSON-only.
+    from ..store.substrate import save_store_substrate
+
+    save_store_substrate(result, directory, key=key, instrumentation=instr)
     return target
 
 

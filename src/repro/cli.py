@@ -46,12 +46,11 @@ from .obs import profiled, trace_path_from_env
 from .net.prefix import IPv4Prefix, PrefixError
 from .net.timeline import DateWindow, parse_date
 from .query import (
-    INDEX_FILENAME,
     AsyncQueryServer,
     BatchParseError,
     QueryEngine,
     QueryServer,
-    load_index,
+    load_persisted_index,
     parse_query_batch,
 )
 from .reporting import (
@@ -393,15 +392,11 @@ def _query_engine(
     stale index is evicted here and rebuilt below from the world.
     """
     directory, key = _index_location(args)
-    if directory is not None and (directory / INDEX_FILENAME).exists():
-        try:
-            index = load_index(
-                directory, expected_key=key, instrumentation=instr
-            )
-        except Exception:
-            (directory / INDEX_FILENAME).unlink(missing_ok=True)
-            instr.incr("query_index_evictions")
-        else:
+    if directory is not None:
+        index = load_persisted_index(
+            directory, expected_key=key, instrumentation=instr
+        )
+        if index is not None:
             instr.annotate(
                 "query_index",
                 {"status": "hit", "directory": str(directory)},

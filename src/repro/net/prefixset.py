@@ -42,9 +42,21 @@ class PrefixSet:
         faster than repeated :meth:`add` calls for large unordered inputs
         (the per-day space accounting over hundreds of thousands of
         allocations depends on this).
+
+        Degenerate ``start == end`` intervals cover nothing and are
+        skipped — a naive append would seed a zero-width interval that
+        repeated :meth:`add` never produces, breaking ``__eq__`` between
+        the two construction paths.  Inverted intervals raise
+        :class:`ValueError`.
         """
         built = cls()
         for start, end in sorted(intervals):
+            if end < start:
+                raise ValueError(
+                    f"inverted interval: start={start} > end={end}"
+                )
+            if start == end:
+                continue
             if built._ends and start <= built._ends[-1]:
                 if end > built._ends[-1]:
                     built._ends[-1] = end

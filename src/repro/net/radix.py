@@ -260,16 +260,48 @@ class RadixTree(Generic[V]):
         """Remove and return the entry at exactly ``prefix``.
 
         Raises ``KeyError`` if absent.  Structural nodes left without an
-        entry or children are pruned lazily on later operations; this keeps
-        deletion simple at a negligible memory cost for our workloads.
+        entry and fewer than two children are spliced out immediately, so
+        a delete-heavy workload (churning route tables) cannot accumulate
+        dead interior nodes: the trie's node count stays proportional to
+        its entry count (pinned by the node-count regression test).
         """
-        node = self._find_node(prefix)
-        if node is None:
+        stack: list[_Node[V]] = []
+        node = self._root
+        while node is not None and node.length < prefix.length:
+            if not node.covers(prefix.network, prefix.length):
+                node = None
+                break
+            stack.append(node)
+            node = node.right if _bit(prefix.network, node.length) else node.left
+        if (
+            node is None
+            or node.length != prefix.length
+            or node.prefix is None
+            or not node.covers(prefix.network, prefix.length)
+        ):
             raise KeyError(prefix)
         value = node.value
         node.prefix = None
         node.value = None
         self._size -= 1
+        # Splice out the chain of now-useless nodes: an entry-less node
+        # with one child is a needless indirection (path compression says
+        # the child can hang off the parent directly); with zero children
+        # it is garbage.  Removing a leaf can strand its parent the same
+        # way, so walk back up until a node still earns its place.
+        while node.prefix is None and (node.left is None or node.right is None):
+            child = node.left if node.left is not None else node.right
+            parent = stack.pop() if stack else None
+            if parent is None:
+                self._root = child
+                break
+            if parent.right is node:
+                parent.right = child
+            else:
+                parent.left = child
+            if child is not None:
+                break  # parent kept its child count: structure above is fine
+            node = parent
         return value  # type: ignore[return-value]
 
 

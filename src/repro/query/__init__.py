@@ -42,6 +42,7 @@ from .index import (
     QueryIndex,
     build_index,
     load_index,
+    load_persisted_index,
     load_or_build_index,
     save_index,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "ServerCore",
     "build_index",
     "load_index",
+    "load_persisted_index",
     "load_or_build_index",
     "parse_query_batch",
     "parse_query_line",

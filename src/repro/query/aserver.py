@@ -55,11 +55,13 @@ from ..obs import Tracer
 from ..runtime.faults import fault_point
 from .engine import QueryEngine
 from .http import (
+    BAD_REQUEST_BODY,
     DEFAULT_CACHE_SIZE,
     MAX_BATCH_BYTES,
     ReloadError,
     Response,
     ServerCore,
+    parse_content_length,
 )
 
 __all__ = ["AsyncQueryServer"]
@@ -82,9 +84,7 @@ _REASONS = {
     503: "Service Unavailable",
 }
 
-_BAD_REQUEST_BODY = (
-    b'{"code": "query.bad-request", "error": "malformed HTTP request"}'
-)
+_BAD_REQUEST_BODY = BAD_REQUEST_BODY
 
 
 def _head_bytes(response: Response, *, close: bool) -> bytes:
@@ -116,7 +116,7 @@ def _parse_head(blob: bytes) -> tuple[str, str, bool, int]:
         name, sep, value = line.partition(":")
         if sep:
             headers[name.strip().lower()] = value.strip()
-    length = int(headers.get("content-length") or 0)
+    length = parse_content_length(headers.get("content-length"))
     connection = headers.get("connection", "").lower()
     keep_alive = (
         connection != "close"

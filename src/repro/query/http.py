@@ -42,6 +42,7 @@ from ..net.timeline import parse_date
 from .engine import BatchParseError, QueryEngine
 
 __all__ = [
+    "BAD_REQUEST_BODY",
     "MAX_BATCH_BYTES",
     "PROMETHEUS_CONTENT_TYPE",
     "BadDayError",
@@ -52,6 +53,7 @@ __all__ = [
     "Response",
     "ServerCore",
     "error_payload",
+    "parse_content_length",
     "parse_day",
     "parse_prefix",
 ]
@@ -103,9 +105,35 @@ class ReloadError(ReproError, RuntimeError):
     http_status = 500
 
 
+#: The one 400 body both transports answer when the request itself is
+#: not parseable HTTP (so there is no endpoint to blame): same
+#: ``{"code", "error"}`` shape as every other error payload, with the
+#: stable ``query.bad-request`` code.
+BAD_REQUEST_BODY = (
+    b'{"code": "query.bad-request", "error": "malformed HTTP request"}'
+)
+
+
 def error_payload(error: ReproError) -> dict:
     """The uniform JSON error body: stable code plus human message."""
     return {"code": error.code, "error": str(error)}
+
+
+def parse_content_length(raw: str | None) -> int:
+    """A ``Content-Length`` header value as a byte count.
+
+    RFC 9110 says ``1*DIGIT``, so only ASCII digits pass: a negative,
+    signed, or non-numeric value raises :class:`ValueError` and the
+    transport answers :data:`BAD_REQUEST_BODY` — ``int()`` alone would
+    let ``"-5"`` through as a negative length, which the threaded
+    transport then handed to ``rfile.read`` paths expecting a size.
+    An absent or empty header means no body (0).
+    """
+    if not raw:
+        return 0
+    if not raw.isascii() or not raw.isdigit():
+        raise ValueError(f"bad Content-Length {raw!r}")
+    return int(raw)
 
 
 def parse_day(args: dict, *, default: date) -> date:

@@ -23,8 +23,6 @@ answers.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 import warnings
 from dataclasses import dataclass
 from datetime import date
@@ -37,6 +35,7 @@ from ..net.timeline import DateWindow
 from ..rpki.roa import Roa
 from ..runtime.faults import corrupt_file, fault_point
 from ..obs import Instrumentation
+from ..store.container import durable_write
 from ..synth.builder import GENERATOR_VERSION
 from ..synth.world import World
 
@@ -52,6 +51,7 @@ __all__ = [
     "build_index",
     "load_index",
     "load_or_build_index",
+    "load_persisted_index",
     "save_index",
 ]
 
@@ -340,16 +340,15 @@ def save_index(
     try:
         with instr.stage("index-save", group="query"):
             fault_point("query.index.save", instrumentation=instr)
-            fd, staging = tempfile.mkstemp(
-                dir=directory, prefix=f".{INDEX_FILENAME}-"
+            # durable_write fsyncs the staging file before the rename
+            # and the directory after it — the load-site comment about
+            # torn files describes a crash mode that must stay
+            # unreachable.
+            durable_write(
+                directory,
+                INDEX_FILENAME,
+                json.dumps(payload, separators=(",", ":")).encode("utf-8"),
             )
-            try:
-                with os.fdopen(fd, "w") as out:
-                    json.dump(payload, out, separators=(",", ":"))
-                os.rename(staging, target)
-            except BaseException:
-                Path(staging).unlink(missing_ok=True)
-                raise
     except OSError as error:
         instr.incr("query_index_store_errors")
         message = f"query index store failed ({error}); continuing unpersisted"
@@ -357,6 +356,12 @@ def save_index(
         warnings.warn(message, RuntimeWarning, stacklevel=2)
         return None
     instr.incr("query_index_stores")
+    # The binary columnar sibling: what the fast paths load.  Written
+    # after the JSON artifact so a fault degrades to JSON-only, never
+    # to binary-without-compat.
+    from ..store.index import save_store_index
+
+    save_store_index(index, directory, instrumentation=instr)
     return target
 
 
@@ -442,6 +447,44 @@ def load_index(
     return index
 
 
+def load_persisted_index(
+    directory: Path,
+    *,
+    expected_key: str,
+    instrumentation: Instrumentation | None = None,
+) -> QueryIndex | None:
+    """Any trustworthy persisted index in ``directory``, or ``None``.
+
+    Tries the binary columnar store first (mmap, lazy zero-copy views),
+    then the JSON compatibility artifact.  Either artifact failing its
+    header pins or checksums is evicted (``store_evictions`` /
+    ``query_index_evictions``) before the next fallback; returns
+    ``None`` when nothing trustworthy remains, and callers rebuild.
+    """
+    instr = instrumentation or Instrumentation()
+    # Imported lazily: repro.store.index imports this module.
+    from ..store.index import STORE_INDEX_FILENAME, load_store_index
+
+    store_path = directory / STORE_INDEX_FILENAME
+    if store_path.exists():
+        try:
+            return load_store_index(
+                directory, expected_key=expected_key, instrumentation=instr
+            )
+        except Exception:
+            store_path.unlink(missing_ok=True)
+            instr.incr("store_evictions")
+    if (directory / INDEX_FILENAME).exists():
+        try:
+            return load_index(
+                directory, expected_key=expected_key, instrumentation=instr
+            )
+        except Exception:
+            (directory / INDEX_FILENAME).unlink(missing_ok=True)
+            instr.incr("query_index_evictions")
+    return None
+
+
 def load_or_build_index(
     world: World,
     directory: Path | None,
@@ -452,20 +495,18 @@ def load_or_build_index(
     """The index for ``world``: persisted if possible, else built.
 
     With a ``directory`` (the world's cache entry or archive dir), a
-    valid persisted index loads without touching the archives; a torn or
-    stale one is evicted (``query_index_evictions``) and transparently
-    rebuilt and re-stored.  Without a directory the index is built in
-    memory only.
+    valid persisted index — binary store first, JSON fallback — loads
+    without touching the archives; a torn or stale one is evicted and
+    transparently rebuilt and re-stored.  Without a directory the index
+    is built in memory only.
     """
     instr = instrumentation or Instrumentation()
-    if directory is not None and (directory / INDEX_FILENAME).exists():
-        try:
-            return load_index(
-                directory, expected_key=key, instrumentation=instr
-            )
-        except Exception:
-            (directory / INDEX_FILENAME).unlink(missing_ok=True)
-            instr.incr("query_index_evictions")
+    if directory is not None:
+        index = load_persisted_index(
+            directory, expected_key=key, instrumentation=instr
+        )
+        if index is not None:
+            return index
     index = build_index(world, key=key, instrumentation=instr)
     if directory is not None:
         save_index(index, directory, instrumentation=instr)

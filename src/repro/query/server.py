@@ -30,7 +30,13 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .engine import QueryEngine
-from .http import MAX_BATCH_BYTES, Response, ServerCore
+from .http import (
+    BAD_REQUEST_BODY,
+    MAX_BATCH_BYTES,
+    Response,
+    ServerCore,
+    parse_content_length,
+)
 
 __all__ = ["QueryServer"]
 
@@ -50,13 +56,20 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _dispatch(self, method: str) -> None:
-        length = int(self.headers.get("Content-Length") or 0)
-        body = None
-        if method == "POST" and 0 < length <= MAX_BATCH_BYTES:
-            body = self.rfile.read(length)
-        response: Response = self.server.core.handle(
-            method, self.path, body, length
-        )
+        try:
+            length = parse_content_length(self.headers.get("Content-Length"))
+        except ValueError:
+            # A malformed/negative Content-Length previously raised out
+            # of the handler thread (connection reset, no response);
+            # both daemons now answer the same stable-coded 400.
+            self.server.core.instrumentation.incr("serve_client_errors")
+            response = Response(400, "application/json", BAD_REQUEST_BODY)
+            self.close_connection = True
+        else:
+            body = None
+            if method == "POST" and 0 < length <= MAX_BATCH_BYTES:
+                body = self.rfile.read(length)
+            response = self.server.core.handle(method, self.path, body, length)
         self.send_response(response.status)
         self.send_header("Content-Type", response.content_type)
         self.send_header("Content-Length", str(len(response.body)))

@@ -206,26 +206,37 @@ def _mp_context():
     return multiprocessing.get_context(method) if method else None
 
 
-def parallel_map(fn, tasks, *, jobs: int) -> list:
+def parallel_map(
+    fn, tasks, *, jobs: int, initializer=None, initargs=()
+) -> list:
     """Ordered ``[fn(t) for t in tasks]`` over a process pool.
 
     The generic fan-out behind the sharded world build: ``fn`` must be
-    a picklable module-level function of one picklable task.  A broken
-    pool (worker OOM-killed, injected crash) falls back to computing the
-    whole map serially in the parent — a dying worker costs wall time,
-    never results, matching :func:`run_experiments`.  ``jobs <= 1`` or
-    a single task short-circuits to the serial loop.
+    a picklable module-level function of one picklable task.
+    ``initializer(*initargs)`` — when given — runs once per worker
+    process (and once in the parent on the serial paths), so bulky
+    task-invariant state ships once per worker instead of once per
+    task.  A broken pool (worker OOM-killed, injected crash) falls back
+    to computing the whole map serially in the parent — a dying worker
+    costs wall time, never results, matching :func:`run_experiments`.
+    ``jobs <= 1`` or a single task short-circuits to the serial loop.
     """
     tasks = list(tasks)
     if jobs <= 1 or len(tasks) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
         return [fn(task) for task in tasks]
     try:
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(tasks)),
             mp_context=_mp_context(),
+            initializer=initializer,
+            initargs=initargs,
         ) as pool:
             return list(pool.map(fn, tasks))
     except Exception:
+        if initializer is not None:
+            initializer(*initargs)
         return [fn(task) for task in tasks]
 
 

@@ -1,0 +1,32 @@
+"""``repro.store``: the binary columnar world store.
+
+A compact little-endian on-disk format (stdlib ``struct``/``array``
+only) for the artifacts that dominate load time at paper scale — the
+:class:`~repro.query.index.QueryIndex` event tables and the
+:class:`~repro.analysis.roa_status.RoaStatusResult` substrate — plus the
+in-memory merge payloads of the sharded world build.
+
+The container layer (:mod:`repro.store.container`) is dependency-free;
+the codecs (:mod:`repro.store.index`, :mod:`repro.store.substrate`,
+:mod:`repro.store.shards`) import their subject modules, so import them
+directly rather than through this package to keep the import graph
+acyclic (``repro.query.index`` itself uses ``repro.store.container``).
+"""
+
+from .container import (
+    STORE_FORMAT,
+    StoreError,
+    StoreReader,
+    build_store,
+    durable_write,
+    fsync_directory,
+)
+
+__all__ = [
+    "STORE_FORMAT",
+    "StoreError",
+    "StoreReader",
+    "build_store",
+    "durable_write",
+    "fsync_directory",
+]

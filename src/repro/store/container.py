@@ -1,0 +1,306 @@
+"""The binary columnar container: header, section table, checksums.
+
+Every ``repro.store`` artifact — the query index, the analysis
+substrate, a background shard's merge payload — is one *container*: a
+versioned little-endian file holding named typed **sections** (flat
+columns of ``B``/``H``/``I``/``Q``/``d`` values) behind a JSON metadata
+blob and a section table with per-section CRC32 checksums.
+
+Layout (all integers little-endian)::
+
+    +--------------------------------------------------------------+
+    | magic "RDROPST\\x01" | format u32 | meta length u32           |
+    | meta: canonical JSON (sorted keys, compact separators), utf-8 |
+    | section count u32                                            |
+    | per section: name 16s | typecode c | pad 7 |                 |
+    |              offset u64 | nbytes u64 | crc32 u32 | pad 4     |
+    | header crc32 u32  (over every preceding byte)                |
+    | padding to 8-byte alignment                                  |
+    | section payloads, each 8-byte aligned                        |
+    +--------------------------------------------------------------+
+
+Readers :func:`StoreReader.open` the file through ``mmap`` and hand out
+**zero-copy typed views** (``memoryview.cast``): nothing is parsed or
+copied per row, so N processes mapping the same file share one page
+cache image and per-process anonymous memory stays near zero.  All
+checksums are verified eagerly at open — a torn or bit-flipped file
+fails fast and the caller evicts it (the same discipline as the JSON
+artifacts) — which also pre-faults the pages into the *shared* cache.
+
+Writers go through :func:`durable_write`: staging file, ``flush`` +
+``fsync``, atomic ``rename``, then ``fsync`` of the directory — the
+crash-safety contract the torn-file fault tests pin.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import mmap
+import os
+import struct
+import sys
+import tempfile
+import zlib
+from pathlib import Path
+
+from ..errors import ReproError
+
+__all__ = [
+    "STORE_FORMAT",
+    "StoreError",
+    "StoreReader",
+    "build_store",
+    "durable_write",
+    "fsync_directory",
+]
+
+#: Container layout version; bump to orphan every persisted store file.
+STORE_FORMAT = 1
+
+_MAGIC = b"RDROPST\x01"
+_HEAD = struct.Struct("<8sII")  # magic, format, meta nbytes
+_COUNT = struct.Struct("<I")
+_SECTION = struct.Struct("<16sc7xQQI4x")  # name, typecode, offset, nbytes, crc
+_CRC = struct.Struct("<I")
+_ALIGN = 8
+
+#: Section element types: array/memoryview typecode -> element size.
+_ITEMSIZES = {"B": 1, "H": 2, "I": 4, "Q": 8, "d": 8}
+
+
+class StoreError(ReproError, ValueError):
+    """A store container that cannot be trusted (torn, foreign, stale)."""
+
+    code = "store.invalid"
+
+
+def _require_little_endian() -> None:
+    if sys.byteorder != "little":  # pragma: no cover - LE-only CI
+        raise StoreError(
+            "binary store requires a little-endian host; "
+            "use the JSON artifacts instead"
+        )
+
+
+def _pad(out: io.BytesIO) -> None:
+    out.write(b"\x00" * (-out.tell() % _ALIGN))
+
+
+def build_store(meta: dict, sections) -> bytes:
+    """Serialize ``meta`` plus named columns into one container blob.
+
+    ``sections`` is an iterable of ``(name, typecode, data)`` where
+    ``data`` is anything exposing the buffer protocol (``array.array``,
+    ``bytes``, ``memoryview``) whose byte length is a multiple of the
+    typecode's element size.  Names must be unique ASCII, at most 16
+    bytes.
+    """
+    _require_little_endian()
+    entries = []
+    payloads = []
+    for name, typecode, data in sections:
+        raw = bytes(data)
+        encoded = name.encode("ascii")
+        if not encoded or len(encoded) > 16:
+            raise StoreError(f"section name {name!r} must be 1..16 bytes")
+        itemsize = _ITEMSIZES.get(typecode)
+        if itemsize is None:
+            raise StoreError(f"section {name!r}: unknown typecode {typecode!r}")
+        if len(raw) % itemsize:
+            raise StoreError(
+                f"section {name!r}: {len(raw)} bytes is not a multiple "
+                f"of itemsize {itemsize}"
+            )
+        entries.append((encoded, typecode, raw))
+        payloads.append(raw)
+
+    meta_blob = json.dumps(
+        meta, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    head_size = (
+        _HEAD.size
+        + len(meta_blob)
+        + _COUNT.size
+        + len(entries) * _SECTION.size
+        + _CRC.size
+    )
+    cursor = head_size + (-head_size % _ALIGN)
+    table = []
+    for encoded, typecode, raw in entries:
+        table.append((encoded, typecode, cursor, len(raw), zlib.crc32(raw)))
+        cursor += len(raw) + (-len(raw) % _ALIGN)
+
+    out = io.BytesIO()
+    out.write(_HEAD.pack(_MAGIC, STORE_FORMAT, len(meta_blob)))
+    out.write(meta_blob)
+    out.write(_COUNT.pack(len(table)))
+    for encoded, typecode, offset, nbytes, crc in table:
+        out.write(
+            _SECTION.pack(
+                encoded.ljust(16, b"\x00"),
+                typecode.encode("ascii"),
+                offset,
+                nbytes,
+                crc,
+            )
+        )
+    out.write(_CRC.pack(zlib.crc32(out.getvalue())))
+    for raw in payloads:
+        _pad(out)
+        out.write(raw)
+    return out.getvalue()
+
+
+class StoreReader:
+    """A parsed container over an ``mmap`` (or any in-memory buffer).
+
+    Holds the mapping open for the lifetime of every view it hands out;
+    views are ``memoryview.cast`` slices — zero-copy, indexable, and
+    directly usable with :mod:`bisect`.
+    """
+
+    def __init__(self, buffer, *, source: str = "<memory>") -> None:
+        _require_little_endian()
+        self._buffer = buffer
+        self._view = memoryview(buffer)
+        self.source = source
+        try:
+            self.meta, self._sections = self._parse()
+        except StoreError:
+            self._view.release()
+            raise
+
+    @classmethod
+    def open(cls, path: Path) -> "StoreReader":
+        """Map ``path`` read-only and parse + checksum it eagerly."""
+        with open(path, "rb") as handle:
+            if os.fstat(handle.fileno()).st_size == 0:
+                raise StoreError(f"{path}: empty store file")
+            mapped = mmap.mmap(
+                handle.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        return cls(mapped, source=str(path))
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "StoreReader":
+        return cls(blob)
+
+    def _parse(self):
+        view = self._view
+        if len(view) < _HEAD.size:
+            raise StoreError(f"{self.source}: truncated header")
+        magic, fmt, meta_len = _HEAD.unpack_from(view, 0)
+        if magic != _MAGIC:
+            raise StoreError(f"{self.source}: bad magic {magic!r}")
+        if fmt != STORE_FORMAT:
+            raise StoreError(
+                f"{self.source}: store format {fmt} != {STORE_FORMAT}"
+            )
+        cursor = _HEAD.size
+        if len(view) < cursor + meta_len + _COUNT.size:
+            raise StoreError(f"{self.source}: truncated metadata")
+        try:
+            meta = json.loads(bytes(view[cursor : cursor + meta_len]))
+        except ValueError as error:
+            raise StoreError(f"{self.source}: bad metadata ({error})") from None
+        cursor += meta_len
+        (count,) = _COUNT.unpack_from(view, cursor)
+        cursor += _COUNT.size
+        table_end = cursor + count * _SECTION.size
+        if len(view) < table_end + _CRC.size:
+            raise StoreError(f"{self.source}: truncated section table")
+        sections: dict[str, tuple[str, int, int]] = {}
+        for _ in range(count):
+            raw_name, raw_code, offset, nbytes, crc = _SECTION.unpack_from(
+                view, cursor
+            )
+            cursor += _SECTION.size
+            name = raw_name.rstrip(b"\x00").decode("ascii")
+            typecode = raw_code.decode("ascii")
+            if typecode not in _ITEMSIZES:
+                raise StoreError(
+                    f"{self.source}: section {name!r} has unknown "
+                    f"typecode {typecode!r}"
+                )
+            if offset + nbytes > len(view):
+                raise StoreError(
+                    f"{self.source}: section {name!r} overruns the file"
+                )
+            if zlib.crc32(view[offset : offset + nbytes]) != crc:
+                raise StoreError(
+                    f"{self.source}: section {name!r} checksum mismatch"
+                )
+            sections[name] = (typecode, offset, nbytes)
+        (header_crc,) = _CRC.unpack_from(view, table_end)
+        if zlib.crc32(view[:table_end]) != header_crc:
+            raise StoreError(f"{self.source}: header checksum mismatch")
+        return meta, sections
+
+    def section_names(self) -> list[str]:
+        return list(self._sections)
+
+    def view(self, name: str, typecode: str | None = None) -> memoryview:
+        """The zero-copy typed view of one section's column."""
+        try:
+            stored_code, offset, nbytes = self._sections[name]
+        except KeyError:
+            raise StoreError(
+                f"{self.source}: missing section {name!r}"
+            ) from None
+        if typecode is not None and typecode != stored_code:
+            raise StoreError(
+                f"{self.source}: section {name!r} is {stored_code!r}, "
+                f"expected {typecode!r}"
+            )
+        raw = self._view[offset : offset + nbytes]
+        return raw if stored_code == "B" else raw.cast(stored_code)
+
+    def close(self) -> None:  # pragma: no cover - GC handles the common path
+        self._view.release()
+        if isinstance(self._buffer, mmap.mmap):
+            self._buffer.close()
+
+
+# ---------------------------------------------------------------------------
+# durable writes
+# ---------------------------------------------------------------------------
+
+
+def fsync_directory(directory: Path) -> None:
+    """Flush a directory's entry table so a rename survives a crash.
+
+    Best-effort: platforms/filesystems that cannot fsync a directory
+    (some network mounts) degrade to the plain rename semantics.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def durable_write(directory: Path, filename: str, blob: bytes) -> Path:
+    """Crash-safe atomic publish of ``blob`` as ``directory/filename``.
+
+    Stages in the same directory, ``fsync``\\ s the staging file *before*
+    the atomic rename (so the rename can never expose a torn file), then
+    ``fsync``\\ s the directory (so the rename itself is on disk).
+    """
+    fd, staging = tempfile.mkstemp(dir=directory, prefix=f".{filename}-")
+    try:
+        with os.fdopen(fd, "wb") as out:
+            out.write(blob)
+            out.flush()
+            os.fsync(out.fileno())
+        os.rename(staging, directory / filename)
+    except BaseException:
+        Path(staging).unlink(missing_ok=True)
+        raise
+    fsync_directory(directory)
+    return directory / filename

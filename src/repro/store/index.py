@@ -1,0 +1,622 @@
+"""Binary codec + lazy mmap view for the :class:`QueryIndex`.
+
+The JSON index deserializes every entry up front: at paper scale that is
+seconds of parsing and hundreds of MB of per-process heap.  The binary
+codec flattens each trie into **sorted columnar arrays** — one ``u64``
+key per prefix (``network << 8 | length``), bucket offsets, and one flat
+column per entry field — and the loader hands back a
+:class:`StoreIndexView` that answers every query straight off the
+``mmap``:
+
+* exact :meth:`~LazyPrefixTable.get` is one :func:`bisect.bisect_left`
+  over the key column (which works directly on the typed memoryview);
+* :meth:`~LazyPrefixTable.lookup_covering` is at most 33 exact probes,
+  least-specific first — the same order the radix trie returns, because
+  sorted ``(network, length)`` order *is* the trie's pre-order walk;
+* :meth:`~LazyPrefixTable.lookup_covered` is one contiguous key-range
+  scan filtered by length;
+* buckets materialize into the real entry dataclasses only on first
+  touch and are memoized, so the engine's answers are byte-identical to
+  the built/JSON index (pinned by golden tests) while an idle table
+  costs no anonymous memory at all.
+
+Dates are stored as ``date.toordinal()`` (u32, 0 = None); strings are
+interned into one pool (ref 0 = None); observer sets live as offset +
+flat peer-id columns and materialize to ``frozenset`` per ref on first
+use.  The file carries the same header pins as ``query-index.json``
+(index format, generator version, world key) and the same eviction
+discipline via the ``store.load``/``store.save`` fault sites.
+"""
+
+from __future__ import annotations
+
+import warnings
+from array import array
+from bisect import bisect_left
+from datetime import date
+from pathlib import Path
+
+from ..net.prefix import IPV4_BITS, IPv4Prefix
+from ..net.timeline import DateWindow
+from ..obs import Instrumentation
+from ..query.index import (
+    INDEX_FORMAT,
+    DropEntry,
+    IndexLoadError,
+    IrrEntry,
+    QueryIndex,
+    RoaEntry,
+    RouteEntry,
+)
+from ..runtime.faults import corrupt_file, fault_point
+from ..synth.builder import GENERATOR_VERSION
+from .container import StoreError, StoreReader, build_store, durable_write
+
+__all__ = [
+    "STORE_INDEX_FILENAME",
+    "LazyObserverSets",
+    "LazyPrefixTable",
+    "StoreIndexView",
+    "encode_index",
+    "load_store_index",
+    "save_store_index",
+]
+
+#: The binary index file's name inside a world cache entry (or archive
+#: dir), next to its JSON sibling.
+STORE_INDEX_FILENAME = "query-index.bin"
+
+_KIND = "query-index"
+
+#: ``max_length`` has no value on most ROAs; 255 is the None sentinel in
+#: the u8 column (real values are <= 32).
+_NO_MAXLEN = 255
+
+
+def _to_day(day: date | None) -> int:
+    return 0 if day is None else day.toordinal()
+
+
+def _from_day(ordinal: int) -> date | None:
+    return None if ordinal == 0 else date.fromordinal(ordinal)
+
+
+def _prefix_key(prefix: IPv4Prefix) -> int:
+    return (prefix.network << 8) | prefix.length
+
+
+def _mask(network: int, length: int) -> int:
+    if length == 0:
+        return 0
+    return network & ((0xFFFFFFFF << (IPV4_BITS - length)) & 0xFFFFFFFF)
+
+
+class _PoolWriter:
+    """Interns strings into one offsets+bytes pool; ref 0 is None."""
+
+    def __init__(self) -> None:
+        self._refs: dict[str, int] = {}
+        self.offsets = array("I", [0])
+        self.data = bytearray()
+
+    def ref(self, text: str | None) -> int:
+        if text is None:
+            return 0
+        ref = self._refs.get(text)
+        if ref is None:
+            self.data.extend(text.encode("utf-8"))
+            self.offsets.append(len(self.data))
+            ref = self._refs[text] = len(self.offsets) - 1
+        return ref
+
+
+class _PoolView:
+    """The read side of a string pool; decoded strings are memoized."""
+
+    __slots__ = ("_offsets", "_data", "_cache")
+
+    def __init__(self, offsets, data) -> None:
+        self._offsets = offsets
+        self._data = data
+        self._cache: dict[int, str] = {}
+
+    def get(self, ref: int) -> str | None:
+        if ref == 0:
+            return None
+        text = self._cache.get(ref)
+        if text is None:
+            lo, hi = self._offsets[ref - 1], self._offsets[ref]
+            text = self._cache[ref] = bytes(self._data[lo:hi]).decode("utf-8")
+        return text
+
+
+class LazyObserverSets:
+    """``QueryIndex.observer_sets`` semantics over offset + id columns.
+
+    Indexable and sized like the list of ``frozenset`` it replaces; each
+    ref materializes on first subscript and is memoized, so only the
+    observer sets a workload actually touches ever cost heap.
+    """
+
+    __slots__ = ("_offsets", "_values", "_cache")
+
+    def __init__(self, offsets, values) -> None:
+        self._offsets = offsets
+        self._values = values
+        self._cache: dict[int, frozenset[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def __getitem__(self, ref: int) -> frozenset[int]:
+        if ref < 0:
+            ref += len(self)
+        members = self._cache.get(ref)
+        if members is None:
+            if not 0 <= ref < len(self):
+                raise IndexError(f"observer set ref {ref} out of range")
+            lo, hi = self._offsets[ref], self._offsets[ref + 1]
+            members = self._cache[ref] = frozenset(self._values[lo:hi])
+        return members
+
+    def __iter__(self):
+        for ref in range(len(self)):
+            yield self[ref]
+
+
+class LazyPrefixTable:
+    """A read-only :class:`~repro.net.radix.PrefixTrie` over sorted columns.
+
+    Needs only the key column (sorted u64 ``network<<8|length``), the
+    bucket-offset column, and a ``decode(lo, hi)`` callable that
+    materializes the entries of one bucket; decoded buckets are memoized
+    by position so repeated hits return the identical list objects, as
+    the in-memory trie does.
+    """
+
+    __slots__ = ("_keys", "_offsets", "_decode", "_buckets")
+
+    def __init__(self, keys, offsets, decode) -> None:
+        self._keys = keys
+        self._offsets = offsets
+        self._decode = decode
+        self._buckets: dict[int, list] = {}
+
+    # -- size / iteration ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __bool__(self) -> bool:
+        return len(self._keys) > 0
+
+    def __iter__(self):
+        for key in self._keys:
+            yield IPv4Prefix(key >> 8, key & 0xFF)
+
+    def items(self):
+        """All entries in address order (the trie's pre-order walk)."""
+        for pos in range(len(self._keys)):
+            key = self._keys[pos]
+            yield IPv4Prefix(key >> 8, key & 0xFF), self._bucket(pos)
+
+    # -- internals ----------------------------------------------------------
+
+    def _bucket(self, pos: int) -> list:
+        bucket = self._buckets.get(pos)
+        if bucket is None:
+            bucket = self._buckets[pos] = self._decode(
+                self._offsets[pos], self._offsets[pos + 1]
+            )
+        return bucket
+
+    def _position(self, prefix: IPv4Prefix) -> int:
+        key = _prefix_key(prefix)
+        pos = bisect_left(self._keys, key)
+        if pos < len(self._keys) and self._keys[pos] == key:
+            return pos
+        return -1
+
+    # -- exact lookup -------------------------------------------------------
+
+    def get(self, prefix: IPv4Prefix, default=None):
+        pos = self._position(prefix)
+        return default if pos < 0 else self._bucket(pos)
+
+    def __contains__(self, prefix: IPv4Prefix) -> bool:
+        return self._position(prefix) >= 0
+
+    def __getitem__(self, prefix: IPv4Prefix):
+        pos = self._position(prefix)
+        if pos < 0:
+            raise KeyError(prefix)
+        return self._bucket(pos)
+
+    # -- covering / covered queries -----------------------------------------
+
+    def lookup_covering(self, prefix: IPv4Prefix) -> list:
+        """All entries covering ``prefix``, least-specific first."""
+        found = []
+        keys = self._keys
+        size = len(keys)
+        for length in range(prefix.length + 1):
+            masked = _mask(prefix.network, length)
+            key = (masked << 8) | length
+            pos = bisect_left(keys, key)
+            if pos < size and keys[pos] == key:
+                found.append((IPv4Prefix(masked, length), self._bucket(pos)))
+        return found
+
+    def lookup_best(self, prefix: IPv4Prefix):
+        covering = self.lookup_covering(prefix)
+        return covering[-1] if covering else None
+
+    def lookup_covered(self, prefix: IPv4Prefix) -> list:
+        """All entries equal to or more specific than ``prefix``."""
+        keys = self._keys
+        lo = bisect_left(keys, prefix.first << 8)
+        hi = bisect_left(keys, (prefix.last + 1) << 8)
+        found = []
+        for pos in range(lo, hi):
+            key = keys[pos]
+            if (key & 0xFF) >= prefix.length:
+                found.append(
+                    (IPv4Prefix(key >> 8, key & 0xFF), self._bucket(pos))
+                )
+        return found
+
+    def covers_address(self, address: int) -> bool:
+        return self.lookup_best(IPv4Prefix(address, IPV4_BITS)) is not None
+
+
+class StoreIndexView:
+    """A :class:`QueryIndex` look-alike served lazily from one mmap.
+
+    Exposes the exact surface the engine, daemon, and substrate use —
+    ``window`` / ``total_peers`` / ``key`` / ``generator``, the four
+    tables, ``observer_sets``, ``sizes()`` — with identical answers
+    (golden-tested) and near-zero anonymous memory until touched.
+    """
+
+    __slots__ = (
+        "window",
+        "total_peers",
+        "key",
+        "generator",
+        "drop",
+        "irr",
+        "roa",
+        "routes",
+        "observer_sets",
+        "_reader",
+    )
+
+    def __init__(self, reader: StoreReader) -> None:
+        meta = reader.meta
+        self._reader = reader
+        self.window = DateWindow(
+            date.fromisoformat(meta["window"][0]),
+            date.fromisoformat(meta["window"][1]),
+        )
+        self.total_peers = meta["total_peers"]
+        self.key = meta["key"]
+        self.generator = meta["generator"]
+        self.observer_sets = LazyObserverSets(
+            reader.view("obs.off", "I"), reader.view("obs.val", "I")
+        )
+        strings = _PoolView(
+            reader.view("str.off", "I"), reader.view("str.dat", "B")
+        )
+
+        added = reader.view("drop.added", "I")
+        removed = reader.view("drop.removed", "I")
+        sbl = reader.view("drop.sbl", "I")
+
+        def decode_drop(lo: int, hi: int) -> list[DropEntry]:
+            return [
+                DropEntry(
+                    _from_day(added[i]),  # type: ignore[arg-type]
+                    _from_day(removed[i]),
+                    strings.get(sbl[i]),
+                )
+                for i in range(lo, hi)
+            ]
+
+        origin = reader.view("irr.origin", "I")
+        created = reader.view("irr.created", "I")
+        deleted = reader.view("irr.deleted", "I")
+
+        def decode_irr(lo: int, hi: int) -> list[IrrEntry]:
+            return [
+                IrrEntry(
+                    origin[i],
+                    _from_day(created[i]),  # type: ignore[arg-type]
+                    _from_day(deleted[i]),
+                )
+                for i in range(lo, hi)
+            ]
+
+        roa_asn = reader.view("roa.asn", "I")
+        roa_maxlen = reader.view("roa.maxlen", "B")
+        roa_ta = reader.view("roa.ta", "I")
+        roa_created = reader.view("roa.created", "I")
+        roa_removed = reader.view("roa.removed", "I")
+
+        def decode_roa(lo: int, hi: int) -> list[RoaEntry]:
+            return [
+                RoaEntry(
+                    roa_asn[i],
+                    None if roa_maxlen[i] == _NO_MAXLEN else roa_maxlen[i],
+                    strings.get(roa_ta[i]),  # type: ignore[arg-type]
+                    _from_day(roa_created[i]),  # type: ignore[arg-type]
+                    _from_day(roa_removed[i]),
+                )
+                for i in range(lo, hi)
+            ]
+
+        rt_origin = reader.view("rt.origin", "I")
+        rt_start = reader.view("rt.start", "I")
+        rt_end = reader.view("rt.end", "I")
+        rt_obs = reader.view("rt.obs", "I")
+        rt_poff = reader.view("rt.poff", "I")
+        rt_peer = reader.view("rt.peer", "I")
+        rt_pstart = reader.view("rt.pstart", "I")
+        rt_pend = reader.view("rt.pend", "I")
+
+        def decode_routes(lo: int, hi: int) -> list[RouteEntry]:
+            return [
+                RouteEntry(
+                    origin=rt_origin[i],
+                    start=_from_day(rt_start[i]),  # type: ignore[arg-type]
+                    end=_from_day(rt_end[i]),
+                    observers_ref=rt_obs[i],
+                    partials=tuple(
+                        (
+                            rt_peer[j],
+                            _from_day(rt_pstart[j]),
+                            _from_day(rt_pend[j]),
+                        )
+                        for j in range(rt_poff[i], rt_poff[i + 1])
+                    ),
+                )
+                for i in range(lo, hi)
+            ]
+
+        self.drop = LazyPrefixTable(
+            reader.view("drop.key", "Q"), reader.view("drop.off", "I"),
+            decode_drop,
+        )
+        self.irr = LazyPrefixTable(
+            reader.view("irr.key", "Q"), reader.view("irr.off", "I"),
+            decode_irr,
+        )
+        self.roa = LazyPrefixTable(
+            reader.view("roa.key", "Q"), reader.view("roa.off", "I"),
+            decode_roa,
+        )
+        self.routes = LazyPrefixTable(
+            reader.view("rt.key", "Q"), reader.view("rt.off", "I"),
+            decode_routes,
+        )
+
+    def sizes(self) -> dict[str, int]:
+        """Per-table entry counts — same shape as :meth:`QueryIndex.sizes`."""
+        return {
+            "drop_prefixes": len(self.drop),
+            "irr_prefixes": len(self.irr),
+            "roa_prefixes": len(self.roa),
+            "route_prefixes": len(self.routes),
+            "observer_sets": len(self.observer_sets),
+        }
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+
+def _sorted_items(trie) -> list:
+    return sorted(trie.items(), key=lambda item: _prefix_key(item[0]))
+
+
+def encode_index(index: QueryIndex) -> bytes:
+    """Flatten a built index into one container blob."""
+    strings = _PoolWriter()
+
+    obs_off = array("I", [0])
+    obs_val = array("I")
+    for members in index.observer_sets:
+        obs_val.extend(sorted(members))
+        obs_off.append(len(obs_val))
+
+    drop_key = array("Q")
+    drop_off = array("I", [0])
+    drop_added = array("I")
+    drop_removed = array("I")
+    drop_sbl = array("I")
+    for prefix, bucket in _sorted_items(index.drop):
+        drop_key.append(_prefix_key(prefix))
+        for entry in bucket:
+            drop_added.append(_to_day(entry.added))
+            drop_removed.append(_to_day(entry.removed))
+            drop_sbl.append(strings.ref(entry.sbl_id))
+        drop_off.append(len(drop_added))
+
+    irr_key = array("Q")
+    irr_off = array("I", [0])
+    irr_origin = array("I")
+    irr_created = array("I")
+    irr_deleted = array("I")
+    for prefix, bucket in _sorted_items(index.irr):
+        irr_key.append(_prefix_key(prefix))
+        for entry in bucket:
+            irr_origin.append(entry.origin)
+            irr_created.append(_to_day(entry.created))
+            irr_deleted.append(_to_day(entry.deleted))
+        irr_off.append(len(irr_origin))
+
+    roa_key = array("Q")
+    roa_off = array("I", [0])
+    roa_asn = array("I")
+    roa_maxlen = array("B")
+    roa_ta = array("I")
+    roa_created = array("I")
+    roa_removed = array("I")
+    for prefix, bucket in _sorted_items(index.roa):
+        roa_key.append(_prefix_key(prefix))
+        for entry in bucket:
+            roa_asn.append(entry.asn)
+            roa_maxlen.append(
+                _NO_MAXLEN if entry.max_length is None else entry.max_length
+            )
+            roa_ta.append(strings.ref(entry.trust_anchor))
+            roa_created.append(_to_day(entry.created))
+            roa_removed.append(_to_day(entry.removed))
+        roa_off.append(len(roa_asn))
+
+    rt_key = array("Q")
+    rt_off = array("I", [0])
+    rt_origin = array("I")
+    rt_start = array("I")
+    rt_end = array("I")
+    rt_obs = array("I")
+    rt_poff = array("I", [0])
+    rt_peer = array("I")
+    rt_pstart = array("I")
+    rt_pend = array("I")
+    for prefix, bucket in _sorted_items(index.routes):
+        rt_key.append(_prefix_key(prefix))
+        for entry in bucket:
+            rt_origin.append(entry.origin)
+            rt_start.append(_to_day(entry.start))
+            rt_end.append(_to_day(entry.end))
+            rt_obs.append(entry.observers_ref)
+            for peer_id, pstart, pend in entry.partials:
+                rt_peer.append(peer_id)
+                rt_pstart.append(_to_day(pstart))
+                rt_pend.append(_to_day(pend))
+            rt_poff.append(len(rt_peer))
+        rt_off.append(len(rt_origin))
+
+    meta = {
+        "kind": _KIND,
+        "index_format": INDEX_FORMAT,
+        "generator": index.generator,
+        "key": index.key,
+        "window": [
+            index.window.start.isoformat(),
+            index.window.end.isoformat(),
+        ],
+        "total_peers": index.total_peers,
+    }
+    return build_store(
+        meta,
+        [
+            ("obs.off", "I", obs_off),
+            ("obs.val", "I", obs_val),
+            ("str.off", "I", strings.offsets),
+            ("str.dat", "B", bytes(strings.data)),
+            ("drop.key", "Q", drop_key),
+            ("drop.off", "I", drop_off),
+            ("drop.added", "I", drop_added),
+            ("drop.removed", "I", drop_removed),
+            ("drop.sbl", "I", drop_sbl),
+            ("irr.key", "Q", irr_key),
+            ("irr.off", "I", irr_off),
+            ("irr.origin", "I", irr_origin),
+            ("irr.created", "I", irr_created),
+            ("irr.deleted", "I", irr_deleted),
+            ("roa.key", "Q", roa_key),
+            ("roa.off", "I", roa_off),
+            ("roa.asn", "I", roa_asn),
+            ("roa.maxlen", "B", roa_maxlen),
+            ("roa.ta", "I", roa_ta),
+            ("roa.created", "I", roa_created),
+            ("roa.removed", "I", roa_removed),
+            ("rt.key", "Q", rt_key),
+            ("rt.off", "I", rt_off),
+            ("rt.origin", "I", rt_origin),
+            ("rt.start", "I", rt_start),
+            ("rt.end", "I", rt_end),
+            ("rt.obs", "I", rt_obs),
+            ("rt.poff", "I", rt_poff),
+            ("rt.peer", "I", rt_peer),
+            ("rt.pstart", "I", rt_pstart),
+            ("rt.pend", "I", rt_pend),
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# persistence
+# ---------------------------------------------------------------------------
+
+
+def save_store_index(
+    index: QueryIndex,
+    directory: Path,
+    *,
+    instrumentation: Instrumentation | None = None,
+) -> Path | None:
+    """Persist the binary index next to its JSON sibling.
+
+    Follows the JSON artifacts' degradation contract: any failure
+    (read-only dir, disk full, injected fault at ``store.save``) leaves
+    an unpersisted store with a counter and a warning — never an error.
+    """
+    instr = instrumentation or Instrumentation()
+    try:
+        with instr.stage("store-index-save", group="store"):
+            fault_point("store.save", instrumentation=instr)
+            durable_write(directory, STORE_INDEX_FILENAME, encode_index(index))
+    except (OSError, StoreError) as error:
+        instr.incr("store_save_errors")
+        message = f"binary index store failed ({error}); JSON path remains"
+        instr.warn(message)
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
+        return None
+    instr.incr("store_saves")
+    return directory / STORE_INDEX_FILENAME
+
+
+def load_store_index(
+    directory: Path,
+    *,
+    expected_key: str,
+    instrumentation: Instrumentation | None = None,
+) -> StoreIndexView:
+    """Map and verify the binary index, returning the lazy view.
+
+    Raises :class:`IndexLoadError` / :class:`StoreError` (or the
+    underlying ``OSError``) for anything untrustworthy — torn file, bad
+    checksum, foreign generator or key — and callers evict the ``.bin``
+    and fall back to JSON or a rebuild.
+    """
+    instr = instrumentation or Instrumentation()
+    path = directory / STORE_INDEX_FILENAME
+    with instr.stage("store-index-load", group="store"):
+        # A truncate fault here models a torn binary file that became
+        # visible anyway (crash between write and fsync).
+        corrupt_file("store.load", path, instrumentation=instr)
+        fault_point("store.load", instrumentation=instr)
+        reader = StoreReader.open(path)
+        meta = reader.meta
+        if meta.get("kind") != _KIND:
+            raise IndexLoadError(f"store kind {meta.get('kind')!r} != {_KIND!r}")
+        if meta.get("index_format") != INDEX_FORMAT:
+            raise IndexLoadError(
+                f"store index format {meta.get('index_format')!r} != "
+                f"{INDEX_FORMAT}"
+            )
+        if meta.get("generator") != GENERATOR_VERSION:
+            raise IndexLoadError(
+                f"store generator {meta.get('generator')!r} != "
+                f"{GENERATOR_VERSION!r}"
+            )
+        if expected_key and meta.get("key") != expected_key:
+            raise IndexLoadError(
+                f"store key {meta.get('key')!r} != {expected_key!r}"
+            )
+        view = StoreIndexView(reader)
+    instr.incr("store_loads")
+    return view

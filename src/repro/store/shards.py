@@ -1,0 +1,226 @@
+"""Columnar pack/unpack for background world-build shard results.
+
+The sharded world build used to ship each shard's result back to the
+parent as a pickled object graph — hundreds of thousands of dataclass
+instances whose pickling (in the workers) and unpickling (serialized in
+the parent) cost more than generating them, which is why ``jobs=4`` was
+*slower* than serial (BENCH_world.json).  Workers now flatten their
+result into one in-memory container blob (this module), and the parent
+rebuilds the objects in a tight loop: transfer shrinks ~10×, the
+per-object pickle protocol disappears, and AS paths are interned once
+per shard instead of serialized per route.
+
+Shard-invariant values never travel at all: every background route in a
+shard shares the same ``observers`` frozenset and every ROA the same
+``trust_anchor``, so both are reattached from the parent's task context
+at unpack time.  Byte-identity of the merged world against the serial
+build is pinned by the existing golden tests.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import NamedTuple
+
+from array import array
+
+from ..bgp.messages import ASPath
+from ..bgp.ribs import RouteInterval
+from ..net.prefix import IPv4Prefix
+from ..rpki.roa import Roa, RoaRecord
+from .container import StoreReader, build_store
+
+__all__ = ["ShardColumns", "pack_background_shard", "unpack_background_shard"]
+
+_KIND = "background-shard"
+_NO_MAXLEN = 255
+
+
+class ShardColumns(NamedTuple):
+    """A shard's output rebuilt from columns (same shape the builder
+    merges: ``routes`` / ``roas`` / ``allocations`` / ``attachments``)."""
+
+    routes: tuple[RouteInterval, ...]
+    roas: tuple[RoaRecord, ...]
+    allocations: tuple[tuple[int, int, str], ...]
+    attachments: tuple[tuple[int, tuple[int, ...]], ...]
+
+
+def _to_day(day: date | None) -> int:
+    return 0 if day is None else day.toordinal()
+
+
+def _from_day(ordinal: int) -> date | None:
+    return None if ordinal == 0 else date.fromordinal(ordinal)
+
+
+def pack_background_shard(result) -> bytes:
+    """Flatten one shard result (``routes``/``roas``/``allocations``/
+    ``attachments``) into a container blob for the pool pipe."""
+    paths: dict[ASPath, int] = {}
+    path_off = array("I", [0])
+    path_asn = array("I")
+
+    def path_ref(path: ASPath) -> int:
+        ref = paths.get(path)
+        if ref is None:
+            path_asn.extend(path.asns)
+            path_off.append(len(path_asn))
+            ref = paths[path] = len(path_off) - 2
+        return ref
+
+    rt_net = array("I")
+    rt_len = array("B")
+    rt_path = array("I")
+    rt_start = array("I")
+    rt_end = array("I")
+    for route in result.routes:
+        rt_net.append(route.prefix.network)
+        rt_len.append(route.prefix.length)
+        rt_path.append(path_ref(route.path))
+        rt_start.append(_to_day(route.start))
+        rt_end.append(_to_day(route.end))
+
+    roa_net = array("I")
+    roa_len = array("B")
+    roa_asn = array("I")
+    roa_maxlen = array("B")
+    roa_created = array("I")
+    roa_removed = array("I")
+    for record in result.roas:
+        roa = record.roa
+        roa_net.append(roa.prefix.network)
+        roa_len.append(roa.prefix.length)
+        roa_asn.append(roa.asn)
+        roa_maxlen.append(
+            _NO_MAXLEN if roa.max_length is None else roa.max_length
+        )
+        roa_created.append(_to_day(record.created))
+        roa_removed.append(_to_day(record.removed))
+
+    al_start = array("Q")
+    al_end = array("Q")
+    holder_off = array("I", [0])
+    holder_dat = bytearray()
+    for start, end, holder in result.allocations:
+        al_start.append(start)
+        al_end.append(end)
+        holder_dat.extend(holder.encode("utf-8"))
+        holder_off.append(len(holder_dat))
+
+    at_asn = array("I")
+    at_off = array("I", [0])
+    at_prov = array("I")
+    for asn, providers in result.attachments:
+        at_asn.append(asn)
+        at_prov.extend(providers)
+        at_off.append(len(at_prov))
+
+    return build_store(
+        {"kind": _KIND},
+        [
+            ("path.off", "I", path_off),
+            ("path.asn", "I", path_asn),
+            ("rt.net", "I", rt_net),
+            ("rt.len", "B", rt_len),
+            ("rt.path", "I", rt_path),
+            ("rt.start", "I", rt_start),
+            ("rt.end", "I", rt_end),
+            ("roa.net", "I", roa_net),
+            ("roa.len", "B", roa_len),
+            ("roa.asn", "I", roa_asn),
+            ("roa.maxlen", "B", roa_maxlen),
+            ("roa.created", "I", roa_created),
+            ("roa.removed", "I", roa_removed),
+            ("al.start", "Q", al_start),
+            ("al.end", "Q", al_end),
+            ("hold.off", "I", holder_off),
+            ("hold.dat", "B", bytes(holder_dat)),
+            ("at.asn", "I", at_asn),
+            ("at.off", "I", at_off),
+            ("at.prov", "I", at_prov),
+        ],
+    )
+
+
+def unpack_background_shard(
+    blob: bytes,
+    *,
+    observers: frozenset[int],
+    trust_anchor: str,
+) -> ShardColumns:
+    """Rebuild a shard's objects from its packed columns.
+
+    ``observers`` and ``trust_anchor`` come from the shard's task (they
+    are shard-invariant and never serialized); the reconstructed objects
+    are equal to the worker's originals field for field.
+    """
+    reader = StoreReader.from_bytes(blob)
+    path_off = reader.view("path.off", "I")
+    path_asn = reader.view("path.asn", "I")
+    paths = [
+        ASPath(tuple(path_asn[path_off[i] : path_off[i + 1]]))
+        for i in range(len(path_off) - 1)
+    ]
+
+    rt_net = reader.view("rt.net", "I")
+    rt_len = reader.view("rt.len", "B")
+    rt_path = reader.view("rt.path", "I")
+    rt_start = reader.view("rt.start", "I")
+    rt_end = reader.view("rt.end", "I")
+    routes = tuple(
+        RouteInterval(
+            prefix=IPv4Prefix(rt_net[i], rt_len[i]),
+            path=paths[rt_path[i]],
+            start=_from_day(rt_start[i]),  # type: ignore[arg-type]
+            end=_from_day(rt_end[i]),
+            observers=observers,
+        )
+        for i in range(len(rt_net))
+    )
+
+    roa_net = reader.view("roa.net", "I")
+    roa_len = reader.view("roa.len", "B")
+    roa_asn = reader.view("roa.asn", "I")
+    roa_maxlen = reader.view("roa.maxlen", "B")
+    roa_created = reader.view("roa.created", "I")
+    roa_removed = reader.view("roa.removed", "I")
+    roas = tuple(
+        RoaRecord(
+            roa=Roa(
+                prefix=IPv4Prefix(roa_net[i], roa_len[i]),
+                asn=roa_asn[i],
+                max_length=(
+                    None if roa_maxlen[i] == _NO_MAXLEN else roa_maxlen[i]
+                ),
+                trust_anchor=trust_anchor,
+            ),
+            created=_from_day(roa_created[i]),  # type: ignore[arg-type]
+            removed=_from_day(roa_removed[i]),
+        )
+        for i in range(len(roa_net))
+    )
+
+    al_start = reader.view("al.start", "Q")
+    al_end = reader.view("al.end", "Q")
+    holder_off = reader.view("hold.off", "I")
+    holder_dat = reader.view("hold.dat", "B")
+    allocations = tuple(
+        (
+            al_start[i],
+            al_end[i],
+            bytes(
+                holder_dat[holder_off[i] : holder_off[i + 1]]
+            ).decode("utf-8"),
+        )
+        for i in range(len(al_start))
+    )
+
+    at_asn = reader.view("at.asn", "I")
+    at_off = reader.view("at.off", "I")
+    at_prov = reader.view("at.prov", "I")
+    attachments = tuple(
+        (at_asn[i], tuple(at_prov[at_off[i] : at_off[i + 1]]))
+        for i in range(len(at_asn))
+    )
+    return ShardColumns(routes, roas, allocations, attachments)

@@ -1,0 +1,193 @@
+"""Binary codec for the persisted :class:`RoaStatusResult` substrate.
+
+Small enough (one row per sample day plus two breakdown maps) to
+materialize eagerly at load, but it rides the same container for the
+same reasons: checksummed, header-pinned, crash-safe, and ~100× faster
+to open than parsing JSON — which matters because every ``run_all``
+worker and every daemon restart opens it.  Floats round-trip exactly
+through the ``d`` columns, so report output stays byte-identical to the
+JSON path (golden-tested).  Shares the ``store.save``/``store.load``
+fault sites and eviction discipline with the binary index.
+"""
+
+from __future__ import annotations
+
+import warnings
+from array import array
+from datetime import date
+from pathlib import Path
+
+from ..analysis.roa_status import RoaStatusPoint, RoaStatusResult
+from ..analysis.substrate import SUBSTRATE_FORMAT, SubstrateLoadError
+from ..obs import Instrumentation
+from ..runtime.faults import corrupt_file, fault_point
+from ..synth.builder import GENERATOR_VERSION
+from .container import StoreError, StoreReader, build_store, durable_write
+
+__all__ = [
+    "STORE_SUBSTRATE_FILENAME",
+    "encode_substrate",
+    "load_store_substrate",
+    "save_store_substrate",
+]
+
+#: The binary substrate file's name, next to its JSON sibling.
+STORE_SUBSTRATE_FILENAME = "analysis-substrate.bin"
+
+_KIND = "analysis-substrate"
+
+
+def _pack_strings(texts) -> tuple[array, bytes]:
+    offsets = array("I", [0])
+    data = bytearray()
+    for text in texts:
+        data.extend(text.encode("utf-8"))
+        offsets.append(len(data))
+    return offsets, bytes(data)
+
+
+def _unpack_strings(offsets, data) -> list[str]:
+    return [
+        bytes(data[offsets[i] : offsets[i + 1]]).decode("utf-8")
+        for i in range(len(offsets) - 1)
+    ]
+
+
+def encode_substrate(
+    result: RoaStatusResult, *, key: str = ""
+) -> bytes:
+    """Flatten the Figure 5 result into one container blob."""
+    days = array("I", (p.day.toordinal() for p in result.points))
+    signed = array("d", (p.signed for p in result.points))
+    routed = array("d", (p.signed_routed for p in result.points))
+    unrouted = array("d", (p.signed_unrouted for p in result.points))
+    unsigned = array(
+        "d", (p.allocated_unrouted_unsigned for p in result.points)
+    )
+    # Both breakdown maps keep their insertion order, so the rebuilt
+    # dicts iterate identically to the JSON path's.
+    holder_off, holder_dat = _pack_strings(result.unrouted_signed_by_holder)
+    holder_val = array("d", result.unrouted_signed_by_holder.values())
+    rir_off, rir_dat = _pack_strings(result.unrouted_unsigned_by_rir)
+    rir_val = array("d", result.unrouted_unsigned_by_rir.values())
+    meta = {
+        "kind": _KIND,
+        "substrate_format": SUBSTRATE_FORMAT,
+        "generator": GENERATOR_VERSION,
+        "key": key,
+    }
+    return build_store(
+        meta,
+        [
+            ("pt.day", "I", days),
+            ("pt.signed", "d", signed),
+            ("pt.routed", "d", routed),
+            ("pt.unrouted", "d", unrouted),
+            ("pt.unsigned", "d", unsigned),
+            ("hold.off", "I", holder_off),
+            ("hold.dat", "B", holder_dat),
+            ("hold.val", "d", holder_val),
+            ("rir.off", "I", rir_off),
+            ("rir.dat", "B", rir_dat),
+            ("rir.val", "d", rir_val),
+        ],
+    )
+
+
+def save_store_substrate(
+    result: RoaStatusResult,
+    directory: Path,
+    *,
+    key: str = "",
+    instrumentation: Instrumentation | None = None,
+) -> Path | None:
+    """Persist the binary substrate; failures degrade with a warning."""
+    instr = instrumentation or Instrumentation()
+    try:
+        with instr.stage("store-substrate-save", group="store"):
+            fault_point("store.save", instrumentation=instr)
+            durable_write(
+                directory,
+                STORE_SUBSTRATE_FILENAME,
+                encode_substrate(result, key=key),
+            )
+    except (OSError, StoreError) as error:
+        instr.incr("store_save_errors")
+        message = f"binary substrate store failed ({error}); JSON path remains"
+        instr.warn(message)
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
+        return None
+    instr.incr("store_saves")
+    return directory / STORE_SUBSTRATE_FILENAME
+
+
+def load_store_substrate(
+    directory: Path,
+    *,
+    expected_key: str = "",
+    instrumentation: Instrumentation | None = None,
+) -> RoaStatusResult:
+    """Map, verify, and materialize the binary substrate.
+
+    Raises :class:`SubstrateLoadError` / :class:`StoreError` (or the
+    underlying ``OSError``) for anything untrustworthy; callers evict
+    the ``.bin`` and fall back to JSON or a rebuild.
+    """
+    instr = instrumentation or Instrumentation()
+    path = directory / STORE_SUBSTRATE_FILENAME
+    with instr.stage("store-substrate-load", group="store"):
+        corrupt_file("store.load", path, instrumentation=instr)
+        fault_point("store.load", instrumentation=instr)
+        reader = StoreReader.open(path)
+        meta = reader.meta
+        if meta.get("kind") != _KIND:
+            raise SubstrateLoadError(
+                f"store kind {meta.get('kind')!r} != {_KIND!r}"
+            )
+        if meta.get("substrate_format") != SUBSTRATE_FORMAT:
+            raise SubstrateLoadError(
+                f"store substrate format {meta.get('substrate_format')!r} "
+                f"!= {SUBSTRATE_FORMAT}"
+            )
+        if meta.get("generator") != GENERATOR_VERSION:
+            raise SubstrateLoadError(
+                f"store generator {meta.get('generator')!r} != "
+                f"{GENERATOR_VERSION!r}"
+            )
+        if expected_key and meta.get("key") != expected_key:
+            raise SubstrateLoadError(
+                f"store key {meta.get('key')!r} != {expected_key!r}"
+            )
+        # Copied out eagerly (the substrate is small) so no memoryview
+        # outlives the reader and the mmap can close cleanly below.
+        days = list(reader.view("pt.day", "I"))
+        signed = list(reader.view("pt.signed", "d"))
+        routed = list(reader.view("pt.routed", "d"))
+        unrouted = list(reader.view("pt.unrouted", "d"))
+        unsigned = list(reader.view("pt.unsigned", "d"))
+        points = tuple(
+            RoaStatusPoint(
+                day=date.fromordinal(days[i]),
+                signed=signed[i],
+                signed_routed=routed[i],
+                signed_unrouted=unrouted[i],
+                allocated_unrouted_unsigned=unsigned[i],
+            )
+            for i in range(len(days))
+        )
+        holders = _unpack_strings(
+            reader.view("hold.off", "I"), reader.view("hold.dat", "B")
+        )
+        holder_val = list(reader.view("hold.val", "d"))
+        rirs = _unpack_strings(
+            reader.view("rir.off", "I"), reader.view("rir.dat", "B")
+        )
+        rir_val = list(reader.view("rir.val", "d"))
+        result = RoaStatusResult(
+            points=points,
+            unrouted_signed_by_holder=dict(zip(holders, holder_val)),
+            unrouted_unsigned_by_rir=dict(zip(rirs, rir_val)),
+        )
+        reader.close()
+    instr.incr("store_loads")
+    return result

@@ -194,7 +194,14 @@ def _largest_remainder(total: int, sizes: list[int]) -> list[int]:
 
 @dataclass(frozen=True)
 class _BackgroundShardTask:
-    """Everything one background shard needs; picklable for the pool."""
+    """Everything one background shard needs; picklable for the pool.
+
+    The shard-invariant heavyweights — the transit-core topology and
+    the platform observer set — deliberately do *not* ride on the task:
+    they ship once per worker through the pool initializer (see
+    :func:`_set_shard_context`), not once per task through the pickle
+    pipe.
+    """
 
     seed: int
     region_index: int
@@ -209,8 +216,6 @@ class _BackgroundShardTask:
     window_start: date
     window_end: date
     maxlength_usage_rate: float
-    observers: frozenset[int]
-    topology: AsTopology  # transit core only (see ``core_view``)
 
 
 @dataclass(frozen=True)
@@ -225,18 +230,37 @@ class _BackgroundShardResult:
     attachments: tuple[tuple[int, tuple[int, ...]], ...]
 
 
+#: Shard-invariant state every background shard reads: ``(transit-core
+#: topology, platform observer ids)``.  Set once per process — in the
+#: parent before planning, and per pool worker via the initializer.
+_SHARD_CONTEXT: tuple[AsTopology, frozenset[int]] | None = None
+
+
+def _set_shard_context(
+    topology: AsTopology, observers: frozenset[int]
+) -> None:
+    """Install the shard context (module-level: the pool initializer)."""
+    global _SHARD_CONTEXT
+    _SHARD_CONTEXT = (topology, observers)
+
+
 def _run_background_shard(
     task: _BackgroundShardTask,
 ) -> _BackgroundShardResult:
-    """Generate one shard of the background population (pure function)."""
+    """Generate one shard of the background population.
+
+    Pure function of the task plus the process's shard context (the
+    same ``(topology, observers)`` in every process, so serial and
+    parallel runs stay byte-identical).
+    """
+    assert _SHARD_CONTEXT is not None, "shard context not installed"
+    topology, observers = _SHARD_CONTEXT
     rng = np.random.default_rng(
         background_shard_seed(task.seed, task.region_index, task.shard_index)
     )
     signer_flags = np.zeros(task.count, dtype=bool)
     signer_flags[: task.signer_quota] = True
     rng.shuffle(signer_flags)
-
-    topology = task.topology
     day_span = (task.window_end - task.window_start).days
     routes: list[RouteInterval] = []
     roas: list[RoaRecord] = []
@@ -272,7 +296,7 @@ def _run_background_shard(
                 path=network_path,
                 start=task.history,
                 end=None,
-                observers=task.observers,
+                observers=observers,
             )
         )
         if signer_flags[index]:
@@ -294,7 +318,7 @@ def _run_background_shard(
                                     path=network_path,
                                     start=task.history,
                                     end=None,
-                                    observers=task.observers,
+                                    observers=observers,
                                 )
                             )
                 else:
@@ -330,6 +354,20 @@ def _run_background_shard(
         allocations=tuple(allocations),
         attachments=tuple(attachments),
     )
+
+
+def _run_background_shard_packed(task: _BackgroundShardTask) -> bytes:
+    """Run one shard and pack it columnar for the pickle pipe.
+
+    Pool workers return packed blobs instead of object graphs: the
+    columnar encoding is ~2x smaller on the wire than the pickled
+    result and — more importantly — the parent reconstructs the
+    objects in a tight loop with a shared path pool instead of walking
+    pickle's generic graph decoder (see :mod:`repro.store.shards`).
+    """
+    from ..store.shards import pack_background_shard
+
+    return pack_background_shard(_run_background_shard(task))
 
 
 class WorldBuilder:
@@ -812,7 +850,6 @@ class WorldBuilder:
         or allocated, so it is invisible to every analysis.
         """
         cfg = self.cfg
-        core = self.topology.core_view()
         tasks: list[_BackgroundShardTask] = []
         for region_index, (rir, profile) in enumerate(cfg.regions.items()):
             count = profile.background_prefixes
@@ -846,8 +883,6 @@ class WorldBuilder:
                         window_start=cfg.window.start,
                         window_end=cfg.window.end,
                         maxlength_usage_rate=cfg.maxlength_usage_rate,
-                        observers=self._all_observers,
-                        topology=core,
                     )
                 )
                 start += size
@@ -856,13 +891,26 @@ class WorldBuilder:
     def _map_background_shards(
         self, tasks: list[_BackgroundShardTask]
     ) -> list[_BackgroundShardResult]:
+        context = (self.topology.core_view(), self._all_observers)
+        _set_shard_context(*context)
         if self.jobs > 1 and len(tasks) > 1:
             # Imported lazily: runtime imports synth at module load.
             from ..runtime.runner import parallel_map
+            from ..store.shards import unpack_background_shard
 
-            return parallel_map(
-                _run_background_shard, tasks, jobs=self.jobs
+            blobs = parallel_map(
+                _run_background_shard_packed,
+                tasks,
+                jobs=self.jobs,
+                initializer=_set_shard_context,
+                initargs=context,
             )
+            return [
+                unpack_background_shard(
+                    blob, observers=context[1], trust_anchor=task.rir
+                )
+                for task, blob in zip(tasks, blobs)
+            ]
         return [_run_background_shard(task) for task in tasks]
 
     # -- stage 7: RIR AS0 trust anchors (§6.2.2) ----------------------------------------

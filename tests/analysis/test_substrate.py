@@ -146,8 +146,12 @@ class TestPersistence:
         assert instr.counters["substrate_loads"] == 1
 
     def test_no_staging_files_left_behind(self, roa_status, tmp_path):
+        from repro.store.substrate import STORE_SUBSTRATE_FILENAME
+
         save_substrate_file(roa_status, tmp_path)
-        assert [p.name for p in tmp_path.iterdir()] == [SUBSTRATE_FILENAME]
+        assert sorted(p.name for p in tmp_path.iterdir()) == sorted(
+            [STORE_SUBSTRATE_FILENAME, SUBSTRATE_FILENAME]
+        )
 
     def _tamper(self, directory, **fields):
         path = directory / SUBSTRATE_FILENAME
@@ -185,14 +189,20 @@ class TestEvictionAndRecovery:
     def test_torn_file_is_evicted_and_rebuilt(
         self, world, roa_status, tmp_path
     ):
+        from repro.store.substrate import STORE_SUBSTRATE_FILENAME
+
         save_substrate_file(roa_status, tmp_path)
-        path = tmp_path / SUBSTRATE_FILENAME
-        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        # Tear both persisted artifacts: the binary store is preferred
+        # at load, so a healthy ``.bin`` would mask a torn JSON file.
+        for name in (STORE_SUBSTRATE_FILENAME, SUBSTRATE_FILENAME):
+            path = tmp_path / name
+            path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
         instr = Instrumentation()
         substrate = AnalysisSubstrate(
             world, directory=tmp_path, instrumentation=instr
         )
         assert substrate.roa_status() == roa_status
+        assert instr.counters["store_evictions"] == 1
         assert instr.counters["substrate_evictions"] == 1
         assert instr.counters["substrate_builds"] == 1
         # ... and the healthy replacement was re-persisted.
@@ -202,7 +212,10 @@ class TestEvictionAndRecovery:
     def test_stale_generator_is_evicted_and_rebuilt(
         self, world, roa_status, tmp_path
     ):
+        from repro.store.substrate import STORE_SUBSTRATE_FILENAME
+
         save_substrate_file(roa_status, tmp_path)
+        (tmp_path / STORE_SUBSTRATE_FILENAME).unlink()
         path = tmp_path / SUBSTRATE_FILENAME
         raw = json.loads(path.read_text())
         raw["generator"] = "v0-prehistoric"
@@ -218,14 +231,15 @@ class TestEvictionAndRecovery:
     def test_load_fault_is_evicted_and_rebuilt(
         self, world, roa_status, tmp_path
     ):
-        """REPRO_FAULTS=truncate@substrate.load is survived silently."""
+        """Both load sites faulted at once are survived silently."""
         save_substrate_file(roa_status, tmp_path)
         instr = Instrumentation()
-        with injected("truncate@substrate.load"):
+        with injected("truncate@substrate.load,truncate@store.load"):
             substrate = AnalysisSubstrate(
                 world, directory=tmp_path, instrumentation=instr
             )
             assert substrate.roa_status() == roa_status
+        assert instr.counters["store_evictions"] == 1
         assert instr.counters["substrate_evictions"] == 1
         assert instr.counters["substrate_builds"] == 1
 

@@ -137,3 +137,32 @@ class TestAlgebra:
     def test_unhashable(self):
         with pytest.raises(TypeError):
             hash(pset("10.0.0.0/8"))
+
+
+class TestFromIntervals:
+    def test_degenerate_intervals_are_skipped(self):
+        s = PrefixSet.from_intervals([(10, 10), (20, 30), (25, 25)])
+        assert list(s.intervals()) == [AddressRange(20, 30)]
+
+    def test_only_degenerates_is_empty(self):
+        s = PrefixSet.from_intervals([(5, 5), (9, 9)])
+        assert not s
+        assert s == PrefixSet()
+
+    def test_degenerate_never_seeds_a_zero_width_interval(self):
+        # The regression: a leading (x, x) used to survive as a
+        # zero-width interval, breaking equality with the add() path.
+        bulk = PrefixSet.from_intervals([(10, 10), (10, 20)])
+        incremental = PrefixSet()
+        incremental.add(AddressRange(10, 20))
+        assert bulk == incremental
+
+    def test_inverted_interval_raises(self):
+        with pytest.raises(ValueError, match="inverted"):
+            PrefixSet.from_intervals([(30, 20)])
+
+    def test_merge_still_coalesces(self):
+        s = PrefixSet.from_intervals([(0, 10), (5, 15), (15, 20), (40, 50)])
+        assert list(s.intervals()) == [
+            AddressRange(0, 20), AddressRange(40, 50),
+        ]

@@ -111,6 +111,19 @@ class TestPrefixSetProperties:
         s.discard(victim)
         assert not s.overlaps(victim)
 
+    @given(st.lists(st.tuples(addresses, addresses), max_size=16))
+    def test_from_intervals_matches_repeated_add(self, raw):
+        """Bulk construction == repeated add, degenerates and all."""
+        intervals = [(min(a, b), max(a, b)) for a, b in raw]
+        bulk = PrefixSet.from_intervals(intervals)
+        incremental = PrefixSet()
+        for start, end in intervals:
+            if start < end:  # add() has no degenerate form to mirror
+                incremental.add(AddressRange(start, end))
+        assert bulk == incremental
+        for a, b in zip(list(bulk.intervals()), list(bulk.intervals())[1:]):
+            assert a.end <= b.start
+
 
 class TestRadixProperties:
     @given(st.lists(prefixes(), min_size=1, max_size=40), prefixes())

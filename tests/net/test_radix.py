@@ -181,3 +181,83 @@ class TestLookupCoveredEdgeCases:
         t = PrefixTrie()
         t.insert(P("0.0.0.0/0"), "default")
         assert t.lookup_covered(P("10.0.0.0/8")) == []
+
+
+def _node_count(tree):
+    """Every _Node reachable from the root, entry-bearing or structural."""
+    count, stack = 0, [tree._root]
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        count += 1
+        stack.extend((node.left, node.right))
+    return count
+
+
+class TestDeletionPruning:
+    """Deletes splice out entry-less nodes: node count tracks entry count."""
+
+    def test_leaf_delete_prunes_node(self, tree):
+        before = _node_count(tree)
+        tree.delete(P("10.0.1.0/24"))
+        assert _node_count(tree) < before
+
+    def test_delete_all_empties_structure(self, tree):
+        for prefix in list(tree):
+            tree.delete(prefix)
+        assert len(tree) == 0
+        assert tree._root is None
+        assert _node_count(tree) == 0
+
+    def test_structural_joint_with_two_children_survives(self):
+        t = RadixTree()
+        t.insert(P("10.0.0.0/16"), "a")
+        t.insert(P("10.1.0.0/16"), "b")
+        t.insert(P("10.0.0.0/8"), "joint")
+        # Deleting the /8 leaves a two-child joint: it must stay (it
+        # routes the two /16s) but carries no entry.
+        t.delete(P("10.0.0.0/8"))
+        assert len(t) == 2
+        assert _node_count(t) == 3
+        assert t.lookup_best(P("10.0.0.0/24"))[1] == "a"
+        assert t.lookup_best(P("10.1.0.0/24"))[1] == "b"
+
+    def test_chain_collapse_after_leaf_delete(self):
+        t = RadixTree()
+        t.insert(P("10.0.0.0/16"), "a")
+        t.insert(P("10.1.0.0/16"), "b")
+        # The insert created one structural joint above the two leaves;
+        # deleting one leaf must also remove the joint (single-child,
+        # entry-less), leaving exactly one node.
+        t.delete(P("10.1.0.0/16"))
+        assert len(t) == 1
+        assert _node_count(t) == 1
+        assert t.lookup_best(P("10.0.0.0/24"))[1] == "a"
+
+    def test_churn_does_not_accumulate_nodes(self):
+        """The regression the lazy non-pruning delete failed: node count
+        after heavy insert/delete churn equals a fresh build's."""
+        t = RadixTree()
+        keep = [P(f"10.{i}.0.0/16") for i in range(0, 64, 2)]
+        churn = [P(f"10.{i}.0.0/16") for i in range(1, 64, 2)]
+        churn += [P(f"10.0.{i}.0/24") for i in range(64)]
+        for p in keep + churn:
+            t.insert(p, str(p))
+        for p in churn:
+            t.delete(p)
+        fresh = RadixTree()
+        for p in keep:
+            fresh.insert(p, str(p))
+        assert len(t) == len(fresh) == len(keep)
+        assert _node_count(t) == _node_count(fresh)
+        for p in keep:
+            assert t[p] == str(p)
+
+    def test_queries_intact_after_interior_delete(self, tree):
+        tree.delete(P("10.0.0.0/16"))
+        tree.delete(P("0.0.0.0/0"))
+        assert [str(p) for p, _ in tree.lookup_covering(P("10.0.1.128/25"))] \
+            == ["10.0.0.0/8", "10.0.1.0/24"]
+        covered = {str(p) for p, _ in tree.lookup_covered(P("10.0.0.0/8"))}
+        assert covered == {"10.0.0.0/8", "10.0.1.0/24", "10.1.0.0/16"}

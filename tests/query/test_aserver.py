@@ -26,7 +26,7 @@ from repro.query import AsyncQueryServer, QueryEngine, QueryServer
 from repro.runtime import Instrumentation
 from repro.runtime.faults import injected
 
-from .conftest import AioClient, fetch
+from .conftest import AioClient, _read_reply, fetch
 
 # ---------------------------------------------------------------------------
 # harness
@@ -565,3 +565,74 @@ class TestDrain:
             assert "connections" in span.attributes
             assert "requests" in span.attributes
         assert sum(s.attributes["requests"] for s in workers) == 1
+
+
+# ---------------------------------------------------------------------------
+# malformed Content-Length
+# ---------------------------------------------------------------------------
+
+
+def _raw_request(address, payload: bytes):
+    """One request from raw bytes (the conftest helpers always write a
+    well-formed Content-Length, so these tests build their own head)."""
+
+    async def go():
+        reader, writer = await asyncio.open_connection(*address)
+        writer.write(payload)
+        await writer.drain()
+        reply = await _read_reply(reader)
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+        return reply
+
+    return asyncio.run(go())
+
+
+class TestMalformedContentLength:
+    """Extends the error-body regression table to the one error the
+    shared core never sees: a Content-Length that does not parse.  Both
+    daemons must answer the same stable-coded ``query.bad-request`` 400
+    (the threaded server used to let the ValueError escape the handler
+    thread — connection reset, no response; negative values slipped
+    through ``int()`` on both)."""
+
+    @pytest.mark.parametrize(
+        "value",
+        ["nope", "-5", "+3", "12abc", "0x10", "\xb9", "9" * 40 + "x"],
+    )
+    def test_stable_400_on_both_daemons(self, pair, value):
+        threaded, aserver = pair
+        head = (
+            f"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {value}\r\n\r\n"
+        ).encode("latin-1")
+        replies = [
+            _raw_request(address, head)
+            for address in (threaded.server_address, aserver.server_address)
+        ]
+        for reply in replies:
+            assert reply.status == 400
+            payload = json.loads(reply.body)
+            assert set(payload) == {"code", "error"}
+            assert payload["code"] == "query.bad-request"
+        assert replies[0].body == replies[1].body
+
+    def test_valid_zero_length_still_serves(self, pair):
+        threaded, aserver = pair
+        head = (
+            b"GET /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n"
+        )
+        for address in (threaded.server_address, aserver.server_address):
+            assert _raw_request(address, head).status == 200
+
+    def test_negative_length_post_rejected(self, pair):
+        threaded, aserver = pair
+        head = (
+            b"POST /v1/batch HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Length: -17\r\n\r\n"
+        )
+        for address in (threaded.server_address, aserver.server_address):
+            reply = _raw_request(address, head)
+            assert reply.status == 400
+            assert json.loads(reply.body)["code"] == "query.bad-request"

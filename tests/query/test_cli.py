@@ -133,7 +133,7 @@ class TestQueryFaultInjection:
     def test_torn_index_is_evicted_and_rebuilt(
         self, report_world, tmp_path, capsys, monkeypatch
     ):
-        """$REPRO_FAULTS=truncate@query.index.load never reaches the user."""
+        """Torn persisted indexes (binary and JSON) never reach the user."""
         prefix = report_world.drop.unique_prefixes()[0]
         assert main(["query", str(prefix)]) == 0
         clean = capsys.readouterr().out
@@ -143,11 +143,17 @@ class TestQueryFaultInjection:
         )
         assert index_file.exists()
         timings = tmp_path / "timings.json"
-        monkeypatch.setenv("REPRO_FAULTS", "truncate@query.index.load")
+        # The binary store is preferred, so tearing the JSON alone is
+        # invisible; tear both layers and every fallback must fire.
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            "truncate@store.load,truncate@query.index.load",
+        )
         assert main(["query", str(prefix),
                      "--timings-out", str(timings)]) == 0
         assert capsys.readouterr().out == clean
         counters = json.loads(timings.read_text())["counters"]
+        assert counters["store_evictions"] == 1
         assert counters["query_index_evictions"] == 1
         assert counters["query_index_builds"] == 1
         # The rebuilt index was re-persisted and is healthy again.
@@ -157,5 +163,5 @@ class TestQueryFaultInjection:
                      "--timings-out", str(timings)]) == 0
         assert capsys.readouterr().out == clean
         counters = json.loads(timings.read_text())["counters"]
-        assert counters["query_index_loads"] == 1
+        assert counters["store_loads"] == 1
         assert "query_index_builds" not in counters

@@ -13,6 +13,7 @@ from repro.query import (
     save_index,
 )
 from repro.runtime import Instrumentation, injected
+from repro.store.index import STORE_INDEX_FILENAME
 from repro.synth.builder import GENERATOR_VERSION
 
 
@@ -77,7 +78,9 @@ class TestRoundTrip:
         assert instr.counters["query_index_loads"] == 1
 
     def test_no_staging_files_left_behind(self, saved_dir):
-        assert [p.name for p in saved_dir.iterdir()] == [INDEX_FILENAME]
+        assert sorted(p.name for p in saved_dir.iterdir()) == sorted(
+            [STORE_INDEX_FILENAME, INDEX_FILENAME]
+        )
 
 
 class TestHeaderVerification:
@@ -117,8 +120,11 @@ class TestHeaderVerification:
 class TestEvictionAndRecovery:
     def test_torn_file_is_evicted_and_rebuilt(self, world, stored, tmp_path):
         save_index(build_index(world, key=stored.key), tmp_path)
-        path = tmp_path / INDEX_FILENAME
-        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        # Tear both persisted layers: the preferred binary store and
+        # the JSON fallback behind it.
+        for name in (STORE_INDEX_FILENAME, INDEX_FILENAME):
+            path = tmp_path / name
+            path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
         instr = Instrumentation()
         rebuilt = load_or_build_index(
             world, tmp_path, key=stored.key, instrumentation=instr
@@ -132,13 +138,14 @@ class TestEvictionAndRecovery:
             rebuilt.sizes()
 
     def test_load_fault_is_evicted_and_rebuilt(self, world, stored, tmp_path):
-        """REPRO_FAULTS=truncate@query.index.load is survived silently."""
+        """Injected load faults on both layers are survived silently."""
         save_index(build_index(world, key=stored.key), tmp_path)
         instr = Instrumentation()
-        with injected("truncate@query.index.load"):
+        with injected("truncate@store.load,truncate@query.index.load"):
             index = load_or_build_index(
                 world, tmp_path, key=stored.key, instrumentation=instr
             )
+        assert instr.counters["store_evictions"] == 1
         assert instr.counters["query_index_evictions"] == 1
         assert index.sizes() == build_index(world).sizes()
 

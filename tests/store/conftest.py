@@ -1,0 +1,28 @@
+"""Shared fixtures for the binary store tests: one tiny world + index."""
+
+import pytest
+
+from repro.query import build_index
+from repro.runtime import WorldCache
+from repro.synth import ScenarioConfig
+
+
+@pytest.fixture(scope="package")
+def config():
+    return ScenarioConfig.tiny()
+
+
+@pytest.fixture(scope="package")
+def stored(tmp_path_factory, config):
+    cache = WorldCache(tmp_path_factory.mktemp("store-cache"))
+    return cache.fetch(config)
+
+
+@pytest.fixture(scope="package")
+def world(stored):
+    return stored.world
+
+
+@pytest.fixture(scope="package")
+def index(world, stored):
+    return build_index(world, key=stored.key)

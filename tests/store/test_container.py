@@ -1,0 +1,169 @@
+"""The generic container: layout, checksums, views, durable writes."""
+
+import os
+import struct
+from array import array
+
+import pytest
+
+from repro.store import StoreReader, StoreError, build_store, durable_write
+
+
+def _sample_blob():
+    return build_store(
+        {"kind": "test", "answer": 42},
+        [
+            ("nums", "I", array("I", [1, 2, 3, 4])),
+            ("wide", "Q", array("Q", [1 << 40, 2 << 40])),
+            ("floats", "d", array("d", [0.5, -1.25])),
+            ("raw", "B", b"hello"),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_meta_and_sections(self):
+        reader = StoreReader.from_bytes(_sample_blob())
+        assert reader.meta == {"kind": "test", "answer": 42}
+        assert sorted(reader.section_names()) == [
+            "floats", "nums", "raw", "wide",
+        ]
+        assert list(reader.view("nums", "I")) == [1, 2, 3, 4]
+        assert list(reader.view("wide", "Q")) == [1 << 40, 2 << 40]
+        assert list(reader.view("floats", "d")) == [0.5, -1.25]
+        assert bytes(reader.view("raw", "B")) == b"hello"
+
+    def test_empty_sections_round_trip(self):
+        blob = build_store({}, [("empty", "Q", array("Q"))])
+        reader = StoreReader.from_bytes(blob)
+        assert len(reader.view("empty", "Q")) == 0
+
+    def test_views_are_zero_copy_and_aligned(self):
+        reader = StoreReader.from_bytes(_sample_blob())
+        view = reader.view("wide", "Q")
+        assert view.itemsize == 8
+        assert view.nbytes == 16
+        assert view[1] == 2 << 40
+
+    def test_open_via_mmap(self, tmp_path):
+        path = tmp_path / "sample.bin"
+        path.write_bytes(_sample_blob())
+        reader = StoreReader.open(path)
+        try:
+            assert list(reader.view("nums", "I")) == [1, 2, 3, 4]
+            assert reader.source == str(path)
+        finally:
+            reader.close()
+
+    def test_bisect_works_on_views(self):
+        from bisect import bisect_left
+
+        keys = array("Q", [10, 20, 30, 40])
+        reader = StoreReader.from_bytes(build_store({}, [("k", "Q", keys)]))
+        view = reader.view("k", "Q")
+        assert bisect_left(view, 30) == 2
+        assert bisect_left(view, 35) == 3
+
+
+class TestValidation:
+    def test_bad_section_name(self):
+        with pytest.raises(StoreError, match="1..16 bytes"):
+            build_store({}, [("x" * 17, "I", b"")])
+
+    def test_bad_typecode(self):
+        with pytest.raises(StoreError, match="typecode"):
+            build_store({}, [("x", "Z", b"")])
+
+    def test_misaligned_payload(self):
+        with pytest.raises(StoreError, match="multiple"):
+            build_store({}, [("x", "I", b"abc")])
+
+    def test_missing_section(self):
+        reader = StoreReader.from_bytes(_sample_blob())
+        with pytest.raises(StoreError, match="missing section"):
+            reader.view("nope", "I")
+
+    def test_wrong_typecode_on_view(self):
+        reader = StoreReader.from_bytes(_sample_blob())
+        with pytest.raises(StoreError, match="expected"):
+            reader.view("nums", "Q")
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        blob = bytearray(_sample_blob())
+        blob[0] ^= 0xFF
+        with pytest.raises(StoreError, match="magic"):
+            StoreReader.from_bytes(bytes(blob))
+
+    def test_unknown_format(self):
+        blob = bytearray(_sample_blob())
+        struct.pack_into("<I", blob, 8, 999)
+        with pytest.raises(StoreError, match="format"):
+            StoreReader.from_bytes(bytes(blob))
+
+    def test_every_truncation_fails_closed(self):
+        blob = _sample_blob()
+        for cut in range(0, len(blob) - 1, 7):
+            with pytest.raises(StoreError):
+                StoreReader.from_bytes(blob[:cut])
+
+    def test_payload_bitflip_fails_checksum(self):
+        blob = bytearray(_sample_blob())
+        blob[-1] ^= 0x01  # inside the last section's payload
+        with pytest.raises(StoreError, match="checksum"):
+            StoreReader.from_bytes(bytes(blob))
+
+    def test_header_bitflip_fails_checksum(self):
+        blob = bytearray(_sample_blob())
+        # Flip a byte inside the JSON metadata (after the 16-byte head).
+        blob[20] ^= 0x01
+        with pytest.raises(StoreError):
+            StoreReader.from_bytes(bytes(blob))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(StoreError, match="empty"):
+            StoreReader.open(path)
+
+
+class TestDurableWrite:
+    def test_publishes_atomically(self, tmp_path):
+        target = durable_write(tmp_path, "out.bin", b"payload")
+        assert target.read_bytes() == b"payload"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.bin"]
+
+    def test_fsyncs_file_before_rename(self, tmp_path, monkeypatch):
+        """The crash-safety ordering: fsync(data) happens-before rename."""
+        events = []
+        real_fsync, real_rename = os.fsync, os.rename
+
+        def recording_fsync(fd):
+            events.append("fsync")
+            real_fsync(fd)
+
+        def recording_rename(src, dst):
+            events.append("rename")
+            real_rename(src, dst)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        monkeypatch.setattr(os, "rename", recording_rename)
+        durable_write(tmp_path, "out.bin", b"payload")
+        # staging-file fsync, rename, then the directory fsync.
+        assert events == ["fsync", "rename", "fsync"]
+
+    def test_failed_write_leaves_no_trace(self, tmp_path, monkeypatch):
+        def exploding_fsync(fd):
+            raise OSError("injected")
+
+        monkeypatch.setattr(os, "fsync", exploding_fsync)
+        with pytest.raises(OSError):
+            durable_write(tmp_path, "out.bin", b"payload")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_overwrite_is_atomic(self, tmp_path):
+        durable_write(tmp_path, "out.bin", b"old")
+        durable_write(tmp_path, "out.bin", b"new")
+        assert (tmp_path / "out.bin").read_bytes() == b"new"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.bin"]

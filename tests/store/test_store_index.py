@@ -1,0 +1,174 @@
+"""The binary query-index store: parity, pins, eviction, degradation."""
+
+import json
+
+import pytest
+
+from repro.obs import Instrumentation
+from repro.query import (
+    INDEX_FILENAME,
+    IndexLoadError,
+    QueryEngine,
+    load_persisted_index,
+)
+from repro.runtime.faults import injected
+from repro.store.index import (
+    STORE_INDEX_FILENAME,
+    load_store_index,
+    save_store_index,
+)
+from repro.store.substrate import encode_substrate
+
+
+@pytest.fixture(scope="module")
+def saved_dir(index, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("store-index")
+    assert save_store_index(index, directory) is not None
+    return directory
+
+
+@pytest.fixture(scope="module")
+def view(saved_dir, index):
+    return load_store_index(saved_dir, expected_key=index.key)
+
+
+def _sample_prefixes(index):
+    prefixes = [p for i, p in enumerate(index.drop) if i % 37 == 0]
+    prefixes += [p for i, p in enumerate(index.routes) if i % 211 == 0]
+    prefixes += [p for i, p in enumerate(index.roa) if i % 97 == 0]
+    return prefixes
+
+
+class TestParity:
+    def test_scalars(self, view, index):
+        assert view.window == index.window
+        assert view.total_peers == index.total_peers
+        assert view.key == index.key
+        assert view.generator == index.generator
+        assert view.sizes() == index.sizes()
+
+    @pytest.mark.parametrize("table", ["drop", "irr", "roa", "routes"])
+    def test_full_table_walk(self, view, index, table):
+        original = list(getattr(index, table).items())
+        restored = list(getattr(view, table).items())
+        # The trie's pre-order walk IS sorted (network, length) order,
+        # so the two iterations agree element for element.
+        assert [p for p, _ in original] == [p for p, _ in restored]
+        for (_, expected), (_, bucket) in zip(original, restored):
+            assert bucket == expected
+
+    def test_observer_sets(self, view, index):
+        assert len(view.observer_sets) == len(index.observer_sets)
+        for ref, members in enumerate(index.observer_sets):
+            assert view.observer_sets[ref] == members
+        assert view.observer_sets[-1] == index.observer_sets[-1]
+
+    @pytest.mark.parametrize("table", ["drop", "irr", "roa", "routes"])
+    def test_lookup_queries_match_trie(self, view, index, table):
+        lazy, trie = getattr(view, table), getattr(index, table)
+        for prefix in _sample_prefixes(index):
+            assert lazy.get(prefix) == trie.get(prefix)
+            assert (prefix in lazy) == (prefix in trie)
+            assert lazy.lookup_covering(prefix) == trie.lookup_covering(prefix)
+            assert lazy.lookup_covered(prefix) == trie.lookup_covered(prefix)
+            assert lazy.lookup_best(prefix) == trie.lookup_best(prefix)
+
+    def test_buckets_are_memoized(self, view, index):
+        prefix = next(iter(index.routes))
+        assert view.routes.get(prefix) is view.routes.get(prefix)
+
+    def test_engine_output_byte_identical(self, view, index):
+        """The golden query-output gate: JSON path == binary path, byte
+        for byte, over a prefix sample and both window edges."""
+        built = QueryEngine(index, instrumentation=Instrumentation())
+        lazy = QueryEngine(view, instrumentation=Instrumentation())
+        for prefix in _sample_prefixes(index):
+            for day in (index.window.start, index.window.end):
+                expected = json.dumps(
+                    built.lookup(prefix, day).to_dict(), sort_keys=True
+                )
+                actual = json.dumps(
+                    lazy.lookup(prefix, day).to_dict(), sort_keys=True
+                )
+                assert actual == expected
+
+
+class TestHeaderPins:
+    def test_foreign_key_rejected(self, saved_dir):
+        with pytest.raises(IndexLoadError, match="key"):
+            load_store_index(saved_dir, expected_key="deadbeef00000000")
+
+    def test_empty_expected_key_skips_check(self, saved_dir):
+        assert load_store_index(saved_dir, expected_key="").total_peers > 0
+
+    def test_foreign_generator_rejected(self, saved_dir, index, monkeypatch):
+        monkeypatch.setattr("repro.store.index.GENERATOR_VERSION", 999)
+        with pytest.raises(IndexLoadError, match="generator"):
+            load_store_index(saved_dir, expected_key=index.key)
+
+    def test_foreign_kind_rejected(self, roa_status_dir, index):
+        with pytest.raises(IndexLoadError, match="kind"):
+            load_store_index(roa_status_dir, expected_key=index.key)
+
+    @pytest.fixture()
+    def roa_status_dir(self, world, tmp_path):
+        from repro.analysis.substrate import compute_roa_status
+
+        blob = encode_substrate(compute_roa_status(world))
+        (tmp_path / STORE_INDEX_FILENAME).write_bytes(blob)
+        return tmp_path
+
+    def test_missing_file_raises(self, tmp_path, index):
+        with pytest.raises(OSError):
+            load_store_index(tmp_path, expected_key=index.key)
+
+
+class TestFaultsAndEviction:
+    def test_save_fault_degrades_with_warning(self, index, tmp_path):
+        instr = Instrumentation()
+        with injected("io-error@store.save"):
+            with pytest.warns(RuntimeWarning, match="index store failed"):
+                assert save_store_index(
+                    index, tmp_path, instrumentation=instr
+                ) is None
+        assert instr.counters["store_save_errors"] == 1
+        assert not (tmp_path / STORE_INDEX_FILENAME).exists()
+
+    def test_load_fault_raises_for_eviction(self, index, tmp_path):
+        save_store_index(index, tmp_path)
+        with injected("truncate@store.load"):
+            with pytest.raises(Exception):
+                load_store_index(tmp_path, expected_key=index.key)
+
+    def test_torn_binary_falls_back_to_json(self, index, tmp_path):
+        """load_persisted_index evicts a bad .bin and serves the JSON."""
+        from repro.query import save_index
+
+        save_index(index, tmp_path)
+        path = tmp_path / STORE_INDEX_FILENAME
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        instr = Instrumentation()
+        loaded = load_persisted_index(
+            tmp_path, expected_key=index.key, instrumentation=instr
+        )
+        assert loaded is not None
+        assert loaded.sizes() == index.sizes()
+        assert instr.counters["store_evictions"] == 1
+        assert not path.exists()
+        assert (tmp_path / INDEX_FILENAME).exists()
+
+    def test_healthy_binary_is_preferred(self, index, tmp_path):
+        from repro.query import save_index
+        from repro.store.index import StoreIndexView
+
+        save_index(index, tmp_path)
+        instr = Instrumentation()
+        loaded = load_persisted_index(
+            tmp_path, expected_key=index.key, instrumentation=instr
+        )
+        assert isinstance(loaded, StoreIndexView)
+        assert instr.counters["store_loads"] == 1
+        assert "query_index_loads" not in instr.counters
+
+    def test_nothing_persisted_returns_none(self, tmp_path):
+        assert load_persisted_index(tmp_path, expected_key="") is None

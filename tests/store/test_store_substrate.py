@@ -1,0 +1,88 @@
+"""The binary substrate store: exact round-trip, pins, degradation."""
+
+import pytest
+
+from repro.analysis.substrate import SubstrateLoadError, compute_roa_status
+from repro.obs import Instrumentation
+from repro.runtime.faults import injected
+from repro.store.substrate import (
+    STORE_SUBSTRATE_FILENAME,
+    load_store_substrate,
+    save_store_substrate,
+)
+
+
+@pytest.fixture(scope="module")
+def roa_status(world):
+    return compute_roa_status(world)
+
+
+@pytest.fixture(scope="module")
+def saved_dir(roa_status, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("store-substrate")
+    assert save_store_substrate(
+        roa_status, directory, key="cafebabe"
+    ) is not None
+    return directory
+
+
+class TestRoundTrip:
+    def test_points_exact(self, saved_dir, roa_status):
+        loaded = load_store_substrate(saved_dir, expected_key="cafebabe")
+        # Floats ride 'd' columns, so equality is exact, not approximate.
+        assert loaded.points == roa_status.points
+
+    def test_breakdowns_keep_value_and_order(self, saved_dir, roa_status):
+        loaded = load_store_substrate(saved_dir, expected_key="cafebabe")
+        assert loaded.unrouted_signed_by_holder == \
+            roa_status.unrouted_signed_by_holder
+        assert list(loaded.unrouted_signed_by_holder) == \
+            list(roa_status.unrouted_signed_by_holder)
+        assert loaded.unrouted_unsigned_by_rir == \
+            roa_status.unrouted_unsigned_by_rir
+        assert list(loaded.unrouted_unsigned_by_rir) == \
+            list(roa_status.unrouted_unsigned_by_rir)
+
+    def test_counters(self, roa_status, tmp_path):
+        instr = Instrumentation()
+        save_store_substrate(roa_status, tmp_path, instrumentation=instr)
+        load_store_substrate(tmp_path, instrumentation=instr)
+        assert instr.counters["store_saves"] == 1
+        assert instr.counters["store_loads"] == 1
+
+
+class TestHeaderPins:
+    def test_foreign_key_rejected(self, saved_dir):
+        with pytest.raises(SubstrateLoadError, match="key"):
+            load_store_substrate(saved_dir, expected_key="deadbeef")
+
+    def test_empty_expected_key_skips_check(self, saved_dir, roa_status):
+        loaded = load_store_substrate(saved_dir, expected_key="")
+        assert loaded.points == roa_status.points
+
+    def test_foreign_generator_rejected(self, saved_dir, monkeypatch):
+        monkeypatch.setattr("repro.store.substrate.GENERATOR_VERSION", 999)
+        with pytest.raises(SubstrateLoadError, match="generator"):
+            load_store_substrate(saved_dir, expected_key="cafebabe")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            load_store_substrate(tmp_path)
+
+
+class TestFaults:
+    def test_save_fault_degrades_with_warning(self, roa_status, tmp_path):
+        instr = Instrumentation()
+        with injected("io-error@store.save"):
+            with pytest.warns(RuntimeWarning, match="substrate store failed"):
+                assert save_store_substrate(
+                    roa_status, tmp_path, instrumentation=instr
+                ) is None
+        assert instr.counters["store_save_errors"] == 1
+        assert not (tmp_path / STORE_SUBSTRATE_FILENAME).exists()
+
+    def test_load_fault_raises_for_eviction(self, roa_status, tmp_path):
+        save_store_substrate(roa_status, tmp_path)
+        with injected("truncate@store.load"):
+            with pytest.raises(Exception):
+                load_store_substrate(tmp_path)

@@ -9,6 +9,8 @@ and vice versa.  These tests pin that identity at the archive level
 stream derivation against collisions across scenario seeds.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -73,3 +75,53 @@ class TestShardSeedStreams:
         assert list(a.integers(0, 100, size=8)) == list(
             b.integers(0, 100, size=8)
         )
+
+
+class TestParallelBuildCost:
+    """Satellite: the shard merge goes through the packed binary path,
+    so fanning out must not regress the build.  The wall-clock check
+    only means something with real parallel hardware; the wire-size
+    check (the mechanism that pays for the pool overhead) is
+    deterministic and always runs."""
+
+    def test_packed_shard_smaller_than_pickle(self, monkeypatch):
+        import pickle
+
+        from repro.store.shards import pack_background_shard
+        from repro.synth.builder import WorldBuilder
+
+        captured = {}
+        original = WorldBuilder._map_background_shards
+
+        def spying(self, tasks):
+            results = original(self, tasks)
+            captured["result"] = results[0]
+            return results
+
+        monkeypatch.setattr(
+            WorldBuilder, "_map_background_shards", spying
+        )
+        build_world(ScenarioConfig.tiny())
+        result = captured["result"]
+        packed = pack_background_shard(result)
+        pickled = pickle.dumps(result)
+        assert len(packed) < len(pickled)
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 2,
+        reason="needs >=2 CPUs for a meaningful wall-clock comparison",
+    )
+    def test_jobs4_not_slower_than_serial_small(self):
+        import time
+
+        config = ScenarioConfig.small()
+        build_world(config)  # warm imports/allocators outside the clock
+        start = time.perf_counter()
+        build_world(config)
+        serial = time.perf_counter() - start
+        start = time.perf_counter()
+        build_world(config, jobs=4)
+        parallel = time.perf_counter() - start
+        # Generous tolerance: the point is catching a pathological merge
+        # path (e.g. re-pickling object graphs), not micro-benchmarking.
+        assert parallel <= serial * 1.5

@@ -72,3 +72,19 @@ class TestGoldenMarkdown:
             "experiment_ids"
         ]
         assert all(s["seconds"] >= 0 for s in experiment_stages)
+
+    def test_binary_store_matches_json_path(self, capsys, golden_text, tmp_path):
+        """Full-report golden gate for the binary world store: a run
+        served from the ``.bin`` sidecars and a run forced onto the JSON
+        compatibility path print the identical report, byte for byte."""
+        args = ("--cache-dir", str(tmp_path))
+        cold = _markdown(capsys, *args)  # build + persist both formats
+        from_binary = _markdown(capsys, *args)  # warm: mmap store path
+        sidecars = list(tmp_path.rglob("*.bin"))
+        assert sidecars, "warm run persisted no binary store files"
+        for path in sidecars:
+            path.unlink()
+        from_json = _markdown(capsys, *args)  # warm: JSON fallback path
+        assert cold == golden_text
+        assert from_binary == golden_text
+        assert from_json == golden_text
