@@ -1,0 +1,165 @@
+"""Sweep-engine costs: cold fan-out vs cache resume, cells/second.
+
+Two entry points, mirroring ``bench_store.py``:
+
+* cheap pytest-benchmark functions (``bench_sweep_spec_expansion``,
+  ``bench_sweep_report_fold``) picked up with the rest of the bench
+  suite — the pure-Python costs of grid expansion and report folding;
+* a standalone mode — ``python benchmarks/bench_sweep.py --out
+  BENCH_sweep.json --check`` — recording the PR's acceptance numbers
+  as a JSON artifact: a 3-family x 3-ROV-rate grid (9 cells) run cold
+  into a fresh cache root and then resumed warm with ``--jobs 4``,
+  wall-clock for both, cells/second, and the resume contract (the
+  warm run builds zero worlds).  ``--smoke`` shrinks the grid to 2
+  cells for CI; ``--check`` enforces the gates: every cell ok on both
+  runs, the resume builds nothing, and the report covers every family.
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+from time import perf_counter
+
+from repro.obs import Instrumentation
+from repro.sweep import SweepSpec, run_sweep, sweep_report
+
+#: The artifact grid: every default family swept over three ROV rates.
+GRID_SPEC = SweepSpec(
+    name="bench-sweep",
+    families=("prefix-hijack", "subprefix-hijack", "roa-downgrade"),
+    attack_count=2,
+    rov_rates=(0.0, 0.5, 0.9),
+)
+
+#: CI smoke grid: one family, two rates.
+SMOKE_SPEC = SweepSpec(
+    name="bench-sweep-smoke",
+    families=("prefix-hijack",),
+    attack_count=1,
+    rov_rates=(0.0, 0.6),
+)
+
+JOBS = 4
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+
+def bench_sweep_spec_expansion(benchmark):
+    cells = benchmark(GRID_SPEC.cells)
+    assert len(cells) == GRID_SPEC.grid_size
+
+
+def bench_sweep_report_fold(benchmark):
+    """Folding per-cell metrics into family curves, no worlds involved."""
+    from repro.sweep.engine import CellResult
+
+    rollup = {
+        "visibility": 0.5,
+        "blocked": 0.4,
+        "post_listing_visibility": 0.3,
+    }
+    cells = [
+        CellResult(
+            name=name,
+            family=scenario.attacks[0].family,
+            axes={
+                "rov": scenario.defenses[0].rate,
+                "drop": scenario.defenses[1].rate,
+                "route_server": scenario.defenses[2].rate,
+            },
+            status="ok",
+            kind=None,
+            error=None,
+            cache_status="hit",
+            key="0" * 16,
+            seconds=0.1,
+            metrics={
+                "families": {scenario.attacks[0].family: dict(rollup)}
+            },
+        )
+        for name, scenario in GRID_SPEC.cells()
+    ]
+    report = benchmark(sweep_report, GRID_SPEC, cells)
+    assert report["cells_ok"] == GRID_SPEC.grid_size
+
+
+# ---------------------------------------------------------------------------
+# standalone artifact mode
+# ---------------------------------------------------------------------------
+
+
+def _timed_run(spec, *, cache_root, jobs):
+    instr = Instrumentation()
+    started = perf_counter()
+    outcome = run_sweep(
+        spec, jobs=jobs, cache_root=cache_root, instrumentation=instr
+    )
+    return outcome, perf_counter() - started
+
+
+def run(spec: SweepSpec, *, jobs: int, out: Path | None) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp:
+        cache_root = Path(tmp) / "cache"
+        cold, cold_seconds = _timed_run(
+            spec, cache_root=cache_root, jobs=jobs
+        )
+        warm, warm_seconds = _timed_run(
+            spec, cache_root=cache_root, jobs=jobs
+        )
+
+    cells = len(spec.cells())
+    families_covered = sorted(warm.report["families"])
+    all_ok = not cold.failed and not warm.failed
+    resume_clean = warm.worlds_built == 0
+    covers_families = families_covered == sorted(spec.families)
+
+    payload = {
+        "spec": spec.canonical_dict(),
+        "jobs": jobs,
+        "cells": cells,
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "cold_cells_per_second": round(cells / cold_seconds, 3),
+        "warm_cells_per_second": round(cells / warm_seconds, 3),
+        "cold_worlds_built": cold.worlds_built,
+        "warm_worlds_built": warm.worlds_built,
+        "warm_speedup": round(cold_seconds / warm_seconds, 2),
+        "families_covered": families_covered,
+        "meets_targets": {
+            "all_cells_ok": all_ok,
+            "resume_builds_zero_worlds": resume_clean,
+            "report_covers_every_family": covers_families,
+        },
+    }
+    if out is not None:
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: 2-cell grid, 2 jobs")
+    parser.add_argument("--jobs", type=int, default=JOBS)
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the JSON artifact to FILE")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless every target holds")
+    args = parser.parse_args(argv)
+    spec = SMOKE_SPEC if args.smoke else GRID_SPEC
+    jobs = min(args.jobs, 2) if args.smoke else args.jobs
+    payload = run(spec, jobs=jobs, out=args.out)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.check and not all(payload["meets_targets"].values()):
+        print("sweep targets missed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,8 @@ Installed as ``repro-drop``::
     repro-drop query --stdin --format table < prefixes.txt
     repro-drop serve --port 8765
     repro-drop serve --async --workers 4 --port 8765
+    repro-drop sweep --rov-rates 0,0.5,0.9 --jobs 4 --out report.json
+    repro-drop sweep --spec grid.json --format table
 
 ``report``/``markdown``/``query``/``serve`` accept either ``--scale``
 (build a fresh world) or ``--archives DIR`` (load one previously
@@ -29,7 +31,10 @@ Exit status follows :class:`ExitCode`: 0 (``OK``) clean, 1
 (``FAILURE``) when an experiment produced no report, 2 (``USAGE``) for
 bad invocations, 3 (``DEGRADED``) when every report was produced but
 only by recovering from an infrastructure fault — dead worker, corrupt
-or unwritable cache entry — detailed on stderr.
+or unwritable cache entry — detailed on stderr.  ``sweep`` extends the
+policy per cell: every cell failed is 1, *some* cells failed is 3 with
+each cell's failure kind on stderr, all cells ok falls back to the
+degraded-counter check.
 """
 
 from __future__ import annotations
@@ -67,6 +72,12 @@ from .runtime import (
     run_experiments,
     world_cache_key,
     world_sizes,
+)
+from .sweep import (
+    SweepSpec,
+    SweepSpecError,
+    render_sweep_table,
+    run_sweep,
 )
 from .synth import ScenarioConfig, World, build_world, load_world, save_world
 
@@ -557,6 +568,114 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return ExitCode.OK
 
 
+def _rates_arg(value: str) -> tuple[float, ...]:
+    """A comma-separated list of rates in [0, 1] (e.g. ``0,0.5,0.9``)."""
+    try:
+        rates = tuple(float(piece) for piece in value.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid rate list: {value!r} (want e.g. 0,0.5,0.9)"
+        ) from None
+    for rate in rates:
+        if not 0.0 <= rate <= 1.0:
+            raise argparse.ArgumentTypeError(
+                f"rate {rate:g} not in [0, 1]"
+            )
+    return rates
+
+
+def _sweep_spec(args: argparse.Namespace) -> SweepSpec:
+    """The sweep to run: ``--spec FILE`` wins, else the axis flags."""
+    if args.spec is not None:
+        return SweepSpec.from_json(args.spec.read_text())
+    overrides = {
+        "name": args.name,
+        "scale": args.scale,
+        "seed": args.seed,
+        "families": tuple(args.family) if args.family else None,
+        "attack_count": args.attack_count,
+        "rov_rates": args.rov_rates,
+        "drop_rates": args.drop_rates,
+        "route_server_rates": args.rs_rates,
+        "listing_delay_days": args.listing_delay,
+        "sample": args.sample,
+        "sample_seed": args.sample_seed,
+    }
+    return SweepSpec(
+        **{key: value for key, value in overrides.items() if value is not None}
+    )
+
+
+def _finish_sweep(outcome, instr: Instrumentation) -> int:
+    """Per-cell exit policy: 1 all failed, 3 some failed (kinds on
+    stderr), else the shared degraded-counter check."""
+    for cell in outcome.failed:
+        print(
+            f"cell {cell.name} failed ({cell.kind}): {cell.error}",
+            file=sys.stderr,
+        )
+    degraded = {
+        name: instr.counters[name]
+        for name in _DEGRADED_COUNTERS
+        if instr.counters.get(name)
+    }
+    if degraded:
+        details = ", ".join(f"{k}={v}" for k, v in degraded.items())
+        print(f"degraded run: {details}", file=sys.stderr)
+        for message in instr.warnings:
+            print(f"  - {message}", file=sys.stderr)
+    if outcome.failed:
+        if len(outcome.failed) == len(outcome.cells):
+            print("sweep failed: every cell failed", file=sys.stderr)
+            return ExitCode.FAILURE
+        print(
+            f"sweep degraded: {len(outcome.failed)}/{len(outcome.cells)} "
+            f"cells failed",
+            file=sys.stderr,
+        )
+        return ExitCode.DEGRADED
+    return ExitCode.DEGRADED if degraded else ExitCode.OK
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    instr = Instrumentation()
+    started = perf_counter()
+    try:
+        spec = _sweep_spec(args)
+    except (SweepSpecError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return ExitCode.USAGE
+    jobs = _resolve_jobs_arg(args)
+    instr.annotate("jobs", jobs)
+    instr.annotate("sweep_spec", spec.canonical_dict())
+    try:
+        with profiled(args.profile, "sweep"):
+            outcome = run_sweep(
+                spec,
+                jobs=jobs,
+                cache_root=args.cache_dir,
+                refresh=args.refresh_cache,
+                instrumentation=instr,
+            )
+    except Exception as error:
+        # Planning or collection died (e.g. an injected fault at
+        # sweep.plan / sweep.collect): no per-cell story to tell.
+        print(f"error: sweep failed: {error}", file=sys.stderr)
+        return ExitCode.FAILURE
+    instr.annotate("wall_seconds", round(perf_counter() - started, 6))
+    payload = json.dumps(outcome.report, indent=2, sort_keys=True)
+    if args.out is not None:
+        args.out.write_text(payload + "\n")
+    if args.format == "table":
+        print(render_sweep_table(outcome.report))
+    else:
+        print(payload)
+    status = _finish_sweep(outcome, instr)
+    _emit_timings(args, instr, sys.stderr)
+    _export_trace(args, instr)
+    return status
+
+
 def _cmd_markdown(args: argparse.Namespace) -> int:
     outcome, instr = _run_selected(args, list(EXPERIMENTS))
     print(render_markdown(list(outcome.reports)))
@@ -658,6 +777,100 @@ def build_parser() -> argparse.ArgumentParser:
         "--async)",
     )
     serve_cmd.set_defaults(func=_cmd_serve)
+
+    sweep_cmd = commands.add_parser(
+        "sweep",
+        help="fan a grid of attack/defense scenarios across workers "
+        "and emit defense-effectiveness curves",
+    )
+    sweep_cmd.add_argument(
+        "--spec", type=Path, default=None, metavar="FILE",
+        help="sweep spec JSON (wins over the axis flags below)",
+    )
+    sweep_cmd.add_argument(
+        "--name", default=None, help="sweep name (default: sweep)"
+    )
+    sweep_cmd.add_argument(
+        "--scale", choices=sorted(_SCALES), default=None,
+        help="world scale per cell (default: tiny)",
+    )
+    sweep_cmd.add_argument(
+        "--seed", type=int, default=None, help="generator seed per cell"
+    )
+    sweep_cmd.add_argument(
+        "--family", action="append", default=None, metavar="FAMILY",
+        help="attack family (repeatable; default: prefix-hijack, "
+        "subprefix-hijack, roa-downgrade; also: maxlength-abuse, "
+        "as0-misconfig)",
+    )
+    sweep_cmd.add_argument(
+        "--attack-count", type=int, default=None, metavar="N",
+        help="attack instances per cell (default: 4)",
+    )
+    sweep_cmd.add_argument(
+        "--rov-rates", type=_rates_arg, default=None, metavar="R,R,...",
+        help="ROV deployment rates to sweep (default: 0,0.5)",
+    )
+    sweep_cmd.add_argument(
+        "--drop-rates", type=_rates_arg, default=None, metavar="R,R,...",
+        help="DROP subscription rates to sweep (default: 0)",
+    )
+    sweep_cmd.add_argument(
+        "--rs-rates", type=_rates_arg, default=None, metavar="R,R,...",
+        help="route-server filtering rates to sweep (default: 0)",
+    )
+    sweep_cmd.add_argument(
+        "--listing-delay", type=int, default=None, metavar="DAYS",
+        help="days from attack to DROP listing (default: 7)",
+    )
+    sweep_cmd.add_argument(
+        "--sample", type=int, default=None, metavar="N",
+        help="run a seeded random N-cell sample of the grid",
+    )
+    sweep_cmd.add_argument(
+        "--sample-seed", type=int, default=None,
+        help="seed for --sample (default: 0)",
+    )
+    sweep_cmd.add_argument(
+        "--jobs", type=_jobs_arg, default=None,
+        help="worker processes for the cells; 0 = one per CPU "
+        "(default: $REPRO_JOBS or 1)",
+    )
+    sweep_cmd.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="world cache root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-drop)",
+    )
+    sweep_cmd.add_argument(
+        "--refresh-cache", action="store_true",
+        help="rebuild every cell and overwrite its cache entry",
+    )
+    sweep_cmd.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="also write the report JSON to FILE",
+    )
+    sweep_cmd.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="stdout format (default: table)",
+    )
+    sweep_cmd.add_argument(
+        "--timings", action="store_true",
+        help="emit stage timings JSON to stderr",
+    )
+    sweep_cmd.add_argument(
+        "--timings-out", type=Path, default=None,
+        help="also write the timings JSON to FILE",
+    )
+    sweep_cmd.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="append the run's span tree as JSONL to PATH "
+        "(default: $REPRO_TRACE, if set)",
+    )
+    sweep_cmd.add_argument(
+        "--profile", action="store_true",
+        help="cProfile the sweep and print hot spots to stderr",
+    )
+    sweep_cmd.set_defaults(func=_cmd_sweep)
 
     return parser
 

@@ -75,6 +75,26 @@ _CANONICAL: dict[str, tuple[str, dict, str]] = {
         "repro_cache_lock_takeovers_total", {},
         "Stale cache locks taken over from dead writers.",
     ),
+    "scenario_cache_hits": (
+        "repro_scenario_cache_hits_total", {},
+        "Scenario cache entries loaded from disk.",
+    ),
+    "scenario_cache_misses": (
+        "repro_scenario_cache_misses_total", {},
+        "Scenario cache misses that triggered a build.",
+    ),
+    "sweep_cells_ok": (
+        "repro_sweep_cells_total", {"status": "ok"},
+        "Sweep cells run, by outcome.",
+    ),
+    "sweep_cells_failed": (
+        "repro_sweep_cells_total", {"status": "failed"},
+        "Sweep cells run, by outcome.",
+    ),
+    "sweep_worlds_built": (
+        "repro_sweep_worlds_built_total", {},
+        "Scenario worlds built (not cache-resumed) during sweeps.",
+    ),
     "worker_lost_experiments": (
         "repro_runner_worker_lost_total", {},
         "Experiments whose worker process died mid-run.",

@@ -18,8 +18,10 @@ from .cache import (
     CACHE_DIR_ENV,
     LOCK_TIMEOUT_ENV,
     CacheOutcome,
+    ScenarioCacheOutcome,
     WorldCache,
     default_cache_root,
+    scenario_cache_key,
     world_cache_key,
 )
 from .faults import (
@@ -57,6 +59,7 @@ __all__ = [
     "LOCK_TIMEOUT_ENV",
     "RunOutcome",
     "START_METHOD_ENV",
+    "ScenarioCacheOutcome",
     "StageRecord",
     "WorldCache",
     "default_cache_root",
@@ -64,6 +67,7 @@ __all__ = [
     "injected",
     "resolve_jobs",
     "run_experiments",
+    "scenario_cache_key",
     "world_cache_key",
     "world_sizes",
 ]

@@ -41,8 +41,10 @@ __all__ = [
     "CACHE_DIR_ENV",
     "LOCK_TIMEOUT_ENV",
     "CacheOutcome",
+    "ScenarioCacheOutcome",
     "WorldCache",
     "default_cache_root",
+    "scenario_cache_key",
     "world_cache_key",
 ]
 
@@ -94,6 +96,29 @@ def world_cache_key(config: ScenarioConfig) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
+def scenario_cache_key(scenario) -> str:
+    """The content address of the world a DSL scenario would build.
+
+    Like :func:`world_cache_key`, but over the scenario's canonical
+    dict (base scale + attacks + defenses; the display name is
+    excluded, so renamed sweeps share cells) plus the overlay algorithm
+    version.
+    """
+    from ..scenarios.compose import SCENARIO_VERSION
+
+    payload = json.dumps(
+        {
+            "cache_format": _CACHE_FORMAT,
+            "generator": GENERATOR_VERSION,
+            "scenario_version": SCENARIO_VERSION,
+            "scenario": scenario.canonical_dict(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
 @dataclass(frozen=True, slots=True)
 class CacheOutcome:
     """A fetched world plus how the cache resolved it."""
@@ -101,6 +126,24 @@ class CacheOutcome:
     world: World
     #: ``"hit"`` (loaded from disk), ``"miss"`` (built and stored), or
     #: ``"refresh"`` (rebuild forced by the caller).
+    status: str
+    key: str
+    directory: Path
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioCacheOutcome:
+    """A fetched scenario world plus its director truth.
+
+    Unlike plain world entries, scenario entries persist the
+    :class:`~repro.scenarios.compose.ScenarioTruth` as a sidecar — a
+    cache hit stays fully evaluable
+    (:func:`~repro.scenarios.metrics.evaluate_scenario` needs the
+    truth), which is what makes sweep resume build zero worlds.
+    """
+
+    world: World
+    truth: object
     status: str
     key: str
     directory: Path
@@ -160,6 +203,100 @@ class WorldCache:
             world, "refresh" if refresh else "miss", key, directory
         )
 
+    def fetch_scenario(
+        self,
+        scenario,
+        *,
+        instrumentation: Instrumentation | None = None,
+        refresh: bool = False,
+        jobs: int = 1,
+    ) -> ScenarioCacheOutcome:
+        """The world for a DSL ``scenario``: cached if possible.
+
+        Entries live under ``<root>/scenarios/<key>/`` and carry two
+        sidecars next to the world archive: ``scenario.json`` (the full
+        spec, hash-checked on load so a foreign or torn entry evicts)
+        and ``scenario-truth.json`` (the director truth, reattached to
+        ``world.truth.scenario`` on a hit).  Same single-writer lock,
+        staging, and degraded-store discipline as :meth:`fetch`.
+        """
+        from ..scenarios.compose import ScenarioTruth, build_scenario_world
+
+        instr = instrumentation or Instrumentation()
+        key = scenario_cache_key(scenario)
+        directory = self.root / "scenarios" / key
+        if not refresh and directory.exists():
+            try:
+                world = self.load_entry(directory, instrumentation=instr)
+                truth = self._load_scenario_truth(
+                    directory, scenario, ScenarioTruth
+                )
+            except CacheCorruptionError:
+                shutil.rmtree(directory, ignore_errors=True)
+                instr.incr("world_cache_evictions")
+            else:
+                world.config = scenario.base.to_config()
+                world.truth.scenario = truth
+                instr.incr("scenario_cache_hits")
+                instr.annotate("world_sizes", world_sizes(world))
+                return ScenarioCacheOutcome(
+                    world, truth, "hit", key, directory
+                )
+        instr.incr("scenario_cache_misses")
+        world = build_scenario_world(
+            scenario, jobs=jobs, instrumentation=instr
+        )
+        truth = world.truth.scenario
+        instr.annotate("world_sizes", world_sizes(world))
+        self._store(
+            world,
+            directory,
+            instr,
+            meta={
+                "key": key,
+                "generator": GENERATOR_VERSION,
+                "scenario_hash": scenario.content_hash(),
+            },
+            sidecars={
+                "scenario.json": scenario.to_json(),
+                "scenario-truth.json": json.dumps(
+                    truth.to_dict(), indent=2, sort_keys=True
+                ),
+            },
+        )
+        return ScenarioCacheOutcome(
+            world, truth, "refresh" if refresh else "miss", key, directory
+        )
+
+    @staticmethod
+    def _load_scenario_truth(directory: Path, scenario, truth_cls):
+        """The truth sidecar of one scenario entry, spec-checked.
+
+        Raises :class:`CacheCorruptionError` when either sidecar is
+        missing/torn or the stored spec hash disagrees with the
+        requested scenario (a key collision or foreign entry).
+        """
+        try:
+            stored = json.loads((directory / "scenario.json").read_text())
+            truth_doc = json.loads(
+                (directory / "scenario-truth.json").read_text()
+            )
+            truth = truth_cls.from_dict(truth_doc)
+        except Exception as error:
+            raise CacheCorruptionError(
+                f"scenario entry {directory.name} sidecars cannot be "
+                f"loaded: {error}"
+            ) from error
+        expected = scenario.content_hash()
+        stored_hash = type(scenario).from_dict(stored).content_hash()
+        if stored_hash != expected or truth.scenario_hash != expected:
+            raise CacheCorruptionError(
+                f"scenario entry {directory.name} stores a different "
+                f"scenario (stored {stored_hash[:12]}, "
+                f"expected {expected[:12]})"
+            )
+        return truth
+
     def load_entry(
         self,
         directory: Path,
@@ -187,7 +324,13 @@ class WorldCache:
     # -- storing -----------------------------------------------------------
 
     def _store(
-        self, world: World, directory: Path, instr: Instrumentation
+        self,
+        world: World,
+        directory: Path,
+        instr: Instrumentation,
+        *,
+        meta: dict | None = None,
+        sidecars: dict[str, str] | None = None,
     ) -> None:
         """Persist ``world`` as the entry at ``directory`` (crash-safe).
 
@@ -197,6 +340,11 @@ class WorldCache:
         Save failures (disk full, permissions) degrade to an uncached
         run with a counter and a warning; only the final ``os.rename``
         losing its race against a takeover winner is silently benign.
+
+        ``meta`` overrides the ``cache-key.json`` payload and
+        ``sidecars`` adds extra files to the staged entry (scenario
+        entries use both) — they ride inside the same staging window,
+        so the published entry is all-or-nothing either way.
         """
         directory.parent.mkdir(parents=True, exist_ok=True)
         lock = directory.parent / f"{directory.name}.lock"
@@ -215,17 +363,17 @@ class WorldCache:
                     fault_point("cache.save", instrumentation=instr)
                     # Daily snapshots so DROP episode dates reload exactly.
                     save_world(world, staging, drop_step_days=1)
+                    if meta is None:
+                        meta = {
+                            "key": directory.name,
+                            "generator": GENERATOR_VERSION,
+                            "config": world.config.canonical_dict(),
+                        }
                     (staging / "cache-key.json").write_text(
-                        json.dumps(
-                            {
-                                "key": directory.name,
-                                "generator": GENERATOR_VERSION,
-                                "config": world.config.canonical_dict(),
-                            },
-                            indent=2,
-                            sort_keys=True,
-                        )
+                        json.dumps(meta, indent=2, sort_keys=True)
                     )
+                    for name, text in (sidecars or {}).items():
+                        (staging / name).write_text(text)
                     # A truncate fault corrupts the staged entry *after*
                     # a successful save: the published entry is torn,
                     # exactly like a crash between write and fsync.

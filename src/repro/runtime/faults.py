@@ -26,6 +26,12 @@ runs — a fired fault fails the reload and keeps the old index) and
 ``server.accept`` (at async connection admission — ``io-error`` drops
 the connection, ``slow`` holds it open, which the drain tests use).
 
+The sweep engine adds three more: ``sweep.plan`` (grid expansion —
+a fault fails the whole sweep), ``sweep.cell:<name>`` (at the top of
+each cell, in the worker — an ``io-error`` fails just that cell, a
+``crash`` kills the worker and exercises the serial-fallback
+recovery), and ``sweep.collect`` (report assembly).
+
 Activation is either programmatic (the :func:`injected` context
 manager — inherited by forked workers) or ambient via
 ``$REPRO_FAULTS`` + ``$REPRO_FAULT_SEED`` (read lazily and re-read on

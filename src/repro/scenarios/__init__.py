@@ -1,0 +1,74 @@
+"""Composable scenario DSL: attack families x defense deployments x scale.
+
+The DSL (:mod:`~repro.scenarios.spec`) declares *what* a scenario is —
+frozen, canonically-serializable pieces that hash to stable
+content-addressed keys.  :mod:`~repro.scenarios.playbooks` carries the
+paper's five playbooks as compositions over a fixed build pipeline, and
+:mod:`~repro.scenarios.compose` turns a :class:`Scenario` into a built
+:class:`~repro.synth.world.World` with director ground truth attached.
+:mod:`~repro.scenarios.metrics` scores defense effectiveness against
+that truth.  The sweep engine (:mod:`repro.sweep`) fans grids of these
+scenarios across the parallel runner.
+"""
+
+from .compose import (
+    SCENARIO_VERSION,
+    AttackTruth,
+    ScenarioDirector,
+    ScenarioTruth,
+    build_scenario_world,
+)
+from .metrics import evaluate_scenario
+from .playbooks import (
+    PAPER_PLAYBOOKS,
+    PIPELINE,
+    Playbook,
+    PlaybookContext,
+    apply_playbooks,
+)
+from .spec import (
+    ATTACK_FAMILIES,
+    DEFENSE_KINDS,
+    As0Misconfig,
+    AttackSpec,
+    DefenseSpec,
+    DropSubscription,
+    MaxLengthAbuse,
+    PrefixHijack,
+    RoaDowngrade,
+    RouteServerFiltering,
+    RovDeployment,
+    Scenario,
+    ScenarioSpecError,
+    SubPrefixHijack,
+    WorldScale,
+)
+
+__all__ = [
+    "ATTACK_FAMILIES",
+    "DEFENSE_KINDS",
+    "PAPER_PLAYBOOKS",
+    "PIPELINE",
+    "SCENARIO_VERSION",
+    "As0Misconfig",
+    "AttackSpec",
+    "AttackTruth",
+    "DefenseSpec",
+    "DropSubscription",
+    "MaxLengthAbuse",
+    "Playbook",
+    "PlaybookContext",
+    "PrefixHijack",
+    "RoaDowngrade",
+    "RouteServerFiltering",
+    "RovDeployment",
+    "Scenario",
+    "ScenarioDirector",
+    "ScenarioSpecError",
+    "ScenarioTruth",
+    "SubPrefixHijack",
+    "WorldScale",
+    "apply_playbooks",
+    "build_scenario_world",
+    "evaluate_scenario",
+]

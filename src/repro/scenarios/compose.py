@@ -1,0 +1,513 @@
+"""Composing scenarios into worlds: playbooks plus overlay direction.
+
+:func:`build_scenario_world` is the DSL's counterpart of
+:func:`~repro.synth.builder.build_world`: it builds the scenario's base
+world by running :data:`~repro.scenarios.playbooks.PAPER_PLAYBOOKS`
+through the generic pipeline, then lets a :class:`ScenarioDirector`
+layer the scenario's attack and defense overlays on top.
+
+Overlay randomness lives in its own seed domain
+(:data:`_OVERLAY_STREAM`), spawned from the base seed but disjoint from
+every stream the base build consumes — so a scenario with no overlays
+is byte-identical to the legacy world, and adding overlays never
+perturbs the base population (both pinned by the golden test).
+
+The director records everything it injects into a
+:class:`ScenarioTruth` (stored on ``world.truth.scenario``): which
+peers deploy each defense, and for every attack instance the victim,
+the attack announcement, its expected RPKI validity, and the listing
+day.  The truth document serializes to JSON, so scenario cache entries
+carry it as a sidecar and cache hits stay evaluable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+import numpy as np
+
+from ..bgp.messages import ASPath
+from ..bgp.ribs import PartialObservation, RouteInterval
+from ..drop.droplist import DropEpisode
+from ..drop.sbl import SblRecord
+from ..net.prefix import IPv4Prefix
+from .playbooks import PAPER_PLAYBOOKS, apply_playbooks
+from .spec import (
+    As0Misconfig,
+    AttackSpec,
+    DropSubscription,
+    MaxLengthAbuse,
+    PrefixHijack,
+    RoaDowngrade,
+    RouteServerFiltering,
+    RovDeployment,
+    Scenario,
+    SubPrefixHijack,
+)
+
+__all__ = [
+    "SCENARIO_VERSION",
+    "AttackTruth",
+    "ScenarioDirector",
+    "ScenarioTruth",
+    "build_scenario_world",
+]
+
+#: Version of the overlay algorithm.  Bump whenever a director change
+#: alters the produced world or truth for an unchanged scenario — the
+#: scenario cache keys on it alongside the generator version.
+SCENARIO_VERSION = 1
+
+#: Entropy domain tag separating overlay streams from every consumer
+#: of the base seed (the builder spawns its nine streams from the bare
+#: seed; background shards use 0xB6).
+_OVERLAY_STREAM = 0xD5
+
+#: Margins keeping attack days (and their listing aftermath) inside
+#: the observation window.
+_ATTACK_LEAD_DAYS = 90
+_ATTACK_TAIL_DAYS = 45
+
+
+@dataclass(frozen=True)
+class AttackTruth:
+    """What the director injected for one attack instance."""
+
+    family: str
+    index: int
+    region: str
+    victim_prefix: IPv4Prefix
+    victim_asn: int
+    attack_prefix: IPv4Prefix
+    #: Origin AS of the attack announcement (the victim's ASN when the
+    #: origin is forged, the victim's own route for ``as0-misconfig``).
+    attack_origin: int
+    #: The AS actually mounting the attack; None for ``as0-misconfig``
+    #: (self-inflicted).
+    attacker_asn: int | None
+    attack_day: date
+    #: The day the attack prefix lands on DROP; None when never listed.
+    listed_day: date | None
+    #: RFC 6811 state of the attack announcement on the attack day.
+    expected_validity: str
+    #: Peers expected to reject the announcement (ROV + route server).
+    blocked_peer_count: int
+
+    def to_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "index": self.index,
+            "region": self.region,
+            "victim_prefix": str(self.victim_prefix),
+            "victim_asn": self.victim_asn,
+            "attack_prefix": str(self.attack_prefix),
+            "attack_origin": self.attack_origin,
+            "attacker_asn": self.attacker_asn,
+            "attack_day": self.attack_day.isoformat(),
+            "listed_day": (
+                self.listed_day.isoformat() if self.listed_day else None
+            ),
+            "expected_validity": self.expected_validity,
+            "blocked_peer_count": self.blocked_peer_count,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "AttackTruth":
+        return cls(
+            family=doc["family"],
+            index=doc["index"],
+            region=doc["region"],
+            victim_prefix=IPv4Prefix.parse(doc["victim_prefix"]),
+            victim_asn=doc["victim_asn"],
+            attack_prefix=IPv4Prefix.parse(doc["attack_prefix"]),
+            attack_origin=doc["attack_origin"],
+            attacker_asn=doc["attacker_asn"],
+            attack_day=date.fromisoformat(doc["attack_day"]),
+            listed_day=(
+                date.fromisoformat(doc["listed_day"])
+                if doc["listed_day"]
+                else None
+            ),
+            expected_validity=doc["expected_validity"],
+            blocked_peer_count=doc["blocked_peer_count"],
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioTruth:
+    """Director intent for one composed scenario (JSON-serializable)."""
+
+    scenario_hash: str
+    full_table_peers: int
+    rov_peer_ids: tuple[int, ...]
+    route_server_peer_ids: tuple[int, ...]
+    drop_subscriber_ids: tuple[int, ...]
+    attacks: tuple[AttackTruth, ...]
+
+    @property
+    def realized_rov_rate(self) -> float:
+        """Fraction of full-table peers actually running ROV."""
+        return len(self.rov_peer_ids) / max(1, self.full_table_peers)
+
+    @property
+    def realized_route_server_rate(self) -> float:
+        return len(self.route_server_peer_ids) / max(
+            1, self.full_table_peers
+        )
+
+    @property
+    def realized_drop_rate(self) -> float:
+        return len(self.drop_subscriber_ids) / max(1, self.full_table_peers)
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario_hash": self.scenario_hash,
+            "full_table_peers": self.full_table_peers,
+            "rov_peer_ids": list(self.rov_peer_ids),
+            "route_server_peer_ids": list(self.route_server_peer_ids),
+            "drop_subscriber_ids": list(self.drop_subscriber_ids),
+            "attacks": [attack.to_dict() for attack in self.attacks],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ScenarioTruth":
+        return cls(
+            scenario_hash=doc["scenario_hash"],
+            full_table_peers=doc["full_table_peers"],
+            rov_peer_ids=tuple(doc["rov_peer_ids"]),
+            route_server_peer_ids=tuple(doc["route_server_peer_ids"]),
+            drop_subscriber_ids=tuple(doc["drop_subscriber_ids"]),
+            attacks=tuple(
+                AttackTruth.from_dict(a) for a in doc["attacks"]
+            ),
+        )
+
+
+class ScenarioDirector:
+    """Applies a scenario's attack/defense overlays to a built base.
+
+    Runs after every base stage, against the still-open builder: it
+    carves fresh victim space, mints fresh ASNs from the builder's
+    cursor, and writes announcements, ROAs, SBL records, and DROP
+    episodes through the same substrate APIs the playbooks use — so
+    analyses cannot tell overlay data from base data.
+    """
+
+    def __init__(self, builder, scenario: Scenario) -> None:
+        self.b = builder
+        self.scenario = scenario
+        seeds = np.random.SeedSequence(
+            entropy=(builder.cfg.seed, _OVERLAY_STREAM)
+        ).spawn(2)
+        self.rng_defense = np.random.default_rng(seeds[0])
+        self.rng_attack = np.random.default_rng(seeds[1])
+        self._regions = list(builder.cfg.regions)
+        self._defenses = {d.kind: d for d in scenario.defenses}
+        self.rov_ids: frozenset[int] = frozenset()
+        self.rs_ids: frozenset[int] = frozenset()
+        self.sub_ids: frozenset[int] = frozenset()
+
+    # -- defense deployment ----------------------------------------------
+
+    def _quota_pick(
+        self, pool: list[int], rate: float, total: int
+    ) -> frozenset[int]:
+        """``round(total * rate)`` ids from ``pool`` (quota, not
+        Bernoulli — realized deployment rates stay exact, mirroring the
+        playbooks' ``_quota_flags`` discipline)."""
+        quota = min(len(pool), round(total * rate))
+        if quota <= 0:
+            return frozenset()
+        chosen = self.rng_defense.choice(
+            np.array(pool), size=quota, replace=False
+        )
+        return frozenset(int(x) for x in chosen)
+
+    def _deploy_defenses(self) -> None:
+        full = sorted(self.b.peers.full_table_peer_ids())
+        total = len(full)
+        rov = self._defenses.get(RovDeployment.kind)
+        if rov is not None:
+            self.rov_ids = self._quota_pick(full, rov.rate, total)
+        rs = self._defenses.get(RouteServerFiltering.kind)
+        if rs is not None:
+            # Route servers protect peers not already running ROV
+            # themselves (a disjoint draw keeps both realized rates
+            # exact and the combined blocked set additive).
+            remaining = [p for p in full if p not in self.rov_ids]
+            self.rs_ids = self._quota_pick(remaining, rs.rate, total)
+        sub = self._defenses.get(DropSubscription.kind)
+        if sub is not None:
+            # The base world's three filtering peers already subscribe;
+            # the overlay adds subscribers beyond them.
+            eligible = [
+                p for p in full if p not in self.b._filtering_ids
+            ]
+            self.sub_ids = self._quota_pick(eligible, sub.rate, total)
+
+    # -- attack instances ---------------------------------------------------
+
+    def _listing_delay(self) -> int:
+        sub = self._defenses.get(DropSubscription.kind)
+        if isinstance(sub, DropSubscription):
+            return sub.listing_delay_days
+        return 7
+
+    def _attack_day(self) -> date:
+        window = self.b.cfg.window
+        return self.b.uniform_day(
+            self.rng_attack,
+            window.start + timedelta(days=_ATTACK_LEAD_DAYS),
+            window.end - timedelta(days=_ATTACK_TAIL_DAYS),
+        )
+
+    def _new_victim(
+        self, region: str, length: int
+    ) -> tuple[IPv4Prefix, int]:
+        """Carve, delegate, and allocate a fresh victim prefix."""
+        b = self.b
+        prefix = b.carver.carve(length)
+        b.resources.delegate_to_rir(region, prefix)
+        alloc_day = b.uniform_day(
+            self.rng_attack, date(2006, 1, 1), date(2016, 12, 31)
+        )
+        b.resources.allocate(
+            prefix,
+            region,
+            alloc_day,
+            holder=f"scenario-victim-{prefix.network >> 8}",
+        )
+        victim_asn = b.next_asn()
+        b.topology.attach_edge_network(victim_asn)
+        return prefix, victim_asn
+
+    def _announce_attack(
+        self,
+        prefix: IPv4Prefix,
+        path: ASPath,
+        start: date,
+        listed_day: date | None,
+        blocked: frozenset[int],
+    ) -> None:
+        """The attack route: blocked peers never see it; subscribers
+        (plus the base filtering peers) stop seeing it at listing."""
+        b = self.b
+        observers = frozenset(b._all_observers - blocked)
+        subscribers = (self.sub_ids | b._filtering_ids) - blocked
+        partials: tuple[PartialObservation, ...] = ()
+        if listed_day is not None and subscribers:
+            if start >= listed_day:
+                observers = observers - subscribers
+            else:
+                partials = tuple(
+                    PartialObservation(
+                        peer_id=pid,
+                        start=start,
+                        end=listed_day - timedelta(days=1),
+                    )
+                    for pid in sorted(subscribers)
+                )
+        b.bgp.add(
+            RouteInterval(
+                prefix=prefix,
+                path=path,
+                start=start,
+                end=None,
+                observers=observers,
+                partial_observers=partials,
+            )
+        )
+
+    def _list_on_drop(
+        self, prefix: IPv4Prefix, listed_day: date, text: str
+    ) -> None:
+        b = self.b
+        sbl_id = b.next_sbl_id()
+        b.sbl.add(
+            SblRecord(
+                sbl_id=sbl_id, prefix=prefix, text=text, created=listed_day
+            )
+        )
+        b.drop.add(
+            DropEpisode(
+                prefix=prefix, added=listed_day, removed=None, sbl_id=sbl_id
+            )
+        )
+
+    def _run_attack(
+        self, spec: AttackSpec, index: int
+    ) -> AttackTruth:
+        b = self.b
+        rng = self.rng_attack
+        window = b.cfg.window
+        region = self._regions[index % len(self._regions)]
+        blocked_rov = self.rov_ids | self.rs_ids
+        attack_day = self._attack_day()
+        listed_day: date | None = window.clamp(
+            attack_day + timedelta(days=self._listing_delay())
+        )
+        length = int(rng.integers(20, 23))
+        victim_prefix, victim_asn = self._new_victim(region, length)
+        roa_age = int(rng.integers(200, 700))
+        transit = 62_070 + int(rng.integers(20))
+
+        if isinstance(spec, As0Misconfig):
+            # The operator's own space, routed for years; on the attack
+            # day they publish an AS0 ROA over it (under their RIR's
+            # production TAL, like §6.2.1), turning their legitimate
+            # route invalid for every ROV adopter.
+            b.sign(
+                victim_prefix,
+                0,
+                attack_day,
+                trust_anchor=region,
+                max_length=32,
+            )
+            legit_path = b.topology.path_from_core(victim_asn)
+            b.announce(
+                victim_prefix,
+                legit_path,
+                b.cfg.bgp_history_start,
+                attack_day - timedelta(days=1),
+            )
+            self._announce_attack(
+                victim_prefix, legit_path, attack_day, None, blocked_rov
+            )
+            return AttackTruth(
+                family=spec.family,
+                index=index,
+                region=region,
+                victim_prefix=victim_prefix,
+                victim_asn=victim_asn,
+                attack_prefix=victim_prefix,
+                attack_origin=victim_asn,
+                attacker_asn=None,
+                attack_day=attack_day,
+                listed_day=None,
+                expected_validity="invalid",
+                blocked_peer_count=len(blocked_rov),
+            )
+
+        # Every other family: a victim announcing its space normally...
+        b.announce(
+            victim_prefix,
+            b.topology.path_from_core(victim_asn),
+            b.cfg.bgp_history_start,
+            None,
+        )
+        roa_removed: date | None = None
+        max_length: int | None = None
+        attack_prefix = victim_prefix
+        attacker_asn = b.next_asn()
+        attack_origin = attacker_asn
+        if isinstance(spec, PrefixHijack):
+            expected = "invalid"
+        elif isinstance(spec, SubPrefixHijack):
+            sub_length = min(28, length + spec.extra_length)
+            attack_prefix = next(iter(victim_prefix.subnets(sub_length)))
+            expected = "invalid"
+        elif isinstance(spec, RoaDowngrade):
+            # Stalloris: the ROA fell out of the repository before the
+            # attack; the hijack validates NOT_FOUND, so ROV lets it
+            # through — the defense's blind spot, measured.
+            roa_removed = attack_day - timedelta(days=spec.stale_days)
+            expected = "not-found"
+        elif isinstance(spec, MaxLengthAbuse):
+            max_length = min(32, max(spec.max_length, length + 2))
+            attack_prefix = next(iter(victim_prefix.subnets(max_length)))
+            # Forged origin: the announcement names the victim's ASN,
+            # so the loose maxLength ROA authorizes it.
+            attack_origin = victim_asn
+            expected = "valid"
+        else:  # pragma: no cover - registry and director kept in sync
+            raise AssertionError(f"unhandled attack family: {spec!r}")
+        b.sign(
+            victim_prefix,
+            victim_asn,
+            attack_day - timedelta(days=roa_age),
+            trust_anchor=region,
+            max_length=max_length,
+            removed=roa_removed,
+        )
+        blocked = blocked_rov if expected == "invalid" else frozenset()
+        self._announce_attack(
+            attack_prefix,
+            ASPath.of(transit, attack_origin),
+            attack_day,
+            listed_day,
+            blocked,
+        )
+        self._list_on_drop(
+            attack_prefix,
+            listed_day,
+            f"Hijacked netblock announced via AS{transit} "
+            f"({spec.family})",
+        )
+        return AttackTruth(
+            family=spec.family,
+            index=index,
+            region=region,
+            victim_prefix=victim_prefix,
+            victim_asn=victim_asn,
+            attack_prefix=attack_prefix,
+            attack_origin=attack_origin,
+            attacker_asn=attacker_asn,
+            attack_day=attack_day,
+            listed_day=listed_day,
+            expected_validity=expected,
+            blocked_peer_count=len(blocked),
+        )
+
+    # -- orchestration -----------------------------------------------------
+
+    def apply(self) -> ScenarioTruth:
+        """Deploy defenses, run every attack instance, return truth."""
+        self._deploy_defenses()
+        attacks: list[AttackTruth] = []
+        for spec in self.scenario.attacks:
+            for index in range(spec.count):
+                attacks.append(self._run_attack(spec, len(attacks)))
+        return ScenarioTruth(
+            scenario_hash=self.scenario.content_hash(),
+            full_table_peers=len(self.b.peers.full_table_peer_ids()),
+            rov_peer_ids=tuple(sorted(self.rov_ids)),
+            route_server_peer_ids=tuple(sorted(self.rs_ids)),
+            drop_subscriber_ids=tuple(sorted(self.sub_ids)),
+            attacks=tuple(attacks),
+        )
+
+
+def build_scenario_world(
+    scenario: Scenario,
+    *,
+    jobs: int = 1,
+    instrumentation=None,
+):
+    """Build the world a scenario describes (base + overlays).
+
+    The base runs through the generic playbook pipeline — the DSL path
+    the golden test pins byte-identical to the legacy
+    ``build_world`` — then the director applies the overlays.  Returns
+    a :class:`~repro.synth.world.World` whose ``truth.scenario`` holds
+    the :class:`ScenarioTruth`.
+    """
+    # Imported here, not at module load: repro.synth.builder imports the
+    # legacy repro.synth.scenarios shim, which imports this package.
+    from ..synth.builder import WorldBuilder
+
+    builder = WorldBuilder(
+        scenario.base.to_config(), jobs=jobs, instrumentation=instrumentation
+    )
+    world = builder.build(
+        scenario_stages=(
+            (
+                "playbooks",
+                lambda: apply_playbooks(builder, PAPER_PLAYBOOKS),
+            ),
+        )
+    )
+    director = ScenarioDirector(builder, scenario)
+    with builder.instrumentation.stage("scenario-overlays", group="build"):
+        world.truth.scenario = director.apply()
+    return world

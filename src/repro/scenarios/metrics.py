@@ -1,0 +1,90 @@
+"""Defense-effectiveness metrics for composed scenario worlds.
+
+:func:`evaluate_scenario` measures, for every attack the director
+injected, how much of the full-table peer set actually carried the
+attack announcement — on the attack day (what ROV/route-server
+filtering stopped) and again on the listing day (what DROP
+subscription additionally stopped).  The per-family rollups are the
+data points sweep reports turn into deployment-rate curves.
+
+Attack intervals are matched by ``(prefix, origin, active day)``, not
+by prefix alone: for a same-prefix hijack the victim's own interval is
+active on the attack day too, and a naive union over
+``peers_observing`` would report total visibility for every cell.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from datetime import date
+
+from .compose import AttackTruth, ScenarioTruth
+
+__all__ = ["evaluate_scenario"]
+
+
+def _attack_observers(world, attack: AttackTruth, day: date) -> frozenset[int]:
+    """Peers carrying the attack announcement on ``day``."""
+    observers: set[int] = set()
+    for interval in world.bgp.intervals_exact(attack.attack_prefix):
+        if interval.active_on(day) and interval.origin == attack.attack_origin:
+            observers |= interval.observers_on(day)
+    return frozenset(observers)
+
+
+def _visibility(world, attack: AttackTruth, day: date, full: frozenset[int]) -> float:
+    return len(_attack_observers(world, attack, day) & full) / max(1, len(full))
+
+
+def evaluate_scenario(world, truth: ScenarioTruth) -> dict:
+    """Per-attack and per-family effectiveness numbers (JSON-ready).
+
+    ``visibility`` is the fraction of full-table peers carrying the
+    attack on the attack day; ``blocked`` is its complement;
+    ``post_listing_visibility`` is measured on the listing day (equal
+    to ``visibility`` for families DROP never lists).
+    """
+    full = world.peers.full_table_peer_ids()
+    per_attack = []
+    by_family: dict[str, list[dict]] = defaultdict(list)
+    for attack in truth.attacks:
+        visibility = _visibility(world, attack, attack.attack_day, full)
+        post_day = attack.listed_day or attack.attack_day
+        post = _visibility(world, attack, post_day, full)
+        row = {
+            "family": attack.family,
+            "index": attack.index,
+            "attack_prefix": str(attack.attack_prefix),
+            "expected_validity": attack.expected_validity,
+            "visibility": round(visibility, 6),
+            "blocked": round(1.0 - visibility, 6),
+            "post_listing_visibility": round(post, 6),
+            "listed": attack.listed_day is not None,
+        }
+        per_attack.append(row)
+        by_family[attack.family].append(row)
+
+    families = {}
+    for family, rows in sorted(by_family.items()):
+        n = len(rows)
+        visibility = sum(r["visibility"] for r in rows) / n
+        post = sum(r["post_listing_visibility"] for r in rows) / n
+        families[family] = {
+            "attacks": n,
+            "visibility": round(visibility, 6),
+            "blocked": round(1.0 - visibility, 6),
+            "post_listing_visibility": round(post, 6),
+        }
+
+    return {
+        "full_table_peers": len(full),
+        "defenses": {
+            "rov_rate": round(truth.realized_rov_rate, 6),
+            "route_server_rate": round(
+                truth.realized_route_server_rate, 6
+            ),
+            "drop_rate": round(truth.realized_drop_rate, 6),
+        },
+        "families": families,
+        "attacks": per_attack,
+    }

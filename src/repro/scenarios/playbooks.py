@@ -1,0 +1,1292 @@
+"""The paper's five playbooks, as composable DSL pieces.
+
+This module holds the generation code that used to live in
+:mod:`repro.synth.scenarios`, reorganized into five named
+:class:`Playbook` compositions — the paper's scenario content expressed
+in the DSL:
+
+* ``drop-listing`` — the DROP population plan: categories x regions x
+  removal, listing/removal dates, carved prefixes, SBL records and the
+  DROP episodes themselves (Fig 1, Table 2, Appendix A).
+* ``bgp-withdrawal`` — per-category announcement histories, withdrawal
+  behaviour after listing, and RIR deallocations (Fig 2, §4.1).
+* ``irr-registration`` — route-object registration/removal timing, the
+  hijacker-matching objects and ORG-ID clusters (Fig 3, §5).
+* ``rpki-signing`` — post-listing signing at per-region rates, the
+  presigned ROAs, and the operator-AS0 story (Table 1, §4.2, §6.2.1).
+* ``case-study`` — the RPKI-valid hijack of 132.255.0.0/22 and its
+  sibling prefixes (Fig 4, §6.1).
+
+Each playbook contributes *hooks* pinned to slots of the fixed
+:data:`PIPELINE`; :func:`apply_playbooks` runs the union of all hooks
+in pipeline order.  That order is exactly the call sequence of the
+legacy ``build_drop_population`` + ``build_case_study`` pair, and every
+hook draws from the same builder RNG streams in the same order — so
+composing :data:`PAPER_PLAYBOOKS` produces a world byte-identical to
+the legacy path (pinned by the scenario golden test).
+
+Everything is written through the same substrate APIs a real pipeline
+would populate from the archives, so analyses cannot tell the
+difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, timedelta
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..bgp.messages import ASPath
+from ..drop.categories import Category
+from ..drop.droplist import DropEpisode
+from ..drop.sbl import SblRecord
+from ..irr.radb import RouteObjectRecord
+from ..irr.rpsl import RouteObject
+from ..net.prefix import IPv4Prefix
+from ..synth.sbltext import sbl_text
+from ..synth.world import CaseStudyTruth, DropTruth
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..synth.builder import WorldBuilder
+
+__all__ = [
+    "PAPER_PLAYBOOKS",
+    "PIPELINE",
+    "Playbook",
+    "PlaybookContext",
+    "apply_playbooks",
+    "build_case_study",
+    "build_drop_population",
+]
+
+# The paper's cast of ASNs (Fig 4 / §5).
+OWNER_ASN = 263692
+OWNER_TRANSIT = 21575
+HIJACK_TRANSIT = 50509
+HIJACK_SECOND = 34665
+HISTORIC_ORIGIN_2018 = 19361
+HISTORIC_PAIR = (16735, 263330)
+HISTORIC_PAIR_2 = (3549, 28129)
+
+CASE_PREFIX = "132.255.0.0/22"
+CASE_DROP_DAY = date(2022, 3, 4)
+OPERATOR_AS0_PREFIX = "45.65.112.0/22"
+
+_CATEGORY_LENGTHS: dict[Category, tuple[int, int]] = {
+    Category.HIJACKED: (19, 22),
+    Category.SNOWSHOE: (20, 24),
+    Category.KNOWN_SPAM: (20, 23),
+    Category.MALICIOUS_HOSTING: (19, 22),
+    Category.NO_RECORD: (20, 23),
+    Category.UNALLOCATED: (17, 22),
+}
+
+
+@dataclass
+class _Entry:
+    """One planned DROP entry, mutated as scenario stages decorate it."""
+
+    categories: frozenset[Category]
+    region: str
+    removed: bool
+    unallocated: bool = False
+    incident: bool = False
+    presigned: bool = False
+    special: str | None = None  # "operator-as0"
+    # Filled during generation:
+    prefix: IPv4Prefix | None = None
+    listed: date | None = None
+    removed_on: date | None = None
+    hijacker_asn: int | None = None
+    origin_at_listing: int | None = None
+    withdrawn: bool = False
+    announce_start: date | None = None
+    announce_end: date | None = None
+    irr_plan: str | None = None  # hijacker / hijacker-late / other / incident
+    irr_org: str | None = None
+    irr_created: date | None = None
+    irr_removed: date | None = None
+    irr_origin: int | None = None
+    irr_recent: bool = False
+    preexisting_irr: bool = False
+    sbl_id: str | None = None
+    with_asn: bool = False
+    keywordless: bool = False
+    deallocate_on: date | None = None
+    signs_after: bool = False
+    sign_relation: str | None = None
+
+
+# ---------------------------------------------------------------------------
+# planning helpers
+# ---------------------------------------------------------------------------
+
+
+def _plan_entries(b: "WorldBuilder") -> list[_Entry]:
+    """Lay out categories × regions × removal for the whole population."""
+    cfg = b.cfg
+    rng = b.rng_drop
+
+    # Region/removal slots for the Table-1 population (minus the three
+    # case-study siblings, which are LACNIC/present hijacks added later).
+    slots: list[tuple[str, bool]] = []
+    for rir, profile in cfg.regions.items():
+        slots.extend((rir, True) for _ in range(profile.drop_removed))
+        present = profile.drop_present
+        if rir == "LACNIC":
+            present -= 3  # reserved for the Figure 4 siblings
+        slots.extend((rir, False) for _ in range(present))
+
+    # Category labels to spread over those slots.
+    overlap_hj = min(7, cfg.snowshoe_overlap)
+    overlap_ks = cfg.snowshoe_overlap - overlap_hj
+    regionized_hj = (
+        cfg.hijacked_prefixes
+        - cfg.afrinic_incident_prefixes
+        - cfg.presigned_hijacks
+        - overlap_hj
+    )
+    labels: list[frozenset[Category]] = []
+    labels += [frozenset({Category.HIJACKED})] * (regionized_hj - 3)
+    labels += [
+        frozenset({Category.SNOWSHOE, Category.HIJACKED})
+    ] * overlap_hj
+    labels += [
+        frozenset({Category.SNOWSHOE, Category.KNOWN_SPAM})
+    ] * overlap_ks
+    labels += [frozenset({Category.SNOWSHOE})] * (
+        cfg.snowshoe_prefixes - cfg.snowshoe_overlap
+    )
+    labels += [frozenset({Category.KNOWN_SPAM})] * (
+        cfg.known_spam_prefixes - overlap_ks
+    )
+    labels += [frozenset({Category.MALICIOUS_HOSTING})] * (
+        cfg.malicious_hosting_prefixes
+    )
+    labels += [frozenset({Category.NO_RECORD})] * cfg.no_record_prefixes
+
+    # `presigned_other` non-hijack labels become their own entries with a
+    # ROA at listing (excluded from Table 1 by the analysis itself).
+    presigned_labels: list[frozenset[Category]] = []
+    candidates = [
+        i
+        for i, label in enumerate(labels)
+        if Category.HIJACKED not in label
+        and Category.NO_RECORD not in label
+    ]
+    chosen = rng.choice(
+        np.array(candidates), size=cfg.presigned_other, replace=False
+    )
+    for index in sorted((int(i) for i in chosen), reverse=True):
+        presigned_labels.append(labels.pop(index))
+
+    if len(labels) != len(slots):
+        raise AssertionError(
+            f"planning mismatch: {len(labels)} labels vs {len(slots)} slots"
+        )
+
+    # Bias NO_RECORD onto removed slots: a missing SBL record means the
+    # holder remediated, which correlates with removal from DROP.
+    rng.shuffle(slots)
+    removed_slots = [s for s in slots if s[1]]
+    present_slots = [s for s in slots if not s[1]]
+    nr_labels = [l for l in labels if Category.NO_RECORD in l]
+    other_labels = [l for l in labels if Category.NO_RECORD not in l]
+    rng.shuffle(other_labels)
+    nr_to_removed = min(len(nr_labels), (3 * len(removed_slots)) // 4)
+    entries: list[_Entry] = []
+    for label, (region, removed) in zip(
+        nr_labels[:nr_to_removed], removed_slots
+    ):
+        entries.append(_Entry(label, region, removed))
+    rest_labels = nr_labels[nr_to_removed:] + other_labels
+    rest_slots = removed_slots[nr_to_removed:] + present_slots
+    rng.shuffle(rest_slots)
+    for label, (region, removed) in zip(rest_labels, rest_slots):
+        entries.append(_Entry(label, region, removed))
+
+    # Presigned non-hijack entries.
+    presigned_regions = ("RIPE", "ARIN", "APNIC")
+    for index, label in enumerate(presigned_labels):
+        entries.append(
+            _Entry(
+                label,
+                presigned_regions[index % len(presigned_regions)],
+                removed=bool(rng.random() < 0.5),
+                presigned=True,
+            )
+        )
+
+    # Unallocated entries, by region quota (Figure 6 clusters).
+    for rir, profile in cfg.regions.items():
+        for _ in range(profile.unallocated_drop_prefixes):
+            entries.append(
+                _Entry(
+                    frozenset({Category.UNALLOCATED}),
+                    rir,
+                    removed=bool(rng.random() < 0.5),
+                    unallocated=True,
+                )
+            )
+
+    # AFRINIC incidents: two clusters of large hijacked blocks.
+    for index in range(cfg.afrinic_incident_prefixes):
+        entries.append(
+            _Entry(
+                frozenset({Category.HIJACKED}),
+                "AFRINIC",
+                removed=False,
+                incident=True,
+            )
+        )
+
+    # One LACNIC removed hijack becomes the operator-AS0 story.
+    for entry in entries:
+        if (
+            entry.region == "LACNIC"
+            and entry.removed
+            and not entry.unallocated
+            and not entry.incident
+            and entry.categories == {Category.HIJACKED}
+        ):
+            entry.special = "operator-as0"
+            break
+    return entries
+
+
+def _assign_dates(b: "WorldBuilder", entries: list[_Entry]) -> None:
+    """Listing and removal dates (incidents and specials pinned)."""
+    cfg = b.cfg
+    rng = b.rng_drop
+    window = cfg.window
+    incident_days = (date(2019, 7, 15), date(2021, 3, 10))
+    incident_toggle = 0
+    for entry in entries:
+        if entry.incident:
+            entry.listed = incident_days[incident_toggle % 2]
+            incident_toggle += 1
+            entry.removed_on = None
+            continue
+        if entry.special == "operator-as0":
+            entry.listed = date(2020, 1, 28)
+            entry.removed_on = date(2021, 6, 16)
+            continue
+        if entry.unallocated and entry.region == "LACNIC":
+            # Clustered around early 2021 (Figure 6).
+            center = date(2021, 2, 1)
+            offset = int(rng.normal(0, 150))
+            entry.listed = window.clamp(center + timedelta(days=offset))
+        else:
+            latest = window.end - (timedelta(days=45) if entry.removed else
+                                   timedelta(days=0))
+            entry.listed = b.uniform_day(rng, window.start, latest)
+        if entry.removed:
+            earliest = entry.listed + timedelta(days=30)
+            if earliest > window.end:
+                # Listed too close to the window end (the clustered
+                # unallocated dates can land here): either remove on the
+                # last day or stay listed.
+                if entry.listed < window.end:
+                    entry.removed_on = window.end
+                else:
+                    entry.removed = False
+                    entry.removed_on = None
+            else:
+                entry.removed_on = b.uniform_day(
+                    rng, earliest, window.end
+                )
+        else:
+            entry.removed_on = None
+
+
+def _assign_prefixes(b: "WorldBuilder", entries: list[_Entry]) -> None:
+    """Carve address space; allocate everything except UA prefixes."""
+    rng = b.rng_drop
+    incident_lengths = [16] * 22 + [18] * 23
+    rng.shuffle(incident_lengths)
+    incident_index = 0
+    for entry in entries:
+        if entry.special == "operator-as0":
+            prefix = IPv4Prefix.parse(OPERATOR_AS0_PREFIX)
+            b.resources.delegate_to_rir("LACNIC", prefix)
+        elif entry.incident:
+            length = incident_lengths[incident_index]
+            incident_index += 1
+            prefix = b.carver.carve(length)
+        elif entry.unallocated:
+            lo, hi = _CATEGORY_LENGTHS[Category.UNALLOCATED]
+            prefix = b.carve_unallocated(
+                entry.region, int(rng.integers(lo, hi + 1))
+            )
+        else:
+            primary = _primary_category(entry.categories)
+            lo, hi = _CATEGORY_LENGTHS[primary]
+            prefix = b.carver.carve(int(rng.integers(lo, hi + 1)))
+        entry.prefix = prefix
+        if not entry.unallocated:
+            if not entry.special == "operator-as0":
+                b.resources.delegate_to_rir(entry.region, prefix)
+            holder = (
+                f"incident-holder-{prefix.network >> 16}"
+                if entry.incident
+                else f"drop-holder-{prefix.network >> 8}"
+            )
+            alloc_day = (
+                date(2019, 2, 1)
+                if entry.incident
+                else b.uniform_day(rng, date(2006, 1, 1), date(2016, 12, 31))
+            )
+            b.resources.allocate(prefix, entry.region, alloc_day, holder=holder)
+
+
+def _primary_category(categories: frozenset[Category]) -> Category:
+    for category in (
+        Category.HIJACKED,
+        Category.MALICIOUS_HOSTING,
+        Category.KNOWN_SPAM,
+        Category.SNOWSHOE,
+        Category.UNALLOCATED,
+        Category.NO_RECORD,
+    ):
+        if category in categories:
+            return category
+    raise ValueError("empty category set")
+
+
+# ---------------------------------------------------------------------------
+# behavioural stages
+# ---------------------------------------------------------------------------
+
+
+def _plan_irr(b: "WorldBuilder", entries: list[_Entry]) -> None:
+    """Decide who gets route objects, under which ORG-IDs, and when."""
+    cfg = b.cfg
+    rng = b.rng_irr
+
+    hijack_candidates = [
+        e
+        for e in entries
+        if Category.HIJACKED in e.categories
+        and not e.incident
+        and not e.presigned
+        and not e.unallocated
+    ]
+    rng.shuffle(hijack_candidates)
+
+    # The 130 hijacks whose SBL names the hijacker ASN.
+    for entry in hijack_candidates[: cfg.hijacks_with_asn]:
+        entry.with_asn = True
+
+    # 57 of those have a matching route object; three ORG-IDs cover 49.
+    matching = [e for e in hijack_candidates if e.with_asn][
+        : cfg.irr_hijacker_objects
+    ]
+    defunct_asns = [60_000 + i for i in range(cfg.irr_hijacker_asn_count)]
+    org_sizes = _split_cluster(
+        cfg.irr_hijacker_org_cluster,
+        cfg.irr_hijacker_org_count,
+        cfg.irr_prolific_org_objects,
+    )
+    orgs: list[str] = []
+    for org_index, size in enumerate(org_sizes):
+        orgs.extend([f"ORG-HJK{org_index + 1}"] * size)
+    orgs.extend(
+        f"ORG-SOLO{i}" for i in range(len(matching) - len(orgs))
+    )
+    for index, entry in enumerate(matching):
+        entry.irr_plan = "hijacker"
+        entry.irr_org = orgs[index]
+        entry.irr_origin = defunct_asns[index % len(defunct_asns)]
+        entry.hijacker_asn = entry.irr_origin
+    # The prolific ORG-ID's prefixes transit AS50509 (handled in BGP stage
+    # via the org name).  Two records postdate the BGP announcement by a
+    # year or more.
+    for entry in matching[-cfg.irr_late_records:]:
+        entry.irr_plan = "hijacker-late"
+    for entry in matching[: cfg.irr_preexisting_entries]:
+        entry.preexisting_irr = True
+
+    # Hijacks with a labeled ASN but no matching object: give them a
+    # hijacker ASN for the SBL text anyway.
+    attacker_pool = [61_000 + i for i in range(40)]
+    for entry in hijack_candidates:
+        if entry.with_asn and entry.hijacker_asn is None:
+            entry.hijacker_asn = attacker_pool[
+                int(rng.integers(len(attacker_pool)))
+            ]
+
+    # Incidents all carry (old) fraudulent route objects.
+    incident_entries = [e for e in entries if e.incident]
+    for entry in incident_entries:
+        entry.irr_plan = "incident"
+        entry.irr_org = "ORG-INCIDENT1" if entry.listed and entry.listed.year == 2019 else "ORG-INCIDENT2"
+
+    # One unallocated prefix got into the IRR (§5's closing observation).
+    ua_entries = [e for e in entries if e.unallocated]
+    if ua_entries:
+        ua_entries[0].irr_plan = "other"
+
+    # Fill to the 226 total with route objects on other entries.  Exclude
+    # labeled-ASN hijacks (their object, if any, is the hijacker-matching
+    # kind counted above) and unallocated prefixes (only the one designated
+    # UA prefix ever got past RADb).
+    have = sum(1 for e in entries if e.irr_plan is not None)
+    others = [
+        e
+        for e in entries
+        if e.irr_plan is None
+        and not e.presigned
+        and not e.with_asn
+        and not e.unallocated
+    ]
+    rng.shuffle(others)
+    # Larger blocks are likelier to be registered (they belong to real
+    # operations with paperwork to fake); this also reproduces the §5
+    # finding that the 31.7% of prefixes with objects cover 68.8% of the
+    # DROP address space.
+    others.sort(
+        key=lambda e: e.prefix.num_addresses if e.prefix else 0,
+        reverse=True,
+    )
+    for entry in others[: max(0, cfg.irr_object_prefixes - have)]:
+        entry.irr_plan = "other"
+
+    # Timing.  Target: ~32% of the 226 created within the month before
+    # listing.  Hijacker objects land there by construction; top up with
+    # "other" objects until the quota is met.
+    with_objects = [e for e in entries if e.irr_plan is not None]
+    recent_target = round(
+        cfg.irr_object_prefixes * cfg.irr_created_before_listing_rate
+    )
+    recent_now = sum(
+        1 for e in with_objects if e.irr_plan in ("hijacker",)
+    )
+    other_objects = [e for e in with_objects if e.irr_plan == "other"]
+    for entry in other_objects:
+        if recent_now < recent_target:
+            entry.irr_recent = True
+            recent_now += 1
+    # Removal within a month after listing: 43% of the 226, hijacker
+    # objects first (attackers clean up), then others.
+    removal_target = round(
+        cfg.irr_object_prefixes * cfg.irr_removed_after_listing_rate
+    )
+    removal_now = 0
+    for entry in with_objects:
+        if removal_now >= removal_target:
+            break
+        if entry.irr_plan in ("hijacker", "hijacker-late"):
+            entry.irr_removed = entry.listed + timedelta(
+                days=int(rng.integers(3, 29))
+            )
+            removal_now += 1
+    for entry in with_objects:
+        if removal_now >= removal_target:
+            break
+        if entry.irr_plan == "other" and entry.irr_removed is None:
+            entry.irr_removed = entry.listed + timedelta(
+                days=int(rng.integers(3, 29))
+            )
+            removal_now += 1
+
+
+def _split_cluster(total: int, orgs: int, prolific: int) -> list[int]:
+    """Split ``total`` route objects over ``orgs`` ORG-IDs, one prolific."""
+    rest = total - prolific
+    base = rest // (orgs - 1)
+    sizes = [prolific] + [base] * (orgs - 1)
+    sizes[-1] += rest - base * (orgs - 1)
+    return sizes
+
+
+def _quota_flags(
+    rng: np.random.Generator, count: int, rate: float
+) -> list[bool]:
+    """Exactly ``round(count * rate)`` Trues, in shuffled order.
+
+    Quota draws instead of Bernoulli keep small-population statistics
+    (withdrawal and signing rates) at the paper's values instead of
+    drifting by sampling noise.
+    """
+    flags = [True] * round(count * rate)
+    flags += [False] * (count - len(flags))
+    rng.shuffle(flags)
+    return flags
+
+
+def _apply_bgp(b: "WorldBuilder", entries: list[_Entry]) -> None:
+    """Announcement histories and withdrawal behaviour."""
+    cfg = b.cfg
+    rng = b.rng_drop
+
+    # Withdrawal-within-30-days flags, exact per category class (§4.1:
+    # hijacked 70.7%, unallocated 54.8%, everything else low).
+    classes: dict[str, list[_Entry]] = {"hj": [], "ua": [], "other": []}
+    for entry in entries:
+        if Category.HIJACKED in entry.categories and not entry.incident:
+            classes["hj"].append(entry)
+        elif entry.unallocated:
+            classes["ua"].append(entry)
+        else:
+            classes["other"].append(entry)
+    rates = {
+        "hj": cfg.withdrawal_rate_hijacked,
+        "ua": cfg.withdrawal_rate_unallocated,
+        "other": cfg.withdrawal_rate_other,
+    }
+    for name, members in classes.items():
+        for entry, flag in zip(
+            members, _quota_flags(rng, len(members), rates[name])
+        ):
+            entry.withdrawn = flag and entry.sign_relation != "none"
+
+    for entry in entries:
+        assert entry.prefix is not None and entry.listed is not None
+        hijack_like = (
+            Category.HIJACKED in entry.categories or entry.unallocated
+        )
+
+        if entry.irr_plan in ("hijacker", "hijacker-late"):
+            origin = entry.irr_origin
+            assert origin is not None
+            transit = (
+                HIJACK_TRANSIT
+                if entry.irr_org == "ORG-HJK1"
+                else 62_000 + int(rng.integers(20))
+            )
+            if entry.irr_plan == "hijacker":
+                # Announced 5-25 days before listing; the IRR record (set
+                # in _apply_irr) lands 0-6 days before the announcement.
+                entry.announce_start = entry.listed - timedelta(
+                    days=int(rng.integers(5, 26))
+                )
+            else:
+                # Announced over a year before the (late) IRR record.
+                entry.announce_start = entry.listed - timedelta(
+                    days=int(rng.integers(450, 720))
+                )
+            path = ASPath.of(transit, origin)
+        elif hijack_like:
+            origin = entry.hijacker_asn or b.next_asn()
+            entry.hijacker_asn = entry.hijacker_asn or origin
+            entry.announce_start = entry.listed - timedelta(
+                days=int(rng.integers(3, 60))
+            )
+            path = ASPath.of(62_000 + int(rng.integers(20)), origin)
+        else:
+            # Legitimately-allocated space used maliciously: announced by
+            # its holder for years, through real transit.
+            origin = b.next_asn()
+            b.topology.attach_edge_network(origin)
+            entry.announce_start = b.uniform_day(
+                rng, cfg.bgp_history_start, cfg.window.start
+            )
+            path = b.topology.path_from_core(origin)
+
+        if entry.withdrawn:
+            entry.announce_end = entry.listed + timedelta(
+                days=int(rng.integers(1, 29))
+            )
+        elif entry.sign_relation == "none":
+            entry.announce_end = entry.listed - timedelta(days=45)
+        else:
+            entry.announce_end = None
+        if (
+            entry.announce_end is not None
+            and entry.announce_end < entry.announce_start
+        ):
+            entry.announce_end = entry.announce_start
+
+        announced_at_listing = entry.announce_start <= entry.listed and (
+            entry.announce_end is None or entry.announce_end >= entry.listed
+        )
+        entry.origin_at_listing = origin if announced_at_listing else None
+        b.announce(
+            entry.prefix,
+            path,
+            entry.announce_start,
+            entry.announce_end,
+            listed=entry.listed,
+            delisted=entry.removed_on,
+        )
+
+
+def _apply_deallocations(b: "WorldBuilder", entries: list[_Entry]) -> None:
+    """§4.1: MH deallocations and removal-linked deallocations."""
+    cfg = b.cfg
+    rng = b.rng_drop
+    window = cfg.window
+    mh_entries = [
+        e
+        for e in entries
+        if Category.MALICIOUS_HOSTING in e.categories and not e.unallocated
+    ]
+    mh_target = round(len(mh_entries) * cfg.mh_deallocation_rate)
+    close_toggle = 0
+
+    def dealloc_before_removal(entry: _Entry) -> bool:
+        """Deallocate a removed entry; alternate the week-gap pattern.
+
+        Returns False when the listing episode is too short to fit the
+        "deallocated well before removal" variant.
+        """
+        nonlocal close_toggle
+        assert entry.removed_on is not None
+        span = (entry.removed_on - entry.listed).days
+        close = close_toggle % 2 == 0
+        if not close and span < 45:
+            return False
+        close_toggle += 1
+        delta = (
+            int(rng.integers(1, 8))
+            if close
+            else int(rng.integers(30, min(200, span - 10)))
+        )
+        entry.deallocate_on = entry.removed_on - timedelta(days=delta)
+        return True
+
+    # Prefer removed MH entries so the removal-deallocation coupling holds.
+    mh_entries.sort(key=lambda e: not e.removed)
+    assigned = 0
+    for entry in mh_entries:
+        if assigned >= mh_target:
+            break
+        if entry.removed and entry.removed_on is not None:
+            if not dealloc_before_removal(entry):
+                continue
+        else:
+            earliest = min(
+                entry.listed + timedelta(days=30), window.end
+            )
+            entry.deallocate_on = b.uniform_day(rng, earliest, window.end)
+        assigned += 1
+    # Top up so ~8.8% of *removed* prefixes are deallocated.
+    removed_entries = [
+        e for e in entries if e.removed and not e.unallocated and not e.incident
+    ]
+    target = round(len(removed_entries) * cfg.removed_deallocation_rate)
+    have = sum(1 for e in removed_entries if e.deallocate_on is not None)
+    for entry in removed_entries:
+        if have >= target:
+            break
+        if entry.deallocate_on is None and entry.removed_on is not None:
+            if dealloc_before_removal(entry):
+                have += 1
+    for entry in entries:
+        if entry.deallocate_on is not None:
+            b.resources.deallocate(entry.prefix, entry.deallocate_on)
+
+
+def _apply_irr(b: "WorldBuilder", entries: list[_Entry]) -> None:
+    """Write the planned route objects into the RADb journal."""
+    rng = b.rng_irr
+    for entry in entries:
+        if entry.irr_plan is None:
+            continue
+        assert entry.prefix is not None and entry.listed is not None
+        if entry.irr_plan == "hijacker":
+            assert entry.announce_start is not None
+            created = entry.announce_start - timedelta(
+                days=int(rng.integers(0, 7))
+            )
+            origin = entry.irr_origin
+            entry.irr_recent = True
+        elif entry.irr_plan == "hijacker-late":
+            created = entry.listed - timedelta(days=int(rng.integers(10, 60)))
+            origin = entry.irr_origin
+        elif entry.irr_plan == "incident":
+            created = entry.listed - timedelta(
+                days=int(rng.integers(60, 540))
+            )
+            origin = 63_000 + int(rng.integers(10))
+        else:  # "other"
+            if entry.irr_recent:
+                created = entry.listed - timedelta(
+                    days=int(rng.integers(5, 29))
+                )
+            else:
+                created = entry.listed - timedelta(
+                    days=int(rng.integers(60, 1500))
+                )
+            origin = entry.origin_at_listing or b.next_asn()
+        assert origin is not None
+        org = entry.irr_org or f"ORG-GEN{entry.prefix.network % 9973}"
+        b.irr.add(
+            RouteObjectRecord(
+                route=RouteObject(
+                    prefix=entry.prefix,
+                    origin=origin,
+                    maintainer=f"MAINT-{org}",
+                    org_id=org,
+                    descr="registered route",
+                ),
+                created=created,
+                deleted=entry.irr_removed,
+            )
+        )
+        entry.irr_created = created
+        if entry.irr_org and entry.irr_org.startswith("ORG-HJK"):
+            b.truth.hijacker_orgs.setdefault(entry.irr_org, []).append(
+                entry.prefix
+            )
+        if entry.preexisting_irr:
+            b.irr.add(
+                RouteObjectRecord(
+                    route=RouteObject(
+                        prefix=entry.prefix,
+                        origin=b.next_asn(),
+                        maintainer="MAINT-LEGIT",
+                        org_id=f"ORG-VICTIM{entry.prefix.network % 997}",
+                        descr="original holder",
+                    ),
+                    created=date(2012, 6, 1),
+                    deleted=None,
+                )
+            )
+
+
+def _apply_rpki(b: "WorldBuilder", entries: list[_Entry]) -> None:
+    """Presigned ROAs, post-listing signing, and the operator-AS0 story."""
+    cfg = b.cfg
+    rng = b.rng_rpki
+    window = cfg.window
+    for entry in entries:
+        assert entry.prefix is not None and entry.listed is not None
+        if entry.special == "operator-as0":
+            # §6.2.1: signed with AS0 on 2021-05-05, delisted 2021-06-16.
+            b.sign(
+                entry.prefix,
+                0,
+                date(2021, 5, 5),
+                trust_anchor=entry.region,
+                max_length=32,
+            )
+            entry.signs_after = True
+            entry.sign_relation = "as0"
+            b.truth.operator_as0_prefix = entry.prefix
+            continue
+        if entry.presigned:
+            # Non-hijack prefixes that already had a ROA when listed.
+            b.sign(
+                entry.prefix,
+                entry.origin_at_listing or b.next_asn(),
+                window.start - timedelta(days=int(rng.integers(30, 400))),
+                trust_anchor=entry.region,
+            )
+            continue
+        if entry.unallocated or entry.incident:
+            continue
+        if not entry.signs_after:
+            continue
+        if entry.sign_relation == "same":
+            signer = entry.origin_at_listing or b.next_asn()
+        else:
+            signer = b.next_asn()
+        earliest = (
+            entry.removed_on
+            if entry.removed_on is not None
+            else entry.listed + timedelta(days=30)
+        )
+        if earliest >= window.end:
+            earliest = window.end - timedelta(days=1)
+        signed_on = b.uniform_day(rng, earliest, window.end)
+        b.sign(entry.prefix, signer, signed_on, trust_anchor=entry.region)
+
+
+def _apply_sbl_and_listing(b: "WorldBuilder", entries: list[_Entry]) -> None:
+    """SBL records (with Appendix-A text) and the DROP episodes."""
+    cfg = b.cfg
+    rng = b.rng_sbl
+    labeled = [
+        e for e in entries if Category.NO_RECORD not in e.categories
+    ]
+    keywordless_target = round(len(labeled) * 0.073)
+    shuffled = list(labeled)
+    rng.shuffle(shuffled)
+    for entry in shuffled[:keywordless_target]:
+        if len(entry.categories) == 1:
+            entry.keywordless = True
+    # Beyond the 130 hijack ASNs, other records also name ASNs (190 total).
+    asn_mention_target = 190 - cfg.hijacks_with_asn
+    for entry in shuffled:
+        if asn_mention_target <= 0:
+            break
+        if not entry.with_asn and Category.HIJACKED not in entry.categories:
+            entry.with_asn = True
+            entry.hijacker_asn = entry.hijacker_asn or b.next_asn()
+            asn_mention_target -= 1
+
+    for entry in entries:
+        assert entry.prefix is not None and entry.listed is not None
+        entry.sbl_id = b.next_sbl_id()
+        if Category.NO_RECORD not in entry.categories:
+            text = sbl_text(
+                entry.categories,
+                rng,
+                asn=entry.hijacker_asn if entry.with_asn else None,
+                keywordless=entry.keywordless,
+            )
+            b.sbl.add(
+                SblRecord(
+                    sbl_id=entry.sbl_id,
+                    prefix=entry.prefix,
+                    text=text,
+                    created=entry.listed,
+                    removed=None,
+                )
+            )
+            if entry.keywordless:
+                b.manual_overrides[entry.sbl_id] = entry.categories
+        b.drop.add(
+            DropEpisode(
+                prefix=entry.prefix,
+                added=entry.listed,
+                removed=entry.removed_on,
+                sbl_id=entry.sbl_id,
+            )
+        )
+        b.truth.drop[entry.prefix] = DropTruth(
+            prefix=entry.prefix,
+            categories=entry.categories,
+            listed=entry.listed,
+            removed_on=entry.removed_on,
+            region=entry.region,
+            unallocated=entry.unallocated,
+            incident=entry.incident,
+            hijacker_asn=entry.hijacker_asn,
+            origin_at_listing=entry.origin_at_listing,
+            has_irr_object=entry.irr_plan is not None,
+            irr_hijacker_match=entry.irr_plan in ("hijacker", "hijacker-late"),
+            irr_created_recently=entry.irr_recent,
+            irr_removed_after=entry.irr_removed is not None,
+            presigned=entry.presigned,
+            signs_after=entry.signs_after,
+            sign_asn_relation=entry.sign_relation,
+            withdrawn_30d=entry.withdrawn,
+            deallocated=entry.deallocate_on is not None,
+            manual_sbl=entry.keywordless,
+        )
+
+
+def build_drop_population(b: "WorldBuilder") -> None:
+    """Generate the full DROP population (everything but Figure 4)."""
+    entries = _plan_entries(b)
+    _assign_dates(b, entries)
+    _assign_prefixes(b, entries)
+    _plan_irr(b, entries)
+    _plan_rpki_signing(b, entries)
+    _apply_bgp(b, entries)
+    _apply_deallocations(b, entries)
+    _apply_irr(b, entries)
+    _apply_rpki(b, entries)
+    _apply_sbl_and_listing(b, entries)
+
+
+def _plan_rpki_signing(b: "WorldBuilder", entries: list[_Entry]) -> None:
+    """Decide who signs after listing (Table 1), with exact quotas.
+
+    Runs before the BGP stage because a sliver of the signers had no BGP
+    origin at listing (relation "none"); their announcements must end
+    before the listing date.
+    """
+    cfg = b.cfg
+    rng = b.rng_rpki
+    none_rate = max(
+        0.0, 1.0 - cfg.signed_different_asn_rate - cfg.signed_same_asn_rate
+    )
+    for region, profile in cfg.regions.items():
+        for removed in (True, False):
+            group = [
+                e
+                for e in entries
+                if e.region == region
+                and e.removed == removed
+                and not e.unallocated
+                and not e.incident
+                and not e.presigned
+                and e.special is None
+            ]
+            rate = (
+                profile.removed_signing_rate
+                if removed
+                else profile.present_signing_rate
+            )
+            signers = [
+                e
+                for e, flag in zip(group, _quota_flags(rng, len(group), rate))
+                if flag
+            ]
+            relations = (
+                ["different"] * round(
+                    len(signers) * cfg.signed_different_asn_rate
+                )
+                + ["same"] * round(len(signers) * cfg.signed_same_asn_rate)
+            )
+            relations += ["none"] * max(0, len(signers) - len(relations))
+            del relations[len(signers):]
+            rng.shuffle(relations)
+            for entry, relation in zip(signers, relations):
+                entry.signs_after = True
+                entry.sign_relation = relation
+
+
+# ---------------------------------------------------------------------------
+# the Figure 4 case study
+# ---------------------------------------------------------------------------
+
+
+def build_case_study(b: "WorldBuilder") -> None:
+    """The RPKI-valid hijack of 132.255.0.0/22 and its sibling prefixes."""
+    cfg = b.cfg
+    history = cfg.bgp_history_start
+    signed_prefix = IPv4Prefix.parse(CASE_PREFIX)
+    unrouted_since = date(2020, 7, 10)
+    hijack_start = date(2020, 12, 15)
+    second_wave = date(2021, 6, 10)
+    hijack_path = ASPath.of(HIJACK_TRANSIT, HIJACK_SECOND, OWNER_ASN)
+
+    # The signed prefix: owned by a Peruvian AS, signed in 2018, unrouted
+    # from July 2020, hijacked RPKI-validly in December 2020.
+    b.resources.delegate_to_rir("LACNIC", signed_prefix)
+    b.resources.allocate(
+        signed_prefix, "LACNIC", date(2014, 3, 1), holder="peru-net",
+        country="PE",
+    )
+    b.sign(signed_prefix, OWNER_ASN, date(2018, 3, 1), trust_anchor="LACNIC")
+    b.announce(
+        signed_prefix,
+        ASPath.of(OWNER_TRANSIT, OWNER_ASN),
+        history,
+        unrouted_since,
+    )
+    b.announce(
+        signed_prefix,
+        hijack_path,
+        hijack_start,
+        None,
+        listed=CASE_DROP_DAY,
+    )
+    # RPKI-invalid more-specifics in the June 2021 wave.
+    for sub in signed_prefix.subnets(24):
+        b.announce(sub, hijack_path, second_wave, None)
+
+    # The six sibling prefixes (same origin+transit pattern, unsigned).
+    sibling_specs = [
+        ("187.19.64.0/20", HISTORIC_ORIGIN_2018, None, second_wave, False),
+        ("187.110.192.0/20", HISTORIC_ORIGIN_2018, None, second_wave, False),
+        ("191.7.224.0/19", HISTORIC_PAIR[1], HISTORIC_PAIR[0], hijack_start,
+         True),
+        ("200.150.240.0/20", None, None, second_wave, True),
+        ("200.189.64.0/20", HISTORIC_PAIR_2[1], HISTORIC_PAIR_2[0],
+         second_wave, True),
+        ("200.202.80.0/20", None, None, hijack_start, False),
+    ]
+    siblings: list[IPv4Prefix] = []
+    on_drop: list[IPv4Prefix] = []
+    for text, historic_origin, historic_transit, start, listed in sibling_specs:
+        prefix = IPv4Prefix.parse(text)
+        siblings.append(prefix)
+        b.resources.delegate_to_rir("LACNIC", prefix)
+        b.resources.allocate(
+            prefix, "LACNIC", date(2005, 6, 1),
+            holder=f"abandoned-{prefix.network >> 20}",
+        )
+        if historic_origin is not None:
+            # Last legitimately originated years before the hijack
+            # ("origin AS19361 in 2018"); others were unrouted for ~15 yrs.
+            b.announce(
+                prefix,
+                ASPath.of(historic_transit or 3549, historic_origin),
+                history,
+                date(2018, 10, 1),
+            )
+        listed_day = CASE_DROP_DAY if listed else None
+        b.announce(
+            prefix, hijack_path, start, None, listed=listed_day
+        )
+        if listed:
+            on_drop.append(prefix)
+
+    # DROP entries: the signed prefix plus three siblings, March 4 2022.
+    for prefix in [signed_prefix] + on_drop:
+        sbl_id = b.next_sbl_id()
+        text = (
+            f"Hijacked netblock announced via AS{HIJACK_TRANSIT} with "
+            f"forged origin AS{OWNER_ASN}"
+        )
+        b.sbl.add(
+            SblRecord(
+                sbl_id=sbl_id,
+                prefix=prefix,
+                text=text,
+                created=CASE_DROP_DAY,
+            )
+        )
+        b.drop.add(
+            DropEpisode(
+                prefix=prefix,
+                added=CASE_DROP_DAY,
+                removed=None,
+                sbl_id=sbl_id,
+            )
+        )
+        b.truth.drop[prefix] = DropTruth(
+            prefix=prefix,
+            categories=frozenset({Category.HIJACKED}),
+            listed=CASE_DROP_DAY,
+            removed_on=None,
+            region="LACNIC",
+            hijacker_asn=HIJACK_TRANSIT,
+            origin_at_listing=OWNER_ASN,
+            presigned=prefix == signed_prefix,
+            withdrawn_30d=False,
+        )
+
+    # The two other presigned hijacks: attacker-controlled ROAs whose ASN
+    # tracked the shifting BGP origin over the two years before listing.
+    for region, listed_day in (
+        ("APNIC", date(2021, 2, 10)),
+        ("RIPE", date(2021, 9, 20)),
+    ):
+        prefix = b.carver.carve(21)
+        b.resources.delegate_to_rir(region, prefix)
+        b.resources.allocate(
+            prefix, region, date(2009, 1, 1), holder="shelf-company"
+        )
+        first_asn = b.next_asn()
+        second_asn = b.next_asn()
+        switch = listed_day - timedelta(days=400)
+        b.sign(
+            prefix,
+            first_asn,
+            listed_day - timedelta(days=730),
+            trust_anchor=region,
+            removed=switch,
+        )
+        b.sign(prefix, second_asn, switch, trust_anchor=region)
+        b.announce(
+            prefix,
+            ASPath.of(62_050, first_asn),
+            listed_day - timedelta(days=730),
+            switch - timedelta(days=1),
+        )
+        b.announce(
+            prefix,
+            ASPath.of(62_050, second_asn),
+            switch,
+            listed_day + timedelta(days=20),
+            listed=listed_day,
+        )
+        sbl_id = b.next_sbl_id()
+        b.sbl.add(
+            SblRecord(
+                sbl_id=sbl_id,
+                prefix=prefix,
+                text=f"Hijacked range; ROA follows origin AS{second_asn}",
+                created=listed_day,
+            )
+        )
+        b.drop.add(
+            DropEpisode(
+                prefix=prefix, added=listed_day, removed=None, sbl_id=sbl_id
+            )
+        )
+        b.truth.drop[prefix] = DropTruth(
+            prefix=prefix,
+            categories=frozenset({Category.HIJACKED}),
+            listed=listed_day,
+            removed_on=None,
+            region=region,
+            hijacker_asn=second_asn,
+            origin_at_listing=second_asn,
+            presigned=True,
+            withdrawn_30d=True,
+        )
+
+    b.truth.case_study = CaseStudyTruth(
+        signed_prefix=signed_prefix,
+        owner_asn=OWNER_ASN,
+        owner_transit_asn=OWNER_TRANSIT,
+        hijacker_transit_asn=HIJACK_TRANSIT,
+        hijacker_second_hop=HIJACK_SECOND,
+        sibling_prefixes=tuple(siblings),
+        siblings_on_drop=tuple(on_drop),
+        unrouted_since=unrouted_since,
+        hijack_start=hijack_start,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the playbook pipeline
+# ---------------------------------------------------------------------------
+
+#: The fixed slot order every playbook hook is pinned to.  The order is
+#: RNG-critical: the stage functions above consume the builder's seeded
+#: streams, so reordering slots would produce a different world.  It
+#: mirrors the legacy ``build_drop_population`` call sequence exactly,
+#: with ``case-study`` last.
+PIPELINE: tuple[str, ...] = (
+    "plan",
+    "dates",
+    "prefixes",
+    "irr-plan",
+    "rpki-plan",
+    "bgp",
+    "dealloc",
+    "irr-apply",
+    "rpki-apply",
+    "listing",
+    "case-study",
+)
+
+
+@dataclass
+class PlaybookContext:
+    """Mutable state threaded through one pipeline run.
+
+    ``entries`` is the shared DROP-population plan: the ``plan`` hook
+    creates it and every later hook decorates or applies it.
+    """
+
+    builder: "WorldBuilder"
+    entries: list[_Entry] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Playbook:
+    """One named composition: hooks pinned to pipeline slots."""
+
+    name: str
+    title: str
+    #: ``(slot, hook)`` pairs; each slot must name a :data:`PIPELINE`
+    #: entry, and no two playbooks in one composition may claim the
+    #: same slot.
+    hooks: tuple[tuple[str, Callable[[PlaybookContext], None]], ...]
+
+    def __post_init__(self) -> None:
+        for slot, _hook in self.hooks:
+            if slot not in PIPELINE:
+                raise ValueError(
+                    f"playbook {self.name!r} pins unknown slot {slot!r}"
+                )
+
+
+def apply_playbooks(
+    builder: "WorldBuilder", playbooks: tuple[Playbook, ...]
+) -> PlaybookContext:
+    """Run the composed hooks of ``playbooks`` in pipeline order.
+
+    Hooks sort by their :data:`PIPELINE` slot (ties broken by playbook
+    position, though compositions with duplicate slots are rejected),
+    so any subset of :data:`PAPER_PLAYBOOKS` — or a future playbook
+    mixing new slots in — executes deterministically.
+    """
+    claimed: dict[str, str] = {}
+    ordered: list[tuple[int, int, Callable[[PlaybookContext], None]]] = []
+    for position, playbook in enumerate(playbooks):
+        for slot, hook in playbook.hooks:
+            owner = claimed.get(slot)
+            if owner is not None:
+                raise ValueError(
+                    f"pipeline slot {slot!r} claimed by both "
+                    f"{owner!r} and {playbook.name!r}"
+                )
+            claimed[slot] = playbook.name
+            ordered.append((PIPELINE.index(slot), position, hook))
+    ordered.sort(key=lambda item: (item[0], item[1]))
+    ctx = PlaybookContext(builder)
+    for _slot, _position, hook in ordered:
+        hook(ctx)
+    return ctx
+
+
+def _hook_plan(ctx: PlaybookContext) -> None:
+    ctx.entries = _plan_entries(ctx.builder)
+
+
+def _hook_dates(ctx: PlaybookContext) -> None:
+    _assign_dates(ctx.builder, ctx.entries)
+
+
+def _hook_prefixes(ctx: PlaybookContext) -> None:
+    _assign_prefixes(ctx.builder, ctx.entries)
+
+
+def _hook_irr_plan(ctx: PlaybookContext) -> None:
+    _plan_irr(ctx.builder, ctx.entries)
+
+
+def _hook_rpki_plan(ctx: PlaybookContext) -> None:
+    _plan_rpki_signing(ctx.builder, ctx.entries)
+
+
+def _hook_bgp(ctx: PlaybookContext) -> None:
+    _apply_bgp(ctx.builder, ctx.entries)
+
+
+def _hook_dealloc(ctx: PlaybookContext) -> None:
+    _apply_deallocations(ctx.builder, ctx.entries)
+
+
+def _hook_irr_apply(ctx: PlaybookContext) -> None:
+    _apply_irr(ctx.builder, ctx.entries)
+
+
+def _hook_rpki_apply(ctx: PlaybookContext) -> None:
+    _apply_rpki(ctx.builder, ctx.entries)
+
+
+def _hook_listing(ctx: PlaybookContext) -> None:
+    _apply_sbl_and_listing(ctx.builder, ctx.entries)
+
+
+def _hook_case_study(ctx: PlaybookContext) -> None:
+    build_case_study(ctx.builder)
+
+
+#: The paper's content, decomposed.  Composing all five reproduces the
+#: legacy world byte for byte; dropping one drops that behaviour.
+DROP_LISTING = Playbook(
+    name="drop-listing",
+    title="DROP population plan, SBL records, and listing episodes",
+    hooks=(
+        ("plan", _hook_plan),
+        ("dates", _hook_dates),
+        ("prefixes", _hook_prefixes),
+        ("listing", _hook_listing),
+    ),
+)
+
+BGP_WITHDRAWAL = Playbook(
+    name="bgp-withdrawal",
+    title="Announcement histories, withdrawals, deallocations (§4.1)",
+    hooks=(("bgp", _hook_bgp), ("dealloc", _hook_dealloc)),
+)
+
+IRR_REGISTRATION = Playbook(
+    name="irr-registration",
+    title="Route-object registration fronts and ORG-ID clusters (§5)",
+    hooks=(("irr-plan", _hook_irr_plan), ("irr-apply", _hook_irr_apply)),
+)
+
+RPKI_SIGNING = Playbook(
+    name="rpki-signing",
+    title="Post-listing signing, presigned ROAs, operator AS0 (§6)",
+    hooks=(("rpki-plan", _hook_rpki_plan), ("rpki-apply", _hook_rpki_apply)),
+)
+
+CASE_STUDY = Playbook(
+    name="case-study",
+    title="The RPKI-valid hijack of 132.255.0.0/22 (Fig 4)",
+    hooks=(("case-study", _hook_case_study),),
+)
+
+PAPER_PLAYBOOKS: tuple[Playbook, ...] = (
+    DROP_LISTING,
+    BGP_WITHDRAWAL,
+    IRR_REGISTRATION,
+    RPKI_SIGNING,
+    CASE_STUDY,
+)

@@ -1,0 +1,431 @@
+"""The scenario DSL: declarative attack/defense compositions.
+
+A :class:`Scenario` is the composable successor to the hard-coded
+playbooks in :mod:`repro.synth.scenarios`: a *base world* (the paper's
+generator at some scale and seed) plus any number of attacker
+behaviours and defense deployments layered on top.  Every piece is a
+frozen dataclass with the same canonical-JSON serialization discipline
+as :class:`~repro.synth.config.ScenarioConfig` — dates flatten to ISO
+strings, mappings keep sorted key order — so scenarios are
+content-addressable and the scenario cache keys on
+:meth:`Scenario.content_hash` exactly like the world cache keys on the
+config hash.
+
+Attack families (one instance announces ``count`` attacks):
+
+* ``prefix-hijack`` — same-prefix forged-origin announcement of a
+  ROA-covered victim prefix; RPKI-invalid, so ROV blocks it.
+* ``subprefix-hijack`` — a more-specific announcement under an exact
+  ROA; invalid by length, ROV blocks it.
+* ``roa-downgrade`` — the Stalloris regime: the victim's ROA has gone
+  stale (expired from the repository) by the attack day, so the hijack
+  validates NOT_FOUND and ROV does *not* block it.
+* ``maxlength-abuse`` — a loose-maxLength ROA lets a forged-origin
+  sub-prefix announcement validate VALID; ROV is bypassed entirely.
+* ``as0-misconfig`` — the operator signs AS0 over their own routed
+  space; their *legitimate* route turns invalid and ROV adopters drop
+  it (collateral damage, no attacker announcement at all).
+
+Defense deployments (rates are fractions of full-table peers):
+
+* ``rov`` — peers dropping RPKI-invalid routes.
+* ``route-server`` — additional peers behind IXP route servers that
+  filter invalids at the fabric ("Keep Your Friends Close...").
+* ``drop-subscription`` — peers subscribing to DROP, who stop carrying
+  an attack route once it is listed (``listing_delay_days`` after the
+  attack begins).
+
+The names in :data:`ATTACK_FAMILIES` / :data:`DEFENSE_KINDS` are the
+wire format: :meth:`Scenario.from_dict` reconstructs a scenario from
+its canonical document, so sweep specs and cache sidecars round-trip.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields
+from datetime import date
+from typing import ClassVar
+
+from ..errors import ReproError
+from ..synth.config import ScenarioConfig
+
+__all__ = [
+    "ATTACK_FAMILIES",
+    "DEFENSE_KINDS",
+    "As0Misconfig",
+    "AttackSpec",
+    "DefenseSpec",
+    "DropSubscription",
+    "MaxLengthAbuse",
+    "PrefixHijack",
+    "RoaDowngrade",
+    "RouteServerFiltering",
+    "RovDeployment",
+    "Scenario",
+    "ScenarioSpecError",
+    "SubPrefixHijack",
+    "WorldScale",
+    "canonical",
+]
+
+#: World-scale presets a scenario base may name.
+_SCALES = {
+    "tiny": ScenarioConfig.tiny,
+    "small": ScenarioConfig.small,
+    "paper": ScenarioConfig.paper,
+}
+
+
+class ScenarioSpecError(ReproError, ValueError):
+    """A scenario document or parameter that does not validate."""
+
+    code = "scenarios.spec"
+
+
+def canonical(value):
+    """Flatten a value into canonical-JSON form.
+
+    The same discipline as
+    :meth:`~repro.synth.config.ScenarioConfig.canonical_dict`: dates
+    become ISO strings, mapping keys sort, sequences become lists —
+    so equal specs always serialize to the same document.
+    """
+    if isinstance(value, date):
+        return value.isoformat()
+    if isinstance(value, dict):
+        return {k: canonical(value[k]) for k in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [canonical(v) for v in value]
+    return value
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ScenarioSpecError(message)
+
+
+@dataclass(frozen=True)
+class WorldScale:
+    """The base world a scenario builds on: generator scale and seed."""
+
+    scale: str = "tiny"
+    seed: int = 2022
+
+    def __post_init__(self) -> None:
+        _require(
+            self.scale in _SCALES,
+            f"unknown world scale {self.scale!r} "
+            f"(expected one of: {', '.join(sorted(_SCALES))})",
+        )
+        _require(
+            isinstance(self.seed, int) and not isinstance(self.seed, bool),
+            f"seed must be an int, got {self.seed!r}",
+        )
+
+    def to_config(self) -> ScenarioConfig:
+        """The generator config this base resolves to."""
+        return _SCALES[self.scale](seed=self.seed)
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """Base of every attack family; ``family`` is the wire name."""
+
+    family: ClassVar[str] = ""
+
+    count: int = 4
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.count, int) and self.count >= 1,
+            f"{self.family}: count must be >= 1, got {self.count!r}",
+        )
+
+    def canonical_dict(self) -> dict:
+        doc = {"family": self.family}
+        doc.update(canonical(asdict(self)))
+        return doc
+
+
+@dataclass(frozen=True)
+class PrefixHijack(AttackSpec):
+    """Same-prefix forged-origin hijack of a ROA-covered prefix."""
+
+    family: ClassVar[str] = "prefix-hijack"
+
+
+@dataclass(frozen=True)
+class SubPrefixHijack(AttackSpec):
+    """More-specific hijack under an exact (no-maxLength) ROA."""
+
+    family: ClassVar[str] = "subprefix-hijack"
+
+    #: How many bits more specific the attack announcement is.
+    extra_length: int = 2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(
+            1 <= self.extra_length <= 8,
+            f"subprefix-hijack: extra_length must be in [1, 8], "
+            f"got {self.extra_length!r}",
+        )
+
+
+@dataclass(frozen=True)
+class RoaDowngrade(AttackSpec):
+    """Stalloris-style stale-ROA downgrade: the victim's ROA expired."""
+
+    family: ClassVar[str] = "roa-downgrade"
+
+    #: Days before the attack the victim's ROA dropped out of the
+    #: repository (stale data the validator no longer serves).
+    stale_days: int = 30
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(
+            self.stale_days >= 1,
+            f"roa-downgrade: stale_days must be >= 1, "
+            f"got {self.stale_days!r}",
+        )
+
+
+@dataclass(frozen=True)
+class MaxLengthAbuse(AttackSpec):
+    """Forged-origin sub-prefix hijack inside a loose maxLength ROA."""
+
+    family: ClassVar[str] = "maxlength-abuse"
+
+    #: The ROA's maxLength (clamped to at least victim length + 1).
+    max_length: int = 24
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(
+            8 <= self.max_length <= 32,
+            f"maxlength-abuse: max_length must be in [8, 32], "
+            f"got {self.max_length!r}",
+        )
+
+
+@dataclass(frozen=True)
+class As0Misconfig(AttackSpec):
+    """Operator AS0 misconfiguration over their own routed space."""
+
+    family: ClassVar[str] = "as0-misconfig"
+
+
+@dataclass(frozen=True)
+class DefenseSpec:
+    """Base of every defense deployment; ``kind`` is the wire name."""
+
+    kind: ClassVar[str] = ""
+
+    #: Deployment rate as a fraction of full-table peers.
+    rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.rate, (int, float))
+            and 0.0 <= float(self.rate) <= 1.0,
+            f"{self.kind}: rate must be in [0, 1], got {self.rate!r}",
+        )
+
+    def canonical_dict(self) -> dict:
+        doc = {"kind": self.kind}
+        doc.update(canonical(asdict(self)))
+        return doc
+
+
+@dataclass(frozen=True)
+class RovDeployment(DefenseSpec):
+    """ROV at ``rate`` of full-table peers: invalid routes dropped."""
+
+    kind: ClassVar[str] = "rov"
+
+
+@dataclass(frozen=True)
+class RouteServerFiltering(DefenseSpec):
+    """Additional peers behind invalid-filtering IXP route servers."""
+
+    kind: ClassVar[str] = "route-server"
+
+
+@dataclass(frozen=True)
+class DropSubscription(DefenseSpec):
+    """Peers subscribing to DROP: attack routes drop once listed."""
+
+    kind: ClassVar[str] = "drop-subscription"
+
+    #: Days between the attack announcement and its DROP listing.
+    listing_delay_days: int = 7
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(
+            self.listing_delay_days >= 0,
+            f"drop-subscription: listing_delay_days must be >= 0, "
+            f"got {self.listing_delay_days!r}",
+        )
+
+
+#: Wire name → attack class, the parse registry for :meth:`from_dict`.
+ATTACK_FAMILIES: dict[str, type[AttackSpec]] = {
+    cls.family: cls
+    for cls in (
+        PrefixHijack,
+        SubPrefixHijack,
+        RoaDowngrade,
+        MaxLengthAbuse,
+        As0Misconfig,
+    )
+}
+
+#: Wire name → defense class.
+DEFENSE_KINDS: dict[str, type[DefenseSpec]] = {
+    cls.kind: cls
+    for cls in (RovDeployment, RouteServerFiltering, DropSubscription)
+}
+
+
+def _parse_piece(payload: dict, registry: dict, tag: str, what: str):
+    if not isinstance(payload, dict) or tag not in payload:
+        raise ScenarioSpecError(
+            f"{what} document must be an object with a {tag!r} field: "
+            f"{payload!r}"
+        )
+    name = payload[tag]
+    cls = registry.get(name)
+    if cls is None:
+        raise ScenarioSpecError(
+            f"unknown {what} {name!r} "
+            f"(expected one of: {', '.join(sorted(registry))})"
+        )
+    known = {f.name for f in fields(cls)}
+    params = {k: v for k, v in payload.items() if k != tag}
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise ScenarioSpecError(
+            f"{what} {name!r} does not accept: {', '.join(unknown)}"
+        )
+    return cls(**params)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A composed scenario: base world × attacks × defenses.
+
+    ``name`` is a display label only — it does **not** participate in
+    :meth:`canonical_dict` or :meth:`content_hash`, so two sweeps
+    naming the same cell differently still share one cache entry.
+    """
+
+    name: str = "scenario"
+    base: WorldScale = field(default_factory=WorldScale)
+    attacks: tuple[AttackSpec, ...] = ()
+    defenses: tuple[DefenseSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "scenario name must be non-empty")
+        for attack in self.attacks:
+            _require(
+                isinstance(attack, AttackSpec),
+                f"not an attack spec: {attack!r}",
+            )
+        kinds = [d.kind for d in self.defenses]
+        for defense in self.defenses:
+            _require(
+                isinstance(defense, DefenseSpec),
+                f"not a defense spec: {defense!r}",
+            )
+        dupes = sorted({k for k in kinds if kinds.count(k) > 1})
+        _require(
+            not dupes,
+            f"duplicate defense kind(s): {', '.join(dupes)}",
+        )
+
+    # -- content addressing ----------------------------------------------
+
+    def canonical_dict(self) -> dict:
+        """The stable document behind the scenario cache key."""
+        return {
+            "base": canonical(asdict(self.base)),
+            "attacks": [a.canonical_dict() for a in self.attacks],
+            "defenses": [d.canonical_dict() for d in self.defenses],
+        }
+
+    def content_hash(self) -> str:
+        """SHA-256 of the canonical scenario document (hex digest)."""
+        payload = json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def to_json(self) -> str:
+        """The canonical document plus the display name, as JSON."""
+        doc = {"name": self.name}
+        doc.update(self.canonical_dict())
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+    # -- parsing -----------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Scenario":
+        """Reconstruct a scenario from its (canonical) document."""
+        if not isinstance(payload, dict):
+            raise ScenarioSpecError(
+                f"scenario document must be an object, got {payload!r}"
+            )
+        unknown = sorted(
+            set(payload) - {"name", "base", "attacks", "defenses"}
+        )
+        if unknown:
+            raise ScenarioSpecError(
+                f"scenario document does not accept: {', '.join(unknown)}"
+            )
+        base_doc = payload.get("base", {})
+        if not isinstance(base_doc, dict):
+            raise ScenarioSpecError(f"scenario base must be an object: {base_doc!r}")
+        try:
+            base = WorldScale(**base_doc)
+        except TypeError as error:
+            raise ScenarioSpecError(f"bad scenario base: {error}") from None
+        try:
+            attacks = tuple(
+                _parse_piece(doc, ATTACK_FAMILIES, "family", "attack family")
+                for doc in payload.get("attacks", ())
+            )
+            defenses = tuple(
+                _parse_piece(doc, DEFENSE_KINDS, "kind", "defense kind")
+                for doc in payload.get("defenses", ())
+            )
+        except TypeError as error:
+            raise ScenarioSpecError(f"bad scenario piece: {error}") from None
+        return cls(
+            name=payload.get("name", "scenario"),
+            base=base,
+            attacks=attacks,
+            defenses=defenses,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ScenarioSpecError(
+                f"scenario document is not valid JSON: {error}"
+            ) from None
+        return cls.from_dict(payload)
+
+    # -- presets -----------------------------------------------------------
+
+    @classmethod
+    def paper(cls, scale: str = "paper", seed: int = 2022) -> "Scenario":
+        """The paper's own playbooks, no overlays: the legacy world."""
+        return cls(
+            name=f"paper-{scale}", base=WorldScale(scale=scale, seed=seed)
+        )

@@ -1,0 +1,23 @@
+"""Sweep engine: grids of DSL scenarios fanned across the runner.
+
+:mod:`~repro.sweep.spec` declares the axes (families x deployment
+rates x scale), :mod:`~repro.sweep.engine` runs the cells through the
+scenario cache and parallel runner, and :mod:`~repro.sweep.report`
+folds the per-cell metrics into defense-effectiveness curves.  The
+``repro-drop sweep`` CLI wraps all three.
+"""
+
+from .engine import CellResult, SweepOutcome, run_sweep
+from .report import render_sweep_table, sweep_report
+from .spec import DEFAULT_FAMILIES, SweepSpec, SweepSpecError
+
+__all__ = [
+    "CellResult",
+    "DEFAULT_FAMILIES",
+    "SweepOutcome",
+    "SweepSpec",
+    "SweepSpecError",
+    "render_sweep_table",
+    "run_sweep",
+    "sweep_report",
+]

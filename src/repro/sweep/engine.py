@@ -1,0 +1,204 @@
+"""The sweep engine: fan scenario cells across the parallel runner.
+
+Each cell is one scenario fetched through the scenario cache
+(:meth:`~repro.runtime.cache.WorldCache.fetch_scenario`) and scored
+with :func:`~repro.scenarios.metrics.evaluate_scenario` — so a cell
+that already ran is a cache hit and a resumed sweep builds zero
+worlds.  Cells run via :func:`~repro.runtime.runner.parallel_map`,
+inheriting its worker-loss recovery: a dying worker (OOM kill,
+injected ``crash@sweep.cell:*``) breaks the pool and the whole map
+re-runs serially in the parent, costing wall time but never results.
+
+Failures are per-cell, not per-sweep: a cell that raises is reported
+with its failure kind while the other cells complete, and the CLI
+turns "some cells failed" into exit 3 (degraded) with the kinds on
+stderr.  Fault sites: ``sweep.plan`` (grid expansion),
+``sweep.cell:<name>`` (inside the worker, before the fetch),
+``sweep.collect`` (result merge in the parent).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..obs import Instrumentation
+from ..runtime import faults
+from ..runtime.cache import WorldCache, default_cache_root
+from ..runtime.faults import fault_point
+from ..runtime.runner import parallel_map
+from ..scenarios.metrics import evaluate_scenario
+from ..scenarios.spec import Scenario
+from .report import sweep_report
+from .spec import SweepSpec
+
+__all__ = ["CellResult", "SweepOutcome", "run_sweep"]
+
+
+@dataclass(frozen=True, slots=True)
+class CellResult:
+    """One sweep cell's outcome (ok or failed)."""
+
+    name: str
+    family: str
+    #: Axis values: ``{"rov": p, "drop": q, "route_server": r}``.
+    axes: dict
+    #: ``"ok"`` or ``"failed"``.
+    status: str
+    #: Failure kind: a :class:`~repro.errors.ReproError` code or the
+    #: exception class name; None for ok cells.
+    kind: str | None
+    error: str | None
+    #: Cache resolution (``hit``/``miss``/``refresh``); None on failure.
+    cache_status: str | None
+    #: Scenario cache key; None on failure before key derivation.
+    key: str | None
+    seconds: float
+    #: :func:`evaluate_scenario` output; None on failure.
+    metrics: dict | None
+
+
+@dataclass(frozen=True, slots=True)
+class SweepOutcome:
+    """A finished sweep: per-cell results plus the comparative report."""
+
+    spec: SweepSpec
+    cells: tuple[CellResult, ...]
+    report: dict
+
+    @property
+    def failed(self) -> tuple[CellResult, ...]:
+        return tuple(c for c in self.cells if c.status != "ok")
+
+    @property
+    def worlds_built(self) -> int:
+        """Cells resolved by building (cache misses + forced rebuilds)."""
+        return sum(
+            1 for c in self.cells if c.cache_status in ("miss", "refresh")
+        )
+
+
+def _mark_if_child(parent_pid: int) -> None:
+    """Pool initializer: mark real workers for in-worker-only faults.
+
+    ``parallel_map`` runs the initializer in the *parent* on its serial
+    and broken-pool fallback paths — marking there would let ``crash``
+    faults kill the whole run instead of one worker, so mark only when
+    the pid differs.
+    """
+    if os.getpid() != parent_pid:
+        faults.mark_worker_process()
+
+
+def _run_cell(task: tuple) -> dict:
+    """One cell, in a worker: fetch through the cache and evaluate.
+
+    Module-level and dict-in/dict-out so it crosses the process pool;
+    the worker's counters ride along for the parent to merge.
+    """
+    name, family, axes, scenario_json, cache_root, refresh = task
+    started = time.perf_counter()
+    instr = Instrumentation()
+    doc = {
+        "name": name,
+        "family": family,
+        "axes": axes,
+        "status": "failed",
+        "kind": None,
+        "error": None,
+        "cache_status": None,
+        "key": None,
+        "metrics": None,
+        "counters": {},
+    }
+    try:
+        fault_point(f"sweep.cell:{name}", instrumentation=instr)
+        scenario = Scenario.from_json(scenario_json)
+        outcome = WorldCache(Path(cache_root)).fetch_scenario(
+            scenario, instrumentation=instr, refresh=refresh
+        )
+        doc["cache_status"] = outcome.status
+        doc["key"] = outcome.key
+        doc["metrics"] = evaluate_scenario(outcome.world, outcome.truth)
+        doc["status"] = "ok"
+    except Exception as error:
+        doc["kind"] = getattr(error, "code", None) or type(error).__name__
+        doc["error"] = str(error)
+    doc["seconds"] = round(time.perf_counter() - started, 6)
+    doc["counters"] = dict(instr.counters)
+    return doc
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    cache_root: Path | None = None,
+    refresh: bool = False,
+    instrumentation: Instrumentation | None = None,
+) -> SweepOutcome:
+    """Run every cell of ``spec`` and assemble the comparative report.
+
+    ``jobs`` fans cells across worker processes; results come back in
+    grid order regardless.  Worker counters are merged into
+    ``instrumentation`` so cache hit/miss/build totals (and therefore
+    degraded-run detection) see the whole sweep.
+    """
+    instr = instrumentation or Instrumentation()
+    root = Path(cache_root) if cache_root is not None else default_cache_root()
+    with instr.stage("sweep-plan", group="sweep"):
+        fault_point("sweep.plan", instrumentation=instr)
+        cells = spec.cells()
+    axis_names = {
+        "rov": "rov",
+        "drop-subscription": "drop",
+        "route-server": "route_server",
+    }
+    tasks = [
+        (
+            name,
+            scenario.attacks[0].family,
+            {axis_names[d.kind]: d.rate for d in scenario.defenses},
+            scenario.to_json(),
+            str(root),
+            refresh,
+        )
+        for name, scenario in cells
+    ]
+    with instr.stage("sweep-run", group="sweep"):
+        raw = parallel_map(
+            _run_cell,
+            tasks,
+            jobs=jobs,
+            initializer=_mark_if_child,
+            initargs=(os.getpid(),),
+        )
+    with instr.stage("sweep-collect", group="sweep"):
+        fault_point("sweep.collect", instrumentation=instr)
+        results: list[CellResult] = []
+        for doc in raw:
+            for counter, amount in doc["counters"].items():
+                instr.incr(counter, amount)
+            result = CellResult(
+                name=doc["name"],
+                family=doc["family"],
+                axes=doc["axes"],
+                status=doc["status"],
+                kind=doc["kind"],
+                error=doc["error"],
+                cache_status=doc["cache_status"],
+                key=doc["key"],
+                seconds=doc["seconds"],
+                metrics=doc["metrics"],
+            )
+            results.append(result)
+            if result.status == "ok":
+                instr.incr("sweep_cells_ok")
+                if result.cache_status in ("miss", "refresh"):
+                    instr.incr("sweep_worlds_built")
+            else:
+                instr.incr("sweep_cells_failed")
+        report = sweep_report(spec, results)
+    return SweepOutcome(spec=spec, cells=tuple(results), report=report)

@@ -1,0 +1,176 @@
+"""Comparative sweep reports: defense-effectiveness curves per family.
+
+:func:`sweep_report` folds per-cell metrics into, for every attack
+family, one curve per defense axis — at each swept rate, the mean
+attack visibility (and its complement, the blocked fraction) across
+the cells at that rate.  That's the paper's central question made
+sweepable: how fast does each attacker behaviour get squeezed as
+ROV/route-server/DROP deployment grows.  :func:`render_sweep_table`
+is the human view of the same numbers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["render_sweep_table", "sweep_report"]
+
+_AXES = ("rov", "drop", "route_server")
+
+
+def _mean(values: list[float]) -> float:
+    return round(sum(values) / len(values), 6) if values else 0.0
+
+
+def _family_rollup(cell, family: str) -> dict | None:
+    """The per-family block of one ok cell's metrics (or None)."""
+    if cell.metrics is None:
+        return None
+    return cell.metrics.get("families", {}).get(family)
+
+
+def _curves(cells: list, family: str) -> dict:
+    """Per-axis effectiveness curves over one family's ok cells."""
+    curves: dict[str, list[dict]] = {}
+    for axis in _AXES:
+        by_rate: dict[float, list[dict]] = defaultdict(list)
+        for cell in cells:
+            rollup = _family_rollup(cell, family)
+            if rollup is not None:
+                by_rate[cell.axes[axis]].append(rollup)
+        points = []
+        for rate in sorted(by_rate):
+            rollups = by_rate[rate]
+            points.append(
+                {
+                    "rate": rate,
+                    "cells": len(rollups),
+                    "visibility": _mean(
+                        [r["visibility"] for r in rollups]
+                    ),
+                    "blocked": _mean([r["blocked"] for r in rollups]),
+                    "post_listing_visibility": _mean(
+                        [r["post_listing_visibility"] for r in rollups]
+                    ),
+                }
+            )
+        if len(points) > 1:  # an axis with one swept rate is not a curve
+            curves[axis] = points
+    return curves
+
+
+def sweep_report(spec, cells: list) -> dict:
+    """The comparative report for one sweep (JSON-ready).
+
+    ``cells`` are :class:`~repro.sweep.engine.CellResult`-shaped
+    objects; failed cells are listed with their kinds but excluded
+    from every aggregate.
+    """
+    ok = [c for c in cells if c.status == "ok"]
+    by_family: dict[str, list] = defaultdict(list)
+    for cell in ok:
+        by_family[cell.family].append(cell)
+
+    families = {}
+    for family, family_cells in sorted(by_family.items()):
+        rollups = [
+            r
+            for r in (_family_rollup(c, family) for c in family_cells)
+            if r is not None
+        ]
+        families[family] = {
+            "cells": len(family_cells),
+            "visibility": _mean([r["visibility"] for r in rollups]),
+            "blocked": _mean([r["blocked"] for r in rollups]),
+            "post_listing_visibility": _mean(
+                [r["post_listing_visibility"] for r in rollups]
+            ),
+            "curves": _curves(family_cells, family),
+        }
+
+    return {
+        "name": spec.name,
+        "scale": spec.scale,
+        "seed": spec.seed,
+        "grid_size": spec.grid_size,
+        "cells_run": len(cells),
+        "cells_ok": len(ok),
+        "cells_failed": len(cells) - len(ok),
+        "worlds_built": sum(
+            1 for c in ok if c.cache_status in ("miss", "refresh")
+        ),
+        "families": families,
+        "cells": [
+            {
+                "name": c.name,
+                "family": c.family,
+                "axes": c.axes,
+                "status": c.status,
+                "cache_status": c.cache_status,
+                "kind": c.kind,
+                "visibility": (
+                    _family_rollup(c, c.family) or {}
+                ).get("visibility"),
+                "blocked": (
+                    _family_rollup(c, c.family) or {}
+                ).get("blocked"),
+                "post_listing_visibility": (
+                    _family_rollup(c, c.family) or {}
+                ).get("post_listing_visibility"),
+                "seconds": c.seconds,
+            }
+            for c in cells
+        ],
+        "failed_cells": [
+            {"name": c.name, "kind": c.kind, "error": c.error}
+            for c in cells
+            if c.status != "ok"
+        ],
+        "spec": spec.canonical_dict(),
+    }
+
+
+def render_sweep_table(report: dict) -> str:
+    """The report as an aligned text table (one row per cell)."""
+    header = (
+        "cell",
+        "status",
+        "cache",
+        "visibility",
+        "blocked",
+        "post-listing",
+        "seconds",
+    )
+    rows = [header]
+    for cell in report["cells"]:
+        def fmt(value):
+            return "-" if value is None else f"{value:.4f}"
+
+        rows.append(
+            (
+                cell["name"],
+                cell["status"] if cell["status"] == "ok" else (
+                    f"{cell['status']}({cell['kind']})"
+                ),
+                cell["cache_status"] or "-",
+                fmt(cell["visibility"]),
+                fmt(cell["blocked"]),
+                fmt(cell["post_listing_visibility"]),
+                f"{cell['seconds']:.2f}",
+            )
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(col.ljust(widths[i]) for i, col in enumerate(row))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    summary = (
+        f"{report['name']}: {report['cells_ok']}/{report['cells_run']} "
+        f"cells ok, {report['worlds_built']} worlds built "
+        f"(grid {report['grid_size']}, scale {report['scale']}, "
+        f"seed {report['seed']})"
+    )
+    return summary + "\n\n" + "\n".join(lines) + "\n"

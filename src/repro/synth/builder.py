@@ -39,7 +39,6 @@ from ..rpki.archive import RoaArchive
 from ..rpki.as0 import rir_as0_policy_start, rir_as0_tal
 from ..rpki.roa import Roa, RoaRecord
 from .config import ScenarioConfig
-from .scenarios import build_case_study, build_drop_population
 from .topology import AsTopology
 from .world import GroundTruth, World
 
@@ -964,16 +963,32 @@ class WorldBuilder:
 
     # -- orchestration -----------------------------------------------------------------------
 
-    def build(self) -> World:
-        """Run every stage (timed) and return the finished world."""
+    def build(self, *, scenario_stages=None) -> World:
+        """Run every stage (timed) and return the finished world.
+
+        ``scenario_stages`` replaces the legacy drop-population +
+        case-study pair with caller-supplied ``(name, thunk)`` stages —
+        the hook :func:`~repro.scenarios.compose.build_scenario_world`
+        uses to run DSL playbook compositions through the same build.
+        """
+        if scenario_stages is None:
+            # Imported lazily: the playbooks package imports this module.
+            from ..scenarios.playbooks import (
+                build_case_study,
+                build_drop_population,
+            )
+
+            scenario_stages = (
+                ("drop-population", lambda: build_drop_population(self)),
+                ("case-study", lambda: build_case_study(self)),
+            )
         stages = (
             ("platform", self.build_platform),
             ("rir-pools", self.build_rir_pools),
             ("signed-space", self.build_signed_space),
             ("unrouted-unsigned", self.build_unrouted_unsigned),
             ("background", self.build_background),
-            ("drop-population", lambda: build_drop_population(self)),
-            ("case-study", lambda: build_case_study(self)),
+            *scenario_stages,
             ("rir-as0", self.build_rir_as0),
         )
         for name, run_stage in stages:

@@ -91,6 +91,10 @@ class GroundTruth:
     background_signed: dict[str, int] = field(default_factory=dict)
     #: Routed prefixes covered by RIR AS0 TAL ROAs at window end (§6.2.2).
     as0_filterable: list[IPv4Prefix] = field(default_factory=list)
+    #: Director truth for DSL-composed scenarios
+    #: (:class:`repro.scenarios.compose.ScenarioTruth`); None for the
+    #: legacy paper build.  Typed loosely to avoid an import cycle.
+    scenario: object | None = None
 
 
 @dataclass

@@ -1,0 +1,231 @@
+"""Truth-consistency sweep for the DSL attack/defense families, 5 seeds.
+
+Composes every new scenario family with all three defenses over five
+seeds and cross-checks the built world against the director's
+:class:`~repro.scenarios.compose.ScenarioTruth` — the same discipline
+as ``test_truth_sweep.py`` for the base generator:
+
+* hijacked prefixes actually appear hijacked (an attack-origin route
+  interval is active on the attack day);
+* every attack's RFC 6811 state matches the family's intent
+  (``invalid`` for the hijacks, ``not-found`` for the stale-ROA
+  downgrade, ``valid`` for the maxLength abuse);
+* realized defense deployment equals the requested rate exactly
+  (quota draws, not Bernoulli);
+* ROV/route-server peers miss exactly the invalid announcements, DROP
+  subscribers stop carrying listed prefixes after the listing day.
+"""
+
+import pytest
+
+from repro.rpki.validation import RouteValidity, validate_route
+from repro.scenarios import (
+    As0Misconfig,
+    DropSubscription,
+    MaxLengthAbuse,
+    PrefixHijack,
+    RoaDowngrade,
+    RouteServerFiltering,
+    RovDeployment,
+    Scenario,
+    SubPrefixHijack,
+    WorldScale,
+    build_scenario_world,
+    evaluate_scenario,
+)
+
+SEEDS = (3, 7, 42, 1234, 987654)
+
+ROV_RATE = 0.4
+RS_RATE = 0.2
+DROP_RATE = 0.5
+
+EXPECTED_VALIDITY = {
+    "prefix-hijack": RouteValidity.INVALID,
+    "subprefix-hijack": RouteValidity.INVALID,
+    "roa-downgrade": RouteValidity.NOT_FOUND,
+    "maxlength-abuse": RouteValidity.VALID,
+    "as0-misconfig": RouteValidity.INVALID,
+}
+
+
+@pytest.fixture(scope="module", params=SEEDS, ids=lambda s: f"seed{s}")
+def composed(request):
+    scenario = Scenario(
+        name="truth-sweep",
+        base=WorldScale(scale="tiny", seed=request.param),
+        attacks=(
+            PrefixHijack(count=3),
+            SubPrefixHijack(count=3),
+            RoaDowngrade(count=3),
+            MaxLengthAbuse(count=3),
+            As0Misconfig(count=3),
+        ),
+        defenses=(
+            RovDeployment(rate=ROV_RATE),
+            RouteServerFiltering(rate=RS_RATE),
+            DropSubscription(rate=DROP_RATE, listing_delay_days=7),
+        ),
+    )
+    world = build_scenario_world(scenario)
+    return world, world.truth.scenario
+
+
+def _attack_intervals(world, attack):
+    return [
+        iv
+        for iv in world.bgp.intervals_exact(attack.attack_prefix)
+        if iv.origin == attack.attack_origin
+        and iv.active_on(attack.attack_day)
+    ]
+
+
+class TestAttackIntent:
+    def test_every_family_ran(self, composed):
+        _world, truth = composed
+        families = {a.family for a in truth.attacks}
+        assert families == set(EXPECTED_VALIDITY)
+        assert len(truth.attacks) == 15
+
+    def test_hijacks_actually_appear_hijacked(self, composed):
+        world, truth = composed
+        for attack in truth.attacks:
+            intervals = _attack_intervals(world, attack)
+            assert intervals, (
+                f"{attack.family}#{attack.index}: no attack-origin route "
+                f"for {attack.attack_prefix} on {attack.attack_day}"
+            )
+
+    def test_rpki_validity_matches_family_intent(self, composed):
+        world, truth = composed
+        for attack in truth.attacks:
+            covering = world.roas.covering(
+                attack.attack_prefix, day=attack.attack_day
+            )
+            validity = validate_route(
+                attack.attack_prefix,
+                attack.attack_origin,
+                [record.roa for record in covering],
+            )
+            assert validity is EXPECTED_VALIDITY[attack.family], (
+                f"{attack.family}#{attack.index}: {validity}"
+            )
+            assert str(validity) == attack.expected_validity
+
+    def test_listed_families_land_on_drop(self, composed):
+        world, truth = composed
+        for attack in truth.attacks:
+            if attack.family == "as0-misconfig":
+                assert attack.listed_day is None
+                continue
+            assert attack.listed_day is not None
+            assert attack.attack_prefix in world.drop.listed_on(
+                attack.listed_day
+            )
+
+    def test_victims_are_distinct_fresh_prefixes(self, composed):
+        world, truth = composed
+        victims = [a.victim_prefix for a in truth.attacks]
+        assert len(victims) == len(set(victims))
+        assert not (set(victims) & set(world.truth.drop))
+
+
+class TestDefenseRealization:
+    def test_realized_rates_match_request_exactly(self, composed):
+        _world, truth = composed
+        total = truth.full_table_peers
+        assert len(truth.rov_peer_ids) == round(ROV_RATE * total)
+        assert len(truth.route_server_peer_ids) == round(RS_RATE * total)
+        assert len(truth.drop_subscriber_ids) == round(DROP_RATE * total)
+
+    def test_defense_peer_sets_are_disjoint_full_table_peers(
+        self, composed
+    ):
+        world, truth = composed
+        full = world.peers.full_table_peer_ids()
+        rov = set(truth.rov_peer_ids)
+        rs = set(truth.route_server_peer_ids)
+        assert rov <= full and rs <= full
+        assert not (rov & rs)
+        assert set(truth.drop_subscriber_ids) <= full
+
+    def test_rov_peers_miss_exactly_the_invalid_attacks(self, composed):
+        world, truth = composed
+        blocked = set(truth.rov_peer_ids) | set(
+            truth.route_server_peer_ids
+        )
+        for attack in truth.attacks:
+            observers = set()
+            for interval in _attack_intervals(world, attack):
+                observers |= interval.observers_on(attack.attack_day)
+            if attack.expected_validity == "invalid":
+                assert not (observers & blocked), (
+                    f"{attack.family}#{attack.index}: ROV peer carried "
+                    f"an invalid route"
+                )
+                assert attack.blocked_peer_count == len(blocked)
+            else:
+                # ROV cannot help: every filtering peer still carries it.
+                assert blocked <= observers
+                assert attack.blocked_peer_count == 0
+
+    def test_subscribers_drop_listed_prefixes_after_listing(
+        self, composed
+    ):
+        world, truth = composed
+        subscribers = set(truth.drop_subscriber_ids)
+        assert subscribers, "drop rate 0.5 must draw subscribers"
+        for attack in truth.attacks:
+            if attack.listed_day is None:
+                continue
+            observers = set()
+            for interval in world.bgp.intervals_exact(
+                attack.attack_prefix
+            ):
+                if interval.origin == attack.attack_origin and (
+                    interval.active_on(attack.listed_day)
+                ):
+                    observers |= interval.observers_on(attack.listed_day)
+            assert not (observers & subscribers), (
+                f"{attack.family}#{attack.index}: subscriber still "
+                f"carries the prefix on its listing day"
+            )
+
+
+class TestEvaluation:
+    def test_metrics_reflect_the_blocked_fractions(self, composed):
+        world, truth = composed
+        metrics = evaluate_scenario(world, truth)
+        total = truth.full_table_peers
+        blocked_fraction = (
+            len(set(truth.rov_peer_ids) | set(truth.route_server_peer_ids))
+            / total
+        )
+        families = metrics["families"]
+        for family in ("prefix-hijack", "subprefix-hijack"):
+            assert families[family]["blocked"] == pytest.approx(
+                blocked_fraction, abs=1e-6
+            )
+        for family in ("roa-downgrade", "maxlength-abuse"):
+            assert families[family]["blocked"] == pytest.approx(
+                0.0, abs=1e-6
+            )
+            # ...but DROP listing still bites after the listing delay.
+            assert (
+                families[family]["post_listing_visibility"]
+                < families[family]["visibility"]
+            )
+        assert metrics["defenses"]["rov_rate"] == pytest.approx(
+            len(truth.rov_peer_ids) / total
+        )
+
+    def test_truth_roundtrips_through_json(self, composed):
+        import json
+
+        from repro.scenarios import ScenarioTruth
+
+        _world, truth = composed
+        restored = ScenarioTruth.from_dict(
+            json.loads(json.dumps(truth.to_dict()))
+        )
+        assert restored == truth

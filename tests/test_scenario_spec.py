@@ -1,0 +1,173 @@
+"""Unit tests for the scenario DSL spec layer.
+
+The DSL's contract is canonical serialization: equal scenarios hash
+equal, JSON round-trips reproduce the hash, display names stay out of
+identity, and malformed payloads are rejected up front with the
+``scenarios.spec`` error code.
+"""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    ATTACK_FAMILIES,
+    DEFENSE_KINDS,
+    As0Misconfig,
+    DropSubscription,
+    MaxLengthAbuse,
+    PrefixHijack,
+    RoaDowngrade,
+    RouteServerFiltering,
+    RovDeployment,
+    Scenario,
+    ScenarioSpecError,
+    SubPrefixHijack,
+    WorldScale,
+)
+
+
+def _scenario(**overrides):
+    base = dict(
+        name="unit",
+        base=WorldScale(scale="tiny", seed=9),
+        attacks=(PrefixHijack(count=2),),
+        defenses=(RovDeployment(rate=0.5),),
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestRegistries:
+    def test_all_five_families_registered(self):
+        assert set(ATTACK_FAMILIES) == {
+            "prefix-hijack",
+            "subprefix-hijack",
+            "roa-downgrade",
+            "maxlength-abuse",
+            "as0-misconfig",
+        }
+
+    def test_all_three_defense_kinds_registered(self):
+        assert set(DEFENSE_KINDS) == {
+            "rov",
+            "route-server",
+            "drop-subscription",
+        }
+
+    def test_registry_classes_roundtrip_family_names(self):
+        for family, cls in ATTACK_FAMILIES.items():
+            assert cls.family == family
+        for kind, cls in DEFENSE_KINDS.items():
+            assert cls.kind == kind
+
+
+class TestValidation:
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ScenarioSpecError):
+            WorldScale(scale="galactic")
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ScenarioSpecError):
+            RovDeployment(rate=1.5)
+        with pytest.raises(ScenarioSpecError):
+            DropSubscription(rate=-0.1)
+
+    def test_attack_count_must_be_positive(self):
+        with pytest.raises(ScenarioSpecError):
+            PrefixHijack(count=0)
+
+    def test_stale_days_must_be_positive(self):
+        with pytest.raises(ScenarioSpecError):
+            RoaDowngrade(stale_days=0)
+
+    def test_maxlength_bounds(self):
+        with pytest.raises(ScenarioSpecError):
+            MaxLengthAbuse(max_length=33)
+
+    def test_duplicate_defense_kinds_rejected(self):
+        with pytest.raises(ScenarioSpecError):
+            _scenario(
+                defenses=(
+                    RovDeployment(rate=0.2),
+                    RovDeployment(rate=0.4),
+                )
+            )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ScenarioSpecError):
+            _scenario(name="")
+
+    def test_error_code_is_stable(self):
+        with pytest.raises(ScenarioSpecError) as excinfo:
+            RovDeployment(rate=2.0)
+        assert excinfo.value.code == "scenarios.spec"
+
+
+class TestCanonicalization:
+    def test_name_excluded_from_identity(self):
+        a = _scenario(name="alpha")
+        b = _scenario(name="beta")
+        assert a.content_hash() == b.content_hash()
+        assert "name" not in a.canonical_dict()
+
+    def test_different_overlays_hash_differently(self):
+        a = _scenario(attacks=(PrefixHijack(count=2),))
+        b = _scenario(attacks=(SubPrefixHijack(count=2),))
+        c = _scenario(defenses=(RovDeployment(rate=0.6),))
+        assert len({s.content_hash() for s in (a, b, c)}) == 3
+
+    def test_hash_covers_attack_parameters(self):
+        a = _scenario(attacks=(RoaDowngrade(count=2, stale_days=10),))
+        b = _scenario(attacks=(RoaDowngrade(count=2, stale_days=20),))
+        assert a.content_hash() != b.content_hash()
+
+    def test_canonical_json_is_deterministic(self):
+        a = _scenario()
+        assert (
+            json.dumps(a.canonical_dict(), sort_keys=True)
+            == json.dumps(_scenario().canonical_dict(), sort_keys=True)
+        )
+
+
+class TestRoundTrip:
+    def test_json_roundtrip_preserves_identity(self):
+        scenario = _scenario(
+            attacks=(
+                PrefixHijack(count=3),
+                RoaDowngrade(count=2, stale_days=15),
+                As0Misconfig(count=1),
+            ),
+            defenses=(
+                RovDeployment(rate=0.3),
+                RouteServerFiltering(rate=0.1),
+                DropSubscription(rate=0.5, listing_delay_days=3),
+            ),
+        )
+        restored = Scenario.from_json(scenario.to_json())
+        assert restored == scenario
+        assert restored.content_hash() == scenario.content_hash()
+
+    def test_unknown_family_rejected(self):
+        doc = json.loads(_scenario().to_json())
+        doc["attacks"][0]["family"] = "quantum-hijack"
+        with pytest.raises(ScenarioSpecError):
+            Scenario.from_dict(doc)
+
+    def test_unknown_top_level_key_rejected(self):
+        doc = json.loads(_scenario().to_json())
+        doc["surprise"] = 1
+        with pytest.raises(ScenarioSpecError):
+            Scenario.from_dict(doc)
+
+    def test_unknown_attack_parameter_rejected(self):
+        doc = json.loads(_scenario().to_json())
+        doc["attacks"][0]["warp_factor"] = 9
+        with pytest.raises(ScenarioSpecError):
+            Scenario.from_dict(doc)
+
+    def test_paper_preset_has_no_overlays(self):
+        paper = Scenario.paper(scale="tiny", seed=4)
+        assert paper.attacks == ()
+        assert paper.defenses == ()
+        assert paper.base == WorldScale(scale="tiny", seed=4)

@@ -1,0 +1,143 @@
+"""`repro-drop sweep` CLI tests: exit-code policy, resume, faults.
+
+Exit policy under test: 0 clean, 1 every cell failed (or the sweep
+itself died at plan/collect), 2 bad invocation, 3 some cells failed —
+with per-cell failure kinds on stderr.
+
+The axis flags below expand to the same two cells as the engine
+tests' spec, so these runs resolve against the session cache.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import ExitCode, main
+from repro.runtime import faults
+
+ARGS = [
+    "sweep",
+    "--family",
+    "prefix-hijack",
+    "--attack-count",
+    "1",
+    "--rov-rates",
+    "0,0.6",
+]
+
+
+class TestHappyPath:
+    def test_run_then_resume_builds_zero_worlds(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(ARGS + ["--out", str(out)]) == ExitCode.OK
+        stdout = capsys.readouterr().out
+        assert "2/2 cells ok" in stdout
+        first = json.loads(out.read_text())
+        assert first["cells_ok"] == 2
+
+        assert (
+            main(ARGS + ["--out", str(out), "--format", "json"])
+            == ExitCode.OK
+        )
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed == json.loads(out.read_text())
+        assert resumed["worlds_built"] == 0
+        assert [c["cache_status"] for c in resumed["cells"]] == [
+            "hit",
+            "hit",
+        ]
+        curve = resumed["families"]["prefix-hijack"]["curves"]["rov"]
+        assert [point["rate"] for point in curve] == [0.0, 0.6]
+
+    def test_spec_file_wins_over_axis_flags(self, tmp_path, capsys):
+        from repro.sweep import SweepSpec
+
+        spec = SweepSpec(
+            name="from-file",
+            families=("prefix-hijack",),
+            attack_count=1,
+            rov_rates=(0.0, 0.6),
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        rc = main(
+            [
+                "sweep",
+                "--spec",
+                str(path),
+                "--name",
+                "ignored",
+                "--format",
+                "json",
+            ]
+        )
+        assert rc == ExitCode.OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["name"] == "from-file"
+
+
+class TestFailurePolicy:
+    def test_some_cells_failed_exits_degraded(self, capsys):
+        with faults.injected("io-error@sweep.cell:*"):
+            rc = main(ARGS)
+        assert rc == ExitCode.DEGRADED
+        err = capsys.readouterr().err
+        assert "failed (InjectedIOError)" in err
+        assert "sweep degraded: 1/2 cells failed" in err
+
+    def test_all_cells_failed_exits_failure(self, capsys):
+        with faults.injected("io-error@sweep.cell:**2"):
+            rc = main(ARGS)
+        assert rc == ExitCode.FAILURE
+        assert "every cell failed" in capsys.readouterr().err
+
+    def test_plan_fault_exits_failure(self, capsys):
+        with faults.injected("io-error@sweep.plan"):
+            rc = main(ARGS)
+        assert rc == ExitCode.FAILURE
+        assert "sweep failed" in capsys.readouterr().err
+
+    def test_ambient_env_fault_hits_the_named_cell(
+        self, monkeypatch, capsys
+    ):
+        # The ambient $REPRO_FAULTS path, scoped to one cell by name.
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "io-error@sweep.cell:prefix-hijack/rov0.6*"
+        )
+        rc = main(ARGS)
+        assert rc == ExitCode.DEGRADED
+        err = capsys.readouterr().err
+        assert "cell prefix-hijack/rov0.6/drop0/rs0 failed" in err
+
+    def test_crashed_workers_recover_to_a_clean_exit(
+        self, monkeypatch, capsys
+    ):
+        # Workers die, the pool breaks, the parent finishes serially.
+        monkeypatch.setenv("REPRO_FAULTS", "crash@sweep.cell:**3")
+        rc = main(ARGS + ["--jobs", "2", "--format", "json"])
+        assert rc == ExitCode.OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["cells_failed"] == 0
+
+
+class TestUsageErrors:
+    def test_rate_out_of_range_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--rov-rates", "0,2"])
+        assert excinfo.value.code == 2
+
+    def test_bad_spec_file_is_a_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"surprise": 1}))
+        assert main(["sweep", "--spec", str(path)]) == ExitCode.USAGE
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_spec_file_is_a_usage_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["sweep", "--spec", str(missing)]) == ExitCode.USAGE
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_family_is_a_usage_error(self, capsys):
+        rc = main(["sweep", "--family", "quantum-hijack"])
+        assert rc == ExitCode.USAGE
+        assert "quantum-hijack" in capsys.readouterr().err

@@ -1,0 +1,111 @@
+"""Sweep engine tests: fan-out, resume, failure isolation, recovery.
+
+Cells share the suite's session cache, so later tests (and the CLI
+tests) resolve the same scenarios as hits — exactly the resume
+semantics the engine promises.
+"""
+
+import pytest
+
+from repro.obs import Instrumentation
+from repro.runtime import faults
+from repro.sweep import SweepSpec, run_sweep
+
+#: The standard 2-cell sweep the engine/CLI tests share via the cache.
+SPEC = SweepSpec(
+    name="engine-test",
+    families=("prefix-hijack",),
+    attack_count=1,
+    rov_rates=(0.0, 0.6),
+)
+
+
+def _metric_rows(outcome):
+    return [
+        (c.name, c.status, c.metrics["families"] if c.metrics else None)
+        for c in outcome.cells
+    ]
+
+
+class TestRunAndResume:
+    def test_cold_run_builds_then_resume_builds_zero(self, tmp_path):
+        root = tmp_path / "cache"
+        cold_instr = Instrumentation()
+        cold = run_sweep(SPEC, cache_root=root, instrumentation=cold_instr)
+        assert [c.status for c in cold.cells] == ["ok", "ok"]
+        assert cold.worlds_built == 2
+        assert cold_instr.counters.get("sweep_worlds_built") == 2
+        assert cold_instr.counters.get("scenario_cache_misses") == 2
+
+        warm_instr = Instrumentation()
+        warm = run_sweep(SPEC, cache_root=root, instrumentation=warm_instr)
+        assert [c.cache_status for c in warm.cells] == ["hit", "hit"]
+        assert warm.worlds_built == 0
+        assert warm_instr.counters.get("sweep_worlds_built") is None
+        assert warm_instr.counters.get("scenario_cache_hits") == 2
+        assert _metric_rows(warm) == _metric_rows(cold)
+
+    def test_parallel_run_matches_serial(self):
+        serial = run_sweep(SPEC)
+        parallel = run_sweep(SPEC, jobs=2)
+        assert _metric_rows(parallel) == _metric_rows(serial)
+        assert parallel.report["families"] == serial.report["families"]
+
+    def test_report_carries_curves_and_spec(self):
+        outcome = run_sweep(SPEC)
+        report = outcome.report
+        assert report["cells_ok"] == 2
+        curve = report["families"]["prefix-hijack"]["curves"]["rov"]
+        assert [point["rate"] for point in curve] == [0.0, 0.6]
+        # ROV bites: higher deployment, lower attack visibility.
+        assert curve[1]["visibility"] < curve[0]["visibility"]
+        assert report["spec"] == SPEC.canonical_dict()
+
+
+class TestFailureIsolation:
+    def test_failed_cell_is_isolated_and_kinded(self):
+        instr = Instrumentation()
+        with faults.injected("io-error@sweep.cell:*"):
+            outcome = run_sweep(SPEC, instrumentation=instr)
+        statuses = [c.status for c in outcome.cells]
+        assert statuses == ["failed", "ok"]
+        (failed,) = outcome.failed
+        assert failed.kind == "InjectedIOError"
+        assert "sweep.cell" in failed.error
+        assert instr.counters.get("sweep_cells_failed") == 1
+        assert instr.counters.get("sweep_cells_ok") == 1
+        assert outcome.report["failed_cells"] == [
+            {
+                "name": failed.name,
+                "kind": failed.kind,
+                "error": failed.error,
+            }
+        ]
+
+    def test_failed_cells_stay_out_of_aggregates(self):
+        with faults.injected("io-error@sweep.cell:*"):
+            outcome = run_sweep(SPEC)
+        family = outcome.report["families"]["prefix-hijack"]
+        assert family["cells"] == 1
+
+    def test_plan_fault_fails_the_whole_sweep(self):
+        with faults.injected("io-error@sweep.plan"):
+            with pytest.raises(OSError):
+                run_sweep(SPEC)
+
+    def test_collect_fault_fails_the_whole_sweep(self):
+        with faults.injected("io-error@sweep.collect"):
+            with pytest.raises(OSError):
+                run_sweep(SPEC)
+
+
+class TestWorkerLossRecovery:
+    def test_crashed_workers_fall_back_to_serial_in_parent(
+        self, monkeypatch
+    ):
+        # Both workers die at their first cell; the pool breaks and the
+        # parent recomputes every cell serially (crash faults never
+        # fire in the parent), so results are complete.
+        monkeypatch.setenv("REPRO_FAULTS", "crash@sweep.cell:**2")
+        outcome = run_sweep(SPEC, jobs=2)
+        assert [c.status for c in outcome.cells] == ["ok", "ok"]

@@ -1,0 +1,105 @@
+"""Unit tests for sweep specs: validation, expansion, sampling."""
+
+import json
+
+import pytest
+
+from repro.runtime import scenario_cache_key
+from repro.sweep import SweepSpec, SweepSpecError
+
+
+class TestValidation:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SweepSpecError):
+            SweepSpec(families=("quantum-hijack",))
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(SweepSpecError):
+            SweepSpec(rov_rates=(0.0, 1.5))
+
+    def test_duplicate_rates_rejected(self):
+        with pytest.raises(SweepSpecError):
+            SweepSpec(rov_rates=(0.5, 0.5))
+
+    def test_empty_families_rejected(self):
+        with pytest.raises(SweepSpecError):
+            SweepSpec(families=())
+
+    def test_unknown_scale_propagates_as_spec_error(self):
+        with pytest.raises(Exception) as excinfo:
+            SweepSpec(scale="galactic")
+        assert getattr(excinfo.value, "code", "").endswith(".spec")
+
+    def test_unknown_json_key_rejected(self):
+        with pytest.raises(SweepSpecError):
+            SweepSpec.from_dict({"surprise": 1})
+
+    def test_invalid_json_rejected_with_stable_code(self):
+        with pytest.raises(SweepSpecError) as excinfo:
+            SweepSpec.from_json("{not json")
+        assert excinfo.value.code == "sweep.spec"
+
+
+class TestExpansion:
+    def test_grid_is_the_axis_product(self):
+        spec = SweepSpec(
+            families=("prefix-hijack", "roa-downgrade"),
+            rov_rates=(0.0, 0.5, 0.9),
+            drop_rates=(0.0, 0.5),
+        )
+        cells = spec.cells()
+        assert spec.grid_size == 12
+        assert len(cells) == 12
+        names = [name for name, _ in cells]
+        assert names[0] == "prefix-hijack/rov0/drop0/rs0"
+        assert len(set(names)) == 12
+
+    def test_cells_carry_the_axis_rates(self):
+        spec = SweepSpec(
+            families=("subprefix-hijack",),
+            rov_rates=(0.3,),
+            drop_rates=(0.7,),
+            route_server_rates=(0.1,),
+            attack_count=2,
+            listing_delay_days=3,
+        )
+        ((_name, scenario),) = spec.cells()
+        by_kind = {d.kind: d for d in scenario.defenses}
+        assert by_kind["rov"].rate == 0.3
+        assert by_kind["drop-subscription"].rate == 0.7
+        assert by_kind["drop-subscription"].listing_delay_days == 3
+        assert by_kind["route-server"].rate == 0.1
+        assert scenario.attacks[0].count == 2
+
+    def test_cell_identity_is_stable_across_spec_names(self):
+        a = SweepSpec(name="first", rov_rates=(0.5,), families=("prefix-hijack",))
+        b = SweepSpec(name="second", rov_rates=(0.5,), families=("prefix-hijack",))
+        key_a = scenario_cache_key(a.cells()[0][1])
+        key_b = scenario_cache_key(b.cells()[0][1])
+        assert key_a == key_b
+
+    def test_sample_is_a_seeded_subset(self):
+        spec = SweepSpec(
+            rov_rates=(0.0, 0.25, 0.5, 0.75), sample=5, sample_seed=12
+        )
+        first = [name for name, _ in spec.cells()]
+        second = [name for name, _ in spec.cells()]
+        assert first == second
+        assert len(first) == 5
+        full = {
+            name
+            for name, _ in SweepSpec(
+                rov_rates=(0.0, 0.25, 0.5, 0.75)
+            ).cells()
+        }
+        assert set(first) <= full
+
+    def test_json_roundtrip(self):
+        spec = SweepSpec(
+            name="rt",
+            families=("maxlength-abuse", "as0-misconfig"),
+            rov_rates=(0.0, 0.9),
+            sample=3,
+        )
+        assert SweepSpec.from_json(spec.to_json()) == spec
+        assert json.loads(spec.to_json())["name"] == "rt"
