@@ -9,10 +9,13 @@ Two entry points, mirroring ``bench_store.py``:
   BENCH_sweep.json --check`` — recording the PR's acceptance numbers
   as a JSON artifact: a 3-family x 3-ROV-rate grid (9 cells) run cold
   into a fresh cache root and then resumed warm with ``--jobs 4``,
-  wall-clock for both, cells/second, and the resume contract (the
-  warm run builds zero worlds).  ``--smoke`` shrinks the grid to 2
-  cells for CI; ``--check`` enforces the gates: every cell ok on both
-  runs, the resume builds nothing, and the report covers every family.
+  wall-clock for both, cells/second, the base-snapshot breakdown
+  (how long the shared base build took vs the per-cell overlay work),
+  and the resume contract (the warm run builds zero worlds and zero
+  bases).  ``--smoke`` shrinks the grid to 2 cells for CI; ``--check``
+  enforces the gates: every cell ok on both runs, the resume builds
+  nothing, the cold run builds at most one base per distinct scale in
+  the grid, and the report covers every family.
 """
 
 import argparse
@@ -117,6 +120,11 @@ def run(spec: SweepSpec, *, jobs: int, out: Path | None) -> dict:
     all_ok = not cold.failed and not warm.failed
     resume_clean = warm.worlds_built == 0
     covers_families = families_covered == sorted(spec.families)
+    # One scale+seed per SweepSpec, so the whole grid shares one base.
+    distinct_bases = 1
+    cold_bases = cold.report["bases_built"]
+    warm_bases = warm.report["bases_built"]
+    base_seconds = cold.report["base_seconds"]
 
     payload = {
         "spec": spec.canonical_dict(),
@@ -128,11 +136,19 @@ def run(spec: SweepSpec, *, jobs: int, out: Path | None) -> dict:
         "warm_cells_per_second": round(cells / warm_seconds, 3),
         "cold_worlds_built": cold.worlds_built,
         "warm_worlds_built": warm.worlds_built,
+        "bases_built": cold_bases,
+        "warm_bases_built": warm_bases,
+        "base_seconds": round(base_seconds, 3),
+        "overlay_seconds": round(cold_seconds - base_seconds, 3),
         "warm_speedup": round(cold_seconds / warm_seconds, 2),
         "families_covered": families_covered,
         "meets_targets": {
             "all_cells_ok": all_ok,
             "resume_builds_zero_worlds": resume_clean,
+            "cold_builds_at_most_distinct_bases": (
+                cold_bases <= distinct_bases
+            ),
+            "resume_builds_zero_bases": warm_bases == 0,
             "report_covers_every_family": covers_families,
         },
     }

@@ -125,6 +125,18 @@ class RouteIntervalStore:
     def __len__(self) -> int:
         return self._count
 
+    def fork(self) -> "RouteIntervalStore":
+        """A copy-on-write fork: cloned trie, per-prefix buckets copied.
+
+        The :class:`RouteInterval` objects themselves are immutable and
+        shared; adding to the fork never touches the original, so a
+        base world can hand out many forks for overlay application.
+        """
+        forked = RouteIntervalStore(data_end=self.data_end)
+        forked._tree = self._tree.clone(copy_value=list.copy)
+        forked._count = self._count
+        return forked
+
     # -- interval retrieval -------------------------------------------------
 
     def intervals_exact(self, prefix: IPv4Prefix) -> list[RouteInterval]:

@@ -79,6 +79,16 @@ class DropArchive:
         for episode in episodes:
             self.add(episode)
 
+    def fork(self) -> "DropArchive":
+        """A copy-on-write fork sharing the immutable episodes."""
+        forked = DropArchive(self.window)
+        forked._episodes = list(self._episodes)
+        forked._by_prefix = {
+            prefix: list(episodes)
+            for prefix, episodes in self._by_prefix.items()
+        }
+        return forked
+
     # -- event queries -----------------------------------------------------
 
     def episodes(self) -> Iterator[DropEpisode]:

@@ -81,6 +81,19 @@ class SblDatabase:
     def __len__(self) -> int:
         return len(self._by_id)
 
+    def fork(self) -> "SblDatabase":
+        """A copy-on-write fork sharing the immutable records.
+
+        Insertion order (and so :meth:`dump` output) is preserved.
+        """
+        forked = SblDatabase()
+        forked._by_id = dict(self._by_id)
+        forked._by_prefix = {
+            prefix: list(records)
+            for prefix, records in self._by_prefix.items()
+        }
+        return forked
+
     def __contains__(self, sbl_id: str) -> bool:
         return sbl_id in self._by_id
 

@@ -46,6 +46,16 @@ class _Node(Generic[V]):
         return _prefix_bits(network, self.length) == self.network
 
 
+def _copy_node(node: "_Node[V]", copy_value) -> "_Node[V]":
+    copied: "_Node[V]" = _Node(node.network, node.length)
+    copied.prefix = node.prefix
+    if node.prefix is not None:
+        copied.value = (
+            node.value if copy_value is None else copy_value(node.value)
+        )
+    return copied
+
+
 def _prefix_bits(network: int, length: int) -> int:
     """The top ``length`` bits of ``network``, as a network address."""
     if length == 0:
@@ -92,6 +102,33 @@ class RadixTree(Generic[V]):
     def items(self) -> Iterator[tuple[IPv4Prefix, V]]:
         """All entries in address order (pre-order walk)."""
         yield from self._walk(self._root)
+
+    def clone(self, copy_value=None) -> "RadixTree[V]":
+        """A structural copy of the tree in O(n), no re-insertion.
+
+        Node shapes, entry order, and therefore :meth:`items` iteration
+        order are preserved exactly — which is what makes a cloned
+        store serialize byte-identically to its original.  With
+        ``copy_value`` given, every stored value passes through it
+        (``list.copy`` for bucket tries); otherwise values are shared.
+        """
+        cloned: "RadixTree[V]" = RadixTree()
+        cloned._size = self._size
+        if self._root is None:
+            return cloned
+        # Iterative copy: world-scale tries are deep enough to trouble
+        # the recursion limit.
+        cloned._root = _copy_node(self._root, copy_value)
+        stack = [(self._root, cloned._root)]
+        while stack:
+            source, target = stack.pop()
+            if source.left is not None:
+                target.left = _copy_node(source.left, copy_value)
+                stack.append((source.left, target.left))
+            if source.right is not None:
+                target.right = _copy_node(source.right, copy_value)
+                stack.append((source.right, target.right))
+        return cloned
 
     def _walk(self, node: _Node[V] | None) -> Iterator[tuple[IPv4Prefix, V]]:
         if node is None:

@@ -83,6 +83,26 @@ _CANONICAL: dict[str, tuple[str, dict, str]] = {
         "repro_scenario_cache_misses_total", {},
         "Scenario cache misses that triggered a build.",
     ),
+    "base_cache_hits": (
+        "repro_base_cache_hits_total", {},
+        "Base-world snapshots resolved from memory or disk.",
+    ),
+    "base_cache_misses": (
+        "repro_base_cache_misses_total", {},
+        "Base-world snapshot misses that triggered a base build.",
+    ),
+    "base_cache_evictions": (
+        "repro_base_cache_evictions_total", {},
+        "Corrupt base snapshot entries evicted and rebuilt.",
+    ),
+    "sweep_fast_path_hits": (
+        "repro_sweep_fast_path_hits_total", {},
+        "Sweep cells answered from truth sidecar + persisted index.",
+    ),
+    "sweep_bases_built": (
+        "repro_sweep_bases_built_total", {},
+        "Distinct base worlds built (not cache-resumed) during sweeps.",
+    ),
     "sweep_cells_ok": (
         "repro_sweep_cells_total", {"status": "ok"},
         "Sweep cells run, by outcome.",

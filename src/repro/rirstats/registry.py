@@ -90,6 +90,20 @@ class ResourceRegistry:
         }
         self._allocations: list[Allocation] = []
 
+    def fork(self) -> "ResourceRegistry":
+        """A copy-on-write fork: pools copied, allocations shared.
+
+        :class:`Allocation` records are immutable; only the containers
+        are copied, so delegating/allocating on the fork never touches
+        the original registry.
+        """
+        forked = ResourceRegistry()
+        forked._managed = {
+            rir: space.copy() for rir, space in self._managed.items()
+        }
+        forked._allocations = list(self._allocations)
+        return forked
+
     # -- construction -----------------------------------------------------------
 
     def delegate_to_rir(

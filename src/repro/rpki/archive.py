@@ -50,6 +50,13 @@ class RoaArchive:
     def __len__(self) -> int:
         return self._count
 
+    def fork(self) -> "RoaArchive":
+        """A copy-on-write fork sharing the immutable records."""
+        forked = RoaArchive()
+        forked._tree = self._tree.clone(copy_value=list.copy)
+        forked._count = self._count
+        return forked
+
     # -- retrieval ------------------------------------------------------------
 
     def records(self) -> Iterator[RoaRecord]:

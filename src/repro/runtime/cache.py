@@ -8,7 +8,16 @@ Entries persist through the ordinary :func:`~repro.synth.archive.save_world`
 snapshots, so episode dates reload exactly and analyses stay
 byte-identical with a fresh build).
 
-Layout: ``<root>/worlds/<key>/`` where ``root`` defaults to
+Layout: ``<root>/worlds/<key>/`` for legacy config-keyed worlds,
+``<root>/bases/<key>/`` for shared post-playbook base snapshots (the
+world every scenario with the same :class:`WorldScale` forks from;
+entries carry a ``base-state.json`` sidecar holding the builder
+cursors and topology RNG state a fork needs), and
+``<root>/scenarios/<key>/`` for composed scenarios — *light* entries
+holding only the spec and truth sidecars (plus any persisted query
+index), because a scenario world re-forks from its base snapshot in
+milliseconds and is byte-identical to a from-scratch build.  ``root``
+defaults to
 ``~/.cache/repro-drop`` (``$REPRO_CACHE_DIR`` overrides; honors
 ``$XDG_CACHE_HOME``).  Writes are crash-safe: a per-entry lock file
 (``<key>.lock``, single writer, stale locks taken over after
@@ -28,6 +37,7 @@ import shutil
 import tempfile
 import time
 import warnings
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -40,9 +50,11 @@ from ..obs import Instrumentation, world_sizes
 __all__ = [
     "CACHE_DIR_ENV",
     "LOCK_TIMEOUT_ENV",
+    "BaseCacheOutcome",
     "CacheOutcome",
     "ScenarioCacheOutcome",
     "WorldCache",
+    "base_cache_key",
     "default_cache_root",
     "scenario_cache_key",
     "world_cache_key",
@@ -52,8 +64,10 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 LOCK_TIMEOUT_ENV = "REPRO_CACHE_LOCK_TIMEOUT"
 
 #: Version of the on-disk cache layout itself (key derivation, snapshot
-#: density).  Bump to orphan every existing entry.
-_CACHE_FORMAT = 1
+#: density, which entry kinds carry world archives).  Bump to orphan
+#: every existing entry.  2: scenario entries became light (sidecars
+#: only; the world re-forks from the base snapshot on a hit).
+_CACHE_FORMAT = 2
 
 #: A lock older than this is presumed abandoned (writer died between
 #: acquiring and releasing) and is taken over.
@@ -119,6 +133,43 @@ def scenario_cache_key(scenario) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
+def base_cache_key(base) -> str:
+    """The content address of the base world a :class:`WorldScale` builds.
+
+    The post-playbook base depends on the scale config, the generator,
+    *and* the playbook/overlay algorithm version (playbooks are part of
+    the scenario layer), so all three pin the key.
+    """
+    from ..scenarios.compose import SCENARIO_VERSION
+
+    payload = json.dumps(
+        {
+            "cache_format": _CACHE_FORMAT,
+            "generator": GENERATOR_VERSION,
+            "scenario_version": SCENARIO_VERSION,
+            "base": {"scale": base.scale, "seed": base.seed},
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+#: Per-process LRU of loaded base snapshots, keyed (cache root, key).
+#: Bases are strictly read-only (cells fork before mutating), so one
+#: loaded copy serves every cell a worker runs; two slots cover the
+#: realistic case of a sweep straddling two scales.
+_BASE_LRU: OrderedDict[tuple[str, str], tuple[World, dict]] = OrderedDict()
+_BASE_LRU_CAPACITY = 2
+
+
+def _remember_base(lru_key: tuple[str, str], world: World, state: dict) -> None:
+    _BASE_LRU[lru_key] = (world, state)
+    _BASE_LRU.move_to_end(lru_key)
+    while len(_BASE_LRU) > _BASE_LRU_CAPACITY:
+        _BASE_LRU.popitem(last=False)
+
+
 @dataclass(frozen=True, slots=True)
 class CacheOutcome:
     """A fetched world plus how the cache resolved it."""
@@ -126,6 +177,23 @@ class CacheOutcome:
     world: World
     #: ``"hit"`` (loaded from disk), ``"miss"`` (built and stored), or
     #: ``"refresh"`` (rebuild forced by the caller).
+    status: str
+    key: str
+    directory: Path
+
+
+@dataclass(frozen=True, slots=True)
+class BaseCacheOutcome:
+    """A fetched base snapshot plus the builder state forks need.
+
+    The ``world`` is shared and must be treated read-only — callers
+    fork it (:func:`~repro.scenarios.compose.fork_scenario_world`)
+    before applying overlays.  ``state`` is the JSON-able
+    :func:`~repro.scenarios.compose.snapshot_base_state` dict.
+    """
+
+    world: World
+    state: dict
     status: str
     key: str
     directory: Path
@@ -203,6 +271,125 @@ class WorldCache:
             world, "refresh" if refresh else "miss", key, directory
         )
 
+    def fetch_base(
+        self,
+        base,
+        *,
+        instrumentation: Instrumentation | None = None,
+        refresh: bool = False,
+        jobs: int = 1,
+    ) -> BaseCacheOutcome:
+        """The shared post-playbook base world for a :class:`WorldScale`.
+
+        Resolution order: per-process LRU, then the
+        ``<root>/bases/<key>/`` disk entry (world archive +
+        ``base-state.json`` sidecar, evict-and-rebuild on any load
+        failure), then a fresh
+        :func:`~repro.scenarios.compose.build_base_world`.  Stores use
+        the ``base.save`` / ``base.store`` fault sites but otherwise
+        the exact lock/staging/degraded discipline of :meth:`fetch`.
+        The returned world is shared — callers must fork, never mutate.
+        """
+        from ..scenarios.compose import SCENARIO_VERSION, build_base_world
+
+        instr = instrumentation or Instrumentation()
+        key = base_cache_key(base)
+        directory = self.root / "bases" / key
+        lru_key = (str(self.root), key)
+        if not refresh:
+            cached = _BASE_LRU.get(lru_key)
+            if cached is not None:
+                _BASE_LRU.move_to_end(lru_key)
+                world, state = cached
+                instr.incr("base_cache_hits")
+                return BaseCacheOutcome(world, state, "hit", key, directory)
+            if directory.exists():
+                try:
+                    world = self.load_entry(
+                        directory, instrumentation=instr, site="base.load"
+                    )
+                    state = self._load_base_state(directory, base)
+                except CacheCorruptionError:
+                    # Torn or foreign base entry: evict it here so the
+                    # rebuild below publishes a clean one — dependent
+                    # scenario cells are never poisoned.
+                    shutil.rmtree(directory, ignore_errors=True)
+                    instr.incr("base_cache_evictions")
+                else:
+                    world.config = base.to_config()
+                    instr.incr("base_cache_hits")
+                    instr.annotate("world_sizes", world_sizes(world))
+                    _remember_base(lru_key, world, state)
+                    return BaseCacheOutcome(
+                        world, state, "hit", key, directory
+                    )
+        instr.incr("base_cache_misses")
+        world, state = build_base_world(
+            base, jobs=jobs, instrumentation=instr
+        )
+        instr.annotate("world_sizes", world_sizes(world))
+        self._store(
+            world,
+            directory,
+            instr,
+            meta={
+                "key": key,
+                "generator": GENERATOR_VERSION,
+                "scenario_version": SCENARIO_VERSION,
+                "base": {"scale": base.scale, "seed": base.seed},
+            },
+            sidecars={
+                "base-state.json": json.dumps(
+                    state, indent=2, sort_keys=True
+                ),
+            },
+            save_site="base.save",
+            corrupt_site="base.store",
+        )
+        _remember_base(lru_key, world, state)
+        return BaseCacheOutcome(
+            world, state, "refresh" if refresh else "miss", key, directory
+        )
+
+    @staticmethod
+    def _load_base_state(directory: Path, base) -> dict:
+        """The ``base-state.json`` sidecar of one base entry, checked.
+
+        Raises :class:`CacheCorruptionError` when the sidecar is
+        missing/torn, structurally wrong, or the entry's metadata names
+        a different scale (a key collision or foreign entry).
+        """
+        try:
+            state = json.loads((directory / "base-state.json").read_text())
+            meta = json.loads((directory / "cache-key.json").read_text())
+        except Exception as error:
+            raise CacheCorruptionError(
+                f"base entry {directory.name} sidecars cannot be "
+                f"loaded: {error}"
+            ) from error
+        required = {
+            "carver_cursor",
+            "asn_cursor",
+            "sbl_cursor",
+            "pool_blocks",
+            "pool_top_cursor",
+            "topology_rng_state",
+        }
+        missing = required - set(state)
+        if missing:
+            raise CacheCorruptionError(
+                f"base entry {directory.name} state sidecar is missing "
+                f"fields: {', '.join(sorted(missing))}"
+            )
+        stored = meta.get("base")
+        expected = {"scale": base.scale, "seed": base.seed}
+        if stored != expected:
+            raise CacheCorruptionError(
+                f"base entry {directory.name} stores a different scale "
+                f"(stored {stored!r}, expected {expected!r})"
+            )
+        return state
+
     def fetch_scenario(
         self,
         scenario,
@@ -213,21 +400,29 @@ class WorldCache:
     ) -> ScenarioCacheOutcome:
         """The world for a DSL ``scenario``: cached if possible.
 
-        Entries live under ``<root>/scenarios/<key>/`` and carry two
-        sidecars next to the world archive: ``scenario.json`` (the full
-        spec, hash-checked on load so a foreign or torn entry evicts)
-        and ``scenario-truth.json`` (the director truth, reattached to
-        ``world.truth.scenario`` on a hit).  Same single-writer lock,
-        staging, and degraded-store discipline as :meth:`fetch`.
+        Entries live under ``<root>/scenarios/<key>/`` and are *light*:
+        no world archive, just ``scenario.json`` (the full spec,
+        hash-checked on load so a foreign or torn entry evicts) and
+        ``scenario-truth.json`` (the director truth, reattached to
+        ``world.truth.scenario`` on a hit).  Both hits and misses get
+        their world by forking the shared base snapshot
+        (:meth:`fetch_base` — cached across every cell with the same
+        scale) and applying only this scenario's overlays — which is
+        byte-identical to a scratch
+        :func:`~repro.scenarios.compose.build_scenario_world`
+        (golden-pinned) at a fraction of the cost, so persisting the
+        archive again per scenario would buy nothing.  Same
+        single-writer lock, staging, and degraded-store discipline as
+        :meth:`fetch`.  ``refresh`` re-applies overlays but
+        intentionally does not refresh the base.
         """
-        from ..scenarios.compose import ScenarioTruth, build_scenario_world
+        from ..scenarios.compose import ScenarioTruth, fork_scenario_world
 
         instr = instrumentation or Instrumentation()
         key = scenario_cache_key(scenario)
         directory = self.root / "scenarios" / key
         if not refresh and directory.exists():
             try:
-                world = self.load_entry(directory, instrumentation=instr)
                 truth = self._load_scenario_truth(
                     directory, scenario, ScenarioTruth
                 )
@@ -235,7 +430,15 @@ class WorldCache:
                 shutil.rmtree(directory, ignore_errors=True)
                 instr.incr("world_cache_evictions")
             else:
-                world.config = scenario.base.to_config()
+                base_outcome = self.fetch_base(
+                    scenario.base, instrumentation=instr, jobs=jobs
+                )
+                world = fork_scenario_world(
+                    scenario,
+                    base_outcome.world,
+                    base_outcome.state,
+                    instrumentation=instr,
+                )
                 world.truth.scenario = truth
                 instr.incr("scenario_cache_hits")
                 instr.annotate("world_sizes", world_sizes(world))
@@ -243,8 +446,14 @@ class WorldCache:
                     world, truth, "hit", key, directory
                 )
         instr.incr("scenario_cache_misses")
-        world = build_scenario_world(
-            scenario, jobs=jobs, instrumentation=instr
+        base_outcome = self.fetch_base(
+            scenario.base, instrumentation=instr, jobs=jobs
+        )
+        world = fork_scenario_world(
+            scenario,
+            base_outcome.world,
+            base_outcome.state,
+            instrumentation=instr,
         )
         truth = world.truth.scenario
         instr.annotate("world_sizes", world_sizes(world))
@@ -256,6 +465,7 @@ class WorldCache:
                 "key": key,
                 "generator": GENERATOR_VERSION,
                 "scenario_hash": scenario.content_hash(),
+                "light": True,
             },
             sidecars={
                 "scenario.json": scenario.to_json(),
@@ -263,6 +473,8 @@ class WorldCache:
                     truth.to_dict(), indent=2, sort_keys=True
                 ),
             },
+            archive=False,
+            corrupt_target="scenario-truth.json",
         )
         return ScenarioCacheOutcome(
             world, truth, "refresh" if refresh else "miss", key, directory
@@ -302,11 +514,13 @@ class WorldCache:
         directory: Path,
         *,
         instrumentation: Instrumentation | None = None,
+        site: str = "cache.load",
     ) -> World:
         """Load one cache entry, or raise :class:`CacheCorruptionError`.
 
         Any reload failure — torn file, missing archive, injected fault
-        at the ``cache.load`` site — surfaces as a
+        at the ``site`` fault site (``cache.load`` for world/scenario
+        entries, ``base.load`` for base snapshots) — surfaces as a
         :class:`~repro.errors.CacheCorruptionError` (code
         ``runtime.cache-corrupt``) naming the entry; :meth:`fetch`
         catches it to evict and rebuild.
@@ -314,7 +528,7 @@ class WorldCache:
         instr = instrumentation or Instrumentation()
         try:
             with instr.stage("cache-load", group="cache"):
-                fault_point("cache.load", instrumentation=instr)
+                fault_point(site, instrumentation=instr)
                 return load_world(directory)
         except Exception as error:
             raise CacheCorruptionError(
@@ -331,6 +545,10 @@ class WorldCache:
         *,
         meta: dict | None = None,
         sidecars: dict[str, str] | None = None,
+        save_site: str = "cache.save",
+        corrupt_site: str = "cache.store",
+        corrupt_target: str = "roas.jsonl",
+        archive: bool = True,
     ) -> None:
         """Persist ``world`` as the entry at ``directory`` (crash-safe).
 
@@ -342,9 +560,15 @@ class WorldCache:
         losing its race against a takeover winner is silently benign.
 
         ``meta`` overrides the ``cache-key.json`` payload and
-        ``sidecars`` adds extra files to the staged entry (scenario
-        entries use both) — they ride inside the same staging window,
-        so the published entry is all-or-nothing either way.
+        ``sidecars`` adds extra files to the staged entry (scenario and
+        base entries use both) — they ride inside the same staging
+        window, so the published entry is all-or-nothing either way.
+        ``save_site`` / ``corrupt_site`` name the fault-injection sites
+        (``base.save`` / ``base.store`` for base snapshots) and
+        ``corrupt_target`` the staged file a ``truncate`` fault tears.
+        ``archive=False`` stores a light entry — metadata and sidecars
+        only, no world archive (scenario entries, whose worlds re-fork
+        from the base snapshot instead of reloading).
         """
         directory.parent.mkdir(parents=True, exist_ok=True)
         lock = directory.parent / f"{directory.name}.lock"
@@ -360,9 +584,11 @@ class WorldCache:
                     )
                 )
                 with instr.stage("cache-store", group="cache"):
-                    fault_point("cache.save", instrumentation=instr)
-                    # Daily snapshots so DROP episode dates reload exactly.
-                    save_world(world, staging, drop_step_days=1)
+                    fault_point(save_site, instrumentation=instr)
+                    if archive:
+                        # Daily snapshots so DROP episode dates reload
+                        # exactly.
+                        save_world(world, staging, drop_step_days=1)
                     if meta is None:
                         meta = {
                             "key": directory.name,
@@ -378,8 +604,8 @@ class WorldCache:
                     # a successful save: the published entry is torn,
                     # exactly like a crash between write and fsync.
                     corrupt_file(
-                        "cache.store",
-                        staging / "roas.jsonl",
+                        corrupt_site,
+                        staging / corrupt_target,
                         instrumentation=instr,
                     )
             except OSError as error:

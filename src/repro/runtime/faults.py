@@ -32,6 +32,16 @@ each cell, in the worker — an ``io-error`` fails just that cell, a
 ``crash`` kills the worker and exercises the serial-fallback
 recovery), and ``sweep.collect`` (report assembly).
 
+The base-snapshot cache mirrors the world cache's site split:
+``base.save`` (``io-error`` degrades the store to an uncached run),
+``base.store`` (``truncate`` tears the staged entry so the published
+snapshot is corrupt — the next load evicts and rebuilds it, never
+poisoning the scenario cells forked from it), ``base.load`` (any
+fault surfaces as a :class:`~repro.errors.CacheCorruptionError` and
+triggers the same evict-and-rebuild), and ``base.fork`` (inside
+:func:`~repro.scenarios.compose.fork_scenario_world`, before the
+copy — fails the dependent cell, leaves the base untouched).
+
 Activation is either programmatic (the :func:`injected` context
 manager — inherited by forked workers) or ambient via
 ``$REPRO_FAULTS`` + ``$REPRO_FAULT_SEED`` (read lazily and re-read on

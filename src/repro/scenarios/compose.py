@@ -51,7 +51,10 @@ __all__ = [
     "AttackTruth",
     "ScenarioDirector",
     "ScenarioTruth",
+    "build_base_world",
     "build_scenario_world",
+    "fork_scenario_world",
+    "snapshot_base_state",
 ]
 
 #: Version of the overlay algorithm.  Bump whenever a director change
@@ -507,6 +510,135 @@ def build_scenario_world(
             ),
         )
     )
+    director = ScenarioDirector(builder, scenario)
+    with builder.instrumentation.stage("scenario-overlays", group="build"):
+        world.truth.scenario = director.apply()
+    return world
+
+
+# ---------------------------------------------------------------------------
+# base snapshots + copy-on-write forks
+# ---------------------------------------------------------------------------
+#
+# Every scenario sharing one ``WorldScale`` builds the *same* post-playbook
+# base world: the director draws exclusively from the 0xD5 overlay streams
+# (plus the builder's topology stream, whose post-build state the snapshot
+# captures), so overlays applied to a restored base are byte-identical to a
+# from-scratch ``build_scenario_world`` — pinned by the fork-vs-scratch
+# golden test across every attack family and defense.
+
+
+def snapshot_base_state(builder) -> dict:
+    """The builder state a director needs beyond the world's archives.
+
+    JSON-serializable, so base cache entries persist it as a sidecar:
+    the address-space carver cursor, the ASN/SBL id cursors, the RIR
+    free-pool layout, and the topology RNG state as advanced by the
+    base build (the one base stream the director also consumes, via
+    ``attach_edge_network`` / ``path_from_core``).
+    """
+    return {
+        "carver_cursor": builder.carver._cursor,
+        "asn_cursor": builder._asn_cursor,
+        "sbl_cursor": builder._sbl_cursor,
+        "pool_blocks": {
+            rir: [block.start, block.end]
+            for rir, block in builder._pool_blocks.items()
+        },
+        "pool_top_cursor": dict(builder._pool_top_cursor),
+        "topology_rng_state": builder.topology._rng.bit_generator.state,
+    }
+
+
+def build_base_world(base, *, jobs: int = 1, instrumentation=None):
+    """Build the post-playbook base world one ``WorldScale`` describes.
+
+    Returns ``(world, state)``: the finished base (no overlays) plus
+    the :func:`snapshot_base_state` dict that lets
+    :func:`fork_scenario_world` restore a builder around any fork of
+    it.  The build is exactly the base portion of
+    :func:`build_scenario_world`, so the pair is shareable across every
+    scenario with the same base.
+    """
+    from ..synth.builder import WorldBuilder
+
+    builder = WorldBuilder(
+        base.to_config(), jobs=jobs, instrumentation=instrumentation
+    )
+    world = builder.build(
+        scenario_stages=(
+            (
+                "playbooks",
+                lambda: apply_playbooks(builder, PAPER_PLAYBOOKS),
+            ),
+        )
+    )
+    return world, snapshot_base_state(builder)
+
+
+def _restore_builder(builder, world, state: dict) -> None:
+    """Point a fresh builder at a forked world + snapshot state.
+
+    The builder's stores are replaced by the fork's, its cursors and
+    pool layout restored from the snapshot, its peer-derived id sets
+    rederived from the (shared) peer registry, and its topology RNG
+    fast-forwarded to the post-build state — after which a director
+    behaves exactly as if the builder had just finished the base build.
+    """
+    from ..net.prefix import AddressRange
+
+    builder.peers = world.peers
+    builder.bgp = world.bgp
+    builder.resources = world.resources
+    builder.irr = world.irr
+    builder.roas = world.roas
+    builder.drop = world.drop
+    builder.sbl = world.sbl
+    builder.manual_overrides = world.manual_overrides
+    builder.truth = world.truth
+    builder.carver._cursor = int(state["carver_cursor"])
+    builder._asn_cursor = int(state["asn_cursor"])
+    builder._sbl_cursor = int(state["sbl_cursor"])
+    builder._pool_blocks = {
+        rir: AddressRange(int(start), int(end))
+        for rir, (start, end) in state["pool_blocks"].items()
+    }
+    builder._pool_top_cursor = {
+        rir: int(cursor)
+        for rir, cursor in state["pool_top_cursor"].items()
+    }
+    builder._filtering_ids = frozenset(
+        peer.peer_id for peer in world.peers.peers() if peer.filters_drop
+    )
+    builder._full_table_ids = world.peers.full_table_peer_ids()
+    builder._all_observers = world.peers.peer_ids()
+    builder.topology._rng.bit_generator.state = state["topology_rng_state"]
+
+
+def fork_scenario_world(
+    scenario: Scenario,
+    base_world,
+    base_state: dict,
+    *,
+    instrumentation=None,
+):
+    """Apply a scenario's overlays to a fork of a shared base world.
+
+    ``base_world`` / ``base_state`` come from :func:`build_base_world`
+    (or a base cache entry); the base is never mutated, so one loaded
+    base serves any number of cells.  Cost is O(overlay): the fork
+    clones only the director-touched tables and the fresh builder
+    regenerates just the transit core (70 nodes).  Fault site
+    ``base.fork`` fails the forking cell without touching the base.
+    """
+    from ..runtime.faults import fault_point
+    from ..synth.builder import WorldBuilder
+
+    fault_point("base.fork", instrumentation=instrumentation)
+    world = base_world.fork()
+    world.config = scenario.base.to_config()
+    builder = WorldBuilder(world.config, instrumentation=instrumentation)
+    _restore_builder(builder, world, base_state)
     director = ScenarioDirector(builder, scenario)
     with builder.instrumentation.stage("scenario-overlays", group="build"):
         world.truth.scenario = director.apply()

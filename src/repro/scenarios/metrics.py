@@ -11,16 +11,25 @@ Attack intervals are matched by ``(prefix, origin, active day)``, not
 by prefix alone: for a same-prefix hijack the victim's own interval is
 active on the attack day too, and a naive union over
 ``peers_observing`` would report total visibility for every cell.
+
+:func:`evaluate_scenario_from_index` computes the identical document
+from a persisted :class:`~repro.query.index.QueryIndex` plus the truth
+sidecar — no world load at all, which is what makes warm sweep cells
+nearly free.  Parity holds exactly: index observer sets are interned
+pre-intersected with the full-table peer set, and partial observations
+are filtered to full-table peers at build time, so the index-side
+union equals the world-side ``observers & full_table``.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from datetime import date
+from typing import Callable
 
 from .compose import AttackTruth, ScenarioTruth
 
-__all__ = ["evaluate_scenario"]
+__all__ = ["evaluate_scenario", "evaluate_scenario_from_index"]
 
 
 def _attack_observers(world, attack: AttackTruth, day: date) -> frozenset[int]:
@@ -32,25 +41,18 @@ def _attack_observers(world, attack: AttackTruth, day: date) -> frozenset[int]:
     return frozenset(observers)
 
 
-def _visibility(world, attack: AttackTruth, day: date, full: frozenset[int]) -> float:
-    return len(_attack_observers(world, attack, day) & full) / max(1, len(full))
-
-
-def evaluate_scenario(world, truth: ScenarioTruth) -> dict:
-    """Per-attack and per-family effectiveness numbers (JSON-ready).
-
-    ``visibility`` is the fraction of full-table peers carrying the
-    attack on the attack day; ``blocked`` is its complement;
-    ``post_listing_visibility`` is measured on the listing day (equal
-    to ``visibility`` for families DROP never lists).
-    """
-    full = world.peers.full_table_peer_ids()
+def _rollup(
+    truth: ScenarioTruth,
+    total_peers: int,
+    visibility_on: Callable[[AttackTruth, date], float],
+) -> dict:
+    """The shared metrics document, given a per-day visibility function."""
     per_attack = []
     by_family: dict[str, list[dict]] = defaultdict(list)
     for attack in truth.attacks:
-        visibility = _visibility(world, attack, attack.attack_day, full)
+        visibility = visibility_on(attack, attack.attack_day)
         post_day = attack.listed_day or attack.attack_day
-        post = _visibility(world, attack, post_day, full)
+        post = visibility_on(attack, post_day)
         row = {
             "family": attack.family,
             "index": attack.index,
@@ -77,7 +79,7 @@ def evaluate_scenario(world, truth: ScenarioTruth) -> dict:
         }
 
     return {
-        "full_table_peers": len(full),
+        "full_table_peers": total_peers,
         "defenses": {
             "rov_rate": round(truth.realized_rov_rate, 6),
             "route_server_rate": round(
@@ -88,3 +90,39 @@ def evaluate_scenario(world, truth: ScenarioTruth) -> dict:
         "families": families,
         "attacks": per_attack,
     }
+
+
+def evaluate_scenario(world, truth: ScenarioTruth) -> dict:
+    """Per-attack and per-family effectiveness numbers (JSON-ready).
+
+    ``visibility`` is the fraction of full-table peers carrying the
+    attack on the attack day; ``blocked`` is its complement;
+    ``post_listing_visibility`` is measured on the listing day (equal
+    to ``visibility`` for families DROP never lists).
+    """
+    full = world.peers.full_table_peer_ids()
+
+    def visibility_on(attack: AttackTruth, day: date) -> float:
+        observed = _attack_observers(world, attack, day) & full
+        return len(observed) / max(1, len(full))
+
+    return _rollup(truth, len(full), visibility_on)
+
+
+def evaluate_scenario_from_index(index, truth: ScenarioTruth) -> dict:
+    """:func:`evaluate_scenario`, from a query index instead of a world.
+
+    ``index`` is a :class:`~repro.query.index.QueryIndex` built from
+    the same scenario world (typically reloaded from the cache entry's
+    persisted sidecar); the returned document is byte-equal to the
+    world-based evaluation.
+    """
+
+    def visibility_on(attack: AttackTruth, day: date) -> float:
+        observers: set[int] = set()
+        for entry in index.routes.get(attack.attack_prefix) or ():
+            if entry.active_on(day) and entry.origin == attack.attack_origin:
+                observers |= entry.observers_on(day, index.observer_sets)
+        return len(observers) / max(1, index.total_peers)
+
+    return _rollup(truth, index.total_peers, visibility_on)

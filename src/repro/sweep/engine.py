@@ -4,17 +4,27 @@ Each cell is one scenario fetched through the scenario cache
 (:meth:`~repro.runtime.cache.WorldCache.fetch_scenario`) and scored
 with :func:`~repro.scenarios.metrics.evaluate_scenario` — so a cell
 that already ran is a cache hit and a resumed sweep builds zero
-worlds.  Cells run via :func:`~repro.runtime.runner.parallel_map`,
-inheriting its worker-loss recovery: a dying worker (OOM kill,
-injected ``crash@sweep.cell:*``) breaks the pool and the whole map
-re-runs serially in the parent, costing wall time but never results.
+worlds.  Before any cell runs, the engine groups the grid by base
+cache key and prefetches each distinct base snapshot once
+(:meth:`~repro.runtime.cache.WorldCache.fetch_base`): cold cells then
+pay only for their overlay fork, not a full world build.  A warm cell
+goes further and skips the world load entirely — the truth sidecar
+plus the persisted query index answer
+:func:`~repro.scenarios.metrics.evaluate_scenario_from_index` with
+byte-equal metrics.
+
+Cells run via :func:`~repro.runtime.runner.parallel_map`, inheriting
+its worker-loss recovery: a dying worker (OOM kill, injected
+``crash@sweep.cell:*``) breaks the pool and the whole map re-runs
+serially in the parent, costing wall time but never results.
 
 Failures are per-cell, not per-sweep: a cell that raises is reported
 with its failure kind while the other cells complete, and the CLI
 turns "some cells failed" into exit 3 (degraded) with the kinds on
 stderr.  Fault sites: ``sweep.plan`` (grid expansion),
 ``sweep.cell:<name>`` (inside the worker, before the fetch),
-``sweep.collect`` (result merge in the parent).
+``sweep.collect`` (result merge in the parent); base prefetch rides
+the ``base.*`` sites documented in :mod:`repro.runtime.faults`.
 """
 
 from __future__ import annotations
@@ -24,12 +34,20 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..errors import CacheCorruptionError
 from ..obs import Instrumentation
+from ..query.index import load_or_build_index, load_persisted_index
 from ..runtime import faults
-from ..runtime.cache import WorldCache, default_cache_root
+from ..runtime.cache import (
+    WorldCache,
+    base_cache_key,
+    default_cache_root,
+    scenario_cache_key,
+)
 from ..runtime.faults import fault_point
 from ..runtime.runner import parallel_map
-from ..scenarios.metrics import evaluate_scenario
+from ..scenarios.compose import ScenarioTruth
+from ..scenarios.metrics import evaluate_scenario, evaluate_scenario_from_index
 from ..scenarios.spec import Scenario
 from .report import sweep_report
 from .spec import SweepSpec
@@ -92,11 +110,42 @@ def _mark_if_child(parent_pid: int) -> None:
         faults.mark_worker_process()
 
 
+def _fast_path_metrics(
+    cache: WorldCache, scenario, key: str, instr: Instrumentation
+) -> dict | None:
+    """Warm-cell metrics without a world load, or None to take the
+    full path.
+
+    A hit needs both the spec-checked truth sidecar and a trustworthy
+    persisted query index in the entry; anything torn or missing falls
+    back to :meth:`~repro.runtime.cache.WorldCache.fetch_scenario`,
+    whose own eviction discipline handles the cleanup.
+    """
+    directory = cache.root / "scenarios" / key
+    if not directory.exists():
+        return None
+    try:
+        truth = WorldCache._load_scenario_truth(
+            directory, scenario, ScenarioTruth
+        )
+    except CacheCorruptionError:
+        return None
+    index = load_persisted_index(
+        directory, expected_key=key, instrumentation=instr
+    )
+    if index is None:
+        return None
+    return evaluate_scenario_from_index(index, truth)
+
+
 def _run_cell(task: tuple) -> dict:
     """One cell, in a worker: fetch through the cache and evaluate.
 
     Module-level and dict-in/dict-out so it crosses the process pool;
-    the worker's counters ride along for the parent to merge.
+    the worker's counters ride along for the parent to merge.  Warm
+    cells resolve from the truth sidecar + persisted index alone; a
+    miss forks the (prefetched) base, evaluates the world, and
+    persists the index so the next run takes the fast path.
     """
     name, family, axes, scenario_json, cache_root, refresh = task
     started = time.perf_counter()
@@ -116,17 +165,65 @@ def _run_cell(task: tuple) -> dict:
     try:
         fault_point(f"sweep.cell:{name}", instrumentation=instr)
         scenario = Scenario.from_json(scenario_json)
-        outcome = WorldCache(Path(cache_root)).fetch_scenario(
-            scenario, instrumentation=instr, refresh=refresh
-        )
-        doc["cache_status"] = outcome.status
-        doc["key"] = outcome.key
-        doc["metrics"] = evaluate_scenario(outcome.world, outcome.truth)
+        cache = WorldCache(Path(cache_root))
+        metrics = None
+        if not refresh:
+            key = scenario_cache_key(scenario)
+            metrics = _fast_path_metrics(cache, scenario, key, instr)
+            if metrics is not None:
+                doc["cache_status"] = "hit"
+                doc["key"] = key
+                instr.incr("scenario_cache_hits")
+                instr.incr("sweep_fast_path_hits")
+        if metrics is None:
+            outcome = cache.fetch_scenario(
+                scenario, instrumentation=instr, refresh=refresh
+            )
+            doc["cache_status"] = outcome.status
+            doc["key"] = outcome.key
+            metrics = evaluate_scenario(outcome.world, outcome.truth)
+            if outcome.directory.exists():
+                # Best-effort: persist the query index next to the entry
+                # so the next warm run never loads the world.  A store
+                # failure costs only future speed.
+                try:
+                    load_or_build_index(
+                        outcome.world,
+                        outcome.directory,
+                        key=outcome.key,
+                        instrumentation=instr,
+                    )
+                except Exception:
+                    pass
+        doc["metrics"] = metrics
         doc["status"] = "ok"
     except Exception as error:
         doc["kind"] = getattr(error, "code", None) or type(error).__name__
         doc["error"] = str(error)
     doc["seconds"] = round(time.perf_counter() - started, 6)
+    doc["counters"] = dict(instr.counters)
+    return doc
+
+
+def _prefetch_base(task: tuple) -> dict:
+    """Warm one base snapshot entry, in a worker (best-effort).
+
+    Failures are swallowed: a cell whose base could not be prefetched
+    builds it itself through the ordinary miss path.
+    """
+    base_json, cache_root, jobs = task
+    instr = Instrumentation()
+    doc = {"ok": True, "error": None, "counters": {}}
+    try:
+        from ..scenarios.spec import WorldScale
+
+        base = WorldScale(**base_json)
+        WorldCache(Path(cache_root)).fetch_base(
+            base, instrumentation=instr, jobs=jobs
+        )
+    except Exception as error:
+        doc["ok"] = False
+        doc["error"] = str(error)
     doc["counters"] = dict(instr.counters)
     return doc
 
@@ -167,6 +264,53 @@ def run_sweep(
         )
         for name, scenario in cells
     ]
+
+    # Prefetch each distinct base snapshot exactly once, before any cell
+    # runs: cold cells then fork the shared base instead of rebuilding
+    # the world from scratch.  Only bases some cell will actually miss
+    # on are fetched — a fully warm sweep touches no base at all.
+    # Best-effort — a failed prefetch just means the cells build their
+    # own base through the miss path.
+    bases: dict[str, object] = {}
+    for _, scenario in cells:
+        entry = root / "scenarios" / scenario_cache_key(scenario)
+        if refresh or not entry.exists():
+            bases.setdefault(base_cache_key(scenario.base), scenario.base)
+    bases_before = instr.counters.get("base_cache_misses", 0)
+    base_started = time.perf_counter()
+    with instr.stage("sweep-bases", group="sweep"):
+        if len(bases) == 1:
+            # A single base gets the whole job budget for its sharded
+            # build (the common case: SweepSpec is one scale + seed).
+            try:
+                WorldCache(root).fetch_base(
+                    next(iter(bases.values())),
+                    instrumentation=instr,
+                    jobs=jobs,
+                )
+            except Exception as error:
+                instr.warn(f"base prefetch failed ({error}); cells rebuild")
+        elif bases:
+            prefetch_tasks = [
+                ({"scale": base.scale, "seed": base.seed}, str(root), 1)
+                for base in bases.values()
+            ]
+            for doc in parallel_map(
+                _prefetch_base,
+                prefetch_tasks,
+                jobs=min(jobs, len(bases)),
+                initializer=_mark_if_child,
+                initargs=(os.getpid(),),
+            ):
+                for counter, amount in doc["counters"].items():
+                    instr.incr(counter, amount)
+                if not doc["ok"]:
+                    instr.warn(
+                        f"base prefetch failed ({doc['error']}); "
+                        f"cells rebuild"
+                    )
+    base_seconds = time.perf_counter() - base_started
+
     with instr.stage("sweep-run", group="sweep"):
         raw = parallel_map(
             _run_cell,
@@ -196,9 +340,22 @@ def run_sweep(
             results.append(result)
             if result.status == "ok":
                 instr.incr("sweep_cells_ok")
-                if result.cache_status in ("miss", "refresh"):
-                    instr.incr("sweep_worlds_built")
             else:
                 instr.incr("sweep_cells_failed")
-        report = sweep_report(spec, results)
+            # Counted outside the ok branch so the counter agrees with
+            # :attr:`SweepOutcome.worlds_built`: a cell that built its
+            # world and then failed evaluation still built a world.
+            if result.cache_status in ("miss", "refresh"):
+                instr.incr("sweep_worlds_built")
+        bases_built = (
+            instr.counters.get("base_cache_misses", 0) - bases_before
+        )
+        if bases_built:
+            instr.incr("sweep_bases_built", bases_built)
+        report = sweep_report(
+            spec,
+            results,
+            bases_built=bases_built,
+            base_seconds=round(base_seconds, 6),
+        )
     return SweepOutcome(spec=spec, cells=tuple(results), report=report)

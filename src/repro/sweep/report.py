@@ -59,12 +59,20 @@ def _curves(cells: list, family: str) -> dict:
     return curves
 
 
-def sweep_report(spec, cells: list) -> dict:
+def sweep_report(
+    spec,
+    cells: list,
+    *,
+    bases_built: int = 0,
+    base_seconds: float = 0.0,
+) -> dict:
     """The comparative report for one sweep (JSON-ready).
 
     ``cells`` are :class:`~repro.sweep.engine.CellResult`-shaped
     objects; failed cells are listed with their kinds but excluded
-    from every aggregate.
+    from every aggregate.  ``bases_built`` / ``base_seconds`` describe
+    the shared base-snapshot prefetch (how many distinct bases were
+    actually built, and the wall-clock the prefetch phase took).
     """
     ok = [c for c in cells if c.status == "ok"]
     by_family: dict[str, list] = defaultdict(list)
@@ -96,9 +104,15 @@ def sweep_report(spec, cells: list) -> dict:
         "cells_run": len(cells),
         "cells_ok": len(ok),
         "cells_failed": len(cells) - len(ok),
+        # All cells, not just ok ones: a cell that built a world and
+        # then failed evaluation still built a world (keeps this count
+        # in lockstep with SweepOutcome.worlds_built and the
+        # sweep_worlds_built counter).
         "worlds_built": sum(
-            1 for c in ok if c.cache_status in ("miss", "refresh")
+            1 for c in cells if c.cache_status in ("miss", "refresh")
         ),
+        "bases_built": bases_built,
+        "base_seconds": base_seconds,
         "families": families,
         "cells": [
             {
@@ -169,7 +183,8 @@ def render_sweep_table(report: dict) -> str:
             lines.append("  ".join("-" * w for w in widths))
     summary = (
         f"{report['name']}: {report['cells_ok']}/{report['cells_run']} "
-        f"cells ok, {report['worlds_built']} worlds built "
+        f"cells ok, {report['worlds_built']} worlds built, "
+        f"{report.get('bases_built', 0)} bases built "
         f"(grid {report['grid_size']}, scale {report['scale']}, "
         f"seed {report['seed']})"
     )

@@ -119,3 +119,42 @@ class World:
     def study_window(self) -> DateWindow:
         """The DROP measurement window (alias of :attr:`window`)."""
         return self.window
+
+    def fork(self) -> "World":
+        """A copy-on-write fork for scenario overlay application.
+
+        Clones exactly the tables the
+        :class:`~repro.scenarios.compose.ScenarioDirector` appends to
+        (announcements, ROAs, DROP episodes, SBL records, the
+        allocation registry) and shares everything overlays never touch
+        (peers, the IRR, manual overrides, window, config).  The fork
+        gets a fresh :class:`GroundTruth` container with the base's
+        per-field state shared and ``scenario`` cleared, so many forks
+        of one base can each carry their own director truth.  The
+        original world must be treated read-only afterwards — which it
+        is by construction: only directors mutate worlds post-build,
+        and they run against forks.
+        """
+        return World(
+            config=self.config,
+            window=self.window,
+            peers=self.peers,
+            bgp=self.bgp.fork(),
+            resources=self.resources.fork(),
+            irr=self.irr,
+            roas=self.roas.fork(),
+            drop=self.drop.fork(),
+            sbl=self.sbl.fork(),
+            manual_overrides=self.manual_overrides,
+            truth=GroundTruth(
+                drop=self.truth.drop,
+                filtering_peer_ids=self.truth.filtering_peer_ids,
+                case_study=self.truth.case_study,
+                hijacker_orgs=self.truth.hijacker_orgs,
+                unrouted_signed_holders=self.truth.unrouted_signed_holders,
+                operator_as0_prefix=self.truth.operator_as0_prefix,
+                background_signed=self.truth.background_signed,
+                as0_filterable=self.truth.as0_filterable,
+                scenario=None,
+            ),
+        )

@@ -1,0 +1,270 @@
+"""Base-snapshot fork tests: byte identity, shared caching, faults.
+
+The contract that makes the base cache safe to exist at all: a world
+forked from a shared base snapshot and overlaid by the director is
+byte-identical to one built from scratch for the same scenario, for
+every attack family crossed with every defense.  The fault tests pin
+the failure semantics of the ``base.*`` sites — a torn or unreadable
+base entry evicts and rebuilds, never poisoning the cells forked from
+it.
+"""
+
+import filecmp
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import Instrumentation
+from repro.runtime import cache as cache_mod
+from repro.runtime import faults
+from repro.runtime.cache import WorldCache
+from repro.scenarios import Scenario, build_scenario_world
+from repro.scenarios.compose import build_base_world, fork_scenario_world
+from repro.scenarios.metrics import (
+    evaluate_scenario,
+    evaluate_scenario_from_index,
+)
+from repro.scenarios.spec import ATTACK_FAMILIES, DEFENSE_KINDS, WorldScale
+from repro.query.index import build_index
+from repro.synth import save_world
+
+
+@pytest.fixture(autouse=True)
+def _fresh_base_lru():
+    """Each test starts without in-memory base snapshots."""
+    cache_mod._BASE_LRU.clear()
+    yield
+    cache_mod._BASE_LRU.clear()
+
+
+def _tree(directory: Path) -> dict[str, Path]:
+    return {
+        str(p.relative_to(directory)): p
+        for p in sorted(directory.rglob("*"))
+        if p.is_file()
+    }
+
+
+def _assert_same_archives(scratch_dir: Path, fork_dir: Path) -> None:
+    scratch_files = _tree(scratch_dir)
+    fork_files = _tree(fork_dir)
+    assert set(scratch_files) == set(fork_files)
+    different = [
+        name
+        for name in scratch_files
+        if not filecmp.cmp(
+            scratch_files[name], fork_files[name], shallow=False
+        )
+    ]
+    assert different == [], f"forked archives differ from scratch: {different}"
+
+
+class TestForkScratchGolden:
+    @pytest.mark.parametrize("seed", (2022, 5))
+    def test_forked_overlays_match_scratch_byte_for_byte(
+        self, tmp_path, seed
+    ):
+        base = WorldScale(scale="tiny", seed=seed)
+        base_world, base_state = build_base_world(base)
+        for family, attack_cls in ATTACK_FAMILIES.items():
+            for kind, defense_cls in DEFENSE_KINDS.items():
+                scenario = Scenario(
+                    name=f"{family}/{kind}",
+                    base=base,
+                    attacks=(attack_cls(),),
+                    defenses=(defense_cls(),),
+                )
+                scratch_dir = tmp_path / f"scratch-{family}-{kind}"
+                fork_dir = tmp_path / f"fork-{family}-{kind}"
+                save_world(
+                    build_scenario_world(scenario),
+                    scratch_dir,
+                    drop_step_days=1,
+                )
+                forked = fork_scenario_world(
+                    scenario, base_world, base_state
+                )
+                save_world(forked, fork_dir, drop_step_days=1)
+                _assert_same_archives(scratch_dir, fork_dir)
+
+    def test_forks_leave_the_base_untouched_and_isolated(self):
+        base = WorldScale()
+        base_world, base_state = build_base_world(base)
+        sizes = (
+            len(base_world.bgp),
+            len(base_world.roas),
+            len(base_world.drop),
+            len(base_world.sbl),
+        )
+        first = fork_scenario_world(
+            Scenario(attacks=(ATTACK_FAMILIES["prefix-hijack"](),)),
+            base_world,
+            base_state,
+        )
+        second = fork_scenario_world(
+            Scenario(attacks=(ATTACK_FAMILIES["as0-misconfig"](),)),
+            base_world,
+            base_state,
+        )
+        assert sizes == (
+            len(base_world.bgp),
+            len(base_world.roas),
+            len(base_world.drop),
+            len(base_world.sbl),
+        )
+        assert base_world.truth.scenario is None
+        assert first.truth.scenario is not second.truth.scenario
+        assert first.truth.scenario.attacks[0].family == "prefix-hijack"
+        assert second.truth.scenario.attacks[0].family == "as0-misconfig"
+
+
+class TestIndexMetricsParity:
+    def test_index_evaluation_equals_world_evaluation(self):
+        base = WorldScale()
+        base_world, base_state = build_base_world(base)
+        for family, attack_cls in ATTACK_FAMILIES.items():
+            scenario = Scenario(
+                name=family,
+                attacks=(attack_cls(),),
+                defenses=(DEFENSE_KINDS["rov"](rate=0.5),),
+            )
+            world = fork_scenario_world(scenario, base_world, base_state)
+            truth = world.truth.scenario
+            from_world = evaluate_scenario(world, truth)
+            from_index = evaluate_scenario_from_index(
+                build_index(world), truth
+            )
+            assert from_index == from_world
+
+
+class TestBaseCache:
+    def test_memory_then_disk_hits(self, tmp_path):
+        cache = WorldCache(tmp_path / "cache")
+        base = WorldScale()
+        instr = Instrumentation()
+        first = cache.fetch_base(base, instrumentation=instr)
+        assert first.status == "miss"
+        assert instr.counters["base_cache_misses"] == 1
+        second = cache.fetch_base(base, instrumentation=instr)
+        assert second.status == "hit"
+        assert second.world is first.world  # in-memory LRU, no load
+        cache_mod._BASE_LRU.clear()
+        third = cache.fetch_base(base, instrumentation=instr)
+        assert third.status == "hit"
+        assert third.world is not first.world  # reloaded from disk
+        assert instr.counters["base_cache_hits"] == 2
+        assert instr.counters["base_cache_misses"] == 1
+
+    def test_state_sidecar_round_trips_exactly(self, tmp_path):
+        cache = WorldCache(tmp_path / "cache")
+        base = WorldScale()
+        built = cache.fetch_base(base)
+        cache_mod._BASE_LRU.clear()
+        loaded = cache.fetch_base(base)
+        assert loaded.status == "hit"
+        assert loaded.state == json.loads(json.dumps(built.state))
+
+    def test_scenario_misses_share_one_base_build(self, tmp_path):
+        cache = WorldCache(tmp_path / "cache")
+        instr = Instrumentation()
+        for family in ("prefix-hijack", "subprefix-hijack", "roa-downgrade"):
+            out = cache.fetch_scenario(
+                Scenario(
+                    name=family, attacks=(ATTACK_FAMILIES[family](),)
+                ),
+                instrumentation=instr,
+            )
+            assert out.status == "miss"
+        assert instr.counters["base_cache_misses"] == 1
+        assert instr.counters["base_cache_hits"] == 2
+
+    def test_refresh_rebuilds_scenario_but_not_base(self, tmp_path):
+        cache = WorldCache(tmp_path / "cache")
+        scenario = Scenario(attacks=(ATTACK_FAMILIES["prefix-hijack"](),))
+        cache.fetch_scenario(scenario)
+        instr = Instrumentation()
+        out = cache.fetch_scenario(
+            scenario, instrumentation=instr, refresh=True
+        )
+        assert out.status == "refresh"
+        assert instr.counters["base_cache_hits"] == 1
+        assert "base_cache_misses" not in instr.counters
+
+
+class TestBaseFaults:
+    def test_save_io_error_degrades_to_uncached(self, tmp_path):
+        cache = WorldCache(tmp_path / "cache")
+        instr = Instrumentation()
+        with faults.injected("io-error@base.save"):
+            with pytest.warns(RuntimeWarning, match="continuing uncached"):
+                out = cache.fetch_base(WorldScale(), instrumentation=instr)
+        assert out.status == "miss"
+        assert not out.directory.exists()
+        assert instr.counters["world_cache_store_errors"] == 1
+        # The in-memory base still serves forks.
+        forked = fork_scenario_world(
+            Scenario(attacks=(ATTACK_FAMILIES["prefix-hijack"](),)),
+            out.world,
+            out.state,
+        )
+        assert forked.truth.scenario is not None
+
+    def test_torn_base_entry_evicts_and_never_poisons_cells(self, tmp_path):
+        cache = WorldCache(tmp_path / "cache")
+        with faults.injected("truncate@base.store"):
+            torn = cache.fetch_base(WorldScale())
+        assert torn.directory.exists()  # published, but torn
+        cache_mod._BASE_LRU.clear()
+        instr = Instrumentation()
+        rebuilt = cache.fetch_base(WorldScale(), instrumentation=instr)
+        assert rebuilt.status == "miss"
+        assert instr.counters["base_cache_evictions"] == 1
+        # Cells forked from the rebuilt base score identically to a
+        # from-scratch build: the torn entry never leaked downstream.
+        scenario = Scenario(
+            attacks=(ATTACK_FAMILIES["subprefix-hijack"](),)
+        )
+        cell = cache.fetch_scenario(scenario, instrumentation=instr)
+        scratch = build_scenario_world(scenario)
+        assert evaluate_scenario(cell.world, cell.truth) == (
+            evaluate_scenario(scratch, scratch.truth.scenario)
+        )
+
+    def test_load_fault_evicts_and_rebuilds(self, tmp_path):
+        cache = WorldCache(tmp_path / "cache")
+        cache.fetch_base(WorldScale())
+        cache_mod._BASE_LRU.clear()
+        instr = Instrumentation()
+        with faults.injected("io-error@base.load"):
+            out = cache.fetch_base(WorldScale(), instrumentation=instr)
+        assert out.status == "miss"
+        assert instr.counters["base_cache_evictions"] == 1
+        assert out.directory.exists()  # republished clean
+
+    def test_fork_fault_fails_the_cell_and_leaves_base_reusable(
+        self, tmp_path
+    ):
+        cache = WorldCache(tmp_path / "cache")
+        scenario = Scenario(attacks=(ATTACK_FAMILIES["roa-downgrade"](),))
+        instr = Instrumentation()
+        with faults.injected("io-error@base.fork"):
+            with pytest.raises(OSError):
+                cache.fetch_scenario(scenario, instrumentation=instr)
+        retry = cache.fetch_scenario(scenario, instrumentation=instr)
+        assert retry.status == "miss"
+        assert instr.counters["base_cache_misses"] == 1  # built once
+        assert instr.counters["base_cache_hits"] == 1  # reused on retry
+
+    def test_foreign_base_entry_is_evicted(self, tmp_path):
+        cache = WorldCache(tmp_path / "cache")
+        out = cache.fetch_base(WorldScale())
+        meta_path = out.directory / "cache-key.json"
+        meta = json.loads(meta_path.read_text())
+        meta["base"]["seed"] = 999
+        meta_path.write_text(json.dumps(meta))
+        cache_mod._BASE_LRU.clear()
+        instr = Instrumentation()
+        again = cache.fetch_base(WorldScale(), instrumentation=instr)
+        assert again.status == "miss"
+        assert instr.counters["base_cache_evictions"] == 1

@@ -10,6 +10,7 @@ import pytest
 from repro.obs import Instrumentation
 from repro.runtime import faults
 from repro.sweep import SweepSpec, run_sweep
+import repro.sweep.engine as engine_mod
 
 #: The standard 2-cell sweep the engine/CLI tests share via the cache.
 SPEC = SweepSpec(
@@ -60,6 +61,71 @@ class TestRunAndResume:
         # ROV bites: higher deployment, lower attack visibility.
         assert curve[1]["visibility"] < curve[0]["visibility"]
         assert report["spec"] == SPEC.canonical_dict()
+
+
+class TestBaseSnapshots:
+    def test_cold_sweep_builds_one_base_and_warm_builds_none(
+        self, tmp_path
+    ):
+        from repro.runtime import cache as cache_mod
+
+        cache_mod._BASE_LRU.clear()
+        root = tmp_path / "cache"
+        cold_instr = Instrumentation()
+        cold = run_sweep(SPEC, cache_root=root, instrumentation=cold_instr)
+        assert [c.status for c in cold.cells] == ["ok", "ok"]
+        # One distinct scale+seed in the grid: exactly one base built,
+        # shared by every cell.
+        assert cold.report["bases_built"] == 1
+        assert cold.report["base_seconds"] > 0
+        assert cold_instr.counters.get("sweep_bases_built") == 1
+        assert cold_instr.counters.get("base_cache_misses") == 1
+
+        warm_instr = Instrumentation()
+        warm = run_sweep(SPEC, cache_root=root, instrumentation=warm_instr)
+        assert [c.cache_status for c in warm.cells] == ["hit", "hit"]
+        assert warm.report["bases_built"] == 0
+        assert warm_instr.counters.get("sweep_bases_built") is None
+        assert warm_instr.counters.get("sweep_fast_path_hits") == 2
+
+    def test_warm_cells_never_load_a_world(self, tmp_path, monkeypatch):
+        root = tmp_path / "cache"
+        cold = run_sweep(SPEC, cache_root=root)
+        assert [c.status for c in cold.cells] == ["ok", "ok"]
+
+        def boom(directory):
+            raise AssertionError(f"warm sweep loaded a world: {directory}")
+
+        # jobs=1 runs cells serially in the parent, so the monkeypatch
+        # reaches them; any attempt to load a world archive fails loud.
+        monkeypatch.setattr("repro.runtime.cache.load_world", boom)
+        warm = run_sweep(SPEC, cache_root=root)
+        assert [c.status for c in warm.cells] == ["ok", "ok"]
+        assert [c.cache_status for c in warm.cells] == ["hit", "hit"]
+        assert _metric_rows(warm) == _metric_rows(cold)
+
+
+class TestWorldsBuiltAccounting:
+    def test_failed_cell_still_counts_its_built_world(
+        self, tmp_path, monkeypatch
+    ):
+        # A cell can build its world and then die in evaluation; the
+        # counter, the report, and the outcome property must agree that
+        # the world was built (the property always counted it — the
+        # counter used to skip non-ok cells).
+        def explode(world, truth):
+            raise RuntimeError("evaluation exploded")
+
+        monkeypatch.setattr(engine_mod, "evaluate_scenario", explode)
+        instr = Instrumentation()
+        outcome = run_sweep(
+            SPEC, cache_root=tmp_path / "cache", instrumentation=instr
+        )
+        assert [c.status for c in outcome.cells] == ["failed", "failed"]
+        assert [c.cache_status for c in outcome.cells] == ["miss", "miss"]
+        assert outcome.worlds_built == 2
+        assert outcome.report["worlds_built"] == 2
+        assert instr.counters.get("sweep_worlds_built") == 2
 
 
 class TestFailureIsolation:
