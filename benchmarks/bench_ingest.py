@@ -1,0 +1,171 @@
+"""Incremental ingest costs: daily delta apply vs full as-of rebuild.
+
+Two entry points share the measurement code, mirroring
+``bench_store.py``:
+
+* pytest-benchmark functions (``bench_ingest_compute_delta``,
+  ``bench_ingest_advance_day``) picked up with the rest of the bench
+  suite, and
+* a standalone mode — ``python benchmarks/bench_ingest.py --scale paper
+  --out BENCH_ingest.json --check`` — recording this PR's acceptance
+  numbers as a JSON artifact: per-day :meth:`Ingestor.advance` latency
+  over a week of deltas, the cost of rebuilding the same as-of index
+  from scratch with :func:`build_index_as_of`, and a byte-identity
+  check that the incrementally advanced engine answers exactly what
+  the rebuilt one does.  ``--smoke`` shrinks everything for CI;
+  ``--check`` enforces the gates: incremental == rebuilt always, and
+  at paper scale a daily delta apply at least
+  :data:`APPLY_SPEEDUP_TARGET`× faster than the rebuild.
+"""
+
+import argparse
+import json
+import sys
+from datetime import timedelta
+from pathlib import Path
+from time import perf_counter
+
+from repro.ingest import Ingestor, build_index_as_of
+from repro.query import QueryEngine
+from repro.runtime import WorldCache
+from repro.synth import ScenarioConfig
+
+_SCALES = {
+    "tiny": ScenarioConfig.tiny,
+    "small": ScenarioConfig.small,
+    "paper": ScenarioConfig.paper,
+}
+
+#: A daily delta apply must beat the full as-of rebuild by this much.
+APPLY_SPEEDUP_TARGET = 20.0
+
+#: Days of deltas the artifact run applies (one serving week).
+DAYS = 7
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+
+def bench_ingest_compute_delta(benchmark, world):
+    from repro.ingest import compute_delta
+
+    day = world.window.start + timedelta(days=1)
+    batch = benchmark(compute_delta, world, day)
+    assert batch.day == day
+
+
+def bench_ingest_advance_day(benchmark, world):
+    # Advancing is stateful — each round applies the ingestor's next
+    # day, so rounds stay bounded well inside the world window.
+    ingestor = Ingestor(world)
+    results = benchmark.pedantic(ingestor.advance, rounds=5, iterations=1)
+    assert len(results) == 1
+    assert ingestor.days_applied == 5
+
+
+# ---------------------------------------------------------------------------
+# standalone artifact mode
+# ---------------------------------------------------------------------------
+
+
+def _sample_prefixes(index):
+    prefixes = [p for i, p in enumerate(index.drop) if i % 7 == 0]
+    prefixes += [p for i, p in enumerate(index.routes) if i % 41 == 0]
+    prefixes += [p for i, p in enumerate(index.roa) if i % 19 == 0]
+    return prefixes
+
+
+def _engine_outputs(engine, prefixes, days) -> str:
+    rows = []
+    for prefix in prefixes:
+        for day in days:
+            rows.append(
+                json.dumps(
+                    engine.lookup(prefix, day).to_dict(), sort_keys=True
+                )
+            )
+    return "\n".join(rows)
+
+
+def run(scale: str, *, days: int = DAYS, out: Path | None = None) -> dict:
+    config = _SCALES[scale]()
+    outcome = WorldCache().fetch(config)
+    world, key = outcome.world, outcome.key
+    start = world.window.start
+    final = start + timedelta(days=days)
+
+    base_started = perf_counter()
+    ingestor = Ingestor(world, key=key)
+    base_seconds = perf_counter() - base_started
+
+    per_day = []
+    for _ in range(days):
+        started = perf_counter()
+        ingestor.advance()
+        per_day.append(perf_counter() - started)
+    apply_mean = sum(per_day) / len(per_day)
+
+    rebuild_started = perf_counter()
+    rebuilt = build_index_as_of(world, final, key=key)
+    rebuild_seconds = perf_counter() - rebuild_started
+
+    # Identity: the advanced engine answers exactly what a cold as-of
+    # rebuild answers, over every store family and both window edges.
+    prefixes = _sample_prefixes(rebuilt)
+    probe_days = (start, final)
+    outputs_identical = _engine_outputs(
+        ingestor.engine, prefixes, probe_days
+    ) == _engine_outputs(QueryEngine(rebuilt), prefixes, probe_days)
+
+    speedup = rebuild_seconds / (apply_mean or 1e-9)
+    payload = {
+        "scale": scale,
+        "days_applied": days,
+        "base_build_seconds": round(base_seconds, 4),
+        "delta_apply_seconds_mean": round(apply_mean, 4),
+        "delta_apply_seconds_max": round(max(per_day), 4),
+        "rebuild_seconds": round(rebuild_seconds, 4),
+        "delta_apply_speedup": round(speedup, 1),
+        "watch_events_emitted": ingestor.events.last_seq,
+        "outputs_identical": outputs_identical,
+        "meets_targets": {
+            "delta_apply_speedup_20x": speedup >= APPLY_SPEEDUP_TARGET,
+            "outputs_identical": outputs_identical,
+        },
+    }
+    if out is not None:
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
+    parser.add_argument("--days", type=int, default=DAYS,
+                        help="days of deltas to apply")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: force the tiny scale")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the JSON artifact to FILE")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless incremental == rebuilt (and, "
+                             "at paper scale, the 20x apply target)")
+    args = parser.parse_args(argv)
+    scale = "tiny" if args.smoke else args.scale
+    payload = run(scale, days=args.days, out=args.out)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    targets = dict(payload["meets_targets"])
+    if scale != "paper":
+        # The 20x headline is a paper-scale promise: a tiny rebuild is
+        # milliseconds either way and fixed costs dominate the ratio.
+        targets.pop("delta_apply_speedup_20x")
+    if args.check and not all(targets.values()):
+        print("ingest bench targets missed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

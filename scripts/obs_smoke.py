@@ -133,7 +133,7 @@ def check_serve(extra_args=(), *, check_reload=False):
             )
             with urllib.request.urlopen(request, timeout=60) as reply:
                 payload = json.loads(reply.read())
-            if payload.get("status") != "reloaded":
+            if payload.get("data", {}).get("status") != "reloaded":
                 fail(f"admin reload answered {payload!r}")
             _, _, body = scrape(base, "/metrics")
             if "repro_server_reload_total 1" not in body:

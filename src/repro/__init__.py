@@ -16,10 +16,15 @@ against BGP, IRR, RPKI, and RIR-allocation data:
   one instrumentation API behind ``--timings``/``--trace``/``/metrics``;
 * :mod:`repro.errors` — the unified error surface (``ReproError.code``).
 
+The supported import surface is :mod:`repro.api`; every name it
+exports is also reachable directly off the package (``from repro
+import build_world``), resolved lazily so ``import repro`` stays
+cheap.  Submodules beyond that surface are internal and may change
+shape between releases.
+
 Quickstart::
 
-    from repro.synth import ScenarioConfig, build_world
-    from repro.reporting import run_experiment, render_text
+    from repro import ScenarioConfig, build_world, run_experiment, render_text
 
     world = build_world(ScenarioConfig.tiny())
     print(render_text(run_experiment(world, "tab1")))
@@ -27,30 +32,29 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-#: The unified error surface (see :mod:`repro.errors`): every one of
-#: these subclasses :class:`repro.errors.ReproError` and carries a
-#: stable ``.code``.  Resolved lazily so ``import repro`` stays cheap.
-_ERROR_EXPORTS = {
-    "ReproError": "repro.errors",
-    "CacheCorruptionError": "repro.errors",
-    "BatchParseError": "repro.query.engine",
-    "IndexLoadError": "repro.query.index",
-    "SubstrateLoadError": "repro.analysis.substrate",
-    "FaultSpecError": "repro.runtime.faults",
-    "RequestError": "repro.query.http",
-    "BadPrefixError": "repro.query.http",
-    "BadDayError": "repro.query.http",
-    "NotFoundError": "repro.query.http",
-    "ReloadError": "repro.query.http",
-}
 
-__all__ = ["__version__", *sorted(_ERROR_EXPORTS)]
+def _api_names() -> list[str]:
+    from . import api
+
+    return list(api.__all__)
 
 
 def __getattr__(name: str):
-    module_name = _ERROR_EXPORTS.get(name)
-    if module_name is None:
+    if name == "__all__":
+        value = ["__version__", *_api_names()]
+        globals()["__all__"] = value
+        return value
+    if name.startswith("_"):
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    import importlib
+    from . import api
 
-    return getattr(importlib.import_module(module_name), name)
+    try:
+        return getattr(api, name)
+    except AttributeError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | {"__all__"} | set(_api_names()))

@@ -1,0 +1,92 @@
+"""The supported public surface of :mod:`repro`, in one module.
+
+Everything a downstream user of this package should need rides here;
+anything not exported from :mod:`repro.api` is an internal detail that
+may move or change shape between releases without notice.  The split
+follows the product's layers:
+
+* **worlds** — :class:`ScenarioConfig`, :func:`build_world`,
+  :func:`load_world` / :func:`save_world`, :class:`WorldCache`,
+  :func:`world_cache_key`;
+* **experiments** — :data:`EXPERIMENTS`, :func:`run_experiment`,
+  :func:`render_text`, :func:`render_markdown`;
+* **queries** — :func:`build_index`, :class:`QueryEngine`,
+  :class:`QueryServer`, :class:`AsyncQueryServer`;
+* **sweeps** — :class:`SweepSpec`, :func:`run_sweep`;
+* **incremental ingest** — :class:`DeltaBatch`, :class:`DeltaSource`,
+  :func:`compute_delta`, :func:`apply_delta`,
+  :func:`build_index_as_of`, :class:`Ingestor`;
+* **observability** — :class:`Instrumentation`;
+* **errors** — :class:`ReproError` and its concrete family, every one
+  carrying a stable machine-readable ``.code``.
+
+Names resolve lazily (module ``__getattr__``), so ``import repro.api``
+costs nothing until a symbol is touched; ``from repro import X`` works
+for every name here too, via the package's own delegation.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+#: Every public name, mapped to the module that defines it.
+_EXPORTS = {
+    # worlds
+    "ScenarioConfig": "repro.synth",
+    "World": "repro.synth",
+    "build_world": "repro.synth",
+    "load_world": "repro.synth",
+    "save_world": "repro.synth",
+    "WorldCache": "repro.runtime",
+    "world_cache_key": "repro.runtime",
+    # experiments
+    "EXPERIMENTS": "repro.reporting",
+    "run_experiment": "repro.reporting",
+    "render_text": "repro.reporting",
+    "render_markdown": "repro.reporting",
+    # queries
+    "build_index": "repro.query",
+    "QueryEngine": "repro.query",
+    "QueryServer": "repro.query",
+    "AsyncQueryServer": "repro.query",
+    # sweeps
+    "SweepSpec": "repro.sweep",
+    "run_sweep": "repro.sweep",
+    # incremental ingest
+    "DeltaBatch": "repro.ingest",
+    "DeltaSource": "repro.ingest",
+    "compute_delta": "repro.ingest",
+    "apply_delta": "repro.ingest",
+    "build_index_as_of": "repro.ingest",
+    "Ingestor": "repro.ingest",
+    # observability
+    "Instrumentation": "repro.runtime",
+    # errors (the stable-.code family)
+    "ReproError": "repro.errors",
+    "CacheCorruptionError": "repro.errors",
+    "BatchParseError": "repro.query.engine",
+    "IndexLoadError": "repro.query.index",
+    "SubstrateLoadError": "repro.analysis.substrate",
+    "FaultSpecError": "repro.runtime.faults",
+    "RequestError": "repro.query.http",
+    "BadPrefixError": "repro.query.http",
+    "BadDayError": "repro.query.http",
+    "NotFoundError": "repro.query.http",
+    "ReloadError": "repro.query.http",
+    "IngestError": "repro.ingest",
+    "JournalLoadError": "repro.store.journal",
+    "SweepSpecError": "repro.sweep",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

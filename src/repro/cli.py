@@ -10,6 +10,8 @@ Installed as ``repro-drop``::
     repro-drop query --stdin --format table < prefixes.txt
     repro-drop serve --port 8765
     repro-drop serve --async --workers 4 --port 8765
+    repro-drop serve --as-of 2019-06-05 --state-dir ./ingest-state
+    repro-drop ingest --as-of 2019-06-05 --days 30
     repro-drop sweep --rov-rates 0,0.5,0.9 --jobs 4 --out report.json
     repro-drop sweep --spec grid.json --format table
 
@@ -211,6 +213,25 @@ def _add_world_source(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="cProfile each major stage and print the top cumulative "
         "callers to stderr",
+    )
+
+
+def _add_ingest_state(parser: argparse.ArgumentParser) -> None:
+    """The incremental-mode flags shared by ``serve`` and ``ingest``."""
+    parser.add_argument(
+        "--as-of", default=None, metavar="DATE",
+        help="start incremental mode from this as-of day "
+        "(default: the world window's start)",
+    )
+    parser.add_argument(
+        "--state-dir", type=Path, default=None, metavar="DIR",
+        help="persist the delta journal here so restarts replay "
+        "applied days instead of losing them",
+    )
+    parser.add_argument(
+        "--webhook", default=None, metavar="URL",
+        help="POST watch events to URL as they are published "
+        "(serve only; fire-and-forget)",
     )
 
 
@@ -516,10 +537,58 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return ExitCode.OK
 
 
+def _build_ingestor(args: argparse.Namespace, instr: Instrumentation):
+    """The incremental-mode :class:`~repro.ingest.Ingestor`, or a usage
+    error message.  Incremental mode always loads the world (the as-of
+    view must be rebuilt from the archives; the persisted full-knowledge
+    index cannot answer for an earlier day)."""
+    from .ingest import Ingestor
+
+    try:
+        as_of = parse_date(args.as_of) if args.as_of else None
+    except ValueError as error:
+        return None, f"bad --as-of: {error}"
+    world, _directory = _resolve_world(
+        args, instr, jobs=_resolve_jobs_arg(args)
+    )
+    window = world.window
+    start_day = as_of if as_of is not None else window.start
+    if not window.start <= start_day <= window.end:
+        return None, (
+            f"--as-of {start_day} outside the world window "
+            f"[{window.start}, {window.end}]"
+        )
+    return (
+        Ingestor(
+            world,
+            key=world_cache_key(world.config),
+            start_day=start_day,
+            state_dir=args.state_dir,
+            instrumentation=instr,
+            webhook_url=args.webhook,
+        ),
+        None,
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     instr = Instrumentation()
-    with profiled(args.profile, "query-engine"):
-        engine = _query_engine(args, instr)
+    ingestor = None
+    incremental = (
+        args.as_of is not None
+        or args.state_dir is not None
+        or args.webhook is not None
+    )
+    if incremental:
+        with profiled(args.profile, "ingest-base"):
+            ingestor, problem = _build_ingestor(args, instr)
+        if ingestor is None:
+            print(f"error: {problem}", file=sys.stderr)
+            return ExitCode.USAGE
+        engine = ingestor.engine
+    else:
+        with profiled(args.profile, "query-engine"):
+            engine = _query_engine(args, instr)
     try:
         if args.use_async:
             # Hot reload re-resolves the world source exactly like a
@@ -527,17 +596,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             # refreshed cache entry), reusing the daemon's
             # instrumentation so the counters and the registry stay
             # unified across swaps.
+            # Hot reload and incremental ingest both swap the engine;
+            # running both would let a reload silently discard applied
+            # deltas, so incremental mode disables the reload factory.
             server = AsyncQueryServer(
                 engine,
                 args.host,
                 args.port,
                 workers=args.workers,
-                reload_factory=lambda: _query_engine(args, instr),
+                reload_factory=(
+                    None
+                    if ingestor is not None
+                    else lambda: _query_engine(args, instr)
+                ),
+                ingestor=ingestor,
             )
             server.start()
-            mode = f"async, {args.workers} workers, SIGHUP//v1/admin/reload"
+            mode = f"async, {args.workers} workers"
+            if ingestor is None:
+                mode += ", SIGHUP//v1/admin/reload"
         else:
-            server = QueryServer(engine, args.host, args.port)
+            server = QueryServer(
+                engine, args.host, args.port, ingestor=ingestor
+            )
             mode = "threaded"
     except OSError as error:
         print(f"error: cannot bind {args.host}:{args.port}: {error}",
@@ -546,9 +627,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server.install_signal_handlers()
     host, port = server.server_address[:2]
     sizes = engine.index.sizes()
+    endpoints = "/v1/status, /v1/batch, /healthz, /metrics"
+    extra = ""
+    if ingestor is not None:
+        endpoints += ", /v1/watch, /v1/ingest"
+        extra = f"; incremental as of {ingestor.as_of}"
     print(
         f"serving http://{host}:{port} "
-        f"(/v1/status, /v1/batch, /healthz, /metrics; {mode}); "
+        f"({endpoints}; {mode}{extra}); "
         f"{sizes['drop_prefixes']} DROP / {sizes['roa_prefixes']} ROA / "
         f"{sizes['irr_prefixes']} IRR / {sizes['route_prefixes']} BGP "
         f"prefixes indexed",
@@ -563,6 +649,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     summary = ", ".join(f"{k.removeprefix('serve_').removesuffix('_requests')}="
                         f"{v}" for k, v in served.items()) or "no requests"
     print(f"drained cleanly ({summary})", file=sys.stderr)
+    _emit_timings(args, instr, sys.stderr)
+    _export_trace(args, instr)
+    return ExitCode.OK
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Advance a world's incremental state from the command line.
+
+    The offline twin of ``POST /v1/ingest``: builds (or recovers, via
+    ``--state-dir``) the as-of state, applies daily deltas through the
+    requested day, and prints one line per applied day.
+    """
+    from datetime import timedelta
+
+    from .ingest import IngestError
+
+    instr = Instrumentation()
+    if args.to is not None and args.days is not None:
+        print("error: pass --to or --days, not both", file=sys.stderr)
+        return ExitCode.USAGE
+    try:
+        to_day = parse_date(args.to) if args.to else None
+    except ValueError as error:
+        print(f"error: bad --to: {error}", file=sys.stderr)
+        return ExitCode.USAGE
+    with profiled(args.profile, "ingest-base"):
+        ingestor, problem = _build_ingestor(args, instr)
+    if ingestor is None:
+        print(f"error: {problem}", file=sys.stderr)
+        return ExitCode.USAGE
+    if args.days is not None:
+        to_day = ingestor.as_of + timedelta(days=args.days)
+    try:
+        with profiled(args.profile, "ingest-advance"):
+            results = ingestor.advance(to_day=to_day)
+    except IngestError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return ExitCode.FAILURE
+    for result in results:
+        if args.format == "json":
+            print(json.dumps(result.to_dict(), sort_keys=True))
+        else:
+            print(
+                f"{result.day}: applied {result.applied} delta events, "
+                f"{result.events} watch events"
+            )
+    status = ingestor.status()
+    print(
+        f"ingested through {status['as_of']} "
+        f"({status['days_applied']} days since {status['base_day']}, "
+        f"window ends {status['window_end']})",
+        file=sys.stderr,
+    )
     _emit_timings(args, instr, sys.stderr)
     _export_trace(args, instr)
     return ExitCode.OK
@@ -761,7 +900,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd = commands.add_parser(
         "serve",
         help="HTTP daemon for point-in-time lookups "
-        "(/v1/status, /v1/batch, /healthz, /metrics)",
+        "(/v1/status, /v1/batch, /healthz, /metrics; --as-of adds "
+        "/v1/watch and /v1/ingest)",
     )
     _add_world_source(serve_cmd)
     serve_cmd.add_argument("--host", default="127.0.0.1")
@@ -776,7 +916,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="async worker event loops (default: 2; ignored without "
         "--async)",
     )
+    _add_ingest_state(serve_cmd)
     serve_cmd.set_defaults(func=_cmd_serve)
+
+    ingest_cmd = commands.add_parser(
+        "ingest",
+        help="advance a world's incremental state day by day "
+        "(the offline twin of POST /v1/ingest)",
+    )
+    _add_world_source(ingest_cmd)
+    _add_ingest_state(ingest_cmd)
+    ingest_cmd.add_argument(
+        "--days", type=int, default=None, metavar="N",
+        help="apply N daily deltas (default: 1)",
+    )
+    ingest_cmd.add_argument(
+        "--to", default=None, metavar="DATE",
+        help="apply daily deltas through DATE (YYYY-MM-DD)",
+    )
+    ingest_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="per-day output format (default: text)",
+    )
+    ingest_cmd.set_defaults(func=_cmd_ingest)
 
     sweep_cmd = commands.add_parser(
         "sweep",

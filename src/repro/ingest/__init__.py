@@ -1,0 +1,39 @@
+"""Incremental ingest: daily deltas applied in place, never a rebuild.
+
+The batch pipeline builds a world and walks it; this package is the
+streaming counterpart.  One day of new input — a DROP snapshot, a slice
+of ROA archive, a day of BGP updates — becomes a
+:class:`~repro.ingest.delta.DeltaBatch`, and
+:func:`~repro.ingest.apply.apply_delta` advances the query index and
+analysis substrate copy-on-write, pinned by golden tests to land on
+exactly the state a cold rebuild of that day would produce
+(:mod:`repro.ingest.asof`).  On top sit the watch surface's events
+(:mod:`repro.ingest.events`), the durable delta journal
+(:mod:`repro.store.journal`), and the :class:`~repro.ingest.service
+.Ingestor` that the daemons drive.
+"""
+
+from __future__ import annotations
+
+from .apply import IngestError, apply_delta
+from .asof import build_index_as_of, compute_roa_status_as_of
+from .delta import DeltaBatch, DeltaSource, RouteStart, compute_delta
+from .events import EventLog, WatchEvent, WebhookPusher, evaluate_events
+from .service import AdvanceResult, Ingestor
+
+__all__ = [
+    "AdvanceResult",
+    "DeltaBatch",
+    "DeltaSource",
+    "EventLog",
+    "IngestError",
+    "Ingestor",
+    "RouteStart",
+    "WatchEvent",
+    "WebhookPusher",
+    "apply_delta",
+    "build_index_as_of",
+    "compute_delta",
+    "compute_roa_status_as_of",
+    "evaluate_events",
+]

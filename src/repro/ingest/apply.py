@@ -1,0 +1,351 @@
+"""Advance the query index and analysis substrate by one day's delta.
+
+:func:`apply_delta` is the incremental counterpart of a full
+:func:`~repro.query.index.build_index` +
+:func:`~repro.analysis.substrate.compute_roa_status` rebuild: given the
+as-of-day-(D-1) state and day D's :class:`~repro.ingest.delta
+.DeltaBatch`, it produces the as-of-day-D state — copy-on-write over
+the touched tries, the same discipline as ``World.fork()``.  The
+previous index is never mutated: touched tries are O(1)
+:meth:`~repro.net.radix.RadixTree.fork` snapshots that path-copy only
+the nodes a write descends through, untouched subtrees and every
+shared bucket list stay the old index's, and every modified bucket is
+replaced wholesale — so readers holding the old index (in-flight
+requests during a ``ServerCore`` state swap) keep a coherent view
+forever.
+
+The identity rule — K sequential ``apply_delta`` calls land on exactly
+the outputs of one cold :func:`~repro.ingest.asof.build_index_as_of` /
+:func:`~repro.ingest.asof.compute_roa_status_as_of` of the final day —
+is pinned by the golden tests in ``tests/ingest/``.  Identity is
+defined over *outputs* (query responses, report payloads), all of which
+are set- or sorted-tuple-valued: the incremental path may intern new
+observer sets at the end of the table and append new entries at the end
+of a bucket, where a cold build might number and order them
+differently, without any observable difference.
+
+A fired ``ingest.apply`` fault (or any mid-apply failure) raises before
+the substrate is touched, so the caller's previous state keeps serving
+— eviction, not poisoning, matching the ``base.*`` precedent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from datetime import date
+from typing import Callable, TypeVar
+
+from ..analysis.roa_status import (
+    RoaStatusPoint,
+    RoaStatusResult,
+    default_sample_days,
+)
+from ..analysis.substrate import AnalysisSubstrate
+from ..errors import ReproError
+from ..net.prefix import IPv4Prefix
+from ..net.prefixset import PrefixSet
+from ..net.radix import PrefixTrie
+from ..obs import Instrumentation
+from ..query.index import DropEntry, QueryIndex, RoaEntry, RouteEntry
+from ..net.asn import AS0
+from ..rirstats.rirs import ALL_RIRS
+from ..rpki.tal import TalSet
+from ..runtime.faults import fault_point
+from .delta import DeltaBatch
+
+__all__ = ["IngestError", "apply_delta"]
+
+E = TypeVar("E")
+
+
+class IngestError(ReproError, RuntimeError):
+    """A delta that cannot be applied to the current state.
+
+    Raised when a batch references an entry the index does not hold
+    open (a removal without its listing, a withdrawal without its
+    route) — the sign of a day applied twice, skipped, or out of
+    order.  The previous state is left fully intact.
+    """
+
+    code = "ingest.failed"
+
+
+def _close_entry(
+    trie: PrefixTrie,
+    prefix: IPv4Prefix,
+    match: Callable[[E], bool],
+    close: Callable[[E], E],
+    what: str,
+) -> None:
+    """Replace the first matching open entry in ``prefix``'s bucket.
+
+    The bucket list is rebuilt, never mutated — the old index may share
+    it.
+    """
+    bucket = trie.get(prefix)
+    if bucket is not None:
+        for position, entry in enumerate(bucket):
+            if match(entry):
+                fresh = list(bucket)
+                fresh[position] = close(entry)
+                trie.insert(prefix, fresh)
+                return
+    raise IngestError(f"no open {what} entry for {prefix} to close")
+
+
+def _append_entry(trie: PrefixTrie, prefix: IPv4Prefix, entry) -> None:
+    """Append to ``prefix``'s bucket copy-on-write."""
+    bucket = trie.get(prefix)
+    if bucket is None:
+        trie.insert(prefix, [entry])
+    else:
+        trie.insert(prefix, [*bucket, entry])
+
+
+def apply_delta(
+    index: QueryIndex,
+    substrate: AnalysisSubstrate | None,
+    batch: DeltaBatch,
+    *,
+    instrumentation: Instrumentation | None = None,
+) -> QueryIndex:
+    """One day's batch applied to the as-of state; returns the new index.
+
+    ``substrate`` (optional) is advanced in place: its memoized query
+    index is swapped to the new one, and — when a memoized Figure 5
+    result is present, i.e. the caller seeded it with
+    :func:`~repro.ingest.asof.compute_roa_status_as_of` — the result
+    gains the batch day's sample point whenever that day sits on the
+    Figure 5 grid, with the end-state breakdowns recomputed there.
+    The substrate is never persisted from here: incremental state is
+    partial knowledge and must not overwrite the full-knowledge
+    artifacts in the world's cache entry.
+    """
+    instr = instrumentation or Instrumentation()
+    day = batch.day
+    with instr.stage("ingest-apply", group="ingest"):
+        fault_point("ingest.apply", instrumentation=instr)
+        fresh = QueryIndex(
+            window=index.window,
+            total_peers=index.total_peers,
+            key=index.key,
+            generator=index.generator,
+        )
+        # IRR is a journaled registry — fully known up front, never
+        # touched by deltas — so the trie is shared outright.
+        fresh.irr = index.irr
+
+        touched_drop = bool(batch.drop_added or batch.drop_removed)
+        fresh.drop = index.drop.fork() if touched_drop else index.drop
+        for prefix, added, sbl_id in batch.drop_removed:
+            _close_entry(
+                fresh.drop,
+                prefix,
+                lambda e, a=added, s=sbl_id: (
+                    e.added == a and e.removed is None and e.sbl_id == s
+                ),
+                lambda e: replace(e, removed=day),
+                "DROP",
+            )
+        for prefix, sbl_id in batch.drop_added:
+            _append_entry(fresh.drop, prefix, DropEntry(day, None, sbl_id))
+
+        touched_roa = bool(batch.roa_added or batch.roa_removed)
+        fresh.roa = index.roa.fork() if touched_roa else index.roa
+        for prefix, asn, max_length, anchor, created in batch.roa_removed:
+            _close_entry(
+                fresh.roa,
+                prefix,
+                lambda e, a=asn, m=max_length, t=anchor, c=created: (
+                    e.asn == a
+                    and e.max_length == m
+                    and e.trust_anchor == t
+                    and e.created == c
+                    and e.removed is None
+                ),
+                lambda e: replace(e, removed=day),
+                "ROA",
+            )
+        for prefix, asn, max_length, anchor in batch.roa_added:
+            _append_entry(
+                fresh.roa,
+                prefix,
+                RoaEntry(asn, max_length, anchor, day, None),
+            )
+
+        touched_routes = bool(
+            batch.route_started
+            or batch.route_ended
+            or batch.partial_started
+            or batch.partial_ended
+        )
+        fresh.routes = index.routes.fork() if touched_routes else index.routes
+        fresh.observer_sets = (
+            list(index.observer_sets)
+            if batch.route_started
+            else index.observer_sets
+        )
+        for prefix, origin, start in batch.route_ended:
+            _close_entry(
+                fresh.routes,
+                prefix,
+                lambda e, o=origin, s=start: (
+                    e.origin == o and e.start == s and e.end is None
+                ),
+                lambda e: replace(e, end=day),
+                "route",
+            )
+        # Partial matchers deliberately ignore ``end``: a carve-out can
+        # start or stop on the very day its route episode closes.
+        for prefix, origin, start, peer_id, end in batch.partial_started:
+            _close_entry(
+                fresh.routes,
+                prefix,
+                lambda e, o=origin, s=start: e.origin == o and e.start == s,
+                lambda e, p=peer_id, pe=end: replace(
+                    e, partials=(*e.partials, (p, day, pe))
+                ),
+                "route (partial start)",
+            )
+        for prefix, origin, start, peer_id, p_start in batch.partial_ended:
+            def _close_partial(e, p=peer_id, ps=p_start):
+                partials = list(e.partials)
+                for i, (pid, start_, end_) in enumerate(partials):
+                    if pid == p and start_ == ps and end_ is None:
+                        partials[i] = (pid, start_, day)
+                        return replace(e, partials=tuple(partials))
+                raise IngestError(
+                    f"no open partial for peer {p} on the matched route"
+                )
+
+            _close_entry(
+                fresh.routes,
+                prefix,
+                lambda e, o=origin, s=start: e.origin == o and e.start == s,
+                _close_partial,
+                "route (partial end)",
+            )
+        if batch.route_started:
+            interned = {
+                observers: ref
+                for ref, observers in enumerate(fresh.observer_sets)
+            }
+            for started in batch.route_started:
+                observers = frozenset(started.observers)
+                ref = interned.get(observers)
+                if ref is None:
+                    ref = len(fresh.observer_sets)
+                    interned[observers] = ref
+                    fresh.observer_sets.append(observers)
+                _append_entry(
+                    fresh.routes,
+                    started.prefix,
+                    RouteEntry(
+                        origin=started.origin,
+                        start=day,
+                        end=started.end,
+                        observers_ref=ref,
+                        partials=started.partials,
+                    ),
+                )
+
+        status: RoaStatusResult | None = None
+        if substrate is not None and substrate._roa_status is not None:
+            status = _advance_roa_status(
+                substrate._roa_status, fresh, substrate.world, day
+            )
+        # Publish last: a failure anywhere above leaves the substrate
+        # exactly as it was.
+        if substrate is not None:
+            substrate._index = fresh
+            if status is not None:
+                substrate._roa_status = status
+    instr.incr("ingest_applied_days")
+    instr.incr("ingest_events", len(batch))
+    return fresh
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 advance (sample days served from the new index)
+# ---------------------------------------------------------------------------
+
+
+def _signed_from_index(
+    index: QueryIndex, day: date, tals: TalSet
+) -> tuple[PrefixSet, PrefixSet]:
+    """(all ROA-covered space, non-AS0 covered space) from the ROA trie."""
+    all_spans = []
+    non_as0 = []
+    for prefix, bucket in index.roa.items():
+        span = (prefix.first, prefix.last + 1)
+        for entry in bucket:
+            if not entry.active_on(day):
+                continue
+            if not tals.trusts(entry.trust_anchor):
+                continue
+            all_spans.append(span)
+            if entry.asn != AS0:
+                non_as0.append(span)
+    return (
+        PrefixSet.from_intervals(all_spans),
+        PrefixSet.from_intervals(non_as0),
+    )
+
+
+def _routed_from_index(index: QueryIndex, day: date) -> PrefixSet:
+    """Announced address space on ``day``, from the route trie."""
+    spans = []
+    for prefix, bucket in index.routes.items():
+        if any(entry.active_on(day) for entry in bucket):
+            spans.append((prefix.first, prefix.last + 1))
+    return PrefixSet.from_intervals(spans)
+
+
+def _advance_roa_status(
+    result: RoaStatusResult,
+    index: QueryIndex,
+    world,
+    day: date,
+) -> RoaStatusResult | None:
+    """The Figure 5 result after ``day``, or None when off-grid.
+
+    Replicates :func:`~repro.analysis.roa_status.analyze_roa_status`'s
+    set algebra exactly, with the per-day spaces served from the *new*
+    index (whose active-on-``day`` view equals full knowledge — only
+    later days are clamped) and the fully-known RIR registry.  The
+    window end can coincide with a month start, in which case the grid
+    holds the day twice and so must the series.
+    """
+    occurrences = sum(1 for d in default_sample_days(world) if d == day)
+    if not occurrences:
+        return None
+    tals = TalSet.default()
+    signed_all, signed_non_as0 = _signed_from_index(index, day, tals)
+    allocated = world.resources.allocated_space(day)
+    routed = _routed_from_index(index, day)
+    signed = signed_all & allocated
+    signed_routed = signed & routed
+    signed_unrouted = (signed_non_as0 & allocated) - routed
+    unsigned_unrouted = (allocated - routed) - signed_all
+    point = RoaStatusPoint(
+        day=day,
+        signed=signed.slash8_equivalents,
+        signed_routed=signed_routed.slash8_equivalents,
+        signed_unrouted=signed_unrouted.slash8_equivalents,
+        allocated_unrouted_unsigned=unsigned_unrouted.slash8_equivalents,
+    )
+    by_holder: dict[str, float] = {}
+    for holder, space in world.resources.holders_of_space(day).items():
+        overlap = space & signed_unrouted
+        if overlap:
+            by_holder[holder] = overlap.slash8_equivalents
+    by_rir: dict[str, float] = {}
+    for rir in ALL_RIRS:
+        overlap = world.resources.allocated_space(day, rir) & unsigned_unrouted
+        if overlap:
+            by_rir[rir] = overlap.slash8_equivalents
+    return RoaStatusResult(
+        points=result.points + (point,) * occurrences,
+        unrouted_signed_by_holder=by_holder,
+        unrouted_unsigned_by_rir=by_rir,
+    )

@@ -1,0 +1,143 @@
+"""Cold builds of the *as-of-day-D* knowledge state.
+
+An incremental deployment starts serving before the window ends: on day
+D it knows every DROP snapshot, ROA archive, and BGP update slice up to
+and including D, and nothing after.  :func:`build_index_as_of` builds
+the :class:`~repro.query.index.QueryIndex` encoding exactly that state,
+and :func:`compute_roa_status_as_of` the matching Figure 5 result —
+these are the *reference* the incremental path is pinned against: K
+sequential :func:`~repro.ingest.apply.apply_delta` calls must land on
+the same outputs as one cold as-of build of the final day (the golden
+tests in ``tests/ingest/``).
+
+Clamping rules (the knowledge model from :mod:`repro.ingest.delta`):
+
+* DROP episodes and ROA records use exclusive ends, so an end dated
+  after D is not yet knowable → stored open (``None``); an end equal to
+  D *is* knowable (day D's snapshot shows the absence) and is kept.
+* BGP route intervals use inclusive ends, so an end equal to D is
+  knowable (day D's slice carries the withdrawal) and kept — ends after
+  D become open.  Intervals starting after D are omitted entirely;
+  partial-observation carve-outs keep starts ``<= D`` with the same
+  inclusive-end clamp.
+* IRR route objects and RIR allocations are journaled registry dumps:
+  fully known up front, never clamped.
+
+As of D == window end, nothing clamps, so the as-of index equals the
+full :func:`~repro.query.index.build_index` output.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+from ..analysis.roa_status import RoaStatusResult, default_sample_days
+from ..analysis.substrate import compute_roa_status
+from ..obs import Instrumentation
+from ..query.index import (
+    DropEntry,
+    IrrEntry,
+    QueryIndex,
+    RoaEntry,
+    RouteEntry,
+    _append,
+)
+from ..synth.world import World
+
+__all__ = ["build_index_as_of", "compute_roa_status_as_of"]
+
+
+def _clamp_exclusive(end: date | None, day: date) -> date | None:
+    """Exclusive-end fields: ends after ``day`` are not yet knowable."""
+    return None if end is not None and end > day else end
+
+
+def _clamp_inclusive(end: date | None, day: date) -> date | None:
+    """Inclusive-end fields: ends after ``day`` are not yet knowable."""
+    return None if end is not None and end > day else end
+
+
+def build_index_as_of(
+    world: World,
+    day: date,
+    *,
+    key: str = "",
+    instrumentation: Instrumentation | None = None,
+) -> QueryIndex:
+    """The query index as an observer ingesting daily would hold on ``day``."""
+    instr = instrumentation or Instrumentation()
+    with instr.stage("index-build-asof", group="ingest"):
+        full_table = world.peers.full_table_peer_ids()
+        index = QueryIndex(
+            window=world.window,
+            total_peers=len(full_table),
+            key=key,
+        )
+        for prefix in world.drop.unique_prefixes():
+            bucket = [
+                DropEntry(e.added, _clamp_exclusive(e.removed, day), e.sbl_id)
+                for e in world.drop.episodes_for(prefix)
+                if e.added <= day
+            ]
+            if bucket:
+                index.drop.insert(prefix, bucket)
+        for record in world.irr.records():
+            entry = IrrEntry(
+                record.route.origin, record.created, record.deleted
+            )
+            _append(index.irr, record.route.prefix, entry)
+        for record in world.roas.records():
+            if record.created > day:
+                continue
+            roa = record.roa
+            entry = RoaEntry(
+                roa.asn,
+                roa.max_length,
+                roa.trust_anchor,
+                record.created,
+                _clamp_exclusive(record.removed, day),
+            )
+            _append(index.roa, roa.prefix, entry)
+        interned: dict[frozenset[int], int] = {}
+        for interval in world.bgp.all_intervals():
+            if interval.start > day:
+                continue
+            observers = frozenset(interval.observers) & full_table
+            ref = interned.get(observers)
+            if ref is None:
+                ref = len(index.observer_sets)
+                interned[observers] = ref
+                index.observer_sets.append(observers)
+            entry = RouteEntry(
+                origin=interval.origin,
+                start=interval.start,
+                end=_clamp_inclusive(interval.end, day),
+                observers_ref=ref,
+                partials=tuple(
+                    (p.peer_id, p.start, _clamp_inclusive(p.end, day))
+                    for p in interval.partial_observers
+                    if p.peer_id in full_table and p.start <= day
+                ),
+            )
+            _append(index.routes, interval.prefix, entry)
+    instr.incr("query_index_builds")
+    return index
+
+
+def compute_roa_status_as_of(world: World, day: date) -> RoaStatusResult:
+    """The Figure 5 result over the sample days knowable on ``day``.
+
+    Open intervals are "still active as of today" under daily ingest,
+    which is exactly how :func:`~repro.analysis.substrate
+    .compute_roa_status` already treats them for sample days ``<= day``
+    — so the as-of result is the full computation restricted to the
+    knowable slice of the grid (empty before the first month boundary).
+    """
+    days = [d for d in default_sample_days(world) if d <= day]
+    if not days:
+        return RoaStatusResult(
+            points=(),
+            unrouted_signed_by_holder={},
+            unrouted_unsigned_by_rir={},
+        )
+    return compute_roa_status(world, days)

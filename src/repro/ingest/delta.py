@@ -1,0 +1,382 @@
+"""One day of input change, as a compact replayable event batch.
+
+A :class:`DeltaBatch` is the incremental-ingest unit: everything that
+*became knowable* on one calendar day — the DROP snapshot diff (new
+listings, removals), the ROA archive diff (published, withdrawn), and
+the BGP update slice (announcement episodes starting or ending, plus
+the DROP-filtering peers' partial-observation carve-outs).  IRR and RIR
+allocation data are journaled registry dumps and treated as fully known
+up front, so deltas never carry them.
+
+:class:`DeltaSource` extracts *every* day's batch in one pass over a
+world's archives, in canonical store order, which makes batches
+deterministic and therefore journal-able: replaying serialized batches
+(see :mod:`repro.store.journal`) is byte-equivalent to recomputing
+them.  :func:`compute_delta` is the one-day convenience wrapper; a
+long-lived caller (the :class:`~repro.ingest.service.Ingestor`) holds a
+source so the scan cost is paid once, not once per day.
+
+The knowledge model the whole subsystem shares (see also
+:mod:`repro.ingest.asof`):
+
+* DROP and ROA lifetimes use *exclusive* ends ("first day absent"), so
+  a removal dated day X is visible in day X's snapshot — an as-of-X
+  view keeps it, and the day-X delta carries it.
+* BGP route intervals use *inclusive* ends ("last day observed").  The
+  day-X update slice is taken to include day X's withdrawals, so an
+  interval ending on X is closed by the day-X batch and an as-of-X view
+  records ``end == X`` — which is exactly what makes the as-of view at
+  the window end identical to the full-knowledge index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from ..net.prefix import IPv4Prefix
+from ..synth.world import World
+
+__all__ = ["DeltaBatch", "DeltaSource", "RouteStart", "compute_delta"]
+
+
+def _iso(day: date | None) -> str | None:
+    return None if day is None else day.isoformat()
+
+
+def _day(text: str | None) -> date | None:
+    return None if text is None else date.fromisoformat(text)
+
+
+@dataclass(frozen=True, slots=True)
+class RouteStart:
+    """One announcement episode first observed on the batch day.
+
+    ``end`` is almost always ``None`` (the episode is open as of the
+    batch day); a same-day flap closes immediately with ``end == day``.
+    ``observers`` are the full-table peer ids, sorted; ``partials`` are
+    the carve-outs active as of the batch day, as
+    ``(peer_id, start, end-inclusive-or-None)``.
+    """
+
+    prefix: IPv4Prefix
+    origin: int
+    end: date | None
+    observers: tuple[int, ...]
+    partials: tuple[tuple[int, date, date | None], ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class DeltaBatch:
+    """Everything that became knowable on ``day``, in canonical order."""
+
+    day: date
+    #: New DROP listings: ``(prefix, sbl_id)``.
+    drop_added: tuple[tuple[IPv4Prefix, str | None], ...] = ()
+    #: DROP removals: ``(prefix, added, sbl_id)`` identifies the episode.
+    drop_removed: tuple[tuple[IPv4Prefix, date, str | None], ...] = ()
+    #: New ROAs: ``(prefix, asn, max_length, trust_anchor)``.
+    roa_added: tuple[tuple[IPv4Prefix, int, int | None, str], ...] = ()
+    #: Withdrawn ROAs: ``(prefix, asn, max_length, trust_anchor, created)``.
+    roa_removed: tuple[
+        tuple[IPv4Prefix, int, int | None, str, date], ...
+    ] = ()
+    #: Announcement episodes starting today.
+    route_started: tuple[RouteStart, ...] = ()
+    #: Episodes ending today (started earlier): ``(prefix, origin, start)``.
+    route_ended: tuple[tuple[IPv4Prefix, int, date], ...] = ()
+    #: Carve-outs starting today on an earlier episode:
+    #: ``(prefix, origin, route_start, peer_id, end-or-None)``.
+    partial_started: tuple[
+        tuple[IPv4Prefix, int, date, int, date | None], ...
+    ] = ()
+    #: Carve-outs ending today (started earlier):
+    #: ``(prefix, origin, route_start, peer_id, partial_start)``.
+    partial_ended: tuple[
+        tuple[IPv4Prefix, int, date, int, date], ...
+    ] = ()
+
+    def __len__(self) -> int:
+        """Total event count (what the counters and summaries report)."""
+        return (
+            len(self.drop_added)
+            + len(self.drop_removed)
+            + len(self.roa_added)
+            + len(self.roa_removed)
+            + len(self.route_started)
+            + len(self.route_ended)
+            + len(self.partial_started)
+            + len(self.partial_ended)
+        )
+
+    # -- serialization (the journal payload) ---------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-able dict; :meth:`from_dict` round-trips it exactly."""
+        return {
+            "day": self.day.isoformat(),
+            "drop_added": [
+                [str(p), sbl] for p, sbl in self.drop_added
+            ],
+            "drop_removed": [
+                [str(p), added.isoformat(), sbl]
+                for p, added, sbl in self.drop_removed
+            ],
+            "roa_added": [
+                [str(p), asn, ml, ta] for p, asn, ml, ta in self.roa_added
+            ],
+            "roa_removed": [
+                [str(p), asn, ml, ta, created.isoformat()]
+                for p, asn, ml, ta, created in self.roa_removed
+            ],
+            "route_started": [
+                [
+                    str(r.prefix),
+                    r.origin,
+                    _iso(r.end),
+                    list(r.observers),
+                    [[pid, s.isoformat(), _iso(e)]
+                     for pid, s, e in r.partials],
+                ]
+                for r in self.route_started
+            ],
+            "route_ended": [
+                [str(p), origin, start.isoformat()]
+                for p, origin, start in self.route_ended
+            ],
+            "partial_started": [
+                [str(p), origin, start.isoformat(), pid, _iso(end)]
+                for p, origin, start, pid, end in self.partial_started
+            ],
+            "partial_ended": [
+                [str(p), origin, start.isoformat(), pid, ps.isoformat()]
+                for p, origin, start, pid, ps in self.partial_ended
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "DeltaBatch":
+        """The inverse of :meth:`to_dict` (journal replay)."""
+        return cls(
+            day=date.fromisoformat(raw["day"]),
+            drop_added=tuple(
+                (IPv4Prefix.parse(p), sbl) for p, sbl in raw["drop_added"]
+            ),
+            drop_removed=tuple(
+                (IPv4Prefix.parse(p), date.fromisoformat(added), sbl)
+                for p, added, sbl in raw["drop_removed"]
+            ),
+            roa_added=tuple(
+                (IPv4Prefix.parse(p), asn, ml, ta)
+                for p, asn, ml, ta in raw["roa_added"]
+            ),
+            roa_removed=tuple(
+                (IPv4Prefix.parse(p), asn, ml, ta, date.fromisoformat(c))
+                for p, asn, ml, ta, c in raw["roa_removed"]
+            ),
+            route_started=tuple(
+                RouteStart(
+                    prefix=IPv4Prefix.parse(p),
+                    origin=origin,
+                    end=_day(end),
+                    observers=tuple(observers),
+                    partials=tuple(
+                        (pid, date.fromisoformat(s), _day(e))
+                        for pid, s, e in partials
+                    ),
+                )
+                for p, origin, end, observers, partials in raw[
+                    "route_started"
+                ]
+            ),
+            route_ended=tuple(
+                (IPv4Prefix.parse(p), origin, date.fromisoformat(s))
+                for p, origin, s in raw["route_ended"]
+            ),
+            partial_started=tuple(
+                (
+                    IPv4Prefix.parse(p),
+                    origin,
+                    date.fromisoformat(s),
+                    pid,
+                    _day(end),
+                )
+                for p, origin, s, pid, end in raw["partial_started"]
+            ),
+            partial_ended=tuple(
+                (
+                    IPv4Prefix.parse(p),
+                    origin,
+                    date.fromisoformat(s),
+                    pid,
+                    date.fromisoformat(ps),
+                )
+                for p, origin, s, pid, ps in raw["partial_ended"]
+            ),
+        )
+
+
+class _DayEvents:
+    """Mutable per-day accumulator behind :class:`DeltaSource`."""
+
+    __slots__ = (
+        "drop_added",
+        "drop_removed",
+        "roa_added",
+        "roa_removed",
+        "route_started",
+        "route_ended",
+        "partial_started",
+        "partial_ended",
+    )
+
+    def __init__(self) -> None:
+        self.drop_added: list[tuple[IPv4Prefix, str | None]] = []
+        self.drop_removed: list[tuple[IPv4Prefix, date, str | None]] = []
+        self.roa_added: list[tuple[IPv4Prefix, int, int | None, str]] = []
+        self.roa_removed: list[
+            tuple[IPv4Prefix, int, int | None, str, date]
+        ] = []
+        self.route_started: list[RouteStart] = []
+        self.route_ended: list[tuple[IPv4Prefix, int, date]] = []
+        self.partial_started: list[
+            tuple[IPv4Prefix, int, date, int, date | None]
+        ] = []
+        self.partial_ended: list[
+            tuple[IPv4Prefix, int, date, int, date]
+        ] = []
+
+
+class DeltaSource:
+    """All of a world's daily batches, extracted in a single pass.
+
+    Every archived episode is registered on the days it produces
+    events: a DROP listing on its ``added`` and ``removed`` days, a ROA
+    on ``created`` and ``removed``, an announcement interval on its
+    ``start`` (as a :class:`RouteStart`, with the carve-outs already
+    active that day folded in), its inclusive ``end``, and each later
+    carve-out edge.  Iteration follows canonical store order (DROP
+    prefixes in address order, ROA records and route intervals in
+    trie/bucket order), so :meth:`batch` returns exactly what the
+    original per-day scan produced — same events, same order — while
+    the whole-world walk happens once instead of once per day.
+    """
+
+    __slots__ = ("_days",)
+
+    def __init__(self, world: World) -> None:
+        days: dict[date, _DayEvents] = {}
+
+        def at(day: date) -> _DayEvents:
+            bucket = days.get(day)
+            if bucket is None:
+                bucket = days[day] = _DayEvents()
+            return bucket
+
+        for prefix in world.drop.unique_prefixes():
+            for episode in world.drop.episodes_for(prefix):
+                at(episode.added).drop_added.append(
+                    (prefix, episode.sbl_id)
+                )
+                if episode.removed is not None:
+                    at(episode.removed).drop_removed.append(
+                        (prefix, episode.added, episode.sbl_id)
+                    )
+
+        for record in world.roas.records():
+            roa = record.roa
+            at(record.created).roa_added.append(
+                (roa.prefix, roa.asn, roa.max_length, roa.trust_anchor)
+            )
+            if record.removed is not None:
+                at(record.removed).roa_removed.append(
+                    (
+                        roa.prefix,
+                        roa.asn,
+                        roa.max_length,
+                        roa.trust_anchor,
+                        record.created,
+                    )
+                )
+
+        full_table = world.peers.full_table_peer_ids()
+        for interval in world.bgp.all_intervals():
+            day0 = interval.start
+            at(day0).route_started.append(
+                RouteStart(
+                    prefix=interval.prefix,
+                    origin=interval.origin,
+                    end=day0 if interval.end == day0 else None,
+                    observers=tuple(
+                        sorted(frozenset(interval.observers) & full_table)
+                    ),
+                    partials=tuple(
+                        (p.peer_id, p.start,
+                         None if p.end is None or p.end > day0 else p.end)
+                        for p in interval.partial_observers
+                        if p.peer_id in full_table and p.start <= day0
+                    ),
+                )
+            )
+            if interval.end is not None and interval.end != day0:
+                at(interval.end).route_ended.append(
+                    (interval.prefix, interval.origin, day0)
+                )
+            for p in interval.partial_observers:
+                if p.peer_id not in full_table:
+                    continue
+                if p.start > day0:
+                    # A same-day flap closes in place; anything longer
+                    # is an open start matched by a partial_ended below.
+                    at(p.start).partial_started.append(
+                        (
+                            interval.prefix,
+                            interval.origin,
+                            day0,
+                            p.peer_id,
+                            p.end if p.end == p.start else None,
+                        )
+                    )
+                if (
+                    p.end is not None
+                    and p.end > p.start
+                    and p.end > day0
+                ):
+                    at(p.end).partial_ended.append(
+                        (
+                            interval.prefix,
+                            interval.origin,
+                            day0,
+                            p.peer_id,
+                            p.start,
+                        )
+                    )
+
+        self._days = days
+
+    def batch(self, day: date) -> DeltaBatch:
+        """The day's batch (empty, not an error, for a quiet day)."""
+        events = self._days.get(day)
+        if events is None:
+            return DeltaBatch(day=day)
+        return DeltaBatch(
+            day=day,
+            drop_added=tuple(events.drop_added),
+            drop_removed=tuple(events.drop_removed),
+            roa_added=tuple(events.roa_added),
+            roa_removed=tuple(events.roa_removed),
+            route_started=tuple(events.route_started),
+            route_ended=tuple(events.route_ended),
+            partial_started=tuple(events.partial_started),
+            partial_ended=tuple(events.partial_ended),
+        )
+
+
+def compute_delta(world: World, day: date) -> DeltaBatch:
+    """The day's batch, extracted from the world archives.
+
+    One-shot convenience over :class:`DeltaSource` — it scans the whole
+    world, so callers advancing day after day should hold a source
+    instead.
+    """
+    return DeltaSource(world).batch(day)

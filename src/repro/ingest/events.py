@@ -1,0 +1,278 @@
+"""The watch surface's event model: what changed, who gets told.
+
+Each applied :class:`~repro.ingest.delta.DeltaBatch` is evaluated into
+:class:`WatchEvent` records — the live-monitoring product's currency:
+
+* ``listed``      — a prefix entered the DROP list today;
+* ``roa-expired`` — a ROA left the archive today (the Stalloris
+  staleness signal: the prefix's RPKI protection just lapsed);
+* ``hijack``      — a route announcement that conflicts with the
+  *pre-delta* state, classified with :class:`~repro.bgp.alarms
+  .AlarmKind` semantics: ``moas`` when another origin actively
+  announces the exact prefix, ``subprefix`` when the new route is a
+  more-specific of an active announcement by a different origin, and
+  ``origin`` when trusted ROAs cover the prefix but none authorizes
+  the new origin (RFC 6811 invalid).  ``path`` alarms need AS-path
+  baselines the query index deliberately does not store, so the watch
+  surface never emits them — :class:`~repro.bgp.alarms.HijackMonitor`
+  over the raw store remains the offline path for those.
+
+Events land in an :class:`EventLog` — a bounded, monotonically
+sequenced ring the daemons' ``GET /v1/watch`` long-poll and SSE modes
+read (clients resume with ``since=<last seq>``), with an optional
+fire-and-forget :class:`WebhookPusher` for push delivery.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from collections import deque
+from dataclasses import dataclass, replace
+from datetime import date
+
+from ..bgp.alarms import AlarmKind
+from ..net.prefix import IPv4Prefix
+from ..obs import Instrumentation
+from ..query.index import QueryIndex
+from ..rpki.tal import TalSet
+from .delta import DeltaBatch
+
+__all__ = ["EventLog", "WatchEvent", "WebhookPusher", "evaluate_events"]
+
+
+@dataclass(frozen=True, slots=True)
+class WatchEvent:
+    """One subscriber-visible change, as delivered on ``/v1/watch``."""
+
+    seq: int
+    kind: str  # "listed" | "roa-expired" | "hijack"
+    day: date
+    prefix: IPv4Prefix
+    detail: str
+    origin: int | None = None
+    alarm: str | None = None  # AlarmKind value, hijack events only
+    sbl_id: str | None = None  # listed events only
+
+    def to_dict(self) -> dict:
+        """The wire shape (uniform keys; see docs/api-contract.json)."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "day": self.day.isoformat(),
+            "prefix": str(self.prefix),
+            "detail": self.detail,
+            "origin": self.origin,
+            "alarm": self.alarm,
+            "sbl_id": self.sbl_id,
+        }
+
+
+def evaluate_events(
+    index: QueryIndex,
+    batch: DeltaBatch,
+    *,
+    tals: TalSet | None = None,
+) -> list[WatchEvent]:
+    """The batch's subscriber-visible events, against pre-delta ``index``.
+
+    The pre-delta state is what makes the hijack classification
+    meaningful: "another origin was already announcing this" must not
+    see the batch's own additions.  Sequence numbers are assigned at
+    :meth:`EventLog.publish` time; here they are zero.
+    """
+    tals = tals or TalSet.default()
+    day = batch.day
+    events: list[WatchEvent] = []
+    for prefix, sbl_id in batch.drop_added:
+        events.append(
+            WatchEvent(
+                seq=0,
+                kind="listed",
+                day=day,
+                prefix=prefix,
+                detail="prefix entered the DROP list",
+                sbl_id=sbl_id,
+            )
+        )
+    for prefix, asn, max_length, anchor, _created in batch.roa_removed:
+        events.append(
+            WatchEvent(
+                seq=0,
+                kind="roa-expired",
+                day=day,
+                prefix=prefix,
+                detail=f"ROA for AS{asn} left the {anchor} archive",
+                origin=asn,
+            )
+        )
+    for started in batch.route_started:
+        event = _classify_hijack(index, started.prefix, started.origin,
+                                 day, tals)
+        if event is not None:
+            events.append(event)
+    return events
+
+
+def _classify_hijack(
+    index: QueryIndex,
+    prefix: IPv4Prefix,
+    origin: int,
+    day: date,
+    tals: TalSet,
+) -> WatchEvent | None:
+    """At most one hijack event for a new announcement, or None."""
+    exact = index.routes.get(prefix) or ()
+    if any(
+        entry.active_on(day) and entry.origin != origin for entry in exact
+    ):
+        return WatchEvent(
+            seq=0,
+            kind="hijack",
+            day=day,
+            prefix=prefix,
+            detail="second origin alongside an active announcement",
+            origin=origin,
+            alarm=AlarmKind.MOAS.value,
+        )
+    for covering, bucket in index.routes.lookup_covering(prefix):
+        if covering == prefix:
+            continue
+        for entry in bucket:
+            if entry.active_on(day) and entry.origin != origin:
+                return WatchEvent(
+                    seq=0,
+                    kind="hijack",
+                    day=day,
+                    prefix=prefix,
+                    detail=(
+                        f"more-specific of {covering} "
+                        f"(announced by AS{entry.origin})"
+                    ),
+                    origin=origin,
+                    alarm=AlarmKind.SUBPREFIX.value,
+                )
+    covered = False
+    for roa_prefix, bucket in index.roa.lookup_covering(prefix):
+        for entry in bucket:
+            if not entry.active_on(day):
+                continue
+            if not tals.trusts(entry.trust_anchor):
+                continue
+            covered = True
+            if entry.roa(roa_prefix).authorizes(prefix, origin):
+                return None
+    if covered:
+        return WatchEvent(
+            seq=0,
+            kind="hijack",
+            day=day,
+            prefix=prefix,
+            detail="origin not authorized by any covering ROA",
+            origin=origin,
+            alarm=AlarmKind.ORIGIN.value,
+        )
+    return None
+
+
+class EventLog:
+    """A bounded, monotonically sequenced event ring with blocking reads.
+
+    ``publish`` assigns sequence numbers under the lock and wakes every
+    waiter; ``since(seq)`` returns the retained events after ``seq``
+    (clients that fell more than ``maxlen`` events behind silently
+    resume from the oldest retained — the ring is a live feed, not a
+    durable log; the delta journal is the durable record).
+    """
+
+    def __init__(self, *, maxlen: int = 1024) -> None:
+        self._cond = threading.Condition()
+        self._events: deque[WatchEvent] = deque(maxlen=maxlen)
+        self._seq = 0
+
+    @property
+    def last_seq(self) -> int:
+        """The newest assigned sequence number (0 = nothing yet)."""
+        with self._cond:
+            return self._seq
+
+    def publish(self, events: list[WatchEvent]) -> list[WatchEvent]:
+        """Assign sequence numbers, retain, wake waiters; returns them."""
+        if not events:
+            return []
+        with self._cond:
+            stamped = []
+            for event in events:
+                self._seq += 1
+                stamped.append(replace(event, seq=self._seq))
+            self._events.extend(stamped)
+            self._cond.notify_all()
+        return stamped
+
+    def since(self, seq: int) -> list[WatchEvent]:
+        """Retained events with sequence numbers after ``seq``."""
+        with self._cond:
+            return [e for e in self._events if e.seq > seq]
+
+    def wait_since(self, seq: int, timeout: float) -> list[WatchEvent]:
+        """``since(seq)``, blocking up to ``timeout`` seconds for news."""
+        with self._cond:
+            self._cond.wait_for(
+                lambda: self._seq > seq and any(
+                    e.seq > seq for e in self._events
+                ),
+                timeout=timeout,
+            )
+            return [e for e in self._events if e.seq > seq]
+
+
+class WebhookPusher:
+    """Fire-and-forget push delivery of published events.
+
+    Each batch of events POSTs to ``url`` as the same envelope the
+    ``/v1/watch`` JSON mode serves, from a daemon thread so a slow or
+    dead receiver never blocks the ingest path.  Failures count
+    (``ingest_webhook_errors``) and are otherwise dropped — the event
+    log remains the recoverable surface.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        instrumentation: Instrumentation | None = None,
+        timeout: float = 5.0,
+    ) -> None:
+        self.url = url
+        self.timeout = timeout
+        self.instrumentation = instrumentation or Instrumentation()
+
+    def push(self, events: list[WatchEvent]) -> threading.Thread | None:
+        """Deliver asynchronously; returns the thread (tests join it)."""
+        if not events:
+            return None
+        body = json.dumps(
+            {"api": 1, "data": {"events": [e.to_dict() for e in events]}},
+            sort_keys=True,
+        ).encode("utf-8")
+        thread = threading.Thread(
+            target=self._deliver, args=(body,), daemon=True
+        )
+        thread.start()
+        return thread
+
+    def _deliver(self, body: bytes) -> None:
+        request = urllib.request.Request(
+            self.url,
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout):
+                pass
+        except Exception:
+            self.instrumentation.incr("ingest_webhook_errors")
+        else:
+            self.instrumentation.incr("ingest_webhook_pushes")

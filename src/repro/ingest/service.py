@@ -1,0 +1,235 @@
+"""The ingest service: daily advances, atomically published.
+
+An :class:`Ingestor` owns the live incremental state — the as-of query
+index, the substrate it advances, the event log subscribers read, and
+the delta journal that makes restarts cheap — and exposes one verb:
+:meth:`Ingestor.advance` steps the state forward one day at a time
+(compute the day's :class:`~repro.ingest.delta.DeltaBatch`, evaluate
+watch events against the pre-delta state, apply copy-on-write, journal,
+publish).  Publication is a callback (:attr:`Ingestor.on_engine`) the
+serving tier wires to ``ServerCore.set_engine`` — the same atomic
+``_State`` swap the hot-reload path uses, so in-flight requests always
+finish on a coherent snapshot and a failed advance leaves the previous
+day serving.
+
+The source of deltas here is the world's own archives (the synthetic
+stand-in for tomorrow's DROP snapshot / ROA archive / BGP feed
+downloads): the ingestor deliberately *forgets* everything after its
+as-of day and re-learns it one day at a time, which is what lets the
+golden tests pin incremental == rebuilt-from-scratch on real data
+volumes without a wire protocol for feeds.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from datetime import date, timedelta
+from pathlib import Path
+from typing import Callable
+
+from ..analysis.substrate import AnalysisSubstrate
+from ..obs import Instrumentation
+from ..query.engine import QueryEngine
+from ..rpki.tal import TalSet
+from ..store.journal import DeltaJournal
+from ..synth.world import World
+from .apply import IngestError, apply_delta
+from .asof import build_index_as_of, compute_roa_status_as_of
+from .delta import DeltaBatch, DeltaSource
+from .events import EventLog, WatchEvent, WebhookPusher, evaluate_events
+
+__all__ = ["AdvanceResult", "Ingestor"]
+
+
+@dataclass(frozen=True, slots=True)
+class AdvanceResult:
+    """What one applied day looked like (the ``/v1/ingest`` payload)."""
+
+    day: date
+    applied: int  # delta events applied to the index
+    events: int  # watch events published
+    replayed: bool = False  # True when restored from the journal
+
+    def to_dict(self) -> dict:
+        return {
+            "day": self.day.isoformat(),
+            "applied": self.applied,
+            "events": self.events,
+            "replayed": self.replayed,
+        }
+
+
+class Ingestor:
+    """Owns and advances one world's incremental serving state."""
+
+    def __init__(
+        self,
+        world: World,
+        *,
+        key: str = "",
+        start_day: date | None = None,
+        state_dir: Path | None = None,
+        tals: TalSet | None = None,
+        instrumentation: Instrumentation | None = None,
+        webhook_url: str | None = None,
+    ) -> None:
+        self.world = world
+        self.key = key
+        self.instrumentation = instrumentation or Instrumentation()
+        self.tals = tals or TalSet.default()
+        self.events = EventLog()
+        self.webhook = (
+            WebhookPusher(webhook_url, instrumentation=self.instrumentation)
+            if webhook_url
+            else None
+        )
+        #: Called with the fresh :class:`QueryEngine` after every
+        #: successful advance; the serving tier points this at
+        #: ``ServerCore.set_engine``.
+        self.on_engine: Callable[[QueryEngine], None] | None = None
+        self._lock = threading.Lock()
+        self.base_day = start_day or world.window.start
+        self.as_of = self.base_day
+        self.days_applied = 0
+
+        instr = self.instrumentation
+        self.index = build_index_as_of(
+            world, self.base_day, key=key, instrumentation=instr
+        )
+        # One whole-world scan, paid here with the base build, so every
+        # later advance is a dict lookup instead of a full-archive walk.
+        self._deltas = DeltaSource(world)
+        # The substrate is memory-only (directory=None): incremental
+        # state is partial knowledge and must never overwrite the
+        # full-knowledge artifacts in the world's cache entry.
+        self.substrate = AnalysisSubstrate(
+            world, key=key, instrumentation=instr
+        )
+        self.substrate._index = self.index
+        self.substrate._roa_status = compute_roa_status_as_of(
+            world, self.base_day
+        )
+        self.engine = QueryEngine(
+            self.index, tals=self.tals, instrumentation=instr
+        )
+
+        self.journal: DeltaJournal | None = None
+        if state_dir is not None:
+            state_dir = Path(state_dir)
+            state_dir.mkdir(parents=True, exist_ok=True)
+            self._recover(state_dir)
+            if self.journal is None:
+                self.journal = DeltaJournal(
+                    state_dir,
+                    key=key,
+                    base_day=self.base_day,
+                    instrumentation=instr,
+                )
+
+    # -- recovery ------------------------------------------------------------
+
+    def _recover(self, state_dir: Path) -> None:
+        """Replay a matching journal; a torn one is evicted, not trusted.
+
+        A journal for a different world key or base day is ignored (a
+        fresh journal overwrites it on the next append) — only an
+        exactly-matching record may shortcut the rebuild.
+        """
+        journal = DeltaJournal.load_or_evict(
+            state_dir,
+            expected_key=self.key,
+            instrumentation=self.instrumentation,
+        )
+        if journal is None or journal.base_day != self.base_day:
+            return
+        for raw in journal.batches:
+            batch = DeltaBatch.from_dict(raw)
+            self._step(batch, journal=None, replayed=True)
+        self.journal = journal
+
+    # -- advancing -----------------------------------------------------------
+
+    def advance(self, *, to_day: date | None = None) -> list[AdvanceResult]:
+        """Apply the next day's delta (or every day up to ``to_day``).
+
+        Days are strictly sequential — the identity rule only holds for
+        gap-free application.  Raises :class:`IngestError` when already
+        at the window end (nothing left to ingest) or when ``to_day``
+        lies outside the remaining window.
+        """
+        with self._lock:
+            end = self.world.window.end
+            target = to_day or min(self.as_of + timedelta(days=1), end)
+            if self.as_of >= end:
+                raise IngestError(
+                    f"nothing left to ingest: as-of {self.as_of} is the "
+                    f"window end"
+                )
+            if not self.as_of < target <= end:
+                raise IngestError(
+                    f"ingest target {target} outside ({self.as_of}, {end}]"
+                )
+            results = []
+            while self.as_of < target:
+                day = self.as_of + timedelta(days=1)
+                batch = self._deltas.batch(day)
+                results.append(self._step(batch, journal=self.journal))
+            return results
+
+    def _step(
+        self,
+        batch: DeltaBatch,
+        *,
+        journal: DeltaJournal | None,
+        replayed: bool = False,
+    ) -> AdvanceResult:
+        """Apply one batch and publish; previous state survives failure."""
+        instr = self.instrumentation
+        events = evaluate_events(self.index, batch, tals=self.tals)
+        try:
+            fresh = apply_delta(
+                self.index, self.substrate, batch, instrumentation=instr
+            )
+        except Exception:
+            instr.incr("ingest_apply_failures")
+            raise
+        if journal is not None:
+            journal.append(batch.to_dict())
+        engine = QueryEngine(fresh, tals=self.tals, instrumentation=instr)
+        self.index = fresh
+        self.engine = engine
+        self.as_of = batch.day
+        self.days_applied += 1
+        if self.on_engine is not None:
+            self.on_engine(engine)
+        published = self.events.publish(events)
+        if self.webhook is not None and not replayed:
+            self.webhook.push(published)
+        instr.incr("ingest_events_published", len(published))
+        return AdvanceResult(
+            day=batch.day,
+            applied=len(batch),
+            events=len(published),
+            replayed=replayed,
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def status(self) -> dict:
+        """The ``ingest`` block of ``/v1/status``."""
+        return {
+            "as_of": self.as_of.isoformat(),
+            "base_day": self.base_day.isoformat(),
+            "days_applied": self.days_applied,
+            "last_seq": self.events.last_seq,
+            "window_end": self.world.window.end.isoformat(),
+        }
+
+    def wait_events(
+        self, since: int, timeout: float
+    ) -> list[WatchEvent]:
+        """Long-poll helper for the watch endpoint."""
+        if timeout <= 0:
+            return self.events.since(since)
+        return self.events.wait_since(since, timeout)

@@ -9,17 +9,27 @@ query over a large prefix-keyed table.  ``RadixTree`` provides:
 * longest-prefix match (:meth:`lookup_best`) and all covering entries in
   root-to-leaf order (:meth:`lookup_covering`);
 * subtree enumeration of all covered entries (:meth:`lookup_covered`);
-* deletion and iteration in address order.
+* deletion and iteration in address order;
+* O(1) copy-on-write snapshots (:meth:`fork`) for the incremental
+  ingest path, which advances a world-scale trie by a few dozen entries
+  a day and cannot afford an O(n) :meth:`clone` per day.
 
 The implementation is a classic path-compressed binary trie: each node tests
 one bit position; leaf/internal nodes that carry a value store the
 ``(prefix, value)`` pair.  An ablation benchmark
 (``benchmarks/bench_ablation_radix.py``) compares these queries against the
 linear scans they replace.
+
+Copy-on-write uses generation stamps: every node records the generation
+of the tree that created it, and :meth:`fork` retires both trees'
+generations, so any later ``insert``/``delete`` on either side finds
+the shared nodes foreign and path-copies them before mutating.  Reads
+never copy.
 """
 
 from __future__ import annotations
 
+from itertools import count
 from typing import Generic, Iterator, TypeVar
 
 from .prefix import IPV4_BITS, IPv4Prefix
@@ -28,17 +38,22 @@ __all__ = ["PrefixTrie", "RadixTree"]
 
 V = TypeVar("V")
 
+#: Tree generations, globally unique so a node's stamp identifies its
+#: owning tree across arbitrary fork chains.
+_GENERATIONS = count(1)
+
 
 class _Node(Generic[V]):
-    __slots__ = ("network", "length", "prefix", "value", "left", "right")
+    __slots__ = ("network", "length", "prefix", "value", "left", "right", "gen")
 
-    def __init__(self, network: int, length: int) -> None:
+    def __init__(self, network: int, length: int, gen: int = 0) -> None:
         self.network = network
         self.length = length
         self.prefix: IPv4Prefix | None = None  # set when this node holds an entry
         self.value: V | None = None
         self.left: "_Node[V] | None" = None
         self.right: "_Node[V] | None" = None
+        self.gen = gen
 
     def covers(self, network: int, length: int) -> bool:
         if self.length > length:
@@ -46,8 +61,8 @@ class _Node(Generic[V]):
         return _prefix_bits(network, self.length) == self.network
 
 
-def _copy_node(node: "_Node[V]", copy_value) -> "_Node[V]":
-    copied: "_Node[V]" = _Node(node.network, node.length)
+def _copy_node(node: "_Node[V]", copy_value, gen: int) -> "_Node[V]":
+    copied: "_Node[V]" = _Node(node.network, node.length, gen)
     copied.prefix = node.prefix
     if node.prefix is not None:
         copied.value = (
@@ -81,11 +96,12 @@ def _common_prefix_length(a: int, b: int, limit: int) -> int:
 class RadixTree(Generic[V]):
     """A map from :class:`IPv4Prefix` to values with trie queries."""
 
-    __slots__ = ("_root", "_size")
+    __slots__ = ("_root", "_size", "_gen")
 
     def __init__(self) -> None:
         self._root: _Node[V] | None = None
         self._size = 0
+        self._gen = next(_GENERATIONS)
 
     # -- size / iteration --------------------------------------------------
 
@@ -118,17 +134,65 @@ class RadixTree(Generic[V]):
             return cloned
         # Iterative copy: world-scale tries are deep enough to trouble
         # the recursion limit.
-        cloned._root = _copy_node(self._root, copy_value)
+        cloned._root = _copy_node(self._root, copy_value, cloned._gen)
         stack = [(self._root, cloned._root)]
         while stack:
             source, target = stack.pop()
             if source.left is not None:
-                target.left = _copy_node(source.left, copy_value)
+                target.left = _copy_node(source.left, copy_value, cloned._gen)
                 stack.append((source.left, target.left))
             if source.right is not None:
-                target.right = _copy_node(source.right, copy_value)
+                target.right = _copy_node(
+                    source.right, copy_value, cloned._gen
+                )
                 stack.append((source.right, target.right))
         return cloned
+
+    def fork(self) -> "RadixTree[V]":
+        """An O(1) snapshot sharing every node, copy-on-write both ways.
+
+        The fork and the original each claim a fresh generation, so a
+        later :meth:`insert` or :meth:`delete` on *either* tree
+        path-copies the shared nodes it touches and leaves the other
+        tree's view untouched — at one short path of node copies per
+        write instead of :meth:`clone`'s O(n).  Values are always
+        shared, like ``clone()`` without ``copy_value``: the bucket
+        discipline is to replace a stored value, never mutate it.
+        """
+        forked: "RadixTree[V]" = RadixTree()
+        forked._root = self._root
+        forked._size = self._size
+        # Retire this tree's generation too: its own future writes must
+        # path-copy rather than mutate what the fork can still see.
+        self._gen = next(_GENERATIONS)
+        return forked
+
+    def _owned(
+        self,
+        node: _Node[V],
+        parent: _Node[V] | None,
+        went_right: bool,
+    ) -> _Node[V]:
+        """``node``, exclusively this tree's — path-copied if shared.
+
+        The copy is linked in place of the original under ``parent``
+        (or as the root), sharing both children and the value; callers
+        own ``parent`` already, descending root-down.
+        """
+        if node.gen == self._gen:
+            return node
+        copied: _Node[V] = _Node(node.network, node.length, self._gen)
+        copied.prefix = node.prefix
+        copied.value = node.value
+        copied.left = node.left
+        copied.right = node.right
+        if parent is None:
+            self._root = copied
+        elif went_right:
+            parent.right = copied
+        else:
+            parent.left = copied
+        return copied
 
     def _walk(self, node: _Node[V] | None) -> Iterator[tuple[IPv4Prefix, V]]:
         if node is None:
@@ -150,6 +214,7 @@ class RadixTree(Generic[V]):
         parent: _Node[V] | None = None
         went_right = False
         while True:
+            node = self._owned(node, parent, went_right)
             common = _common_prefix_length(
                 node.network, network, min(node.length, length)
             )
@@ -179,7 +244,7 @@ class RadixTree(Generic[V]):
     def _make_entry(
         self, network: int, length: int, prefix: IPv4Prefix, value: V
     ) -> _Node[V]:
-        node: _Node[V] = _Node(network, length)
+        node: _Node[V] = _Node(network, length, self._gen)
         node.prefix = prefix
         node.value = value
         self._size += 1
@@ -196,7 +261,7 @@ class RadixTree(Generic[V]):
         value: V,
         common: int,
     ) -> None:
-        joint: _Node[V] = _Node(_prefix_bits(network, common), common)
+        joint: _Node[V] = _Node(_prefix_bits(network, common), common, self._gen)
         if common == length:
             # The new prefix sits exactly at the joint.
             joint.prefix = prefix
@@ -304,12 +369,17 @@ class RadixTree(Generic[V]):
         """
         stack: list[_Node[V]] = []
         node = self._root
+        parent: _Node[V] | None = None
+        went_right = False
         while node is not None and node.length < prefix.length:
             if not node.covers(prefix.network, prefix.length):
                 node = None
                 break
+            node = self._owned(node, parent, went_right)
             stack.append(node)
-            node = node.right if _bit(prefix.network, node.length) else node.left
+            went_right = bool(_bit(prefix.network, node.length))
+            parent = node
+            node = node.right if went_right else node.left
         if (
             node is None
             or node.length != prefix.length
@@ -317,6 +387,7 @@ class RadixTree(Generic[V]):
             or not node.covers(prefix.network, prefix.length)
         ):
             raise KeyError(prefix)
+        node = self._owned(node, parent, went_right)
         value = node.value
         node.prefix = None
         node.value = None

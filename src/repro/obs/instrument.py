@@ -1,6 +1,6 @@
 """Instrumentation: the run-record facade over spans and metrics.
 
-Historically this class (in :mod:`repro.runtime.instrument`) kept its
+Historically this class (in ``repro.runtime.instrument``, retired) kept its
 own stage list and counter dict — one of three telemetry dialects in
 the codebase.  It is now a thin facade over the unified layer: every
 ``stage()`` / ``record()`` call produces a real :class:`~repro.obs.spans.Span`
@@ -202,6 +202,46 @@ _CANONICAL: dict[str, tuple[str, dict, str]] = {
     "serve_reload_failures": (
         "repro_server_reload_failures_total", {},
         "Hot reloads that failed (the old index kept serving).",
+    ),
+    "ingest_applied_days": (
+        "repro_ingest_applied_days_total", {},
+        "Daily delta batches applied to the serving index.",
+    ),
+    "ingest_events": (
+        "repro_ingest_delta_events_total", {},
+        "Individual delta events applied, all categories.",
+    ),
+    "ingest_events_published": (
+        "repro_ingest_watch_events_total", {},
+        "Watch events published to the event log.",
+    ),
+    "ingest_apply_failures": (
+        "repro_ingest_apply_failures_total", {},
+        "Delta applies that failed (the previous day kept serving).",
+    ),
+    "ingest_journal_stores": (
+        "repro_ingest_journal_stores_total", {},
+        "Delta batches appended to the on-disk journal.",
+    ),
+    "ingest_journal_store_errors": (
+        "repro_ingest_journal_store_errors_total", {},
+        "Journal appends that failed (disk full, permissions).",
+    ),
+    "ingest_journal_loads": (
+        "repro_ingest_journal_loads_total", {},
+        "Journals replayed on ingestor start.",
+    ),
+    "ingest_journal_evictions": (
+        "repro_ingest_journal_evictions_total", {},
+        "Torn or mismatched journals evicted, not trusted.",
+    ),
+    "ingest_webhook_pushes": (
+        "repro_ingest_webhook_pushes_total", {},
+        "Watch events delivered to the configured webhook.",
+    ),
+    "ingest_webhook_errors": (
+        "repro_ingest_webhook_errors_total", {},
+        "Webhook deliveries that failed (events stay in the log).",
     ),
 }
 

@@ -163,6 +163,7 @@ class AsyncQueryServer:
         workers: int = 2,
         reload_factory=None,
         verbose: bool = False,
+        ingestor=None,
         cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
         if workers < 1:
@@ -172,6 +173,7 @@ class AsyncQueryServer:
             engine,
             verbose=verbose,
             reloader=self.reload if reload_factory is not None else None,
+            ingestor=ingestor,
             cache_size=cache_size,
         )
         self.instrumentation = self.core.instrumentation
@@ -495,12 +497,13 @@ class AsyncQueryServer:
                     buffer += chunk
                 body = bytes(buffer[:length])
                 del buffer[:length]
-            if target.startswith("/v1/admin/"):
-                # Reloads rebuild an index — seconds, not microseconds —
-                # so they run on an executor thread; this worker's loop
-                # keeps answering lookups mid-reload (the zero-downtime
+            if target.startswith(("/v1/admin/", "/v1/watch", "/v1/ingest")):
+                # Blocking endpoints — reloads rebuild an index
+                # (seconds), watch long-polls sleep, ingest applies a
+                # delta — run on an executor thread; this worker's loop
+                # keeps answering lookups meanwhile (the zero-downtime
                 # property).  Flush answered requests first so they are
-                # not held hostage by the rebuild.
+                # not held hostage by the slow call.
                 if out:
                     writer.write(b"".join(out))
                     out = []

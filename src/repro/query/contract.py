@@ -1,0 +1,500 @@
+"""The machine-readable ``/v1`` API contract, and its validator.
+
+``docs/api-contract.json`` — the committed statement of the serving
+surface — is rendered from :data:`CONTRACT` by :func:`render`; the
+contract tests regenerate it and fail on any drift, then replay live
+responses from *both* daemons through :func:`validate`, so the file,
+the threaded transport, and the asyncio transport can never disagree
+about a body shape.
+
+Schemas use a small JSON-Schema subset — ``type`` (including type
+lists), ``const``, ``enum``, ``properties`` / ``required`` /
+``additionalProperties``, and ``items`` — which :func:`validate`
+implements in-process; there is deliberately no dependency on a
+jsonschema package.  ``integer`` excludes booleans (JSON has no bool
+subtype of number; Python does, so the validator compensates).
+
+Versioning: every ``/v1/*`` JSON body rides the envelope of
+:mod:`repro.query.http` with ``api == API_VERSION``; a breaking
+body-shape change bumps that constant and lands a new contract file in
+the same commit.  ``/healthz`` and ``/metrics`` are operational
+surfaces outside the versioned contract and are listed here with
+``versioned: false``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .http import (
+    API_VERSION,
+    MAX_BATCH_BYTES,
+    PROMETHEUS_CONTENT_TYPE,
+    SSE_CONTENT_TYPE,
+    WATCH_TIMEOUT_CAP,
+)
+
+__all__ = [
+    "CONTRACT",
+    "ERROR_CODES",
+    "endpoint",
+    "render",
+    "validate",
+]
+
+#: Every stable error code a ``/v1`` error envelope may carry, with the
+#: condition it reports.  Codes are part of the public API: never
+#: renumber or reuse one.
+ERROR_CODES = {
+    "query.bad-prefix": "missing or unparseable prefix argument",
+    "query.bad-day": "a date argument that is not a calendar day",
+    "query.bad-request": "malformed request line, body, or parameter",
+    "query.not-found": "no endpoint answers this method/path pair",
+    "query.batch-parse": "one or more invalid items in a batch body",
+    "query.reload-failed": "hot reload failed; the old index serves on",
+    "query.internal": "unexpected server-side failure",
+    "ingest.failed": "delta application failed or was out of range",
+}
+
+_STRING = {"type": "string"}
+_NULLABLE_STRING = {"type": ["string", "null"]}
+_BOOLEAN = {"type": "boolean"}
+_INTEGER = {"type": "integer"}
+_ASN_LIST = {"type": "array", "items": {"type": "integer"}}
+_ISO_DATE = {"type": "string"}
+
+#: ``{"api": 1, "error": {...}}`` — the one failure shape.
+ERROR_ENVELOPE = {
+    "type": "object",
+    "required": ["api", "error"],
+    "additionalProperties": False,
+    "properties": {
+        "api": {"const": API_VERSION},
+        "error": {
+            "type": "object",
+            "required": ["code", "message"],
+            "additionalProperties": False,
+            "properties": {
+                "code": {"enum": sorted(ERROR_CODES)},
+                "message": _STRING,
+            },
+        },
+    },
+}
+
+
+def _enveloped(data_schema: dict) -> dict:
+    """``{"api": 1, "data": <data_schema>}`` — the success shape."""
+    return {
+        "type": "object",
+        "required": ["api", "data"],
+        "additionalProperties": False,
+        "properties": {
+            "api": {"const": API_VERSION},
+            "data": data_schema,
+        },
+    }
+
+
+#: One prefix-status answer (the ``/v1/status`` data and each
+#: ``/v1/batch`` result).
+STATUS_DATA = {
+    "type": "object",
+    "required": ["prefix", "on", "drop", "irr", "rpki", "bgp"],
+    "additionalProperties": False,
+    "properties": {
+        "prefix": _STRING,
+        "on": _ISO_DATE,
+        "drop": {
+            "type": "object",
+            "required": ["listed", "entry", "sbl_id", "since"],
+            "additionalProperties": False,
+            "properties": {
+                "listed": _BOOLEAN,
+                "entry": _NULLABLE_STRING,
+                "sbl_id": _NULLABLE_STRING,
+                "since": _NULLABLE_STRING,
+            },
+        },
+        "irr": {
+            "type": "object",
+            "required": ["registered", "exact", "origins"],
+            "additionalProperties": False,
+            "properties": {
+                "registered": _BOOLEAN,
+                "exact": _BOOLEAN,
+                "origins": _ASN_LIST,
+            },
+        },
+        "rpki": {
+            "type": "object",
+            "required": ["covered", "roa_asns", "validity"],
+            "additionalProperties": False,
+            "properties": {
+                "covered": _BOOLEAN,
+                "roa_asns": _ASN_LIST,
+                "validity": {"enum": ["valid", "invalid", "not-found", None]},
+            },
+        },
+        "bgp": {
+            "type": "object",
+            "required": [
+                "announced",
+                "covered_by_route",
+                "origins",
+                "visible_peers",
+                "total_peers",
+            ],
+            "additionalProperties": False,
+            "properties": {
+                "announced": _BOOLEAN,
+                "covered_by_route": _BOOLEAN,
+                "origins": _ASN_LIST,
+                "visible_peers": _INTEGER,
+                "total_peers": _INTEGER,
+            },
+        },
+    },
+}
+
+#: One subscriber-visible change on the ``/v1/watch`` surface.
+WATCH_EVENT = {
+    "type": "object",
+    "required": [
+        "seq", "kind", "day", "prefix", "detail", "origin", "alarm", "sbl_id",
+    ],
+    "additionalProperties": False,
+    "properties": {
+        "seq": _INTEGER,
+        "kind": {"enum": ["listed", "roa-expired", "hijack"]},
+        "day": _ISO_DATE,
+        "prefix": _STRING,
+        "detail": _STRING,
+        "origin": {"type": ["integer", "null"]},
+        "alarm": {"enum": ["moas", "subprefix", "origin", None]},
+        "sbl_id": _NULLABLE_STRING,
+    },
+}
+
+WATCH_DATA = {
+    "type": "object",
+    "required": ["events", "last_seq", "as_of"],
+    "additionalProperties": False,
+    "properties": {
+        "events": {"type": "array", "items": WATCH_EVENT},
+        "last_seq": _INTEGER,
+        "as_of": _ISO_DATE,
+    },
+}
+
+#: The ingest-state block: ``/v1/ingest`` answers carry it, and the
+#: (unversioned) ``/healthz`` body repeats it under ``"ingest"``.
+INGEST_STATUS = {
+    "type": "object",
+    "required": ["as_of", "base_day", "days_applied", "last_seq", "window_end"],
+    "additionalProperties": False,
+    "properties": {
+        "as_of": _ISO_DATE,
+        "base_day": _ISO_DATE,
+        "days_applied": _INTEGER,
+        "last_seq": _INTEGER,
+        "window_end": _ISO_DATE,
+    },
+}
+
+INGEST_DATA = {
+    "type": "object",
+    "required": ["results", "ingest"],
+    "additionalProperties": False,
+    "properties": {
+        "results": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["day", "applied", "events", "replayed"],
+                "additionalProperties": False,
+                "properties": {
+                    "day": _ISO_DATE,
+                    "applied": _INTEGER,
+                    "events": _INTEGER,
+                    "replayed": _BOOLEAN,
+                },
+            },
+        },
+        "ingest": INGEST_STATUS,
+    },
+}
+
+RELOAD_DATA = {
+    "type": "object",
+    "required": ["status", "window", "index"],
+    "additionalProperties": False,
+    "properties": {
+        "status": {"const": "reloaded"},
+        "window": {"type": "array", "items": _ISO_DATE},
+        "index": {"type": "object"},
+    },
+}
+
+
+def endpoint(
+    method: str,
+    path: str,
+    summary: str,
+    *,
+    versioned: bool = True,
+    mounted: str = "always",
+    params: dict | None = None,
+    request_body: str | None = None,
+    responses: dict | None = None,
+) -> dict:
+    """One endpoint descriptor, in the contract file's shape."""
+    return {
+        "method": method,
+        "path": path,
+        "summary": summary,
+        "versioned": versioned,
+        "mounted": mounted,
+        "params": params or {},
+        "request_body": request_body,
+        "responses": responses or {},
+    }
+
+
+def _json_response(schema: dict, description: str) -> dict:
+    return {
+        "content_type": "application/json",
+        "description": description,
+        "schema": schema,
+    }
+
+
+CONTRACT = {
+    "contract": "repro-drop serving surface",
+    "api_version": API_VERSION,
+    "error_codes": ERROR_CODES,
+    "error_envelope": ERROR_ENVELOPE,
+    "limits": {
+        "max_batch_bytes": MAX_BATCH_BYTES,
+        "watch_timeout_cap_seconds": WATCH_TIMEOUT_CAP,
+    },
+    "endpoints": [
+        endpoint(
+            "GET",
+            "/v1/status",
+            "RFC 6811 / DROP / IRR / BGP status of one prefix on one day",
+            params={
+                "prefix": "IPv4 prefix (required)",
+                "on": "ISO date (default: the window end)",
+            },
+            responses={
+                "200": _json_response(
+                    _enveloped(STATUS_DATA), "the prefix status"
+                ),
+                "400": _json_response(
+                    ERROR_ENVELOPE,
+                    "query.bad-prefix / query.bad-day / query.bad-request",
+                ),
+            },
+        ),
+        endpoint(
+            "POST",
+            "/v1/batch",
+            "Many status lookups in one round trip",
+            request_body=(
+                '{"queries": [{"prefix": ..., "on": ...} | "PREFIX", ...]} '
+                "or a bare JSON list"
+            ),
+            responses={
+                "200": _json_response(
+                    _enveloped(
+                        {
+                            "type": "object",
+                            "required": ["results"],
+                            "additionalProperties": False,
+                            "properties": {
+                                "results": {
+                                    "type": "array",
+                                    "items": STATUS_DATA,
+                                }
+                            },
+                        }
+                    ),
+                    "one result per query, in request order",
+                ),
+                "400": _json_response(
+                    ERROR_ENVELOPE,
+                    "query.batch-parse (every bad item named) "
+                    "/ query.bad-request",
+                ),
+            },
+        ),
+        endpoint(
+            "GET",
+            "/v1/watch",
+            "Subscriber-visible changes (listings, hijack alarms, ROA "
+            "expiries) after a sequence number; long-poll or SSE",
+            mounted="incremental mode only (404 otherwise)",
+            params={
+                "since": "resume after this sequence number (default 0)",
+                "timeout": "long-poll seconds, capped at the server limit",
+                "mode": "json (default) or sse",
+            },
+            responses={
+                "200": _json_response(
+                    _enveloped(WATCH_DATA),
+                    "events after `since` (JSON mode); SSE mode answers "
+                    f"`{SSE_CONTENT_TYPE}` with id/event/data frames",
+                ),
+                "400": _json_response(ERROR_ENVELOPE, "query.bad-request"),
+            },
+        ),
+        endpoint(
+            "POST",
+            "/v1/ingest",
+            "Apply the next day (or days) of deltas to the served index",
+            mounted="incremental mode only (404 otherwise)",
+            request_body=(
+                'empty (one day), {"day": "<iso>"} (through that day), '
+                'or {"days": N}'
+            ),
+            responses={
+                "200": _json_response(
+                    _enveloped(INGEST_DATA), "per-day results + ingest state"
+                ),
+                "400": _json_response(
+                    ERROR_ENVELOPE, "query.bad-request / query.bad-day"
+                ),
+                "409": _json_response(
+                    ERROR_ENVELOPE,
+                    "ingest.failed: window exhausted or target out of range",
+                ),
+                "500": _json_response(
+                    ERROR_ENVELOPE,
+                    "ingest.failed: apply died; the previous day serves on",
+                ),
+            },
+        ),
+        endpoint(
+            "POST",
+            "/v1/admin/reload",
+            "Rebuild and atomically swap the served index",
+            mounted="async daemon with a reloader only (404 otherwise)",
+            responses={
+                "200": _json_response(
+                    _enveloped(RELOAD_DATA), "the fresh health snapshot"
+                ),
+                "500": _json_response(
+                    ERROR_ENVELOPE,
+                    "query.reload-failed; the old index serves on",
+                ),
+            },
+        ),
+        endpoint(
+            "GET",
+            "/healthz",
+            "Operational monitoring body (not enveloped, not versioned)",
+            versioned=False,
+            responses={
+                "200": _json_response(
+                    {"type": "object"},
+                    "status/counters/window/index sizes; incremental mode "
+                    "adds an `ingest` block",
+                ),
+                "503": _json_response({"type": "object"}, "draining"),
+            },
+        ),
+        endpoint(
+            "GET",
+            "/metrics",
+            "Prometheus exposition (not JSON, not versioned)",
+            versioned=False,
+            responses={
+                "200": {
+                    "content_type": PROMETHEUS_CONTENT_TYPE,
+                    "description": "metrics exposition",
+                    "schema": None,
+                },
+                "503": _json_response({"type": "object"}, "draining"),
+            },
+        ),
+    ],
+}
+
+
+def render() -> str:
+    """The contract as the canonical ``docs/api-contract.json`` text."""
+    return json.dumps(CONTRACT, indent=2, sort_keys=True) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# the in-process validator
+# ---------------------------------------------------------------------------
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: object, name: str) -> bool:
+    expected = _TYPES[name]
+    if not isinstance(value, expected):
+        return False
+    # bool subclasses int in Python but not in JSON: a true/false value
+    # must never satisfy "integer" or "number".
+    if name in ("integer", "number") and isinstance(value, bool):
+        return False
+    return True
+
+
+def validate(instance: object, schema: dict, path: str = "$") -> list[str]:
+    """Mismatches between ``instance`` and ``schema`` (empty = valid).
+
+    Implements the subset the contract uses: ``type`` (name or list),
+    ``const``, ``enum``, ``properties`` / ``required`` /
+    ``additionalProperties`` (boolean only), and ``items``.
+    """
+    errors: list[str] = []
+    if "const" in schema and instance != schema["const"]:
+        errors.append(
+            f"{path}: expected const {schema['const']!r}, got {instance!r}"
+        )
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(
+            f"{path}: {instance!r} not in enum {schema['enum']!r}"
+        )
+    declared = schema.get("type")
+    if declared is not None:
+        names = [declared] if isinstance(declared, str) else list(declared)
+        if not any(_type_ok(instance, name) for name in names):
+            errors.append(
+                f"{path}: expected type {'/'.join(names)}, "
+                f"got {type(instance).__name__}"
+            )
+            return errors  # structural checks below would only cascade
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, subschema in properties.items():
+            if key in instance:
+                errors.extend(
+                    validate(instance[key], subschema, f"{path}.{key}")
+                )
+        if schema.get("additionalProperties") is False:
+            for key in instance:
+                if key not in properties:
+                    errors.append(f"{path}: unexpected key {key!r}")
+    if isinstance(instance, list) and "items" in schema:
+        for position, item in enumerate(instance):
+            errors.extend(
+                validate(item, schema["items"], f"{path}[{position}]")
+            )
+    return errors

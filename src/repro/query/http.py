@@ -11,11 +11,19 @@ cache, and maps one parsed request onto one :class:`Response`.  The two
 servers are thin transports: they read bytes off a socket, call
 :meth:`ServerCore.handle`, and write the response back.
 
+Every ``/v1/*`` JSON body rides one versioned envelope (API version
+:data:`API_VERSION`)::
+
+    {"api": 1, "data": ...}                                  success
+    {"api": 1, "error": {"code": "...", "message": "..."}}   failure
+
 Client errors are :class:`ReproError` subclasses with stable codes
 (``query.bad-prefix``, ``query.bad-day``, ``query.bad-request``,
-``query.not-found``), and every error body has the same shape::
-
-    {"code": "<subsystem>.<condition>", "error": "<human message>"}
+``query.not-found``), carried in the envelope's ``error`` object.  The
+non-versioned operational endpoints — ``/healthz`` (monitoring JSON)
+and ``/metrics`` (Prometheus exposition) — keep their legacy shapes;
+``docs/api-contract.json`` is the machine-readable statement of the
+whole surface, checked against both daemons by the contract tests.
 
 The engine reference swaps atomically: requests grab one immutable
 ``(engine, snapshot, cache)`` state tuple at dispatch, so a hot reload
@@ -31,7 +39,7 @@ from __future__ import annotations
 import json
 import threading
 from collections import OrderedDict
-from datetime import date
+from datetime import date, timedelta
 from time import perf_counter
 from typing import Callable, NamedTuple
 from urllib.parse import parse_qs, urlsplit
@@ -42,9 +50,12 @@ from ..net.timeline import parse_date
 from .engine import BatchParseError, QueryEngine
 
 __all__ = [
+    "API_VERSION",
     "BAD_REQUEST_BODY",
     "MAX_BATCH_BYTES",
     "PROMETHEUS_CONTENT_TYPE",
+    "SSE_CONTENT_TYPE",
+    "WATCH_TIMEOUT_CAP",
     "BadDayError",
     "BadPrefixError",
     "NotFoundError",
@@ -52,14 +63,25 @@ __all__ = [
     "RequestError",
     "Response",
     "ServerCore",
+    "envelope",
     "error_payload",
     "parse_content_length",
     "parse_day",
     "parse_prefix",
 ]
 
+#: The version stamped into every ``/v1/*`` JSON envelope.  Bump only
+#: with a breaking body-shape change (and a new contract file).
+API_VERSION = 1
+
 #: Largest accepted ``/v1/batch`` request body, in bytes.
 MAX_BATCH_BYTES = 8 << 20
+
+#: Longest ``/v1/watch`` long-poll a client may request, in seconds.
+WATCH_TIMEOUT_CAP = 30.0
+
+#: The content type ``/v1/watch?mode=sse`` answers with.
+SSE_CONTENT_TYPE = "text/event-stream; charset=utf-8"
 
 #: The exposition content type ``GET /metrics`` answers with.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -105,18 +127,26 @@ class ReloadError(ReproError, RuntimeError):
     http_status = 500
 
 
-#: The one 400 body both transports answer when the request itself is
-#: not parseable HTTP (so there is no endpoint to blame): same
-#: ``{"code", "error"}`` shape as every other error payload, with the
-#: stable ``query.bad-request`` code.
-BAD_REQUEST_BODY = (
-    b'{"code": "query.bad-request", "error": "malformed HTTP request"}'
-)
+def envelope(data: object) -> dict:
+    """The success envelope every ``/v1/*`` JSON body rides in."""
+    return {"api": API_VERSION, "data": data}
 
 
 def error_payload(error: ReproError) -> dict:
-    """The uniform JSON error body: stable code plus human message."""
-    return {"code": error.code, "error": str(error)}
+    """The error envelope: stable code plus human message."""
+    return {
+        "api": API_VERSION,
+        "error": {"code": error.code, "message": str(error)},
+    }
+
+
+#: The one 400 body both transports answer when the request itself is
+#: not parseable HTTP (so there is no endpoint to blame): the same
+#: error envelope as every other failure, with the stable
+#: ``query.bad-request`` code.
+BAD_REQUEST_BODY = json.dumps(
+    error_payload(RequestError("malformed HTTP request")), sort_keys=True
+).encode("utf-8")
 
 
 def parse_content_length(raw: str | None) -> int:
@@ -170,6 +200,11 @@ def _json_response(status: int, payload: dict) -> Response:
     return Response(status, "application/json", body)
 
 
+def _data_response(status: int, data: object) -> Response:
+    """A ``/v1/*`` success body, enveloped."""
+    return _json_response(status, envelope(data))
+
+
 class _State(NamedTuple):
     """What one request dispatch sees, swapped atomically on reload."""
 
@@ -197,8 +232,12 @@ class ServerCore:
     loop) of one daemon.  ``reloader`` — when the daemon supports hot
     reload — is a callable returning the fresh health snapshot; it
     backs ``POST /v1/admin/reload`` (404 when absent, so the threaded
-    daemon's surface is unchanged).  ``cache_size=0`` disables the
-    response cache.
+    daemon's surface is unchanged).  ``ingestor`` — when the daemon
+    runs in incremental mode — is a :class:`~repro.ingest.service
+    .Ingestor`; it backs ``GET /v1/watch`` and ``POST /v1/ingest``
+    (both 404 when absent) and its ``on_engine`` callback is wired to
+    :meth:`set_engine` so every applied delta publishes atomically.
+    ``cache_size=0`` disables the response cache.
     """
 
     def __init__(
@@ -207,12 +246,16 @@ class ServerCore:
         *,
         verbose: bool = False,
         reloader: Callable[[], dict] | None = None,
+        ingestor=None,
         cache_size: int = 0,
     ) -> None:
         self.instrumentation = engine.instrumentation
         self.registry = self.instrumentation.registry
         self.verbose = verbose
         self.reloader = reloader
+        self.ingestor = ingestor
+        if ingestor is not None:
+            ingestor.on_engine = lambda fresh: self.set_engine(fresh)
         self.cache_size = cache_size
         self.draining = threading.Event()
         self._cache_lock = threading.Lock()
@@ -296,6 +339,8 @@ class ServerCore:
                 return self._timed(
                     "status", lambda: self._status(url.query, target)
                 )
+            if url.path == "/v1/watch" and self.ingestor is not None:
+                return self._timed("watch", lambda: self._watch(url.query))
             if url.path == "/healthz":
                 return self._timed("healthz", self._healthz)
             if url.path == "/metrics":
@@ -307,6 +352,8 @@ class ServerCore:
                 )
             if url.path == "/v1/admin/reload" and self.reloader is not None:
                 return self._timed("reload", self._admin_reload)
+            if url.path == "/v1/ingest" and self.ingestor is not None:
+                return self._timed("ingest", lambda: self._ingest(body))
         self.instrumentation.incr("serve_client_errors")
         return _json_response(
             404, error_payload(NotFoundError(f"unknown path {url.path}"))
@@ -327,8 +374,11 @@ class ServerCore:
             return _json_response(
                 500,
                 {
-                    "code": "query.internal",
-                    "error": f"{type(error).__name__}: {error}",
+                    "api": API_VERSION,
+                    "error": {
+                        "code": "query.internal",
+                        "message": f"{type(error).__name__}: {error}",
+                    },
                 },
             )
         finally:
@@ -350,7 +400,7 @@ class ServerCore:
         args = {k: v[-1] for k, v in parse_qs(query).items()}
         prefix = parse_prefix(args.get("prefix"))
         day = parse_day(args, default=state.engine.default_day)
-        response = _json_response(
+        response = _data_response(
             200, state.engine.lookup(prefix, day).to_dict()
         )
         if self.cache_size:
@@ -399,12 +449,14 @@ class ServerCore:
         if errors:
             raise BatchParseError(errors)
         results = engine.lookup_many(pairs)
-        return _json_response(
+        return _data_response(
             200, {"results": [status.to_dict() for status in results]}
         )
 
     def _healthz(self) -> Response:
         # Registry/snapshot state only — no engine, no lookup path.
+        # Deliberately *not* enveloped: /healthz is the operational
+        # monitoring surface, outside the versioned /v1 contract.
         state = self._state
         draining = self.draining.is_set()
         payload = {
@@ -412,6 +464,8 @@ class ServerCore:
             "counters": dict(self.instrumentation.counters),
         }
         payload.update(state.snapshot)
+        if self.ingestor is not None:
+            payload["ingest"] = self.ingestor.status()
         return _json_response(503 if draining else 200, payload)
 
     def _metrics(self) -> Response:
@@ -428,4 +482,112 @@ class ServerCore:
             snapshot = self.reloader()
         except ReloadError as error:
             return _json_response(error.http_status, error_payload(error))
-        return _json_response(200, {"status": "reloaded", **snapshot})
+        return _data_response(200, {"status": "reloaded", **snapshot})
+
+    # -- incremental mode ---------------------------------------------------
+
+    def _watch(self, query: str) -> Response:
+        """``GET /v1/watch``: events after ``since``, long-poll or SSE.
+
+        Both modes answer a finite body (the transports are
+        write-one-response); streaming clients reconnect with
+        ``since=<last seq>`` — the SSE body carries a ``retry`` hint
+        and per-event ``id`` lines so ``EventSource`` does exactly
+        that on its own.
+        """
+        ingestor = self.ingestor
+        args = {k: v[-1] for k, v in parse_qs(query).items()}
+        try:
+            since = int(args.get("since", "0"))
+        except ValueError:
+            raise RequestError(
+                f"bad since {args.get('since')!r}: expected an integer"
+            ) from None
+        try:
+            timeout = float(args.get("timeout", "0"))
+        except ValueError:
+            raise RequestError(
+                f"bad timeout {args.get('timeout')!r}: expected seconds"
+            ) from None
+        timeout = min(max(timeout, 0.0), WATCH_TIMEOUT_CAP)
+        mode = args.get("mode", "json")
+        if mode not in ("json", "sse"):
+            raise RequestError(f"bad mode {mode!r}: expected json or sse")
+        events = ingestor.wait_events(since, timeout)
+        if mode == "sse":
+            chunks = ["retry: 2000\n\n"]
+            for event in events:
+                data = json.dumps(event.to_dict(), sort_keys=True)
+                chunks.append(
+                    f"id: {event.seq}\nevent: {event.kind}\n"
+                    f"data: {data}\n\n"
+                )
+            return Response(
+                200, SSE_CONTENT_TYPE, "".join(chunks).encode("utf-8")
+            )
+        return _data_response(
+            200,
+            {
+                "events": [event.to_dict() for event in events],
+                "last_seq": ingestor.events.last_seq,
+                "as_of": ingestor.as_of.isoformat(),
+            },
+        )
+
+    def _ingest(self, body: bytes | None) -> Response:
+        """``POST /v1/ingest``: apply the next day (or days) of deltas.
+
+        Body is optional: ``{}`` advances one day, ``{"day": "<iso>"}``
+        advances through that day, ``{"days": N}`` through N days.
+        State conflicts (window exhausted, target out of range) answer
+        409 with the stable ``ingest.failed`` code; an apply that dies
+        mid-flight answers 500 and the previous day keeps serving.
+        """
+        from ..ingest.apply import IngestError
+
+        ingestor = self.ingestor
+        to_day = None
+        if body:
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError as error:
+                raise RequestError(f"bad JSON body: {error}") from None
+            if not isinstance(payload, dict):
+                raise RequestError("expected a JSON object body")
+            if "day" in payload and "days" in payload:
+                raise RequestError('pass "day" or "days", not both')
+            if "day" in payload:
+                try:
+                    to_day = parse_date(str(payload["day"]))
+                except ValueError as error:
+                    raise BadDayError(str(error)) from None
+            elif "days" in payload:
+                days = payload["days"]
+                if not isinstance(days, int) or days < 1:
+                    raise RequestError(
+                        f"bad days {days!r}: expected a positive integer"
+                    )
+                to_day = ingestor.as_of + timedelta(days=days)
+        try:
+            results = ingestor.advance(to_day=to_day)
+        except IngestError as error:
+            return _json_response(409, error_payload(error))
+        except Exception as error:
+            self.instrumentation.incr("serve_server_errors")
+            return _json_response(
+                500,
+                {
+                    "api": API_VERSION,
+                    "error": {
+                        "code": "ingest.failed",
+                        "message": f"{type(error).__name__}: {error}",
+                    },
+                },
+            )
+        return _data_response(
+            200,
+            {
+                "results": [result.to_dict() for result in results],
+                "ingest": ingestor.status(),
+            },
+        )

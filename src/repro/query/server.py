@@ -102,8 +102,9 @@ class QueryServer(ThreadingHTTPServer):
         port: int = 8765,
         *,
         verbose: bool = False,
+        ingestor=None,
     ) -> None:
-        self.core = ServerCore(engine, verbose=verbose)
+        self.core = ServerCore(engine, verbose=verbose, ingestor=ingestor)
         self.instrumentation = self.core.instrumentation
         self.registry = self.core.registry
         self.verbose = verbose

@@ -7,8 +7,6 @@ single measured byte:
   keyed by config hash + generator version;
 * :mod:`repro.runtime.runner` — the parallel experiment runner with
   deterministic ordering and per-experiment error isolation;
-* :mod:`repro.runtime.instrument` — deprecated shim over
-  :mod:`repro.obs`, where stage timers / counters now live;
 * :mod:`repro.runtime.faults` — the deterministic fault-injection
   harness (``$REPRO_FAULTS``) that drives every recovery path above
   under test.

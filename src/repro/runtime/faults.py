@@ -32,6 +32,14 @@ each cell, in the worker — an ``io-error`` fails just that cell, a
 ``crash`` kills the worker and exercises the serial-fallback
 recovery), and ``sweep.collect`` (report assembly).
 
+The incremental ingest path adds two: ``ingest.apply`` (at the top of
+:func:`~repro.ingest.apply.apply_delta`, before any copy-on-write —
+a fired fault fails that day's advance while the previous day's state
+keeps serving) and ``ingest.journal`` (``io-error`` at a journal
+append degrades to journal-less operation, a ``truncate`` at load
+tears the container so recovery must evict it and rebuild from the
+base day — eviction, never poisoning).
+
 The base-snapshot cache mirrors the world cache's site split:
 ``base.save`` (``io-error`` degrades the store to an uncached run),
 ``base.store`` (``truncate`` tears the staged entry so the published

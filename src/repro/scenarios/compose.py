@@ -495,8 +495,8 @@ def build_scenario_world(
     a :class:`~repro.synth.world.World` whose ``truth.scenario`` holds
     the :class:`ScenarioTruth`.
     """
-    # Imported here, not at module load: repro.synth.builder imports the
-    # legacy repro.synth.scenarios shim, which imports this package.
+    # Imported here, not at module load: repro.synth.builder imports
+    # this package's playbooks, so a top-level import would be a cycle.
     from ..synth.builder import WorldBuilder
 
     builder = WorldBuilder(

@@ -1,7 +1,7 @@
 """The paper's five playbooks, as composable DSL pieces.
 
 This module holds the generation code that used to live in
-:mod:`repro.synth.scenarios`, reorganized into five named
+``repro.synth.scenarios`` (retired), reorganized into five named
 :class:`Playbook` compositions — the paper's scenario content expressed
 in the DSL:
 

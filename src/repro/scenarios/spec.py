@@ -1,7 +1,7 @@
 """The scenario DSL: declarative attack/defense compositions.
 
 A :class:`Scenario` is the composable successor to the hard-coded
-playbooks in :mod:`repro.synth.scenarios`: a *base world* (the paper's
+playbooks (now :mod:`repro.scenarios.playbooks`): a *base world* (the paper's
 generator at some scale and seed) plus any number of attacker
 behaviours and defense deployments layered on top.  Every piece is a
 frozen dataclass with the same canonical-JSON serialization discipline

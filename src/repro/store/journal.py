@@ -1,0 +1,219 @@
+"""The delta journal: applied batches, durably, in one container.
+
+Incremental state is memory-only — the world cache entry's persisted
+index and substrate stay *full knowledge* and must never be overwritten
+with a partial as-of view — so restart recovery needs its own record.
+The journal is that record: one :mod:`repro.store.container` file
+(``delta-journal.bin``) whose meta pins the format, generator, world
+key, and base day, and whose sections (``delta-0000``, ``delta-0001``,
+...) each hold one applied :class:`~repro.ingest.delta.DeltaBatch` as
+canonical JSON bytes.  On restart the ingest service rebuilds the as-of
+base and replays the journaled batches in order.
+
+Durability follows the store discipline: every append rewrites the
+whole container through :func:`~repro.store.container.durable_write`
+(journals are small — tens of batches of a few KB), so a crash can
+never publish a torn file through the normal path.  The
+``ingest.journal`` fault site models the abnormal paths: ``io-error``
+on save degrades to an unjournaled apply with a counter and a warning
+(the daemon keeps serving; recovery just replays fewer days), and a
+``truncate`` fired at load — via :func:`~repro.runtime.faults
+.corrupt_file` — tears the file so the next load finds it corrupt,
+**evicts** it, and recovery falls back to the base state: eviction,
+never poisoning, matching the ``base.*`` precedent.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from datetime import date
+from pathlib import Path
+
+from ..errors import ReproError
+from ..obs import Instrumentation
+from ..runtime.faults import corrupt_file, fault_point
+from ..synth.builder import GENERATOR_VERSION
+from .container import StoreReader, build_store, durable_write
+
+__all__ = [
+    "JOURNAL_FILENAME",
+    "JOURNAL_FORMAT",
+    "DeltaJournal",
+    "JournalLoadError",
+]
+
+#: Journal layout version; bump to orphan every persisted journal.
+JOURNAL_FORMAT = 1
+
+#: The journal file's name (in the daemon's state dir, not the cache entry).
+JOURNAL_FILENAME = "delta-journal.bin"
+
+
+class JournalLoadError(ReproError, ValueError):
+    """A journal that cannot be trusted (torn, stale, foreign)."""
+
+    code = "ingest.journal-stale"
+
+
+class DeltaJournal:
+    """Durable, replayable record of the batches applied since base day.
+
+    Batches stay resident (``self.batches``, as their serialized dicts)
+    so appends rewrite the container without re-reading it.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        *,
+        key: str = "",
+        base_day: date | None = None,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.key = key
+        self.base_day = base_day
+        self.instrumentation = instrumentation or Instrumentation()
+        self.batches: list[dict] = []
+
+    @property
+    def path(self) -> Path:
+        return self.directory / JOURNAL_FILENAME
+
+    def append(self, batch_dict: dict) -> bool:
+        """Record one applied batch durably; False when degraded.
+
+        A write failure (read-only dir, disk full, injected ``io-error``
+        at ``ingest.journal``) keeps the batch in memory and the daemon
+        serving — only restart recovery loses the day — with a counter
+        and a warning, mirroring the index/substrate save paths.
+        """
+        instr = self.instrumentation
+        self.batches.append(batch_dict)
+        meta = {
+            "format": JOURNAL_FORMAT,
+            "generator": GENERATOR_VERSION,
+            "key": self.key,
+            "base_day": (
+                None if self.base_day is None else self.base_day.isoformat()
+            ),
+            "batches": len(self.batches),
+        }
+        sections = [
+            (f"delta-{i:04d}", "B",
+             json.dumps(raw, sort_keys=True,
+                        separators=(",", ":")).encode("utf-8"))
+            for i, raw in enumerate(self.batches)
+        ]
+        try:
+            with instr.stage("journal-append", group="ingest"):
+                fault_point("ingest.journal", instrumentation=instr)
+                durable_write(
+                    self.directory,
+                    JOURNAL_FILENAME,
+                    build_store(meta, sections),
+                )
+        except OSError as error:
+            instr.incr("ingest_journal_store_errors")
+            message = (
+                f"delta journal store failed ({error}); "
+                "continuing unjournaled"
+            )
+            instr.warn(message)
+            warnings.warn(message, RuntimeWarning, stacklevel=2)
+            return False
+        instr.incr("ingest_journal_stores")
+        return True
+
+    @classmethod
+    def load(
+        cls,
+        directory: Path,
+        *,
+        expected_key: str = "",
+        instrumentation: Instrumentation | None = None,
+    ) -> "DeltaJournal":
+        """Read a persisted journal back, verifying its pins.
+
+        Raises :class:`JournalLoadError` (or the underlying
+        ``OSError``/:class:`~repro.store.container.StoreError`) when the
+        file is missing, torn, or foreign — callers evict via
+        :meth:`load_or_evict`.
+        """
+        instr = instrumentation or Instrumentation()
+        path = Path(directory) / JOURNAL_FILENAME
+        with instr.stage("journal-load", group="ingest"):
+            # A truncate fault models a journal torn by a crash that
+            # bypassed the durable-write path (disk lying about fsync).
+            corrupt_file("ingest.journal", path, instrumentation=instr)
+            fault_point("ingest.journal", instrumentation=instr)
+            reader = StoreReader.open(path)
+            try:
+                meta = reader.meta
+                if meta.get("format") != JOURNAL_FORMAT:
+                    raise JournalLoadError(
+                        f"journal format {meta.get('format')!r} != "
+                        f"{JOURNAL_FORMAT}"
+                    )
+                if meta.get("generator") != GENERATOR_VERSION:
+                    raise JournalLoadError(
+                        f"journal generator {meta.get('generator')!r} != "
+                        f"{GENERATOR_VERSION!r}"
+                    )
+                if expected_key and meta.get("key") != expected_key:
+                    raise JournalLoadError(
+                        f"journal key {meta.get('key')!r} != "
+                        f"{expected_key!r}"
+                    )
+                count = meta.get("batches", 0)
+                names = set(reader.section_names())
+                batches = []
+                for i in range(count):
+                    name = f"delta-{i:04d}"
+                    if name not in names:
+                        raise JournalLoadError(
+                            f"journal missing section {name!r}"
+                        )
+                    batches.append(
+                        json.loads(bytes(reader.view(name, "B")))
+                    )
+                base_day = meta.get("base_day")
+                journal = cls(
+                    Path(directory),
+                    key=meta.get("key", ""),
+                    base_day=(
+                        None if base_day is None
+                        else date.fromisoformat(base_day)
+                    ),
+                    instrumentation=instr,
+                )
+                journal.batches = batches
+            finally:
+                reader.close()
+        instr.incr("ingest_journal_loads")
+        return journal
+
+    @classmethod
+    def load_or_evict(
+        cls,
+        directory: Path,
+        *,
+        expected_key: str = "",
+        instrumentation: Instrumentation | None = None,
+    ) -> "DeltaJournal | None":
+        """A trustworthy journal, or None after evicting a bad one."""
+        instr = instrumentation or Instrumentation()
+        path = Path(directory) / JOURNAL_FILENAME
+        if not path.exists():
+            return None
+        try:
+            return cls.load(
+                directory,
+                expected_key=expected_key,
+                instrumentation=instr,
+            )
+        except Exception:
+            path.unlink(missing_ok=True)
+            instr.incr("ingest_journal_evictions")
+            return None

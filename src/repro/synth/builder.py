@@ -11,7 +11,7 @@ its own child RNG so stages stay reproducible independently):
 4. the allocated-but-unrouted-unsigned space (Figure 5, ARIN-heavy);
 5. the "never on DROP" background populations per region (Table 1);
 6. the DROP population itself and the Figure 4 case study (in
-   :mod:`repro.synth.scenarios`);
+   :mod:`repro.scenarios.playbooks`);
 7. the RIR AS0 trust anchors' ROAs over unallocated space (§6.2.2).
 
 Address space is carved from one global cursor so nothing ever overlaps;

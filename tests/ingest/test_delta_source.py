@@ -1,0 +1,97 @@
+"""DeltaSource: one world scan, every day's batch, no drift.
+
+:func:`compute_delta` is now a one-shot wrapper over
+:class:`DeltaSource`, so these tests pin the properties the wrapper
+cannot: a *shared* source hands out the same batch for every day as a
+fresh scan would (``batch()`` must not leak state between calls), the
+union of all days' batches accounts for every archived episode edge,
+and quiet days answer empty batches rather than errors.
+"""
+
+from datetime import date, timedelta
+
+import pytest
+
+from repro.ingest import DeltaBatch, DeltaSource, compute_delta
+from repro.synth import ScenarioConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(ScenarioConfig.tiny(seed=11))
+
+
+@pytest.fixture(scope="module")
+def source(world):
+    return DeltaSource(world)
+
+
+def window_days(world):
+    day = world.window.start
+    while day <= world.window.end:
+        yield day
+        day += timedelta(days=1)
+
+
+def edge_days(world):
+    """Every day any archived episode starts or ends (pre-window too —
+    the generator seeds announcements and ROAs before the window)."""
+    days = set()
+    for prefix in world.drop.unique_prefixes():
+        for episode in world.drop.episodes_for(prefix):
+            days.add(episode.added)
+            days.add(episode.removed)
+    for record in world.roas.records():
+        days.add(record.created)
+        days.add(record.removed)
+    for interval in world.bgp.all_intervals():
+        days.add(interval.start)
+        days.add(interval.end)
+        for p in interval.partial_observers:
+            days.add(p.start)
+            days.add(p.end)
+    days.discard(None)
+    return sorted(days)
+
+
+class TestSharedSource:
+    def test_every_day_matches_a_fresh_scan(self, world, source):
+        for day in window_days(world):
+            assert source.batch(day) == compute_delta(world, day)
+
+    def test_repeated_batches_are_stable(self, world, source):
+        day = world.window.start + timedelta(days=3)
+        assert source.batch(day) == source.batch(day)
+
+    def test_batches_round_trip_the_journal_payload(self, world, source):
+        for day in window_days(world):
+            batch = source.batch(day)
+            assert DeltaBatch.from_dict(batch.to_dict()) == batch
+
+    def test_quiet_day_is_empty_not_an_error(self, source):
+        ancient = date(1970, 1, 1)
+        batch = source.batch(ancient)
+        assert batch.day == ancient
+        assert len(batch) == 0
+
+
+class TestCoverage:
+    def test_batches_account_for_every_archive_edge(self, world, source):
+        """Each lifecycle edge in the archives lands in exactly one batch."""
+        drop_added = drop_removed = 0
+        for prefix in world.drop.unique_prefixes():
+            for episode in world.drop.episodes_for(prefix):
+                drop_added += 1
+                drop_removed += episode.removed is not None
+        roa_added = roa_removed = 0
+        for record in world.roas.records():
+            roa_added += 1
+            roa_removed += record.removed is not None
+        started = sum(1 for _ in world.bgp.all_intervals())
+
+        totals = [source.batch(day) for day in edge_days(world)]
+        assert sum(len(b.drop_added) for b in totals) == drop_added
+        assert sum(len(b.drop_removed) for b in totals) == drop_removed
+        assert sum(len(b.roa_added) for b in totals) == roa_added
+        assert sum(len(b.roa_removed) for b in totals) == roa_removed
+        assert sum(len(b.route_started) for b in totals) == started

@@ -1,0 +1,299 @@
+"""Watch-event semantics: classification, sequencing, delivery.
+
+The hijack classifier runs against the *pre-delta* index with
+:class:`~repro.bgp.alarms.AlarmKind` semantics; these tests pick real
+conflict candidates out of a synthetic world's index and assert each
+alarm class (MOAS, sub-prefix, unauthorized origin) fires — and that
+RFC 6811 *valid* announcements never do.  The delivery half covers the
+:class:`EventLog` ring (monotonic seqs, ``since`` resume, blocking
+reads, bounded retention) and the fire-and-forget webhook pusher.
+"""
+
+import http.server
+import json
+import threading
+from datetime import timedelta
+
+import pytest
+
+from repro.ingest import (
+    DeltaBatch,
+    EventLog,
+    RouteStart,
+    WatchEvent,
+    WebhookPusher,
+    evaluate_events,
+)
+from repro.query.index import build_index
+from repro.rpki.tal import TalSet
+from repro.runtime import Instrumentation
+from repro.synth import ScenarioConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(ScenarioConfig.tiny(seed=11))
+
+
+@pytest.fixture(scope="module")
+def index(world):
+    return build_index(world)
+
+
+@pytest.fixture(scope="module")
+def day(world):
+    return world.window.end
+
+
+@pytest.fixture(scope="module")
+def tals():
+    return TalSet.default()
+
+
+def _start(prefix, origin):
+    return RouteStart(prefix=prefix, origin=origin, end=None, observers=())
+
+
+def _no_route_conflict(index, prefix, origin, day):
+    """True when no active route (exact or covering) has another origin."""
+    for covering, bucket in index.routes.lookup_covering(prefix):
+        for entry in bucket:
+            if entry.active_on(day) and entry.origin != origin:
+                return False
+    return True
+
+
+class TestHijackClassification:
+    def test_moas_second_origin_on_exact_prefix(self, world, index, day):
+        for prefix in index.routes:
+            active = [
+                e for e in index.routes.get(prefix) if e.active_on(day)
+            ]
+            if active:
+                incumbent = active[0].origin
+                break
+        else:
+            raise AssertionError("no active route in the world")
+        batch = DeltaBatch(
+            day=day, route_started=(_start(prefix, incumbent + 1),)
+        )
+        events = evaluate_events(index, batch)
+        assert [e.kind for e in events] == ["hijack"]
+        assert events[0].alarm == "moas"
+        assert events[0].prefix == prefix
+        assert events[0].origin == incumbent + 1
+
+    def test_subprefix_more_specific_of_active_route(self, index, day):
+        for prefix in index.routes:
+            if prefix.length >= 24:
+                continue
+            active = [
+                e for e in index.routes.get(prefix) if e.active_on(day)
+            ]
+            if not active:
+                continue
+            incumbent = active[0].origin
+            for sub in prefix.subnets(prefix.length + 1):
+                exact = index.routes.get(sub) or ()
+                if not any(e.active_on(day) for e in exact):
+                    batch = DeltaBatch(
+                        day=day,
+                        route_started=(_start(sub, incumbent + 1),),
+                    )
+                    events = evaluate_events(index, batch)
+                    assert [e.alarm for e in events] == ["subprefix"]
+                    assert str(prefix) in events[0].detail
+                    return
+        raise AssertionError("no sub-prefix candidate in the world")
+
+    def test_origin_unauthorized_under_covering_roa(self, index, day, tals):
+        for prefix in index.roa:
+            entries = [
+                e
+                for e in index.roa.get(prefix)
+                if e.active_on(day) and tals.trusts(e.trust_anchor)
+            ]
+            if not entries:
+                continue
+            rogue = max(e.asn for e in entries) + 1
+            if not _no_route_conflict(index, prefix, rogue, day):
+                continue
+            authorized = any(
+                e.active_on(day)
+                and tals.trusts(e.trust_anchor)
+                and e.roa(p).authorizes(prefix, rogue)
+                for p, bucket in index.roa.lookup_covering(prefix)
+                for e in bucket
+            )
+            if authorized:
+                continue
+            batch = DeltaBatch(
+                day=day, route_started=(_start(prefix, rogue),)
+            )
+            events = evaluate_events(index, batch)
+            assert [e.alarm for e in events] == ["origin"]
+            assert events[0].origin == rogue
+            return
+        raise AssertionError("no unauthorized-origin candidate in the world")
+
+    def test_rfc6811_valid_announcement_is_silent(self, index, day, tals):
+        for prefix in index.roa:
+            entries = [
+                e
+                for e in index.roa.get(prefix)
+                if e.active_on(day) and tals.trusts(e.trust_anchor)
+            ]
+            for entry in entries:
+                if not entry.roa(prefix).authorizes(prefix, entry.asn):
+                    continue
+                if not _no_route_conflict(index, prefix, entry.asn, day):
+                    continue
+                batch = DeltaBatch(
+                    day=day, route_started=(_start(prefix, entry.asn),)
+                )
+                assert evaluate_events(index, batch) == []
+                return
+        raise AssertionError("no RFC 6811 valid candidate in the world")
+
+    def test_uncovered_unconflicted_announcement_is_silent(self, index, day):
+        # A prefix no store has seen: no routes, no ROAs, no event.
+        from repro.net.prefix import IPv4Prefix
+
+        quiet = IPv4Prefix.parse("203.0.113.0/24")
+        assert index.routes.get(quiet) is None
+        batch = DeltaBatch(day=day, route_started=(_start(quiet, 64500),))
+        assert evaluate_events(index, batch) == []
+
+
+class TestListingAndExpiryEvents:
+    def test_drop_addition_becomes_listed_event(self, index, day, world):
+        prefix = next(iter(world.drop.unique_prefixes()))
+        batch = DeltaBatch(day=day, drop_added=((prefix, "SBL99999"),))
+        events = evaluate_events(index, batch)
+        assert [e.kind for e in events] == ["listed"]
+        assert events[0].sbl_id == "SBL99999"
+        assert events[0].to_dict()["prefix"] == str(prefix)
+
+    def test_roa_removal_becomes_expiry_event(self, index, day, world):
+        record = next(iter(world.roas.records()))
+        roa = record.roa
+        batch = DeltaBatch(
+            day=day,
+            roa_removed=(
+                (
+                    roa.prefix,
+                    roa.asn,
+                    roa.max_length,
+                    roa.trust_anchor,
+                    record.created,
+                ),
+            ),
+        )
+        events = evaluate_events(index, batch)
+        assert [e.kind for e in events] == ["roa-expired"]
+        assert events[0].origin == roa.asn
+        assert roa.trust_anchor in events[0].detail
+
+
+class TestEventLog:
+    def _event(self, n):
+        from repro.net.prefix import IPv4Prefix
+        from datetime import date
+
+        return WatchEvent(
+            seq=0,
+            kind="listed",
+            day=date(2020, 1, 1) + timedelta(days=n),
+            prefix=IPv4Prefix.parse("198.51.100.0/24"),
+            detail=f"event {n}",
+        )
+
+    def test_publish_assigns_monotonic_seqs(self):
+        log = EventLog()
+        first = log.publish([self._event(0), self._event(1)])
+        second = log.publish([self._event(2)])
+        assert [e.seq for e in first + second] == [1, 2, 3]
+        assert log.last_seq == 3
+        assert log.publish([]) == []
+        assert log.last_seq == 3
+
+    def test_since_resumes_mid_stream(self):
+        log = EventLog()
+        log.publish([self._event(n) for n in range(5)])
+        assert [e.seq for e in log.since(0)] == [1, 2, 3, 4, 5]
+        assert [e.seq for e in log.since(3)] == [4, 5]
+        assert log.since(5) == []
+
+    def test_bounded_ring_drops_oldest(self):
+        log = EventLog(maxlen=3)
+        log.publish([self._event(n) for n in range(5)])
+        assert [e.seq for e in log.since(0)] == [3, 4, 5]
+        assert log.last_seq == 5
+
+    def test_wait_since_wakes_on_publish(self):
+        log = EventLog()
+        got = []
+
+        def waiter():
+            got.extend(log.wait_since(0, timeout=10.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        log.publish([self._event(0)])
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert [e.seq for e in got] == [1]
+
+    def test_wait_since_times_out_empty(self):
+        log = EventLog()
+        assert log.wait_since(0, timeout=0.05) == []
+
+
+class TestWebhookPusher:
+    def test_delivers_enveloped_events(self):
+        received = []
+
+        class Receiver(http.server.BaseHTTPRequestHandler):
+            def do_POST(self):
+                length = int(self.headers["Content-Length"])
+                received.append(json.loads(self.rfile.read(length)))
+                self.send_response(204)
+                self.end_headers()
+
+            def log_message(self, *args):
+                pass
+
+        httpd = http.server.HTTPServer(("127.0.0.1", 0), Receiver)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = httpd.server_address
+            instr = Instrumentation()
+            pusher = WebhookPusher(
+                f"http://{host}:{port}/hook", instrumentation=instr
+            )
+            event = TestEventLog()._event(0)
+            push = pusher.push([event])
+            push.join(timeout=10)
+            assert not push.is_alive()
+            assert pusher.push([]) is None
+        finally:
+            httpd.shutdown()
+            thread.join(timeout=10)
+        assert received == [
+            {"api": 1, "data": {"events": [event.to_dict()]}}
+        ]
+        assert instr.counters["ingest_webhook_pushes"] == 1
+
+    def test_dead_receiver_counts_error_and_survives(self):
+        instr = Instrumentation()
+        # A port nothing listens on: delivery fails, the push thread
+        # still terminates, and only the error counter moves.
+        pusher = WebhookPusher(
+            "http://127.0.0.1:9/hook", instrumentation=instr, timeout=0.5
+        )
+        push = pusher.push([TestEventLog()._event(0)])
+        push.join(timeout=10)
+        assert not push.is_alive()
+        assert instr.counters["ingest_webhook_errors"] == 1
+        assert "ingest_webhook_pushes" not in instr.counters

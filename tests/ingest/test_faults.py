@@ -1,0 +1,188 @@
+"""Fault injection on the ingest path: eviction, never poisoning.
+
+Three abnormal paths, all pinned against the identity rule:
+
+* ``io-error@ingest.apply`` — a delta application that dies mid-flight
+  must leave the previous day's state serving (the daemon answers, the
+  as-of day does not move) and the *next* advance must succeed cleanly;
+* ``io-error@ingest.journal`` on append — journal persistence degrades
+  to unjournaled operation with a warning and a counter, the advance
+  itself succeeds;
+* ``truncate@ingest.journal`` at load — a torn journal is evicted and
+  recovery falls back to the as-of base state, which then re-advances
+  to exactly the answers an untorn restart would have given.
+"""
+
+import json
+import threading
+import warnings
+from datetime import timedelta
+
+import pytest
+
+from repro.ingest import Ingestor, IngestError, build_index_as_of
+from repro.query import QueryServer
+from repro.query.engine import QueryEngine
+from repro.runtime import Instrumentation
+from repro.runtime.faults import InjectedIOError, injected
+from repro.store.journal import JOURNAL_FILENAME, DeltaJournal
+from repro.synth import ScenarioConfig, build_world
+
+from .test_identity import engine_outputs, probe_days, probe_prefixes
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(ScenarioConfig.tiny(seed=7))
+
+
+class TestApplyFaults:
+    def test_failed_apply_leaves_previous_day_serving(self, world):
+        instr = Instrumentation()
+        ingestor = Ingestor(world, instrumentation=instr)
+        ingestor.advance()
+        day_one = world.window.start + timedelta(days=1)
+        engine_before = ingestor.engine
+        index_before = ingestor.index
+        prefixes = probe_prefixes(world)
+        days = probe_days(world, world.window.start, day_one)
+        answers_before = engine_outputs(engine_before, prefixes, days)
+
+        with injected("io-error@ingest.apply"):
+            with pytest.raises(InjectedIOError):
+                ingestor.advance()
+
+        assert ingestor.as_of == day_one
+        assert ingestor.days_applied == 1
+        assert ingestor.engine is engine_before
+        assert ingestor.index is index_before
+        assert instr.counters["ingest_apply_failures"] == 1
+        assert engine_outputs(engine_before, prefixes, days) == answers_before
+        # The fault disarmed: the next advance applies day two cleanly.
+        results = ingestor.advance()
+        assert [r.day for r in results] == [day_one + timedelta(days=1)]
+
+    def test_failed_apply_over_http_answers_500_then_serves(self, world):
+        ingestor = Ingestor(world)
+        srv = QueryServer(ingestor.engine, "127.0.0.1", 0, ingestor=ingestor)
+        thread = threading.Thread(
+            target=srv.serve_until_shutdown, daemon=True
+        )
+        thread.start()
+        try:
+            from tests.query.conftest import fetch
+
+            address = srv.server_address
+            with injected("io-error@ingest.apply"):
+                reply = fetch(address, "POST", "/v1/ingest", b"")
+            assert reply.status == 500
+            payload = json.loads(reply.body)
+            assert payload["error"]["code"] == "ingest.failed"
+            # The daemon still answers from the pre-fault state.
+            prefix = next(iter(ingestor.index.drop))
+            reply = fetch(address, "GET", f"/v1/status?prefix={prefix}")
+            assert reply.status == 200
+            health = json.loads(fetch(address, "GET", "/healthz").body)
+            assert health["ingest"]["days_applied"] == 0
+            # And the retry succeeds once the fault is gone.
+            assert fetch(address, "POST", "/v1/ingest", b"").status == 200
+        finally:
+            srv.shutdown()
+            thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
+class TestJournalFaults:
+    def test_append_io_error_degrades_not_fails(self, world, tmp_path):
+        instr = Instrumentation()
+        ingestor = Ingestor(
+            world, state_dir=tmp_path / "state", instrumentation=instr
+        )
+        with injected("io-error@ingest.journal"):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                results = ingestor.advance()
+        assert len(results) == 1
+        assert ingestor.days_applied == 1
+        assert instr.counters["ingest_journal_store_errors"] == 1
+        assert any(
+            "continuing unjournaled" in str(w.message) for w in caught
+        )
+        # The next append rewrites the whole container, so the lost
+        # day is back in the durable record.
+        ingestor.advance()
+        assert instr.counters["ingest_journal_stores"] == 1
+        reloaded = DeltaJournal.load(tmp_path / "state")
+        assert len(reloaded.batches) == 2
+
+    def test_torn_journal_evicted_and_rebuilt(self, world, tmp_path):
+        state = tmp_path / "state"
+        first = Ingestor(world, state_dir=state)
+        final = world.window.start + timedelta(days=6)
+        first.advance(to_day=final)
+        journal_path = state / JOURNAL_FILENAME
+        assert journal_path.exists()
+
+        instr = Instrumentation()
+        with injected("truncate@ingest.journal"):
+            resumed = Ingestor(
+                world, state_dir=state, instrumentation=instr
+            )
+        # Eviction, not poisoning: the torn journal is gone and the
+        # service restarted from the base day.
+        assert instr.counters["ingest_journal_evictions"] == 1
+        assert resumed.as_of == world.window.start
+        assert resumed.days_applied == 0
+        prefixes = probe_prefixes(world)
+        days = probe_days(world, world.window.start, world.window.start)
+        base = QueryEngine(build_index_as_of(world, world.window.start))
+        assert engine_outputs(
+            resumed.engine, prefixes, days
+        ) == engine_outputs(base, prefixes, days)
+        # Re-advancing lands on exactly the untorn answers, and the
+        # journal file is rebuilt durably as it goes.
+        resumed.advance(to_day=final)
+        days = probe_days(world, world.window.start, final)
+        assert engine_outputs(
+            resumed.engine, prefixes, days
+        ) == engine_outputs(first.engine, prefixes, days)
+        assert journal_path.exists()
+        third = Ingestor(world, state_dir=state)
+        assert third.as_of == final
+        assert third.days_applied == 6
+
+    def test_garbage_journal_evicted(self, world, tmp_path):
+        state = tmp_path / "state"
+        Ingestor(world, state_dir=state).advance()
+        # Not merely torn — overwritten with bytes that are no container
+        # at all (a bad disk, a stray writer): same eviction path.
+        (state / JOURNAL_FILENAME).write_bytes(b"not a container")
+        instr = Instrumentation()
+        resumed = Ingestor(world, state_dir=state, instrumentation=instr)
+        assert instr.counters["ingest_journal_evictions"] == 1
+        assert resumed.days_applied == 0
+        assert not (state / JOURNAL_FILENAME).exists()
+
+    def test_foreign_key_journal_ignored(self, world, tmp_path):
+        state = tmp_path / "state"
+        Ingestor(world, key="world-a", state_dir=state).advance()
+        # A restart under a different world key must not replay the
+        # foreign journal (its deltas describe different archives).
+        resumed = Ingestor(world, key="world-b", state_dir=state)
+        assert resumed.days_applied == 0
+        assert resumed.as_of == world.window.start
+        # Its first advance overwrites the foreign journal in place.
+        resumed.advance()
+        reloaded = DeltaJournal.load(state, expected_key="world-b")
+        assert len(reloaded.batches) == 1
+
+
+class TestAdvanceBounds:
+    def test_window_end_exhaustion_is_ingest_error(self, world):
+        ingestor = Ingestor(
+            world, start_day=world.window.end - timedelta(days=1)
+        )
+        ingestor.advance()
+        assert ingestor.as_of == world.window.end
+        with pytest.raises(IngestError, match="nothing left to ingest"):
+            ingestor.advance()

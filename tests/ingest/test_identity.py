@@ -1,0 +1,196 @@
+"""The ingest identity rule: incremental == rebuilt-from-scratch.
+
+Applying K sequential daily deltas to the as-of-day-0 state must land
+on exactly the outputs of one cold as-of build of the final day —
+query responses and report payloads alike, under multiple seeds.  This
+is the contract that makes the streaming path trustworthy: every
+answer the live daemon gives is an answer the batch pipeline would
+have given.
+"""
+
+import json
+from datetime import timedelta
+
+import pytest
+
+from repro.analysis.substrate import AnalysisSubstrate
+from repro.ingest import (
+    Ingestor,
+    apply_delta,
+    build_index_as_of,
+    compute_delta,
+    compute_roa_status_as_of,
+)
+from repro.query.engine import QueryEngine
+from repro.query.index import build_index
+from repro.synth import ScenarioConfig, build_world
+
+SEEDS = (7, 2022)
+
+#: Days of daily ingest to replay in the golden runs.
+K = 45
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def world(request):
+    return build_world(ScenarioConfig.tiny(seed=request.param))
+
+
+def probe_days(world, start, end):
+    """A handful of interesting days: boundaries plus a mid-range spread."""
+    days = {start, end, start + (end - start) / 2}
+    days.add(world.window.end)
+    return sorted(days)
+
+
+def probe_prefixes(world):
+    """Every prefix any store knows about (tiny worlds keep this small)."""
+    prefixes = set(world.drop.unique_prefixes())
+    prefixes.update(r.roa.prefix for r in world.roas.records())
+    prefixes.update(i.prefix for i in world.bgp.all_intervals())
+    prefixes.update(r.route.prefix for r in world.irr.records())
+    return sorted(prefixes)
+
+
+def engine_outputs(engine, prefixes, days):
+    """Every probe lookup as its canonical wire bytes."""
+    return [
+        json.dumps(
+            engine.lookup(prefix, on=day).to_dict(), sort_keys=True
+        )
+        for prefix in prefixes
+        for day in days
+    ]
+
+
+def status_payload(result):
+    """A RoaStatusResult as comparable canonical bytes."""
+    return json.dumps(
+        {
+            "points": [
+                [
+                    p.day.isoformat(),
+                    p.signed,
+                    p.signed_routed,
+                    p.signed_unrouted,
+                    p.allocated_unrouted_unsigned,
+                ]
+                for p in result.points
+            ],
+            "by_holder": result.unrouted_signed_by_holder,
+            "by_rir": result.unrouted_unsigned_by_rir,
+        },
+        sort_keys=True,
+    )
+
+
+class TestIncrementalIdentity:
+    def test_k_daily_deltas_equal_cold_build(self, world):
+        """The tentpole golden: K applied days == one cold as-of build."""
+        start = world.window.start
+        final = start + timedelta(days=K)
+        index = build_index_as_of(world, start)
+        substrate = AnalysisSubstrate(world)
+        substrate._index = index
+        substrate._roa_status = compute_roa_status_as_of(world, start)
+        for offset in range(1, K + 1):
+            day = start + timedelta(days=offset)
+            index = apply_delta(
+                index, substrate, compute_delta(world, day)
+            )
+
+        cold_index = build_index_as_of(world, final)
+        prefixes = probe_prefixes(world)
+        days = probe_days(world, start, final)
+        assert engine_outputs(
+            QueryEngine(index), prefixes, days
+        ) == engine_outputs(QueryEngine(cold_index), prefixes, days)
+        assert status_payload(substrate._roa_status) == status_payload(
+            compute_roa_status_as_of(world, final)
+        )
+
+    def test_full_window_replay_equals_batch_build(self, world):
+        """Ingesting every day of the window lands on the batch index."""
+        start = world.window.start
+        end = world.window.end
+        index = build_index_as_of(world, start)
+        substrate = AnalysisSubstrate(world)
+        substrate._index = index
+        substrate._roa_status = compute_roa_status_as_of(world, start)
+        day = start
+        while day < end:
+            day += timedelta(days=1)
+            index = apply_delta(index, substrate, compute_delta(world, day))
+
+        batch_index = build_index(world)
+        prefixes = probe_prefixes(world)
+        days = probe_days(world, start, end)
+        assert engine_outputs(
+            QueryEngine(index), prefixes, days
+        ) == engine_outputs(QueryEngine(batch_index), prefixes, days)
+        # The fully-replayed substrate equals the full batch report.
+        from repro.analysis.substrate import compute_roa_status
+
+        assert status_payload(substrate._roa_status) == status_payload(
+            compute_roa_status(world)
+        )
+
+    def test_as_of_window_end_equals_full_build(self, world):
+        """Nothing clamps on the final day: as-of == batch build."""
+        cold = build_index_as_of(world, world.window.end)
+        full = build_index(world)
+        prefixes = probe_prefixes(world)
+        days = probe_days(world, world.window.start, world.window.end)
+        assert engine_outputs(
+            QueryEngine(cold), prefixes, days
+        ) == engine_outputs(QueryEngine(full), prefixes, days)
+
+    def test_old_index_untouched_by_apply(self, world):
+        """Copy-on-write: the pre-apply state keeps serving old answers."""
+        start = world.window.start
+        index = build_index_as_of(world, start)
+        before_engine = QueryEngine(index)
+        prefixes = probe_prefixes(world)
+        days = probe_days(world, start, start + timedelta(days=1))
+        before = engine_outputs(before_engine, prefixes, days)
+        day = start
+        current = index
+        for _ in range(7):
+            day += timedelta(days=1)
+            current = apply_delta(current, None, compute_delta(world, day))
+        assert engine_outputs(before_engine, prefixes, days) == before
+
+
+class TestIngestorService:
+    def test_ingestor_advance_matches_cold_build(self, world, tmp_path):
+        ingestor = Ingestor(world, state_dir=tmp_path / "state")
+        final = world.window.start + timedelta(days=10)
+        results = ingestor.advance(to_day=final)
+        assert [r.day for r in results] == [
+            world.window.start + timedelta(days=n) for n in range(1, 11)
+        ]
+        assert ingestor.as_of == final
+        cold = QueryEngine(build_index_as_of(world, final))
+        prefixes = probe_prefixes(world)
+        days = probe_days(world, world.window.start, final)
+        assert engine_outputs(
+            ingestor.engine, prefixes, days
+        ) == engine_outputs(cold, prefixes, days)
+
+    def test_journal_replay_restores_state(self, world, tmp_path):
+        state = tmp_path / "state"
+        first = Ingestor(world, state_dir=state)
+        final = world.window.start + timedelta(days=8)
+        first.advance(to_day=final)
+
+        resumed = Ingestor(world, state_dir=state)
+        assert resumed.as_of == final
+        assert resumed.days_applied == 8
+        prefixes = probe_prefixes(world)
+        days = probe_days(world, world.window.start, final)
+        assert engine_outputs(
+            resumed.engine, prefixes, days
+        ) == engine_outputs(first.engine, prefixes, days)
+        assert status_payload(resumed.substrate._roa_status) == (
+            status_payload(first.substrate._roa_status)
+        )

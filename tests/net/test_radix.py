@@ -261,3 +261,84 @@ class TestDeletionPruning:
             == ["10.0.0.0/8", "10.0.1.0/24"]
         covered = {str(p) for p, _ in tree.lookup_covered(P("10.0.0.0/8"))}
         assert covered == {"10.0.0.0/8", "10.0.1.0/24", "10.1.0.0/16"}
+
+
+class TestFork:
+    """fork(): O(1) snapshots with copy-on-write isolation both ways."""
+
+    def test_fork_shares_nodes_until_written(self, tree):
+        forked = tree.fork()
+        assert forked._root is tree._root
+        assert len(forked) == len(tree)
+        assert dict(forked.items()) == dict(tree.items())
+
+    def test_write_on_fork_leaves_original_untouched(self, tree):
+        before = dict(tree.items())
+        forked = tree.fork()
+        forked.insert(P("172.16.0.0/12"), "new")
+        forked.insert(P("10.0.1.0/24"), "replaced")
+        assert dict(tree.items()) == before
+        assert forked.get(P("172.16.0.0/12")) == "new"
+        assert forked.get(P("10.0.1.0/24")) == "replaced"
+        assert tree.get(P("10.0.1.0/24")) == "10.0.1.0/24"
+        assert P("172.16.0.0/12") not in tree
+
+    def test_write_on_original_leaves_fork_untouched(self, tree):
+        forked = tree.fork()
+        snapshot = dict(forked.items())
+        tree.insert(P("198.51.100.0/24"), "late")
+        tree.delete(P("192.0.2.0/24"))
+        assert dict(forked.items()) == snapshot
+        assert P("198.51.100.0/24") not in forked
+        assert forked.get(P("192.0.2.0/24")) == "192.0.2.0/24"
+
+    def test_delete_on_fork_is_isolated(self, tree):
+        forked = tree.fork()
+        forked.delete(P("10.0.0.0/16"))
+        forked.delete(P("0.0.0.0/0"))
+        assert P("10.0.0.0/16") in tree
+        assert P("0.0.0.0/0") in tree
+        assert P("10.0.0.0/16") not in forked
+        assert len(forked) == len(tree) - 2
+
+    def test_fork_write_copies_only_the_touched_path(self):
+        t = RadixTree()
+        for i in range(256):
+            t.insert(P(f"10.{i}.0.0/16"), i)
+        total = _node_count(t)
+        forked = t.fork()
+        forked.insert(P("10.0.0.0/24"), "x")
+        own = 0
+        stack = [forked._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            if node.gen == forked._gen:
+                own += 1
+            stack.extend((node.left, node.right))
+        # A world-scale trie copies a root-to-leaf path, not the tree.
+        assert own < 16, (own, total)
+
+    def test_fork_values_are_shared_not_copied(self, tree):
+        bucket = ["a"]
+        tree.insert(P("203.0.113.0/24"), bucket)
+        forked = tree.fork()
+        assert forked.get(P("203.0.113.0/24")) is bucket
+
+    def test_chained_forks_stay_isolated(self, tree):
+        first = tree.fork()
+        first.insert(P("172.16.0.0/12"), "first")
+        second = first.fork()
+        second.insert(P("172.17.0.0/16"), "second")
+        second.delete(P("172.16.0.0/12"))
+        assert first.get(P("172.16.0.0/12")) == "first"
+        assert P("172.17.0.0/16") not in first
+        assert P("172.16.0.0/12") not in tree
+
+    def test_fork_iteration_order_matches_clone(self, tree):
+        forked = tree.fork()
+        forked.insert(P("172.16.0.0/12"), "new")
+        cloned = tree.clone()
+        cloned.insert(P("172.16.0.0/12"), "new")
+        assert list(forked.items()) == list(cloned.items())

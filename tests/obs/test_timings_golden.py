@@ -2,11 +2,11 @@
 
 The CLI-level golden test (tests/test_golden.py) pins the schema on a
 real run; here the dict is pinned byte-for-byte on deterministic inputs,
-plus the canonical counter mirroring and the deprecation shim.
+plus the canonical counter mirroring.
 """
 
+import importlib
 import json
-import warnings
 
 import pytest
 
@@ -113,20 +113,15 @@ class TestCanonicalCounters:
         assert instr.registry.get("repro_faults_injected_total").value() == 1
 
 
-class TestDeprecationShim:
-    def test_old_import_path_warns_and_resolves(self):
-        from repro.runtime import instrument as legacy
+class TestShimRetired:
+    def test_old_import_path_is_gone(self):
+        # The repro.runtime.instrument shim served its one-release
+        # deprecation window and was removed; the supported homes are
+        # repro.obs and the repro.runtime re-export.
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.runtime.instrument")
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            shimmed = legacy.Instrumentation
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
-        assert shimmed is Instrumentation
+    def test_runtime_reexport_still_works(self):
+        from repro.runtime import Instrumentation as reexported
 
-    def test_unknown_attribute_still_raises(self):
-        from repro.runtime import instrument as legacy
-
-        with pytest.raises(AttributeError):
-            legacy.no_such_thing
+        assert reexported is Instrumentation

@@ -23,6 +23,7 @@ import threading
 import pytest
 
 from repro.query import AsyncQueryServer, QueryEngine, QueryServer
+from repro.query.http import envelope
 from repro.runtime import Instrumentation
 from repro.runtime.faults import injected
 
@@ -122,7 +123,8 @@ class TestContractParity:
     def test_status_default_day(self, pair, index):
         prefix = next(iter(index.routes))
         reply = both(pair, "GET", f"/v1/status?prefix={prefix}")
-        assert json.loads(reply.body)["on"] == index.window.end.isoformat()
+        body = json.loads(reply.body)
+        assert body["data"]["on"] == index.window.end.isoformat()
 
     def test_batch_query_dicts(self, pair, pairs):
         payload = {
@@ -134,7 +136,8 @@ class TestContractParity:
             pair, "POST", "/v1/batch", json.dumps(payload).encode()
         )
         assert reply.status == 200
-        assert len(json.loads(reply.body)["results"]) == len(pairs)
+        results = json.loads(reply.body)["data"]["results"]
+        assert len(results) == len(pairs)
 
     def test_batch_bare_list_and_strings(self, pair, index):
         prefix = str(next(iter(index.routes)))
@@ -142,7 +145,8 @@ class TestContractParity:
             pair, "POST", "/v1/batch", json.dumps([prefix]).encode()
         )
         assert reply.status == 200
-        assert json.loads(reply.body)["results"][0]["prefix"] == prefix
+        results = json.loads(reply.body)["data"]["results"]
+        assert results[0]["prefix"] == prefix
 
     @pytest.mark.parametrize(
         ("method", "target", "body", "status", "code"),
@@ -176,12 +180,14 @@ class TestContractParity:
         reply = both(pair, method, target, body)
         assert reply.status == status
         payload = json.loads(reply.body)
-        assert set(payload) == {"code", "error"}
-        assert payload["code"] == code
+        assert set(payload) == {"api", "error"}
+        assert set(payload["error"]) == {"code", "message"}
+        assert payload["error"]["code"] == code
 
     def test_missing_prefix_message_unchanged(self, pair):
         reply = both(pair, "GET", "/v1/status")
-        assert json.loads(reply.body)["error"] == "missing prefix"
+        payload = json.loads(reply.body)
+        assert payload["error"]["message"] == "missing prefix"
 
     def test_all_bad_batch_items_reported_together(self, pair, index):
         prefix = str(next(iter(index.routes)))
@@ -191,10 +197,10 @@ class TestContractParity:
         )
         assert reply.status == 400
         body = json.loads(reply.body)
-        assert body["code"] == "query.batch-parse"
-        assert "3 bad queries" in body["error"]
+        assert body["error"]["code"] == "query.batch-parse"
+        assert "3 bad queries" in body["error"]["message"]
         for marker in ("[1]", "[2]", "[3]"):
-            assert marker in body["error"]
+            assert marker in body["error"]["message"]
 
     def test_healthz_parity_with_timing_masked(self, pair, index):
         # The `serve_*_us_total` counters are wall-clock microseconds —
@@ -375,8 +381,8 @@ def _distinguishing_target(index, index_b):
             target = f"/v1/status?prefix={prefix}&on={day.isoformat()}"
             return (
                 target,
-                json.dumps(answer_a, sort_keys=True).encode(),
-                json.dumps(answer_b, sort_keys=True).encode(),
+                json.dumps(envelope(answer_a), sort_keys=True).encode(),
+                json.dumps(envelope(answer_b), sort_keys=True).encode(),
             )
     raise AssertionError("worlds A and B are indistinguishable")
 
@@ -419,7 +425,7 @@ class TestHotReload:
             health = fetch(address, "GET", "/healthz")
 
         assert reload_reply.status == 200
-        payload = json.loads(reload_reply.body)
+        payload = json.loads(reload_reply.body)["data"]
         assert payload["status"] == "reloaded"
         assert payload["index"] == index_b.sizes()
         # Every answer is wholly old-world or wholly new-world.
@@ -451,8 +457,8 @@ class TestHotReload:
 
         assert reply.status == 500
         payload = json.loads(reply.body)
-        assert payload["code"] == "query.reload-failed"
-        assert "rebuild exploded" in payload["error"]
+        assert payload["error"]["code"] == "query.reload-failed"
+        assert "rebuild exploded" in payload["error"]["message"]
         assert after.body == before.body
         assert instr.counters["serve_reload_failures"] == 1
         assert "serve_reloads" not in instr.counters
@@ -614,8 +620,8 @@ class TestMalformedContentLength:
         for reply in replies:
             assert reply.status == 400
             payload = json.loads(reply.body)
-            assert set(payload) == {"code", "error"}
-            assert payload["code"] == "query.bad-request"
+            assert set(payload) == {"api", "error"}
+            assert payload["error"]["code"] == "query.bad-request"
         assert replies[0].body == replies[1].body
 
     def test_valid_zero_length_still_serves(self, pair):
@@ -635,4 +641,5 @@ class TestMalformedContentLength:
         for address in (threaded.server_address, aserver.server_address):
             reply = _raw_request(address, head)
             assert reply.status == 400
-            assert json.loads(reply.body)["code"] == "query.bad-request"
+            payload = json.loads(reply.body)
+            assert payload["error"]["code"] == "query.bad-request"

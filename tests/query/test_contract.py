@@ -1,0 +1,271 @@
+"""The committed API contract matches the live daemons — both of them.
+
+Three rings of defense:
+
+* the committed ``docs/api-contract.json`` must be byte-identical to
+  what :func:`repro.query.contract.render` produces, so the file can
+  never drift from the code;
+* the mini validator itself is pinned (types, enums, required keys,
+  closed objects, the JSON bool-is-not-integer rule);
+* live responses from the threaded *and* asyncio daemons — success
+  bodies, every error family, the watch and ingest surfaces — are
+  replayed through the schemas.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.ingest import Ingestor
+from repro.query.contract import (
+    CONTRACT,
+    ERROR_CODES,
+    ERROR_ENVELOPE,
+    INGEST_STATUS,
+    render,
+    validate,
+)
+from repro.query.contract import (
+    INGEST_DATA,
+    RELOAD_DATA,
+    STATUS_DATA,
+    WATCH_DATA,
+    _enveloped,
+)
+from repro.query.http import API_VERSION
+
+from .conftest import fetch
+from .test_watch import serving
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestContractFile:
+    def test_committed_file_matches_render(self):
+        committed = (REPO / "docs" / "api-contract.json").read_text()
+        assert committed == render(), (
+            "docs/api-contract.json drifted from repro.query.contract; "
+            "regenerate it with: python -c \"from repro.query.contract "
+            'import render; print(render(), end=\'\')"'
+        )
+
+    def test_contract_is_json_round_trippable(self):
+        assert json.loads(render()) == json.loads(render())
+
+    def test_api_version_pinned(self):
+        assert CONTRACT["api_version"] == API_VERSION
+
+    def test_every_endpoint_names_its_mount_condition(self):
+        for ep in CONTRACT["endpoints"]:
+            assert ep["method"] in ("GET", "POST")
+            assert ep["path"].startswith(("/v1/", "/healthz", "/metrics"))
+            assert ep["summary"]
+            assert ep["mounted"]
+
+    def test_error_code_registry_covers_raisers(self):
+        # Every code the serving layer can put on the wire is declared.
+        from repro.ingest import IngestError
+        from repro.query.engine import BatchParseError
+        from repro.query.http import (
+            BadDayError,
+            BadPrefixError,
+            NotFoundError,
+            ReloadError,
+            RequestError,
+        )
+
+        raised = {
+            cls.code
+            for cls in (
+                RequestError,
+                BadPrefixError,
+                BadDayError,
+                NotFoundError,
+                ReloadError,
+                BatchParseError,
+                IngestError,
+            )
+        }
+        raised.add("query.internal")  # synthesized in the 500 handler
+        assert raised == set(ERROR_CODES)
+
+
+class TestValidator:
+    def test_accepts_matching_object(self):
+        schema = {
+            "type": "object",
+            "required": ["a"],
+            "additionalProperties": False,
+            "properties": {"a": {"type": "integer"}},
+        }
+        assert validate({"a": 1}, schema) == []
+
+    @pytest.mark.parametrize(
+        ("instance", "fragment"),
+        [
+            ({}, "missing required key 'a'"),
+            ({"a": "x"}, "expected type integer"),
+            ({"a": 1, "b": 2}, "unexpected key 'b'"),
+            ({"a": True}, "expected type integer"),  # bool is not JSON int
+            ([], "expected type object"),
+        ],
+    )
+    def test_rejects_mismatches(self, instance, fragment):
+        schema = {
+            "type": "object",
+            "required": ["a"],
+            "additionalProperties": False,
+            "properties": {"a": {"type": "integer"}},
+        }
+        errors = validate(instance, schema)
+        assert any(fragment in e for e in errors), errors
+
+    def test_type_lists_enums_consts_items(self):
+        assert validate(None, {"type": ["string", "null"]}) == []
+        assert validate(3, {"type": ["string", "null"]}) != []
+        assert validate("moas", {"enum": ["moas", None]}) == []
+        assert validate("path", {"enum": ["moas", None]}) != []
+        assert validate(1, {"const": 1}) == []
+        assert validate(2, {"const": 1}) != []
+        items = {"type": "array", "items": {"type": "integer"}}
+        assert validate([1, 2], items) == []
+        assert validate([1, "x"], items) != []
+
+    def test_error_paths_are_navigable(self):
+        schema = {
+            "type": "object",
+            "properties": {
+                "xs": {"type": "array", "items": {"type": "string"}}
+            },
+        }
+        errors = validate({"xs": [1]}, schema)
+        assert errors == ["$.xs[0]: expected type string, got int"]
+
+
+@pytest.fixture(params=["threaded", "async"])
+def live(request, world, stored):
+    """A running incremental-mode daemon of each transport."""
+    ingestor = Ingestor(world, key=stored.key)
+    with serving(request.param, ingestor.engine, ingestor) as address:
+        yield address, ingestor
+
+
+def _assert_valid(reply, schema):
+    payload = json.loads(reply.body)
+    errors = validate(payload, schema)
+    assert errors == [], errors
+    return payload
+
+
+class TestLiveConformance:
+    def test_status_success(self, live, index):
+        address, _ = live
+        prefix = next(iter(index.drop))
+        reply = fetch(address, "GET", f"/v1/status?prefix={prefix}")
+        assert reply.status == 200
+        _assert_valid(reply, _enveloped(STATUS_DATA))
+
+    @pytest.mark.parametrize(
+        ("target", "status"),
+        [
+            ("/v1/status", 400),
+            ("/v1/status?prefix=999.0.0.0/8", 400),
+            ("/v1/status?prefix=10.0.0.0/8&on=2021-02-30", 400),
+            ("/v1/nope", 404),
+        ],
+    )
+    def test_errors_ride_the_error_envelope(self, live, target, status):
+        address, _ = live
+        reply = fetch(address, "GET", target)
+        assert reply.status == status
+        _assert_valid(reply, ERROR_ENVELOPE)
+
+    def test_batch_success_and_parse_error(self, live, index):
+        address, _ = live
+        prefixes = list(index.drop)[:3]
+        body = json.dumps({"queries": [str(p) for p in prefixes]}).encode()
+        reply = fetch(address, "POST", "/v1/batch", body)
+        assert reply.status == 200
+        payload = _assert_valid(
+            reply,
+            _enveloped(
+                {
+                    "type": "object",
+                    "required": ["results"],
+                    "additionalProperties": False,
+                    "properties": {
+                        "results": {"type": "array", "items": STATUS_DATA}
+                    },
+                }
+            ),
+        )
+        assert len(payload["data"]["results"]) == len(prefixes)
+        bad = fetch(
+            address, "POST", "/v1/batch", b'{"queries": ["nope", 7]}'
+        )
+        assert bad.status == 400
+        payload = _assert_valid(bad, ERROR_ENVELOPE)
+        assert payload["error"]["code"] == "query.batch-parse"
+
+    def test_ingest_success_and_conflict(self, live, world):
+        address, _ = live
+        reply = fetch(address, "POST", "/v1/ingest", b"")
+        assert reply.status == 200
+        _assert_valid(reply, _enveloped(INGEST_DATA))
+        beyond = {"day": "2199-01-01"}
+        conflict = fetch(
+            address, "POST", "/v1/ingest", json.dumps(beyond).encode()
+        )
+        assert conflict.status == 409
+        payload = _assert_valid(conflict, ERROR_ENVELOPE)
+        assert payload["error"]["code"] == "ingest.failed"
+
+    def test_watch_json_mode(self, live):
+        address, _ = live
+        # Advance until the log holds real events, then validate them.
+        for _ in range(30):
+            data = json.loads(
+                fetch(address, "POST", "/v1/ingest", b"").body
+            )["data"]
+            if data["ingest"]["last_seq"]:
+                break
+        reply = fetch(address, "GET", "/v1/watch")
+        assert reply.status == 200
+        payload = _assert_valid(reply, _enveloped(WATCH_DATA))
+        assert payload["data"]["events"]
+
+    def test_healthz_ingest_block(self, live):
+        address, _ = live
+        body = json.loads(fetch(address, "GET", "/healthz").body)
+        errors = validate(body["ingest"], INGEST_STATUS)
+        assert errors == [], errors
+
+    def test_reload_answer(self, engine, index):
+        from repro.query import AsyncQueryServer
+        from repro.query.engine import QueryEngine
+
+        srv = AsyncQueryServer(
+            engine,
+            "127.0.0.1",
+            0,
+            workers=1,
+            reload_factory=lambda: QueryEngine(index),
+        )
+        srv.start()
+        import threading
+
+        thread = threading.Thread(
+            target=srv.serve_until_shutdown, daemon=True
+        )
+        thread.start()
+        try:
+            reply = fetch(
+                srv.server_address, "POST", "/v1/admin/reload", b""
+            )
+            assert reply.status == 200
+            _assert_valid(reply, _enveloped(RELOAD_DATA))
+        finally:
+            srv.drain()
+            thread.join(timeout=20)
+        assert not thread.is_alive()

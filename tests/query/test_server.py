@@ -15,6 +15,7 @@ import urllib.request
 import pytest
 
 from repro.query import QueryEngine, QueryServer
+from repro.query.http import API_VERSION, envelope
 from repro.runtime import Instrumentation
 
 
@@ -72,28 +73,35 @@ class TestStatusEndpoint:
                 server, f"/v1/status?prefix={prefix}&on={day.isoformat()}"
             )
             assert status == 200
-            assert body == engine.lookup(prefix, day).to_dict()
+            assert body == envelope(engine.lookup(prefix, day).to_dict())
 
     def test_default_day(self, server, index):
         prefix = next(iter(index.routes))
         status, body = _get(server, f"/v1/status?prefix={prefix}")
         assert status == 200
-        assert body["on"] == index.window.end.isoformat()
+        assert body["api"] == API_VERSION
+        assert body["data"]["on"] == index.window.end.isoformat()
 
     def test_bad_prefix_is_400(self, server):
         status, body = _get(server, "/v1/status?prefix=999.1.2.3/8")
-        assert status == 400 and "error" in body
+        assert status == 400
+        assert body["api"] == API_VERSION
+        assert body["error"]["code"] == "query.bad-prefix"
 
     def test_missing_prefix_is_400(self, server):
         status, body = _get(server, "/v1/status")
-        assert status == 400 and body["error"] == "missing prefix"
+        assert status == 400
+        assert body["error"]["message"] == "missing prefix"
+        assert body["error"]["code"] == "query.bad-prefix"
 
     def test_bad_date_is_400(self, server, index):
         prefix = next(iter(index.routes))
         status, body = _get(
             server, f"/v1/status?prefix={prefix}&on=2021-02-30"
         )
-        assert status == 400 and "invalid date" in body["error"]
+        assert status == 400
+        assert body["error"]["code"] == "query.bad-day"
+        assert "invalid date" in body["error"]["message"]
 
     def test_unknown_path_is_404(self, server):
         assert _get(server, "/v1/nope")[0] == 404
@@ -111,14 +119,15 @@ class TestBatchEndpoint:
             _get(server, f"/v1/status?prefix={p}&on={d.isoformat()}")[1]
             for p, d in pairs
         ]
-        assert body["results"] == singles
+        assert body["data"]["results"] == [s["data"] for s in singles]
 
     def test_bare_list_and_string_items(self, server, index):
         prefix = str(next(iter(index.routes)))
         status, body = _post(server, "/v1/batch", [prefix])
         assert status == 200
-        assert body["results"][0]["prefix"] == prefix
-        assert body["results"][0]["on"] == index.window.end.isoformat()
+        results = body["data"]["results"]
+        assert results[0]["prefix"] == prefix
+        assert results[0]["on"] == index.window.end.isoformat()
 
     def test_empty_body_is_400(self, server):
         host, port = server.server_address
@@ -153,10 +162,11 @@ class TestBatchEndpoint:
             [prefix, "999.1.2.3/8", 42, {"prefix": prefix, "on": "nope"}],
         )
         assert status == 400
+        assert body["error"]["code"] == "query.batch-parse"
         # One response names every offender with its batch position.
-        assert "3 bad queries" in body["error"]
+        assert "3 bad queries" in body["error"]["message"]
         for marker in ("[1]", "[2]", "[3]"):
-            assert marker in body["error"]
+            assert marker in body["error"]["message"]
 
 
 class TestHealthz:

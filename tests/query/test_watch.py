@@ -1,0 +1,332 @@
+"""The incremental-mode HTTP surface: ``/v1/watch`` and ``/v1/ingest``.
+
+Both daemons mount the two endpoints only when constructed with an
+:class:`~repro.ingest.Ingestor` (404 otherwise, keeping the read-only
+serving surface unchanged), so every test here runs parametrized over
+the threaded and asyncio transports.  The watch tests cover the JSON
+long-poll and SSE modes, ``since`` resume, and parameter validation;
+the ingest tests cover the advance verbs, the 409 conflict answers,
+and — the critical liveness property — that a day applied over HTTP is
+immediately visible to ``/v1/status`` through the atomic engine swap.
+"""
+
+import contextlib
+import json
+import threading
+import time
+from datetime import timedelta
+
+import pytest
+
+from repro.ingest import Ingestor, WatchEvent
+from repro.net.prefix import IPv4Prefix
+from repro.query import AsyncQueryServer, QueryServer
+from repro.query.http import API_VERSION, SSE_CONTENT_TYPE
+
+from .conftest import fetch
+
+
+@contextlib.contextmanager
+def serving(kind, engine, ingestor):
+    """One running daemon of either transport, with an ingestor."""
+    if kind == "threaded":
+        srv = QueryServer(engine, "127.0.0.1", 0, ingestor=ingestor)
+        thread = threading.Thread(
+            target=srv.serve_until_shutdown, daemon=True
+        )
+        thread.start()
+        try:
+            yield srv.server_address
+        finally:
+            srv.shutdown()
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+    else:
+        srv = AsyncQueryServer(
+            engine, "127.0.0.1", 0, workers=1, ingestor=ingestor
+        )
+        srv.start()
+        thread = threading.Thread(
+            target=srv.serve_until_shutdown, daemon=True
+        )
+        thread.start()
+        try:
+            yield srv.server_address
+        finally:
+            srv.drain()
+            thread.join(timeout=20)
+            assert not thread.is_alive()
+
+
+@pytest.fixture(params=["threaded", "async"])
+def daemon(request, world, stored):
+    """A fresh incremental-mode daemon (its own ingestor per test)."""
+    ingestor = Ingestor(world, key=stored.key)
+    with serving(request.param, ingestor.engine, ingestor) as address:
+        yield address, ingestor
+
+
+def _json(reply):
+    return json.loads(reply.body)
+
+
+class TestMounting:
+    @pytest.mark.parametrize("kind", ["threaded", "async"])
+    def test_endpoints_absent_without_ingestor(self, kind, engine):
+        with serving(kind, engine, None) as address:
+            for method, target in (
+                ("GET", "/v1/watch"),
+                ("POST", "/v1/ingest"),
+            ):
+                reply = fetch(address, method, target, b"")
+                assert reply.status == 404
+                assert _json(reply)["error"]["code"] == "query.not-found"
+
+    def test_healthz_reports_ingest_state(self, daemon, world):
+        address, ingestor = daemon
+        body = _json(fetch(address, "GET", "/healthz"))
+        assert body["ingest"] == {
+            "as_of": world.window.start.isoformat(),
+            "base_day": world.window.start.isoformat(),
+            "days_applied": 0,
+            "last_seq": 0,
+            "window_end": world.window.end.isoformat(),
+        }
+
+
+class TestIngestEndpoint:
+    def test_empty_body_advances_one_day(self, daemon, world):
+        address, ingestor = daemon
+        reply = fetch(address, "POST", "/v1/ingest", b"")
+        assert reply.status == 200
+        payload = _json(reply)
+        assert payload["api"] == API_VERSION
+        data = payload["data"]
+        day_one = world.window.start + timedelta(days=1)
+        assert [r["day"] for r in data["results"]] == [day_one.isoformat()]
+        assert data["results"][0]["replayed"] is False
+        assert data["ingest"]["as_of"] == day_one.isoformat()
+        assert ingestor.as_of == day_one
+
+    def test_applied_day_serves_immediately(self, daemon, world):
+        # The liveness property: the atomic engine swap makes the new
+        # day's answers visible to /v1/status with no restart.
+        address, ingestor = daemon
+        day = world.window.start + timedelta(days=1)
+        fetch(address, "POST", "/v1/ingest", b"")
+        prefix = next(iter(ingestor.index.drop))
+        reply = fetch(
+            address,
+            "GET",
+            f"/v1/status?prefix={prefix}&on={day.isoformat()}",
+        )
+        assert reply.status == 200
+        expected = ingestor.engine.lookup(prefix, day).to_dict()
+        assert _json(reply)["data"] == expected
+
+    def test_days_and_day_verbs(self, daemon, world):
+        address, ingestor = daemon
+        reply = fetch(address, "POST", "/v1/ingest", b'{"days": 3}')
+        assert reply.status == 200
+        assert len(_json(reply)["data"]["results"]) == 3
+        target = world.window.start + timedelta(days=5)
+        reply = fetch(
+            address,
+            "POST",
+            "/v1/ingest",
+            json.dumps({"day": target.isoformat()}).encode(),
+        )
+        assert reply.status == 200
+        assert _json(reply)["data"]["ingest"]["as_of"] == target.isoformat()
+
+    @pytest.mark.parametrize(
+        ("body", "code"),
+        [
+            (b"[1]", "query.bad-request"),
+            (b"{nope", "query.bad-request"),
+            (b'{"day": "2021-02-30"}', "query.bad-day"),
+            (b'{"days": 0}', "query.bad-request"),
+            (b'{"days": "x"}', "query.bad-request"),
+            (b'{"day": "2020-01-01", "days": 2}', "query.bad-request"),
+        ],
+    )
+    def test_bad_bodies_are_400(self, daemon, body, code):
+        address, _ingestor = daemon
+        reply = fetch(address, "POST", "/v1/ingest", body)
+        assert reply.status == 400
+        assert _json(reply)["error"]["code"] == code
+
+    def test_target_outside_window_is_409(self, daemon, world):
+        address, ingestor = daemon
+        beyond = world.window.end + timedelta(days=1)
+        reply = fetch(
+            address,
+            "POST",
+            "/v1/ingest",
+            json.dumps({"day": beyond.isoformat()}).encode(),
+        )
+        assert reply.status == 409
+        payload = _json(reply)
+        assert payload["error"]["code"] == "ingest.failed"
+        assert ingestor.as_of == world.window.start
+
+    def test_backwards_target_is_409(self, daemon, world):
+        address, _ingestor = daemon
+        fetch(address, "POST", "/v1/ingest", b'{"days": 2}')
+        backwards = world.window.start + timedelta(days=1)
+        reply = fetch(
+            address,
+            "POST",
+            "/v1/ingest",
+            json.dumps({"day": backwards.isoformat()}).encode(),
+        )
+        assert reply.status == 409
+        assert _json(reply)["error"]["code"] == "ingest.failed"
+
+
+def _advance_until_events(address, limit=30):
+    """Apply days over HTTP until at least one watch event exists."""
+    for _ in range(limit):
+        data = _json(fetch(address, "POST", "/v1/ingest", b""))["data"]
+        if data["ingest"]["last_seq"] > 0:
+            return data["ingest"]
+    raise AssertionError(f"no events within {limit} days")
+
+
+class TestWatchEndpoint:
+    def test_json_mode_delivers_events(self, daemon):
+        address, ingestor = daemon
+        status = _advance_until_events(address)
+        reply = fetch(address, "GET", "/v1/watch")
+        assert reply.status == 200
+        assert reply.headers.get("content-type") == "application/json"
+        payload = _json(reply)
+        assert payload["api"] == API_VERSION
+        data = payload["data"]
+        assert data["as_of"] == status["as_of"]
+        assert data["last_seq"] == status["last_seq"]
+        seqs = [e["seq"] for e in data["events"]]
+        assert seqs == list(range(1, status["last_seq"] + 1))
+        for event in data["events"]:
+            assert set(event) == {
+                "seq", "kind", "day", "prefix", "detail",
+                "origin", "alarm", "sbl_id",
+            }
+            assert event["kind"] in ("listed", "roa-expired", "hijack")
+
+    def test_since_resumes(self, daemon):
+        address, _ingestor = daemon
+        status = _advance_until_events(address)
+        last = status["last_seq"]
+        assert _json(
+            fetch(address, "GET", f"/v1/watch?since={last}")
+        )["data"]["events"] == []
+        tail = _json(
+            fetch(address, "GET", f"/v1/watch?since={last - 1}")
+        )["data"]["events"]
+        assert [e["seq"] for e in tail] == [last]
+
+    def test_sse_mode(self, daemon):
+        address, _ingestor = daemon
+        status = _advance_until_events(address)
+        reply = fetch(address, "GET", "/v1/watch?mode=sse")
+        assert reply.status == 200
+        assert reply.headers.get("content-type") == SSE_CONTENT_TYPE
+        text = reply.body.decode("utf-8")
+        assert text.startswith("retry: 2000\n\n")
+        frames = [f for f in text.split("\n\n") if f.startswith("id:")]
+        assert len(frames) == status["last_seq"]
+        first = frames[0].splitlines()
+        assert first[0] == "id: 1"
+        assert first[1].startswith("event: ")
+        data = json.loads(first[2].removeprefix("data: "))
+        assert data["seq"] == 1
+        assert first[1] == f"event: {data['kind']}"
+
+    def test_long_poll_wakes_on_publish(self, daemon, world):
+        address, ingestor = daemon
+        event = WatchEvent(
+            seq=0,
+            kind="listed",
+            day=world.window.start,
+            prefix=IPv4Prefix.parse("198.51.100.0/24"),
+            detail="poked by the test",
+        )
+        got = []
+
+        def poll():
+            got.append(
+                fetch(address, "GET", "/v1/watch?timeout=10&since=0")
+            )
+
+        thread = threading.Thread(target=poll)
+        thread.start()
+        # Give the long-poll time to reach the blocking wait, then
+        # publish directly into the log: the poll must wake early.
+        time.sleep(0.2)
+        ingestor.events.publish([event])
+        thread.join(timeout=15)
+        assert not thread.is_alive()
+        events = _json(got[0])["data"]["events"]
+        assert [e["detail"] for e in events] == ["poked by the test"]
+
+    def test_zero_timeout_returns_immediately(self, daemon):
+        address, _ingestor = daemon
+        reply = fetch(address, "GET", "/v1/watch?timeout=0")
+        assert reply.status == 200
+        assert _json(reply)["data"]["events"] == []
+
+    @pytest.mark.parametrize(
+        "target",
+        [
+            "/v1/watch?since=x",
+            "/v1/watch?timeout=soon",
+            "/v1/watch?mode=stream",
+        ],
+    )
+    def test_bad_params_are_400(self, daemon, target):
+        address, _ingestor = daemon
+        reply = fetch(address, "GET", target)
+        assert reply.status == 400
+        assert _json(reply)["error"]["code"] == "query.bad-request"
+
+
+class TestWebhookDelivery:
+    def test_advance_pushes_to_webhook(self, world, stored):
+        import http.server
+
+        received = []
+        arrived = threading.Event()
+
+        class Receiver(http.server.BaseHTTPRequestHandler):
+            def do_POST(self):
+                length = int(self.headers["Content-Length"])
+                received.append(json.loads(self.rfile.read(length)))
+                arrived.set()
+                self.send_response(204)
+                self.end_headers()
+
+            def log_message(self, *args):
+                pass
+
+        httpd = http.server.HTTPServer(("127.0.0.1", 0), Receiver)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = httpd.server_address
+            ingestor = Ingestor(
+                world,
+                key=stored.key,
+                webhook_url=f"http://{host}:{port}/hook",
+            )
+            while ingestor.events.last_seq == 0:
+                ingestor.advance()
+            assert arrived.wait(timeout=10)
+        finally:
+            httpd.shutdown()
+            thread.join(timeout=10)
+        payload = received[0]
+        assert payload["api"] == API_VERSION
+        events = payload["data"]["events"]
+        assert events
+        assert events[0]["seq"] == 1

@@ -1,0 +1,91 @@
+"""The :mod:`repro.api` façade is the supported import surface.
+
+These tests pin the contract downstream code relies on: every exported
+name resolves to the same object as its home module, the package root
+delegates to the façade, and the error family keeps its stable codes.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+import repro.api as api
+
+
+class TestFacadeExports:
+    def test_every_name_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_names_match_home_modules(self):
+        # The façade re-exports, never wraps: identity with the object
+        # in the defining module.
+        for name, module_name in api._EXPORTS.items():
+            home = importlib.import_module(module_name)
+            assert getattr(api, name) is getattr(home, name), name
+
+    def test_all_is_sorted_and_complete(self):
+        assert api.__all__ == sorted(api._EXPORTS)
+        assert set(api.__all__) <= set(dir(api))
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            api.definitely_not_exported
+
+    def test_core_surface_present(self):
+        # The names the README promises, spelled out so a rename here
+        # is a deliberate act, not an accident.
+        for name in (
+            "ScenarioConfig",
+            "build_world",
+            "WorldCache",
+            "QueryEngine",
+            "QueryServer",
+            "AsyncQueryServer",
+            "run_experiment",
+            "run_sweep",
+            "Ingestor",
+            "apply_delta",
+            "compute_delta",
+            "build_index_as_of",
+            "ReproError",
+        ):
+            assert name in api.__all__, name
+
+
+class TestPackageDelegation:
+    def test_root_delegates_to_facade(self):
+        for name in api.__all__:
+            assert getattr(repro, name) is getattr(api, name), name
+
+    def test_root_all_covers_facade(self):
+        assert set(api.__all__) <= set(repro.__all__)
+        assert "__version__" in repro.__all__
+
+    def test_unknown_root_name_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_exported
+
+    def test_dunder_lookup_not_swallowed(self):
+        # copy.copy and friends probe dunders on modules; those must
+        # fail fast, not import the whole façade.
+        with pytest.raises(AttributeError):
+            repro.__wrapped__
+
+
+class TestErrorFamily:
+    def test_every_error_has_a_stable_code(self):
+        errors = [
+            name for name in api.__all__ if name.endswith("Error")
+        ]
+        assert len(errors) >= 10
+        for name in errors:
+            cls = getattr(api, name)
+            assert issubclass(cls, repro.ReproError), name
+            assert isinstance(cls.code, str) and "." in cls.code, name
+
+    def test_ingest_errors_exported(self):
+        assert issubclass(api.IngestError, repro.ReproError)
+        assert api.IngestError.code == "ingest.failed"
+        assert issubclass(api.JournalLoadError, repro.ReproError)

@@ -161,3 +161,58 @@ class TestTraceExport:
         assert "-- profile: world-resolve" in err
         assert "-- profile: experiments" in err
         assert "cumulative" in err
+
+
+class TestIngestCommand:
+    def test_advances_and_prints_days(self, capsys):
+        assert main(["ingest", "--days", "3"]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 3
+        assert all("delta events" in line for line in lines)
+        assert "3 days since" in captured.err
+
+    def test_json_format_and_state_dir(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        args = ["ingest", "--days", "2", "--state-dir", str(state),
+                "--format", "json"]
+        assert main(args) == 0
+        import json as json_mod
+
+        first = [json_mod.loads(line)
+                 for line in capsys.readouterr().out.strip().splitlines()]
+        assert [r["replayed"] for r in first] == [False, False]
+        # A second invocation recovers from the journal and continues.
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert "4 days since" in captured.err
+
+    def test_as_of_sets_base_day(self, capsys):
+        assert main(["ingest", "--as-of", "2019-07-01", "--days", "1"]) == 0
+        assert "since 2019-07-01" in capsys.readouterr().err
+
+    def test_bad_as_of_is_usage_error(self, capsys):
+        assert main(["ingest", "--as-of", "nope"]) == 2
+        assert "bad --as-of" in capsys.readouterr().err
+
+    def test_as_of_outside_window_is_usage_error(self, capsys):
+        assert main(["ingest", "--as-of", "1999-01-01"]) == 2
+        assert "outside the world window" in capsys.readouterr().err
+
+    def test_to_and_days_conflict(self, capsys):
+        assert main(["ingest", "--to", "2019-07-01", "--days", "2"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_target_before_as_of_fails(self, capsys):
+        assert main(["ingest", "--as-of", "2019-07-01",
+                     "--to", "2019-06-10"]) == 1
+        assert "outside" in capsys.readouterr().err
+
+    def test_serve_parser_accepts_incremental_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--as-of", "2019-06-05", "--state-dir", "/tmp/x",
+             "--webhook", "http://127.0.0.1:1/hook"]
+        )
+        assert args.as_of == "2019-06-05"
+        assert str(args.state_dir) == "/tmp/x"
+        assert args.webhook.endswith("/hook")

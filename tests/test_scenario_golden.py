@@ -4,11 +4,12 @@ The five paper playbooks, re-expressed as DSL compositions and run
 through the generic :func:`apply_playbooks` machinery, must produce a
 world whose saved archives match the legacy
 ``build_world`` path byte for byte — every file, every byte.  This is
-the contract that let :mod:`repro.synth.scenarios` become a shim: the
-DSL is a reorganization, not a reimplementation.
+the contract that let the old ``repro.synth.scenarios`` home retire:
+the DSL is a reorganization, not a reimplementation.
 """
 
 import filecmp
+import importlib
 from pathlib import Path
 
 import pytest
@@ -75,11 +76,12 @@ class TestPlaybookMachinery:
                 object(), (PAPER_PLAYBOOKS[0], PAPER_PLAYBOOKS[0])
             )
 
-    def test_legacy_shim_reexports_the_moved_api(self):
+    def test_legacy_shim_retired(self):
+        # repro.synth.scenarios served its deprecation window and was
+        # removed; repro.scenarios.playbooks is the one home now.
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.synth.scenarios")
         from repro.scenarios import playbooks
-        from repro.synth import scenarios as shim
 
-        assert shim.build_drop_population is playbooks.build_drop_population
-        assert shim.build_case_study is playbooks.build_case_study
-        assert shim.OWNER_ASN == playbooks.OWNER_ASN
-        assert shim.CASE_PREFIX == playbooks.CASE_PREFIX
+        assert callable(playbooks.build_drop_population)
+        assert callable(playbooks.build_case_study)
